@@ -1,0 +1,161 @@
+//! Passive BGP-based anycast detection (Bian et al., CCR 2019; §2.3).
+//!
+//! The approach infers anycast without sending a single packet: an
+//! announced prefix whose origin is reachable through *geographically
+//! diverse upstream networks* is presumed replicated. The paper recounts
+//! its weakness — **remote peering** lets a unicast origin appear behind
+//! distant upstreams, producing false positives — and that weakness
+//! emerges here too: stub networks occasionally buy transit from a distant
+//! provider, and the detector cannot tell that apart from anycast.
+
+use std::collections::BTreeSet;
+
+use laces_geo::Coord;
+use laces_netsim::bgp::BgpTable;
+use laces_netsim::{TargetKind, World};
+use laces_packet::PrefixKey;
+use serde::{Deserialize, Serialize};
+
+/// Verdict of the passive detector for one census prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PassiveVerdict {
+    /// The prefix.
+    pub prefix: PrefixKey,
+    /// Maximum great-circle distance between any two upstream attachment
+    /// points observed for the origin.
+    pub upstream_spread_km: f64,
+    /// Whether the detector calls it anycast.
+    pub anycast: bool,
+}
+
+/// Default spread threshold: upstreams more than this far apart cannot
+/// serve a single site at consistent latency (the published heuristic uses
+/// a similar geographic-diversity cut).
+pub const DEFAULT_SPREAD_KM: f64 = 2_500.0;
+
+/// The upstream attachment points of a census prefix: for every AS that
+/// originates it (deployment site shells for anycast, the hosting AS
+/// otherwise), each provider's nearest PoP to the origin.
+fn upstream_points(world: &World, prefix: PrefixKey) -> Vec<Coord> {
+    let Some(tid) = world.lookup(prefix) else {
+        return Vec::new();
+    };
+    let t = world.target(tid);
+    let origin_ases: Vec<u32> = match t.kind {
+        TargetKind::Anycast { dep } | TargetKind::PartialAnycast { dep, .. } => world
+            .deployment(dep)
+            .sites
+            .iter()
+            .map(|s| s.as_idx)
+            .collect(),
+        _ => vec![t.as_idx],
+    };
+    let mut points = Vec::new();
+    for a in origin_ases {
+        let home = world.db.get(world.topo.home_city(a)).coord;
+        for &prov in &world.topo.providers[a as usize] {
+            let pop = world.topo.nearest_pop(&world.db, prov, &home);
+            points.push(world.db.get(pop).coord);
+        }
+    }
+    points
+}
+
+/// Run the passive detector over every `/24` of the announced-prefix table.
+pub fn passive_census(world: &World, table: &BgpTable, spread_km: f64) -> Vec<PassiveVerdict> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<PrefixKey> = BTreeSet::new();
+    for ann in &table.announcements {
+        for p24 in ann.prefix.iter_24s() {
+            let prefix = PrefixKey::V4(p24);
+            if !seen.insert(prefix) {
+                continue;
+            }
+            let points = upstream_points(world, prefix);
+            let mut spread: f64 = 0.0;
+            for i in 0..points.len() {
+                for j in i + 1..points.len() {
+                    spread = spread.max(points[i].gcd_km(&points[j]));
+                }
+            }
+            out.push(PassiveVerdict {
+                prefix,
+                upstream_spread_km: spread,
+                anycast: spread > spread_km,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_netsim::{bgp_table, WorldConfig};
+
+    #[test]
+    fn passive_detection_has_recall_on_global_anycast_and_remote_peering_fps() {
+        let world = World::generate(WorldConfig::tiny());
+        let table = bgp_table(&world);
+        let verdicts = passive_census(&world, &table, DEFAULT_SPREAD_KM);
+        assert!(!verdicts.is_empty());
+
+        let mut global_tp = 0usize;
+        let mut global_total = 0usize;
+        let mut unicast_fp = 0usize;
+        let mut regional_fn = 0usize;
+        let mut regional_total = 0usize;
+        for v in &verdicts {
+            let Some(tid) = world.lookup(v.prefix) else {
+                continue;
+            };
+            let t = world.target(tid);
+            match t.kind {
+                TargetKind::Anycast { dep } => {
+                    let d = world.deployment(dep);
+                    if d.regional {
+                        regional_total += 1;
+                        if !v.anycast {
+                            regional_fn += 1;
+                        }
+                    } else if d.n_distinct_cities() >= 6 {
+                        global_total += 1;
+                        if v.anycast {
+                            global_tp += 1;
+                        }
+                    }
+                }
+                TargetKind::Unicast { .. } if v.anycast => unicast_fp += 1,
+                _ => {}
+            }
+        }
+        assert!(global_total > 10);
+        assert!(
+            global_tp * 10 >= global_total * 9,
+            "passive recall on global anycast too low: {global_tp}/{global_total}"
+        );
+        // The documented failure mode: remote-peering-style false positives.
+        assert!(unicast_fp > 0, "expected remote-peering FPs");
+        // And regional anycast is largely invisible to the geographic cut.
+        if regional_total > 0 {
+            assert!(
+                regional_fn > 0,
+                "regional anycast should evade the passive detector"
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_controls_sensitivity() {
+        let world = World::generate(WorldConfig::tiny());
+        let table = bgp_table(&world);
+        let strict = passive_census(&world, &table, 8_000.0);
+        let loose = passive_census(&world, &table, 500.0);
+        let n_strict = strict.iter().filter(|v| v.anycast).count();
+        let n_loose = loose.iter().filter(|v| v.anycast).count();
+        assert!(
+            n_loose > n_strict,
+            "lower threshold must flag more: {n_loose} vs {n_strict}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! A BGPTools-style census (§5.7, Appendix D).
+//!
+//! BGPTools detects anycast with an anycast-based measurement like the
+//! first stage of LACeS, but differs in two documented ways:
+//!
+//! 1. no GCD confirmation stage filters the false positives out, and
+//! 2. when *one* address in an announced BGP prefix is classified anycast,
+//!    the **entire announced prefix** is marked anycast.
+//!
+//! Table 7 quantifies the consequence: announced prefixes up to `/11`
+//! marked anycast while containing thousands of unicast and unresponsive
+//! `/24`s.
+
+use std::collections::BTreeSet;
+
+use laces_core::classify::AnycastClassification;
+use laces_netsim::bgp::BgpTable;
+use laces_packet::{Cidr4, PrefixKey};
+use serde::{Deserialize, Serialize};
+
+/// The BGPTools-style verdict: announced prefixes marked anycast.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BgpToolsCensus {
+    /// Announced prefixes marked anycast (sorted).
+    pub prefixes: Vec<Cidr4>,
+}
+
+impl BgpToolsCensus {
+    /// All census `/24`s implied anycast by the prefix-level verdict.
+    pub fn implied_24s(&self) -> usize {
+        self.prefixes.iter().map(|p| p.count_24s() as usize).sum()
+    }
+
+    /// Whether a `/24` is covered by any marked prefix.
+    pub fn covers(&self, p: laces_packet::Prefix24) -> bool {
+        self.prefixes.iter().any(|c| c.contains_24(p))
+    }
+}
+
+/// Derive the BGPTools-style census from an anycast-based classification:
+/// every announced prefix containing at least one ≥2-VP candidate is
+/// marked anycast in its entirety, without GCD filtering.
+pub fn bgptools_census(class: &AnycastClassification, table: &BgpTable) -> BgpToolsCensus {
+    let mut marked: BTreeSet<Cidr4> = BTreeSet::new();
+    for prefix in class.anycast_targets() {
+        if let PrefixKey::V4(p) = prefix {
+            if let Some(a) = table.covering(p) {
+                marked.insert(a.prefix);
+            }
+        }
+    }
+    BgpToolsCensus {
+        prefixes: marked.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_core::orchestrator::run_measurement;
+    use laces_core::spec::MeasurementSpec;
+    use laces_netsim::{bgp_table, TargetKind, World, WorldConfig};
+    use laces_packet::Protocol;
+    use std::net::IpAddr;
+    use std::sync::Arc;
+
+    #[test]
+    fn prefix_generalisation_overestimates() {
+        let world = Arc::new(World::generate(WorldConfig::tiny()));
+        let targets: Arc<Vec<IpAddr>> = Arc::new(
+            world.targets[..world.n_v4]
+                .iter()
+                .map(|t| match t.prefix {
+                    PrefixKey::V4(p) => IpAddr::V4(p.addr(77)),
+                    PrefixKey::V6(_) => unreachable!(),
+                })
+                .collect(),
+        );
+        let spec = MeasurementSpec::census(
+            80,
+            world.std_platforms.production,
+            Protocol::Icmp,
+            targets,
+            0,
+        );
+        let class = AnycastClassification::from_outcome(&run_measurement(&world, &spec));
+        let table = bgp_table(&world);
+        let census = bgptools_census(&class, &table);
+
+        assert!(!census.prefixes.is_empty());
+        // The implied /24 count must overshoot the direct AT count whenever
+        // any marked announcement is less specific than /24.
+        let direct = class.anycast_targets().iter().filter(|p| p.is_v4()).count();
+        if census.prefixes.iter().any(|p| p.len() < 24) {
+            assert!(
+                census.implied_24s() > direct,
+                "generalisation should overestimate"
+            );
+        }
+        // And specifically: some implied /24s are unicast or unresponsive in
+        // ground truth (the Table 7 failure).
+        let mut wrong = 0;
+        for t in &world.targets[..world.n_v4] {
+            let PrefixKey::V4(p) = t.prefix else {
+                unreachable!()
+            };
+            if census.covers(p)
+                && !matches!(
+                    t.kind,
+                    TargetKind::Anycast { .. } | TargetKind::PartialAnycast { .. }
+                )
+            {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 0, "expected over-generalised unicast /24s");
+    }
+
+    #[test]
+    fn census_is_sorted_and_deduplicated() {
+        let c = BgpToolsCensus {
+            prefixes: vec![Cidr4::new(10 << 24, 20), Cidr4::new(11 << 24, 24)],
+        };
+        assert_eq!(c.implied_24s(), 16 + 1);
+        assert!(c.covers(laces_packet::Prefix24::of("10.0.5.1".parse().unwrap())));
+        assert!(!c.covers(laces_packet::Prefix24::of("12.0.0.1".parse().unwrap())));
+    }
+}

@@ -1,0 +1,33 @@
+//! Baseline anycast-detection systems.
+//!
+//! The paper's evaluation compares LACeS against the prior art; this crate
+//! implements each comparator faithfully enough to reproduce the
+//! comparisons:
+//!
+//! * [`manycast2`] — the original MAnycast² probing discipline: each VP
+//!   sweeps the hitlist on its own, so a target sees probes minutes apart
+//!   and route flips inflate the false-positive count (Fig. 4);
+//! * [`igreedy_classic`] — the original iGreedy enumeration as a reference
+//!   implementation (quadratic pairwise analysis; the ablation bench
+//!   quantifies LACeS's "hours to minutes" speedup against it), plus the
+//!   classic full-hitlist GCD census;
+//! * [`bgptools`] — the BGPTools approach: anycast-based detection only,
+//!   no GCD filter, and generalisation of a single anycast address to its
+//!   entire announced BGP prefix (Table 7 quantifies the damage);
+//! * [`chaos_detect`] — CHAOS-record based detection (two or more distinct
+//!   `hostname.bind` values ⇒ anycast), which Appendix C shows is a weak
+//!   indicator because co-located servers also expose multiple values;
+//! * [`bgp_passive`] — Bian et al.'s passive geographic-upstream-diversity
+//!   detector, with its remote-peering false positives (§2.3).
+
+pub mod bgp_passive;
+pub mod bgptools;
+pub mod chaos_detect;
+pub mod igreedy_classic;
+pub mod manycast2;
+
+pub use bgp_passive::{passive_census, PassiveVerdict};
+pub use bgptools::{bgptools_census, BgpToolsCensus};
+pub use chaos_detect::{chaos_census, ChaosCensus};
+pub use igreedy_classic::enumerate_classic;
+pub use manycast2::run_manycast2;

@@ -1,0 +1,60 @@
+//! The "hours to minutes" ablation: LACeS's single-sweep iGreedy analysis
+//! versus the classic quadratic formulation, across campaign sizes
+//! (163 = daily Ark, 227 = Ark dev, 481 = RIPE Atlas).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laces_baselines::igreedy_classic::enumerate_classic;
+use laces_gcd::enumerate::{enumerate, RttSample};
+use laces_geo::{CityDb, Coord};
+
+fn synth_samples(n: usize, anycast: bool) -> Vec<RttSample> {
+    (0..n)
+        .map(|i| {
+            let lat = -55.0 + ((i * 37) % 120) as f64;
+            let lon = -175.0 + ((i * 73) % 350) as f64;
+            let rtt = if anycast {
+                2.0 + (i % 7) as f64 // many tight disks: heavy enumeration
+            } else {
+                60.0 + (i % 40) as f64 // unicast-ish blur
+            };
+            RttSample {
+                vp: i,
+                vp_coord: Coord::new(lat, lon),
+                rtt_ms: rtt,
+            }
+        })
+        .collect()
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let db = CityDb::embedded();
+    let mut group = c.benchmark_group("igreedy_analysis");
+    for &n in &[163usize, 227, 481] {
+        let anycast = synth_samples(n, true);
+        let unicast = synth_samples(n, false);
+        group.bench_with_input(
+            BenchmarkId::new("laces_sweep_anycast", n),
+            &anycast,
+            |b, s| b.iter(|| enumerate(s, &db)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("classic_quadratic_anycast", n),
+            &anycast,
+            |b, s| b.iter(|| enumerate_classic(s, &db)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("laces_sweep_unicast", n),
+            &unicast,
+            |b, s| b.iter(|| enumerate(s, &db)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("classic_quadratic_unicast", n),
+            &unicast,
+            |b, s| b.iter(|| enumerate_classic(s, &db)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! End-to-end measurement throughput (R6/R10): full synchronized passes
+//! through CLI → Orchestrator → Workers → classification on a tiny world,
+//! plus the ablation the paper's §5.1.5 motivates (synchronized vs
+//! MAnycast²-style long intervals: same cost, different accuracy — the
+//! bench shows the probing discipline does not change throughput).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laces_core::classify::AnycastClassification;
+use laces_core::orchestrator::run_measurement;
+use laces_core::spec::MeasurementSpec;
+use laces_netsim::{World, WorldConfig};
+use laces_packet::Protocol;
+
+fn bench_measurement(c: &mut Criterion) {
+    let world = Arc::new(World::generate(WorldConfig::tiny()));
+    let targets = Arc::new(laces_hitlist::build_v4(&world).addresses());
+    let n_probes = targets.len() as u64 * 32;
+
+    let mut group = c.benchmark_group("measurement");
+    group.sample_size(10);
+    group.throughput(criterion::Throughput::Elements(n_probes));
+    for (label, offset) in [("synchronized_1s", 1_000u64), ("sequential_13min", 780_000)] {
+        group.bench_with_input(
+            BenchmarkId::new("icmp_v4_pass", label),
+            &offset,
+            |b, &off| {
+                b.iter(|| {
+                    let mut spec = MeasurementSpec::census(
+                        50_000,
+                        world.std_platforms.production,
+                        Protocol::Icmp,
+                        Arc::clone(&targets),
+                        0,
+                    );
+                    spec.offset_ms = off;
+                    run_measurement(&world, &spec)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Classification aggregation throughput.
+    let spec = MeasurementSpec::census(
+        50_001,
+        world.std_platforms.production,
+        Protocol::Icmp,
+        targets,
+        0,
+    );
+    let outcome = run_measurement(&world, &spec);
+    let mut group = c.benchmark_group("classification");
+    group.throughput(criterion::Throughput::Elements(outcome.records.len() as u64));
+    group.bench_function("aggregate_records", |b| {
+        b.iter(|| AnycastClassification::from_outcome(&outcome))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_measurement);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Packet-path microbenchmarks: probe construction, target-side reply
+//! synthesis, and worker-side attribution, per protocol (R10: the worker
+//! hot path).
+
+use std::net::IpAddr;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laces_packet::probe::{
+    build_probe, build_reply, parse_reply, ProbeEncoding, ProbeMeta, Protocol,
+};
+
+fn bench_packets(c: &mut Criterion) {
+    let src: IpAddr = "198.18.0.1".parse().unwrap();
+    let dst: IpAddr = "20.1.2.77".parse().unwrap();
+    let meta = ProbeMeta {
+        measurement_id: 9,
+        worker_id: 7,
+        tx_time_ms: 123_456,
+    };
+
+    let mut group = c.benchmark_group("packet_path");
+    for proto in [
+        Protocol::Icmp,
+        Protocol::Tcp,
+        Protocol::Udp,
+        Protocol::Chaos,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("build_probe", proto.name()),
+            &proto,
+            |b, &p| b.iter(|| build_probe(src, dst, p, &meta, ProbeEncoding::PerWorker)),
+        );
+        let probe = build_probe(src, dst, proto, &meta, ProbeEncoding::PerWorker);
+        group.bench_with_input(
+            BenchmarkId::new("build_reply", proto.name()),
+            &probe,
+            |b, p| b.iter(|| build_reply(p, Some("site-ams")).unwrap()),
+        );
+        let reply = build_reply(&probe, Some("site-ams")).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("parse_reply", proto.name()),
+            &reply,
+            |b, r| b.iter(|| parse_reply(r, 9, 123_500).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packets);
+criterion_main!(benches);

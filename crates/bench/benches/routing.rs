@@ -1,0 +1,27 @@
+//! Routing-engine benchmarks: the Gao-Rexford multi-origin computation that
+//! underlies every catchment query, at daily-census deployment sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laces_geo::CityDb;
+use laces_netsim::routing::compute;
+use laces_netsim::topology::{TopoConfig, Topology};
+
+fn bench_routing(c: &mut Criterion) {
+    let db = CityDb::embedded();
+    let topo = Topology::generate(&TopoConfig::default(), &db, 42);
+    let n = topo.len() as u32;
+
+    let mut group = c.benchmark_group("gao_rexford");
+    for &origins in &[2usize, 12, 32, 103, 285] {
+        let origin_ases: Vec<u32> = (0..origins as u32).map(|i| n - 1 - i * 7 % n).collect();
+        group.bench_with_input(
+            BenchmarkId::new("multi_origin_routes", origins),
+            &origin_ases,
+            |b, o| b.iter(|| compute(&topo, o)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Run one experiment by id.
+//!
+//! ```text
+//! cargo run --release -p laces-bench --bin experiment -- t2 [tiny|mid|paper]
+//! cargo run --release -p laces-bench --bin experiment -- --list
+//! ```
+
+use laces_bench::{all_experiments, find, Artifacts, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--list") {
+        println!("available experiments:");
+        for (id, title, _) in all_experiments() {
+            println!("  {id:<14} {title}");
+        }
+        return;
+    }
+    let id = &args[0];
+    let Some((_, title, f)) = find(id) else {
+        eprintln!("unknown experiment {id:?}; use --list");
+        std::process::exit(2);
+    };
+    let scale = Scale::from_env_or_args(&args);
+    let artifacts = Artifacts::new(scale);
+    let t0 = std::time::Instant::now();
+    let report = f(&artifacts);
+    println!("=== {title} (scale {scale:?}) ===\n");
+    println!("{}", report.body);
+    eprintln!("[{id}] completed in {:.1?}", t0.elapsed());
+}

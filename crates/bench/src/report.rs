@@ -1,0 +1,128 @@
+//! Experiment report formatting.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment: identifier, title, and preformatted sections.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Short id ("t2", "f4", ...).
+    pub id: &'static str,
+    /// Human title referencing the paper artifact.
+    pub title: &'static str,
+    /// Rendered body lines.
+    pub body: String,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        Report {
+            id,
+            title,
+            body: String::new(),
+        }
+    }
+
+    /// Append a paragraph line.
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        self.body.push_str(s.as_ref());
+        self.body.push('\n');
+    }
+
+    /// Append an aligned table.
+    pub fn table(&mut self, headers: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut line = String::new();
+        for (h, w) in headers.iter().zip(&widths) {
+            let _ = write!(line, "| {h:>w$} ", w = w);
+        }
+        line.push('|');
+        self.line(&line);
+        let mut sep = String::new();
+        for w in &widths {
+            let _ = write!(sep, "|{}", "-".repeat(w + 2));
+        }
+        sep.push('|');
+        self.line(&sep);
+        for row in rows {
+            let mut line = String::new();
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "| {c:>w$} ", w = w);
+            }
+            line.push('|');
+            self.line(&line);
+        }
+    }
+
+    /// Append a paper-vs-measured note.
+    pub fn compare(&mut self, what: &str, paper: &str, measured: impl std::fmt::Display) {
+        self.line(format!("  {what}: paper {paper} | measured {measured}"));
+    }
+
+    /// Render to markdown.
+    pub fn to_markdown(&self) -> String {
+        format!(
+            "## {} — {}\n\n```text\n{}```\n",
+            self.id.to_uppercase(),
+            self.title,
+            self.body
+        )
+    }
+}
+
+/// Format a count with thousands separators.
+pub fn fmt_n(n: usize) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_counts() {
+        assert_eq!(fmt_n(0), "0");
+        assert_eq!(fmt_n(999), "999");
+        assert_eq!(fmt_n(1_000), "1,000");
+        assert_eq!(fmt_n(25_396), "25,396");
+        assert_eq!(fmt_n(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let mut r = Report::new("t", "test");
+        r.table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        let lines: Vec<&str> = r.body.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.starts_with('|') && l.ends_with('|')));
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{:?}", lines);
+    }
+
+    #[test]
+    fn markdown_wraps_body() {
+        let mut r = Report::new("t2", "Table 2");
+        r.line("hello");
+        let md = r.to_markdown();
+        assert!(md.starts_with("## T2"));
+        assert!(md.contains("```text\nhello\n```"));
+    }
+}

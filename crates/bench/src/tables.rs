@@ -1,0 +1,497 @@
+//! Experiments regenerating the paper's tables.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use laces_census::analysis::{table2, table3};
+use laces_census::asn_ranking::{rank_asns, top_k_share};
+use laces_census::external::table7;
+use laces_gcd::GcdClass;
+use laces_netsim::{bgp_table, PlatformKind, TargetKind};
+use laces_packet::{IpVersion, PrefixKey, Protocol};
+
+use crate::artifacts::Artifacts;
+use crate::report::{fmt_n, Report};
+
+/// Table 1: measurement platforms used in this work.
+pub fn t1(a: &Artifacts) -> Report {
+    let mut r = Report::new("t1", "Table 1: measurement platforms");
+    let mut rows = Vec::new();
+    for pid in [
+        a.world.std_platforms.production,
+        a.world.std_platforms.cctld,
+        a.world.std_platforms.ark,
+        a.world.std_platforms.ark_dev,
+        a.world.std_platforms.atlas,
+    ] {
+        let p = a.world.platform(pid);
+        let kind = match p.kind {
+            PlatformKind::Anycast { .. } => "anycast (Workers)",
+            PlatformKind::Unicast { .. } => "unicast (GCD VPs)",
+        };
+        rows.push(vec![p.name.clone(), kind.to_string(), fmt_n(p.n_vps())]);
+    }
+    r.table(&["platform", "kind", "# of VPs"], &rows);
+    r.compare(
+        "production VPs",
+        "32",
+        a.world.platform(a.world.std_platforms.production).n_vps(),
+    );
+    r.compare(
+        "Ark (daily / dev)",
+        "163 / 227",
+        format!(
+            "{} / {}",
+            a.world.platform(a.world.std_platforms.ark).n_vps(),
+            a.world.platform(a.world.std_platforms.ark_dev).n_vps()
+        ),
+    );
+    r
+}
+
+/// Table 2: anycast-based candidates vs the GCD_Ark full-hitlist reference.
+pub fn t2(a: &Artifacts) -> Report {
+    let mut r = Report::new("t2", "Table 2: anycast-based vs GCD_Ark (full hitlist)");
+    let mut rows = Vec::new();
+    for (family, paper) in [
+        (
+            IpVersion::V4,
+            ("25,396", "13,692", "13,168", "524 (3.8%)", "12,228"),
+        ),
+        (
+            IpVersion::V6,
+            ("6,315", "6,221", "6,006", "215 (3.5%)", "94"),
+        ),
+    ] {
+        let class = a.anycast_class(
+            a.world.std_platforms.production,
+            Protocol::Icmp,
+            family,
+            1_000,
+            false,
+        );
+        let gcd = a.gcd_full_map(family);
+        let row = table2(&format!("ICMP{}", family.suffix()), &class.0, &gcd);
+        rows.push(vec![
+            row.label.clone(),
+            fmt_n(row.anycast_based),
+            fmt_n(row.gcd),
+            fmt_n(row.intersection),
+            format!("{} ({:.1}%)", fmt_n(row.fns), row.fnr_pct),
+            fmt_n(row.not_gcd),
+        ]);
+        rows.push(vec![
+            format!("  paper"),
+            paper.0.into(),
+            paper.1.into(),
+            paper.2.into(),
+            paper.3.into(),
+            paper.4.into(),
+        ]);
+    }
+    r.table(
+        &[
+            "protocol",
+            "anycast-based",
+            "GCD_Ark",
+            "intersection",
+            "FNs (FNR%)",
+            "not GCD",
+        ],
+        &rows,
+    );
+    r.line(
+        "shape: anycast-based ≈ 2x GCD for v4 (FP mass), near-parity for v6; FNR a few percent.",
+    );
+    r
+}
+
+/// Table 3: agreement bucketed by receiving-VP count.
+pub fn t3(a: &Artifacts) -> Report {
+    let mut r = Report::new(
+        "t3",
+        "Table 3: anycast-based vs GCD by number of receiving VPs (ICMPv4)",
+    );
+    let class = a.anycast_class(
+        a.world.std_platforms.production,
+        Protocol::Icmp,
+        IpVersion::V4,
+        1_000,
+        false,
+    );
+    let gcd = a.gcd_full_map(IpVersion::V4);
+    let rows_data = table3(&class.0, &gcd);
+    let paper: BTreeMap<&str, (&str, &str, &str, &str)> = [
+        ("2", ("12,099", "709", "11,390", "5.9%")),
+        ("3", ("602", "364", "238", "60.5%")),
+        ("4", ("418", "333", "85", "79.7%")),
+        ("5", ("439", "378", "61", "86.1%")),
+        ("5-10", ("1,147", "1,018", "129", "88.8%")),
+        ("10-15", ("848", "729", "119", "86.0%")),
+        ("15-20", ("4,775", "4,766", "9", "99.8%")),
+        ("20-25", ("2,822", "2,818", "4", "99.9%")),
+        ("25-32", ("2,078", "2,078", "0", "100.0%")),
+    ]
+    .into_iter()
+    .collect();
+    let mut rows = Vec::new();
+    let mut totals = (0usize, 0usize, 0usize);
+    for row in &rows_data {
+        totals.0 += row.candidates;
+        totals.1 += row.gcd_confirmed;
+        totals.2 += row.not_confirmed;
+        let p = paper
+            .get(row.bucket.as_str())
+            .copied()
+            .unwrap_or(("-", "-", "-", "-"));
+        rows.push(vec![
+            row.bucket.clone(),
+            fmt_n(row.candidates),
+            fmt_n(row.gcd_confirmed),
+            fmt_n(row.not_confirmed),
+            format!("{:.1}%", row.overlap_pct),
+            format!("{} / {} / {} / {}", p.0, p.1, p.2, p.3),
+        ]);
+    }
+    rows.push(vec![
+        "total".into(),
+        fmt_n(totals.0),
+        fmt_n(totals.1),
+        fmt_n(totals.2),
+        format!("{:.1}%", 100.0 * totals.1 as f64 / totals.0.max(1) as f64),
+        "25,228 / 13,193 / 12,035 / 52.3%".into(),
+    ]);
+    r.table(
+        &[
+            "# VPs",
+            "candidates",
+            "GCD-confirmed",
+            "not confirmed",
+            "overlap",
+            "paper (cand/conf/not/ovl)",
+        ],
+        &rows,
+    );
+    r.line("shape: disagreement concentrates at 2 VPs; >=15 VPs is near-perfectly confirmed.");
+    r
+}
+
+/// Table 4: replicability on the external ccTLD deployment.
+pub fn t4(a: &Artifacts) -> Report {
+    let mut r = Report::new(
+        "t4",
+        "Table 4: ATs found by our deployment vs the ccTLD deployment",
+    );
+    let mut rows = Vec::new();
+    for (family, paper) in [
+        (IpVersion::V4, ("25,324", "16,208", "13,912")),
+        (IpVersion::V6, ("6,996", "6,501", "6,255")),
+    ] {
+        let ours = a.anycast_class(
+            a.world.std_platforms.production,
+            Protocol::Icmp,
+            family,
+            1_000,
+            false,
+        );
+        let cctld = a.anycast_class(
+            a.world.std_platforms.cctld,
+            Protocol::Icmp,
+            family,
+            1_000,
+            false,
+        );
+        let s_ours: BTreeSet<PrefixKey> = ours.0.anycast_targets().into_iter().collect();
+        let s_cctld: BTreeSet<PrefixKey> = cctld.0.anycast_targets().into_iter().collect();
+        let inter = s_ours.intersection(&s_cctld).count();
+        rows.push(vec![
+            format!("ICMP{}", family.suffix()),
+            fmt_n(s_ours.len()),
+            fmt_n(s_cctld.len()),
+            fmt_n(inter),
+            format!("{} / {} / {}", paper.0, paper.1, paper.2),
+        ]);
+        if matches!(family, IpVersion::V4) {
+            // §5.4's diagnostic: non-intersecting ATs are dominated by 2-VP
+            // observations (platform-specific FPs).
+            let only_ours: Vec<PrefixKey> = s_ours.difference(&s_cctld).copied().collect();
+            let two_vp = only_ours
+                .iter()
+                .filter(|p| {
+                    matches!(
+                        ours.0.class_of(**p),
+                        laces_core::Class::Anycast { n_vps: 2 }
+                    )
+                })
+                .count();
+            r.line(format!(
+                "  v4 ATs only on our platform: {} ({}% at exactly 2 VPs; paper: >98%)",
+                fmt_n(only_ours.len()),
+                if only_ours.is_empty() {
+                    0
+                } else {
+                    100 * two_vp / only_ours.len()
+                }
+            ));
+            // Union recall against GCD_Ark (paper: 13,409 of 13,692 = 98.0%).
+            let gcd_set: BTreeSet<PrefixKey> = a
+                .gcd_full_map(IpVersion::V4)
+                .iter()
+                .filter(|(_, g)| g.class == GcdClass::Anycast)
+                .map(|(p, _)| *p)
+                .collect();
+            let union: BTreeSet<PrefixKey> = s_ours.union(&s_cctld).copied().collect();
+            let covered = gcd_set.intersection(&union).count();
+            r.line(format!(
+                "  union of ATs covers {} / {} GCD-confirmed prefixes ({:.1}%; paper 98.0%)",
+                fmt_n(covered),
+                fmt_n(gcd_set.len()),
+                100.0 * covered as f64 / gcd_set.len().max(1) as f64
+            ));
+        }
+    }
+    r.table(
+        &[
+            "protocol",
+            "our ATs",
+            "ccTLD ATs",
+            "intersection",
+            "paper (ours/ccTLD/inter)",
+        ],
+        &rows,
+    );
+    r
+}
+
+/// Table 5: deployment-size sweep.
+pub fn t5(a: &Artifacts) -> Report {
+    let mut r = Report::new(
+        "t5",
+        "Table 5: ATs, missed GCD-confirmed prefixes, and probing cost per deployment",
+    );
+    let gcd_set: BTreeSet<PrefixKey> = a
+        .gcd_full_map(IpVersion::V4)
+        .iter()
+        .filter(|(_, g)| g.class == GcdClass::Anycast)
+        .map(|(p, _)| *p)
+        .collect();
+    let mut rows = Vec::new();
+    let sweeps = [
+        (
+            a.world.std_platforms.eu_na,
+            "EU-NA",
+            "12,492 / 2,164 (15.8%) / 12M",
+        ),
+        (
+            a.world.std_platforms.one_per_continent,
+            "1-per-continent",
+            "14,221 / 1,311 (9.6%) / 35M",
+        ),
+        (
+            a.world.std_platforms.two_per_continent,
+            "2-per-continent",
+            "27,379 / 633 (4.6%) / 65M",
+        ),
+        (
+            a.world.std_platforms.cctld,
+            "ccTLD",
+            "16,208 / 632 (4.6%) / 71M",
+        ),
+        (
+            a.world.std_platforms.production,
+            "MAnycastR production",
+            "25,324 / 263 (1.9%) / 188M",
+        ),
+    ];
+    for (pid, name, paper) in sweeps {
+        let class = a.anycast_class(pid, Protocol::Icmp, IpVersion::V4, 1_000, false);
+        let ats: BTreeSet<PrefixKey> = class.0.anycast_targets().into_iter().collect();
+        let missed = gcd_set.difference(&ats).count();
+        rows.push(vec![
+            name.to_string(),
+            format!("{} VPs", a.world.platform(pid).n_vps()),
+            fmt_n(ats.len()),
+            format!(
+                "{} ({:.1}%)",
+                fmt_n(missed),
+                100.0 * missed as f64 / gcd_set.len().max(1) as f64
+            ),
+            fmt_n(class.1 as usize),
+            paper.to_string(),
+        ]);
+    }
+    let full = a.gcd_ark_full(IpVersion::V4);
+    rows.push(vec![
+        "GCD_Ark (full hitlist)".into(),
+        format!("{} VPs", full.n_vps),
+        fmt_n(gcd_set.len()),
+        "0 (0.0%)".into(),
+        fmt_n(full.probes_sent as usize),
+        "13,692 / 0 (0.0%) / 1,335M".into(),
+    ]);
+    r.table(
+        &[
+            "deployment",
+            "VPs",
+            "ATs",
+            "missed GCD-confirmed",
+            "probes",
+            "paper (ATs/missed/cost)",
+        ],
+        &rows,
+    );
+    r.line(
+        "shape: more VPs -> fewer misses; even 2 VPs catch most global anycast; FNs are regional.",
+    );
+    r
+}
+
+/// Table 6: largest ASes originating anycast prefixes.
+pub fn t6(a: &Artifacts) -> Report {
+    let mut r = Report::new("t6", "Table 6: largest anycast-originating ASes");
+    let table = bgp_table(&a.world);
+    let v4: BTreeSet<PrefixKey> = a
+        .gcd_full_map(IpVersion::V4)
+        .iter()
+        .filter(|(_, g)| g.class == GcdClass::Anycast)
+        .map(|(p, _)| *p)
+        .collect();
+    // IPv6 origins: census-detected /48s attributed via the registry (the
+    // simulator's v6 pfx2as).
+    let v6: BTreeMap<PrefixKey, u32> = a
+        .gcd_full_map(IpVersion::V6)
+        .iter()
+        .filter(|(_, g)| g.class == GcdClass::Anycast)
+        .filter_map(|(p, _)| {
+            let t = a.world.target(a.world.lookup(*p)?);
+            match t.kind {
+                TargetKind::Anycast { dep } => Some((*p, a.world.deployment(dep).asn)),
+                _ => None,
+            }
+        })
+        .collect();
+    let ranks = rank_asns(&v4, &v6, &table);
+    let names: BTreeMap<u32, &str> = [
+        (396_982u32, "Google Cloud"),
+        (13_335, "Cloudflare"),
+        (16_509, "Amazon"),
+        (54_113, "Fastly"),
+        (209_242, "Cloudflare Spectrum"),
+        (19_551, "Incapsula (Imperva)"),
+        (12_041, "Afilias"),
+        (44_273, "GoDaddy"),
+    ]
+    .into_iter()
+    .collect();
+    let paper: BTreeMap<u32, (&str, &str)> = [
+        (396_982u32, ("3,627", "5")),
+        (13_335, ("3,133", "284")),
+        (16_509, ("1,286", "120")),
+        (54_113, ("435", "65")),
+        (209_242, ("289", "3,338")),
+        (19_551, ("2", "352")),
+        (12_041, ("221", "222")),
+        (44_273, ("32", "122")),
+    ]
+    .into_iter()
+    .collect();
+    let mut rows = Vec::new();
+    for rank in ranks.iter().filter(|r| names.contains_key(&r.asn)) {
+        let p = paper[&rank.asn];
+        rows.push(vec![
+            rank.asn.to_string(),
+            names[&rank.asn].to_string(),
+            fmt_n(rank.v4),
+            fmt_n(rank.v6),
+            format!("{} / {}", p.0, p.1),
+        ]);
+    }
+    r.table(
+        &[
+            "AS",
+            "organization",
+            "IPv4 (/24)",
+            "IPv6 (/48)",
+            "paper (v4/v6)",
+        ],
+        &rows,
+    );
+    r.line(format!(
+        "hypergiant dominance: top-8 share of census = {:.0}% v4 (paper 59%), {:.0}% v6 (paper 63%)",
+        100.0 * top_k_share(&ranks, 8, true),
+        100.0 * top_k_share(&ranks, 8, false)
+    ));
+    r
+}
+
+/// Table 7 / Appendix D: BGPTools prefix-size breakdown.
+pub fn t7(a: &Artifacts) -> Report {
+    let mut r = Report::new(
+        "t7",
+        "Table 7: BGPTools announced prefixes vs our GCD verdicts per /24",
+    );
+    let class = a.anycast_class(
+        a.world.std_platforms.production,
+        Protocol::Icmp,
+        IpVersion::V4,
+        1_000,
+        false,
+    );
+    let table = bgp_table(&a.world);
+    let bt = laces_baselines::bgptools::bgptools_census(&class.0, &table);
+    let verdicts: BTreeMap<PrefixKey, GcdClass> = a
+        .gcd_full_map(IpVersion::V4)
+        .iter()
+        .map(|(p, g)| (*p, g.class))
+        .collect();
+    let rows_data = table7(&bt, &verdicts);
+    let mut rows = Vec::new();
+    let mut totals = (0usize, 0usize, 0usize, 0usize);
+    for row in &rows_data {
+        totals.0 += row.occurrence;
+        totals.1 += row.anycast;
+        totals.2 += row.unicast;
+        totals.3 += row.unresponsive;
+        rows.push(vec![
+            format!("/{}", row.len),
+            fmt_n(row.occurrence),
+            fmt_n(row.anycast),
+            fmt_n(row.unicast),
+            fmt_n(row.unresponsive),
+        ]);
+    }
+    rows.push(vec![
+        "total".into(),
+        fmt_n(totals.0),
+        fmt_n(totals.1),
+        fmt_n(totals.2),
+        fmt_n(totals.3),
+    ]);
+    r.table(
+        &[
+            "prefix size",
+            "occurrence",
+            "anycast /24s",
+            "unicast /24s",
+            "unresponsive /24s",
+        ],
+        &rows,
+    );
+    r.line("paper totals: 3,047 prefixes; 9,739 anycast; 8,038 unicast; 12,651 unresponsive /24s.");
+    r.line("shape: whole-prefix generalisation sweeps in thousands of unicast /24s.");
+    // §5.7's headline: BGPTools covers fewer GCD-confirmed /24s than us.
+    let gcd_confirmed: Vec<PrefixKey> = verdicts
+        .iter()
+        .filter(|(_, c)| **c == GcdClass::Anycast)
+        .map(|(p, _)| *p)
+        .collect();
+    let covered = gcd_confirmed
+        .iter()
+        .filter(|p| matches!(p, PrefixKey::V4(p24) if bt.covers(*p24)))
+        .count();
+    r.line(format!(
+        "GCD-confirmed /24s covered by BGPTools: {} / {} (paper: 9,739 / 13,495)",
+        fmt_n(covered),
+        fmt_n(gcd_confirmed.len())
+    ));
+    r
+}

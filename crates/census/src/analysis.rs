@@ -1,0 +1,332 @@
+//! Evaluation analyses: the computations behind Tables 2 and 3 and the
+//! protocol-intersection figures (Figs. 6 and 7).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use laces_core::classify::AnycastClassification;
+use laces_gcd::{GcdClass, PrefixGcd};
+use laces_packet::PrefixKey;
+use serde::{Deserialize, Serialize};
+
+/// Table 2: anycast-based candidates versus a full-hitlist GCD reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Protocol/family label ("ICMPv4").
+    pub label: String,
+    /// Anycast-based candidates.
+    pub anycast_based: usize,
+    /// GCD-detected anycast prefixes.
+    pub gcd: usize,
+    /// Intersection of the two.
+    pub intersection: usize,
+    /// GCD prefixes the anycast-based stage missed (false negatives).
+    pub fns: usize,
+    /// False-negative rate (fns / gcd), in percent.
+    pub fnr_pct: f64,
+    /// Anycast-based candidates not confirmed by GCD (mostly FPs).
+    pub not_gcd: usize,
+}
+
+/// Compute a Table 2 row from the anycast-based candidate set and a GCD
+/// reference over the same hitlist.
+pub fn table2(
+    label: &str,
+    class: &AnycastClassification,
+    gcd: &BTreeMap<PrefixKey, PrefixGcd>,
+) -> Table2Row {
+    let ats: BTreeSet<PrefixKey> = class.anycast_targets().into_iter().collect();
+    let gcd_set: BTreeSet<PrefixKey> = gcd
+        .iter()
+        .filter(|(_, r)| r.class == GcdClass::Anycast)
+        .map(|(p, _)| *p)
+        .collect();
+    let intersection = ats.intersection(&gcd_set).count();
+    let fns = gcd_set.len() - intersection;
+    Table2Row {
+        label: label.to_string(),
+        anycast_based: ats.len(),
+        gcd: gcd_set.len(),
+        intersection,
+        fns,
+        fnr_pct: if gcd_set.is_empty() {
+            0.0
+        } else {
+            100.0 * fns as f64 / gcd_set.len() as f64
+        },
+        not_gcd: ats.len() - intersection,
+    }
+}
+
+/// Table 3's VP-count buckets: 2, 3, 4, 5, (5,10], (10,15], (15,20],
+/// (20,25], (25,32].
+pub const VP_BUCKETS: [(&str, usize, usize); 9] = [
+    ("2", 2, 2),
+    ("3", 3, 3),
+    ("4", 4, 4),
+    ("5", 5, 5),
+    ("5-10", 6, 10),
+    ("10-15", 11, 15),
+    ("15-20", 16, 20),
+    ("20-25", 21, 25),
+    ("25-32", 26, 64),
+];
+
+/// One row of Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Bucket label.
+    pub bucket: String,
+    /// Candidates whose responses reached this many VPs.
+    pub candidates: usize,
+    /// Of those, confirmed anycast by GCD.
+    pub gcd_confirmed: usize,
+    /// Not confirmed by GCD.
+    pub not_confirmed: usize,
+    /// Overlap percentage.
+    pub overlap_pct: f64,
+}
+
+/// Bucket anycast-based candidates by receiving-VP count and split by GCD
+/// confirmation (Table 3).
+pub fn table3(
+    class: &AnycastClassification,
+    gcd: &BTreeMap<PrefixKey, PrefixGcd>,
+) -> Vec<Table3Row> {
+    let confirmed: BTreeSet<PrefixKey> = gcd
+        .iter()
+        .filter(|(_, r)| r.class == GcdClass::Anycast)
+        .map(|(p, _)| *p)
+        .collect();
+    let mut rows: Vec<Table3Row> = VP_BUCKETS
+        .iter()
+        .map(|(label, _, _)| Table3Row {
+            bucket: label.to_string(),
+            candidates: 0,
+            gcd_confirmed: 0,
+            not_confirmed: 0,
+            overlap_pct: 0.0,
+        })
+        .collect();
+    for (prefix, obs) in &class.observations {
+        let n = obs.rx_workers.len();
+        if n < 2 {
+            continue;
+        }
+        let Some(i) = VP_BUCKETS
+            .iter()
+            .position(|(_, lo, hi)| (*lo..=*hi).contains(&n))
+        else {
+            continue;
+        };
+        rows[i].candidates += 1;
+        if confirmed.contains(prefix) {
+            rows[i].gcd_confirmed += 1;
+        } else {
+            rows[i].not_confirmed += 1;
+        }
+    }
+    for r in &mut rows {
+        r.overlap_pct = if r.candidates == 0 {
+            0.0
+        } else {
+            100.0 * r.gcd_confirmed as f64 / r.candidates as f64
+        };
+    }
+    rows
+}
+
+/// The seven regions of a three-set intersection (Figs. 6 and 7).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolIntersections {
+    /// Detected only by ICMP.
+    pub icmp_only: usize,
+    /// Detected only by TCP.
+    pub tcp_only: usize,
+    /// Detected only by UDP.
+    pub udp_only: usize,
+    /// ICMP ∩ TCP, not UDP.
+    pub icmp_tcp: usize,
+    /// ICMP ∩ UDP, not TCP.
+    pub icmp_udp: usize,
+    /// TCP ∩ UDP, not ICMP.
+    pub tcp_udp: usize,
+    /// All three.
+    pub all: usize,
+}
+
+impl ProtocolIntersections {
+    /// Total ICMP detections.
+    pub fn icmp_total(&self) -> usize {
+        self.icmp_only + self.icmp_tcp + self.icmp_udp + self.all
+    }
+
+    /// Total TCP detections.
+    pub fn tcp_total(&self) -> usize {
+        self.tcp_only + self.icmp_tcp + self.tcp_udp + self.all
+    }
+
+    /// Total UDP detections.
+    pub fn udp_total(&self) -> usize {
+        self.udp_only + self.icmp_udp + self.tcp_udp + self.all
+    }
+
+    /// Union of all three.
+    pub fn union(&self) -> usize {
+        self.icmp_only
+            + self.tcp_only
+            + self.udp_only
+            + self.icmp_tcp
+            + self.icmp_udp
+            + self.tcp_udp
+            + self.all
+    }
+}
+
+/// Compute the intersection regions of three candidate sets.
+pub fn protocol_intersections(
+    icmp: &BTreeSet<PrefixKey>,
+    tcp: &BTreeSet<PrefixKey>,
+    udp: &BTreeSet<PrefixKey>,
+) -> ProtocolIntersections {
+    let mut out = ProtocolIntersections::default();
+    let union: BTreeSet<PrefixKey> = icmp.union(tcp).chain(udp).copied().collect();
+    for p in union {
+        match (icmp.contains(&p), tcp.contains(&p), udp.contains(&p)) {
+            (true, false, false) => out.icmp_only += 1,
+            (false, true, false) => out.tcp_only += 1,
+            (false, false, true) => out.udp_only += 1,
+            (true, true, false) => out.icmp_tcp += 1,
+            (true, false, true) => out.icmp_udp += 1,
+            (false, true, true) => out.tcp_udp += 1,
+            (true, true, true) => out.all += 1,
+            (false, false, false) => unreachable!("p came from the union"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_core::results::{MeasurementOutcome, ProbeRecord};
+    use laces_gcd::enumerate::enumerate;
+    use laces_netsim::PlatformId;
+    use laces_packet::Protocol;
+
+    fn key(s: &str) -> PrefixKey {
+        PrefixKey::of(s.parse().unwrap())
+    }
+
+    fn class_with(prefix_vps: &[(&str, usize)]) -> AnycastClassification {
+        let mut records = Vec::new();
+        for (p, n) in prefix_vps {
+            for w in 0..*n {
+                records.push(ProbeRecord {
+                    prefix: key(p),
+                    protocol: Protocol::Icmp,
+                    rx_worker: w as u16,
+                    tx_worker: Some(0),
+                    tx_time_ms: Some(0),
+                    rx_time_ms: 1,
+                    chaos_identity: None,
+                });
+            }
+        }
+        AnycastClassification::from_outcome(&MeasurementOutcome {
+            measurement_id: 1,
+            platform: PlatformId(0),
+            protocol: Protocol::Icmp,
+            n_workers: 32,
+            probes_sent: 0,
+            n_targets: prefix_vps.len(),
+            records,
+            failed_workers: vec![],
+        })
+    }
+
+    fn gcd_with(anycast: &[&str], unicast: &[&str]) -> BTreeMap<PrefixKey, PrefixGcd> {
+        let db = laces_geo::CityDb::embedded();
+        let mut m = BTreeMap::new();
+        for p in anycast {
+            m.insert(
+                key(p),
+                PrefixGcd {
+                    class: GcdClass::Anycast,
+                    enumeration: enumerate(&[], &db),
+                },
+            );
+        }
+        for p in unicast {
+            m.insert(
+                key(p),
+                PrefixGcd {
+                    class: GcdClass::Unicast,
+                    enumeration: enumerate(&[], &db),
+                },
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn table2_arithmetic() {
+        let class = class_with(&[("10.0.0.1", 5), ("10.0.1.1", 2), ("10.0.2.1", 1)]);
+        // GCD finds 10.0.0.0/24 and 10.0.9.0/24 (the latter missed by the
+        // anycast stage), and says 10.0.1.0/24 is unicast.
+        let gcd = gcd_with(&["10.0.0.1", "10.0.9.1"], &["10.0.1.1"]);
+        let row = table2("ICMPv4", &class, &gcd);
+        assert_eq!(row.anycast_based, 2);
+        assert_eq!(row.gcd, 2);
+        assert_eq!(row.intersection, 1);
+        assert_eq!(row.fns, 1);
+        assert_eq!(row.not_gcd, 1);
+        assert!((row.fnr_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_buckets() {
+        let class = class_with(&[
+            ("10.0.0.1", 2),
+            ("10.0.1.1", 2),
+            ("10.0.2.1", 7),
+            ("10.0.3.1", 30),
+            ("10.0.4.1", 1), // unicast: not a candidate
+        ]);
+        let gcd = gcd_with(&["10.0.1.1", "10.0.2.1", "10.0.3.1"], &["10.0.0.1"]);
+        let rows = table3(&class, &gcd);
+        let by: BTreeMap<&str, &Table3Row> = rows.iter().map(|r| (r.bucket.as_str(), r)).collect();
+        assert_eq!(by["2"].candidates, 2);
+        assert_eq!(by["2"].gcd_confirmed, 1);
+        assert_eq!(by["2"].not_confirmed, 1);
+        assert!((by["2"].overlap_pct - 50.0).abs() < 1e-9);
+        assert_eq!(by["5-10"].candidates, 1);
+        assert_eq!(by["25-32"].candidates, 1);
+        assert_eq!(by["25-32"].overlap_pct, 100.0);
+        let total: usize = rows.iter().map(|r| r.candidates).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn intersections_partition_the_union() {
+        let icmp: BTreeSet<PrefixKey> = ["10.0.0.1", "10.0.1.1", "10.0.2.1", "10.0.3.1"]
+            .iter()
+            .map(|s| key(s))
+            .collect();
+        let tcp: BTreeSet<PrefixKey> = ["10.0.1.1", "10.0.2.1", "10.0.4.1"]
+            .iter()
+            .map(|s| key(s))
+            .collect();
+        let udp: BTreeSet<PrefixKey> = ["10.0.2.1", "10.0.5.1"].iter().map(|s| key(s)).collect();
+        let x = protocol_intersections(&icmp, &tcp, &udp);
+        assert_eq!(x.icmp_only, 2); // .0 and .3
+        assert_eq!(x.icmp_tcp, 1); // .1
+        assert_eq!(x.all, 1); // .2
+        assert_eq!(x.tcp_only, 1); // .4
+        assert_eq!(x.udp_only, 1); // .5
+        assert_eq!(x.tcp_udp, 0);
+        assert_eq!(x.union(), 6);
+        assert_eq!(x.icmp_total(), icmp.len());
+        assert_eq!(x.tcp_total(), tcp.len());
+        assert_eq!(x.udp_total(), udp.len());
+    }
+}

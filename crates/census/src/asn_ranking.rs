@@ -1,0 +1,109 @@
+//! ASN ranking of anycast originators (Table 6).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use laces_netsim::bgp::BgpTable;
+use laces_packet::PrefixKey;
+use serde::{Deserialize, Serialize};
+
+/// One ranked origin AS.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsnRank {
+    /// Origin ASN.
+    pub asn: u32,
+    /// Anycast IPv4 `/24`s originated.
+    pub v4: usize,
+    /// Anycast IPv6 `/48`s originated.
+    pub v6: usize,
+}
+
+/// Rank origin ASes by the number of anycast prefixes they originate.
+///
+/// IPv4 origins come from the announced-prefix table (pfx2as); IPv6
+/// origins are supplied directly (the simulator's v6 table is the
+/// deployment registry itself).
+pub fn rank_asns(
+    v4_anycast: &BTreeSet<PrefixKey>,
+    v6_origins: &BTreeMap<PrefixKey, u32>,
+    table: &BgpTable,
+) -> Vec<AsnRank> {
+    let mut counts: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+    for p in v4_anycast {
+        if let PrefixKey::V4(p24) = p {
+            if let Some(a) = table.covering(*p24) {
+                counts.entry(a.asn).or_default().0 += 1;
+            }
+        }
+    }
+    for (p, asn) in v6_origins {
+        if matches!(p, PrefixKey::V6(_)) {
+            counts.entry(*asn).or_default().1 += 1;
+        }
+    }
+    let mut out: Vec<AsnRank> = counts
+        .into_iter()
+        .map(|(asn, (v4, v6))| AsnRank { asn, v4, v6 })
+        .collect();
+    out.sort_by(|a, b| (b.v4 + b.v6).cmp(&(a.v4 + a.v6)).then(a.asn.cmp(&b.asn)));
+    out
+}
+
+/// Share of the census held by the top `k` ASes (the hypergiant-dominance
+/// statistic: the paper reports 59% of IPv4 and 63% of IPv6).
+pub fn top_k_share(ranks: &[AsnRank], k: usize, v4: bool) -> f64 {
+    let total: usize = ranks.iter().map(|r| if v4 { r.v4 } else { r.v6 }).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut by: Vec<usize> = ranks.iter().map(|r| if v4 { r.v4 } else { r.v6 }).collect();
+    by.sort_unstable_by(|a, b| b.cmp(a));
+    by.iter().take(k).sum::<usize>() as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_netsim::{bgp_table, TargetKind, World, WorldConfig};
+
+    #[test]
+    fn ranking_reflects_ground_truth_skew() {
+        let w = World::generate(WorldConfig::tiny());
+        let table = bgp_table(&w);
+        // Use ground truth as the "census" to isolate the ranking logic.
+        let v4: BTreeSet<PrefixKey> = w
+            .targets
+            .iter()
+            .filter(|t| {
+                matches!(t.kind, TargetKind::Anycast { .. }) && t.prefix.is_v4() && t.temp.is_none()
+            })
+            .map(|t| t.prefix)
+            .collect();
+        let v6: BTreeMap<PrefixKey, u32> = w
+            .targets
+            .iter()
+            .filter_map(|t| match t.kind {
+                TargetKind::Anycast { dep } if !t.prefix.is_v4() => {
+                    Some((t.prefix, w.deployment(dep).asn))
+                }
+                _ => None,
+            })
+            .collect();
+        let ranks = rank_asns(&v4, &v6, &table);
+        assert!(!ranks.is_empty());
+        // The Table 6 ASNs must appear.
+        let asns: Vec<u32> = ranks.iter().map(|r| r.asn).collect();
+        assert!(asns.contains(&396_982), "Google Cloud missing");
+        assert!(asns.contains(&13_335), "Cloudflare missing");
+        // Totals conserve.
+        let v4_total: usize = ranks.iter().map(|r| r.v4).sum();
+        assert_eq!(v4_total, v4.len());
+        // Dominance: the top ASes hold a large share.
+        assert!(top_k_share(&ranks, 8, true) > 0.3);
+        assert!(top_k_share(&ranks, 8, false) > 0.5);
+    }
+
+    #[test]
+    fn top_k_share_of_empty_is_zero() {
+        assert_eq!(top_k_share(&[], 5, true), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! The anycast-target (AT) list and its feedback loop (Fig. 3's purple
+//! arrow).
+//!
+//! The anycast-based stage produces candidates; the GCD stage confirms
+//! them. Prefixes the anycast-based stage *misses* (its false negatives,
+//! mostly regional anycast) would never be GCD-probed — so GCD-confirmed
+//! prefixes from previous days and from bi-annual full-hitlist GCD scans
+//! are fed back into the AT list, ensuring continued coverage.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use laces_packet::PrefixKey;
+use serde::{Deserialize, Serialize};
+
+/// Where an AT-list entry came from (kept for accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AtSource {
+    /// Today's anycast-based stage.
+    AnycastStage,
+    /// A previous day's GCD confirmation.
+    DailyGcdFeedback,
+    /// A bi-annual full-hitlist GCD scan.
+    FullScanFeedback,
+    /// Operator ground truth shared with the project.
+    OperatorGroundTruth,
+}
+
+/// The persistent AT list.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AtList {
+    entries: BTreeMap<PrefixKey, AtSource>,
+}
+
+impl AtList {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert prefixes from a source. Existing entries keep their original
+    /// (higher-provenance) source unless the new source is stronger
+    /// (ordering: anycast stage < daily feedback < full scan < operator).
+    pub fn merge<I: IntoIterator<Item = PrefixKey>>(&mut self, prefixes: I, source: AtSource) {
+        for p in prefixes {
+            let e = self.entries.entry(p).or_insert(source);
+            if source > *e {
+                *e = source;
+            }
+        }
+    }
+
+    /// All prefixes.
+    pub fn prefixes(&self) -> impl Iterator<Item = PrefixKey> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: PrefixKey) -> bool {
+        self.entries.contains_key(&p)
+    }
+
+    /// Size.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries contributed purely by feedback (not today's candidates):
+    /// these are the anycast-based stage's covered false negatives.
+    pub fn feedback_only(&self, todays_candidates: &BTreeSet<PrefixKey>) -> Vec<PrefixKey> {
+        self.entries
+            .keys()
+            .filter(|p| !todays_candidates.contains(p))
+            .copied()
+            .collect()
+    }
+
+    /// Count per source.
+    pub fn source_counts(&self) -> BTreeMap<AtSource, usize> {
+        let mut m = BTreeMap::new();
+        for s in self.entries.values() {
+            *m.entry(*s).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PrefixKey {
+        PrefixKey::of(s.parse().unwrap())
+    }
+
+    #[test]
+    fn merge_and_membership() {
+        let mut at = AtList::new();
+        at.merge([p("10.0.0.1"), p("10.0.1.1")], AtSource::AnycastStage);
+        assert_eq!(at.len(), 2);
+        assert!(at.contains(p("10.0.0.9")));
+        assert!(!at.contains(p("10.9.0.1")));
+    }
+
+    #[test]
+    fn stronger_provenance_wins() {
+        let mut at = AtList::new();
+        at.merge([p("10.0.0.1")], AtSource::AnycastStage);
+        at.merge([p("10.0.0.1")], AtSource::FullScanFeedback);
+        assert_eq!(at.source_counts()[&AtSource::FullScanFeedback], 1);
+        // And never downgraded.
+        at.merge([p("10.0.0.1")], AtSource::AnycastStage);
+        assert_eq!(at.source_counts()[&AtSource::FullScanFeedback], 1);
+    }
+
+    #[test]
+    fn feedback_only_identifies_covered_fns() {
+        let mut at = AtList::new();
+        at.merge([p("10.0.0.1")], AtSource::AnycastStage);
+        at.merge([p("10.0.1.1"), p("10.0.2.1")], AtSource::DailyGcdFeedback);
+        let today: BTreeSet<PrefixKey> = [p("10.0.0.1"), p("10.0.1.1")].into_iter().collect();
+        assert_eq!(at.feedback_only(&today), vec![p("10.0.2.1")]);
+    }
+}

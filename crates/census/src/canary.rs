@@ -1,0 +1,158 @@
+//! Canary measurements: platform self-monitoring (§6 future work: "add
+//! support for a canary anycast deployment to detect outages").
+//!
+//! A daily census is only as healthy as its platform. The canary check
+//! runs a small measurement over a stable reference set (GCD-confirmed
+//! anycast plus a slice of stable unicast) and compares each worker's
+//! capture share against a baseline day: a site whose share collapses has
+//! an outage (or lost its announcement) and the day's census should be
+//! treated accordingly.
+
+use std::collections::BTreeMap;
+
+use laces_core::results::MeasurementOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Per-site capture counts from a canary measurement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CanarySnapshot {
+    /// Captures per worker site.
+    pub captures: BTreeMap<u16, u64>,
+    /// Workers that reported failure during the measurement.
+    pub failed_workers: Vec<u16>,
+    /// Total captures.
+    pub total: u64,
+}
+
+impl CanarySnapshot {
+    /// Summarise a measurement outcome.
+    pub fn from_outcome(outcome: &MeasurementOutcome) -> Self {
+        let mut captures: BTreeMap<u16, u64> = BTreeMap::new();
+        for w in 0..outcome.n_workers as u16 {
+            captures.insert(w, 0);
+        }
+        for r in &outcome.records {
+            *captures.entry(r.rx_worker).or_insert(0) += 1;
+        }
+        CanarySnapshot {
+            total: outcome.records.len() as u64,
+            failed_workers: outcome.failed_workers.clone(),
+            captures,
+        }
+    }
+}
+
+/// An outage alarm for one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutageAlarm {
+    /// The affected worker site.
+    pub worker: u16,
+    /// Baseline capture share.
+    pub baseline_share: f64,
+    /// Observed capture share.
+    pub observed_share: f64,
+    /// Whether the worker itself reported a failure (hard outage) as
+    /// opposed to silently losing its catchment (announcement problem).
+    pub self_reported: bool,
+}
+
+/// Compare a canary snapshot against a baseline; alarm on every site whose
+/// capture share fell below `threshold` (fraction, e.g. 0.25) of its
+/// baseline share, and on every self-reported failure.
+pub fn detect_outages(
+    baseline: &CanarySnapshot,
+    today: &CanarySnapshot,
+    threshold: f64,
+) -> Vec<OutageAlarm> {
+    let mut alarms = Vec::new();
+    for (&worker, &base_n) in &baseline.captures {
+        let base_share = if baseline.total == 0 {
+            0.0
+        } else {
+            base_n as f64 / baseline.total as f64
+        };
+        if base_share <= 0.0 {
+            continue; // site never captured anything; nothing to compare
+        }
+        let obs_n = today.captures.get(&worker).copied().unwrap_or(0);
+        let obs_share = if today.total == 0 {
+            0.0
+        } else {
+            obs_n as f64 / today.total as f64
+        };
+        let self_reported = today.failed_workers.contains(&worker);
+        if self_reported || obs_share < base_share * threshold {
+            alarms.push(OutageAlarm {
+                worker,
+                baseline_share: base_share,
+                observed_share: obs_share,
+                self_reported,
+            });
+        }
+    }
+    alarms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_core::orchestrator::run_measurement;
+    use laces_core::spec::{FailureInjection, MeasurementSpec};
+    use laces_netsim::{World, WorldConfig};
+    use laces_packet::Protocol;
+    use std::sync::Arc;
+
+    fn snapshot(world: &Arc<World>, id: u32, fail: Option<FailureInjection>) -> CanarySnapshot {
+        let targets = Arc::new(laces_hitlist::build_v4(world).addresses());
+        let mut spec = MeasurementSpec::census(
+            id,
+            world.std_platforms.production,
+            Protocol::Icmp,
+            targets,
+            0,
+        );
+        spec.fail = fail;
+        CanarySnapshot::from_outcome(&run_measurement(world, &spec))
+    }
+
+    #[test]
+    fn healthy_platform_raises_no_alarms() {
+        let world = Arc::new(World::generate(WorldConfig::tiny()));
+        let baseline = snapshot(&world, 6_000, None);
+        let today = snapshot(&world, 6_001, None);
+        let alarms = detect_outages(&baseline, &today, 0.25);
+        assert!(alarms.is_empty(), "false alarms: {alarms:?}");
+    }
+
+    #[test]
+    fn injected_worker_failure_is_detected() {
+        let world = Arc::new(World::generate(WorldConfig::tiny()));
+        let baseline = snapshot(&world, 6_002, None);
+        // Worker 7 dies almost immediately: its captures are lost.
+        let today = snapshot(
+            &world,
+            6_003,
+            Some(FailureInjection {
+                worker: 7,
+                after_orders: 5,
+            }),
+        );
+        let alarms = detect_outages(&baseline, &today, 0.25);
+        assert!(
+            alarms.iter().any(|a| a.worker == 7 && a.self_reported),
+            "worker 7 outage missed: {alarms:?}"
+        );
+        // And no flood of unrelated alarms.
+        assert!(alarms.len() <= 3, "too many alarms: {alarms:?}");
+    }
+
+    #[test]
+    fn empty_baseline_is_silent() {
+        let empty = CanarySnapshot {
+            captures: BTreeMap::new(),
+            failed_workers: vec![],
+            total: 0,
+        };
+        assert!(detect_outages(&empty, &empty, 0.25).is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! The CHAOS three-way comparison (Appendix C, Fig. 10).
+//!
+//! For the nameserver hitlist, three independent methodologies estimate
+//! "how many sites serve this address": distinct CHAOS identities, the
+//! anycast-based receiving-VP count, and the GCD enumeration. Comparing
+//! them shows the anycast-based count tracks the CHAOS "truth" most
+//! closely, and that CHAOS over-counts co-located farms.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use laces_baselines::chaos_detect::chaos_census;
+use laces_core::classify::AnycastClassification;
+use laces_core::orchestrator::run_measurement;
+use laces_core::spec::MeasurementSpec;
+use laces_gcd::engine::{run_campaign, GcdConfig};
+use laces_netsim::World;
+use laces_packet::{PrefixKey, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// Per-nameserver site-count estimates from the three methodologies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteCounts {
+    /// Distinct CHAOS identities observed.
+    pub chaos: usize,
+    /// Distinct receiving VPs in the anycast-based measurement.
+    pub anycast_based: usize,
+    /// GCD-enumerated sites.
+    pub gcd: usize,
+}
+
+/// Results of the CHAOS comparison campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosComparison {
+    /// Per-prefix counts (nameservers that answered CHAOS).
+    pub counts: BTreeMap<PrefixKey, SiteCounts>,
+}
+
+impl ChaosComparison {
+    /// Fig. 10's series: for each distinct CHAOS count, the mean
+    /// anycast-based and GCD counts among prefixes with that CHAOS count.
+    pub fn series(&self) -> Vec<(usize, f64, f64)> {
+        let mut groups: BTreeMap<usize, (f64, f64, usize)> = BTreeMap::new();
+        for c in self.counts.values() {
+            let e = groups.entry(c.chaos).or_insert((0.0, 0.0, 0));
+            e.0 += c.anycast_based as f64;
+            e.1 += c.gcd as f64;
+            e.2 += 1;
+        }
+        groups
+            .into_iter()
+            .map(|(chaos, (ab, g, n))| (chaos, ab / n as f64, g / n as f64))
+            .collect()
+    }
+}
+
+/// Run the three measurements over the nameserver hitlist and join them.
+pub fn run_chaos_comparison(world: &Arc<World>, base_id: u32, day: u32) -> ChaosComparison {
+    let hitlist = laces_hitlist::build_nameservers_v4(world);
+    let targets = Arc::new(hitlist.addresses());
+
+    // CHAOS queries from all workers.
+    let (chaos, _) = chaos_census(
+        world,
+        base_id,
+        world.std_platforms.production,
+        Arc::clone(&targets),
+        day,
+    );
+
+    // Separate synchronized anycast-based measurement (1 s offsets, App. C).
+    let spec = MeasurementSpec::census(
+        base_id + 1,
+        world.std_platforms.production,
+        Protocol::Udp,
+        Arc::clone(&targets),
+        day,
+    );
+    let anycast_class = AnycastClassification::from_outcome(&run_measurement(world, &spec));
+
+    // GCD measurement toward the same addresses.
+    let gcd = run_campaign(
+        world,
+        world.std_platforms.ark,
+        &targets,
+        &GcdConfig::daily(base_id + 2, day),
+    );
+
+    let mut counts = BTreeMap::new();
+    for (prefix, ids) in &chaos.identities {
+        if ids.is_empty() {
+            continue;
+        }
+        let anycast_based = anycast_class
+            .observations
+            .get(prefix)
+            .map_or(0, |o| o.rx_workers.len());
+        let gcd_sites = gcd.results.get(prefix).map_or(0, |r| r.n_sites());
+        counts.insert(
+            *prefix,
+            SiteCounts {
+                chaos: ids.len(),
+                anycast_based,
+                gcd: gcd_sites,
+            },
+        );
+    }
+    ChaosComparison { counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_netsim::{ChaosProfile, TargetKind, WorldConfig};
+
+    #[test]
+    fn comparison_joins_three_methodologies() {
+        let world = Arc::new(World::generate(WorldConfig::tiny()));
+        let cmp = run_chaos_comparison(&world, 7_000, 0);
+        assert!(!cmp.counts.is_empty());
+
+        // Anycast nameservers with many sites should show chaos >= 2 and a
+        // correlated anycast-based count.
+        let mut wide_checked = 0;
+        for (p, c) in &cmp.counts {
+            let t = world.target(world.lookup(*p).unwrap());
+            if let (Some(ChaosProfile::PerSite), TargetKind::Anycast { dep }) = (t.ns, &t.kind) {
+                if world.deployment(*dep).n_distinct_cities() >= 10 {
+                    assert!(c.chaos >= 2, "wide anycast NS shows one identity");
+                    wide_checked += 1;
+                }
+            }
+        }
+        assert!(wide_checked > 0);
+
+        // Colo nameservers: chaos >= 2 but anycast-based == 1 (the
+        // weak-indicator case).
+        let weak = cmp.counts.iter().any(|(p, c)| {
+            let t = world.target(world.lookup(*p).unwrap());
+            matches!(t.ns, Some(ChaosProfile::Colo(k)) if k >= 2)
+                && c.chaos >= 2
+                && c.anycast_based <= 1
+        });
+        assert!(
+            weak,
+            "expected colo NS with multiple CHAOS values at one VP"
+        );
+
+        // Series is well-formed.
+        let series = cmp.series();
+        assert!(!series.is_empty());
+        for (chaos, ab, gcd) in series {
+            assert!(chaos >= 1);
+            assert!(ab >= 0.0 && gcd >= 0.0);
+        }
+    }
+}

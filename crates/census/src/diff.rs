@@ -1,0 +1,182 @@
+//! Day-over-day census diffs.
+//!
+//! §5.8 notes that "a few anycast operators expanded their deployment
+//! during the census, which is visible in our longitudinal data" — the
+//! operational value of a *daily* census is exactly these diffs: prefixes
+//! turning anycast on or off, deployments growing or shrinking their
+//! enumerated site counts, and sites moving between metros.
+
+use std::collections::BTreeSet;
+
+use laces_packet::PrefixKey;
+use serde::{Deserialize, Serialize};
+
+use crate::record::DailyCensus;
+
+/// A change in one prefix's enumerated footprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FootprintChange {
+    /// The prefix.
+    pub prefix: PrefixKey,
+    /// Enumerated sites before.
+    pub sites_before: usize,
+    /// Enumerated sites after.
+    pub sites_after: usize,
+    /// Cities present after but not before.
+    pub cities_gained: Vec<String>,
+    /// Cities present before but not after.
+    pub cities_lost: Vec<String>,
+}
+
+/// The diff between two daily censuses.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CensusDiff {
+    /// GCD-confirmed prefixes that appeared (anycast turn-up, or detection
+    /// recovering).
+    pub appeared: BTreeSet<PrefixKey>,
+    /// GCD-confirmed prefixes that vanished (turn-down, outage, or loss).
+    pub disappeared: BTreeSet<PrefixKey>,
+    /// Prefixes confirmed on both days whose enumerated footprint changed.
+    pub footprint_changes: Vec<FootprintChange>,
+}
+
+impl CensusDiff {
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.appeared.is_empty() && self.disappeared.is_empty() && self.footprint_changes.is_empty()
+    }
+
+    /// Footprint changes that *grew* by at least `k` sites (deployment
+    /// expansions, §5.8).
+    pub fn expansions(&self, k: usize) -> Vec<&FootprintChange> {
+        self.footprint_changes
+            .iter()
+            .filter(|c| c.sites_after >= c.sites_before + k)
+            .collect()
+    }
+}
+
+/// Diff two censuses (GCD view).
+pub fn diff(before: &DailyCensus, after: &DailyCensus) -> CensusDiff {
+    let b: BTreeSet<PrefixKey> = before.gcd_confirmed().into_iter().collect();
+    let a: BTreeSet<PrefixKey> = after.gcd_confirmed().into_iter().collect();
+    let mut out = CensusDiff {
+        appeared: a.difference(&b).copied().collect(),
+        disappeared: b.difference(&a).copied().collect(),
+        footprint_changes: Vec::new(),
+    };
+    for p in b.intersection(&a) {
+        let (Some(rb), Some(ra)) = (before.records.get(p), after.records.get(p)) else {
+            continue;
+        };
+        let (Some(gb), Some(ga)) = (&rb.gcd, &ra.gcd) else {
+            continue;
+        };
+        let cities_b: BTreeSet<&String> = gb.cities.iter().collect();
+        let cities_a: BTreeSet<&String> = ga.cities.iter().collect();
+        if gb.n_sites != ga.n_sites || cities_b != cities_a {
+            out.footprint_changes.push(FootprintChange {
+                prefix: *p,
+                sites_before: gb.n_sites,
+                sites_after: ga.n_sites,
+                cities_gained: cities_a
+                    .difference(&cities_b)
+                    .map(|s| (*s).clone())
+                    .collect(),
+                cities_lost: cities_b
+                    .difference(&cities_a)
+                    .map(|s| (*s).clone())
+                    .collect(),
+            });
+        }
+    }
+    out.footprint_changes.sort_by_key(|c| c.prefix);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CensusRecord, CensusStats, GcdSummary};
+    use laces_core::classify::Class;
+    use laces_gcd::GcdClass;
+    use laces_packet::Protocol;
+    use std::collections::BTreeMap;
+
+    fn census(entries: &[(u32, usize, &[&str])]) -> DailyCensus {
+        let mut records = BTreeMap::new();
+        for &(i, n_sites, cities) in entries {
+            let prefix = PrefixKey::V4(laces_packet::Prefix24::from_network(i << 8));
+            let mut anycast_based = BTreeMap::new();
+            anycast_based.insert(Protocol::Icmp, Class::Anycast { n_vps: n_sites });
+            records.insert(
+                prefix,
+                CensusRecord {
+                    prefix,
+                    anycast_based,
+                    gcd: Some(GcdSummary {
+                        class: GcdClass::Anycast,
+                        n_sites,
+                        cities: cities.iter().map(|s| s.to_string()).collect(),
+                    }),
+                    partial: false,
+                },
+            );
+        }
+        DailyCensus {
+            day: 0,
+            records,
+            stats: CensusStats::default(),
+        }
+    }
+
+    fn key(i: u32) -> PrefixKey {
+        PrefixKey::V4(laces_packet::Prefix24::from_network(i << 8))
+    }
+
+    #[test]
+    fn identical_censuses_diff_empty() {
+        let c = census(&[(1, 3, &["Tokyo", "Paris"])]);
+        assert!(diff(&c, &c).is_empty());
+    }
+
+    #[test]
+    fn appearance_and_disappearance() {
+        let before = census(&[(1, 3, &["Tokyo"])]);
+        let after = census(&[(2, 2, &["Paris"])]);
+        let d = diff(&before, &after);
+        assert_eq!(d.appeared, [key(2)].into_iter().collect());
+        assert_eq!(d.disappeared, [key(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn expansion_detected_with_cities() {
+        let before = census(&[(1, 3, &["Tokyo", "Paris"])]);
+        let after = census(&[(1, 5, &["Tokyo", "Paris", "Sydney"])]);
+        let d = diff(&before, &after);
+        assert_eq!(d.footprint_changes.len(), 1);
+        let c = &d.footprint_changes[0];
+        assert_eq!((c.sites_before, c.sites_after), (3, 5));
+        assert_eq!(c.cities_gained, vec!["Sydney".to_string()]);
+        assert!(c.cities_lost.is_empty());
+        assert_eq!(d.expansions(2).len(), 1);
+        assert!(d.expansions(3).is_empty());
+    }
+
+    #[test]
+    fn city_move_without_count_change_is_a_footprint_change() {
+        let before = census(&[(1, 2, &["Tokyo", "Paris"])]);
+        let after = census(&[(1, 2, &["Tokyo", "Madrid"])]);
+        let d = diff(&before, &after);
+        assert_eq!(d.footprint_changes.len(), 1);
+        assert_eq!(
+            d.footprint_changes[0].cities_gained,
+            vec!["Madrid".to_string()]
+        );
+        assert_eq!(
+            d.footprint_changes[0].cities_lost,
+            vec!["Paris".to_string()]
+        );
+        assert!(d.expansions(1).is_empty());
+    }
+}

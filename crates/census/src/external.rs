@@ -1,0 +1,228 @@
+//! External-dataset comparisons (§5.7, Appendix D).
+//!
+//! Two third-party anycast datasets are compared against the census:
+//!
+//! * **IPInfo** — a commercial database built from *weekly* snapshots; the
+//!   coarser cadence inflates its counts with temporary anycast that the
+//!   daily census sees come and go. We synthesise the IPInfo view from
+//!   ground truth with exactly that bias (a prefix is listed if it was
+//!   anycast at any point in the preceding week) plus the regional blind
+//!   spot the paper observed in the other direction.
+//! * **BGPTools** — produced by [`laces_baselines::bgptools`]; here we
+//!   aggregate its announced-prefix verdicts against the census's
+//!   GCD verdicts per `/24` (Table 7).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use laces_baselines::bgptools::BgpToolsCensus;
+use laces_gcd::GcdClass;
+use laces_netsim::rng;
+use laces_netsim::{TargetKind, World};
+use laces_packet::PrefixKey;
+use serde::{Deserialize, Serialize};
+
+/// The synthesised IPInfo-style dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IpInfoDataset {
+    /// IPv4 `/24`s listed as anycast.
+    pub v4: BTreeSet<PrefixKey>,
+    /// IPv6 `/48`s listed as anycast.
+    pub v6: BTreeSet<PrefixKey>,
+}
+
+/// Build the IPInfo-style weekly-snapshot view for the week ending at
+/// `day`.
+///
+/// Biases modelled: (1) weekly cadence — anything anycast on *any* of the
+/// last seven days is listed, which sweeps in temporary anycast; (2) a
+/// miss-rate for regional deployments, which single-digit-VP commercial
+/// scanners under-detect.
+pub fn ipinfo_dataset(world: &World, day: u32) -> IpInfoDataset {
+    let week = day.saturating_sub(6)..=day;
+    let mut v4 = BTreeSet::new();
+    let mut v6 = BTreeSet::new();
+    for (i, t) in world.targets.iter().enumerate() {
+        let anycast_any_day = week.clone().any(|d| t.any_anycast_on(d));
+        if !anycast_any_day {
+            continue;
+        }
+        // Regional deployments: commercial scanners miss a sizable share.
+        if let TargetKind::Anycast { dep } | TargetKind::PartialAnycast { dep, .. } = t.kind {
+            if world.deployment(dep).regional {
+                let u = rng::unit_f64(rng::key(world.cfg.seed, &[0x19F0, i as u64]));
+                if u < 0.55 {
+                    continue;
+                }
+            }
+        }
+        match t.prefix {
+            PrefixKey::V4(_) => v4.insert(t.prefix),
+            PrefixKey::V6(_) => v6.insert(t.prefix),
+        };
+    }
+    IpInfoDataset { v4, v6 }
+}
+
+/// Two-set comparison summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetComparison {
+    /// Our census count.
+    pub ours: usize,
+    /// The external dataset's count.
+    pub theirs: usize,
+    /// Intersection.
+    pub both: usize,
+    /// Only in ours.
+    pub only_ours: usize,
+    /// Only in theirs.
+    pub only_theirs: usize,
+}
+
+/// Compare two prefix sets.
+pub fn compare_sets(ours: &BTreeSet<PrefixKey>, theirs: &BTreeSet<PrefixKey>) -> SetComparison {
+    let both = ours.intersection(theirs).count();
+    SetComparison {
+        ours: ours.len(),
+        theirs: theirs.len(),
+        both,
+        only_ours: ours.len() - both,
+        only_theirs: theirs.len() - both,
+    }
+}
+
+/// One row of Table 7: BGPTools announced prefixes of one length, with the
+/// census's GCD verdict tallied over the contained `/24`s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table7Row {
+    /// Announced prefix length.
+    pub len: u8,
+    /// Number of announcements of this length marked anycast by BGPTools.
+    pub occurrence: usize,
+    /// Contained `/24`s confirmed anycast by GCD.
+    pub anycast: usize,
+    /// Contained `/24`s responsive but not anycast per GCD.
+    pub unicast: usize,
+    /// Contained `/24`s unresponsive to the GCD scan.
+    pub unresponsive: usize,
+}
+
+/// Compute Table 7 from a BGPTools-style census and per-`/24` GCD
+/// verdicts (`None` for `/24`s outside the GCD target set counts as
+/// unresponsive, as the paper's census treats unprobed space).
+pub fn table7(
+    bgptools: &BgpToolsCensus,
+    gcd_verdicts: &BTreeMap<PrefixKey, GcdClass>,
+) -> Vec<Table7Row> {
+    let mut rows: BTreeMap<u8, Table7Row> = BTreeMap::new();
+    for c in &bgptools.prefixes {
+        let row = rows.entry(c.len()).or_insert(Table7Row {
+            len: c.len(),
+            occurrence: 0,
+            anycast: 0,
+            unicast: 0,
+            unresponsive: 0,
+        });
+        row.occurrence += 1;
+        for p24 in c.iter_24s() {
+            match gcd_verdicts.get(&PrefixKey::V4(p24)) {
+                Some(GcdClass::Anycast) => row.anycast += 1,
+                Some(GcdClass::Unicast) => row.unicast += 1,
+                Some(GcdClass::Unresponsive) | None => row.unresponsive += 1,
+            }
+        }
+    }
+    rows.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_netsim::WorldConfig;
+    use laces_packet::Cidr4;
+
+    #[test]
+    fn ipinfo_includes_temporary_anycast() {
+        let world = World::generate(WorldConfig::tiny());
+        // Pick a day where some temporary prefix is inactive but was active
+        // earlier in the week.
+        let temp: Vec<&laces_netsim::Target> = world
+            .targets
+            .iter()
+            .filter(|t| t.temp.is_some() && matches!(t.kind, TargetKind::Anycast { .. }))
+            .collect();
+        assert!(!temp.is_empty());
+        let t = temp[0];
+        let sched = t.temp.unwrap();
+        // Find a day where it is inactive today but active within the week.
+        let day = (0..40)
+            .find(|&d| !sched.active_on(d) && (d.saturating_sub(6)..=d).any(|x| sched.active_on(x)))
+            .expect("schedule has such a day");
+        let ds = ipinfo_dataset(&world, day);
+        assert!(
+            ds.v4.contains(&t.prefix) || ds.v6.contains(&t.prefix),
+            "weekly snapshot should retain temporary anycast"
+        );
+        assert!(
+            !t.any_anycast_on(day),
+            "but the daily census sees it unicast today"
+        );
+    }
+
+    #[test]
+    fn set_comparison_arithmetic() {
+        let a: BTreeSet<PrefixKey> = [1u32, 2, 3]
+            .iter()
+            .map(|i| PrefixKey::V4(laces_packet::Prefix24::from_network(i << 8)))
+            .collect();
+        let b: BTreeSet<PrefixKey> = [2u32, 3, 4, 5]
+            .iter()
+            .map(|i| PrefixKey::V4(laces_packet::Prefix24::from_network(i << 8)))
+            .collect();
+        let c = compare_sets(&a, &b);
+        assert_eq!(
+            c,
+            SetComparison {
+                ours: 3,
+                theirs: 4,
+                both: 2,
+                only_ours: 1,
+                only_theirs: 2
+            }
+        );
+    }
+
+    #[test]
+    fn table7_counts_contained_24s() {
+        let bt = BgpToolsCensus {
+            prefixes: vec![Cidr4::new(10 << 24, 22), Cidr4::new(11 << 24, 24)],
+        };
+        let mut verdicts = BTreeMap::new();
+        // Two /24s in the /22 anycast, one unicast, one unprobed.
+        for (i, class) in [
+            (0u32, GcdClass::Anycast),
+            (1, GcdClass::Anycast),
+            (2, GcdClass::Unicast),
+        ] {
+            verdicts.insert(
+                PrefixKey::V4(laces_packet::Prefix24::from_network((10 << 24) + (i << 8))),
+                class,
+            );
+        }
+        verdicts.insert(
+            PrefixKey::V4(laces_packet::Prefix24::from_network(11 << 24)),
+            GcdClass::Anycast,
+        );
+        let rows = table7(&bt, &verdicts);
+        assert_eq!(rows.len(), 2);
+        let r22 = rows.iter().find(|r| r.len == 22).unwrap();
+        assert_eq!(
+            (r22.occurrence, r22.anycast, r22.unicast, r22.unresponsive),
+            (1, 2, 1, 1)
+        );
+        let r24 = rows.iter().find(|r| r.len == 24).unwrap();
+        assert_eq!(
+            (r24.occurrence, r24.anycast, r24.unicast, r24.unresponsive),
+            (1, 1, 0, 0)
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Longitudinal hijack detection (§6 future work: "work in which we use
+//! MAnycastR to detect suspected BGP hijacking").
+//!
+//! A hijacked unicast prefix briefly looks anycast: the bogus origin
+//! captures part of the Internet while the victim keeps the rest, so
+//! probes land at two distant "sites". The longitudinal signature is
+//! distinctive — GCD-confirmed anycast on exactly one day, unicast (or at
+//! most a plain 2-VP candidate) on every surrounding day. Temporary
+//! anycast is excluded because it recurs; real deployments are excluded
+//! because they persist.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use laces_packet::PrefixKey;
+use serde::{Deserialize, Serialize};
+
+/// One day's evidence for the detector.
+#[derive(Debug, Clone, Default)]
+pub struct DayEvidence {
+    /// The day.
+    pub day: u32,
+    /// GCD-confirmed anycast prefixes.
+    pub gcd_confirmed: BTreeSet<PrefixKey>,
+    /// Anycast-based candidates.
+    pub candidates: BTreeSet<PrefixKey>,
+}
+
+/// A suspected hijack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HijackSuspect {
+    /// The affected prefix.
+    pub prefix: PrefixKey,
+    /// The single day the anomaly was observed.
+    pub day: u32,
+}
+
+/// Scan a run of days for one-day GCD-confirmed anomalies.
+///
+/// Rules: the prefix is GCD-confirmed on exactly one day of the run, is
+/// not confirmed on any other day, and the run provides context on both
+/// sides (anomalies on the first or last day are withheld — tomorrow may
+/// prove them persistent).
+pub fn detect_hijacks(run: &[DayEvidence]) -> Vec<HijackSuspect> {
+    if run.len() < 3 {
+        return Vec::new();
+    }
+    let mut confirmed_days: BTreeMap<PrefixKey, Vec<u32>> = BTreeMap::new();
+    for d in run {
+        for p in &d.gcd_confirmed {
+            confirmed_days.entry(*p).or_default().push(d.day);
+        }
+    }
+    let first = run.first().expect("non-empty").day;
+    let last = run.last().expect("non-empty").day;
+    confirmed_days
+        .into_iter()
+        .filter_map(|(prefix, days)| match days.as_slice() {
+            [d] if *d != first && *d != last => Some(HijackSuspect { prefix, day: *d }),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn key(i: u32) -> PrefixKey {
+        PrefixKey::V4(laces_packet::Prefix24::from_network(i << 8))
+    }
+
+    fn day(day: u32, confirmed: &[u32]) -> DayEvidence {
+        DayEvidence {
+            day,
+            gcd_confirmed: confirmed.iter().map(|&i| key(i)).collect(),
+            candidates: confirmed.iter().map(|&i| key(i)).collect(),
+        }
+    }
+
+    #[test]
+    fn one_day_anomaly_is_flagged() {
+        let run = vec![
+            day(0, &[1]),
+            day(1, &[1, 9]), // 9 appears once, mid-run
+            day(2, &[1]),
+            day(3, &[1]),
+        ];
+        let suspects = detect_hijacks(&run);
+        assert_eq!(
+            suspects,
+            vec![HijackSuspect {
+                prefix: key(9),
+                day: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn persistent_and_recurring_prefixes_are_not_flagged() {
+        let run = vec![
+            day(0, &[1, 2]),
+            day(1, &[1]),
+            day(2, &[1, 2]), // 2 recurs: temporary anycast, not a hijack
+            day(3, &[1]),
+        ];
+        assert!(detect_hijacks(&run).is_empty());
+    }
+
+    #[test]
+    fn edge_days_are_withheld() {
+        let run = vec![day(0, &[9]), day(1, &[]), day(2, &[8])];
+        assert!(
+            detect_hijacks(&run).is_empty(),
+            "first/last-day anomalies need more context"
+        );
+    }
+
+    #[test]
+    fn short_runs_are_inconclusive() {
+        assert!(detect_hijacks(&[day(0, &[9]), day(1, &[])]).is_empty());
+        assert!(detect_hijacks(&[]).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Longitudinal precision analysis (§5.1.6).
+//!
+//! The census's value is longitudinal: per-day sets differ both because
+//! the Internet changes (temporary anycast, deployments growing, outages)
+//! and because the methodologies err. The paper's 56-day analysis shows
+//! the anycast-based candidate set is highly variable while the
+//! GCD-confirmed set is stable; this module computes those statistics from
+//! a run of daily censuses.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use laces_packet::PrefixKey;
+use serde::{Deserialize, Serialize};
+
+use crate::record::DailyCensus;
+
+/// Stability statistics over a run of days for one prefix set extractor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilityStats {
+    /// Days analysed.
+    pub n_days: usize,
+    /// Mean set size per day.
+    pub mean_daily: f64,
+    /// Union over all days.
+    pub union: usize,
+    /// Prefixes present on every day.
+    pub always_present: usize,
+    /// Prefixes present on some but not all days.
+    pub intermittent: usize,
+}
+
+/// Per-prefix presence bitmaps over a run of days.
+#[derive(Debug, Clone, Default)]
+pub struct PresenceMatrix {
+    days: usize,
+    presence: BTreeMap<PrefixKey, Vec<bool>>,
+}
+
+impl PresenceMatrix {
+    /// Build a matrix from per-day prefix sets.
+    pub fn from_sets(sets: &[BTreeSet<PrefixKey>]) -> Self {
+        let days = sets.len();
+        let mut presence: BTreeMap<PrefixKey, Vec<bool>> = BTreeMap::new();
+        for (d, set) in sets.iter().enumerate() {
+            for p in set {
+                presence.entry(*p).or_insert_with(|| vec![false; days])[d] = true;
+            }
+        }
+        PresenceMatrix { days, presence }
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> StabilityStats {
+        let union = self.presence.len();
+        let always = self
+            .presence
+            .values()
+            .filter(|v| v.iter().all(|&b| b))
+            .count();
+        let total_daily: usize = self
+            .presence
+            .values()
+            .map(|v| v.iter().filter(|&&b| b).count())
+            .sum();
+        StabilityStats {
+            n_days: self.days,
+            mean_daily: if self.days == 0 {
+                0.0
+            } else {
+                total_daily as f64 / self.days as f64
+            },
+            union,
+            always_present: always,
+            intermittent: union - always,
+        }
+    }
+
+    /// Prefixes that toggled between present and absent at least `k` times
+    /// (temporary-anycast suspects).
+    pub fn togglers(&self, k: usize) -> Vec<PrefixKey> {
+        self.presence
+            .iter()
+            .filter(|(_, v)| v.windows(2).filter(|w| w[0] != w[1]).count() >= k)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Days a given prefix was present.
+    pub fn days_present(&self, p: PrefixKey) -> usize {
+        self.presence
+            .get(&p)
+            .map_or(0, |v| v.iter().filter(|&&b| b).count())
+    }
+}
+
+/// Extract the anycast-based and GCD presence matrices from a run of daily
+/// censuses.
+pub fn presence_from_run(days: &[DailyCensus]) -> (PresenceMatrix, PresenceMatrix) {
+    let anycast_sets: Vec<BTreeSet<PrefixKey>> = days
+        .iter()
+        .map(|d| d.anycast_based().into_iter().collect())
+        .collect();
+    let gcd_sets: Vec<BTreeSet<PrefixKey>> = days
+        .iter()
+        .map(|d| d.gcd_confirmed().into_iter().collect())
+        .collect();
+    (
+        PresenceMatrix::from_sets(&anycast_sets),
+        PresenceMatrix::from_sets(&gcd_sets),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u32) -> PrefixKey {
+        PrefixKey::V4(laces_packet::Prefix24::from_network(i << 8))
+    }
+
+    #[test]
+    fn stats_over_synthetic_run() {
+        let sets = vec![
+            [key(1), key(2), key(3)]
+                .into_iter()
+                .collect::<BTreeSet<_>>(),
+            [key(1), key(2)].into_iter().collect(),
+            [key(1), key(4)].into_iter().collect(),
+        ];
+        let m = PresenceMatrix::from_sets(&sets);
+        let s = m.stats();
+        assert_eq!(s.n_days, 3);
+        assert_eq!(s.union, 4);
+        assert_eq!(s.always_present, 1);
+        assert_eq!(s.intermittent, 3);
+        assert!((s.mean_daily - 7.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.days_present(key(2)), 2);
+        assert_eq!(m.days_present(key(9)), 0);
+    }
+
+    #[test]
+    fn togglers_counts_transitions() {
+        let sets: Vec<BTreeSet<PrefixKey>> = vec![
+            [key(1), key(2)].into_iter().collect(),
+            [key(2)].into_iter().collect(),
+            [key(1), key(2)].into_iter().collect(),
+            [key(2)].into_iter().collect(),
+        ];
+        let m = PresenceMatrix::from_sets(&sets);
+        // key(1): present,absent,present,absent = 3 transitions.
+        assert_eq!(m.togglers(3), vec![key(1)]);
+        assert_eq!(m.togglers(1), vec![key(1)]);
+        assert!(m.togglers(4).is_empty());
+    }
+
+    #[test]
+    fn empty_run() {
+        let m = PresenceMatrix::from_sets(&[]);
+        let s = m.stats();
+        assert_eq!(s.union, 0);
+        assert_eq!(s.mean_daily, 0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! The daily census pipeline (paper Fig. 3).
+//!
+//! One census day runs:
+//!
+//! 1. the **anycast-based stage**: synchronized measurements from the
+//!    anycast platform over the full hitlists, once per protocol and
+//!    family, yielding per-protocol candidate sets;
+//! 2. **AT assembly**: today's candidates united with the feedback list
+//!    (GCD-confirmed prefixes from previous days, bi-annual full scans and
+//!    operator ground truth) — this covers the anycast-based stage's false
+//!    negatives;
+//! 3. the **GCD stage**: an Ark-style latency campaign over the ATs only —
+//!    two orders of magnitude cheaper than a full-hitlist GCD — with a TCP
+//!    retry for ICMP-dark targets;
+//! 4. **publication**: a [`DailyCensus`] with both verdicts per prefix and
+//!    feedback of today's GCD confirmations into tomorrow's AT list.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use laces_core::classify::AnycastClassification;
+use laces_core::orchestrator::run_measurement;
+use laces_core::spec::MeasurementSpec;
+use laces_gcd::engine::{run_campaign, GcdClass, GcdConfig};
+use laces_hitlist::Hitlist;
+use laces_netsim::{PlatformId, World};
+use laces_packet::{PrefixKey, ProbeEncoding, Protocol};
+use serde::{Deserialize, Serialize};
+
+use crate::atlist::{AtList, AtSource};
+use crate::record::{CensusRecord, CensusStats, DailyCensus, GcdSummary};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// The probing anycast platform.
+    pub anycast_platform: PlatformId,
+    /// The GCD latency platform.
+    pub gcd_platform: PlatformId,
+    /// Protocols measured for IPv4.
+    pub protocols_v4: Vec<Protocol>,
+    /// Protocols measured for IPv6.
+    pub protocols_v6: Vec<Protocol>,
+    /// Hitlist streaming rate.
+    pub rate_per_s: u32,
+    /// Inter-worker offset (1 s in production: a polite ping train).
+    pub offset_ms: u64,
+    /// Base measurement id; each stage derives a unique id from it.
+    pub base_measurement_id: u32,
+}
+
+impl PipelineConfig {
+    /// The production configuration: all protocols, both families.
+    pub fn standard(world: &World) -> Self {
+        PipelineConfig {
+            anycast_platform: world.std_platforms.production,
+            gcd_platform: world.std_platforms.ark,
+            protocols_v4: vec![Protocol::Icmp, Protocol::Tcp, Protocol::Udp],
+            protocols_v6: vec![Protocol::Icmp, Protocol::Tcp, Protocol::Udp],
+            rate_per_s: 10_000,
+            offset_ms: 1_000,
+            base_measurement_id: 1_000,
+        }
+    }
+
+    /// A lighter configuration (ICMP only) for longitudinal studies.
+    pub fn icmp_only(world: &World) -> Self {
+        let mut cfg = Self::standard(world);
+        cfg.protocols_v4 = vec![Protocol::Icmp];
+        cfg.protocols_v6 = vec![Protocol::Icmp];
+        cfg
+    }
+}
+
+/// The stateful census pipeline: owns the feedback AT list and partial
+/// flags across days.
+pub struct CensusPipeline {
+    world: Arc<World>,
+    cfg: PipelineConfig,
+    /// GCD-confirmed prefixes fed back into subsequent AT sets.
+    pub feedback: AtList,
+    /// Prefixes flagged partial-anycast by the /32-granularity scan.
+    pub partial_flags: BTreeSet<PrefixKey>,
+}
+
+/// Everything one census day produced, including intermediate artifacts
+/// the analyses need.
+pub struct DayOutput {
+    /// The published census.
+    pub census: DailyCensus,
+    /// Per-protocol-label anycast-based classifications ("ICMPv4", ...).
+    pub classifications: BTreeMap<String, AnycastClassification>,
+    /// The GCD stage's report over the AT set, keyed by prefix.
+    pub gcd: BTreeMap<PrefixKey, laces_gcd::PrefixGcd>,
+}
+
+impl CensusPipeline {
+    /// Create a pipeline.
+    pub fn new(world: Arc<World>, cfg: PipelineConfig) -> Self {
+        CensusPipeline {
+            world,
+            cfg,
+            feedback: AtList::new(),
+            partial_flags: BTreeSet::new(),
+        }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Run one census day.
+    pub fn run_day(&mut self, day: u32) -> DayOutput {
+        let world = &self.world;
+        let mut stats = CensusStats::default();
+        let mut classifications: BTreeMap<String, AnycastClassification> = BTreeMap::new();
+        let mut addr_of: BTreeMap<PrefixKey, IpAddr> = BTreeMap::new();
+
+        // --- Stage 1: anycast-based measurements ------------------------
+        let hit_v4 = laces_hitlist::build_v4(world);
+        let hit_v4_dns = laces_hitlist::build_v4_dns(world);
+        let hit_v6 = laces_hitlist::build_v6(world);
+        for h in [&hit_v4, &hit_v6] {
+            for e in &h.entries {
+                addr_of.insert(e.prefix, e.addr);
+            }
+        }
+
+        let mut stage_idx = 0u32;
+        let mut run_stage = |hitlist: &Hitlist, protocol: Protocol, stats: &mut CensusStats| {
+            let label = format!("{}{}", protocol.name(), hitlist.family.suffix());
+            let targets = Arc::new(hitlist.addresses());
+            let spec = MeasurementSpec {
+                id: self.cfg.base_measurement_id + day * 32 + stage_idx,
+                platform: self.cfg.anycast_platform,
+                protocol,
+                targets,
+                rate_per_s: self.cfg.rate_per_s,
+                offset_ms: self.cfg.offset_ms,
+                encoding: ProbeEncoding::PerWorker,
+                day,
+                fail: None,
+                senders: None,
+            };
+            stage_idx += 1;
+            let outcome = run_measurement(world, &spec);
+            stats.anycast_probes += outcome.probes_sent;
+            let class = AnycastClassification::from_outcome(&outcome);
+            stats
+                .ats_per_protocol
+                .insert(label.clone(), class.anycast_targets().len());
+            classifications.insert(label, class);
+        };
+
+        for &p in &self.cfg.protocols_v4 {
+            let h = if p == Protocol::Udp {
+                &hit_v4_dns
+            } else {
+                &hit_v4
+            };
+            run_stage(h, p, &mut stats);
+        }
+        for &p in &self.cfg.protocols_v6 {
+            run_stage(&hit_v6, p, &mut stats);
+        }
+
+        // --- Stage 2: AT assembly ---------------------------------------
+        let mut candidates: BTreeSet<PrefixKey> = BTreeSet::new();
+        for class in classifications.values() {
+            candidates.extend(class.anycast_targets());
+        }
+        let mut gcd_targets: BTreeSet<PrefixKey> = candidates.clone();
+        gcd_targets.extend(self.feedback.prefixes());
+        // Only prefixes with a known representative address can be probed.
+        gcd_targets.retain(|p| addr_of.contains_key(p));
+        stats.gcd_target_count = gcd_targets.len();
+
+        // --- Stage 3: GCD over the ATs (ICMP, TCP retry for dark ones) ---
+        let at_addrs: Vec<IpAddr> = gcd_targets.iter().map(|p| addr_of[p]).collect();
+        let mut gcd_cfg = GcdConfig::daily(self.cfg.base_measurement_id + day * 32 + 20, day);
+        gcd_cfg.precheck = false; // ATs are known-responsive; probe fully
+        let mut report = run_campaign(world, self.cfg.gcd_platform, &at_addrs, &gcd_cfg);
+        stats.gcd_probes += report.probes_sent;
+
+        let dark: Vec<IpAddr> = report
+            .results
+            .iter()
+            .filter(|(_, r)| r.class == GcdClass::Unresponsive)
+            .map(|(p, _)| addr_of[p])
+            .collect();
+        if !dark.is_empty() {
+            let mut tcp_cfg = GcdConfig::daily(self.cfg.base_measurement_id + day * 32 + 21, day);
+            tcp_cfg.protocol = Protocol::Tcp;
+            tcp_cfg.precheck = true;
+            let tcp_report = run_campaign(world, self.cfg.gcd_platform, &dark, &tcp_cfg);
+            stats.gcd_probes += tcp_report.probes_sent;
+            for (p, r) in tcp_report.results {
+                if r.class != GcdClass::Unresponsive {
+                    report.results.insert(p, r);
+                }
+            }
+        }
+
+        // --- Stage 4: publish + feedback ---------------------------------
+        let mut records: BTreeMap<PrefixKey, CensusRecord> = BTreeMap::new();
+        let mut publish: BTreeSet<PrefixKey> = candidates.clone();
+        publish.extend(
+            report
+                .results
+                .iter()
+                .filter(|(_, r)| r.class == GcdClass::Anycast)
+                .map(|(p, _)| *p),
+        );
+        for prefix in publish {
+            let mut anycast_based = BTreeMap::new();
+            for (label, class) in &classifications {
+                // Labels pair protocol and family; only record verdicts for
+                // the prefix's own family.
+                let is_v6_label = label.ends_with("v6");
+                if is_v6_label != matches!(prefix, PrefixKey::V6(_)) {
+                    continue;
+                }
+                let proto = match &label[..label.len() - 2] {
+                    "ICMP" => Protocol::Icmp,
+                    "TCP" => Protocol::Tcp,
+                    "UDP" => Protocol::Udp,
+                    other => unreachable!("unknown label {other}"),
+                };
+                anycast_based.insert(proto, class.class_of(prefix));
+            }
+            let gcd = report.results.get(&prefix).map(|r| GcdSummary {
+                class: r.class,
+                n_sites: r.n_sites(),
+                cities: r
+                    .enumeration
+                    .cities(&world.db)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            });
+            records.insert(
+                prefix,
+                CensusRecord {
+                    prefix,
+                    anycast_based,
+                    gcd,
+                    partial: self.partial_flags.contains(&prefix),
+                },
+            );
+        }
+
+        // Feedback today's confirmations into tomorrow's AT list.
+        let confirmed: Vec<PrefixKey> = report
+            .results
+            .iter()
+            .filter(|(_, r)| r.class == GcdClass::Anycast)
+            .map(|(p, _)| *p)
+            .collect();
+        self.feedback.merge(confirmed, AtSource::DailyGcdFeedback);
+
+        DayOutput {
+            census: DailyCensus {
+                day,
+                records,
+                stats,
+            },
+            classifications,
+            gcd: report.results,
+        }
+    }
+}

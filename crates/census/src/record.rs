@@ -1,0 +1,189 @@
+//! Census output records (paper §4.2.4).
+//!
+//! For every prefix where *either* methodology detects anycast, the daily
+//! census publishes both verdicts independently — the anycast-based class
+//! per protocol with its receiving-VP count, and the GCD class with the
+//! enumerated site count and population-based geolocations — so consumers
+//! can pick their own confidence threshold.
+
+use std::collections::BTreeMap;
+
+use laces_core::classify::Class;
+use laces_gcd::GcdClass;
+use laces_packet::{PrefixKey, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// GCD summary published per prefix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcdSummary {
+    /// GCD verdict.
+    pub class: GcdClass,
+    /// iGreedy-enumerated site count.
+    pub n_sites: usize,
+    /// Geolocated site cities (deduplicated, sorted).
+    pub cities: Vec<String>,
+}
+
+/// One published census row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CensusRecord {
+    /// The prefix.
+    pub prefix: PrefixKey,
+    /// Anycast-based verdict per probed protocol.
+    pub anycast_based: BTreeMap<Protocol, Class>,
+    /// GCD verdict, if the prefix was in the GCD stage's target set.
+    pub gcd: Option<GcdSummary>,
+    /// Partial-anycast flag (§5.6): the prefix mixes unicast and anycast
+    /// addresses, so per-address interpretation is required.
+    pub partial: bool,
+}
+
+impl CensusRecord {
+    /// Whether any anycast-based protocol verdict is anycast.
+    pub fn anycast_based_positive(&self) -> bool {
+        self.anycast_based.values().any(|c| c.is_anycast())
+    }
+
+    /// Whether GCD confirmed anycast.
+    pub fn gcd_confirmed(&self) -> bool {
+        matches!(&self.gcd, Some(g) if g.class == GcdClass::Anycast)
+    }
+
+    /// The maximum receiving-VP count across protocols (confidence signal).
+    pub fn max_vps(&self) -> usize {
+        self.anycast_based
+            .values()
+            .map(|c| match c {
+                Class::Anycast { n_vps } => *n_vps,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Aggregate statistics for one census day.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CensusStats {
+    /// Probes transmitted by the anycast-based stage.
+    pub anycast_probes: u64,
+    /// Probes transmitted by the GCD stage.
+    pub gcd_probes: u64,
+    /// Anycast targets (candidates) per protocol label (e.g. "ICMPv4").
+    pub ats_per_protocol: BTreeMap<String, usize>,
+    /// Size of the GCD target set after AT feedback.
+    pub gcd_target_count: usize,
+}
+
+/// One day's census.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DailyCensus {
+    /// Simulated day.
+    pub day: u32,
+    /// Published rows, keyed by prefix (only prefixes where either
+    /// methodology sees anycast).
+    pub records: BTreeMap<PrefixKey, CensusRecord>,
+    /// Aggregate statistics.
+    pub stats: CensusStats,
+}
+
+impl DailyCensus {
+    /// Prefixes confirmed anycast by GCD.
+    pub fn gcd_confirmed(&self) -> Vec<PrefixKey> {
+        self.records
+            .values()
+            .filter(|r| r.gcd_confirmed())
+            .map(|r| r.prefix)
+            .collect()
+    }
+
+    /// Prefixes flagged by the anycast-based stage (any protocol).
+    pub fn anycast_based(&self) -> Vec<PrefixKey> {
+        self.records
+            .values()
+            .filter(|r| r.anycast_based_positive())
+            .map(|r| r.prefix)
+            .collect()
+    }
+
+    /// Serialise as JSON lines (one record per line), the publication
+    /// format of the public census repository.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.records.values() {
+            out.push_str(&serde_json::to_string(r).expect("record serialises"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSON-lines census back into records.
+    pub fn from_jsonl(day: u32, s: &str) -> Result<DailyCensus, serde_json::Error> {
+        let mut records = BTreeMap::new();
+        for line in s.lines().filter(|l| !l.trim().is_empty()) {
+            let r: CensusRecord = serde_json::from_str(line)?;
+            records.insert(r.prefix, r);
+        }
+        Ok(DailyCensus {
+            day,
+            records,
+            stats: CensusStats::default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> CensusRecord {
+        let mut anycast_based = BTreeMap::new();
+        anycast_based.insert(Protocol::Icmp, Class::Anycast { n_vps: 17 });
+        anycast_based.insert(Protocol::Tcp, Class::Unresponsive);
+        CensusRecord {
+            prefix: PrefixKey::of("192.0.2.1".parse().unwrap()),
+            anycast_based,
+            gcd: Some(GcdSummary {
+                class: GcdClass::Anycast,
+                n_sites: 9,
+                cities: vec!["Amsterdam".into(), "Tokyo".into()],
+            }),
+            partial: false,
+        }
+    }
+
+    #[test]
+    fn record_predicates() {
+        let r = sample_record();
+        assert!(r.anycast_based_positive());
+        assert!(r.gcd_confirmed());
+        assert_eq!(r.max_vps(), 17);
+
+        let mut u = r.clone();
+        u.anycast_based.insert(Protocol::Icmp, Class::Unicast);
+        assert!(!u.anycast_based_positive());
+        assert_eq!(u.max_vps(), 0);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let mut records = BTreeMap::new();
+        let r = sample_record();
+        records.insert(r.prefix, r);
+        let census = DailyCensus {
+            day: 3,
+            records,
+            stats: CensusStats::default(),
+        };
+        let text = census.to_jsonl();
+        assert_eq!(text.lines().count(), 1);
+        let back = DailyCensus::from_jsonl(3, &text).unwrap();
+        assert_eq!(back.records, census.records);
+    }
+
+    #[test]
+    fn from_jsonl_rejects_garbage() {
+        assert!(DailyCensus::from_jsonl(0, "not json\n").is_err());
+        assert!(DailyCensus::from_jsonl(0, "").unwrap().records.is_empty());
+    }
+}

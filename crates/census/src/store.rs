@@ -1,0 +1,217 @@
+//! On-disk census store: the public-repository layer.
+//!
+//! The paper publishes each day's census to a public Git repository as
+//! structured records. This store writes one JSON-lines file per day plus
+//! a tiny stats sidecar, and loads runs back for longitudinal analysis —
+//! the consumer-side workflow for anyone using the published census.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::record::{CensusStats, DailyCensus};
+
+/// A directory of daily censuses.
+#[derive(Debug, Clone)]
+pub struct CensusStore {
+    dir: PathBuf,
+}
+
+impl CensusStore {
+    /// Open (creating the directory if needed).
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CensusStore { dir })
+    }
+
+    fn day_path(&self, day: u32) -> PathBuf {
+        self.dir.join(format!("census-day-{day:05}.jsonl"))
+    }
+
+    fn stats_path(&self, day: u32) -> PathBuf {
+        self.dir.join(format!("census-day-{day:05}.stats.json"))
+    }
+
+    /// Persist one day's census.
+    pub fn save(&self, census: &DailyCensus) -> io::Result<()> {
+        std::fs::write(self.day_path(census.day), census.to_jsonl())?;
+        let stats = serde_json::to_string_pretty(&census.stats).expect("stats serialise");
+        std::fs::write(self.stats_path(census.day), stats)
+    }
+
+    /// Load one day.
+    pub fn load(&self, day: u32) -> io::Result<DailyCensus> {
+        let body = std::fs::read_to_string(self.day_path(day))?;
+        let mut census = DailyCensus::from_jsonl(day, &body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if let Ok(stats) = std::fs::read_to_string(self.stats_path(day)) {
+            if let Ok(stats) = serde_json::from_str::<CensusStats>(&stats) {
+                census.stats = stats;
+            }
+        }
+        Ok(census)
+    }
+
+    /// Days present in the store, sorted.
+    pub fn days(&self) -> io::Result<Vec<u32>> {
+        let mut days = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix("census-day-") {
+                if let Some(num) = rest.strip_suffix(".jsonl") {
+                    if let Ok(d) = num.parse() {
+                        days.push(d);
+                    }
+                }
+            }
+        }
+        days.sort_unstable();
+        Ok(days)
+    }
+
+    /// Load every stored day, in order.
+    pub fn load_all(&self) -> io::Result<Vec<DailyCensus>> {
+        self.days()?.into_iter().map(|d| self.load(d)).collect()
+    }
+
+    /// Directory backing the store.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Query interface over a loaded census run (the dashboard backend's
+/// essentials: per-prefix history and per-day summaries).
+#[derive(Debug, Clone)]
+pub struct CensusQuery {
+    days: Vec<DailyCensus>,
+}
+
+impl CensusQuery {
+    /// Build from a loaded run.
+    pub fn new(days: Vec<DailyCensus>) -> Self {
+        CensusQuery { days }
+    }
+
+    /// How many days are loaded.
+    pub fn n_days(&self) -> usize {
+        self.days.len()
+    }
+
+    /// The history of one prefix: `(day, anycast_based?, gcd_confirmed?)`.
+    pub fn prefix_history(&self, prefix: laces_packet::PrefixKey) -> Vec<(u32, bool, bool)> {
+        self.days
+            .iter()
+            .map(|d| {
+                let r = d.records.get(&prefix);
+                (
+                    d.day,
+                    r.is_some_and(|r| r.anycast_based_positive()),
+                    r.is_some_and(|r| r.gcd_confirmed()),
+                )
+            })
+            .collect()
+    }
+
+    /// Per-day GCD-confirmed counts.
+    pub fn daily_confirmed_counts(&self) -> BTreeMap<u32, usize> {
+        self.days
+            .iter()
+            .map(|d| (d.day, d.gcd_confirmed().len()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CensusRecord, GcdSummary};
+    use laces_core::classify::Class;
+    use laces_gcd::GcdClass;
+    use laces_packet::{PrefixKey, Protocol};
+    use std::collections::BTreeMap as Map;
+
+    fn sample_census(day: u32, n: u32) -> DailyCensus {
+        let mut records = Map::new();
+        for i in 0..n {
+            let prefix = PrefixKey::V4(laces_packet::Prefix24::from_network((i + 1) << 8));
+            let mut anycast_based = Map::new();
+            anycast_based.insert(
+                Protocol::Icmp,
+                Class::Anycast {
+                    n_vps: 3 + i as usize,
+                },
+            );
+            records.insert(
+                prefix,
+                CensusRecord {
+                    prefix,
+                    anycast_based,
+                    gcd: Some(GcdSummary {
+                        class: if i % 2 == 0 {
+                            GcdClass::Anycast
+                        } else {
+                            GcdClass::Unicast
+                        },
+                        n_sites: 2,
+                        cities: vec!["Tokyo".into()],
+                    }),
+                    partial: false,
+                },
+            );
+        }
+        DailyCensus {
+            day,
+            records,
+            stats: CensusStats::default(),
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("laces-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let store = CensusStore::open(tmpdir("roundtrip")).unwrap();
+        let census = sample_census(3, 5);
+        store.save(&census).unwrap();
+        let back = store.load(3).unwrap();
+        assert_eq!(back.records, census.records);
+        assert_eq!(back.day, 3);
+    }
+
+    #[test]
+    fn days_and_load_all_are_ordered() {
+        let store = CensusStore::open(tmpdir("ordered")).unwrap();
+        for day in [5u32, 1, 3] {
+            store.save(&sample_census(day, 2)).unwrap();
+        }
+        assert_eq!(store.days().unwrap(), vec![1, 3, 5]);
+        let all = store.load_all().unwrap();
+        assert_eq!(all.iter().map(|c| c.day).collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn missing_day_errors() {
+        let store = CensusStore::open(tmpdir("missing")).unwrap();
+        assert!(store.load(99).is_err());
+    }
+
+    #[test]
+    fn query_prefix_history() {
+        let q = CensusQuery::new(vec![sample_census(0, 3), sample_census(1, 1)]);
+        assert_eq!(q.n_days(), 2);
+        let p = PrefixKey::V4(laces_packet::Prefix24::from_network(2 << 8));
+        // Prefix #2 (i=1, gcd unicast) exists day 0 only.
+        let h = q.prefix_history(p);
+        assert_eq!(h, vec![(0, true, false), (1, false, false)]);
+        let counts = q.daily_confirmed_counts();
+        assert_eq!(counts[&0], 2); // i = 0, 2 are GCD-anycast
+        assert_eq!(counts[&1], 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Traceroute-assisted site enumeration (§5.2/§6 future work: "improve
+//! enumeration and geolocation data in our daily census using, e.g.,
+//! traceroute").
+//!
+//! Latency disks cannot separate sites closer than their blur radius; a
+//! traceroute can. Each VP's trace toward an anycast prefix terminates
+//! inside the site network serving that VP, so the distinct terminal
+//! networks across VPs are a site enumeration that keeps working where GCD
+//! goes blind (regional anycast, co-located metros) — still a lower bound,
+//! limited by catchment coverage exactly as CHAOS enumeration is.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::IpAddr;
+
+use laces_geo::CityId;
+use laces_netsim::{PlatformId, World};
+use laces_packet::PrefixKey;
+use serde::{Deserialize, Serialize};
+
+/// Traceroute-based enumeration for one prefix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEnumeration {
+    /// Distinct terminal ASes observed across VPs.
+    pub terminal_ases: BTreeSet<u32>,
+    /// Terminal PoP metros observed.
+    pub terminal_cities: BTreeSet<CityId>,
+    /// VPs whose trace completed.
+    pub traces_completed: usize,
+}
+
+impl TraceEnumeration {
+    /// The enumerated site count.
+    pub fn n_sites(&self) -> usize {
+        self.terminal_ases.len()
+    }
+}
+
+/// Enumerate one prefix's sites by tracerouting from every VP of a
+/// platform.
+pub fn trace_enumerate(
+    world: &World,
+    platform: PlatformId,
+    addr: IpAddr,
+    day: u32,
+) -> TraceEnumeration {
+    let n = world.platform(platform).n_vps();
+    let mut out = TraceEnumeration {
+        terminal_ases: BTreeSet::new(),
+        terminal_cities: BTreeSet::new(),
+        traces_completed: 0,
+    };
+    for vp in 0..n {
+        let hops = world.traceroute(platform, vp, addr, day);
+        if let Some(last) = hops.last() {
+            out.terminal_ases.insert(last.as_idx);
+            out.terminal_cities.insert(last.city);
+            out.traces_completed += 1;
+        }
+    }
+    out
+}
+
+/// Enumerate a batch of prefixes.
+pub fn trace_enumerate_all(
+    world: &World,
+    platform: PlatformId,
+    addrs: &[IpAddr],
+    day: u32,
+) -> BTreeMap<PrefixKey, TraceEnumeration> {
+    addrs
+        .iter()
+        .map(|&a| (PrefixKey::of(a), trace_enumerate(world, platform, a, day)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_gcd::engine::{run_campaign, GcdConfig};
+    use laces_netsim::{TargetKind, WorldConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn trace_enumeration_beats_gcd_on_regional_anycast() {
+        let world = Arc::new(World::generate(WorldConfig::tiny()));
+        let ark = world.std_platforms.ark_dev;
+
+        // Regional deployments: GCD is blind (disks overlap), traceroute
+        // still separates the site networks.
+        let mut regional_addrs: Vec<IpAddr> = Vec::new();
+        let mut truth_sites: Vec<usize> = Vec::new();
+        for t in &world.targets {
+            if let TargetKind::Anycast { dep } = t.kind {
+                let d = world.deployment(dep);
+                if d.regional && t.resp.icmp && t.prefix.is_v4() && t.temp.is_none() {
+                    regional_addrs.push(match t.prefix {
+                        PrefixKey::V4(p) => IpAddr::V4(p.addr(77)),
+                        _ => unreachable!(),
+                    });
+                    truth_sites.push(d.n_sites());
+                }
+            }
+        }
+        assert!(!regional_addrs.is_empty(), "world has regional anycast");
+
+        let gcd = run_campaign(&world, ark, &regional_addrs, &GcdConfig::daily(64_000, 0));
+        let traces = trace_enumerate_all(&world, ark, &regional_addrs, 0);
+
+        let mut trace_wins = 0usize;
+        let mut trace_total = 0usize;
+        for (addr, truth) in regional_addrs.iter().zip(&truth_sites) {
+            let k = PrefixKey::of(*addr);
+            let g = gcd.results.get(&k).map_or(0, |r| r.n_sites());
+            let t = traces.get(&k).map_or(0, |e| e.n_sites());
+            assert!(
+                t <= *truth,
+                "trace enumeration {t} exceeds ground truth {truth}"
+            );
+            trace_total += 1;
+            if t > g {
+                trace_wins += 1;
+            }
+        }
+        assert!(
+            trace_wins * 2 > trace_total,
+            "traceroute should out-enumerate GCD on regional anycast: {trace_wins}/{trace_total}"
+        );
+    }
+
+    #[test]
+    fn unicast_prefixes_enumerate_to_one() {
+        let world = Arc::new(World::generate(WorldConfig::tiny()));
+        let mut checked = 0;
+        for t in &world.targets {
+            if matches!(t.kind, TargetKind::Unicast { .. }) && t.prefix.is_v4() {
+                let addr = match t.prefix {
+                    PrefixKey::V4(p) => IpAddr::V4(p.addr(77)),
+                    _ => unreachable!(),
+                };
+                let e = trace_enumerate(&world, world.std_platforms.ark, addr, 0);
+                if e.traces_completed > 0 {
+                    assert_eq!(
+                        e.n_sites(),
+                        1,
+                        "unicast {} traced to multiple sites",
+                        t.prefix
+                    );
+                    checked += 1;
+                }
+                if checked > 15 {
+                    break;
+                }
+            }
+        }
+        assert!(checked > 5);
+    }
+}

@@ -1,0 +1,257 @@
+//! Trigger-based measurements from a BGP feed (§6 future work:
+//! "trigger-based detection of temporary anycast — e.g., from BGP route
+//! collectors").
+//!
+//! The daily census snapshots the Internet once a day, so Imperva-style
+//! on-demand anycast that turns up and down between snapshots is easy to
+//! miss or misdate. Route collectors see the announcements the moment they
+//! happen; this module consumes the day's BGP events and immediately runs
+//! a *targeted* verification — an anycast-based pass plus GCD over just
+//! the affected prefixes — classifying each event as confirmed new
+//! anycast, a withdrawal, or a suspected hijack.
+
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use laces_core::classify::AnycastClassification;
+use laces_core::orchestrator::run_measurement;
+use laces_core::spec::MeasurementSpec;
+use laces_gcd::engine::{run_campaign, GcdClass, GcdConfig};
+use laces_netsim::bgp::{bgp_updates, BgpEventKind};
+use laces_netsim::World;
+use laces_packet::{PrefixKey, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// Verdict for one triggered verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TriggerVerdict {
+    /// A new announcement that measures as anycast: temporary anycast
+    /// turning up (on-demand DDoS mitigation).
+    ConfirmedNewAnycast,
+    /// A new announcement that measures unicast (ordinary renumbering).
+    NewButUnicast,
+    /// A withdrawal (nothing to probe; recorded for the longitudinal log).
+    Withdrawn,
+    /// An origin change where probing shows traffic split across distant
+    /// locations: a suspected hijack.
+    SuspectedHijack,
+    /// An origin change that measures clean (legitimate re-homing).
+    OriginChangeClean,
+    /// The affected prefix did not respond to probes.
+    Unresponsive,
+}
+
+/// Result of processing one day's BGP feed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TriggerReport {
+    /// The day processed.
+    pub day: u32,
+    /// Per-prefix verdicts.
+    pub verdicts: BTreeMap<PrefixKey, TriggerVerdict>,
+    /// Probes spent on targeted verification.
+    pub probes_sent: u64,
+}
+
+impl TriggerReport {
+    /// Prefixes with a given verdict.
+    pub fn with_verdict(&self, v: TriggerVerdict) -> Vec<PrefixKey> {
+        self.verdicts
+            .iter()
+            .filter(|(_, &x)| x == v)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+}
+
+/// Consume the day's BGP events and run targeted verification measurements.
+pub fn run_triggered_verification(world: &Arc<World>, day: u32, base_id: u32) -> TriggerReport {
+    let events = bgp_updates(world, day);
+    let mut verdicts: BTreeMap<PrefixKey, TriggerVerdict> = BTreeMap::new();
+    let mut probes_sent = 0u64;
+
+    // Collect the prefixes that need probing.
+    let mut probe_list: Vec<(PrefixKey, IpAddr, BgpEventKind)> = Vec::new();
+    for e in &events {
+        match e.kind {
+            BgpEventKind::Withdrawal => {
+                verdicts.insert(e.prefix, TriggerVerdict::Withdrawn);
+            }
+            kind => {
+                let addr = match e.prefix {
+                    PrefixKey::V4(p) => {
+                        IpAddr::V4(p.addr(laces_netsim::targets::REPRESENTATIVE_HOST))
+                    }
+                    PrefixKey::V6(p) => {
+                        IpAddr::V6(p.addr(u64::from(laces_netsim::targets::REPRESENTATIVE_HOST)))
+                    }
+                };
+                probe_list.push((e.prefix, addr, kind));
+            }
+        }
+    }
+
+    if !probe_list.is_empty() {
+        // Targeted anycast-based pass over the event prefixes (tiny compared
+        // to a census: tens of prefixes, not hundreds of thousands).
+        let v4_targets: Arc<Vec<IpAddr>> = Arc::new(
+            probe_list
+                .iter()
+                .filter(|(_, a, _)| a.is_ipv4())
+                .map(|(_, a, _)| *a)
+                .collect(),
+        );
+        let mut class = None;
+        if !v4_targets.is_empty() {
+            let spec = MeasurementSpec::census(
+                base_id,
+                world.std_platforms.production,
+                Protocol::Icmp,
+                v4_targets,
+                day,
+            );
+            let outcome = run_measurement(world, &spec);
+            probes_sent += outcome.probes_sent;
+            class = Some(AnycastClassification::from_outcome(&outcome));
+        }
+
+        // GCD confirmation over the same prefixes.
+        let addrs: Vec<IpAddr> = probe_list.iter().map(|(_, a, _)| *a).collect();
+        let mut cfg = GcdConfig::daily(base_id + 1, day);
+        cfg.precheck = true;
+        let gcd = run_campaign(world, world.std_platforms.ark, &addrs, &cfg);
+        probes_sent += gcd.probes_sent;
+
+        for (prefix, _, kind) in probe_list {
+            let gcd_class = gcd.results.get(&prefix).map(|r| r.class);
+            let anycast_positive = class
+                .as_ref()
+                .and_then(|c| c.observations.get(&prefix))
+                .is_some_and(|o| o.rx_workers.len() > 1)
+                || gcd_class == Some(GcdClass::Anycast);
+            let verdict = match (kind, gcd_class, anycast_positive) {
+                (_, Some(GcdClass::Unresponsive) | None, false) => TriggerVerdict::Unresponsive,
+                (BgpEventKind::NewAnnouncement, _, true) => TriggerVerdict::ConfirmedNewAnycast,
+                (BgpEventKind::NewAnnouncement, _, false) => TriggerVerdict::NewButUnicast,
+                (BgpEventKind::OriginChange { .. }, _, true) => TriggerVerdict::SuspectedHijack,
+                (BgpEventKind::OriginChange { .. }, _, false) => TriggerVerdict::OriginChangeClean,
+                (BgpEventKind::Withdrawal, _, _) => TriggerVerdict::Withdrawn,
+            };
+            verdicts.insert(prefix, verdict);
+        }
+    }
+
+    TriggerReport {
+        day,
+        verdicts,
+        probes_sent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_netsim::{TargetKind, WorldConfig};
+
+    #[test]
+    fn triggered_verification_classifies_events() {
+        let world = Arc::new(World::generate(WorldConfig::tiny()));
+        // Find a day with both a temporary-anycast turn-up and a hijack.
+        let mut chosen = None;
+        for day in 1..40 {
+            let events = bgp_updates(&world, day);
+            let has_new = events
+                .iter()
+                .any(|e| e.kind == BgpEventKind::NewAnnouncement);
+            let has_hijack = events
+                .iter()
+                .any(|e| matches!(e.kind, BgpEventKind::OriginChange { .. }));
+            if has_new && has_hijack {
+                chosen = Some(day);
+                break;
+            }
+        }
+        let Some(day) = chosen else {
+            // Tiny worlds may not align both events; at minimum a turn-up day
+            // must exist.
+            let day = (1..40)
+                .find(|&d| {
+                    bgp_updates(&world, d)
+                        .iter()
+                        .any(|e| e.kind == BgpEventKind::NewAnnouncement)
+                })
+                .expect("temporary anycast exists");
+            let report = run_triggered_verification(&world, day, 8_000);
+            assert!(!report
+                .with_verdict(TriggerVerdict::ConfirmedNewAnycast)
+                .is_empty());
+            return;
+        };
+
+        let report = run_triggered_verification(&world, day, 8_000);
+        assert!(report.probes_sent > 0);
+
+        // Temporary anycast turning up is confirmed as anycast the same day.
+        let confirmed = report.with_verdict(TriggerVerdict::ConfirmedNewAnycast);
+        assert!(
+            !confirmed.is_empty(),
+            "no temporary anycast confirmed: {:?}",
+            report.verdicts
+        );
+        for p in &confirmed {
+            let t = world.target(world.lookup(*p).unwrap());
+            assert!(
+                t.any_anycast_on(day),
+                "confirmed a prefix that is not anycast today"
+            );
+        }
+
+        // The hijacked prefix is flagged.
+        let suspects = report.with_verdict(TriggerVerdict::SuspectedHijack);
+        let hijacked_today: Vec<PrefixKey> = world
+            .targets
+            .iter()
+            .filter(|t| t.hijack.is_some_and(|h| h.day == day) && t.resp.icmp)
+            .map(|t| t.prefix)
+            .collect();
+        if !hijacked_today.is_empty() {
+            assert!(
+                hijacked_today.iter().any(|p| suspects.contains(p)),
+                "hijack missed: suspects {suspects:?}, truth {hijacked_today:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_day_produces_small_report() {
+        let world = Arc::new(World::generate(WorldConfig::tiny()));
+        // Find a day with no events at all (if none exists, skip).
+        if let Some(day) = (1..60).find(|&d| bgp_updates(&world, d).is_empty()) {
+            let report = run_triggered_verification(&world, day, 8_100);
+            assert!(report.verdicts.is_empty());
+            assert_eq!(report.probes_sent, 0);
+        }
+    }
+
+    #[test]
+    fn withdrawal_days_record_withdrawals() {
+        let world = Arc::new(World::generate(WorldConfig::tiny()));
+        let day = (1..40)
+            .find(|&d| {
+                bgp_updates(&world, d)
+                    .iter()
+                    .any(|e| e.kind == BgpEventKind::Withdrawal)
+            })
+            .expect("temporary anycast withdraws eventually");
+        let report = run_triggered_verification(&world, day, 8_200);
+        let withdrawn = report.with_verdict(TriggerVerdict::Withdrawn);
+        assert!(!withdrawn.is_empty());
+        for p in &withdrawn {
+            let t = world.target(world.lookup(*p).unwrap());
+            assert!(matches!(
+                t.kind,
+                TargetKind::Anycast { .. } | TargetKind::PartialAnycast { .. }
+            ));
+        }
+    }
+}

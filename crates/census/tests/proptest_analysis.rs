@@ -1,0 +1,140 @@
+//! Property-based tests for the census analyses: the arithmetic identities
+//! Tables 2/3 and the intersection figures rely on must hold for arbitrary
+//! observation data.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use laces_census::analysis::{protocol_intersections, table2, table3, VP_BUCKETS};
+use laces_core::classify::AnycastClassification;
+use laces_core::results::{MeasurementOutcome, ProbeRecord};
+use laces_gcd::enumerate::enumerate;
+use laces_gcd::{GcdClass, PrefixGcd};
+use laces_netsim::PlatformId;
+use laces_packet::{Prefix24, PrefixKey, Protocol};
+use proptest::prelude::*;
+
+fn key(i: u16) -> PrefixKey {
+    PrefixKey::V4(Prefix24::from_network(u32::from(i) << 8))
+}
+
+/// Arbitrary observation data: per prefix, the number of receiving VPs
+/// (0 = unresponsive) and an optional GCD verdict.
+fn arb_data() -> impl Strategy<Value = Vec<(u16, usize, Option<bool>)>> {
+    proptest::collection::vec(
+        (0u16..200, 0usize..33, proptest::option::of(any::<bool>())),
+        0..120,
+    )
+    .prop_map(|mut v| {
+        v.sort_by_key(|e| e.0);
+        v.dedup_by_key(|e| e.0);
+        v
+    })
+}
+
+fn classification(data: &[(u16, usize, Option<bool>)]) -> AnycastClassification {
+    let mut records = Vec::new();
+    for &(p, vps, _) in data {
+        for w in 0..vps {
+            records.push(ProbeRecord {
+                prefix: key(p),
+                protocol: Protocol::Icmp,
+                rx_worker: w as u16,
+                tx_worker: Some(0),
+                tx_time_ms: Some(0),
+                rx_time_ms: 1,
+                chaos_identity: None,
+            });
+        }
+    }
+    AnycastClassification::from_outcome(&MeasurementOutcome {
+        measurement_id: 0,
+        platform: PlatformId(0),
+        protocol: Protocol::Icmp,
+        n_workers: 32,
+        probes_sent: 0,
+        n_targets: data.len(),
+        records,
+        failed_workers: vec![],
+    })
+}
+
+fn gcd_map(data: &[(u16, usize, Option<bool>)]) -> BTreeMap<PrefixKey, PrefixGcd> {
+    let db = laces_geo::CityDb::embedded();
+    data.iter()
+        .filter_map(|&(p, _, verdict)| {
+            verdict.map(|anycast| {
+                (
+                    key(p),
+                    PrefixGcd {
+                        class: if anycast {
+                            GcdClass::Anycast
+                        } else {
+                            GcdClass::Unicast
+                        },
+                        enumeration: enumerate(&[], &db),
+                    },
+                )
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn table2_identities(data in arb_data()) {
+        let class = classification(&data);
+        let gcd = gcd_map(&data);
+        let row = table2("x", &class, &gcd);
+        // Set identities.
+        prop_assert_eq!(row.anycast_based, class.anycast_targets().len());
+        prop_assert!(row.intersection <= row.anycast_based);
+        prop_assert!(row.intersection <= row.gcd);
+        prop_assert_eq!(row.fns + row.intersection, row.gcd);
+        prop_assert_eq!(row.not_gcd + row.intersection, row.anycast_based);
+        // FNR is a percentage of the GCD set.
+        prop_assert!((0.0..=100.0).contains(&row.fnr_pct));
+    }
+
+    #[test]
+    fn table3_partitions_candidates(data in arb_data()) {
+        let class = classification(&data);
+        let gcd = gcd_map(&data);
+        let rows = table3(&class, &gcd);
+        prop_assert_eq!(rows.len(), VP_BUCKETS.len());
+        let total: usize = rows.iter().map(|r| r.candidates).sum();
+        prop_assert_eq!(total, class.anycast_targets().len(), "buckets must partition candidates");
+        for r in &rows {
+            prop_assert_eq!(r.gcd_confirmed + r.not_confirmed, r.candidates);
+            prop_assert!((0.0..=100.0).contains(&r.overlap_pct));
+        }
+    }
+
+    #[test]
+    fn intersections_partition_the_union(
+        icmp in proptest::collection::btree_set(0u16..100, 0..40),
+        tcp in proptest::collection::btree_set(0u16..100, 0..40),
+        udp in proptest::collection::btree_set(0u16..100, 0..40),
+    ) {
+        let i: BTreeSet<PrefixKey> = icmp.iter().map(|&p| key(p)).collect();
+        let t: BTreeSet<PrefixKey> = tcp.iter().map(|&p| key(p)).collect();
+        let u: BTreeSet<PrefixKey> = udp.iter().map(|&p| key(p)).collect();
+        let x = protocol_intersections(&i, &t, &u);
+        prop_assert_eq!(x.icmp_total(), i.len());
+        prop_assert_eq!(x.tcp_total(), t.len());
+        prop_assert_eq!(x.udp_total(), u.len());
+        let union: BTreeSet<PrefixKey> = i.union(&t).chain(u.iter()).copied().collect();
+        prop_assert_eq!(x.union(), union.len());
+    }
+
+    #[test]
+    fn classification_counts_match_raw_records(data in arb_data()) {
+        let class = classification(&data);
+        for &(p, vps, _) in &data {
+            match vps {
+                0 => prop_assert!(!class.observations.contains_key(&key(p))),
+                1 => prop_assert_eq!(class.class_of(key(p)), laces_core::Class::Unicast),
+                n => prop_assert_eq!(class.class_of(key(p)), laces_core::Class::Anycast { n_vps: n }),
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Authenticated control-channel envelopes (R8).
+//!
+//! The real deployment secures Orchestrator↔Worker traffic with TLS
+//! (an orchestrator certificate and pinned public keys at the workers).
+//! Inside the simulation there is no network to eavesdrop on, but the
+//! *protocol property* still matters: a worker must reject instructions
+//! that were not produced by its orchestrator. We model this with a keyed
+//! message tag — a MAC-shaped construction over a shared key. It is **not**
+//! cryptography (the mixer is a statistical hash, not a PRF); it is the
+//! simulation stand-in that keeps the authentication code path, and its
+//! failure handling, real.
+
+use serde::{Deserialize, Serialize};
+
+/// Shared authentication key, distributed out-of-band (in the real system:
+/// the orchestrator's certificate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuthKey(pub u64);
+
+impl AuthKey {
+    /// Derive a per-deployment key from a seed.
+    pub fn derive(seed: u64) -> Self {
+        AuthKey(mix(seed ^ 0xAE57_11D0_C0DE_D00D, 0x5EC2_E7))
+    }
+}
+
+/// An authenticated envelope around a serialisable payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sealed<T> {
+    /// The payload.
+    pub payload: T,
+    tag: u64,
+}
+
+fn mix(mut z: u64, salt: u64) -> u64 {
+    z ^= salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn tag_bytes(key: AuthKey, bytes: &[u8]) -> u64 {
+    let mut acc = mix(key.0, 0x7A6);
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        acc = mix(acc ^ u64::from_le_bytes(w), 0x1D);
+    }
+    acc
+}
+
+impl<T: Serialize> Sealed<T> {
+    /// Seal a payload under `key`.
+    pub fn seal(key: AuthKey, payload: T) -> Self {
+        let bytes = serde_json::to_vec(&payload).expect("payload serialises");
+        let tag = tag_bytes(key, &bytes);
+        Sealed { payload, tag }
+    }
+
+    /// Verify the tag and release the payload; `None` on mismatch.
+    pub fn open(self, key: AuthKey) -> Option<T> {
+        let bytes = serde_json::to_vec(&self.payload).expect("payload serialises");
+        if tag_bytes(key, &bytes) == self.tag {
+            Some(self.payload)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let key = AuthKey::derive(42);
+        let sealed = Sealed::seal(key, ("start".to_string(), 7u32));
+        assert_eq!(sealed.open(key), Some(("start".to_string(), 7u32)));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sealed = Sealed::seal(AuthKey::derive(1), vec![1u8, 2, 3]);
+        assert_eq!(sealed.clone().open(AuthKey::derive(2)), None);
+        assert_eq!(sealed.open(AuthKey::derive(1)), Some(vec![1u8, 2, 3]));
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let mut sealed = Sealed::seal(AuthKey::derive(1), vec![1u8, 2, 3]);
+        sealed.payload[0] = 99;
+        assert_eq!(sealed.open(AuthKey::derive(1)), None);
+    }
+
+    #[test]
+    fn keys_derive_deterministically_and_differ() {
+        assert_eq!(AuthKey::derive(5), AuthKey::derive(5));
+        assert_ne!(AuthKey::derive(5), AuthKey::derive(6));
+    }
+}

@@ -1,0 +1,211 @@
+//! Anycast-based classification (the MAnycast² methodology, rebuilt).
+//!
+//! For each probed prefix, count the distinct workers that captured
+//! responses: one worker → unicast; more than one → anycast candidate;
+//! none → unresponsive. The census publishes this verdict *independently*
+//! of the GCD verdict (R1: results convey per-methodology confidence), and
+//! the VP count itself is the key confidence signal — Table 3 shows
+//! 2-VP candidates are mostly false positives while 5+-VP candidates are
+//! almost all real.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use laces_packet::PrefixKey;
+use serde::{Deserialize, Serialize};
+
+use crate::results::MeasurementOutcome;
+
+/// Verdict of the anycast-based stage for one prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Class {
+    /// Responses arrived at `n_vps` (>1) distinct workers.
+    Anycast {
+        /// Number of distinct receiving workers.
+        n_vps: usize,
+    },
+    /// All responses arrived at a single worker.
+    Unicast,
+    /// No responses captured.
+    Unresponsive,
+}
+
+impl Class {
+    /// Whether the verdict is an anycast candidate.
+    pub fn is_anycast(self) -> bool {
+        matches!(self, Class::Anycast { .. })
+    }
+}
+
+/// Per-prefix observation detail.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixObservation {
+    /// Workers that captured at least one response.
+    pub rx_workers: BTreeSet<u16>,
+    /// Total responses captured.
+    pub n_responses: u32,
+    /// Distinct CHAOS identities observed (CHAOS measurements only).
+    pub chaos_values: BTreeSet<String>,
+}
+
+/// The anycast-based classification of one measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnycastClassification {
+    /// Per-prefix observations (only prefixes that responded appear).
+    pub observations: BTreeMap<PrefixKey, PrefixObservation>,
+    /// Number of probed targets.
+    pub n_targets: usize,
+}
+
+impl AnycastClassification {
+    /// Aggregate a measurement outcome.
+    pub fn from_outcome(outcome: &MeasurementOutcome) -> Self {
+        let mut observations: BTreeMap<PrefixKey, PrefixObservation> = BTreeMap::new();
+        for r in &outcome.records {
+            let o = observations.entry(r.prefix).or_default();
+            o.rx_workers.insert(r.rx_worker);
+            o.n_responses += 1;
+            if let Some(c) = &r.chaos_identity {
+                if !o.chaos_values.contains(c.as_str()) {
+                    o.chaos_values.insert(c.clone());
+                }
+            }
+        }
+        AnycastClassification {
+            observations,
+            n_targets: outcome.n_targets,
+        }
+    }
+
+    /// Verdict for a prefix that was in the hitlist.
+    pub fn class_of(&self, prefix: PrefixKey) -> Class {
+        match self.observations.get(&prefix) {
+            None => Class::Unresponsive,
+            Some(o) if o.rx_workers.len() > 1 => Class::Anycast {
+                n_vps: o.rx_workers.len(),
+            },
+            Some(_) => Class::Unicast,
+        }
+    }
+
+    /// All anycast candidates (the paper's "anycast targets", AT).
+    pub fn anycast_targets(&self) -> Vec<PrefixKey> {
+        self.observations
+            .iter()
+            .filter(|(_, o)| o.rx_workers.len() > 1)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Candidates bucketed by receiving-VP count (Table 3's rows).
+    pub fn vp_count_histogram(&self) -> BTreeMap<usize, usize> {
+        let mut h = BTreeMap::new();
+        for o in self.observations.values() {
+            if o.rx_workers.len() > 1 {
+                *h.entry(o.rx_workers.len()).or_insert(0) += 1;
+            }
+        }
+        h
+    }
+
+    /// Count of responsive prefixes.
+    pub fn n_responsive(&self) -> usize {
+        self.observations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::ProbeRecord;
+    use laces_netsim::PlatformId;
+    use laces_packet::Protocol;
+
+    fn record(prefix: &str, rx: u16) -> ProbeRecord {
+        ProbeRecord {
+            prefix: PrefixKey::of(prefix.parse().unwrap()),
+            protocol: Protocol::Icmp,
+            rx_worker: rx,
+            tx_worker: Some(rx),
+            tx_time_ms: Some(0),
+            rx_time_ms: 10,
+            chaos_identity: None,
+        }
+    }
+
+    fn outcome(records: Vec<ProbeRecord>) -> MeasurementOutcome {
+        MeasurementOutcome {
+            measurement_id: 1,
+            platform: PlatformId(0),
+            protocol: Protocol::Icmp,
+            n_workers: 32,
+            probes_sent: 96,
+            n_targets: 3,
+            records,
+            failed_workers: vec![],
+        }
+    }
+
+    #[test]
+    fn classifies_by_distinct_receivers() {
+        let o = outcome(vec![
+            record("10.0.0.1", 0),
+            record("10.0.0.2", 0),
+            record("10.0.0.2", 0), // duplicate receiver, still unicast
+            record("10.0.1.1", 0),
+            record("10.0.1.1", 5),
+            record("10.0.1.1", 9),
+        ]);
+        let c = AnycastClassification::from_outcome(&o);
+        assert_eq!(
+            c.class_of(PrefixKey::of("10.0.0.2".parse().unwrap())),
+            Class::Unicast
+        );
+        assert_eq!(
+            c.class_of(PrefixKey::of("10.0.1.99".parse().unwrap())),
+            Class::Anycast { n_vps: 3 },
+            "same /24 aggregates"
+        );
+        assert_eq!(
+            c.class_of(PrefixKey::of("10.9.9.9".parse().unwrap())),
+            Class::Unresponsive
+        );
+        assert_eq!(c.anycast_targets().len(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_vp_count() {
+        let o = outcome(vec![
+            record("10.0.0.1", 0),
+            record("10.0.0.1", 1),
+            record("10.0.1.1", 0),
+            record("10.0.1.1", 1),
+            record("10.0.2.1", 0),
+            record("10.0.2.1", 1),
+            record("10.0.2.1", 2),
+        ]);
+        let c = AnycastClassification::from_outcome(&o);
+        let h = c.vp_count_histogram();
+        assert_eq!(h.get(&2), Some(&2));
+        assert_eq!(h.get(&3), Some(&1));
+    }
+
+    #[test]
+    fn chaos_values_deduplicate() {
+        let mut r1 = record("10.0.0.1", 0);
+        r1.chaos_identity = Some("auth1".into());
+        let mut r2 = record("10.0.0.1", 1);
+        r2.chaos_identity = Some("auth1".into());
+        let mut r3 = record("10.0.0.1", 2);
+        r3.chaos_identity = Some("ams01".into());
+        let c = AnycastClassification::from_outcome(&outcome(vec![r1, r2, r3]));
+        let o = &c.observations[&PrefixKey::of("10.0.0.1".parse().unwrap())];
+        assert_eq!(o.chaos_values.len(), 2);
+    }
+
+    #[test]
+    fn is_anycast_helper() {
+        assert!(Class::Anycast { n_vps: 2 }.is_anycast());
+        assert!(!Class::Unicast.is_anycast());
+        assert!(!Class::Unresponsive.is_anycast());
+    }
+}

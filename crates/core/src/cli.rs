@@ -1,0 +1,169 @@
+//! The CLI component: measurement definitions from command-line arguments.
+//!
+//! The CLI is deliberately thin (paper §4.1.1): it parses a measurement
+//! definition, forwards it to the Orchestrator, and sinks the result
+//! stream. This module provides the argument parsing used by the example
+//! binaries; the heavy lifting lives in [`crate::orchestrator`].
+
+use laces_packet::{IpVersion, ProbeEncoding, Protocol};
+
+/// A parsed CLI request (before target resolution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliRequest {
+    /// Protocol to probe.
+    pub protocol: Protocol,
+    /// Address family.
+    pub family: IpVersion,
+    /// Hitlist streaming rate (targets per second).
+    pub rate_per_s: u32,
+    /// Inter-worker offset, milliseconds.
+    pub offset_ms: u64,
+    /// Probe encoding.
+    pub encoding: ProbeEncoding,
+    /// Platform name (resolved against the world's platform registry).
+    pub platform: String,
+    /// Simulated day.
+    pub day: u32,
+}
+
+impl Default for CliRequest {
+    fn default() -> Self {
+        CliRequest {
+            protocol: Protocol::Icmp,
+            family: IpVersion::V4,
+            rate_per_s: 10_000,
+            offset_ms: 1_000,
+            encoding: ProbeEncoding::PerWorker,
+            platform: "production-32".to_string(),
+            day: 0,
+        }
+    }
+}
+
+/// Errors from argument parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage string for the example binaries.
+pub const USAGE: &str = "\
+usage: laces [options]
+  --protocol icmp|tcp|udp|chaos   probing protocol (default icmp)
+  --ipv4 | --ipv6                 address family (default ipv4)
+  --rate N                        hitlist rate, targets/second (default 10000)
+  --offset MS                     inter-worker probe offset in ms (default 1000)
+  --static                        send byte-identical probes from all workers
+  --platform NAME                 probing platform (default production-32)
+  --day N                         simulated day (default 0)
+";
+
+/// Parse CLI-style arguments into a request.
+pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<CliRequest, ParseError> {
+    let mut req = CliRequest::default();
+    let mut it = args.iter().map(|s| s.as_ref());
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .map(str::to_string)
+                .ok_or_else(|| ParseError(format!("{name} requires a value")))
+        };
+        match arg {
+            "--protocol" => {
+                req.protocol = match value("--protocol")?.to_lowercase().as_str() {
+                    "icmp" => Protocol::Icmp,
+                    "tcp" => Protocol::Tcp,
+                    "udp" | "dns" => Protocol::Udp,
+                    "chaos" => Protocol::Chaos,
+                    other => return Err(ParseError(format!("unknown protocol {other:?}"))),
+                }
+            }
+            "--ipv4" => req.family = IpVersion::V4,
+            "--ipv6" => req.family = IpVersion::V6,
+            "--rate" => {
+                req.rate_per_s = value("--rate")?
+                    .parse()
+                    .map_err(|_| ParseError("--rate expects an integer".into()))?;
+                if req.rate_per_s == 0 {
+                    return Err(ParseError("--rate must be positive".into()));
+                }
+            }
+            "--offset" => {
+                req.offset_ms = value("--offset")?
+                    .parse()
+                    .map_err(|_| ParseError("--offset expects an integer".into()))?
+            }
+            "--static" => req.encoding = ProbeEncoding::Static,
+            "--platform" => req.platform = value("--platform")?,
+            "--day" => {
+                req.day = value("--day")?
+                    .parse()
+                    .map_err(|_| ParseError("--day expects an integer".into()))?
+            }
+            other => return Err(ParseError(format!("unknown argument {other:?}\n{USAGE}"))),
+        }
+    }
+    Ok(req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_daily_census() {
+        let req = parse_args::<&str>(&[]).unwrap();
+        assert_eq!(req, CliRequest::default());
+        assert_eq!(req.offset_ms, 1_000);
+        assert_eq!(req.protocol, Protocol::Icmp);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let req = parse_args(&[
+            "--protocol",
+            "tcp",
+            "--ipv6",
+            "--rate",
+            "500",
+            "--offset",
+            "0",
+            "--static",
+            "--platform",
+            "cctld-12",
+            "--day",
+            "7",
+        ])
+        .unwrap();
+        assert_eq!(req.protocol, Protocol::Tcp);
+        assert_eq!(req.family, IpVersion::V6);
+        assert_eq!(req.rate_per_s, 500);
+        assert_eq!(req.offset_ms, 0);
+        assert_eq!(req.encoding, ProbeEncoding::Static);
+        assert_eq!(req.platform, "cctld-12");
+        assert_eq!(req.day, 7);
+    }
+
+    #[test]
+    fn dns_aliases_udp() {
+        assert_eq!(
+            parse_args(&["--protocol", "dns"]).unwrap().protocol,
+            Protocol::Udp
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_and_invalid() {
+        assert!(parse_args(&["--bogus"]).is_err());
+        assert!(parse_args(&["--rate", "fast"]).is_err());
+        assert!(parse_args(&["--rate", "0"]).is_err());
+        assert!(parse_args(&["--rate"]).is_err());
+        assert!(parse_args(&["--protocol", "quic"]).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! The Orchestrator component.
+//!
+//! The Orchestrator is the central controller: it seals start orders for
+//! every Worker, streams the hitlist to them at the configured rate
+//! (buffering it so workers never hold it, R10), collects the result
+//! stream, and survives worker failures by completing the measurement with
+//! the remaining workers (R5).
+//!
+//! In the real system the components are separate processes connected by
+//! authenticated gRPC streams; here each Worker is an OS thread and the
+//! streams are `crossbeam` channels, which preserves the concurrency
+//! structure (streaming, backpressure, failure isolation) while staying
+//! inside one deterministic process.
+
+use std::sync::Arc;
+
+use crossbeam::channel;
+use laces_netsim::{platform as plat, World};
+use laces_packet::IpVersion;
+
+use crate::auth::{AuthKey, Sealed};
+use crate::rate::window_start_ms;
+use crate::results::{MeasurementOutcome, WorkerEvent};
+use crate::spec::MeasurementSpec;
+use crate::worker::{run_worker, ProbeOrder, StartOrder, WorkerOut};
+
+/// How many orders may queue per worker before the hitlist stream blocks
+/// (the paper's Orchestrator buffers the hitlist and streams it; workers
+/// keep only a small in-flight window).
+const ORDER_QUEUE: usize = 4_096;
+
+/// Run a measurement to completion and aggregate the result stream.
+///
+/// Panics if the spec's platform is not an anycast platform or has more
+/// workers than the probe encodings can attribute (64).
+pub fn run_measurement(world: &Arc<World>, spec: &MeasurementSpec) -> MeasurementOutcome {
+    run_measurement_abortable(world, spec, &AbortHandle::new())
+}
+
+/// A cancellation handle for a running measurement (R5: "Disconnecting the
+/// CLI can be used to cancel incorrect measurements"). Cloneable; setting
+/// it stops the Orchestrator's hitlist stream, after which workers finish
+/// their in-flight probes, drain captures, and report normally — no
+/// unnecessary probes are sent (R3).
+#[derive(Debug, Clone, Default)]
+pub struct AbortHandle(Arc<std::sync::atomic::AtomicBool>);
+
+impl AbortHandle {
+    /// A fresh, un-triggered handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cancel the measurement (idempotent).
+    pub fn abort(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_aborted(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+/// [`run_measurement`] with a cancellation handle.
+pub fn run_measurement_abortable(
+    world: &Arc<World>,
+    spec: &MeasurementSpec,
+    abort: &AbortHandle,
+) -> MeasurementOutcome {
+    let platform = world.platform(spec.platform);
+    assert!(
+        platform.is_anycast(),
+        "measurements probe from an anycast platform"
+    );
+    let n_workers = platform.n_vps();
+    assert!(
+        n_workers >= 1 && n_workers <= 64,
+        "worker count {n_workers} out of range"
+    );
+
+    let key = AuthKey::derive(world.cfg.seed ^ u64::from(spec.id));
+    let span_ms = spec.span_ms(n_workers);
+
+    // Family of the measurement follows the first target (hitlists are
+    // single-family); the platform announces both an IPv4 and IPv6 prefix.
+    let family = spec
+        .targets
+        .first()
+        .map(|a| IpVersion::of(*a))
+        .unwrap_or(IpVersion::V4);
+    let src_addr = match family {
+        IpVersion::V4 => plat::anycast_src_v4(spec.platform),
+        IpVersion::V6 => plat::anycast_src_v6(spec.platform),
+    };
+
+    // Channels: per-worker bounded order queues; unbounded capture fabric
+    // (replies in flight; unbounded rules out cyclic backpressure deadlock);
+    // one shared result stream.
+    let mut order_txs = Vec::with_capacity(n_workers);
+    let mut order_rxs = Vec::with_capacity(n_workers);
+    let mut cap_txs = Vec::with_capacity(n_workers);
+    let mut cap_rxs = Vec::with_capacity(n_workers);
+    for _ in 0..n_workers {
+        let (ot, or) = channel::bounded::<ProbeOrder>(ORDER_QUEUE);
+        order_txs.push(ot);
+        order_rxs.push(or);
+        let (ct, cr) = channel::unbounded();
+        cap_txs.push(ct);
+        cap_rxs.push(cr);
+    }
+    let (out_tx, out_rx) = channel::unbounded::<WorkerOut>();
+
+    let mut records = Vec::new();
+    let mut probes_sent = 0u64;
+    let mut failed_workers = Vec::new();
+
+    std::thread::scope(|scope| {
+        for (w, (orders, captures)) in order_rxs.into_iter().zip(cap_rxs).enumerate() {
+            let start = StartOrder {
+                measurement_id: spec.id,
+                platform: spec.platform,
+                worker_id: w as u16,
+                protocol: spec.protocol,
+                encoding: spec.encoding,
+                offset_ms: spec.offset_ms,
+                span_ms,
+                day: spec.day,
+                src_addr,
+                fail_after: spec
+                    .fail
+                    .and_then(|f| (usize::from(f.worker) == w).then_some(f.after_orders)),
+            };
+            let sealed = Sealed::seal(key, start);
+            let fabric = cap_txs.clone();
+            let out = out_tx.clone();
+            let world = Arc::clone(world);
+            scope.spawn(move || {
+                run_worker(&world, key, sealed, orders, captures, fabric, out)
+                    .expect("start order seals under the same key");
+            });
+        }
+        // The orchestrator keeps no capture senders or result senders.
+        drop(cap_txs);
+        drop(out_tx);
+
+        // Stream the hitlist at the configured rate. Each target is ordered
+        // to every worker; a worker that died has a closed queue and is
+        // skipped (R5: measurement continues with the remaining workers).
+        let abort = abort.clone();
+        scope.spawn(move || {
+            for (i, &target) in spec.targets.iter().enumerate() {
+                if abort.is_aborted() {
+                    // CLI disconnected: stop streaming; workers wind down.
+                    break;
+                }
+                let order = ProbeOrder {
+                    target,
+                    window_start_ms: window_start_ms(i, spec.rate_per_s),
+                };
+                for (w, tx) in order_txs.iter().enumerate() {
+                    // Non-sender workers (single-VP precheck mode) receive
+                    // no orders but still capture replies.
+                    if spec.is_sender(w as u16) {
+                        let _ = tx.send(order);
+                    }
+                }
+            }
+            // Dropping the senders closes every worker's order stream.
+        });
+
+        // Aggregate the live result stream (this is the CLI's sink file).
+        for msg in out_rx.iter() {
+            match msg {
+                WorkerOut::Record(r) => records.push(r),
+                WorkerOut::Event(WorkerEvent::Done { probes_sent: p, .. }) => probes_sent += p,
+                WorkerOut::Event(WorkerEvent::Failed {
+                    worker,
+                    probes_sent: p,
+                }) => {
+                    probes_sent += p;
+                    failed_workers.push(worker);
+                }
+            }
+        }
+    });
+
+    failed_workers.sort_unstable();
+    MeasurementOutcome {
+        measurement_id: spec.id,
+        platform: spec.platform,
+        protocol: spec.protocol,
+        n_workers,
+        probes_sent,
+        n_targets: spec.targets.len(),
+        records,
+        failed_workers,
+    }
+}
+
+/// Result of a prechecked measurement (§6 future work: "check
+/// responsiveness from a single VP before probing from all VPs").
+#[derive(Debug, Clone)]
+pub struct PrecheckedOutcome {
+    /// The full measurement over responsive targets only.
+    pub outcome: MeasurementOutcome,
+    /// Probes spent by the single-worker precheck pass.
+    pub precheck_probes: u64,
+    /// Targets that answered the precheck and were probed fully.
+    pub responsive_targets: usize,
+    /// Targets skipped as unresponsive.
+    pub skipped_targets: usize,
+}
+
+impl PrecheckedOutcome {
+    /// Total probes across both phases.
+    pub fn total_probes(&self) -> u64 {
+        self.precheck_probes + self.outcome.probes_sent
+    }
+}
+
+/// Run a measurement with a single-worker responsiveness precheck: worker
+/// `precheck_worker` probes the full hitlist alone (all workers capture);
+/// only targets that answered are then probed by the full platform.
+///
+/// On a hitlist with unresponsive share `u`, this saves roughly
+/// `u × (n_workers - 1) / n_workers` of the probe budget at the cost of
+/// missing targets that lose the single precheck probe.
+pub fn run_with_precheck(
+    world: &Arc<World>,
+    spec: &MeasurementSpec,
+    precheck_worker: u16,
+) -> PrecheckedOutcome {
+    let mut pre = spec.clone();
+    pre.id = spec.id ^ 0x4000_0000;
+    pre.senders = Some(vec![precheck_worker]);
+    let pre_outcome = run_measurement(world, &pre);
+
+    let responsive: std::collections::BTreeSet<laces_packet::PrefixKey> =
+        pre_outcome.records.iter().map(|r| r.prefix).collect();
+    let filtered: Vec<std::net::IpAddr> = spec
+        .targets
+        .iter()
+        .copied()
+        .filter(|a| responsive.contains(&laces_packet::PrefixKey::of(*a)))
+        .collect();
+    let skipped = spec.targets.len() - filtered.len();
+
+    let mut full = spec.clone();
+    full.targets = Arc::new(filtered);
+    let outcome = run_measurement(world, &full);
+    PrecheckedOutcome {
+        responsive_targets: outcome.n_targets,
+        skipped_targets: skipped,
+        precheck_probes: pre_outcome.probes_sent,
+        outcome,
+    }
+}

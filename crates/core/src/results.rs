@@ -1,0 +1,125 @@
+//! Measurement results: the records workers stream back and their
+//! aggregation at the CLI.
+
+use laces_netsim::PlatformId;
+use laces_packet::{PrefixKey, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// One captured, validated reply.
+///
+/// This is what a Worker streams to the Orchestrator the moment a reply is
+/// captured (R5: workers hold no state; R10: results leave the worker
+/// immediately).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeRecord {
+    /// Census prefix of the responding address.
+    pub prefix: PrefixKey,
+    /// Protocol of the reply.
+    pub protocol: Protocol,
+    /// Worker that captured the reply.
+    pub rx_worker: u16,
+    /// Worker that sent the eliciting probe (decoded from the echoed
+    /// metadata; `None` under static encoding).
+    pub tx_worker: Option<u16>,
+    /// Probe transmit time (echoed), if recoverable.
+    pub tx_time_ms: Option<u64>,
+    /// Capture time.
+    pub rx_time_ms: u64,
+    /// CHAOS identity disclosed by the responder, if any.
+    pub chaos_identity: Option<String>,
+}
+
+impl ProbeRecord {
+    /// Round-trip time computed from echoed transmit time, as the real tool
+    /// does (`None` when attribution is unavailable).
+    pub fn rtt_ms(&self) -> Option<u64> {
+        self.tx_time_ms.map(|tx| self.rx_time_ms.saturating_sub(tx))
+    }
+}
+
+/// Worker lifecycle events interleaved with results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkerEvent {
+    /// Worker finished its order stream and drained captures.
+    Done {
+        /// Worker id.
+        worker: u16,
+        /// Probes it transmitted.
+        probes_sent: u64,
+    },
+    /// Worker disconnected mid-measurement (outage; R5).
+    Failed {
+        /// Worker id.
+        worker: u16,
+        /// Probes it transmitted before failing.
+        probes_sent: u64,
+    },
+}
+
+/// Aggregated outcome of one measurement, as assembled at the CLI.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasurementOutcome {
+    /// Measurement id.
+    pub measurement_id: u32,
+    /// Probing platform.
+    pub platform: PlatformId,
+    /// Protocol probed.
+    pub protocol: Protocol,
+    /// Number of workers that started.
+    pub n_workers: usize,
+    /// Total probes transmitted across workers.
+    pub probes_sent: u64,
+    /// Number of targets in the hitlist.
+    pub n_targets: usize,
+    /// Every captured reply.
+    pub records: Vec<ProbeRecord>,
+    /// Workers that failed mid-measurement.
+    pub failed_workers: Vec<u16>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_from_echoed_time() {
+        let r = ProbeRecord {
+            prefix: PrefixKey::of("10.0.0.1".parse().unwrap()),
+            protocol: Protocol::Icmp,
+            rx_worker: 3,
+            tx_worker: Some(1),
+            tx_time_ms: Some(100),
+            rx_time_ms: 142,
+            chaos_identity: None,
+        };
+        assert_eq!(r.rtt_ms(), Some(42));
+    }
+
+    #[test]
+    fn rtt_unavailable_without_attribution() {
+        let r = ProbeRecord {
+            prefix: PrefixKey::of("10.0.0.1".parse().unwrap()),
+            protocol: Protocol::Icmp,
+            rx_worker: 3,
+            tx_worker: None,
+            tx_time_ms: None,
+            rx_time_ms: 142,
+            chaos_identity: None,
+        };
+        assert_eq!(r.rtt_ms(), None);
+    }
+
+    #[test]
+    fn rtt_saturates_on_clock_skew() {
+        let r = ProbeRecord {
+            prefix: PrefixKey::of("10.0.0.1".parse().unwrap()),
+            protocol: Protocol::Tcp,
+            rx_worker: 0,
+            tx_worker: Some(0),
+            tx_time_ms: Some(500),
+            rx_time_ms: 400,
+            chaos_identity: None,
+        };
+        assert_eq!(r.rtt_ms(), Some(0));
+    }
+}

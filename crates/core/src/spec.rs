@@ -1,0 +1,126 @@
+//! Measurement definitions.
+//!
+//! A [`MeasurementSpec`] is what the CLI hands to the Orchestrator: which
+//! platform probes, what protocol, which targets, how fast, and with what
+//! inter-worker offset. The paper's two probing disciplines are both
+//! expressed through `offset_ms`: LACeS's synchronized probing uses 0–1 s
+//! offsets, while the MAnycast² baseline's sequential per-VP sweeps
+//! correspond to offsets of minutes (§5.1.5).
+
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use laces_netsim::PlatformId;
+use laces_packet::{ProbeEncoding, Protocol};
+use serde::{Deserialize, Serialize};
+
+/// Deliberate fault injection for robustness tests (R5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureInjection {
+    /// The worker that will disconnect.
+    pub worker: u16,
+    /// How many probe orders it processes before going dark.
+    pub after_orders: usize,
+}
+
+/// A complete measurement definition.
+#[derive(Debug, Clone)]
+pub struct MeasurementSpec {
+    /// Measurement identifier, embedded in every probe and used to filter
+    /// captured replies.
+    pub id: u32,
+    /// The anycast platform whose workers probe.
+    pub platform: PlatformId,
+    /// Probing protocol.
+    pub protocol: Protocol,
+    /// Target addresses (one representative per census prefix).
+    pub targets: Arc<Vec<IpAddr>>,
+    /// Hitlist streaming rate, in targets per second (R3: the probe load a
+    /// target sees is `n_workers` packets per target regardless of rate;
+    /// the rate bounds the *platform's* egress).
+    pub rate_per_s: u32,
+    /// Offset between consecutive workers' probes to the same target, in
+    /// milliseconds. The target sees a ping train with this period.
+    pub offset_ms: u64,
+    /// Probe encoding (per-worker attribution or the §5.1.4 static mode).
+    pub encoding: ProbeEncoding,
+    /// Simulated day of the measurement.
+    pub day: u32,
+    /// Optional worker-failure injection.
+    pub fail: Option<FailureInjection>,
+    /// Restrict probing to these workers (all workers still capture).
+    /// `None` means every worker probes. Used by the single-VP
+    /// responsiveness precheck (paper §6 future work).
+    pub senders: Option<Vec<u16>>,
+}
+
+impl MeasurementSpec {
+    /// A spec with the daily-census defaults: 1 s offsets, per-worker
+    /// encoding, 10 k targets/s.
+    pub fn census(
+        id: u32,
+        platform: PlatformId,
+        protocol: Protocol,
+        targets: Arc<Vec<IpAddr>>,
+        day: u32,
+    ) -> Self {
+        MeasurementSpec {
+            id,
+            platform,
+            protocol,
+            targets,
+            rate_per_s: 10_000,
+            offset_ms: 1_000,
+            encoding: ProbeEncoding::PerWorker,
+            day,
+            fail: None,
+            senders: None,
+        }
+    }
+
+    /// Whether `worker` transmits probes under this spec.
+    pub fn is_sender(&self, worker: u16) -> bool {
+        self.senders.as_ref().map_or(true, |s| s.contains(&worker))
+    }
+
+    /// Window span between the first and last probe a target receives.
+    pub fn span_ms(&self, n_workers: usize) -> u64 {
+        self.offset_ms * (n_workers.saturating_sub(1)) as u64
+    }
+
+    /// Total probes this measurement will send.
+    pub fn probe_budget(&self, n_workers: usize) -> u64 {
+        self.targets.len() as u64 * n_workers as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(offset: u64) -> MeasurementSpec {
+        let mut s = MeasurementSpec::census(
+            1,
+            PlatformId(0),
+            Protocol::Icmp,
+            Arc::new(vec!["10.0.0.1".parse().unwrap(); 10]),
+            0,
+        );
+        s.offset_ms = offset;
+        s
+    }
+
+    #[test]
+    fn span_is_offset_times_gaps() {
+        assert_eq!(spec(1_000).span_ms(32), 31_000);
+        assert_eq!(spec(0).span_ms(32), 0);
+        assert_eq!(spec(780_000).span_ms(32), 24_180_000); // the 13-minute baseline
+        assert_eq!(spec(1_000).span_ms(1), 0);
+        assert_eq!(spec(1_000).span_ms(0), 0);
+    }
+
+    #[test]
+    fn probe_budget_counts_workers() {
+        assert_eq!(spec(1_000).probe_budget(32), 320);
+    }
+}

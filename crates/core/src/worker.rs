@@ -1,0 +1,203 @@
+//! The Worker component.
+//!
+//! A Worker runs at one site of the anycast measurement platform. It
+//! receives a sealed start order, then a stream of probe orders from the
+//! Orchestrator; for each order it transmits one probe at its scheduled
+//! offset. Replies captured at its site (which may answer *other* workers'
+//! probes — that is the whole point of the methodology) are validated
+//! against the measurement id and streamed back as [`ProbeRecord`]s
+//! immediately, so a worker holds neither the hitlist nor results (R10) and
+//! its loss costs only its own captures (R5).
+
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender, TrySendError};
+use laces_netsim::wire::{MeasurementCtx, ProbeSource};
+use laces_netsim::{Delivery, PlatformId, World};
+use laces_packet::probe::{build_probe, parse_reply, ProbeMeta};
+use laces_packet::{PrefixKey, ProbeEncoding, Protocol};
+use serde::{Deserialize, Serialize};
+
+use crate::auth::{AuthKey, Sealed};
+use crate::results::{ProbeRecord, WorkerEvent};
+
+/// The sealed instruction that starts a worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StartOrder {
+    /// Measurement id to embed and filter on.
+    pub measurement_id: u32,
+    /// Platform this worker belongs to.
+    pub platform: PlatformId,
+    /// This worker's site index.
+    pub worker_id: u16,
+    /// Protocol to probe.
+    pub protocol: Protocol,
+    /// Probe encoding.
+    pub encoding: ProbeEncoding,
+    /// Inter-worker offset in milliseconds.
+    pub offset_ms: u64,
+    /// Window span (`(n_workers-1) * offset`).
+    pub span_ms: u64,
+    /// Simulated day.
+    pub day: u32,
+    /// Source address this worker probes from (the platform's anycast
+    /// address for the target family).
+    pub src_addr: IpAddr,
+    /// Fault injection: stop after this many orders.
+    pub fail_after: Option<usize>,
+}
+
+/// One probe order: a target and the window start assigned by the
+/// Orchestrator's rate-controlled schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOrder {
+    /// Target address.
+    pub target: IpAddr,
+    /// Virtual time at which worker 0 probes this target.
+    pub window_start_ms: u64,
+}
+
+/// Messages a worker emits toward the Orchestrator/CLI.
+#[derive(Debug, Clone)]
+pub enum WorkerOut {
+    /// A validated capture.
+    Record(ProbeRecord),
+    /// Lifecycle event.
+    Event(WorkerEvent),
+}
+
+/// Errors that prevent a worker from starting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerError {
+    /// The start order's authentication tag did not verify (R8).
+    BadAuth,
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::BadAuth => write!(f, "start order failed authentication"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+/// Run a worker to completion.
+///
+/// * `orders` — probe orders from the Orchestrator; channel close ends the
+///   probing phase.
+/// * `captures` — replies the wire delivers to this site (fed by all
+///   workers' sends); channel close (every peer finished) ends the capture
+///   phase.
+/// * `fabric` — capture senders toward every worker, indexed by site.
+/// * `out` — stream of records and lifecycle events toward the CLI.
+pub fn run_worker(
+    world: &Arc<World>,
+    key: AuthKey,
+    start: Sealed<StartOrder>,
+    orders: Receiver<ProbeOrder>,
+    captures: Receiver<Delivery>,
+    fabric: Vec<Sender<Delivery>>,
+    out: Sender<WorkerOut>,
+) -> Result<(), WorkerError> {
+    let start = start.open(key).ok_or(WorkerError::BadAuth)?;
+    let ctx = MeasurementCtx {
+        id: start.measurement_id,
+        day: start.day,
+        span_ms: start.span_ms,
+    };
+    let source = ProbeSource::Worker {
+        platform: start.platform,
+        site: start.worker_id as usize,
+    };
+
+    let mut probes_sent: u64 = 0;
+    let mut processed: usize = 0;
+    let mut failed = false;
+
+    let process_capture = |d: Delivery, out: &Sender<WorkerOut>| {
+        // Validate the capture belongs to this measurement; anything else
+        // (other measurements, backscatter) is dropped exactly as the real
+        // capture filter drops it.
+        if let Ok(info) = parse_reply(&d.packet, start.measurement_id, d.rx_time_ms) {
+            let record = ProbeRecord {
+                prefix: PrefixKey::of(d.packet.src),
+                protocol: info.protocol,
+                rx_worker: start.worker_id,
+                tx_worker: info.tx_worker,
+                tx_time_ms: info.tx_time_ms,
+                rx_time_ms: d.rx_time_ms,
+                chaos_identity: info.chaos_identity,
+            };
+            let _ = out.send(WorkerOut::Record(record));
+        }
+    };
+
+    // Probing phase: interleave order processing with opportunistic capture
+    // draining (results stream out while probing is still under way).
+    for order in orders.iter() {
+        if let Some(limit) = start.fail_after {
+            if processed >= limit {
+                failed = true;
+                break;
+            }
+        }
+        processed += 1;
+
+        let tx_time = order.window_start_ms + start.offset_ms * u64::from(start.worker_id);
+        let meta = ProbeMeta {
+            measurement_id: start.measurement_id,
+            worker_id: start.worker_id,
+            tx_time_ms: tx_time,
+        };
+        let pkt = build_probe(
+            start.src_addr,
+            order.target,
+            start.protocol,
+            &meta,
+            start.encoding,
+        );
+        probes_sent += 1;
+        if let Ok(Some(delivery)) =
+            world.send_probe(source, &pkt, tx_time, order.window_start_ms, &ctx)
+        {
+            let rx = delivery.rx_index;
+            if let Some(s) = fabric.get(rx) {
+                // A send can only fail if the receiving worker crashed; the
+                // reply is then lost with it, like packets to a dead site.
+                match s.try_send(delivery) {
+                    Ok(()) | Err(TrySendError::Disconnected(_)) => {}
+                    Err(TrySendError::Full(d)) => {
+                        let _ = s.send(d);
+                    }
+                }
+            }
+        }
+
+        while let Ok(d) = captures.try_recv() {
+            process_capture(d, &out);
+        }
+    }
+
+    // A failed worker vanishes: it neither probes nor captures further.
+    drop(fabric);
+    if failed {
+        let _ = out.send(WorkerOut::Event(WorkerEvent::Failed {
+            worker: start.worker_id,
+            probes_sent,
+        }));
+        return Ok(());
+    }
+
+    // Capture phase: drain until every worker has dropped its senders.
+    for d in captures.iter() {
+        process_capture(d, &out);
+    }
+    let _ = out.send(WorkerOut::Event(WorkerEvent::Done {
+        worker: start.worker_id,
+        probes_sent,
+    }));
+    Ok(())
+}

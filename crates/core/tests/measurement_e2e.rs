@@ -1,0 +1,292 @@
+//! End-to-end measurement tests: CLI-style spec → Orchestrator → Workers →
+//! classification, over a tiny simulated Internet.
+
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use laces_core::classify::{AnycastClassification, Class};
+use laces_core::orchestrator::run_measurement;
+use laces_core::spec::{FailureInjection, MeasurementSpec};
+use laces_netsim::{TargetKind, World, WorldConfig};
+use laces_packet::{PrefixKey, ProbeEncoding, Protocol};
+
+fn world() -> Arc<World> {
+    Arc::new(World::generate(WorldConfig::tiny()))
+}
+
+fn v4_hitlist(world: &World) -> Arc<Vec<IpAddr>> {
+    Arc::new(
+        world.targets[..world.n_v4]
+            .iter()
+            .map(|t| match t.prefix {
+                PrefixKey::V4(p) => IpAddr::V4(p.addr(laces_netsim::targets::REPRESENTATIVE_HOST)),
+                PrefixKey::V6(_) => unreachable!(),
+            })
+            .collect(),
+    )
+}
+
+fn v6_hitlist(world: &World) -> Arc<Vec<IpAddr>> {
+    Arc::new(
+        world.targets[world.n_v4..]
+            .iter()
+            .map(|t| match t.prefix {
+                PrefixKey::V6(p) => {
+                    IpAddr::V6(p.addr(u64::from(laces_netsim::targets::REPRESENTATIVE_HOST)))
+                }
+                PrefixKey::V4(_) => unreachable!(),
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn census_measurement_classifies_all_kinds() {
+    let w = world();
+    let spec = MeasurementSpec::census(
+        10,
+        w.std_platforms.production,
+        Protocol::Icmp,
+        v4_hitlist(&w),
+        0,
+    );
+    let outcome = run_measurement(&w, &spec);
+
+    assert!(outcome.failed_workers.is_empty());
+    assert_eq!(outcome.n_workers, 32);
+    // Every worker transmitted one probe per target.
+    assert_eq!(outcome.probes_sent, spec.probe_budget(32));
+    assert!(!outcome.records.is_empty());
+
+    let class = AnycastClassification::from_outcome(&outcome);
+    let mut anycast_hits = 0;
+    let mut unicast_ok = 0;
+    let mut fn_count = 0;
+    for t in &w.targets[..w.n_v4] {
+        let c = class.class_of(t.prefix);
+        match t.kind {
+            TargetKind::Anycast { dep } if t.resp.icmp && t.any_anycast_on(0) => {
+                if w.deployment(dep).n_distinct_cities() >= 6 {
+                    // Widely distributed deployments must be detected
+                    // (allowing rare churn misses).
+                    if c.is_anycast() {
+                        anycast_hits += 1;
+                    } else {
+                        fn_count += 1;
+                    }
+                }
+            }
+            TargetKind::Unicast { .. } if t.resp.icmp && !t.jittery => {
+                if c == Class::Unicast || c == Class::Unresponsive {
+                    unicast_ok += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        anycast_hits > 20,
+        "only {anycast_hits} wide anycast targets detected"
+    );
+    assert!(
+        fn_count * 10 < anycast_hits,
+        "{fn_count} FNs vs {anycast_hits} TPs"
+    );
+    assert!(
+        unicast_ok > 800,
+        "unicast misclassified: only {unicast_ok} clean"
+    );
+}
+
+#[test]
+fn unresponsive_prefixes_classified_unresponsive() {
+    let w = world();
+    let spec = MeasurementSpec::census(
+        11,
+        w.std_platforms.production,
+        Protocol::Icmp,
+        v4_hitlist(&w),
+        0,
+    );
+    let class = AnycastClassification::from_outcome(&run_measurement(&w, &spec));
+    let mut checked = 0;
+    for t in &w.targets[..w.n_v4] {
+        if !t.resp.any() {
+            assert_eq!(class.class_of(t.prefix), Class::Unresponsive);
+            checked += 1;
+        }
+    }
+    assert!(checked > 100);
+}
+
+#[test]
+fn ipv6_measurement_works() {
+    let w = world();
+    let spec = MeasurementSpec::census(
+        12,
+        w.std_platforms.production,
+        Protocol::Icmp,
+        v6_hitlist(&w),
+        0,
+    );
+    let outcome = run_measurement(&w, &spec);
+    let class = AnycastClassification::from_outcome(&outcome);
+    assert!(
+        class
+            .anycast_targets()
+            .iter()
+            .all(|p| matches!(p, PrefixKey::V6(_))),
+        "v6 census must contain only /48 keys"
+    );
+    assert!(!class.anycast_targets().is_empty());
+}
+
+#[test]
+fn worker_failure_does_not_abort_measurement() {
+    let w = world();
+    let mut spec = MeasurementSpec::census(
+        13,
+        w.std_platforms.production,
+        Protocol::Icmp,
+        v4_hitlist(&w),
+        0,
+    );
+    spec.fail = Some(FailureInjection {
+        worker: 5,
+        after_orders: 10,
+    });
+    let outcome = run_measurement(&w, &spec);
+    assert_eq!(outcome.failed_workers, vec![5]);
+    // The rest of the platform completed: probes from 31 workers for all
+    // targets plus 10 from the failed one.
+    assert_eq!(outcome.probes_sent, 31 * spec.targets.len() as u64 + 10);
+    let class = AnycastClassification::from_outcome(&outcome);
+    assert!(
+        class.anycast_targets().len() > 10,
+        "census still detects anycast"
+    );
+}
+
+#[test]
+fn static_encoding_still_counts_receivers() {
+    let w = world();
+    let mut spec = MeasurementSpec::census(
+        14,
+        w.std_platforms.production,
+        Protocol::Icmp,
+        v4_hitlist(&w),
+        0,
+    );
+    spec.encoding = ProbeEncoding::Static;
+    let outcome = run_measurement(&w, &spec);
+    // §5.1.4: attribution is impossible, but receiving-worker counting (the
+    // classification signal) still works.
+    assert!(outcome.records.iter().all(|r| r.tx_worker.is_none()));
+    let class_static = AnycastClassification::from_outcome(&outcome);
+
+    let spec_regular = MeasurementSpec::census(
+        14,
+        w.std_platforms.production,
+        Protocol::Icmp,
+        v4_hitlist(&w),
+        0,
+    );
+    let class_regular = AnycastClassification::from_outcome(&run_measurement(&w, &spec_regular));
+
+    // The load-balancer experiment's conclusion: static probes match the
+    // regular measurement.
+    assert_eq!(
+        class_static.anycast_targets(),
+        class_regular.anycast_targets(),
+        "static vs varying probes disagree: load balancers should not matter"
+    );
+}
+
+#[test]
+fn reduced_probing_rate_finds_same_anycast_targets() {
+    // §5.5.2: at 1/8th rate the census detects the same anycast targets.
+    let w = world();
+    let mut fast = MeasurementSpec::census(
+        15,
+        w.std_platforms.production,
+        Protocol::Icmp,
+        v4_hitlist(&w),
+        0,
+    );
+    fast.rate_per_s = 10_000;
+    let mut slow = fast.clone();
+    slow.rate_per_s = 10_000 / 8;
+    let at_fast =
+        AnycastClassification::from_outcome(&run_measurement(&w, &fast)).anycast_targets();
+    let at_slow =
+        AnycastClassification::from_outcome(&run_measurement(&w, &slow)).anycast_targets();
+    assert_eq!(at_fast, at_slow);
+}
+
+#[test]
+fn tcp_and_udp_measurements_run() {
+    let w = world();
+    for (id, proto) in [(16, Protocol::Tcp), (17, Protocol::Udp)] {
+        let spec =
+            MeasurementSpec::census(id, w.std_platforms.production, proto, v4_hitlist(&w), 0);
+        let outcome = run_measurement(&w, &spec);
+        assert!(!outcome.records.is_empty(), "{proto} got no replies");
+        assert!(outcome.records.iter().all(|r| r.protocol == proto));
+        let class = AnycastClassification::from_outcome(&outcome);
+        // DNS-only deployments must be detectable via UDP.
+        if proto == Protocol::Udp {
+            let dns_only_found = w.targets[..w.n_v4].iter().any(|t| {
+                matches!(t.kind, TargetKind::Anycast { dep } if w.deployment(dep).operator.starts_with("dns-only"))
+                    && class.class_of(t.prefix).is_anycast()
+            });
+            assert!(
+                dns_only_found,
+                "G-root-style DNS-only anycast missed by UDP probing"
+            );
+        }
+    }
+}
+
+#[test]
+fn smaller_platform_yields_fewer_or_equal_receivers() {
+    let w = world();
+    let hit = v4_hitlist(&w);
+    let spec32 = MeasurementSpec::census(
+        18,
+        w.std_platforms.production,
+        Protocol::Icmp,
+        Arc::clone(&hit),
+        0,
+    );
+    let spec2 = MeasurementSpec::census(19, w.std_platforms.eu_na, Protocol::Icmp, hit, 0);
+    let c32 = AnycastClassification::from_outcome(&run_measurement(&w, &spec32));
+    let c2 = AnycastClassification::from_outcome(&run_measurement(&w, &spec2));
+    // A 2-site platform can never see more than 2 receivers.
+    assert!(c2.vp_count_histogram().keys().all(|&k| k <= 2));
+    // And the 32-site platform detects at least as many wide deployments.
+    let wide32 = c32
+        .vp_count_histogram()
+        .iter()
+        .filter(|(k, _)| **k >= 3)
+        .map(|(_, v)| v)
+        .sum::<usize>();
+    assert!(wide32 > 0);
+}
+
+#[test]
+fn outcome_is_deterministic_across_runs() {
+    let w = world();
+    let spec = MeasurementSpec::census(
+        20,
+        w.std_platforms.production,
+        Protocol::Icmp,
+        v4_hitlist(&w),
+        0,
+    );
+    let a = AnycastClassification::from_outcome(&run_measurement(&w, &spec));
+    let b = AnycastClassification::from_outcome(&run_measurement(&w, &spec));
+    assert_eq!(
+        a.observations, b.observations,
+        "same spec must reproduce identical results"
+    );
+}

@@ -1,0 +1,174 @@
+//! Worker-level security behaviour (R8): a worker must refuse instructions
+//! that do not authenticate, and must ignore captured packets from other
+//! measurements.
+
+use std::sync::Arc;
+
+use crossbeam::channel;
+use laces_core::auth::{AuthKey, Sealed};
+use laces_core::worker::{run_worker, ProbeOrder, StartOrder, WorkerError, WorkerOut};
+use laces_netsim::wire::{MeasurementCtx, ProbeSource};
+use laces_netsim::{platform as plat, World, WorldConfig};
+use laces_packet::probe::{build_probe, ProbeEncoding, ProbeMeta};
+use laces_packet::Protocol;
+
+fn world() -> Arc<World> {
+    Arc::new(World::generate(WorldConfig::tiny()))
+}
+
+fn start_order(world: &World, id: u32) -> StartOrder {
+    StartOrder {
+        measurement_id: id,
+        platform: world.std_platforms.production,
+        worker_id: 0,
+        protocol: Protocol::Icmp,
+        encoding: ProbeEncoding::PerWorker,
+        offset_ms: 1_000,
+        span_ms: 31_000,
+        day: 0,
+        src_addr: plat::anycast_src_v4(world.std_platforms.production),
+        fail_after: None,
+    }
+}
+
+#[test]
+fn worker_refuses_unauthenticated_start_order() {
+    let w = world();
+    let good_key = AuthKey::derive(1);
+    let bad_key = AuthKey::derive(2);
+    let sealed = Sealed::seal(bad_key, start_order(&w, 900));
+
+    let (_order_tx, order_rx) = channel::bounded::<ProbeOrder>(8);
+    let (_cap_tx, cap_rx) = channel::unbounded();
+    let (out_tx, out_rx) = channel::unbounded::<WorkerOut>();
+
+    let err = run_worker(&w, good_key, sealed, order_rx, cap_rx, vec![], out_tx);
+    assert_eq!(err, Err(WorkerError::BadAuth));
+    // A refused worker emits nothing.
+    assert!(out_rx.try_recv().is_err());
+}
+
+#[test]
+fn worker_discards_captures_from_other_measurements() {
+    let w = world();
+    let key = AuthKey::derive(3);
+    let sealed = Sealed::seal(key, start_order(&w, 901));
+
+    // Build a *foreign* reply (different measurement id) and inject it as a
+    // capture; the worker's validation must drop it.
+    let target = w
+        .targets
+        .iter()
+        .find(|t| t.resp.icmp && t.prefix.is_v4())
+        .map(|t| match t.prefix {
+            laces_packet::PrefixKey::V4(p) => std::net::IpAddr::V4(p.addr(77)),
+            _ => unreachable!(),
+        })
+        .unwrap();
+    let src = plat::anycast_src_v4(w.std_platforms.production);
+    let foreign_probe = build_probe(
+        src,
+        target,
+        Protocol::Icmp,
+        &ProbeMeta {
+            measurement_id: 999_999,
+            worker_id: 0,
+            tx_time_ms: 0,
+        },
+        ProbeEncoding::PerWorker,
+    );
+    let ctx = MeasurementCtx {
+        id: 999_999,
+        day: 0,
+        span_ms: 0,
+    };
+    let delivery = w
+        .send_probe(
+            ProbeSource::Worker {
+                platform: w.std_platforms.production,
+                site: 0,
+            },
+            &foreign_probe,
+            0,
+            0,
+            &ctx,
+        )
+        .unwrap()
+        .expect("target responds");
+
+    let (order_tx, order_rx) = channel::bounded::<ProbeOrder>(8);
+    let (cap_tx, cap_rx) = channel::unbounded();
+    let (out_tx, out_rx) = channel::unbounded::<WorkerOut>();
+
+    cap_tx.send(delivery).unwrap();
+    drop(cap_tx);
+    drop(order_tx); // no orders: worker goes straight to the capture phase
+
+    run_worker(&w, key, sealed, order_rx, cap_rx, vec![], out_tx).unwrap();
+
+    let msgs: Vec<WorkerOut> = out_rx.iter().collect();
+    // Only the lifecycle Done event; the foreign capture produced no record.
+    assert_eq!(msgs.len(), 1);
+    assert!(matches!(
+        msgs[0],
+        WorkerOut::Event(laces_core::results::WorkerEvent::Done { probes_sent: 0, .. })
+    ));
+}
+
+#[test]
+fn worker_processes_orders_and_validates_own_captures() {
+    let w = world();
+    let key = AuthKey::derive(4);
+    let id = 902;
+    let sealed = Sealed::seal(key, start_order(&w, id));
+
+    // A handful of responsive targets.
+    let targets: Vec<std::net::IpAddr> = w
+        .targets
+        .iter()
+        .filter(|t| t.resp.icmp && t.prefix.is_v4())
+        .take(20)
+        .map(|t| match t.prefix {
+            laces_packet::PrefixKey::V4(p) => std::net::IpAddr::V4(p.addr(77)),
+            _ => unreachable!(),
+        })
+        .collect();
+
+    let (order_tx, order_rx) = channel::bounded::<ProbeOrder>(64);
+    let (cap_tx, cap_rx) = channel::unbounded();
+    let (out_tx, out_rx) = channel::unbounded::<WorkerOut>();
+
+    for (i, &t) in targets.iter().enumerate() {
+        order_tx
+            .send(ProbeOrder {
+                target: t,
+                window_start_ms: i as u64 * 100,
+            })
+            .unwrap();
+    }
+    drop(order_tx);
+
+    // Fabric: route every delivery back to this single worker regardless of
+    // its true catchment (single-worker harness).
+    run_worker(&w, key, sealed, order_rx, cap_rx, vec![cap_tx; 32], out_tx).unwrap();
+
+    let msgs: Vec<WorkerOut> = out_rx.iter().collect();
+    let records = msgs
+        .iter()
+        .filter(|m| matches!(m, WorkerOut::Record(_)))
+        .count();
+    let done = msgs.iter().any(|m| {
+        matches!(
+            m,
+            WorkerOut::Event(laces_core::results::WorkerEvent::Done {
+                probes_sent: 20,
+                ..
+            })
+        )
+    });
+    assert!(done, "worker must report 20 probes sent");
+    assert!(
+        records > 10,
+        "expected most probes to yield validated records, got {records}"
+    );
+}

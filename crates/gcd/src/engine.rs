@@ -1,0 +1,286 @@
+//! GCD measurement campaigns: latency probing from a unicast VP platform
+//! followed by iGreedy analysis, per target.
+
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use laces_geo::Coord;
+use laces_netsim::wire::{MeasurementCtx, ProbeSource};
+use laces_netsim::{platform as plat, PlatformId, World};
+use laces_packet::probe::{build_probe, ProbeEncoding, ProbeMeta};
+use laces_packet::{PrefixKey, Protocol};
+use serde::{Deserialize, Serialize};
+
+use crate::enumerate::{enumerate, Enumeration, RttSample};
+use crate::vp_selection::select_by_distance;
+
+/// Configuration of a GCD campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GcdConfig {
+    /// Probing protocol (the pipeline uses ICMP and TCP; DNS is excluded
+    /// because request processing adds jitter, §4.2.2).
+    pub protocol: Protocol,
+    /// Probes per (VP, target); the minimum RTT is kept, as scamper does.
+    pub attempts: u8,
+    /// Probe responsiveness from a single VP before engaging the full
+    /// platform (the paper's future-work optimisation; saves ~⅓ of probes
+    /// on full-hitlist scans).
+    pub precheck: bool,
+    /// Keep only VPs at least this far apart (RIPE Atlas selection, §5.2).
+    pub min_vp_distance_km: Option<f64>,
+    /// Cap the number of participating VPs (evenly strided over the
+    /// platform); the §5.6 partial-anycast scan uses nine.
+    pub max_vps: Option<usize>,
+    /// Measurement identifier.
+    pub measurement_id: u32,
+    /// Simulated day.
+    pub day: u32,
+    /// Worker threads for the campaign (0 = all available cores).
+    pub threads: usize,
+}
+
+impl GcdConfig {
+    /// Daily-pipeline defaults: ICMP, one attempt, precheck on.
+    pub fn daily(measurement_id: u32, day: u32) -> Self {
+        GcdConfig {
+            protocol: Protocol::Icmp,
+            attempts: 1,
+            precheck: true,
+            min_vp_distance_km: None,
+            max_vps: None,
+            measurement_id,
+            day,
+            threads: 0,
+        }
+    }
+}
+
+/// GCD verdict for one prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GcdClass {
+    /// Speed-of-light violation: provably replicated.
+    Anycast,
+    /// Responsive, all disks mutually consistent with one host.
+    Unicast,
+    /// No responses.
+    Unresponsive,
+}
+
+/// Per-prefix GCD result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrefixGcd {
+    /// Verdict.
+    pub class: GcdClass,
+    /// iGreedy enumeration (empty for unresponsive prefixes).
+    pub enumeration: Enumeration,
+}
+
+impl PrefixGcd {
+    /// Enumerated site count (0 when unresponsive).
+    pub fn n_sites(&self) -> usize {
+        self.enumeration.n_sites()
+    }
+}
+
+/// Outcome of a GCD campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GcdReport {
+    /// Per-prefix results (every probed target appears).
+    pub results: BTreeMap<PrefixKey, PrefixGcd>,
+    /// Total probes transmitted.
+    pub probes_sent: u64,
+    /// Number of VPs that participated.
+    pub n_vps: usize,
+}
+
+impl GcdReport {
+    /// Prefixes with a proven violation.
+    pub fn anycast_prefixes(&self) -> Vec<PrefixKey> {
+        self.results
+            .iter()
+            .filter(|(_, r)| r.class == GcdClass::Anycast)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Count per class.
+    pub fn count(&self, class: GcdClass) -> usize {
+        self.results.values().filter(|r| r.class == class).count()
+    }
+}
+
+/// The VPs participating in one campaign: flaky platforms (RIPE Atlas)
+/// contribute a per-measurement random subset; a minimum-distance filter
+/// thins the rest.
+pub fn participating_vps(
+    world: &World,
+    platform: PlatformId,
+    cfg: &GcdConfig,
+) -> Vec<(usize, Coord)> {
+    let vps = world.platform(platform).vps();
+    let mut active: Vec<(usize, Coord)> = vps
+        .iter()
+        .enumerate()
+        .filter(|(i, v)| {
+            !v.flaky
+                || laces_netsim::rng::unit_f64(laces_netsim::rng::key(
+                    world.cfg.seed,
+                    &[
+                        0xA7A1,
+                        platform.0 as u64,
+                        *i as u64,
+                        cfg.measurement_id as u64,
+                    ],
+                )) < 0.9
+        })
+        .map(|(i, v)| (i, v.coord))
+        .collect();
+    if let Some(min_km) = cfg.min_vp_distance_km {
+        active = select_by_distance(&active, min_km);
+    }
+    if let Some(max) = cfg.max_vps {
+        if max > 0 && active.len() > max {
+            let step = active.len() as f64 / max as f64;
+            active = (0..max)
+                .map(|i| active[(i as f64 * step) as usize])
+                .collect();
+        }
+    }
+    active
+}
+
+/// Run a GCD campaign from `platform` toward `targets`.
+///
+/// Panics if `platform` is not a unicast VP platform.
+pub fn run_campaign(
+    world: &Arc<World>,
+    platform: PlatformId,
+    targets: &[IpAddr],
+    cfg: &GcdConfig,
+) -> GcdReport {
+    let vps = participating_vps(world, platform, cfg);
+    let probes_sent = AtomicU64::new(0);
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+    let chunk = targets.len().div_ceil(threads.max(1)).max(1);
+
+    let mut results: BTreeMap<PrefixKey, PrefixGcd> = BTreeMap::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in targets.chunks(chunk) {
+            let vps = &vps;
+            let probes_sent = &probes_sent;
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(PrefixKey, PrefixGcd)> = Vec::with_capacity(part.len());
+                let mut sent = 0u64;
+                for &target in part {
+                    let r = measure_target(world, platform, vps, target, cfg, &mut sent);
+                    local.push((PrefixKey::of(target), r));
+                }
+                probes_sent.fetch_add(sent, Ordering::Relaxed);
+                local
+            }));
+        }
+        for h in handles {
+            results.extend(h.join().expect("campaign thread panicked"));
+        }
+    });
+
+    GcdReport {
+        results,
+        probes_sent: probes_sent.into_inner(),
+        n_vps: vps.len(),
+    }
+}
+
+fn measure_target(
+    world: &Arc<World>,
+    platform: PlatformId,
+    vps: &[(usize, Coord)],
+    target: IpAddr,
+    cfg: &GcdConfig,
+    sent: &mut u64,
+) -> PrefixGcd {
+    let ctx = MeasurementCtx {
+        id: cfg.measurement_id,
+        day: cfg.day,
+        span_ms: 0,
+    };
+    let mut samples: Vec<RttSample> = Vec::with_capacity(vps.len());
+
+    let probe_from = |vp: usize, sent: &mut u64| -> Option<f64> {
+        let src = match target {
+            IpAddr::V4(_) => plat::vp_src_v4(platform, vp),
+            IpAddr::V6(_) => plat::vp_src_v6(platform, vp),
+        };
+        let mut best: Option<f64> = None;
+        for attempt in 0..cfg.attempts.max(1) {
+            // Distinct virtual times give each attempt independent jitter.
+            let tx = u64::from(cfg.measurement_id) * 1000 + u64::from(attempt) * 50;
+            let meta = ProbeMeta {
+                measurement_id: cfg.measurement_id,
+                worker_id: vp as u16,
+                tx_time_ms: tx,
+            };
+            let pkt = build_probe(src, target, cfg.protocol, &meta, ProbeEncoding::PerWorker);
+            *sent += 1;
+            if let Ok(Some(d)) =
+                world.send_probe(ProbeSource::Vp { platform, vp }, &pkt, tx, tx, &ctx)
+            {
+                best = Some(best.map_or(d.rtt_ms, |b: f64| b.min(d.rtt_ms)));
+            }
+        }
+        best
+    };
+
+    let mut start = 0usize;
+    if cfg.precheck {
+        // Responsiveness gate from the first participating VP.
+        let Some((vp0, c0)) = vps.first().copied() else {
+            return PrefixGcd {
+                class: GcdClass::Unresponsive,
+                enumeration: enumerate(&[], &world.db),
+            };
+        };
+        match probe_from(vp0, sent) {
+            Some(rtt) => samples.push(RttSample {
+                vp: vp0,
+                vp_coord: c0,
+                rtt_ms: rtt,
+            }),
+            None => {
+                return PrefixGcd {
+                    class: GcdClass::Unresponsive,
+                    enumeration: enumerate(&[], &world.db),
+                }
+            }
+        }
+        start = 1;
+    }
+    for &(vp, coord) in &vps[start..] {
+        if let Some(rtt) = probe_from(vp, sent) {
+            samples.push(RttSample {
+                vp,
+                vp_coord: coord,
+                rtt_ms: rtt,
+            });
+        }
+    }
+
+    let enumeration = enumerate(&samples, &world.db);
+    let class = if enumeration.n_samples == 0 {
+        GcdClass::Unresponsive
+    } else if enumeration.is_anycast() {
+        GcdClass::Anycast
+    } else {
+        GcdClass::Unicast
+    };
+    PrefixGcd { class, enumeration }
+}

@@ -1,0 +1,90 @@
+//! Vantage-point selection.
+//!
+//! The paper's RIPE Atlas campaign (§5.2, Appendix A) selects probes so
+//! that no two are within a minimum distance of each other, trading
+//! enumeration power against probing cost (Fig. 8 sweeps this distance
+//! from 100 km to 1,000 km). The same greedy filter is useful for thinning
+//! any VP platform.
+
+use laces_geo::Coord;
+
+/// Greedy minimum-distance filter: walk the VPs in index order and keep
+/// each one that is at least `min_km` from every VP kept so far.
+///
+/// Index order makes the selection deterministic and stable under platform
+/// growth (new VPs never evict old ones).
+pub fn select_by_distance(vps: &[(usize, Coord)], min_km: f64) -> Vec<(usize, Coord)> {
+    let mut kept: Vec<(usize, Coord)> = Vec::new();
+    for &(idx, coord) in vps {
+        if kept.iter().all(|(_, k)| k.gcd_km(&coord) >= min_km) {
+            kept.push((idx, coord));
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(lat: f64, lon: f64) -> Coord {
+        Coord::new(lat, lon)
+    }
+
+    #[test]
+    fn zero_distance_keeps_everything() {
+        let vps = vec![(0, c(0.0, 0.0)), (1, c(0.0, 0.0)), (2, c(1.0, 1.0))];
+        assert_eq!(select_by_distance(&vps, 0.0).len(), 3);
+    }
+
+    #[test]
+    fn filters_close_pairs() {
+        // Amsterdam and Rotterdam are ~60 km apart.
+        let vps = vec![
+            (0, c(52.37, 4.90)),
+            (1, c(51.92, 4.48)),
+            (2, c(35.68, 139.69)),
+        ];
+        let kept = select_by_distance(&vps, 100.0);
+        assert_eq!(kept.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn larger_min_distance_keeps_fewer() {
+        let vps: Vec<(usize, Coord)> = (0..50)
+            .map(|i| (i, c(-40.0 + (i as f64) * 1.5, (i as f64) * 3.0 - 90.0)))
+            .collect();
+        let mut prev = usize::MAX;
+        for min_km in [0.0, 100.0, 500.0, 1_000.0, 5_000.0] {
+            let n = select_by_distance(&vps, min_km).len();
+            assert!(n <= prev, "selection must shrink as min distance grows");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn kept_vps_respect_constraint() {
+        let vps: Vec<(usize, Coord)> = (0..60)
+            .map(|i| {
+                (
+                    i,
+                    c(
+                        ((i * 13) % 120) as f64 - 60.0,
+                        ((i * 37) % 300) as f64 - 150.0,
+                    ),
+                )
+            })
+            .collect();
+        let kept = select_by_distance(&vps, 800.0);
+        for i in 0..kept.len() {
+            for j in i + 1..kept.len() {
+                assert!(kept[i].1.gcd_km(&kept[j].1) >= 800.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(select_by_distance(&[], 100.0).is_empty());
+    }
+}

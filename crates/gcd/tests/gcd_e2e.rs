@@ -1,0 +1,219 @@
+//! End-to-end GCD tests over a tiny world: the latency methodology must
+//! confirm real anycast, pass unicast, and exhibit the paper's known
+//! failure modes (regional blindness, backing-anycast FPs).
+
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use laces_gcd::engine::{run_campaign, GcdClass, GcdConfig};
+use laces_netsim::{TargetKind, World, WorldConfig};
+use laces_packet::PrefixKey;
+
+fn world() -> Arc<World> {
+    Arc::new(World::generate(WorldConfig::tiny()))
+}
+
+fn addr_of(world: &World, idx: usize) -> IpAddr {
+    match world.targets[idx].prefix {
+        PrefixKey::V4(p) => IpAddr::V4(p.addr(laces_netsim::targets::REPRESENTATIVE_HOST)),
+        PrefixKey::V6(p) => {
+            IpAddr::V6(p.addr(u64::from(laces_netsim::targets::REPRESENTATIVE_HOST)))
+        }
+    }
+}
+
+#[test]
+fn gcd_confirms_global_anycast_and_passes_unicast() {
+    let w = world();
+    let mut targets: Vec<IpAddr> = Vec::new();
+    let mut truth: Vec<bool> = Vec::new(); // is global anycast
+    for (i, t) in w.targets.iter().enumerate() {
+        if !t.prefix.is_v4() || !t.resp.icmp {
+            continue;
+        }
+        match t.kind {
+            TargetKind::Anycast { dep }
+                if w.deployment(dep).n_distinct_cities() >= 8 && t.temp.is_none() =>
+            {
+                targets.push(addr_of(&w, i));
+                truth.push(true);
+            }
+            TargetKind::Unicast { .. } => {
+                if truth.iter().filter(|&&x| !x).count() < 200 {
+                    targets.push(addr_of(&w, i));
+                    truth.push(false);
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        truth.iter().filter(|&&x| x).count() >= 10,
+        "need anycast in the sample"
+    );
+
+    let report = run_campaign(
+        &w,
+        w.std_platforms.ark_dev,
+        &targets,
+        &GcdConfig::daily(500, 0),
+    );
+    let mut tp = 0;
+    let mut fn_ = 0;
+    let mut fp = 0;
+    for (addr, is_any) in targets.iter().zip(&truth) {
+        match (report.results[&PrefixKey::of(*addr)].class, is_any) {
+            (GcdClass::Anycast, true) => tp += 1,
+            (GcdClass::Unicast, true) | (GcdClass::Unresponsive, true) => fn_ += 1,
+            (GcdClass::Anycast, false) => fp += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(fp, 0, "GCD must be sound: no unicast flagged anycast");
+    assert!(tp > fn_ * 5, "GCD recall too low: tp={tp} fn={fn_}");
+}
+
+#[test]
+fn gcd_enumeration_is_lower_bound_and_scales_with_deployment() {
+    let w = world();
+    // Compare a huge deployment and a small one.
+    let mut big = None;
+    let mut small = None;
+    for (i, t) in w.targets.iter().enumerate() {
+        if let TargetKind::Anycast { dep } = t.kind {
+            if !t.resp.icmp || !t.prefix.is_v4() || t.temp.is_some() {
+                continue;
+            }
+            let d = w.deployment(dep);
+            if d.n_distinct_cities() >= 25 && big.is_none() {
+                big = Some((i, d.n_sites()));
+            }
+            if (3..=5).contains(&d.n_distinct_cities()) && !d.regional && small.is_none() {
+                small = Some((i, d.n_sites()));
+            }
+        }
+    }
+    let (big_i, big_sites) = big.expect("a big deployment exists");
+    let report = run_campaign(
+        &w,
+        w.std_platforms.ark_dev,
+        &[addr_of(&w, big_i)],
+        &GcdConfig::daily(501, 0),
+    );
+    let r = &report.results[&w.targets[big_i].prefix];
+    assert_eq!(r.class, GcdClass::Anycast);
+    assert!(
+        r.n_sites() >= 3,
+        "big deployment enumerated {} sites",
+        r.n_sites()
+    );
+    assert!(
+        r.n_sites() <= big_sites,
+        "enumeration {} exceeds truth {}",
+        r.n_sites(),
+        big_sites
+    );
+
+    if let Some((small_i, small_sites)) = small {
+        let report = run_campaign(
+            &w,
+            w.std_platforms.ark_dev,
+            &[addr_of(&w, small_i)],
+            &GcdConfig::daily(502, 0),
+        );
+        let r = &report.results[&w.targets[small_i].prefix];
+        assert!(r.n_sites() <= small_sites);
+    }
+}
+
+#[test]
+fn precheck_reduces_probing_cost_without_changing_verdicts() {
+    let w = world();
+    let targets: Vec<IpAddr> = (0..300.min(w.n_v4)).map(|i| addr_of(&w, i)).collect();
+    let mut with = GcdConfig::daily(503, 0);
+    with.precheck = true;
+    let mut without = with.clone();
+    without.precheck = false;
+    without.measurement_id = 503; // same id: identical availability and jitter keys
+    let a = run_campaign(&w, w.std_platforms.ark, &targets, &with);
+    let b = run_campaign(&w, w.std_platforms.ark, &targets, &without);
+    assert!(a.probes_sent < b.probes_sent, "precheck should save probes");
+    for t in &targets {
+        let k = PrefixKey::of(*t);
+        // Verdicts agree except where the precheck VP missed a responsive
+        // target due to loss (rare; those become unresponsive).
+        let (ca, cb) = (a.results[&k].class, b.results[&k].class);
+        if ca != GcdClass::Unresponsive {
+            assert_eq!(ca, cb, "verdict changed for {k}");
+        }
+    }
+}
+
+#[test]
+fn backing_anycast_creates_v6_false_positives_on_broken_vps() {
+    // §5.8.2: Ark VPs whose AS filters a /48 fall back to the backing
+    // anycast prefix and misclassify the unicast /48 as anycast.
+    let w = world();
+    let backing: Vec<usize> = w
+        .targets
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| matches!(t.kind, TargetKind::BackingAnycast { .. }) && t.resp.icmp)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!backing.is_empty(), "world has backing-anycast targets");
+    let targets: Vec<IpAddr> = backing.iter().map(|&i| addr_of(&w, i)).collect();
+    let report = run_campaign(
+        &w,
+        w.std_platforms.ark_dev,
+        &targets,
+        &GcdConfig::daily(504, 0),
+    );
+    let fps = report.count(GcdClass::Anycast);
+    assert!(fps > 0, "expected backing-anycast FPs through broken VPs");
+}
+
+#[test]
+fn atlas_platform_is_flaky_but_usable() {
+    let w = world();
+    let cfg_a = GcdConfig::daily(505, 0);
+    let cfg_b = GcdConfig::daily(506, 0);
+    let va = laces_gcd::engine::participating_vps(&w, w.std_platforms.atlas, &cfg_a);
+    let vb = laces_gcd::engine::participating_vps(&w, w.std_platforms.atlas, &cfg_b);
+    let n = w.platform(w.std_platforms.atlas).n_vps();
+    assert!(va.len() < n, "some Atlas VPs must be absent");
+    assert!(va.len() > n / 2, "most Atlas VPs present");
+    let ia: Vec<usize> = va.iter().map(|(i, _)| *i).collect();
+    let ib: Vec<usize> = vb.iter().map(|(i, _)| *i).collect();
+    assert_ne!(ia, ib, "different measurements see different Atlas subsets");
+}
+
+#[test]
+fn min_distance_filter_thins_platform() {
+    let w = world();
+    let mut cfg = GcdConfig::daily(507, 0);
+    cfg.min_vp_distance_km = Some(1_000.0);
+    let filtered = laces_gcd::engine::participating_vps(&w, w.std_platforms.ark_dev, &cfg);
+    cfg.min_vp_distance_km = None;
+    let all = laces_gcd::engine::participating_vps(&w, w.std_platforms.ark_dev, &cfg);
+    assert!(filtered.len() < all.len());
+    for i in 0..filtered.len() {
+        for j in i + 1..filtered.len() {
+            assert!(filtered[i].1.gcd_km(&filtered[j].1) >= 1_000.0);
+        }
+    }
+}
+
+#[test]
+fn campaign_is_deterministic() {
+    let w = world();
+    let targets: Vec<IpAddr> = (0..100.min(w.n_v4)).map(|i| addr_of(&w, i)).collect();
+    let cfg = GcdConfig::daily(508, 0);
+    let a = run_campaign(&w, w.std_platforms.ark, &targets, &cfg);
+    let b = run_campaign(&w, w.std_platforms.ark, &targets, &cfg);
+    assert_eq!(a.probes_sent, b.probes_sent);
+    for (k, ra) in &a.results {
+        assert_eq!(ra.class, b.results[k].class);
+        assert_eq!(ra.n_sites(), b.results[k].n_sites());
+    }
+}

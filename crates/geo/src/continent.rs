@@ -1,0 +1,141 @@
+//! Continent classification.
+//!
+//! The paper reasons about platforms per continent ("one site per
+//! continent", "two per continent, maximising distance" — §5.5.1) and the
+//! lesson that a few nodes on different continents already catch most
+//! global anycast (§5.9). This module maps ISO country codes to continents
+//! so analyses can aggregate that way.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cities::{City, CityDb, CityId};
+
+/// The six inhabited continents (the paper's platform taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Continent {
+    /// Africa.
+    Africa,
+    /// Asia (including the Middle East).
+    Asia,
+    /// Europe.
+    Europe,
+    /// North and Central America, Caribbean.
+    NorthAmerica,
+    /// Oceania.
+    Oceania,
+    /// South America.
+    SouthAmerica,
+}
+
+impl Continent {
+    /// All continents.
+    pub const ALL: [Continent; 6] = [
+        Continent::Africa,
+        Continent::Asia,
+        Continent::Europe,
+        Continent::NorthAmerica,
+        Continent::Oceania,
+        Continent::SouthAmerica,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Continent::Africa => "AF",
+            Continent::Asia => "AS",
+            Continent::Europe => "EU",
+            Continent::NorthAmerica => "NA",
+            Continent::Oceania => "OC",
+            Continent::SouthAmerica => "SA",
+        }
+    }
+}
+
+impl std::fmt::Display for Continent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Continent of an ISO 3166-1 alpha-2 country code (for every country in
+/// the embedded city database).
+pub fn continent_of_country(code: &str) -> Option<Continent> {
+    use Continent::*;
+    Some(match code {
+        // Europe
+        "NL" | "GB" | "IE" | "FR" | "DE" | "ES" | "PT" | "IT" | "CH" | "AT" | "CZ" | "SK"
+        | "HU" | "PL" | "BE" | "LU" | "SE" | "NO" | "DK" | "FI" | "IS" | "GR" | "BG" | "RO"
+        | "RS" | "HR" | "SI" | "UA" | "RU" | "LV" | "LT" | "EE" => Europe,
+        // Asia & Middle East
+        "TR" | "IL" | "AE" | "QA" | "SA" | "KW" | "BH" | "OM" | "JO" | "LB" | "IQ" | "IR"
+        | "AZ" | "GE" | "AM" | "IN" | "PK" | "BD" | "LK" | "NP" | "KZ" | "UZ" | "JP" | "KR"
+        | "CN" | "HK" | "TW" | "MO" | "PH" | "SG" | "MY" | "ID" | "TH" | "VN" | "KH" | "MM"
+        | "MN" => Asia,
+        // North America (incl. Central America & Caribbean)
+        "US" | "CA" | "MX" | "GT" | "PR" | "PA" | "CR" | "CU" | "JM" => NorthAmerica,
+        // South America
+        "BR" | "AR" | "CL" | "PE" | "CO" | "EC" | "VE" | "UY" | "PY" | "BO" => SouthAmerica,
+        // Africa
+        "ZA" | "NG" | "GH" | "KE" | "EG" | "MA" | "TN" | "DZ" | "ET" | "TZ" | "UG" | "RW"
+        | "SN" | "CI" | "CD" | "AO" | "MZ" | "ZW" | "ZM" | "BW" | "MU" => Africa,
+        // Oceania
+        "AU" | "NZ" | "FJ" | "NC" | "GU" => Oceania,
+        _ => return None,
+    })
+}
+
+/// Continent of a city.
+pub fn continent_of_city(city: &City) -> Option<Continent> {
+    continent_of_country(city.country)
+}
+
+/// Continent of a city id within a database.
+pub fn continent_of(db: &CityDb, id: CityId) -> Option<Continent> {
+    continent_of_city(db.get(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_database_country_is_classified() {
+        let db = CityDb::embedded();
+        for (_, c) in db.iter() {
+            assert!(
+                continent_of_city(c).is_some(),
+                "country {} (city {}) has no continent",
+                c.country,
+                c.name
+            );
+        }
+    }
+
+    #[test]
+    fn spot_checks() {
+        assert_eq!(continent_of_country("NL"), Some(Continent::Europe));
+        assert_eq!(continent_of_country("JP"), Some(Continent::Asia));
+        assert_eq!(continent_of_country("US"), Some(Continent::NorthAmerica));
+        assert_eq!(continent_of_country("BR"), Some(Continent::SouthAmerica));
+        assert_eq!(continent_of_country("ZA"), Some(Continent::Africa));
+        assert_eq!(continent_of_country("AU"), Some(Continent::Oceania));
+        assert_eq!(continent_of_country("XX"), None);
+    }
+
+    #[test]
+    fn all_continents_are_inhabited_in_the_database() {
+        let db = CityDb::embedded();
+        for cont in Continent::ALL {
+            assert!(
+                db.iter().any(|(_, c)| continent_of_city(c) == Some(cont)),
+                "no city on {cont}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Continent::Europe.to_string(), "EU");
+        assert_eq!(Continent::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,213 @@
+//! Coordinates, great-circle distance, and feasibility disks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{max_one_way_km, EARTH_RADIUS_KM};
+
+/// A point on the Earth's surface, in decimal degrees.
+///
+/// Latitude is positive north, longitude positive east. Values are not
+/// normalised on construction; use [`Coord::new`] which debug-asserts sane
+/// ranges, or [`Coord::normalised`] to wrap arbitrary values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coord {
+    /// Latitude in degrees, in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl Coord {
+    /// Create a coordinate. Debug-asserts that the values are in range.
+    #[inline]
+    pub fn new(lat: f64, lon: f64) -> Self {
+        debug_assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
+        debug_assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
+        Coord { lat, lon }
+    }
+
+    /// Create a coordinate, wrapping longitude into `[-180, 180]` and
+    /// clamping latitude into `[-90, 90]`.
+    pub fn normalised(lat: f64, lon: f64) -> Self {
+        let lat = lat.clamp(-90.0, 90.0);
+        let mut lon = (lon + 180.0) % 360.0;
+        if lon < 0.0 {
+            lon += 360.0;
+        }
+        Coord {
+            lat,
+            lon: lon - 180.0,
+        }
+    }
+
+    /// Great-circle distance to `other` in kilometres, via the haversine
+    /// formula on a sphere of mean Earth radius.
+    ///
+    /// The haversine formulation is numerically stable for both antipodal
+    /// and very close points, which matters because iGreedy compares sums of
+    /// small radii against small inter-VP distances.
+    pub fn gcd_km(&self, other: &Coord) -> f64 {
+        let lat1 = self.lat.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlat = (other.lat - self.lat).to_radians();
+        let dlon = (other.lon - self.lon).to_radians();
+
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().min(1.0).asin();
+        EARTH_RADIUS_KM * c
+    }
+}
+
+/// A great-circle disk: the set of points within `radius_km` of `center`.
+///
+/// In the GCD methodology each vantage point that observed a response with
+/// round-trip time `rtt` contributes a disk centred on itself with radius
+/// [`max_one_way_km`]`(rtt)`; the target must lie inside *every* disk that
+/// corresponds to the same physical site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Disk {
+    /// Disk centre (the vantage point's location).
+    pub center: Coord,
+    /// Disk radius in kilometres.
+    pub radius_km: f64,
+}
+
+impl Disk {
+    /// Construct a disk directly from a centre and radius.
+    #[inline]
+    pub fn new(center: Coord, radius_km: f64) -> Self {
+        Disk {
+            center,
+            radius_km: radius_km.max(0.0),
+        }
+    }
+
+    /// The feasibility disk for a vantage point at `vp` that measured an
+    /// `rtt_ms` round-trip time to the target.
+    #[inline]
+    pub fn from_rtt(vp: Coord, rtt_ms: f64) -> Self {
+        Disk::new(vp, max_one_way_km(rtt_ms))
+    }
+
+    /// Whether `point` lies inside (or on the boundary of) this disk.
+    #[inline]
+    pub fn contains(&self, point: &Coord) -> bool {
+        self.center.gcd_km(point) <= self.radius_km + 1e-9
+    }
+
+    /// Whether two disks intersect (share at least one point).
+    ///
+    /// Two *non*-overlapping disks are a speed-of-light violation: no single
+    /// host can be inside both, so the measured address must be replicated.
+    #[inline]
+    pub fn overlaps(&self, other: &Disk) -> bool {
+        self.center.gcd_km(&other.center) <= self.radius_km + other.radius_km + 1e-9
+    }
+
+    /// The speed-of-light violation test between two latency observations:
+    /// `true` when the disks are disjoint, proving the address is anycast.
+    #[inline]
+    pub fn violates(&self, other: &Disk) -> bool {
+        !self.overlaps(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amsterdam() -> Coord {
+        Coord::new(52.37, 4.90)
+    }
+    fn sydney() -> Coord {
+        Coord::new(-33.87, 151.21)
+    }
+    fn london() -> Coord {
+        Coord::new(51.51, -0.13)
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        assert_eq!(amsterdam().gcd_km(&amsterdam()), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let d1 = amsterdam().gcd_km(&sydney());
+        let d2 = sydney().gcd_km(&amsterdam());
+        assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amsterdam_sydney_is_about_16650_km() {
+        let d = amsterdam().gcd_km(&sydney());
+        assert!((16_000.0..17_200.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn amsterdam_london_is_about_360_km() {
+        let d = amsterdam().gcd_km(&london());
+        assert!((330.0..400.0).contains(&d), "got {d}");
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let a = Coord::new(0.0, 0.0);
+        let b = Coord::new(0.0, 180.0);
+        let d = a.gcd_km(&b);
+        assert!((d - crate::MAX_SURFACE_DISTANCE_KM).abs() < 1.0, "got {d}");
+    }
+
+    #[test]
+    fn normalised_wraps_longitude() {
+        let c = Coord::normalised(10.0, 190.0);
+        assert!((c.lon - -170.0).abs() < 1e-9);
+        let c = Coord::normalised(10.0, -190.0);
+        assert!((c.lon - 170.0).abs() < 1e-9);
+        let c = Coord::normalised(95.0, 0.0);
+        assert_eq!(c.lat, 90.0);
+    }
+
+    #[test]
+    fn disk_contains_its_center() {
+        let d = Disk::new(amsterdam(), 0.0);
+        assert!(d.contains(&amsterdam()));
+        assert!(!d.contains(&london()));
+    }
+
+    #[test]
+    fn disjoint_disks_violate() {
+        // 5 ms RTT from both Amsterdam and Sydney: each disk has radius
+        // 500 km, the centres are ~16,650 km apart -> impossible for one host.
+        let a = Disk::from_rtt(amsterdam(), 5.0);
+        let s = Disk::from_rtt(sydney(), 5.0);
+        assert!(a.violates(&s));
+        assert!(s.violates(&a));
+    }
+
+    #[test]
+    fn large_disks_do_not_violate() {
+        // 200 ms RTT disks (20,000 km radius) always overlap on Earth.
+        let a = Disk::from_rtt(amsterdam(), 200.0);
+        let s = Disk::from_rtt(sydney(), 200.0);
+        assert!(!a.violates(&s));
+    }
+
+    #[test]
+    fn from_rtt_radius_matches_constant() {
+        let d = Disk::from_rtt(amsterdam(), 10.0);
+        assert!((d.radius_km - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_radius_clamps() {
+        let d = Disk::new(amsterdam(), -3.0);
+        assert_eq!(d.radius_km, 0.0);
+    }
+}

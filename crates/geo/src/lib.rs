@@ -1,0 +1,83 @@
+//! Geographic primitives for the LACeS anycast census.
+//!
+//! This crate provides the geometry underlying both halves of the census:
+//!
+//! * [`Coord`] and [`gcd_km`](Coord::gcd_km) — great-circle ("GCD") distance
+//!   on the WGS-84 mean sphere, used by the iGreedy latency analysis and by
+//!   the network simulator's latency model.
+//! * [`Disk`] — a great-circle disk of feasible target locations derived from
+//!   a round-trip time, plus the pairwise *speed-of-light violation* test
+//!   that proves a target is replicated (anycast).
+//! * [`CityDb`] — an embedded database of world cities with coordinates and
+//!   population, used by iGreedy's population-based geolocation step and by
+//!   the simulator to place autonomous systems and anycast sites.
+//!
+//! The speed-of-light constant follows iGreedy's default: the speed of light
+//! in optical fibre, approximately 200,000 km/s (two thirds of *c*). A probe
+//! whose RTT is `r` milliseconds can therefore have reached a target at most
+//! [`max_one_way_km`] away; two vantage points whose feasibility disks do not
+//! overlap *cannot* be talking to the same physical host.
+
+pub mod cities;
+pub mod continent;
+pub mod coord;
+
+pub use cities::{City, CityDb, CityId};
+pub use continent::{continent_of, continent_of_city, continent_of_country, Continent};
+pub use coord::{Coord, Disk};
+
+/// Speed of light in optical fibre, in kilometres per millisecond.
+///
+/// iGreedy's default assumption (~200,000 km/s). Using the in-fibre speed
+/// rather than the vacuum speed makes the feasibility disks *smaller*, which
+/// makes the violation test more sensitive but can overestimate if a path is
+/// unusually direct; the original paper argues this trade-off is safe because
+/// real paths always include routing detours and queueing delay.
+pub const FIBRE_KM_PER_MS: f64 = 200.0;
+
+/// Mean Earth radius in kilometres (IUGG mean radius, R1).
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// Half the Earth's circumference: no two points on the surface are farther
+/// apart than this.
+pub const MAX_SURFACE_DISTANCE_KM: f64 = std::f64::consts::PI * EARTH_RADIUS_KM;
+
+/// Maximum one-way distance a packet with round-trip time `rtt_ms` can have
+/// travelled, assuming propagation at the speed of light in fibre and zero
+/// processing delay. This is the radius of the GCD feasibility disk.
+#[inline]
+pub fn max_one_way_km(rtt_ms: f64) -> f64 {
+    (rtt_ms.max(0.0) / 2.0) * FIBRE_KM_PER_MS
+}
+
+/// Minimum round-trip time, in milliseconds, for a target `distance_km` away,
+/// under the in-fibre propagation model. The inverse of [`max_one_way_km`].
+#[inline]
+pub fn min_rtt_ms(distance_km: f64) -> f64 {
+    2.0 * distance_km.max(0.0) / FIBRE_KM_PER_MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_one_way_is_inverse_of_min_rtt() {
+        for d in [0.0, 1.0, 100.0, 5000.0, 20000.0] {
+            let rtt = min_rtt_ms(d);
+            assert!((max_one_way_km(rtt) - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn negative_rtt_clamps_to_zero() {
+        assert_eq!(max_one_way_km(-5.0), 0.0);
+        assert_eq!(min_rtt_ms(-5.0), 0.0);
+    }
+
+    #[test]
+    fn hundred_ms_rtt_spans_ten_thousand_km() {
+        // 100 ms RTT = 50 ms one way at 200 km/ms = 10,000 km.
+        assert!((max_one_way_km(100.0) - 10_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the geographic primitives.
+
+use laces_geo::{max_one_way_km, min_rtt_ms, Coord, Disk, MAX_SURFACE_DISTANCE_KM};
+use proptest::prelude::*;
+
+fn coord_strategy() -> impl Strategy<Value = Coord> {
+    (-90.0f64..=90.0, -180.0f64..=180.0).prop_map(|(lat, lon)| Coord::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn distance_is_nonnegative_and_bounded(a in coord_strategy(), b in coord_strategy()) {
+        let d = a.gcd_km(&b);
+        prop_assert!(d >= 0.0);
+        prop_assert!(d <= MAX_SURFACE_DISTANCE_KM + 1.0, "d = {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric(a in coord_strategy(), b in coord_strategy()) {
+        prop_assert!((a.gcd_km(&b) - b.gcd_km(&a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distance_satisfies_triangle_inequality(
+        a in coord_strategy(), b in coord_strategy(), c in coord_strategy()
+    ) {
+        let ab = a.gcd_km(&b);
+        let bc = b.gcd_km(&c);
+        let ac = a.gcd_km(&c);
+        prop_assert!(ac <= ab + bc + 1e-6, "ac={ac} ab={ab} bc={bc}");
+    }
+
+    #[test]
+    fn identity_of_indiscernibles(a in coord_strategy()) {
+        prop_assert!(a.gcd_km(&a) < 1e-9);
+    }
+
+    #[test]
+    fn rtt_roundtrip(rtt in 0.0f64..1000.0) {
+        let d = max_one_way_km(rtt);
+        prop_assert!((min_rtt_ms(d) - rtt).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_overlap_is_symmetric(
+        a in coord_strategy(), b in coord_strategy(),
+        ra in 0.0f64..20000.0, rb in 0.0f64..20000.0
+    ) {
+        let da = Disk::new(a, ra);
+        let db = Disk::new(b, rb);
+        prop_assert_eq!(da.overlaps(&db), db.overlaps(&da));
+        prop_assert_eq!(da.violates(&db), !da.overlaps(&db));
+    }
+
+    #[test]
+    fn containment_implies_overlap(
+        a in coord_strategy(), b in coord_strategy(),
+        ra in 0.0f64..20000.0
+    ) {
+        // If disk A contains B's centre, then A overlaps any disk centred at B.
+        let da = Disk::new(a, ra);
+        if da.contains(&b) {
+            let db = Disk::new(b, 0.0);
+            prop_assert!(da.overlaps(&db));
+        }
+    }
+
+    #[test]
+    fn a_true_violation_requires_separated_centers(
+        a in coord_strategy(), b in coord_strategy(),
+        ra in 0.0f64..20000.0, rb in 0.0f64..20000.0
+    ) {
+        let da = Disk::new(a, ra);
+        let db = Disk::new(b, rb);
+        if da.violates(&db) {
+            prop_assert!(a.gcd_km(&b) > ra + rb - 1e-6);
+        }
+    }
+
+    #[test]
+    fn normalised_output_in_range(lat in -1000.0f64..1000.0, lon in -1000.0f64..1000.0) {
+        let c = Coord::normalised(lat, lon);
+        prop_assert!((-90.0..=90.0).contains(&c.lat));
+        prop_assert!((-180.0..=180.0).contains(&c.lon));
+    }
+}

@@ -1,0 +1,285 @@
+//! Hitlist construction (paper §4.2.3).
+//!
+//! The census probes one representative address per IPv4 `/24` and IPv6
+//! `/48`. The paper sources these from:
+//!
+//! * **ISI's IPv4 hitlist** — ping-responsive addresses ranked per `/24`;
+//! * **OpenINTEL nameserver addresses** — preferred over the ISI pick for
+//!   a `/24` when present, to maximise the chance of hitting an active DNS
+//!   server in the DNS census;
+//! * **TUM's IPv6 hitlist plus OpenINTEL AAAA records** — for the IPv6
+//!   census (coverage-limited: the paper repeatedly hits `/48`s its hitlist
+//!   misses, and we model that gap).
+//!
+//! Inside the simulation the "scan" that discovers prefixes enumerates the
+//! world's target table, which corresponds to ISI's (near-complete)
+//! coverage of the announced IPv4 space; the IPv6 hitlist deliberately
+//! misses a few percent of prefixes, matching the paper's observation that
+//! IPv6 results are hitlist-limited (§5.3.2, §5.8).
+
+use std::net::IpAddr;
+
+use laces_netsim::rng;
+use laces_netsim::{TargetId, World};
+use laces_packet::{IpVersion, PrefixKey};
+use serde::{Deserialize, Serialize};
+
+/// Where a hitlist entry came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Source {
+    /// ISI-style ping scan ranking (IPv4).
+    PingScan,
+    /// OpenINTEL-style authoritative nameserver address (preferred).
+    Nameserver,
+    /// TUM-style IPv6 hitlist.
+    V6Hitlist,
+}
+
+/// One hitlist row: the representative address chosen for a prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entry {
+    /// The census prefix.
+    pub prefix: PrefixKey,
+    /// The representative address probed.
+    pub addr: IpAddr,
+    /// Provenance.
+    pub source: Source,
+}
+
+/// A hitlist: one representative per covered prefix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hitlist {
+    /// Address family.
+    pub family: IpVersion,
+    /// Entries, in prefix order.
+    pub entries: Vec<Entry>,
+}
+
+/// Host octet the ping-scan ranking picks (the address that historically
+/// answered probes).
+pub const PING_HOST: u8 = laces_netsim::targets::REPRESENTATIVE_HOST;
+
+/// Host octet where nameservers live in the simulation.
+pub const NS_HOST: u8 = 53;
+
+/// Fraction of IPv6 prefixes the hitlist actually covers.
+pub const V6_COVERAGE: f64 = 0.97;
+
+impl Hitlist {
+    /// Just the probe addresses, in order.
+    pub fn addresses(&self) -> Vec<IpAddr> {
+        self.entries.iter().map(|e| e.addr).collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the hitlist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a prefix is covered.
+    pub fn covers(&self, prefix: PrefixKey) -> bool {
+        self.entries
+            .binary_search_by_key(&prefix, |e| e.prefix)
+            .is_ok()
+    }
+}
+
+fn v4_targets(world: &World) -> impl Iterator<Item = (TargetId, &laces_netsim::Target)> {
+    world.targets[..world.n_v4]
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (TargetId(i as u32), t))
+}
+
+fn v6_targets(world: &World) -> impl Iterator<Item = (TargetId, &laces_netsim::Target)> {
+    world.targets[world.n_v4..]
+        .iter()
+        .enumerate()
+        .map(move |(i, t)| (TargetId((world.n_v4 + i) as u32), t))
+}
+
+/// The ISI-style IPv4 hitlist: every known `/24`, represented by its
+/// ping-ranked address.
+pub fn build_v4(world: &World) -> Hitlist {
+    let entries = v4_targets(world)
+        .map(|(_, t)| match t.prefix {
+            PrefixKey::V4(p) => Entry {
+                prefix: t.prefix,
+                addr: IpAddr::V4(p.addr(PING_HOST)),
+                source: Source::PingScan,
+            },
+            PrefixKey::V6(_) => unreachable!("v4 range holds only v4 prefixes"),
+        })
+        .collect();
+    Hitlist {
+        family: IpVersion::V4,
+        entries,
+    }
+}
+
+/// The DNS-census IPv4 hitlist: ISI merged with nameserver addresses,
+/// preferring the nameserver as a prefix's representative (§4.2.3).
+pub fn build_v4_dns(world: &World) -> Hitlist {
+    let entries = v4_targets(world)
+        .map(|(_, t)| match t.prefix {
+            PrefixKey::V4(p) => {
+                if t.ns.is_some() {
+                    Entry {
+                        prefix: t.prefix,
+                        addr: IpAddr::V4(p.addr(NS_HOST)),
+                        source: Source::Nameserver,
+                    }
+                } else {
+                    Entry {
+                        prefix: t.prefix,
+                        addr: IpAddr::V4(p.addr(PING_HOST)),
+                        source: Source::PingScan,
+                    }
+                }
+            }
+            PrefixKey::V6(_) => unreachable!(),
+        })
+        .collect();
+    Hitlist {
+        family: IpVersion::V4,
+        entries,
+    }
+}
+
+/// The IPv6 hitlist (TUM + OpenINTEL AAAA): covers most, not all, `/48`s.
+pub fn build_v6(world: &World) -> Hitlist {
+    let entries = v6_targets(world)
+        .filter(|(id, _)| {
+            rng::unit_f64(rng::key(world.cfg.seed, &[0x617, id.0 as u64])) < V6_COVERAGE
+        })
+        .map(|(_, t)| match t.prefix {
+            PrefixKey::V6(p) => {
+                let (host, source) = if t.ns.is_some() {
+                    (u64::from(NS_HOST), Source::Nameserver)
+                } else {
+                    (u64::from(PING_HOST), Source::V6Hitlist)
+                };
+                Entry {
+                    prefix: t.prefix,
+                    addr: IpAddr::V6(p.addr(host)),
+                    source,
+                }
+            }
+            PrefixKey::V4(_) => unreachable!("v6 range holds only v6 prefixes"),
+        })
+        .collect();
+    Hitlist {
+        family: IpVersion::V6,
+        entries,
+    }
+}
+
+/// The nameserver hitlist used for the CHAOS comparison (Appendix C):
+/// every v4 prefix hosting a nameserver.
+pub fn build_nameservers_v4(world: &World) -> Hitlist {
+    let entries = v4_targets(world)
+        .filter(|(_, t)| t.ns.is_some())
+        .map(|(_, t)| match t.prefix {
+            PrefixKey::V4(p) => Entry {
+                prefix: t.prefix,
+                addr: IpAddr::V4(p.addr(NS_HOST)),
+                source: Source::Nameserver,
+            },
+            PrefixKey::V6(_) => unreachable!(),
+        })
+        .collect();
+    Hitlist {
+        family: IpVersion::V4,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_netsim::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny())
+    }
+
+    #[test]
+    fn v4_covers_every_known_prefix() {
+        let w = world();
+        let h = build_v4(&w);
+        assert_eq!(h.len(), w.n_v4);
+        for e in &h.entries {
+            assert!(matches!(e.addr, IpAddr::V4(_)));
+            assert_eq!(PrefixKey::of(e.addr), e.prefix);
+        }
+    }
+
+    #[test]
+    fn entries_are_sorted_and_covers_works() {
+        let w = world();
+        let h = build_v4(&w);
+        for pair in h.entries.windows(2) {
+            assert!(pair[0].prefix < pair[1].prefix);
+        }
+        assert!(h.covers(h.entries[5].prefix));
+        assert!(!h.covers(PrefixKey::of("9.9.9.9".parse().unwrap())));
+    }
+
+    #[test]
+    fn dns_merge_prefers_nameserver_addresses() {
+        let w = world();
+        let plain = build_v4(&w);
+        let dns = build_v4_dns(&w);
+        assert_eq!(plain.len(), dns.len());
+        let ns_count = dns
+            .entries
+            .iter()
+            .filter(|e| e.source == Source::Nameserver)
+            .count();
+        assert!(ns_count > 0, "merge changed nothing");
+        for (p, d) in plain.entries.iter().zip(&dns.entries) {
+            assert_eq!(p.prefix, d.prefix);
+            if d.source == Source::Nameserver {
+                assert_ne!(p.addr, d.addr, "nameserver representative should differ");
+            } else {
+                assert_eq!(p.addr, d.addr);
+            }
+        }
+    }
+
+    #[test]
+    fn v6_hitlist_has_coverage_gaps() {
+        let w = world();
+        let h = build_v6(&w);
+        let total_v6 = w.targets.len() - w.n_v4;
+        assert!(h.len() < total_v6, "v6 hitlist should miss some prefixes");
+        assert!(h.len() as f64 > total_v6 as f64 * 0.9, "but cover most");
+        for e in &h.entries {
+            assert!(matches!(e.addr, IpAddr::V6(_)));
+        }
+    }
+
+    #[test]
+    fn v6_coverage_is_deterministic() {
+        let w = world();
+        assert_eq!(build_v6(&w).entries, build_v6(&w).entries);
+    }
+
+    #[test]
+    fn nameserver_hitlist_is_ns_only() {
+        let w = world();
+        let h = build_nameservers_v4(&w);
+        assert!(!h.is_empty());
+        for e in &h.entries {
+            let t = w.target(w.lookup(e.prefix).unwrap());
+            assert!(t.ns.is_some());
+        }
+        // And it is a strict subset of the full hitlist.
+        assert!(h.len() < build_v4(&w).len());
+    }
+}

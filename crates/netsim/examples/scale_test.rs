@@ -1,0 +1,63 @@
+//! Quick scale smoke test (not part of the benchmark suite).
+use laces_netsim::wire::{MeasurementCtx, ProbeSource};
+use laces_netsim::{platform, World, WorldConfig};
+use laces_packet::probe::{build_probe, parse_reply, ProbeEncoding, ProbeMeta, Protocol};
+use laces_packet::PrefixKey;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let w = World::generate(WorldConfig::paper());
+    println!(
+        "generate: {:?}, targets={}, ases={}, deployments={}",
+        t0.elapsed(),
+        w.n_targets(),
+        w.topo.len(),
+        w.deployments.len()
+    );
+
+    let pid = w.std_platforms.production;
+    let src = platform::anycast_src_v4(pid);
+    let ctx = MeasurementCtx {
+        id: 5,
+        day: 0,
+        span_ms: 31_000,
+    };
+    let t1 = Instant::now();
+    let mut replies = 0usize;
+    let n = 200_000.min(w.n_v4);
+    for i in 0..n {
+        let dst = match w.targets[i].prefix {
+            PrefixKey::V4(p) => std::net::IpAddr::V4(p.addr(77)),
+            PrefixKey::V6(p) => std::net::IpAddr::V6(p.addr(77)),
+        };
+        let meta = ProbeMeta {
+            measurement_id: 5,
+            worker_id: 3,
+            tx_time_ms: i as u64,
+        };
+        let pkt = build_probe(src, dst, Protocol::Icmp, &meta, ProbeEncoding::PerWorker);
+        if let Some(d) = w
+            .send_probe(
+                ProbeSource::Worker {
+                    platform: pid,
+                    site: 3,
+                },
+                &pkt,
+                i as u64,
+                i as u64,
+                &ctx,
+            )
+            .unwrap()
+        {
+            let info = parse_reply(&d.packet, 5, d.rx_time_ms).unwrap();
+            assert_eq!(info.tx_worker, Some(3));
+            replies += 1;
+        }
+    }
+    let dt = t1.elapsed();
+    println!(
+        "{n} probes in {dt:?} ({:.0} probes/s), {replies} replies",
+        n as f64 / dt.as_secs_f64()
+    );
+}

@@ -1,0 +1,305 @@
+//! BGP announcement table (the pfx2as view).
+//!
+//! Route collectors see announcements that are usually *less specific* than
+//! the `/24` granularity anycast actually follows (§5.6): an operator
+//! announces a `/20` of which only some `/24`s are replicated, or a CDN
+//! announces a covering prefix over a mix of anycast and unicast space.
+//! The census needs this view twice: to aggregate its `/24` verdicts into
+//! announced prefixes (CAIDA pfx2as), and to evaluate BGPTools-style
+//! detectors that generalise a single anycast address to its whole
+//! announced prefix (Table 7).
+//!
+//! The simulator's announced table is derived from target ground truth:
+//! maximal runs of consecutive `/24`s with the same originating entity are
+//! split into aligned CIDR chunks whose sizes follow the measured
+//! distribution of announcement lengths (most announcements are `/24`s,
+//! with a tail up to `/11`).
+
+use laces_packet::{Cidr4, Prefix24, PrefixKey};
+use serde::{Deserialize, Serialize};
+
+use crate::rng;
+use crate::targets::TargetKind;
+use crate::world::World;
+
+/// One announced prefix and its origin ASN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Announcement {
+    /// The announced CIDR.
+    pub prefix: Cidr4,
+    /// Origin ASN (operator ASN for anycast space, hosting-AS ASN
+    /// otherwise).
+    pub asn: u32,
+}
+
+/// The announced-prefix table for the world's IPv4 space, sorted by
+/// network address.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BgpTable {
+    /// All announcements, non-overlapping, covering every known `/24`.
+    pub announcements: Vec<Announcement>,
+}
+
+impl BgpTable {
+    /// The announcement covering a `/24`, if any (binary search).
+    pub fn covering(&self, p: Prefix24) -> Option<&Announcement> {
+        // Announcements are sorted and non-overlapping: find the last one
+        // starting at or before p.
+        let idx = self
+            .announcements
+            .partition_point(|a| a.prefix.network() <= p.network());
+        idx.checked_sub(1)
+            .map(|i| &self.announcements[i])
+            .filter(|a| a.prefix.contains_24(p))
+    }
+
+    /// Number of announcements.
+    pub fn len(&self) -> usize {
+        self.announcements.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.announcements.is_empty()
+    }
+}
+
+/// A route-collector event, as a BGP feed (RIPE RIS / RouteViews style)
+/// would surface it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BgpEventKind {
+    /// A prefix announcement appeared that was absent yesterday.
+    NewAnnouncement,
+    /// A prefix announcement was withdrawn.
+    Withdrawal,
+    /// A more-specific or same prefix appeared with a different origin —
+    /// the classic hijack signature.
+    OriginChange {
+        /// The legitimate origin ASN.
+        from: u32,
+        /// The new (bogus) origin ASN.
+        to: u32,
+    },
+}
+
+/// One BGP feed event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BgpEvent {
+    /// The affected census prefix.
+    pub prefix: PrefixKey,
+    /// What the collectors saw.
+    pub kind: BgpEventKind,
+}
+
+/// The BGP events route collectors surface on `day`: temporary-anycast
+/// prefixes turning up or down, and hijack announcements. This is the feed
+/// the paper's future work proposes to use for trigger-based detection of
+/// short-lived anycast (§6).
+pub fn bgp_updates(world: &World, day: u32) -> Vec<BgpEvent> {
+    let mut events = Vec::new();
+    for t in &world.targets {
+        if let Some(sched) = t.temp {
+            let today = sched.active_on(day);
+            let yesterday = day > 0 && sched.active_on(day - 1);
+            if today && !yesterday {
+                events.push(BgpEvent {
+                    prefix: t.prefix,
+                    kind: BgpEventKind::NewAnnouncement,
+                });
+            } else if !today && (day == 0 || yesterday) && day > 0 {
+                events.push(BgpEvent {
+                    prefix: t.prefix,
+                    kind: BgpEventKind::Withdrawal,
+                });
+            }
+        }
+        if let Some(h) = t.hijack {
+            if h.day == day {
+                let from = match t.kind {
+                    TargetKind::Unicast { .. } => world.topo.ases[t.as_idx as usize].asn,
+                    _ => 0,
+                };
+                events.push(BgpEvent {
+                    prefix: t.prefix,
+                    kind: BgpEventKind::OriginChange {
+                        from,
+                        to: world.topo.ases[h.attacker_as as usize].asn,
+                    },
+                });
+            }
+        }
+    }
+    events
+}
+
+/// Origin entity of a v4 target, for grouping into announcements.
+fn origin_of(world: &World, idx: usize) -> u32 {
+    let t = &world.targets[idx];
+    match t.kind {
+        TargetKind::Anycast { dep } => world.deployment(dep).asn,
+        TargetKind::PartialAnycast { dep, .. } => world.deployment(dep).asn,
+        TargetKind::GlobalUnicast { .. } => 8_075, // the Microsoft-pattern AS
+        TargetKind::BackingAnycast { dep, .. } => world.deployment(dep).asn,
+        TargetKind::Unicast { .. } => world.topo.ases[t.as_idx as usize].asn,
+    }
+}
+
+/// Largest aligned prefix length that can start at `net` and stay within
+/// `remaining` /24s.
+fn max_chunk(net: u32, remaining: u32) -> u8 {
+    // Alignment: a /L prefix must start on a 2^(24-L) /24 boundary.
+    let mut len = 24u8;
+    while len > 11 {
+        let size = 1u32 << (24 - (len - 1));
+        let align_ok = (net >> 8) % size == 0;
+        if align_ok && remaining >= size {
+            len -= 1;
+        } else {
+            break;
+        }
+    }
+    len
+}
+
+/// Draw an announcement length for a chunk, biased toward `/24` and `/20`
+/// as in the observed distribution (Table 7), bounded by alignment.
+fn draw_len(world: &World, net: u32, remaining: u32) -> u8 {
+    let floor = max_chunk(net, remaining); // smallest numeric length allowed
+    let u = rng::unit_f64(rng::key(world.cfg.seed, &[0xB6B, u64::from(net)]));
+    // Operators regularly announce the whole aligned block they own.
+    if u < 0.12 {
+        return floor;
+    }
+    let desired: u8 = match u {
+        x if x < 0.55 => 24,
+        x if x < 0.66 => 23,
+        x if x < 0.74 => 22,
+        x if x < 0.79 => 21,
+        x if x < 0.93 => 20,
+        x if x < 0.96 => 19,
+        x if x < 0.975 => 17,
+        x if x < 0.99 => 16,
+        x if x < 0.995 => 14,
+        x if x < 0.998 => 13,
+        _ => 11,
+    };
+    desired.max(floor)
+}
+
+/// Build the announced-prefix table from the world's IPv4 ground truth.
+pub fn bgp_table(world: &World) -> BgpTable {
+    let mut announcements = Vec::new();
+    let mut i = 0usize;
+    while i < world.n_v4 {
+        let origin = origin_of(world, i);
+        // Extend the run of same-origin consecutive /24s.
+        let mut j = i + 1;
+        while j < world.n_v4 && origin_of(world, j) == origin {
+            j += 1;
+        }
+        // Split the run [i, j) into aligned chunks.
+        let mut k = i;
+        while k < j {
+            let net = match world.targets[k].prefix {
+                PrefixKey::V4(p) => p.network(),
+                PrefixKey::V6(_) => unreachable!("v4 range"),
+            };
+            let len = draw_len(world, net, (j - k) as u32);
+            let c = Cidr4::new(net, len);
+            debug_assert_eq!(c.network(), net, "chunk must be aligned");
+            announcements.push(Announcement {
+                prefix: c,
+                asn: origin,
+            });
+            k += c.count_24s() as usize;
+        }
+        i = j;
+    }
+    BgpTable { announcements }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny())
+    }
+
+    #[test]
+    fn table_covers_every_v4_target_exactly_once() {
+        let w = world();
+        let table = bgp_table(&w);
+        let mut covered = 0usize;
+        for a in &table.announcements {
+            covered += a.prefix.count_24s() as usize;
+        }
+        assert_eq!(covered, w.n_v4, "announcements must tile the space");
+        // And lookups agree.
+        for t in &w.targets[..w.n_v4] {
+            let PrefixKey::V4(p) = t.prefix else {
+                unreachable!()
+            };
+            let a = table.covering(p).expect("every /24 covered");
+            assert!(a.prefix.contains_24(p));
+        }
+    }
+
+    #[test]
+    fn announcements_are_sorted_and_disjoint() {
+        let w = world();
+        let table = bgp_table(&w);
+        for pair in table.announcements.windows(2) {
+            let end = pair[0].prefix.network() + (pair[0].prefix.count_24s() << 8);
+            assert!(
+                end <= pair[1].prefix.network(),
+                "overlap: {} then {}",
+                pair[0].prefix,
+                pair[1].prefix
+            );
+        }
+    }
+
+    #[test]
+    fn anycast_prefixes_carry_operator_asn() {
+        let w = world();
+        let table = bgp_table(&w);
+        for t in &w.targets[..w.n_v4] {
+            if let TargetKind::Anycast { dep } = t.kind {
+                let PrefixKey::V4(p) = t.prefix else {
+                    unreachable!()
+                };
+                assert_eq!(table.covering(p).unwrap().asn, w.deployment(dep).asn);
+            }
+        }
+    }
+
+    #[test]
+    fn announcement_sizes_are_mostly_slash24_with_a_tail() {
+        let w = World::generate(WorldConfig::paper_topology_tiny_targets());
+        let table = bgp_table(&w);
+        let n24 = table
+            .announcements
+            .iter()
+            .filter(|a| a.prefix.len() == 24)
+            .count();
+        let big = table
+            .announcements
+            .iter()
+            .filter(|a| a.prefix.len() < 20)
+            .count();
+        assert!(n24 * 2 > table.len(), "/24 should dominate");
+        assert!(big > 0, "some large announcements must exist");
+        assert!(table
+            .announcements
+            .iter()
+            .all(|a| (11..=24).contains(&a.prefix.len())));
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        assert_eq!(bgp_table(&w).announcements, bgp_table(&w).announcements);
+    }
+}

@@ -1,0 +1,368 @@
+//! Anycast deployment ground truth.
+//!
+//! The simulator's deployment registry plays the role that operator ground
+//! truth (Cloudflare, Fastly, Google/Amazon `ipranges`, ccTLD operators)
+//! plays in the paper: it is the ultimate arbiter of which prefixes are
+//! anycast, where their sites are, and when they are active. The default
+//! registry reproduces Table 6's hypergiant skew with the paper's absolute
+//! prefix counts, plus a long tail of small and regional deployments, DNS
+//! anycast that only answers UDP (the G-root case), and Imperva-style
+//! on-demand (temporary) anycast.
+
+use laces_geo::CityId;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a deployment within the world registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeploymentId(pub u32);
+
+/// One anycast site: a shell AS in the topology plus its metro.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Site {
+    /// Topology index of the AS announcing the prefix at this site.
+    pub as_idx: u32,
+    /// Metro where the site is located.
+    pub city: CityId,
+    /// Identity this site discloses in CHAOS `hostname.bind` TXT responses.
+    pub chaos_identity: String,
+}
+
+/// An anycast deployment: a set of sites that all announce the same
+/// prefixes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Operator name (for ground-truth reports, Table 6).
+    pub operator: String,
+    /// Origin ASN shown in BGP (Table 6 ranking key).
+    pub asn: u32,
+    /// The sites. At least two (that is what makes it anycast).
+    pub sites: Vec<Site>,
+    /// Whether the deployment is confined to a small geographic region
+    /// (the paper's hard-to-detect case).
+    pub regional: bool,
+}
+
+impl Deployment {
+    /// Number of sites (the ground-truth replica count).
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Distinct metros covered (latency methods cannot distinguish
+    /// co-located sites, so this is the best any GCD method can enumerate).
+    pub fn n_distinct_cities(&self) -> usize {
+        let mut cities: Vec<CityId> = self.sites.iter().map(|s| s.city).collect();
+        cities.sort_unstable();
+        cities.dedup();
+        cities.len()
+    }
+}
+
+/// Activation schedule for temporary (on-demand DDoS-mitigation style)
+/// anycast: the prefix is anycast on some days and unicast/absent on others.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TempSchedule {
+    /// Cycle length in days.
+    pub period: u32,
+    /// Days per cycle on which anycast is active.
+    pub active: u32,
+    /// Phase offset in days.
+    pub phase: u32,
+}
+
+impl TempSchedule {
+    /// Whether the prefix is anycast on `day`.
+    pub fn active_on(&self, day: u32) -> bool {
+        (day + self.phase) % self.period < self.active
+    }
+}
+
+/// Geographic spread of a deployment's sites.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Spread {
+    /// Sites spread world-wide (population-weighted metros).
+    Global,
+    /// Sites within `radius_km` of the named anchor city.
+    Regional {
+        /// Anchor city name (must exist in the city database).
+        anchor: String,
+        /// Maximum distance of any site from the anchor.
+        radius_km: f64,
+    },
+}
+
+/// Per-protocol responsiveness probabilities for an operator's prefixes.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RespProbs {
+    /// Probability a prefix answers ICMP echo.
+    pub icmp: f64,
+    /// Probability a prefix answers TCP SYN/ACK with RST.
+    pub tcp: f64,
+    /// Probability a prefix answers DNS over UDP.
+    pub udp: f64,
+}
+
+impl RespProbs {
+    /// Web/CDN profile: ping and TCP yes, DNS no.
+    pub const CDN: RespProbs = RespProbs {
+        icmp: 0.97,
+        tcp: 0.9,
+        udp: 0.05,
+    };
+    /// DNS operator profile.
+    pub const DNS: RespProbs = RespProbs {
+        icmp: 0.9,
+        tcp: 0.35,
+        udp: 0.97,
+    };
+    /// DNS that filters everything but the service itself (G-root style).
+    pub const DNS_ONLY: RespProbs = RespProbs {
+        icmp: 0.0,
+        tcp: 0.0,
+        udp: 0.97,
+    };
+}
+
+/// Blueprint for one named operator in the default world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OperatorSpec {
+    /// Operator name.
+    pub name: String,
+    /// Origin ASN.
+    pub asn: u32,
+    /// Number of anycast sites.
+    pub n_sites: usize,
+    /// Site placement.
+    pub spread: Spread,
+    /// Number of IPv4 `/24` anycast prefixes.
+    pub v4_prefixes: usize,
+    /// Number of IPv6 `/48` anycast prefixes.
+    pub v6_prefixes: usize,
+    /// Responsiveness profile.
+    pub resp: RespProbs,
+    /// Fraction of prefixes that are authoritative nameservers (answer
+    /// CHAOS with per-site identities).
+    pub nameserver_fraction: f64,
+    /// Additional IPv4 prefixes that are *temporarily* anycast
+    /// (Imperva-style on-demand mitigation).
+    pub temporary_v4: usize,
+    /// Additional IPv6 `/48`s that are unicast with a *backing anycast*
+    /// prefix (Fastly-style traffic engineering, §5.8.2).
+    pub backing_v6: usize,
+}
+
+/// The paper-calibrated operator table (Table 6 absolute prefix counts).
+pub fn default_operators() -> Vec<OperatorSpec> {
+    let op =
+        |name: &str, asn: u32, n_sites: usize, v4: usize, v6: usize, resp: RespProbs, ns: f64| {
+            OperatorSpec {
+                name: name.to_string(),
+                asn,
+                n_sites,
+                spread: Spread::Global,
+                v4_prefixes: v4,
+                v6_prefixes: v6,
+                resp,
+                nameserver_fraction: ns,
+                temporary_v4: 0,
+                backing_v6: 0,
+            }
+        };
+    let mut ops = vec![
+        op(
+            "Google Cloud",
+            396_982,
+            103,
+            3_627,
+            5,
+            RespProbs {
+                icmp: 0.98,
+                tcp: 0.85,
+                udp: 0.02,
+            },
+            0.0,
+        ),
+        op(
+            "Cloudflare",
+            13_335,
+            285,
+            3_133,
+            284,
+            RespProbs {
+                icmp: 0.98,
+                tcp: 0.95,
+                udp: 0.55,
+            },
+            0.05,
+        ),
+        op(
+            "Amazon",
+            16_509,
+            105,
+            1_286,
+            120,
+            RespProbs {
+                icmp: 0.92,
+                tcp: 0.6,
+                udp: 0.1,
+            },
+            0.0,
+        ),
+        op(
+            "Fastly",
+            54_113,
+            95,
+            435,
+            65,
+            RespProbs {
+                icmp: 0.97,
+                tcp: 0.95,
+                udp: 0.03,
+            },
+            0.0,
+        ),
+        op(
+            "Cloudflare Spectrum",
+            209_242,
+            250,
+            289,
+            3_338,
+            RespProbs {
+                icmp: 0.97,
+                tcp: 0.9,
+                udp: 0.1,
+            },
+            0.0,
+        ),
+        op(
+            "Incapsula (Imperva)",
+            19_551,
+            45,
+            2,
+            352,
+            RespProbs {
+                icmp: 0.95,
+                tcp: 0.85,
+                udp: 0.02,
+            },
+            0.0,
+        ),
+        op("Afilias", 12_041, 25, 221, 222, RespProbs::DNS, 0.95),
+        op("GoDaddy", 44_273, 30, 32, 122, RespProbs::DNS, 0.95),
+    ];
+    // Imperva's on-demand DDoS mitigation: prefixes that are anycast only on
+    // some days (suspected "temporary anycast", §5.6/§5.7).
+    ops[5].temporary_v4 = 600;
+    // Fastly's backing-anycast traffic engineering for IPv6 (§5.8.2).
+    ops[3].backing_v6 = 200;
+    ops
+}
+
+/// Parameters for the generated long tail of small deployments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TailSpec {
+    /// Number of tail deployments.
+    pub n_deployments: usize,
+    /// Total IPv4 `/24`s across the tail.
+    pub total_v4: usize,
+    /// Total IPv6 `/48`s across the tail.
+    pub total_v6: usize,
+    /// Fraction of tail deployments confined to one region.
+    pub regional_fraction: f64,
+    /// Fraction of tail deployments that are DNS operators.
+    pub dns_fraction: f64,
+    /// Number of deployments that answer *only* UDP/DNS (G-root style;
+    /// the paper found 97 such prefixes at >3 VPs).
+    pub n_dns_only: usize,
+}
+
+impl Default for TailSpec {
+    fn default() -> Self {
+        TailSpec {
+            n_deployments: 1_900,
+            total_v4: 4_500,
+            total_v6: 1_630,
+            regional_fraction: 0.20,
+            dns_fraction: 0.45,
+            n_dns_only: 30,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_counts_match_paper() {
+        let ops = default_operators();
+        let find = |name: &str| ops.iter().find(|o| o.name == name).unwrap();
+        assert_eq!(find("Google Cloud").v4_prefixes, 3_627);
+        assert_eq!(find("Cloudflare").v4_prefixes, 3_133);
+        assert_eq!(find("Amazon").v4_prefixes, 1_286);
+        assert_eq!(find("Fastly").v4_prefixes, 435);
+        assert_eq!(find("Cloudflare Spectrum").v6_prefixes, 3_338);
+        assert_eq!(find("Incapsula (Imperva)").v6_prefixes, 352);
+        assert_eq!(find("Afilias").v6_prefixes, 222);
+        assert_eq!(find("GoDaddy").v6_prefixes, 122);
+    }
+
+    #[test]
+    fn big_eight_v4_sum() {
+        let sum: usize = default_operators().iter().map(|o| o.v4_prefixes).sum();
+        assert_eq!(sum, 9_025);
+    }
+
+    #[test]
+    fn temp_schedule_cycles() {
+        let s = TempSchedule {
+            period: 6,
+            active: 2,
+            phase: 1,
+        };
+        let days: Vec<bool> = (0..12).map(|d| s.active_on(d)).collect();
+        // (d + 1) % 6 < 2  =>  active on d = 0, 5, 6, 11 within 12 days.
+        assert_eq!(
+            days,
+            vec![true, false, false, false, false, true, true, false, false, false, false, true]
+        );
+        assert_eq!(days.iter().filter(|&&a| a).count(), 4);
+    }
+
+    #[test]
+    fn distinct_cities_deduplicates() {
+        let d = Deployment {
+            operator: "x".into(),
+            asn: 1,
+            sites: vec![
+                Site {
+                    as_idx: 0,
+                    city: CityId(3),
+                    chaos_identity: "a".into(),
+                },
+                Site {
+                    as_idx: 1,
+                    city: CityId(3),
+                    chaos_identity: "b".into(),
+                },
+                Site {
+                    as_idx: 2,
+                    city: CityId(4),
+                    chaos_identity: "c".into(),
+                },
+            ],
+            regional: false,
+        };
+        assert_eq!(d.n_sites(), 3);
+        assert_eq!(d.n_distinct_cities(), 2);
+    }
+
+    #[test]
+    fn profiles_are_probabilities() {
+        for o in default_operators() {
+            for p in [o.resp.icmp, o.resp.tcp, o.resp.udp, o.nameserver_fraction] {
+                assert!((0.0..=1.0).contains(&p), "{}", o.name);
+            }
+        }
+    }
+}

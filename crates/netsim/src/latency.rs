@@ -1,0 +1,190 @@
+//! The latency model: what an RTT sample looks like on the simulated wire.
+//!
+//! An observed round-trip time decomposes into:
+//!
+//! * **propagation** — great-circle distance at the speed of light in fibre,
+//!   inflated by a *path stretch* factor capturing routing detours (fibre
+//!   does not follow geodesics, and AS paths bounce through exchanges);
+//! * **access delay** — per-endpoint last-mile and processing delay, drawn
+//!   per host (a DSL target adds milliseconds; a well-connected server adds
+//!   tenths);
+//! * **jitter** — per-probe queueing noise.
+//!
+//! The stretch is always ≥ 1, so a simulated RTT never violates the
+//! speed-of-light bound the GCD methodology relies on: the feasibility disk
+//! of a measured RTT always contains the true responding site. This is the
+//! invariant that makes iGreedy *sound* (no false anycast from latency
+//! alone) while staying *incomplete* (access delay inflates disk radii, so
+//! nearby sites blur together — the paper's regional-anycast false
+//! negatives).
+
+use laces_geo::{min_rtt_ms, Coord};
+
+use crate::rng::{self, Key};
+
+/// Deterministic latency sampler (stateless; all variation is keyed).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    seed: u64,
+}
+
+impl LatencyModel {
+    /// Create a model for a world seed.
+    pub fn new(seed: u64) -> Self {
+        LatencyModel { seed }
+    }
+
+    /// Synthetic AS-path hop estimate when no routed path is available
+    /// (unicast targets probed from unicast VPs): grows with distance.
+    pub fn estimate_hops(&self, from: &Coord, to: &Coord, pair_key: Key) -> u16 {
+        let d = from.gcd_km(to);
+        let base = 2 + (d / 2500.0) as u16;
+        base + (rng::below(rng::mix(pair_key, 0xA5), 3)) as u16
+    }
+
+    /// One-way propagation delay between two points over a path of
+    /// `hops` AS hops, in milliseconds. Deterministic per `pair_key`.
+    pub fn one_way_ms(&self, from: &Coord, to: &Coord, hops: u16, pair_key: Key) -> f64 {
+        let ideal = min_rtt_ms(from.gcd_km(to)) / 2.0;
+        // Path stretch: 1.2 base detour plus per-hop inefficiency, plus a
+        // stable per-pair component (peering geometry), capped below 2.0.
+        let per_pair = rng::unit_f64(rng::mix(rng::mix(pair_key, self.seed), 0x57)) * 0.25;
+        let stretch = (1.2 + 0.04 * f64::from(hops.min(12)) + per_pair).min(1.95);
+        ideal * stretch
+    }
+
+    /// Per-host access/processing delay contribution to an RTT, in
+    /// milliseconds. Stable per endpoint (keyed), heavy-tailed: most hosts
+    /// add well under a millisecond, a minority add several.
+    pub fn access_ms(&self, endpoint_key: Key) -> f64 {
+        let u = rng::unit_f64(rng::mix(endpoint_key, self.seed ^ 0xACCE55));
+        // Inverse-CDF of a truncated Pareto-ish tail: median ~0.45 ms,
+        // p90 ~2.3 ms, max ~8 ms.
+        let v = 0.2 / (1.0 - 0.97 * u) - 0.2;
+        v.min(8.0) + 0.1
+    }
+
+    /// Per-probe queueing jitter in milliseconds (non-negative).
+    pub fn jitter_ms(&self, probe_key: Key) -> f64 {
+        let g = rng::gaussianish(rng::mix(probe_key, self.seed ^ 0x71772)).abs();
+        (g * 0.35).min(5.0)
+    }
+
+    /// A full RTT sample for a two-leg path `a -> b -> c` (probe from `a`
+    /// answered by a host at `b`, reply received at `c`; for unicast probing
+    /// `c == a`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn rtt_ms(
+        &self,
+        a: &Coord,
+        b: &Coord,
+        c: &Coord,
+        hops_ab: u16,
+        hops_bc: u16,
+        src_key: Key,
+        target_key: Key,
+        probe_key: Key,
+    ) -> f64 {
+        let fwd = self.one_way_ms(a, b, hops_ab, rng::mix(src_key, target_key));
+        let back = self.one_way_ms(b, c, hops_bc, rng::mix(target_key, rng::mix(src_key, 1)));
+        fwd + back
+            + self.access_ms(src_key) / 2.0
+            + self.access_ms(target_key)
+            + self.jitter_ms(probe_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_geo::{max_one_way_km, Coord};
+
+    fn model() -> LatencyModel {
+        LatencyModel::new(7)
+    }
+
+    fn ams() -> Coord {
+        Coord::new(52.37, 4.90)
+    }
+    fn syd() -> Coord {
+        Coord::new(-33.87, 151.21)
+    }
+
+    #[test]
+    fn one_way_never_beats_light_in_fibre() {
+        let m = model();
+        for k in 0..500u64 {
+            let t = m.one_way_ms(&ams(), &syd(), 5, k);
+            let d = ams().gcd_km(&syd());
+            assert!(
+                t >= min_rtt_ms(d) / 2.0,
+                "propagation faster than fibre light"
+            );
+        }
+    }
+
+    #[test]
+    fn rtt_feasibility_disk_contains_true_site() {
+        // The GCD soundness invariant: disk radius from a same-path RTT
+        // always covers the actual one-way distance.
+        let m = model();
+        for k in 0..500u64 {
+            let rtt = m.rtt_ms(&ams(), &syd(), &ams(), 6, 6, k, k + 1000, k + 2000);
+            let radius = max_one_way_km(rtt);
+            assert!(
+                radius >= ams().gcd_km(&syd()),
+                "disk excludes the true site"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_distance_rtt_is_small_but_positive() {
+        let m = model();
+        let rtt = m.rtt_ms(&ams(), &ams(), &ams(), 1, 1, 3, 4, 5);
+        assert!(rtt > 0.0);
+        assert!(rtt < 25.0, "same-city RTT too large: {rtt}");
+    }
+
+    #[test]
+    fn determinism() {
+        let m = model();
+        let a = m.rtt_ms(&ams(), &syd(), &ams(), 4, 4, 1, 2, 3);
+        let b = m.rtt_ms(&ams(), &syd(), &ams(), 4, 4, 1, 2, 3);
+        assert_eq!(a, b);
+        let c = m.rtt_ms(&ams(), &syd(), &ams(), 4, 4, 1, 2, 4);
+        assert_ne!(a, c, "probe key should vary jitter");
+    }
+
+    #[test]
+    fn access_delay_is_bounded_and_heavy_tailed() {
+        let m = model();
+        let mut over_2ms = 0;
+        for k in 0..2000u64 {
+            let a = m.access_ms(k);
+            assert!((0.0..=8.2).contains(&a));
+            if a > 2.0 {
+                over_2ms += 1;
+            }
+        }
+        // A minority, but a real one.
+        assert!(over_2ms > 50, "tail too thin: {over_2ms}");
+        assert!(over_2ms < 700, "tail too fat: {over_2ms}");
+    }
+
+    #[test]
+    fn hop_estimate_grows_with_distance() {
+        let m = model();
+        let near = m.estimate_hops(&ams(), &Coord::new(51.51, -0.13), 1);
+        let far = m.estimate_hops(&ams(), &syd(), 1);
+        assert!(far > near);
+    }
+
+    #[test]
+    fn jitter_nonnegative() {
+        let m = model();
+        for k in 0..1000 {
+            assert!(m.jitter_ms(k) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! A synthetic Internet for the LACeS anycast census.
+//!
+//! The paper's system runs on a 32-site anycast cloud deployment and probes
+//! the real Internet; this crate replaces both with a deterministic
+//! simulation that reproduces exactly the observables the census methodology
+//! depends on (see `DESIGN.md` §2 for the substitution argument):
+//!
+//! * **Catchments** — which vantage point a packet reaches — from a
+//!   generated AS-level topology routed with the Gao-Rexford valley-free
+//!   model ([`topology`], [`routing`]).
+//! * **Latencies** — speed-of-light-respecting RTTs with realistic path
+//!   stretch, access delay, and jitter ([`latency`]).
+//! * **Ground truth** — a registry of anycast deployments with the paper's
+//!   hypergiant skew, regional and temporary anycast, partial anycast,
+//!   backing-anycast traffic engineering, and globally-announced unicast
+//!   ([`deployments`], [`targets`]).
+//! * **Dynamics** — daily catchment churn, route flips whose likelihood
+//!   grows with the probing window, per-packet reverse-path instability,
+//!   loss, and target churn ([`wire`]).
+//!
+//! Everything is a pure function of the world seed: two [`World`]s generated
+//! from the same [`WorldConfig`] behave identically, probe for probe.
+//!
+//! # Example
+//!
+//! ```
+//! use laces_netsim::{World, WorldConfig};
+//! use laces_netsim::wire::{MeasurementCtx, ProbeSource};
+//! use laces_packet::probe::{self, ProbeEncoding, ProbeMeta, Protocol};
+//!
+//! let world = World::generate(WorldConfig::tiny());
+//! let prod = world.std_platforms.production;
+//!
+//! // Probe the first target from worker 0 of the production platform.
+//! let dst = match world.targets[0].prefix {
+//!     laces_packet::PrefixKey::V4(p) => std::net::IpAddr::V4(p.addr(77)),
+//!     laces_packet::PrefixKey::V6(p) => std::net::IpAddr::V6(p.addr(77)),
+//! };
+//! let src = laces_netsim::platform::anycast_src_v4(prod);
+//! let meta = ProbeMeta { measurement_id: 1, worker_id: 0, tx_time_ms: 0 };
+//! let pkt = probe::build_probe(src, dst, Protocol::Icmp, &meta, ProbeEncoding::PerWorker);
+//! let ctx = MeasurementCtx { id: 1, day: 0, span_ms: 31_000 };
+//! let delivery = world
+//!     .send_probe(ProbeSource::Worker { platform: prod, site: 0 }, &pkt, 0, 0, &ctx)
+//!     .unwrap();
+//! // `delivery` is Some(reply) if the target is up and ICMP-responsive.
+//! # let _ = delivery;
+//! ```
+
+pub mod bgp;
+pub mod deployments;
+pub mod latency;
+pub mod platform;
+pub mod rng;
+pub mod routing;
+pub mod targets;
+pub mod topology;
+pub mod trace;
+pub mod validate;
+pub mod wire;
+pub mod world;
+
+pub use bgp::{bgp_table, bgp_updates, Announcement, BgpEvent, BgpEventKind, BgpTable};
+pub use deployments::{Deployment, DeploymentId, Site};
+pub use latency::LatencyModel;
+pub use platform::{Platform, PlatformId, PlatformKind, Vp};
+pub use routing::{RouteClass, Routes, TieSet};
+pub use targets::{ChaosProfile, Hijack, Resp, Target, TargetId, TargetKind};
+pub use topology::{AsNode, Tier, TopoConfig, Topology};
+pub use trace::TraceHop;
+pub use wire::{flip_probability, Delivery, MeasurementCtx, ProbeSource};
+pub use world::{StandardPlatforms, World, WorldConfig};

@@ -1,0 +1,260 @@
+//! Measurement platforms: the anycast deployments LACeS probes *from*, and
+//! the unicast vantage-point platforms used for GCD latency measurements.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use laces_geo::{CityId, Coord};
+use serde::{Deserialize, Serialize};
+
+use crate::deployments::Site;
+
+/// Identifies a platform within the world registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PlatformId(pub u16);
+
+/// A unicast vantage point (an Ark or RIPE Atlas style node).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vp {
+    /// AS hosting the node.
+    pub as_idx: u32,
+    /// Node position (may be jittered off the city centre).
+    pub coord: Coord,
+    /// Nearest metro (for reporting).
+    pub city: CityId,
+    /// Whether the node's participation is unreliable (RIPE Atlas: the
+    /// paper observed inconsistent VP availability across measurements).
+    pub flaky: bool,
+}
+
+/// Platform flavour.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// An anycast deployment we control: every site runs a Worker and all
+    /// sites announce the same source prefix.
+    Anycast {
+        /// The sites (each with its shell AS in the topology).
+        sites: Vec<Site>,
+    },
+    /// A set of unicast nodes used for latency (GCD) probing.
+    Unicast {
+        /// The vantage points.
+        vps: Vec<Vp>,
+    },
+}
+
+/// A measurement platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    /// Human-readable name ("production-32", "ark", "atlas", ...).
+    pub name: String,
+    /// Sites or VPs.
+    pub kind: PlatformKind,
+}
+
+impl Platform {
+    /// Number of vantage points (sites for anycast platforms).
+    pub fn n_vps(&self) -> usize {
+        match &self.kind {
+            PlatformKind::Anycast { sites } => sites.len(),
+            PlatformKind::Unicast { vps } => vps.len(),
+        }
+    }
+
+    /// The AS hosting vantage point `i`.
+    pub fn vp_as(&self, i: usize) -> u32 {
+        match &self.kind {
+            PlatformKind::Anycast { sites } => sites[i].as_idx,
+            PlatformKind::Unicast { vps } => vps[i].as_idx,
+        }
+    }
+
+    /// Whether this is an anycast (worker-bearing) platform.
+    pub fn is_anycast(&self) -> bool {
+        matches!(self.kind, PlatformKind::Anycast { .. })
+    }
+
+    /// Sites of an anycast platform (panics for unicast platforms).
+    pub fn sites(&self) -> &[Site] {
+        match &self.kind {
+            PlatformKind::Anycast { sites } => sites,
+            PlatformKind::Unicast { .. } => panic!("unicast platform has no anycast sites"),
+        }
+    }
+
+    /// VPs of a unicast platform (panics for anycast platforms).
+    pub fn vps(&self) -> &[Vp] {
+        match &self.kind {
+            PlatformKind::Unicast { vps } => vps,
+            PlatformKind::Anycast { .. } => panic!("anycast platform has no unicast VPs"),
+        }
+    }
+}
+
+/// The anycast source address a measurement platform announces (IPv4).
+pub fn anycast_src_v4(platform: PlatformId) -> IpAddr {
+    // 198.18.0.0/15 is reserved for benchmarking (RFC 2544); one /24 per
+    // platform keeps the wire unambiguous.
+    IpAddr::V4(Ipv4Addr::new(198, 18, platform.0 as u8, 1))
+}
+
+/// The anycast source address a measurement platform announces (IPv6).
+pub fn anycast_src_v6(platform: PlatformId) -> IpAddr {
+    IpAddr::V6(Ipv6Addr::new(0x2001, 0xdb8, 0xface, platform.0, 0, 0, 0, 1))
+}
+
+/// The unicast address of VP `vp` on a unicast platform (IPv4).
+pub fn vp_src_v4(platform: PlatformId, vp: usize) -> IpAddr {
+    IpAddr::V4(Ipv4Addr::new(
+        198,
+        19,
+        ((vp >> 8) & 0x7F) as u8 | ((platform.0 as u8 & 1) << 7),
+        (vp & 0xFF) as u8,
+    ))
+}
+
+/// The unicast address of VP `vp` on a unicast platform (IPv6).
+pub fn vp_src_v6(platform: PlatformId, vp: usize) -> IpAddr {
+    IpAddr::V6(Ipv6Addr::new(
+        0x2001,
+        0xdb8,
+        0xbeef,
+        platform.0,
+        0,
+        0,
+        0,
+        vp as u16 + 1,
+    ))
+}
+
+/// The 32 metros of the paper's production anycast deployment (Vultr's
+/// datacentre locations as of the measurement period).
+pub const PRODUCTION_CITIES: [&str; 32] = [
+    "Amsterdam",
+    "Atlanta",
+    "Bangalore",
+    "Chicago",
+    "Dallas",
+    "Delhi",
+    "Frankfurt",
+    "Honolulu",
+    "Johannesburg",
+    "London",
+    "Los Angeles",
+    "Madrid",
+    "Manchester",
+    "Melbourne",
+    "Mexico City",
+    "Miami",
+    "Mumbai",
+    "Newark",
+    "Osaka",
+    "Paris",
+    "Sao Paulo",
+    "Santiago",
+    "Seattle",
+    "Seoul",
+    "San Jose",
+    "Singapore",
+    "Stockholm",
+    "Sydney",
+    "Tel Aviv",
+    "Tokyo",
+    "Toronto",
+    "Warsaw",
+];
+
+/// The 12 sites of the external ccTLD registry deployment (§5.4).
+pub const CCTLD_CITIES: [&str; 12] = [
+    "Amsterdam",
+    "Frankfurt",
+    "London",
+    "Vienna",
+    "Stockholm",
+    "Warsaw",
+    "New York",
+    "Los Angeles",
+    "Sao Paulo",
+    "Singapore",
+    "Tokyo",
+    "Sydney",
+];
+
+/// §5.5.1 reduced deployments, as index lists into [`PRODUCTION_CITIES`].
+pub mod subsets {
+    /// Two VPs: one in North America, one in Europe.
+    pub const EU_NA: [usize; 2] = [17 /* Newark */, 0 /* Amsterdam */];
+
+    /// One site per continent (6 VPs; the paper keeps the highest-response
+    /// site per continent).
+    pub const ONE_PER_CONTINENT: [usize; 6] = [
+        17, // Newark (NA)
+        20, // Sao Paulo (SA)
+        0,  // Amsterdam (EU)
+        8,  // Johannesburg (AF)
+        25, // Singapore (AS)
+        27, // Sydney (OC)
+    ];
+
+    /// Two sites per continent, maximising geographic distance (11 VPs —
+    /// only one site exists in Africa).
+    pub const TWO_PER_CONTINENT: [usize; 11] = [
+        17, 10, // Newark + Los Angeles (NA east/west)
+        20, 21, // Sao Paulo + Santiago (SA)
+        9, 31, // London + Warsaw (EU west/east)
+        8,  // Johannesburg (AF)
+        29, 25, // Tokyo + Singapore (AS)
+        27, 13, // Sydney + Melbourne (OC)
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_geo::CityDb;
+
+    #[test]
+    fn production_cities_resolve_and_are_unique() {
+        let db = CityDb::embedded();
+        let mut seen = std::collections::HashSet::new();
+        for name in PRODUCTION_CITIES {
+            assert!(db.by_name(name).is_some(), "unknown city {name}");
+            assert!(seen.insert(name), "duplicate {name}");
+        }
+        assert_eq!(PRODUCTION_CITIES.len(), 32);
+    }
+
+    #[test]
+    fn cctld_cities_resolve() {
+        let db = CityDb::embedded();
+        for name in CCTLD_CITIES {
+            assert!(db.by_name(name).is_some(), "unknown city {name}");
+        }
+    }
+
+    #[test]
+    fn subsets_are_valid_indices() {
+        for &i in subsets::EU_NA
+            .iter()
+            .chain(&subsets::ONE_PER_CONTINENT)
+            .chain(&subsets::TWO_PER_CONTINENT)
+        {
+            assert!(i < 32);
+        }
+        assert_eq!(subsets::EU_NA.len(), 2);
+        assert_eq!(subsets::ONE_PER_CONTINENT.len(), 6);
+        assert_eq!(subsets::TWO_PER_CONTINENT.len(), 11);
+        // Subset entries must be distinct.
+        let mut two = subsets::TWO_PER_CONTINENT.to_vec();
+        two.sort_unstable();
+        two.dedup();
+        assert_eq!(two.len(), 11);
+    }
+
+    #[test]
+    fn source_addresses_are_distinct() {
+        assert_ne!(anycast_src_v4(PlatformId(0)), anycast_src_v4(PlatformId(1)));
+        assert_ne!(vp_src_v4(PlatformId(0), 0), vp_src_v4(PlatformId(0), 1));
+        assert_ne!(vp_src_v6(PlatformId(0), 3), vp_src_v6(PlatformId(1), 3));
+        assert_ne!(anycast_src_v6(PlatformId(2)), anycast_src_v6(PlatformId(3)));
+    }
+}

@@ -1,0 +1,119 @@
+//! Deterministic per-event randomness.
+//!
+//! Every stochastic decision in the simulator (route tie-breaks, jitter,
+//! flips, responsiveness churn) is a *pure function* of the world seed and
+//! the event's identifying coordinates. This makes whole experiments
+//! reproducible bit-for-bit and — crucially for the longitudinal analyses —
+//! makes day `d` of the simulated Internet identical no matter which
+//! measurement observes it or in which order.
+
+/// A 64-bit mixing key; build one with [`key`] and derive per-dimension
+/// sub-keys with [`mix`].
+pub type Key = u64;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixer.
+#[inline]
+pub fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Combine a key with one more coordinate.
+#[inline]
+pub fn mix(key: Key, v: u64) -> Key {
+    splitmix(key ^ v.wrapping_mul(0xA24B_AED4_963E_E407))
+}
+
+/// Build a key from a seed and up to four coordinates.
+#[inline]
+pub fn key(seed: u64, coords: &[u64]) -> Key {
+    let mut k = splitmix(seed);
+    for &c in coords {
+        k = mix(k, c);
+    }
+    k
+}
+
+/// A uniform f64 in `[0, 1)` derived from a key.
+#[inline]
+pub fn unit_f64(k: Key) -> f64 {
+    // Use the top 53 bits for a dyadic uniform.
+    (splitmix(k) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A uniform integer in `[0, n)` derived from a key (n > 0).
+#[inline]
+pub fn below(k: Key, n: usize) -> usize {
+    debug_assert!(n > 0);
+    (splitmix(k) % n as u64) as usize
+}
+
+/// Standard-normal-ish sample (sum of uniforms, Irwin–Hall with 4 terms,
+/// rescaled): adequate for latency jitter, avoids transcendental cost.
+#[inline]
+pub fn gaussianish(k: Key) -> f64 {
+    let a = unit_f64(mix(k, 1));
+    let b = unit_f64(mix(k, 2));
+    let c = unit_f64(mix(k, 3));
+    let d = unit_f64(mix(k, 4));
+    // Irwin–Hall(4): mean 2, variance 1/3. Normalise to mean 0, sd 1.
+    (a + b + c + d - 2.0) * (3.0f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(key(42, &[1, 2, 3]), key(42, &[1, 2, 3]));
+        assert_ne!(key(42, &[1, 2, 3]), key(42, &[1, 3, 2]));
+        assert_ne!(key(42, &[1]), key(43, &[1]));
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_spread() {
+        let mut below_half = 0;
+        for i in 0..10_000u64 {
+            let u = unit_f64(key(7, &[i]));
+            assert!((0.0..1.0).contains(&u));
+            if u < 0.5 {
+                below_half += 1;
+            }
+        }
+        assert!((4_500..5_500).contains(&below_half), "biased: {below_half}");
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        for i in 0..1000u64 {
+            assert!(below(key(1, &[i]), 7) < 7);
+        }
+    }
+
+    #[test]
+    fn below_covers_all_buckets() {
+        let mut seen = [false; 7];
+        for i in 0..1000u64 {
+            seen[below(key(1, &[i]), 7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gaussianish_has_roughly_unit_variance() {
+        let n = 20_000u64;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for i in 0..n {
+            let g = gaussianish(key(9, &[i]));
+            sum += g;
+            sq += g * g;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,349 @@
+//! The probe-able population: every `/24` and `/48` the census can target.
+
+use laces_geo::CityId;
+use laces_packet::{Prefix24, Prefix48, PrefixKey};
+use serde::{Deserialize, Serialize};
+
+use crate::deployments::{DeploymentId, TempSchedule};
+use crate::rng;
+
+/// Index of a target in the world's target table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TargetId(pub u32);
+
+/// What a target *really* is — the simulator's ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetKind {
+    /// Ordinary unicast host.
+    Unicast {
+        /// Host location.
+        city: CityId,
+    },
+    /// A prefix of an anycast deployment.
+    Anycast {
+        /// The deployment announcing this prefix.
+        dep: DeploymentId,
+    },
+    /// Globally announced BGP prefix routed internally to a single unicast
+    /// destination (the Microsoft AS 8075 pattern, §5.1.3): probes ingress
+    /// at the nearest PoP, responses egress near the destination via one of
+    /// two nearby egress networks.
+    GlobalUnicast {
+        /// Destination host location.
+        city: CityId,
+        /// The two egress AS indices responses leave through.
+        egress: [u32; 2],
+    },
+    /// A `/24` whose representative (hitlist) address is unicast but whose
+    /// low addresses are anycast (§5.6 partial anycast — the NTT public
+    /// resolver case).
+    PartialAnycast {
+        /// Location of the unicast portion.
+        city: CityId,
+        /// Deployment serving the anycast portion.
+        dep: DeploymentId,
+    },
+    /// Unicast `/48` covered by a less-specific *backing anycast* prefix;
+    /// VP networks that filter the `/48` announcement fall back to the
+    /// anycast route (Fastly's TE, the paper's IPv6 GCD false positives).
+    BackingAnycast {
+        /// Location of the unicast host.
+        city: CityId,
+        /// Deployment of the backing prefix.
+        dep: DeploymentId,
+    },
+}
+
+/// Host octet/IID below which addresses of a partial-anycast prefix are
+/// anycast (addresses `< PARTIAL_ANYCAST_HOSTS` replicate; the rest,
+/// including every hitlist representative, are unicast).
+pub const PARTIAL_ANYCAST_HOSTS: u8 = 6;
+
+/// Host octet used for hitlist representative addresses.
+pub const REPRESENTATIVE_HOST: u8 = 77;
+
+/// Per-protocol responsiveness of a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Resp {
+    /// Answers ICMP echo.
+    pub icmp: bool,
+    /// Answers TCP SYN/ACK with RST.
+    pub tcp: bool,
+    /// Answers DNS-over-UDP queries.
+    pub udp: bool,
+}
+
+impl Resp {
+    /// Responds to at least one protocol.
+    pub fn any(&self) -> bool {
+        self.icmp || self.tcp || self.udp
+    }
+
+    /// Responds to the given protocol.
+    pub fn to(&self, proto: laces_packet::Protocol) -> bool {
+        match proto {
+            laces_packet::Protocol::Icmp => self.icmp,
+            laces_packet::Protocol::Tcp => self.tcp,
+            // CHAOS rides on the DNS service.
+            laces_packet::Protocol::Udp | laces_packet::Protocol::Chaos => self.udp,
+        }
+    }
+}
+
+/// How a nameserver answers CHAOS `hostname.bind` (Appendix C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosProfile {
+    /// Each anycast site discloses its own identity (RFC 4892 intent).
+    PerSite,
+    /// `n` co-located servers behind one address answer `auth1..authN` —
+    /// multiple CHAOS values at a *single* location (the paper's
+    /// weak-indicator finding).
+    Colo(u8),
+}
+
+/// A prefix hijack event: on `day`, a bogus origin also announces the
+/// prefix and captures part of the Internet's traffic toward it (§6 future
+/// work: using the census to detect suspected BGP hijacking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hijack {
+    /// The day the bogus announcement is live.
+    pub day: u32,
+    /// The attacker's AS (topology index).
+    pub attacker_as: u32,
+}
+
+/// A census-probeable prefix with its ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Target {
+    /// The `/24` or `/48`.
+    pub prefix: PrefixKey,
+    /// Hosting AS for unicast-like kinds (`u32::MAX` for pure anycast,
+    /// whose responders are the deployment's site ASes).
+    pub as_idx: u32,
+    /// Ground-truth kind.
+    pub kind: TargetKind,
+    /// Protocol responsiveness.
+    pub resp: Resp,
+    /// Present (with a CHAOS profile) if the target is a nameserver.
+    pub ns: Option<ChaosProfile>,
+    /// Temporary-anycast schedule, if any.
+    pub temp: Option<TempSchedule>,
+    /// Whether the reverse route re-resolves per packet among equal-cost
+    /// alternatives (persistent 2-VP false positives even with simultaneous
+    /// probes).
+    pub jittery: bool,
+    /// A one-day prefix hijack, if this target suffers one.
+    pub hijack: Option<Hijack>,
+}
+
+impl Target {
+    /// Daily availability: targets churn in and out of responsiveness.
+    /// Anycast infrastructure is far more stable than the hitlist tail.
+    pub fn alive_on(&self, seed: u64, id: TargetId, day: u32) -> bool {
+        let p_dead = match self.kind {
+            TargetKind::Anycast { .. } => 0.002,
+            _ => 0.04,
+        };
+        rng::unit_f64(rng::key(seed, &[0xA11E, id.0 as u64, day as u64])) >= p_dead
+    }
+
+    /// Whether this target behaves as anycast on `day` at the given host
+    /// octet/IID (partial anycast is anycast only on its low addresses;
+    /// temporary anycast only on active days).
+    pub fn is_anycast_at(&self, host: u8, day: u32) -> bool {
+        let scheduled = self.temp.map_or(true, |t| t.active_on(day));
+        match self.kind {
+            TargetKind::Anycast { .. } => scheduled,
+            TargetKind::PartialAnycast { .. } => scheduled && host < PARTIAL_ANYCAST_HOSTS,
+            _ => false,
+        }
+    }
+
+    /// Ground-truth: is any address in this prefix anycast on `day`?
+    pub fn any_anycast_on(&self, day: u32) -> bool {
+        let scheduled = self.temp.map_or(true, |t| t.active_on(day));
+        matches!(
+            self.kind,
+            TargetKind::Anycast { .. } | TargetKind::PartialAnycast { .. }
+        ) && scheduled
+    }
+}
+
+/// Deterministic address assignment for synthetic targets.
+///
+/// IPv4 `/24`s are laid out consecutively from `20.0.0.0`; IPv6 `/48`s from
+/// `2a10::/16`-ish space. Both leave the measurement platform ranges
+/// (`198.18.0.0/15`, `2001:db8::/32`) untouched.
+pub mod addressing {
+    use super::*;
+
+    const V4_BASE: u32 = 20 << 24; // 20.0.0.0
+    const V6_BASE: u128 = 0x2A10 << 112;
+
+    /// The `/24` for v4 target number `i`.
+    pub fn v4(i: u32) -> Prefix24 {
+        Prefix24::from_network(V4_BASE + (i << 8))
+    }
+
+    /// The `/48` for v6 target number `i`.
+    pub fn v6(i: u32) -> Prefix48 {
+        Prefix48::from_network(V6_BASE | (u128::from(i) << 80))
+    }
+
+    /// Recover the v4 target number from a prefix, if it is in our range.
+    pub fn v4_index(p: Prefix24) -> Option<u32> {
+        let n = p.network();
+        if n >= V4_BASE {
+            Some((n - V4_BASE) >> 8)
+        } else {
+            None
+        }
+    }
+
+    /// Recover the v6 target number from a prefix, if it is in our range.
+    pub fn v6_index(p: Prefix48) -> Option<u32> {
+        let n = p.network();
+        if n >= V6_BASE {
+            Some(((n - V6_BASE) >> 80) as u32)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addressing_is_bijective() {
+        for i in [0u32, 1, 255, 256, 400_000] {
+            assert_eq!(addressing::v4_index(addressing::v4(i)), Some(i));
+            assert_eq!(addressing::v6_index(addressing::v6(i)), Some(i));
+        }
+        assert_ne!(addressing::v4(1), addressing::v4(2));
+    }
+
+    #[test]
+    fn v4_addresses_avoid_platform_range() {
+        let p = addressing::v4(500_000);
+        let net = p.network() >> 24;
+        assert_ne!(net, 198, "collided with measurement platform space");
+    }
+
+    #[test]
+    fn partial_anycast_is_anycast_only_on_low_hosts() {
+        let t = Target {
+            prefix: PrefixKey::V4(addressing::v4(0)),
+            as_idx: 0,
+            kind: TargetKind::PartialAnycast {
+                city: CityId(0),
+                dep: DeploymentId(0),
+            },
+            resp: Resp {
+                icmp: true,
+                tcp: false,
+                udp: false,
+            },
+            ns: None,
+            temp: None,
+            jittery: false,
+            hijack: None,
+        };
+        assert!(t.is_anycast_at(0, 0));
+        assert!(t.is_anycast_at(PARTIAL_ANYCAST_HOSTS - 1, 0));
+        assert!(!t.is_anycast_at(PARTIAL_ANYCAST_HOSTS, 0));
+        assert!(!t.is_anycast_at(REPRESENTATIVE_HOST, 0));
+        assert!(t.any_anycast_on(0));
+    }
+
+    #[test]
+    fn temporary_anycast_follows_schedule() {
+        let t = Target {
+            prefix: PrefixKey::V4(addressing::v4(1)),
+            as_idx: 0,
+            kind: TargetKind::Anycast {
+                dep: DeploymentId(1),
+            },
+            resp: Resp {
+                icmp: true,
+                tcp: false,
+                udp: false,
+            },
+            ns: None,
+            temp: Some(TempSchedule {
+                period: 4,
+                active: 1,
+                phase: 0,
+            }),
+            jittery: false,
+            hijack: None,
+        };
+        assert!(t.is_anycast_at(REPRESENTATIVE_HOST, 0));
+        assert!(!t.is_anycast_at(REPRESENTATIVE_HOST, 1));
+        assert!(t.is_anycast_at(REPRESENTATIVE_HOST, 4));
+        assert!(!t.any_anycast_on(2));
+    }
+
+    #[test]
+    fn unicast_is_never_anycast() {
+        let t = Target {
+            prefix: PrefixKey::V4(addressing::v4(2)),
+            as_idx: 3,
+            kind: TargetKind::Unicast { city: CityId(0) },
+            resp: Resp {
+                icmp: true,
+                tcp: true,
+                udp: false,
+            },
+            ns: None,
+            temp: None,
+            jittery: true,
+            hijack: None,
+        };
+        assert!(!t.is_anycast_at(0, 0));
+        assert!(!t.any_anycast_on(0));
+    }
+
+    #[test]
+    fn aliveness_is_deterministic_and_mostly_up() {
+        let t = Target {
+            prefix: PrefixKey::V4(addressing::v4(3)),
+            as_idx: 3,
+            kind: TargetKind::Unicast { city: CityId(0) },
+            resp: Resp {
+                icmp: true,
+                tcp: false,
+                udp: false,
+            },
+            ns: None,
+            temp: None,
+            jittery: false,
+            hijack: None,
+        };
+        let mut up = 0;
+        for day in 0..500 {
+            let a = t.alive_on(9, TargetId(3), day);
+            assert_eq!(a, t.alive_on(9, TargetId(3), day));
+            if a {
+                up += 1;
+            }
+        }
+        assert!((440..=490).contains(&up), "uptime {up}/500");
+    }
+
+    #[test]
+    fn resp_protocol_dispatch() {
+        let r = Resp {
+            icmp: true,
+            tcp: false,
+            udp: true,
+        };
+        assert!(r.to(laces_packet::Protocol::Icmp));
+        assert!(!r.to(laces_packet::Protocol::Tcp));
+        assert!(r.to(laces_packet::Protocol::Udp));
+        assert!(r.to(laces_packet::Protocol::Chaos));
+        assert!(r.any());
+        assert!(!Resp::default().any());
+    }
+}

@@ -1,0 +1,422 @@
+//! AS-level topology generation.
+//!
+//! The simulated Internet is a three-tier customer/provider hierarchy with
+//! peering, in the style of measured AS topologies:
+//!
+//! * a small clique of **tier-1** ASes that peer with each other and have
+//!   points of presence spread across the globe;
+//! * **transit** ASes that buy from tier-1s (or other transit ASes) and
+//!   selectively peer with geographically close transit ASes;
+//! * **stub** ASes (eyeball and enterprise networks) that buy transit from
+//!   one or two nearby transit providers. Census targets live here.
+//!
+//! Providers are always chosen among ASes with a *smaller index*, so the
+//! customer→provider digraph is acyclic by construction, which both matches
+//! economic reality (no provider loops) and guarantees the Gao-Rexford
+//! propagation in [`crate::routing`] terminates.
+
+use laces_geo::{CityDb, CityId, Coord};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Role of an AS in the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tier {
+    /// Transit-free backbone network.
+    Tier1,
+    /// Regional or national transit provider.
+    Transit,
+    /// Edge network (origin of census targets).
+    Stub,
+}
+
+/// One autonomous system.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsNode {
+    /// A synthetic AS number (unique, for display).
+    pub asn: u32,
+    /// Hierarchy role.
+    pub tier: Tier,
+    /// Cities where this AS has points of presence (non-empty).
+    pub pops: Vec<CityId>,
+}
+
+/// Parameters for topology generation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopoConfig {
+    /// Number of tier-1 ASes (fully meshed peers).
+    pub n_tier1: usize,
+    /// Number of transit ASes.
+    pub n_transit: usize,
+    /// Number of stub ASes.
+    pub n_stub: usize,
+}
+
+impl Default for TopoConfig {
+    fn default() -> Self {
+        TopoConfig {
+            n_tier1: 12,
+            n_transit: 380,
+            n_stub: 3600,
+        }
+    }
+}
+
+impl TopoConfig {
+    /// A miniature topology for unit tests.
+    pub fn tiny() -> Self {
+        TopoConfig {
+            n_tier1: 4,
+            n_transit: 30,
+            n_stub: 200,
+        }
+    }
+}
+
+/// The AS graph: nodes plus customer/provider and peering adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    /// All ASes; indices into this vector are the canonical AS identifiers
+    /// used throughout the simulator.
+    pub ases: Vec<AsNode>,
+    /// For each AS, the indices of its providers.
+    pub providers: Vec<Vec<u32>>,
+    /// For each AS, the indices of its customers (inverse of `providers`).
+    pub customers: Vec<Vec<u32>>,
+    /// For each AS, the indices of its peers (symmetric).
+    pub peers: Vec<Vec<u32>>,
+}
+
+impl Topology {
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// Whether the topology has no ASes.
+    pub fn is_empty(&self) -> bool {
+        self.ases.is_empty()
+    }
+
+    /// Add an AS with explicit relationships; returns its index.
+    ///
+    /// Used by the generator and by [`crate::world`] to attach measurement
+    /// platform sites and anycast deployment sites as edge networks.
+    /// Panics if a provider or peer index is out of range or if `pops` is
+    /// empty.
+    pub fn add_as(
+        &mut self,
+        asn: u32,
+        tier: Tier,
+        pops: Vec<CityId>,
+        providers: Vec<u32>,
+        peers: Vec<u32>,
+    ) -> u32 {
+        assert!(!pops.is_empty(), "AS must have at least one PoP");
+        let idx = self.ases.len() as u32;
+        for &p in &providers {
+            assert!(
+                (p as usize) < self.ases.len(),
+                "provider index out of range"
+            );
+            assert!(p != idx, "AS cannot be its own provider");
+        }
+        for &p in &peers {
+            assert!((p as usize) < self.ases.len(), "peer index out of range");
+        }
+        self.ases.push(AsNode { asn, tier, pops });
+        self.providers.push(providers.clone());
+        self.customers.push(Vec::new());
+        self.peers.push(peers.clone());
+        for p in providers {
+            self.customers[p as usize].push(idx);
+        }
+        for p in peers {
+            self.peers[p as usize].push(idx);
+        }
+        idx
+    }
+
+    /// The PoP of `as_idx` geographically nearest to `to`.
+    pub fn nearest_pop(&self, db: &CityDb, as_idx: u32, to: &Coord) -> CityId {
+        let pops = &self.ases[as_idx as usize].pops;
+        *pops
+            .iter()
+            .min_by(|a, b| {
+                let da = db.get(**a).coord.gcd_km(to);
+                let dbd = db.get(**b).coord.gcd_km(to);
+                da.partial_cmp(&dbd).unwrap()
+            })
+            .expect("AS has at least one PoP")
+    }
+
+    /// The first (home) PoP of an AS.
+    pub fn home_city(&self, as_idx: u32) -> CityId {
+        self.ases[as_idx as usize].pops[0]
+    }
+
+    /// Generate a topology per `cfg`, deterministically from `seed`.
+    pub fn generate(cfg: &TopoConfig, db: &CityDb, seed: u64) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7070_7070);
+        let mut topo = Topology::default();
+
+        // Population-weighted city sampler.
+        let cities: Vec<CityId> = db.iter().map(|(id, _)| id).collect();
+        let weights: Vec<f64> = db
+            .iter()
+            .map(|(_, c)| (c.population as f64).sqrt())
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+        let pick_city = |rng: &mut StdRng| -> CityId {
+            let mut x = rng.gen_range(0.0..total_w);
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    return cities[i];
+                }
+                x -= w;
+            }
+            *cities.last().unwrap()
+        };
+
+        // Tier-1 clique.
+        for t in 0..cfg.n_tier1 {
+            let n_pops = rng.gen_range(6..=12);
+            let mut pops = Vec::with_capacity(n_pops);
+            while pops.len() < n_pops {
+                let c = pick_city(&mut rng);
+                if !pops.contains(&c) {
+                    pops.push(c);
+                }
+            }
+            let peers: Vec<u32> = (0..t as u32).collect();
+            topo.add_as(100 + t as u32, Tier::Tier1, pops, Vec::new(), peers);
+        }
+
+        // Transit ASes: providers among tier-1 and previously created transit.
+        for t in 0..cfg.n_transit {
+            let n_pops = rng.gen_range(1..=4);
+            let mut pops = Vec::with_capacity(n_pops);
+            while pops.len() < n_pops {
+                let c = pick_city(&mut rng);
+                if !pops.contains(&c) {
+                    pops.push(c);
+                }
+            }
+            let home = db.get(pops[0]).coord;
+            let n_candidates = topo.len();
+            let n_prov = rng.gen_range(1..=3.min(n_candidates));
+            let providers = pick_near(&topo, db, &mut rng, &home, 0..n_candidates as u32, n_prov);
+            // Peer with a couple of geographically close transit ASes.
+            let transit_start = cfg.n_tier1 as u32;
+            let mut peers = Vec::new();
+            if topo.len() as u32 > transit_start && rng.gen_bool(0.5) {
+                let n_peer = rng.gen_range(1..=2);
+                peers = pick_near(
+                    &topo,
+                    db,
+                    &mut rng,
+                    &home,
+                    transit_start..topo.len() as u32,
+                    n_peer,
+                );
+            }
+            topo.add_as(2_000 + t as u32, Tier::Transit, pops, providers, peers);
+        }
+
+        // Stub ASes: one or two nearby transit providers.
+        let transit_range = cfg.n_tier1 as u32..(cfg.n_tier1 + cfg.n_transit) as u32;
+        for s in 0..cfg.n_stub {
+            let city = pick_city(&mut rng);
+            let home = db.get(city).coord;
+            let n_prov = if rng.gen_bool(0.3) { 2 } else { 1 };
+            let providers = pick_near(&topo, db, &mut rng, &home, transit_range.clone(), n_prov);
+            topo.add_as(
+                10_000 + s as u32,
+                Tier::Stub,
+                vec![city],
+                providers,
+                Vec::new(),
+            );
+        }
+
+        topo
+    }
+}
+
+/// Choose `n` distinct ASes from `range`, weighted toward those with a PoP
+/// near `home`.
+fn pick_near(
+    topo: &Topology,
+    db: &CityDb,
+    rng: &mut StdRng,
+    home: &Coord,
+    range: std::ops::Range<u32>,
+    n: usize,
+) -> Vec<u32> {
+    let candidates: Vec<u32> = range.collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let weights: Vec<f64> = candidates
+        .iter()
+        .map(|&i| {
+            let pop_city = topo.nearest_pop(db, i, home);
+            let d = db.get(pop_city).coord.gcd_km(home);
+            1.0 / (1.0 + d / 800.0).powi(2)
+        })
+        .collect();
+    let mut chosen = Vec::with_capacity(n);
+    let mut pool: Vec<(u32, f64)> = candidates.into_iter().zip(weights).collect();
+    for _ in 0..n.min(pool.len()) {
+        let total: f64 = pool.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            // Degenerate weights: fall back to uniform choice.
+            let i = rng.gen_range(0..pool.len());
+            chosen.push(pool.swap_remove(i).0);
+            continue;
+        }
+        let mut x = rng.gen_range(0.0..total);
+        let mut idx = pool.len() - 1;
+        for (i, (_, w)) in pool.iter().enumerate() {
+            if x < *w {
+                idx = i;
+                break;
+            }
+            x -= w;
+        }
+        chosen.push(pool.swap_remove(idx).0);
+    }
+    // Deterministic order regardless of selection order.
+    chosen.sort_unstable();
+    chosen.shuffle(rng);
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Topology, CityDb) {
+        let db = CityDb::embedded();
+        let topo = Topology::generate(&TopoConfig::tiny(), &db, 1);
+        (topo, db)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let db = CityDb::embedded();
+        let a = Topology::generate(&TopoConfig::tiny(), &db, 5);
+        let b = Topology::generate(&TopoConfig::tiny(), &db, 5);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.providers[i], b.providers[i]);
+            assert_eq!(a.peers[i], b.peers[i]);
+            assert_eq!(a.ases[i].pops, b.ases[i].pops);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let db = CityDb::embedded();
+        let a = Topology::generate(&TopoConfig::tiny(), &db, 5);
+        let b = Topology::generate(&TopoConfig::tiny(), &db, 6);
+        let same = (0..a.len()).all(|i| a.providers[i] == b.providers[i]);
+        assert!(!same);
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let (topo, _) = small();
+        let cfg = TopoConfig::tiny();
+        assert_eq!(topo.len(), cfg.n_tier1 + cfg.n_transit + cfg.n_stub);
+        let t1 = topo.ases.iter().filter(|a| a.tier == Tier::Tier1).count();
+        assert_eq!(t1, cfg.n_tier1);
+    }
+
+    #[test]
+    fn providers_have_smaller_indices() {
+        let (topo, _) = small();
+        for (i, provs) in topo.providers.iter().enumerate() {
+            for &p in provs {
+                assert!((p as usize) < i, "AS {i} has provider {p} >= itself");
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_tier1_has_a_provider() {
+        let (topo, _) = small();
+        for (i, a) in topo.ases.iter().enumerate() {
+            if a.tier != Tier::Tier1 {
+                assert!(!topo.providers[i].is_empty(), "AS {i} is an orphan");
+            }
+        }
+    }
+
+    #[test]
+    fn tier1_clique_is_fully_meshed() {
+        let (topo, _) = small();
+        let n1 = TopoConfig::tiny().n_tier1;
+        for i in 0..n1 {
+            let mut peers: Vec<u32> = topo.peers[i].clone();
+            peers.sort_unstable();
+            peers.dedup();
+            let expected: Vec<u32> = (0..n1 as u32).filter(|&j| j != i as u32).collect();
+            assert_eq!(peers, expected, "tier-1 {i} not fully meshed");
+        }
+    }
+
+    #[test]
+    fn customers_is_inverse_of_providers() {
+        let (topo, _) = small();
+        for (i, provs) in topo.providers.iter().enumerate() {
+            for &p in provs {
+                assert!(topo.customers[p as usize].contains(&(i as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn peering_is_symmetric() {
+        let (topo, _) = small();
+        for (i, peers) in topo.peers.iter().enumerate() {
+            for &p in peers {
+                assert!(topo.peers[p as usize].contains(&(i as u32)), "{i} <-> {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_pop_prefers_close_city() {
+        let (topo, db) = small();
+        // Any multi-PoP AS: its nearest PoP to one of its own PoPs is that PoP.
+        for (i, a) in topo.ases.iter().enumerate() {
+            if a.pops.len() > 1 {
+                let target = db.get(a.pops[1]).coord;
+                assert_eq!(topo.nearest_pop(&db, i as u32, &target), a.pops[1]);
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn add_as_wires_relationships() {
+        let db = CityDb::embedded();
+        let mut topo = Topology::generate(&TopoConfig::tiny(), &db, 2);
+        let city = db.by_name("Amsterdam").unwrap();
+        let idx = topo.add_as(65_000, Tier::Stub, vec![city], vec![0, 1], vec![2]);
+        assert_eq!(topo.providers[idx as usize], vec![0, 1]);
+        assert!(topo.customers[0].contains(&idx));
+        assert!(topo.customers[1].contains(&idx));
+        assert!(topo.peers[2].contains(&idx));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PoP")]
+    fn add_as_rejects_empty_pops() {
+        let mut topo = Topology::default();
+        topo.add_as(1, Tier::Stub, vec![], vec![], vec![]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Forward traceroute (the scamper primitive Ark provides).
+//!
+//! §5.2 and §6 point at traceroute as the way to *improve enumeration*
+//! beyond what latency disks can distinguish: a traceroute from each VP
+//! terminates inside the catchment site actually serving that VP, so the
+//! set of distinct terminal networks across VPs enumerates sites — even
+//! co-located ones GCD cannot separate. [`World::traceroute`] walks the
+//! valley-free AS path the routing engine computed, yielding per-hop
+//! locations and cumulative RTTs.
+
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use laces_geo::CityId;
+use laces_packet::PrefixKey;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::platform::PlatformId;
+use crate::rng;
+use crate::routing::{self, Routes};
+use crate::targets::TargetKind;
+use crate::world::World;
+
+/// One traceroute hop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceHop {
+    /// Topology index of the hop's AS.
+    pub as_idx: u32,
+    /// Display ASN.
+    pub asn: u32,
+    /// The PoP metro where the path enters this AS.
+    pub city: CityId,
+    /// Cumulative RTT at this hop, in milliseconds.
+    pub rtt_ms: f64,
+}
+
+/// Cache of destination-rooted route tables (traceroute is an analysis
+/// primitive used on handfuls of targets; the cache is bounded).
+#[derive(Default)]
+pub(crate) struct TraceCache {
+    routes: std::collections::HashMap<u32, Arc<Routes>>,
+}
+
+static TRACE_CACHE_LIMIT: usize = 512;
+
+// A process-wide cache keyed by (world seed, dst AS) would leak across
+// worlds; keep it per call-site simple instead: worlds own their cache.
+pub(crate) fn dst_routes(world: &World, cache: &Mutex<TraceCache>, dst_as: u32) -> Arc<Routes> {
+    if let Some(r) = cache.lock().routes.get(&dst_as) {
+        return Arc::clone(r);
+    }
+    let r = Arc::new(routing::compute(&world.topo, &[dst_as]));
+    let mut guard = cache.lock();
+    if guard.routes.len() < TRACE_CACHE_LIMIT {
+        guard.routes.insert(dst_as, Arc::clone(&r));
+    }
+    r
+}
+
+impl World {
+    /// Run a forward traceroute from VP `vp` of a platform toward `dst`.
+    ///
+    /// Returns the hop list from the VP's AS (exclusive) to the responding
+    /// AS (inclusive); empty when the destination is unknown, down, or
+    /// unreachable. For anycast destinations the trace terminates at the
+    /// catchment site serving this VP — the property traceroute-assisted
+    /// enumeration exploits.
+    pub fn traceroute(
+        &self,
+        platform: PlatformId,
+        vp: usize,
+        dst: IpAddr,
+        day: u32,
+    ) -> Vec<TraceHop> {
+        let Some(tid) = self.lookup(PrefixKey::of(dst)) else {
+            return Vec::new();
+        };
+        let target = self.target(tid);
+        if !target.alive_on(self.cfg.seed, tid, day) {
+            return Vec::new();
+        }
+        let src_as = self.platform(platform).vp_as(vp);
+        let src_coord = self.vantage_coord(platform, vp);
+
+        // Resolve the responder exactly as the wire does.
+        let host = match dst {
+            IpAddr::V4(a) => a.octets()[3],
+            IpAddr::V6(a) => a.octets()[15],
+        };
+        let responder_as = if target.is_anycast_at(host, day) {
+            let dep = match target.kind {
+                TargetKind::Anycast { dep }
+                | TargetKind::PartialAnycast { dep, .. }
+                | TargetKind::BackingAnycast { dep, .. } => dep,
+                _ => unreachable!("anycast behaviour implies a deployment"),
+            };
+            match self.forward_site(dep, src_as, day) {
+                Some((site, _)) => self.deployment(dep).sites[site].as_idx,
+                None => return Vec::new(),
+            }
+        } else {
+            target.as_idx
+        };
+
+        let routes = dst_routes(self, self.trace_cache(), responder_as);
+        let path = routes.path_from(src_as);
+        if path.is_empty() {
+            return Vec::new();
+        }
+
+        // Per-hop PoPs and cumulative latency.
+        let mut hops = Vec::with_capacity(path.len().saturating_sub(1));
+        let mut prev_city_coord = src_coord;
+        let mut rtt = self.latency.access_ms(rng::key(
+            self.cfg.seed,
+            &[0x52C, platform.0 as u64, vp as u64],
+        ));
+        for (i, &hop_as) in path.iter().enumerate().skip(1) {
+            // Packets enter the next AS at its PoP nearest to where they are.
+            let city = self.topo.nearest_pop(&self.db, hop_as, &prev_city_coord);
+            let coord = self.db.get(city).coord;
+            let pair_key = rng::key(self.cfg.seed, &[0x72AC, hop_as as u64, vp as u64]);
+            rtt += 2.0
+                * self
+                    .latency
+                    .one_way_ms(&prev_city_coord, &coord, 1, pair_key)
+                + self.latency.jitter_ms(rng::mix(pair_key, i as u64));
+            hops.push(TraceHop {
+                as_idx: hop_as,
+                asn: self.topo.ases[hop_as as usize].asn,
+                city,
+                rtt_ms: rtt,
+            });
+            prev_city_coord = coord;
+        }
+        hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny())
+    }
+
+    fn addr_of(w: &World, i: usize) -> IpAddr {
+        match w.targets[i].prefix {
+            PrefixKey::V4(p) => IpAddr::V4(p.addr(77)),
+            PrefixKey::V6(p) => IpAddr::V6(p.addr(77)),
+        }
+    }
+
+    #[test]
+    fn unicast_trace_terminates_at_host_as() {
+        let w = world();
+        let ark = w.std_platforms.ark;
+        let mut checked = 0;
+        for (i, t) in w.targets.iter().enumerate() {
+            if let TargetKind::Unicast { .. } = t.kind {
+                if !t.prefix.is_v4() {
+                    continue;
+                }
+                let hops = w.traceroute(ark, 0, addr_of(&w, i), 0);
+                if hops.is_empty() {
+                    continue; // down that day
+                }
+                assert_eq!(
+                    hops.last().unwrap().as_idx,
+                    t.as_idx,
+                    "trace ended in the wrong AS"
+                );
+                // RTTs are cumulative and positive.
+                let mut prev = 0.0;
+                for h in &hops {
+                    assert!(h.rtt_ms >= prev, "RTT not monotone");
+                    prev = h.rtt_ms;
+                }
+                checked += 1;
+                if checked > 40 {
+                    break;
+                }
+            }
+        }
+        assert!(checked > 20);
+    }
+
+    #[test]
+    fn anycast_traces_terminate_at_catchment_sites() {
+        let w = world();
+        let ark = w.std_platforms.ark;
+        // A wide deployment: traces from different VPs end at different
+        // site ASes, all belonging to the deployment.
+        let (i, dep) = w
+            .targets
+            .iter()
+            .enumerate()
+            .find_map(|(i, t)| match t.kind {
+                TargetKind::Anycast { dep }
+                    if w.deployment(dep).n_distinct_cities() >= 8
+                        && t.temp.is_none()
+                        && t.prefix.is_v4() =>
+                {
+                    Some((i, dep))
+                }
+                _ => None,
+            })
+            .expect("wide deployment exists");
+        let site_ases: std::collections::BTreeSet<u32> =
+            w.deployment(dep).sites.iter().map(|s| s.as_idx).collect();
+        let mut terminals = std::collections::BTreeSet::new();
+        for vp in 0..w.platform(ark).n_vps() {
+            let hops = w.traceroute(ark, vp, addr_of(&w, i), 0);
+            if let Some(last) = hops.last() {
+                assert!(
+                    site_ases.contains(&last.as_idx),
+                    "trace ended outside the deployment"
+                );
+                terminals.insert(last.as_idx);
+            }
+        }
+        assert!(
+            terminals.len() >= 2,
+            "traces should reach multiple sites, got {terminals:?}"
+        );
+    }
+
+    #[test]
+    fn traceroute_is_deterministic() {
+        let w = world();
+        let ark = w.std_platforms.ark;
+        let dst = addr_of(&w, 0);
+        assert_eq!(w.traceroute(ark, 3, dst, 0), w.traceroute(ark, 3, dst, 0));
+    }
+
+    #[test]
+    fn unknown_destination_yields_empty_trace() {
+        let w = world();
+        assert!(w
+            .traceroute(w.std_platforms.ark, 0, "9.9.9.9".parse().unwrap(), 0)
+            .is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! World consistency validation.
+//!
+//! A generated world is a web of cross-references (targets → deployments →
+//! shell ASes → topology → cities). [`World::validate`] checks every
+//! invariant the measurement layers rely on; it runs in the test suite and
+//! is cheap enough to call after any custom world construction.
+
+use std::collections::BTreeSet;
+
+use laces_packet::PrefixKey;
+
+use crate::targets::TargetKind;
+use crate::world::World;
+
+/// A violated invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant.
+    pub rule: &'static str,
+    /// Human detail.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.rule, self.detail)
+    }
+}
+
+impl World {
+    /// Check every structural invariant; returns all violations found
+    /// (empty = consistent).
+    pub fn validate(&self) -> Vec<Violation> {
+        let mut v = Vec::new();
+        let n_as = self.topo.len() as u32;
+        let n_dep = self.deployments.len() as u32;
+
+        // Topology: relationship tables are sized and well-formed.
+        if self.topo.providers.len() != self.topo.len()
+            || self.topo.customers.len() != self.topo.len()
+            || self.topo.peers.len() != self.topo.len()
+        {
+            v.push(Violation {
+                rule: "topology-tables",
+                detail: "adjacency tables mis-sized".into(),
+            });
+        }
+        for (i, provs) in self.topo.providers.iter().enumerate() {
+            for &p in provs {
+                if p as usize >= i {
+                    v.push(Violation {
+                        rule: "provider-ordering",
+                        detail: format!("AS {i} has provider {p} with a non-smaller index"),
+                    });
+                }
+            }
+        }
+
+        // Deployments: sites reference valid ASes/cities, one AS per site,
+        // at least two sites.
+        for (d, dep) in self.deployments.iter().enumerate() {
+            if dep.sites.len() < 2 {
+                v.push(Violation {
+                    rule: "deployment-size",
+                    detail: format!("deployment {d} has <2 sites"),
+                });
+            }
+            let mut ases = BTreeSet::new();
+            for s in &dep.sites {
+                if s.as_idx >= n_as {
+                    v.push(Violation {
+                        rule: "site-as",
+                        detail: format!("deployment {d} site AS {} out of range", s.as_idx),
+                    });
+                }
+                if !ases.insert(s.as_idx) {
+                    v.push(Violation {
+                        rule: "site-as-unique",
+                        detail: format!("deployment {d} reuses AS {} across sites", s.as_idx),
+                    });
+                }
+                if usize::from(s.city.0) >= self.db.len() {
+                    v.push(Violation {
+                        rule: "site-city",
+                        detail: format!("deployment {d} city out of range"),
+                    });
+                }
+            }
+        }
+
+        // Targets: prefix addressing is bijective; references are in range;
+        // v4/v6 partition respected.
+        for (i, t) in self.targets.iter().enumerate() {
+            let expect_v4 = i < self.n_v4;
+            if t.prefix.is_v4() != expect_v4 {
+                v.push(Violation {
+                    rule: "family-partition",
+                    detail: format!("target {i} family does not match its range"),
+                });
+            }
+            match self.lookup(t.prefix) {
+                Some(id) if id.0 as usize == i => {}
+                other => v.push(Violation {
+                    rule: "lookup-bijection",
+                    detail: format!("target {i} lookup returned {other:?}"),
+                }),
+            }
+            match t.kind {
+                TargetKind::Anycast { dep } => {
+                    if dep.0 >= n_dep {
+                        v.push(Violation {
+                            rule: "target-dep",
+                            detail: format!("target {i} dep out of range"),
+                        });
+                    }
+                }
+                TargetKind::PartialAnycast { dep, .. } | TargetKind::BackingAnycast { dep, .. } => {
+                    if dep.0 >= n_dep {
+                        v.push(Violation {
+                            rule: "target-dep",
+                            detail: format!("target {i} dep out of range"),
+                        });
+                    }
+                    if t.as_idx >= n_as {
+                        v.push(Violation {
+                            rule: "target-as",
+                            detail: format!("target {i} AS out of range"),
+                        });
+                    }
+                }
+                TargetKind::Unicast { .. } => {
+                    if t.as_idx >= n_as {
+                        v.push(Violation {
+                            rule: "target-as",
+                            detail: format!("target {i} AS out of range"),
+                        });
+                    }
+                }
+                TargetKind::GlobalUnicast { egress, .. } => {
+                    for e in egress {
+                        if e >= n_as {
+                            v.push(Violation {
+                                rule: "target-egress",
+                                detail: format!("target {i} egress AS out of range"),
+                            });
+                        }
+                    }
+                }
+            }
+            if let Some(h) = t.hijack {
+                if h.attacker_as >= n_as {
+                    v.push(Violation {
+                        rule: "hijack-as",
+                        detail: format!("target {i} attacker out of range"),
+                    });
+                }
+            }
+        }
+
+        // Platforms: VP ASes exist; anycast platforms within worker limits.
+        for (p, plat) in self.platforms.iter().enumerate() {
+            if plat.n_vps() == 0 {
+                v.push(Violation {
+                    rule: "platform-empty",
+                    detail: format!("platform {p} has no VPs"),
+                });
+            }
+            for i in 0..plat.n_vps() {
+                if plat.vp_as(i) >= n_as {
+                    v.push(Violation {
+                        rule: "vp-as",
+                        detail: format!("platform {p} VP {i} AS out of range"),
+                    });
+                }
+            }
+            if plat.is_anycast() && plat.n_vps() > 64 {
+                v.push(Violation {
+                    rule: "worker-limit",
+                    detail: format!("platform {p} exceeds the 64-worker encoding limit"),
+                });
+            }
+        }
+
+        // Prefix uniqueness across the population.
+        let mut seen: BTreeSet<PrefixKey> = BTreeSet::new();
+        for t in &self.targets {
+            if !seen.insert(t.prefix) {
+                v.push(Violation {
+                    rule: "prefix-unique",
+                    detail: format!("duplicate prefix {}", t.prefix),
+                });
+            }
+        }
+
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::{World, WorldConfig};
+
+    #[test]
+    fn tiny_world_is_consistent() {
+        let w = World::generate(WorldConfig::tiny());
+        let violations = w.validate();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn mid_world_is_consistent() {
+        let w = World::generate(WorldConfig::paper_topology_tiny_targets());
+        let violations = w.validate();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

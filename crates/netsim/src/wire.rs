@@ -1,0 +1,367 @@
+//! The simulated wire: probe in, attributed reply out.
+//!
+//! [`World::send_probe`] is the single point where measurement tools touch
+//! the simulated Internet. It accepts real probe *bytes* (built by
+//! `laces-packet`), decides whether and where the target responds — anycast
+//! catchments, partial anycast, temporary anycast, backing-anycast
+//! fallbacks, global-BGP unicast egress, reverse-path instability, route
+//! flips, loss — synthesizes the reply bytes a real host would emit, and
+//! delivers them to the vantage point that BGP would deliver them to, with
+//! an RTT from the latency model.
+
+use laces_packet::probe::Packet;
+use laces_packet::{PacketError, PrefixKey, Protocol};
+use std::net::IpAddr;
+
+use crate::platform::{PlatformId, PlatformKind};
+use crate::rng;
+use crate::targets::{ChaosProfile, TargetKind};
+use crate::world::World;
+
+/// Where a probe is being sent from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeSource {
+    /// A worker at site `site` of an anycast measurement platform: replies
+    /// are routed by BGP to whichever site's catchment the responder is in.
+    Worker {
+        /// The anycast platform.
+        platform: PlatformId,
+        /// Sending site index.
+        site: usize,
+    },
+    /// A node of a unicast VP platform: replies come back to the same node.
+    Vp {
+        /// The unicast platform.
+        platform: PlatformId,
+        /// Node index.
+        vp: usize,
+    },
+}
+
+/// Measurement-scope context the wire needs for route dynamics.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasurementCtx {
+    /// Measurement identifier (scopes the flip realisations).
+    pub id: u32,
+    /// Simulated day (scopes daily catchment tie-breaks, churn, schedules).
+    pub day: u32,
+    /// Time between the first and last probe a single target receives
+    /// (`(n_workers - 1) × inter-probe offset`); drives the route-flip
+    /// probability (§5.1.5).
+    pub span_ms: u64,
+}
+
+/// A reply delivered back to the measurement infrastructure.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// The reply packet (parse with `laces_packet::probe::parse_reply`).
+    pub packet: Packet,
+    /// Receiving vantage point: the worker site index for probes sent from
+    /// an anycast platform, or the VP index for unicast platforms.
+    pub rx_index: usize,
+    /// Capture timestamp in virtual milliseconds.
+    pub rx_time_ms: u64,
+    /// The round-trip time as a float (what scamper would log).
+    pub rtt_ms: f64,
+}
+
+/// Probability that a target's reverse route flips at least once within a
+/// window of `span_s` seconds (§5.1.5 calibration; see DESIGN.md §4).
+///
+/// Two regimes: a small unstable population flipping on a ~2-minute
+/// timescale, and bulk BGP path churn that makes most paths see a change
+/// within several hours. Reproduces the paper's Fig. 4 progression
+/// (13-minute probing intervals are catastrophic; 1-second intervals cost
+/// almost nothing).
+pub fn flip_probability(span_s: f64) -> f64 {
+    if span_s <= 0.0 {
+        return 0.0;
+    }
+    let fast = 0.02 * (1.0 - (-span_s / 128.0).exp());
+    let slow = 0.685 * (1.0 - (-(span_s / 11_000.0).powi(3)).exp());
+    fast + slow
+}
+
+/// The host octet (v4) / low interface-id byte (v6) of an address, used for
+/// partial-anycast resolution.
+fn host_of(addr: IpAddr) -> u8 {
+    match addr {
+        IpAddr::V4(a) => a.octets()[3],
+        IpAddr::V6(a) => a.octets()[15],
+    }
+}
+
+impl World {
+    /// Deliver a probe; returns the reply delivery, or `None` when the
+    /// target does not exist, is down or unresponsive on this protocol, the
+    /// probe is lost, or the reply cannot route back.
+    ///
+    /// `window_start_ms` is the virtual time at which the *first* worker
+    /// probes this target (the orchestrator schedules the rest within
+    /// `ctx.span_ms` after it); route flips are placed inside that window.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` only when the probe bytes themselves are malformed —
+    /// a real host would silently drop them, but a malformed probe is a
+    /// caller bug worth surfacing.
+    pub fn send_probe(
+        &self,
+        src: ProbeSource,
+        packet: &Packet,
+        tx_time_ms: u64,
+        window_start_ms: u64,
+        ctx: &MeasurementCtx,
+    ) -> Result<Option<Delivery>, PacketError> {
+        let Some(tid) = self.lookup(PrefixKey::of(packet.dst)) else {
+            return Ok(None);
+        };
+        let target = self.target(tid);
+        if !target.alive_on(self.cfg.seed, tid, ctx.day) || !target.resp.to(packet.protocol) {
+            return Ok(None);
+        }
+
+        let src_idx = match src {
+            ProbeSource::Worker { site, .. } => site,
+            ProbeSource::Vp { vp, .. } => vp,
+        };
+        let probe_key = rng::key(
+            self.cfg.seed,
+            &[
+                0x920BE,
+                tid.0 as u64,
+                tx_time_ms,
+                src_idx as u64,
+                ctx.id as u64,
+            ],
+        );
+        if rng::unit_f64(rng::mix(probe_key, 0x1055)) < self.cfg.loss_rate {
+            return Ok(None);
+        }
+
+        let src_platform = match src {
+            ProbeSource::Worker { platform, .. } | ProbeSource::Vp { platform, .. } => platform,
+        };
+        let src_as = self.platform(src_platform).vp_as(src_idx);
+        let src_coord = self.vantage_coord(src_platform, src_idx);
+
+        // --- Who responds, and from where? ---------------------------------
+        let host = host_of(packet.dst);
+        let acts_anycast = target.is_anycast_at(host, ctx.day)
+            || (matches!(target.kind, TargetKind::BackingAnycast { .. })
+                && matches!(src, ProbeSource::Vp { .. })
+                && self.is_broken_v6_vp(src_platform, src_idx));
+
+        let (responder_as, responder_coord, site_idx, hops_fwd) = if acts_anycast {
+            let dep = match target.kind {
+                TargetKind::Anycast { dep }
+                | TargetKind::PartialAnycast { dep, .. }
+                | TargetKind::BackingAnycast { dep, .. } => dep,
+                _ => unreachable!("acts_anycast implies a deployment"),
+            };
+            let Some((site, dist)) = self.forward_site(dep, src_as, ctx.day) else {
+                return Ok(None);
+            };
+            let s = &self.deployment(dep).sites[site];
+            (s.as_idx, self.db.get(s.city).coord, Some((dep, site)), dist)
+        } else {
+            match target.kind {
+                TargetKind::GlobalUnicast { city, egress } => {
+                    // Egress network is stable per (target, probing VP):
+                    // different workers' replies leave via different PoPs.
+                    let e = egress[rng::below(
+                        rng::key(self.cfg.seed, &[0xE62E, tid.0 as u64, src_idx as u64]),
+                        2,
+                    )];
+                    let coord = self.db.get(city).coord;
+                    let hops =
+                        self.latency
+                            .estimate_hops(&src_coord, &coord, rng::mix(probe_key, 7));
+                    (e, coord, None, hops)
+                }
+                TargetKind::Unicast { city }
+                | TargetKind::PartialAnycast { city, .. }
+                | TargetKind::BackingAnycast { city, .. } => {
+                    // A live hijack splits traffic: roughly half the
+                    // Internet's catchments route to the bogus origin.
+                    if let Some(h) = target.hijack.filter(|h| h.day == ctx.day) {
+                        if rng::unit_f64(rng::key(
+                            self.cfg.seed,
+                            &[0x41AF, tid.0 as u64, src_idx as u64],
+                        )) < 0.5
+                        {
+                            let a_city = self.topo.home_city(h.attacker_as);
+                            let coord = self.db.get(a_city).coord;
+                            let hops = self.latency.estimate_hops(
+                                &src_coord,
+                                &coord,
+                                rng::mix(probe_key, 9),
+                            );
+                            (h.attacker_as, coord, None, hops)
+                        } else {
+                            let coord = self.db.get(city).coord;
+                            let hops = self.latency.estimate_hops(
+                                &src_coord,
+                                &coord,
+                                rng::mix(probe_key, 7),
+                            );
+                            (target.as_idx, coord, None, hops)
+                        }
+                    } else {
+                        let coord = self.db.get(city).coord;
+                        let hops =
+                            self.latency
+                                .estimate_hops(&src_coord, &coord, rng::mix(probe_key, 7));
+                        (target.as_idx, coord, None, hops)
+                    }
+                }
+                TargetKind::Anycast { .. } => return Ok(None), // inactive temporary anycast
+            }
+        };
+
+        // --- Synthesize the reply bytes -------------------------------------
+        let chaos_identity: Option<String> = if packet.protocol == Protocol::Chaos {
+            match (target.ns, site_idx) {
+                (Some(ChaosProfile::PerSite), Some((dep, site))) => {
+                    Some(self.deployment(dep).sites[site].chaos_identity.clone())
+                }
+                (Some(ChaosProfile::PerSite), None) => Some("ns-single-site".to_string()),
+                (Some(ChaosProfile::Colo(k)), _) => Some(format!(
+                    "auth{}",
+                    1 + rng::below(rng::mix(probe_key, 0xC010), k.max(1) as usize)
+                )),
+                (None, _) => None,
+            }
+        } else {
+            None
+        };
+        let reply = laces_packet::probe::build_reply(packet, chaos_identity.as_deref())?;
+
+        // --- Route the reply back -------------------------------------------
+        let (rx_index, hops_back, rx_coord) = match src {
+            ProbeSource::Vp { .. } => (src_idx, hops_fwd, src_coord),
+            ProbeSource::Worker { platform, .. } => {
+                let Some((primary, dist_back, ties)) =
+                    self.receiving_site(platform, responder_as, ctx.day)
+                else {
+                    return Ok(None);
+                };
+                let mut site = primary;
+                // Per-packet reverse-path instability. The intensity is a
+                // stable per-target property drawn from a wide range, so on
+                // any given day only a varying subset of unstable targets
+                // actually materialises as a multi-VP observation — the
+                // anycast-based candidate set is far less stable over time
+                // than the GCD set (§5.1.6).
+                if target.jittery && ties.len() >= 2 {
+                    let p_flip = 0.03
+                        + 0.57 * rng::unit_f64(rng::key(self.cfg.seed, &[0x71F0, tid.0 as u64]));
+                    if rng::unit_f64(rng::mix(probe_key, 0x71BB)) < p_flip {
+                        site = ties.as_slice()[rng::below(rng::mix(probe_key, 0x71BC), ties.len())]
+                            as usize;
+                    }
+                }
+                // Route flips within the probing window: the longer the
+                // window, the likelier a flip lands inside it (Fig. 4).
+                if !acts_anycast && !matches!(target.kind, TargetKind::GlobalUnicast { .. }) {
+                    let fk = rng::key(self.cfg.seed, &[0xF11B, tid.0 as u64, ctx.id as u64]);
+                    let p = flip_probability(ctx.span_ms as f64 / 1000.0);
+                    if rng::unit_f64(fk) < p {
+                        let flip_at = window_start_ms
+                            + (rng::unit_f64(rng::mix(fk, 1)) * ctx.span_ms as f64) as u64;
+                        if tx_time_ms >= flip_at {
+                            site = self.alternate_site(platform, primary, &ties, rng::mix(fk, 2));
+                        }
+                    }
+                }
+                let sites = self.platform(platform).sites();
+                (site, dist_back, self.db.get(sites[site].city).coord)
+            }
+        };
+
+        let mut rtt = self.latency.rtt_ms(
+            &src_coord,
+            &responder_coord,
+            &rx_coord,
+            hops_fwd,
+            hops_back,
+            rng::key(
+                self.cfg.seed,
+                &[0x52C, src_platform.0 as u64, src_idx as u64],
+            ),
+            rng::key(self.cfg.seed, &[0x7A26, tid.0 as u64]),
+            probe_key,
+        );
+        // DNS answers come from a resolver process, not the kernel: request
+        // processing adds milliseconds of heavy-tailed delay. This is why
+        // the paper's pipeline performs GCD with ICMP and TCP but not DNS
+        // (§4.2.2) — the extra delay inflates feasibility disks.
+        if matches!(packet.protocol, Protocol::Udp | Protocol::Chaos) {
+            let u = rng::unit_f64(rng::mix(probe_key, 0xD25));
+            rtt += (1.0 / (1.0 - 0.92 * u) - 1.0).min(40.0) + 0.5;
+        }
+        let rx_time_ms = tx_time_ms + (rtt.ceil() as u64).max(1);
+        Ok(Some(Delivery {
+            packet: reply,
+            rx_index,
+            rx_time_ms,
+            rtt_ms: rtt,
+        }))
+    }
+
+    /// Coordinate of a vantage point on any platform.
+    pub fn vantage_coord(&self, platform: PlatformId, idx: usize) -> laces_geo::Coord {
+        match &self.platform(platform).kind {
+            PlatformKind::Anycast { sites } => self.db.get(sites[idx].city).coord,
+            PlatformKind::Unicast { vps } => vps[idx].coord,
+        }
+    }
+
+    /// Whether VP `idx` of `platform` sits in an AS that filters backing
+    /// `/48` announcements.
+    pub fn is_broken_v6_vp(&self, platform: PlatformId, idx: usize) -> bool {
+        (platform == self.std_platforms.ark || platform == self.std_platforms.ark_dev)
+            && self.broken_v6_vps.contains(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_probability_is_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for s in [0.0, 1.0, 31.0, 300.0, 1860.0, 24_180.0, 1e6] {
+            let p = flip_probability(s);
+            assert!((0.0..=1.0).contains(&p), "p({s}) = {p}");
+            assert!(p >= prev, "not monotone at {s}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn flip_probability_matches_fig4_calibration() {
+        // Span for a 32-worker measurement = 31 × interval.
+        let p_1s = flip_probability(31.0);
+        let p_1m = flip_probability(31.0 * 60.0);
+        let p_13m = flip_probability(31.0 * 780.0);
+        // Paper (Fig. 4): extra FPs over the 0 s baseline out of ~280 k
+        // unicast: ~1.2 k (1 s), ~6.5 k (1 m), ~185 k (13 m).
+        assert!((0.003..0.006).contains(&p_1s), "p_1s = {p_1s}");
+        assert!((0.015..0.035).contains(&p_1m), "p_1m = {p_1m}");
+        assert!((0.55..0.80).contains(&p_13m), "p_13m = {p_13m}");
+    }
+
+    #[test]
+    fn zero_span_never_flips() {
+        assert_eq!(flip_probability(0.0), 0.0);
+        assert_eq!(flip_probability(-5.0), 0.0);
+    }
+
+    #[test]
+    fn host_extraction() {
+        assert_eq!(host_of("10.0.0.77".parse().unwrap()), 77);
+        assert_eq!(host_of("2001:db8::5".parse().unwrap()), 5);
+    }
+}

@@ -1,0 +1,1179 @@
+//! World generation and catchment resolution.
+//!
+//! A [`World`] is a complete, deterministic, synthetic Internet: topology,
+//! target population with ground truth, anycast deployments, and measurement
+//! platforms. All catchment questions — *which site of deployment D does a
+//! probe from AS X reach?* and *which worker of platform P receives a
+//! response originated by AS Y?* — are answered here, from cached
+//! Gao-Rexford route computations.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use laces_geo::{CityDb, CityId, Coord};
+use laces_packet::PrefixKey;
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::deployments::{
+    default_operators, Deployment, DeploymentId, OperatorSpec, RespProbs, Site, Spread, TailSpec,
+    TempSchedule,
+};
+use crate::latency::LatencyModel;
+use crate::platform::{
+    subsets, Platform, PlatformId, PlatformKind, Vp, CCTLD_CITIES, PRODUCTION_CITIES,
+};
+use crate::rng;
+use crate::routing::{self, Routes, TieSet};
+use crate::targets::{addressing, ChaosProfile, Resp, Target, TargetId, TargetKind};
+use crate::topology::{Tier, TopoConfig, Topology};
+
+/// Configuration of a synthetic world.
+///
+/// The defaults ([`WorldConfig::paper`]) keep the paper's *absolute* counts
+/// for every anycast and anomalous population and scale down only the plain
+/// unicast mass (documented in `DESIGN.md` §4); [`WorldConfig::tiny`] is a
+/// seconds-scale world for tests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Master seed; every stochastic choice derives from it.
+    pub seed: u64,
+    /// Topology shape.
+    pub topo: TopoConfig,
+    /// Plain responsive unicast IPv4 `/24`s.
+    pub unicast_24s: usize,
+    /// Unresponsive IPv4 `/24`s (probing cost, no replies).
+    pub unresponsive_24s: usize,
+    /// Microsoft-style globally-announced unicast `/24`s.
+    pub global_unicast_24s: usize,
+    /// Unicast `/24`s whose reverse path re-resolves per packet (persistent
+    /// 2-VP false positives).
+    pub jittery_24s: usize,
+    /// Stable partial-anycast `/24`s (§5.6).
+    pub partial_stable_24s: usize,
+    /// Partial-anycast `/24`s that revert to unicast on some days.
+    pub partial_temp_24s: usize,
+    /// Unicast nameservers (answer DNS and CHAOS with co-located server
+    /// identities) among the unicast mass.
+    pub colo_nameserver_24s: usize,
+    /// Plain responsive unicast IPv6 `/48`s.
+    pub unicast_48s: usize,
+    /// Unresponsive IPv6 `/48`s.
+    pub unresponsive_48s: usize,
+    /// Microsoft-style IPv6 `/48`s.
+    pub global_unicast_48s: usize,
+    /// Jittery IPv6 `/48`s.
+    pub jittery_48s: usize,
+    /// Named operators (Table 6).
+    pub operators: Vec<OperatorSpec>,
+    /// Long-tail deployment generator parameters.
+    pub tail: TailSpec,
+    /// Responsiveness of plain unicast targets.
+    pub unicast_resp: RespProbs,
+    /// Ark-like platform core size (the daily GCD platform).
+    pub n_ark_core: usize,
+    /// Additional Ark development VPs (Appendix B).
+    pub n_ark_dev_extra: usize,
+    /// RIPE-Atlas-like platform size.
+    pub n_atlas: usize,
+    /// Per-probe loss probability on the wire.
+    pub loss_rate: f64,
+    /// Number of Ark VPs whose hosting AS filters specific IPv6 `/48`
+    /// announcements (the Fastly backing-anycast FP mechanism, §5.8.2).
+    pub n_broken_v6_vps: usize,
+    /// Unicast `/24`s that suffer a one-day prefix hijack somewhere in the
+    /// first [`HIJACK_WINDOW_DAYS`] days (§6: hijack detection).
+    pub hijacked_24s: usize,
+}
+
+/// Days over which generated hijack events are spread.
+pub const HIJACK_WINDOW_DAYS: u32 = 30;
+
+impl WorldConfig {
+    /// Paper-calibrated world (see DESIGN.md §4 for the scaling argument).
+    pub fn paper() -> Self {
+        WorldConfig {
+            seed: 0xCA5E,
+            topo: TopoConfig::default(),
+            unicast_24s: 280_000,
+            unresponsive_24s: 60_000,
+            global_unicast_24s: 8_700,
+            jittery_24s: 2_900,
+            partial_stable_24s: 1_178,
+            partial_temp_24s: 305,
+            colo_nameserver_24s: 35_000,
+            unicast_48s: 40_000,
+            unresponsive_48s: 15_000,
+            global_unicast_48s: 60,
+            jittery_48s: 190,
+            operators: default_operators(),
+            tail: TailSpec::default(),
+            unicast_resp: RespProbs {
+                icmp: 0.94,
+                tcp: 0.25,
+                udp: 0.06,
+            },
+            n_ark_core: 163,
+            n_ark_dev_extra: 64,
+            n_atlas: 481,
+            loss_rate: 0.004,
+            n_broken_v6_vps: 2,
+            hijacked_24s: 150,
+        }
+    }
+
+    /// A mid-size world: tiny topology but a larger target population, for
+    /// tests that need population-level statistics without paper-scale
+    /// runtimes.
+    pub fn paper_topology_tiny_targets() -> Self {
+        let mut cfg = Self::tiny();
+        cfg.unicast_24s = 20_000;
+        cfg.unresponsive_24s = 4_000;
+        cfg.global_unicast_24s = 600;
+        cfg.jittery_24s = 160;
+        cfg
+    }
+
+    /// A small world for unit and integration tests (sub-second generation).
+    pub fn tiny() -> Self {
+        WorldConfig {
+            seed: 0x7E57,
+            topo: TopoConfig::tiny(),
+            unicast_24s: 1_500,
+            unresponsive_24s: 300,
+            global_unicast_24s: 60,
+            jittery_24s: 30,
+            partial_stable_24s: 12,
+            partial_temp_24s: 5,
+            colo_nameserver_24s: 150,
+            unicast_48s: 400,
+            unresponsive_48s: 100,
+            global_unicast_48s: 5,
+            jittery_48s: 5,
+            operators: {
+                let mut ops = default_operators();
+                for o in &mut ops {
+                    o.n_sites = (o.n_sites / 8).max(3);
+                    o.v4_prefixes = (o.v4_prefixes / 100).max(1);
+                    o.v6_prefixes = (o.v6_prefixes / 100).max(1);
+                    o.temporary_v4 /= 100;
+                    o.backing_v6 /= 20;
+                }
+                ops
+            },
+            tail: TailSpec {
+                n_deployments: 40,
+                total_v4: 90,
+                total_v6: 30,
+                regional_fraction: 0.2,
+                dns_fraction: 0.45,
+                n_dns_only: 4,
+            },
+            unicast_resp: RespProbs {
+                icmp: 0.94,
+                tcp: 0.25,
+                udp: 0.06,
+            },
+            n_ark_core: 40,
+            n_ark_dev_extra: 15,
+            n_atlas: 80,
+            loss_rate: 0.004,
+            n_broken_v6_vps: 2,
+            hijacked_24s: 10,
+        }
+    }
+}
+
+/// Handles to the standard platforms every world carries.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StandardPlatforms {
+    /// The 32-site production anycast deployment.
+    pub production: PlatformId,
+    /// The 12-site external ccTLD deployment (§5.4).
+    pub cctld: PlatformId,
+    /// 2-VP subset (§5.5.1).
+    pub eu_na: PlatformId,
+    /// 6-VP subset.
+    pub one_per_continent: PlatformId,
+    /// 11-VP subset.
+    pub two_per_continent: PlatformId,
+    /// Ark-like platform, daily-census size.
+    pub ark: PlatformId,
+    /// Ark-like platform including development VPs (GCD_Ark).
+    pub ark_dev: PlatformId,
+    /// RIPE-Atlas-like platform.
+    pub atlas: PlatformId,
+}
+
+/// Forward catchment of one deployment, restricted to registered VP ASes.
+#[derive(Debug, Clone)]
+pub struct DepCatchment {
+    /// Per VP-AS position: tied best sites and AS-path distance.
+    pub per_vp: Vec<(TieSet, u16)>,
+}
+
+#[derive(Default)]
+struct Caches {
+    platform_routes: HashMap<u16, Arc<Routes>>,
+    dep_catchments: HashMap<u32, Arc<DepCatchment>>,
+}
+
+/// A complete synthetic Internet.
+pub struct World {
+    /// Generation parameters.
+    pub cfg: WorldConfig,
+    /// City database.
+    pub db: CityDb,
+    /// AS graph (generated ASes plus shell ASes for sites and VPs).
+    pub topo: Topology,
+    /// Anycast deployment registry (ground truth).
+    pub deployments: Vec<Deployment>,
+    /// Target population; `TargetId` indexes this vector.
+    pub targets: Vec<Target>,
+    /// Number of IPv4 targets (they occupy ids `0..n_v4`).
+    pub n_v4: usize,
+    /// Measurement platforms.
+    pub platforms: Vec<Platform>,
+    /// Handles to the standard platforms.
+    pub std_platforms: StandardPlatforms,
+    /// Latency model.
+    pub latency: LatencyModel,
+    /// Ark VP indices (into the ark_dev platform) whose AS filters backing
+    /// `/48`s.
+    pub broken_v6_vps: Vec<usize>,
+    vp_as_pos: HashMap<u32, u16>,
+    vp_as_list: Vec<u32>,
+    caches: RwLock<Caches>,
+    trace_cache: parking_lot::Mutex<crate::trace::TraceCache>,
+}
+
+impl World {
+    /// Generate a world from a configuration. Deterministic in `cfg.seed`.
+    pub fn generate(cfg: WorldConfig) -> World {
+        let db = CityDb::embedded();
+        let mut topo = Topology::generate(&cfg.topo, &db, cfg.seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0001_D0D0);
+
+        let transit_range = cfg.topo.n_tier1 as u32..(cfg.topo.n_tier1 + cfg.topo.n_transit) as u32;
+        let stub_range = (cfg.topo.n_tier1 + cfg.topo.n_transit) as u32
+            ..(cfg.topo.n_tier1 + cfg.topo.n_transit + cfg.topo.n_stub) as u32;
+
+        // Helper: attach a shell AS (an edge network) at a city.
+        let mut next_shell_asn = 64_000u32;
+        let mut shell = |topo: &mut Topology, rng: &mut StdRng, city: CityId| -> u32 {
+            let home = db.get(city).coord;
+            let n_prov = if rng.gen_bool(0.4) { 2 } else { 1 };
+            let provs = pick_near_transit(topo, &db, rng, &home, transit_range.clone(), n_prov);
+            next_shell_asn += 1;
+            topo.add_as(next_shell_asn, Tier::Stub, vec![city], provs, vec![])
+        };
+
+        // --- Platforms -----------------------------------------------------
+        let mut platforms: Vec<Platform> = Vec::new();
+
+        let make_sites = |topo: &mut Topology,
+                          rng: &mut StdRng,
+                          shell: &mut dyn FnMut(&mut Topology, &mut StdRng, CityId) -> u32,
+                          names: &[&str],
+                          tag: &str|
+         -> Vec<Site> {
+            names
+                .iter()
+                .map(|name| {
+                    let city = db
+                        .by_name(name)
+                        .unwrap_or_else(|| panic!("unknown city {name}"));
+                    let as_idx = shell(topo, rng, city);
+                    Site {
+                        as_idx,
+                        city,
+                        chaos_identity: format!("{tag}-{}", name.to_lowercase().replace(' ', "-")),
+                    }
+                })
+                .collect()
+        };
+
+        let prod_sites = make_sites(
+            &mut topo,
+            &mut rng,
+            &mut shell,
+            &PRODUCTION_CITIES,
+            "census",
+        );
+        let production = PlatformId(platforms.len() as u16);
+        platforms.push(Platform {
+            name: "production-32".into(),
+            kind: PlatformKind::Anycast {
+                sites: prod_sites.clone(),
+            },
+        });
+
+        let cctld_sites = make_sites(&mut topo, &mut rng, &mut shell, &CCTLD_CITIES, "cctld");
+        let cctld = PlatformId(platforms.len() as u16);
+        platforms.push(Platform {
+            name: "cctld-12".into(),
+            kind: PlatformKind::Anycast { sites: cctld_sites },
+        });
+
+        let subset_platform = |idxs: &[usize]| -> PlatformKind {
+            PlatformKind::Anycast {
+                sites: idxs.iter().map(|&i| prod_sites[i].clone()).collect(),
+            }
+        };
+        let eu_na = PlatformId(platforms.len() as u16);
+        platforms.push(Platform {
+            name: "eu-na-2".into(),
+            kind: subset_platform(&subsets::EU_NA),
+        });
+        let one_per_continent = PlatformId(platforms.len() as u16);
+        platforms.push(Platform {
+            name: "one-per-continent-6".into(),
+            kind: subset_platform(&subsets::ONE_PER_CONTINENT),
+        });
+        let two_per_continent = PlatformId(platforms.len() as u16);
+        platforms.push(Platform {
+            name: "two-per-continent-11".into(),
+            kind: subset_platform(&subsets::TWO_PER_CONTINENT),
+        });
+
+        // Ark-like platform: VPs in distinct metros first, then doubling up.
+        let all_cities: Vec<CityId> = db.iter().map(|(id, _)| id).collect();
+        let mut ark_vps: Vec<Vp> = Vec::new();
+        let n_ark_total = cfg.n_ark_core + cfg.n_ark_dev_extra;
+        for i in 0..n_ark_total {
+            let city = all_cities[if i < all_cities.len() {
+                // First pass: spread across metros deterministically shuffled.
+                (rng::key(cfg.seed, &[0xA2C, i as u64]) % all_cities.len() as u64) as usize
+            } else {
+                rng.gen_range(0..all_cities.len())
+            }];
+            let as_idx = shell(&mut topo, &mut rng, city);
+            ark_vps.push(Vp {
+                as_idx,
+                coord: db.get(city).coord,
+                city,
+                flaky: false,
+            });
+        }
+        let ark = PlatformId(platforms.len() as u16);
+        platforms.push(Platform {
+            name: format!("ark-{}", cfg.n_ark_core),
+            kind: PlatformKind::Unicast {
+                vps: ark_vps[..cfg.n_ark_core].to_vec(),
+            },
+        });
+        let ark_dev = PlatformId(platforms.len() as u16);
+        platforms.push(Platform {
+            name: format!("ark-dev-{n_ark_total}"),
+            kind: PlatformKind::Unicast {
+                vps: ark_vps.clone(),
+            },
+        });
+
+        // Atlas-like platform: more nodes than metros; jitter positions so
+        // inter-node distance filtering (Fig. 8) is meaningful.
+        let mut atlas_vps: Vec<Vp> = Vec::new();
+        for _ in 0..cfg.n_atlas {
+            let city = all_cities[rng.gen_range(0..all_cities.len())];
+            let base = db.get(city).coord;
+            let coord = Coord::normalised(
+                base.lat + rng.gen_range(-1.5..1.5),
+                base.lon + rng.gen_range(-1.5..1.5),
+            );
+            let as_idx = shell(&mut topo, &mut rng, city);
+            atlas_vps.push(Vp {
+                as_idx,
+                coord,
+                city,
+                flaky: true,
+            });
+        }
+        let atlas = PlatformId(platforms.len() as u16);
+        platforms.push(Platform {
+            name: format!("atlas-{}", cfg.n_atlas),
+            kind: PlatformKind::Unicast { vps: atlas_vps },
+        });
+
+        let std_platforms = StandardPlatforms {
+            production,
+            cctld,
+            eu_na,
+            one_per_continent,
+            two_per_continent,
+            ark,
+            ark_dev,
+            atlas,
+        };
+
+        // --- Deployments ---------------------------------------------------
+        let mut deployments: Vec<Deployment> = Vec::new();
+        let mut dep_specs: Vec<(DeploymentId, OperatorSpec)> = Vec::new();
+
+        let pick_global_cities = |rng: &mut StdRng, n: usize| -> Vec<CityId> {
+            let mut chosen: Vec<CityId> = Vec::with_capacity(n);
+            let mut pool: Vec<CityId> = all_cities.clone();
+            for _ in 0..n {
+                if pool.is_empty() {
+                    // More sites than metros: reuse (co-located PoPs).
+                    chosen.push(all_cities[rng.gen_range(0..all_cities.len())]);
+                } else {
+                    let i = rng.gen_range(0..pool.len());
+                    chosen.push(pool.swap_remove(i));
+                }
+            }
+            chosen
+        };
+
+        let mut build_deployment =
+            |topo: &mut Topology,
+             rng: &mut StdRng,
+             shell: &mut dyn FnMut(&mut Topology, &mut StdRng, CityId) -> u32,
+             spec: &OperatorSpec|
+             -> DeploymentId {
+                let cities: Vec<CityId> = match &spec.spread {
+                    Spread::Global => pick_global_cities(rng, spec.n_sites),
+                    Spread::Regional { anchor, radius_km } => {
+                        let anchor_id = db.by_name(anchor).expect("unknown anchor city");
+                        let anchor_coord = db.get(anchor_id).coord;
+                        let nearby: Vec<CityId> = all_cities
+                            .iter()
+                            .copied()
+                            .filter(|c| db.get(*c).coord.gcd_km(&anchor_coord) <= *radius_km)
+                            .collect();
+                        (0..spec.n_sites)
+                            .map(|_| nearby[rng.gen_range(0..nearby.len())])
+                            .collect()
+                    }
+                };
+                let slug: String = spec
+                    .name
+                    .to_lowercase()
+                    .chars()
+                    .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                    .collect();
+                let sites: Vec<Site> = cities
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &city)| Site {
+                        as_idx: shell(topo, rng, city),
+                        city,
+                        chaos_identity: format!(
+                            "{slug}-{:03}.{}",
+                            i,
+                            db.get(city).name.to_lowercase().replace(' ', "-")
+                        ),
+                    })
+                    .collect();
+                let id = DeploymentId(deployments.len() as u32);
+                deployments.push(Deployment {
+                    operator: spec.name.clone(),
+                    asn: spec.asn,
+                    sites,
+                    regional: matches!(spec.spread, Spread::Regional { .. }),
+                });
+                id
+            };
+
+        for spec in cfg.operators.clone() {
+            let id = build_deployment(&mut topo, &mut rng, &mut shell, &spec);
+            dep_specs.push((id, spec));
+        }
+
+        // Long tail of small deployments.
+        let regional_anchors = [
+            "Amsterdam",
+            "Prague",
+            "Auckland",
+            "Stockholm",
+            "Tokyo",
+            "Santiago",
+            "Johannesburg",
+            "Warsaw",
+            "Toronto",
+            "Singapore",
+        ];
+        let mut tail_ids: Vec<(DeploymentId, OperatorSpec)> = Vec::new();
+        {
+            let t = &cfg.tail;
+            // Distribute prefix counts: most deployments 1-2, few large.
+            let mut v4_left = t.total_v4 as i64;
+            let mut v6_left = t.total_v6 as i64;
+            for d in 0..t.n_deployments {
+                let n_sites = 2 + (rng.gen_range(0.0..1.0f64).powi(3) * 26.0) as usize;
+                let regional = rng.gen_bool(t.regional_fraction);
+                let dns = rng.gen_bool(t.dns_fraction);
+                let remaining = (t.n_deployments - d) as i64;
+                let mut v4 = 1 + (rng.gen_range(0.0..1.0f64).powi(4) * 12.0) as i64;
+                v4 = v4.min((v4_left - (remaining - 1)).max(1));
+                v4_left -= v4;
+                let v6 = if rng.gen_bool(0.35) && v6_left > 0 {
+                    let v = (1 + (rng.gen_range(0.0..1.0f64).powi(4) * 8.0) as i64).min(v6_left);
+                    v6_left -= v;
+                    v
+                } else {
+                    0
+                };
+                let spec = OperatorSpec {
+                    name: format!("tail-{d:04}"),
+                    asn: 30_000 + d as u32,
+                    n_sites,
+                    spread: if regional {
+                        Spread::Regional {
+                            anchor: regional_anchors[rng.gen_range(0..regional_anchors.len())]
+                                .to_string(),
+                            radius_km: rng.gen_range(300.0..900.0),
+                        }
+                    } else {
+                        Spread::Global
+                    },
+                    v4_prefixes: v4.max(0) as usize,
+                    v6_prefixes: v6.max(0) as usize,
+                    resp: if dns { RespProbs::DNS } else { RespProbs::CDN },
+                    nameserver_fraction: if dns { 0.9 } else { 0.0 },
+                    temporary_v4: 0,
+                    backing_v6: 0,
+                };
+                let id = build_deployment(&mut topo, &mut rng, &mut shell, &spec);
+                tail_ids.push((id, spec));
+            }
+            // DNS-only deployments (G-root style).
+            for d in 0..t.n_dns_only {
+                let spec = OperatorSpec {
+                    name: format!("dns-only-{d:02}"),
+                    asn: 29_000 + d as u32,
+                    n_sites: rng.gen_range(4..=14),
+                    spread: Spread::Global,
+                    v4_prefixes: 4,
+                    v6_prefixes: 3,
+                    resp: RespProbs::DNS_ONLY,
+                    nameserver_fraction: 1.0,
+                    temporary_v4: 0,
+                    backing_v6: 0,
+                };
+                let id = build_deployment(&mut topo, &mut rng, &mut shell, &spec);
+                tail_ids.push((id, spec));
+            }
+        }
+        dep_specs.extend(tail_ids);
+
+        // --- VP AS registry (before targets so the set is complete) --------
+        let mut vp_as_list: Vec<u32> = Vec::new();
+        let mut vp_as_pos: HashMap<u32, u16> = HashMap::new();
+        for p in &platforms {
+            for i in 0..p.n_vps() {
+                let a = p.vp_as(i);
+                vp_as_pos.entry(a).or_insert_with(|| {
+                    vp_as_list.push(a);
+                    (vp_as_list.len() - 1) as u16
+                });
+            }
+        }
+
+        // --- Production catchment, for jittery-target placement ------------
+        let prod_origin_ases: Vec<u32> = platforms[production.0 as usize]
+            .sites()
+            .iter()
+            .map(|s| s.as_idx)
+            .collect();
+        let prod_routes = routing::compute(&topo, &prod_origin_ases);
+        let tie_stubs: Vec<u32> = stub_range
+            .clone()
+            .filter(|&a| prod_routes.origins[a as usize].len() >= 2)
+            .collect();
+
+        // --- Target population ----------------------------------------------
+        let mut targets: Vec<Target> = Vec::new();
+        let stub_list: Vec<u32> = stub_range.clone().collect();
+        let sample_resp = |rng: &mut StdRng, p: &RespProbs| Resp {
+            icmp: rng.gen_bool(p.icmp),
+            tcp: rng.gen_bool(p.tcp),
+            udp: rng.gen_bool(p.udp),
+        };
+
+        let push_v4 = |t: Target, targets: &mut Vec<Target>| {
+            debug_assert!(matches!(t.prefix, PrefixKey::V4(_)));
+            targets.push(t);
+        };
+
+        // Operator + tail anycast prefixes (v4).
+        for (dep_id, spec) in &dep_specs {
+            for k in 0..spec.v4_prefixes + spec.temporary_v4 {
+                let prefix = PrefixKey::V4(addressing::v4(targets.len() as u32));
+                let is_ns = rng.gen_bool(spec.nameserver_fraction);
+                let temp = if k >= spec.v4_prefixes {
+                    Some(TempSchedule {
+                        period: 6,
+                        active: 2,
+                        phase: rng.gen_range(0..6),
+                    })
+                } else {
+                    None
+                };
+                push_v4(
+                    Target {
+                        prefix,
+                        as_idx: u32::MAX,
+                        kind: TargetKind::Anycast { dep: *dep_id },
+                        resp: sample_resp(&mut rng, &spec.resp),
+                        ns: is_ns.then_some(ChaosProfile::PerSite),
+                        temp,
+                        jittery: false,
+                        hijack: None,
+                    },
+                    &mut targets,
+                );
+            }
+        }
+
+        // Partial anycast /24s: unicast representative + anycast low hosts.
+        let hypergiant_deps: Vec<DeploymentId> =
+            dep_specs.iter().take(5).map(|(id, _)| *id).collect();
+        let imperva_dep = dep_specs
+            .iter()
+            .find(|(_, s)| s.name.contains("Imperva"))
+            .map(|(id, _)| *id);
+        for k in 0..cfg.partial_stable_24s + cfg.partial_temp_24s {
+            let temp_one = k >= cfg.partial_stable_24s;
+            let dep = if temp_one {
+                imperva_dep.unwrap_or(hypergiant_deps[0])
+            } else {
+                hypergiant_deps[rng.gen_range(0..hypergiant_deps.len())]
+            };
+            let as_idx = stub_list[rng.gen_range(0..stub_list.len())];
+            let city = topo.home_city(as_idx);
+            push_v4(
+                Target {
+                    prefix: PrefixKey::V4(addressing::v4(targets.len() as u32)),
+                    as_idx,
+                    kind: TargetKind::PartialAnycast { city, dep },
+                    resp: Resp {
+                        icmp: true,
+                        tcp: rng.gen_bool(0.4),
+                        udp: rng.gen_bool(0.1),
+                    },
+                    ns: None,
+                    temp: temp_one.then(|| TempSchedule {
+                        period: 5,
+                        active: 2,
+                        phase: rng.gen_range(0..5),
+                    }),
+                    jittery: false,
+                    hijack: None,
+                },
+                &mut targets,
+            );
+        }
+
+        // Microsoft-style global-BGP unicast.
+        let transit_list: Vec<u32> = transit_range.clone().collect();
+        for _ in 0..cfg.global_unicast_24s {
+            let as_idx = stub_list[rng.gen_range(0..stub_list.len())];
+            let city = topo.home_city(as_idx);
+            // Two nearby egress networks near the destination.
+            let home = db.get(city).coord;
+            let e1 = nearest_of(&topo, &db, &transit_list, &home, 0);
+            let e2 = nearest_of(&topo, &db, &transit_list, &home, 1);
+            push_v4(
+                Target {
+                    prefix: PrefixKey::V4(addressing::v4(targets.len() as u32)),
+                    as_idx,
+                    kind: TargetKind::GlobalUnicast {
+                        city,
+                        egress: [e1, e2],
+                    },
+                    resp: Resp {
+                        icmp: true,
+                        tcp: false,
+                        udp: false,
+                    },
+                    ns: None,
+                    temp: None,
+                    jittery: false,
+                    hijack: None,
+                },
+                &mut targets,
+            );
+        }
+
+        // Plain + jittery unicast mass.
+        let mut jittery_left = cfg.jittery_24s;
+        for k in 0..cfg.unicast_24s {
+            let jittery = jittery_left > 0 && !tie_stubs.is_empty() && {
+                // Place remaining jittery targets early so the quota fills.
+                let remaining = cfg.unicast_24s - k;
+                rng.gen_bool((jittery_left as f64 / remaining as f64).min(1.0))
+            };
+            let as_idx = if jittery {
+                jittery_left -= 1;
+                tie_stubs[rng.gen_range(0..tie_stubs.len())]
+            } else {
+                stub_list[rng.gen_range(0..stub_list.len())]
+            };
+            let city = topo.home_city(as_idx);
+            let is_colo_ns = k < cfg.colo_nameserver_24s;
+            let mut resp = sample_resp(&mut rng, &cfg.unicast_resp);
+            if is_colo_ns {
+                resp.udp = true;
+                resp.icmp = rng.gen_bool(0.9);
+            }
+            push_v4(
+                Target {
+                    prefix: PrefixKey::V4(addressing::v4(targets.len() as u32)),
+                    as_idx,
+                    kind: TargetKind::Unicast { city },
+                    resp,
+                    ns: is_colo_ns.then(|| ChaosProfile::Colo(rng.gen_range(1..=4))),
+                    temp: None,
+                    jittery,
+                    hijack: None,
+                },
+                &mut targets,
+            );
+        }
+
+        // Unresponsive mass.
+        for _ in 0..cfg.unresponsive_24s {
+            let as_idx = stub_list[rng.gen_range(0..stub_list.len())];
+            let city = topo.home_city(as_idx);
+            push_v4(
+                Target {
+                    prefix: PrefixKey::V4(addressing::v4(targets.len() as u32)),
+                    as_idx,
+                    kind: TargetKind::Unicast { city },
+                    resp: Resp::default(),
+                    ns: None,
+                    temp: None,
+                    jittery: false,
+                    hijack: None,
+                },
+                &mut targets,
+            );
+        }
+
+        let n_v4 = targets.len();
+
+        // --- IPv6 targets ---------------------------------------------------
+        let mut v6_count = 0u32;
+        let push_v6 = |t: Target, targets: &mut Vec<Target>, v6_count: &mut u32| {
+            debug_assert!(matches!(t.prefix, PrefixKey::V6(_)));
+            targets.push(t);
+            *v6_count += 1;
+        };
+
+        let fastly_dep = dep_specs
+            .iter()
+            .find(|(_, s)| s.name == "Fastly")
+            .map(|(id, _)| *id);
+        for (dep_id, spec) in &dep_specs {
+            for _ in 0..spec.v6_prefixes {
+                let is_ns = rng.gen_bool(spec.nameserver_fraction);
+                // The v6 hitlist reflects active services (TUM/OpenINTEL),
+                // so TCP responsiveness is much higher than for v4 (§5.3.2).
+                let mut resp = sample_resp(&mut rng, &spec.resp);
+                resp.tcp = resp.tcp || rng.gen_bool(0.45);
+                push_v6(
+                    Target {
+                        prefix: PrefixKey::V6(addressing::v6(v6_count)),
+                        as_idx: u32::MAX,
+                        kind: TargetKind::Anycast { dep: *dep_id },
+                        resp,
+                        ns: is_ns.then_some(ChaosProfile::PerSite),
+                        temp: None,
+                        jittery: false,
+                        hijack: None,
+                    },
+                    &mut targets,
+                    &mut v6_count,
+                );
+            }
+            for _ in 0..spec.backing_v6 {
+                let as_idx = stub_list[rng.gen_range(0..stub_list.len())];
+                let city = topo.home_city(as_idx);
+                push_v6(
+                    Target {
+                        prefix: PrefixKey::V6(addressing::v6(v6_count)),
+                        as_idx,
+                        kind: TargetKind::BackingAnycast {
+                            city,
+                            dep: fastly_dep.unwrap_or(*dep_id),
+                        },
+                        resp: Resp {
+                            icmp: true,
+                            tcp: true,
+                            udp: false,
+                        },
+                        ns: None,
+                        temp: None,
+                        jittery: false,
+                        hijack: None,
+                    },
+                    &mut targets,
+                    &mut v6_count,
+                );
+            }
+        }
+
+        for _ in 0..cfg.global_unicast_48s {
+            let as_idx = stub_list[rng.gen_range(0..stub_list.len())];
+            let city = topo.home_city(as_idx);
+            let home = db.get(city).coord;
+            let e1 = nearest_of(&topo, &db, &transit_list, &home, 0);
+            let e2 = nearest_of(&topo, &db, &transit_list, &home, 1);
+            push_v6(
+                Target {
+                    prefix: PrefixKey::V6(addressing::v6(v6_count)),
+                    as_idx,
+                    kind: TargetKind::GlobalUnicast {
+                        city,
+                        egress: [e1, e2],
+                    },
+                    resp: Resp {
+                        icmp: true,
+                        tcp: false,
+                        udp: false,
+                    },
+                    ns: None,
+                    temp: None,
+                    jittery: false,
+                    hijack: None,
+                },
+                &mut targets,
+                &mut v6_count,
+            );
+        }
+
+        let mut jittery6_left = cfg.jittery_48s;
+        for k in 0..cfg.unicast_48s {
+            let jittery = jittery6_left > 0 && !tie_stubs.is_empty() && {
+                let remaining = cfg.unicast_48s - k;
+                rng.gen_bool((jittery6_left as f64 / remaining as f64).min(1.0))
+            };
+            let as_idx = if jittery {
+                jittery6_left -= 1;
+                tie_stubs[rng.gen_range(0..tie_stubs.len())]
+            } else {
+                stub_list[rng.gen_range(0..stub_list.len())]
+            };
+            let city = topo.home_city(as_idx);
+            let mut resp = sample_resp(&mut rng, &cfg.unicast_resp);
+            resp.tcp = resp.tcp || rng.gen_bool(0.4);
+            push_v6(
+                Target {
+                    prefix: PrefixKey::V6(addressing::v6(v6_count)),
+                    as_idx,
+                    kind: TargetKind::Unicast { city },
+                    resp,
+                    ns: None,
+                    temp: None,
+                    jittery,
+                    hijack: None,
+                },
+                &mut targets,
+                &mut v6_count,
+            );
+        }
+        for _ in 0..cfg.unresponsive_48s {
+            let as_idx = stub_list[rng.gen_range(0..stub_list.len())];
+            let city = topo.home_city(as_idx);
+            push_v6(
+                Target {
+                    prefix: PrefixKey::V6(addressing::v6(v6_count)),
+                    as_idx,
+                    kind: TargetKind::Unicast { city },
+                    resp: Resp::default(),
+                    ns: None,
+                    temp: None,
+                    jittery: false,
+                    hijack: None,
+                },
+                &mut targets,
+                &mut v6_count,
+            );
+        }
+
+        // Hijack events: scattered over plain unicast targets and days.
+        {
+            let mut assigned = 0usize;
+            let mut i = 0usize;
+            while assigned < cfg.hijacked_24s && i < n_v4 {
+                let pick = rng::key(cfg.seed, &[0x41AC, i as u64]) % 97 == 0;
+                if pick {
+                    if let TargetKind::Unicast { .. } = targets[i].kind {
+                        if targets[i].resp.icmp && !targets[i].jittery {
+                            let day = (rng::key(cfg.seed, &[0x41AD, i as u64])
+                                % u64::from(HIJACK_WINDOW_DAYS))
+                                as u32;
+                            let attacker = stub_list[(rng::key(cfg.seed, &[0x41AE, i as u64])
+                                % stub_list.len() as u64)
+                                as usize];
+                            targets[i].hijack = Some(crate::targets::Hijack {
+                                day,
+                                attacker_as: attacker,
+                            });
+                            assigned += 1;
+                        }
+                    }
+                }
+                i += 1;
+            }
+        }
+
+        // Broken Ark VPs for the backing-anycast FP mechanism.
+        let n_ark_total = cfg.n_ark_core + cfg.n_ark_dev_extra;
+        let broken_v6_vps: Vec<usize> = (0..cfg.n_broken_v6_vps)
+            .map(|i| (rng::key(cfg.seed, &[0xB20CE, i as u64]) % n_ark_total as u64) as usize)
+            .collect();
+
+        let latency = LatencyModel::new(cfg.seed);
+        let world = World {
+            cfg,
+            db,
+            topo,
+            deployments,
+            targets,
+            n_v4,
+            platforms,
+            std_platforms,
+            latency,
+            broken_v6_vps,
+            vp_as_pos,
+            vp_as_list,
+            caches: RwLock::new(Caches::default()),
+            trace_cache: parking_lot::Mutex::new(crate::trace::TraceCache::default()),
+        };
+        // Seed the platform-route cache with the production table we already
+        // computed.
+        world
+            .caches
+            .write()
+            .platform_routes
+            .insert(production.0, Arc::new(prod_routes));
+        world
+    }
+
+    /// Total number of targets.
+    pub fn n_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Look up a target by census prefix.
+    pub fn lookup(&self, key: PrefixKey) -> Option<TargetId> {
+        match key {
+            PrefixKey::V4(p) => {
+                let i = addressing::v4_index(p)?;
+                ((i as usize) < self.n_v4).then_some(TargetId(i))
+            }
+            PrefixKey::V6(p) => {
+                let i = addressing::v6_index(p)? as usize + self.n_v4;
+                (i < self.targets.len()).then_some(TargetId(i as u32))
+            }
+        }
+    }
+
+    /// Access a target.
+    pub fn target(&self, id: TargetId) -> &Target {
+        &self.targets[id.0 as usize]
+    }
+
+    /// Access a platform.
+    pub fn platform(&self, id: PlatformId) -> &Platform {
+        &self.platforms[id.0 as usize]
+    }
+
+    /// Access a deployment.
+    pub fn deployment(&self, id: DeploymentId) -> &Deployment {
+        &self.deployments[id.0 as usize]
+    }
+
+    /// Routes toward an anycast platform's sites, over every AS (cached).
+    pub fn platform_routes(&self, id: PlatformId) -> Arc<Routes> {
+        if let Some(r) = self.caches.read().platform_routes.get(&id.0) {
+            return Arc::clone(r);
+        }
+        let origins: Vec<u32> = self.platform(id).sites().iter().map(|s| s.as_idx).collect();
+        let routes = Arc::new(routing::compute(&self.topo, &origins));
+        self.caches
+            .write()
+            .platform_routes
+            .entry(id.0)
+            .or_insert_with(|| Arc::clone(&routes));
+        routes
+    }
+
+    /// Forward catchment of a target deployment, restricted to VP ASes
+    /// (cached).
+    pub fn dep_catchment(&self, dep: DeploymentId) -> Arc<DepCatchment> {
+        if let Some(c) = self.caches.read().dep_catchments.get(&dep.0) {
+            return Arc::clone(c);
+        }
+        let origins: Vec<u32> = self
+            .deployment(dep)
+            .sites
+            .iter()
+            .map(|s| s.as_idx)
+            .collect();
+        let routes = routing::compute(&self.topo, &origins);
+        let per_vp = self
+            .vp_as_list
+            .iter()
+            .map(|&a| (routes.origins[a as usize], routes.dist[a as usize]))
+            .collect();
+        let c = Arc::new(DepCatchment { per_vp });
+        self.caches
+            .write()
+            .dep_catchments
+            .entry(dep.0)
+            .or_insert_with(|| Arc::clone(&c));
+        c
+    }
+
+    /// Which site of `dep` a probe from VP AS `src_as` reaches on `day`, and
+    /// the AS-path distance. Returns `None` if `src_as` is not a registered
+    /// VP AS or the deployment is unreachable from it.
+    pub fn forward_site(&self, dep: DeploymentId, src_as: u32, day: u32) -> Option<(usize, u16)> {
+        let pos = *self.vp_as_pos.get(&src_as)?;
+        let c = self.dep_catchment(dep);
+        let (ties, dist) = c.per_vp[pos as usize];
+        if ties.is_empty() {
+            return None;
+        }
+        let pick = sticky_tie_pick(self.cfg.seed, 0xF02D, dep.0 as u64, src_as, day, ties.len());
+        Some((ties.as_slice()[pick] as usize, dist))
+    }
+
+    /// Which worker (site index) of anycast platform `platform` receives a
+    /// packet originated by AS `responder_as` on `day`, with the tie set and
+    /// AS-path distance. `None` when the platform is unreachable from there.
+    pub fn receiving_site(
+        &self,
+        platform: PlatformId,
+        responder_as: u32,
+        day: u32,
+    ) -> Option<(usize, u16, TieSet)> {
+        let routes = self.platform_routes(platform);
+        let ties = routes.origins[responder_as as usize];
+        if ties.is_empty() {
+            return None;
+        }
+        let pick = sticky_tie_pick(
+            self.cfg.seed,
+            0x2CAE,
+            platform.0 as u64,
+            responder_as,
+            day,
+            ties.len(),
+        );
+        Some((
+            ties.as_slice()[pick] as usize,
+            routes.dist[responder_as as usize],
+            ties,
+        ))
+    }
+
+    /// For a flipped route: the site a responder fails over to. If the tie
+    /// set has another member, that member; otherwise the platform site
+    /// geographically nearest to the primary (routing shifts lands nearby).
+    pub fn alternate_site(
+        &self,
+        platform: PlatformId,
+        primary: usize,
+        ties: &TieSet,
+        key: u64,
+    ) -> usize {
+        let others: Vec<u16> = ties
+            .as_slice()
+            .iter()
+            .copied()
+            .filter(|&s| s as usize != primary)
+            .collect();
+        if !others.is_empty() {
+            return others[rng::below(key, others.len())] as usize;
+        }
+        let sites = self.platform(platform).sites();
+        let pc = self.db.get(sites[primary].city).coord;
+        let mut best = primary;
+        let mut best_d = f64::INFINITY;
+        for (i, s) in sites.iter().enumerate() {
+            if i == primary {
+                continue;
+            }
+            let d = self.db.get(s.city).coord.gcd_km(&pc);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// All registered VP ASes (union over platforms).
+    pub fn vp_ases(&self) -> &[u32] {
+        &self.vp_as_list
+    }
+
+    /// The traceroute destination-route cache (crate-internal).
+    pub(crate) fn trace_cache(&self) -> &parking_lot::Mutex<crate::trace::TraceCache> {
+        &self.trace_cache
+    }
+}
+
+/// Daily probability that an AS's equal-cost tie-break re-rolls (BGP path
+/// churn among equal-preference alternatives). Kept small: catchments are
+/// mostly stable day over day, with a steady trickle of movement
+/// (§5.1.6's longitudinal variability).
+const DAILY_TIE_REROLL: f64 = 0.06;
+
+/// A *sticky* tie-break: the same member is chosen every day, except that
+/// with probability [`DAILY_TIE_REROLL`] per day the choice re-rolls.
+fn sticky_tie_pick(seed: u64, tag: u64, scope: u64, as_idx: u32, day: u32, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let base = rng::key(seed, &[tag, scope, as_idx as u64]);
+    let roll = rng::unit_f64(rng::key(
+        seed,
+        &[tag ^ 0xDA7, scope, as_idx as u64, day as u64],
+    ));
+    if roll < DAILY_TIE_REROLL {
+        rng::below(rng::mix(base, day as u64 + 1), n)
+    } else {
+        rng::below(base, n)
+    }
+}
+
+/// Geographically `rank`-th nearest AS from `list` to `home`.
+fn nearest_of(topo: &Topology, db: &CityDb, list: &[u32], home: &Coord, rank: usize) -> u32 {
+    let mut scored: Vec<(f64, u32)> = list
+        .iter()
+        .map(|&a| {
+            let c = topo.nearest_pop(db, a, home);
+            (db.get(c).coord.gcd_km(home), a)
+        })
+        .collect();
+    scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    scored[rank.min(scored.len() - 1)].1
+}
+
+/// Pick `n` transit ASes near `home` (weighted), for shell attachment.
+fn pick_near_transit(
+    topo: &Topology,
+    db: &CityDb,
+    rng: &mut StdRng,
+    home: &Coord,
+    range: std::ops::Range<u32>,
+    n: usize,
+) -> Vec<u32> {
+    let candidates: Vec<u32> = range.collect();
+    let mut scored: Vec<(f64, u32)> = candidates
+        .iter()
+        .map(|&a| {
+            let c = topo.nearest_pop(db, a, home);
+            let d = db.get(c).coord.gcd_km(home);
+            (d + rng.gen_range(0.0..400.0), a)
+        })
+        .collect();
+    scored.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    scored.into_iter().take(n.max(1)).map(|(_, a)| a).collect()
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the Gao-Rexford routing engine: valley-free
+//! invariants must hold on arbitrary generated topologies.
+
+use laces_geo::CityDb;
+use laces_netsim::routing::{compute, RouteClass};
+use laces_netsim::topology::{Tier, TopoConfig, Topology};
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = (Topology, u64)> {
+    (1u64..500, 2usize..8, 5usize..40, 10usize..80).prop_map(|(seed, t1, tr, st)| {
+        let db = CityDb::embedded();
+        let topo = Topology::generate(
+            &TopoConfig {
+                n_tier1: t1,
+                n_transit: tr,
+                n_stub: st,
+            },
+            &db,
+            seed,
+        );
+        (topo, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Origins are always reachable at distance zero from themselves, and
+    /// every reachable AS has a consistent (class, dist, origins) triple.
+    #[test]
+    fn route_state_is_consistent((topo, seed) in arb_topology()) {
+        let n = topo.len() as u32;
+        let origins: Vec<u32> = (0..3).map(|i| (seed.wrapping_mul(i + 1) % u64::from(n)) as u32).collect();
+        let r = compute(&topo, &origins);
+        for &o in &origins {
+            prop_assert_eq!(r.dist[o as usize], 0);
+            prop_assert!(!r.origins[o as usize].is_empty());
+        }
+        for x in 0..topo.len() {
+            match r.class[x] {
+                RouteClass::Unreachable => {
+                    prop_assert_eq!(r.dist[x], u16::MAX);
+                    prop_assert!(r.origins[x].is_empty());
+                }
+                _ => {
+                    prop_assert!(r.dist[x] != u16::MAX);
+                    prop_assert!(!r.origins[x].is_empty());
+                    // Every tie member is a valid origin index.
+                    for &t in r.origins[x].as_slice() {
+                        prop_assert!((t as usize) < origins.len());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Everyone can reach a tier-1 origin: tier-1s peer in a clique and all
+    /// customer trees hang below them.
+    #[test]
+    fn tier1_origin_reaches_everyone((topo, _seed) in arb_topology()) {
+        let r = compute(&topo, &[0]);
+        for x in 0..topo.len() {
+            prop_assert!(
+                r.class[x] != RouteClass::Unreachable,
+                "AS {} unreachable from tier-1 origin", x
+            );
+        }
+    }
+
+    /// Adding origins never degrades any AS's route *class* (more routes
+    /// can only improve the best preference). Note that path *length* is
+    /// NOT monotone under Gao-Rexford: an intermediate AS may switch to a
+    /// newly-available customer-class route that is longer in hops, which
+    /// lengthens its customers' paths — classic BGP non-monotonicity, so we
+    /// deliberately do not assert it.
+    #[test]
+    fn more_origins_never_degrade_class((topo, seed) in arb_topology()) {
+        let n = topo.len() as u32;
+        let o1 = vec![(seed % u64::from(n)) as u32];
+        let mut o2 = o1.clone();
+        o2.push(((seed / 7) % u64::from(n)) as u32);
+        let r1 = compute(&topo, &o1);
+        let r2 = compute(&topo, &o2);
+        let rank = |c: RouteClass| match c {
+            RouteClass::Customer => 0u8,
+            RouteClass::Peer => 1,
+            RouteClass::Provider => 2,
+            RouteClass::Unreachable => 3,
+        };
+        for x in 0..topo.len() {
+            prop_assert!(rank(r2.class[x]) <= rank(r1.class[x]), "class degraded at {}", x);
+        }
+    }
+
+    /// Valley-free: a customer route at X implies one of X's customers has
+    /// a customer route (or is the origin) one hop shorter.
+    #[test]
+    fn customer_routes_decompose((topo, seed) in arb_topology()) {
+        let n = topo.len() as u32;
+        let origin = (seed % u64::from(n)) as u32;
+        let r = compute(&topo, &[origin]);
+        for x in 0..topo.len() {
+            if r.class[x] == RouteClass::Customer && r.dist[x] > 0 {
+                let ok = topo.customers[x].iter().any(|&c| {
+                    (r.class[c as usize] == RouteClass::Customer || c == origin)
+                        && r.dist[c as usize] + 1 == r.dist[x]
+                });
+                prop_assert!(ok, "customer route at {} has no supporting customer", x);
+            }
+        }
+    }
+
+    /// Stubs (no customers) can never have customer-learned routes unless
+    /// they are the origin.
+    #[test]
+    fn stubs_have_no_customer_routes((topo, seed) in arb_topology()) {
+        let n = topo.len() as u32;
+        let origin = (seed % u64::from(n)) as u32;
+        let r = compute(&topo, &[origin]);
+        for (x, node) in topo.ases.iter().enumerate() {
+            if node.tier == Tier::Stub && topo.customers[x].is_empty() && x as u32 != origin {
+                prop_assert!(
+                    r.class[x] != RouteClass::Customer,
+                    "stub {} claims a customer route", x
+                );
+            }
+        }
+    }
+}

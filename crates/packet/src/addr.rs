@@ -1,0 +1,272 @@
+//! Prefix types: the census keyspace.
+//!
+//! The census probes one representative address per IPv4 `/24` and IPv6
+//! `/48` — the smallest prefix sizes generally propagated in BGP — and all
+//! classification results are keyed by these prefixes.
+
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+use serde::{Deserialize, Serialize};
+
+/// An IPv4 `/24` prefix. Stored as the network address with the host octet
+/// forced to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prefix24(u32);
+
+impl Prefix24 {
+    /// The `/24` containing `addr`.
+    #[inline]
+    pub fn of(addr: Ipv4Addr) -> Self {
+        Prefix24(u32::from(addr) & 0xFFFF_FF00)
+    }
+
+    /// Construct from a raw network address; the host octet is masked off.
+    #[inline]
+    pub fn from_network(net: u32) -> Self {
+        Prefix24(net & 0xFFFF_FF00)
+    }
+
+    /// The network address as a `u32`.
+    #[inline]
+    pub fn network(self) -> u32 {
+        self.0
+    }
+
+    /// The address with host octet `host` inside this prefix.
+    #[inline]
+    pub fn addr(self, host: u8) -> Ipv4Addr {
+        Ipv4Addr::from(self.0 | u32::from(host))
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    #[inline]
+    pub fn contains(self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & 0xFFFF_FF00 == self.0
+    }
+}
+
+impl fmt::Display for Prefix24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/24", Ipv4Addr::from(self.0))
+    }
+}
+
+/// An IPv6 `/48` prefix. Stored as the network address with the low 80 bits
+/// forced to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prefix48(u128);
+
+impl Prefix48 {
+    const MASK: u128 = !((1u128 << 80) - 1);
+
+    /// The `/48` containing `addr`.
+    #[inline]
+    pub fn of(addr: Ipv6Addr) -> Self {
+        Prefix48(u128::from(addr) & Self::MASK)
+    }
+
+    /// Construct from a raw network value; the low 80 bits are masked off.
+    #[inline]
+    pub fn from_network(net: u128) -> Self {
+        Prefix48(net & Self::MASK)
+    }
+
+    /// The network address as a `u128`.
+    #[inline]
+    pub fn network(self) -> u128 {
+        self.0
+    }
+
+    /// The address with interface-id `iid` inside this prefix.
+    #[inline]
+    pub fn addr(self, iid: u64) -> Ipv6Addr {
+        Ipv6Addr::from(self.0 | u128::from(iid))
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    #[inline]
+    pub fn contains(self, addr: Ipv6Addr) -> bool {
+        u128::from(addr) & Self::MASK == self.0
+    }
+}
+
+impl fmt::Display for Prefix48 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/48", Ipv6Addr::from(self.0))
+    }
+}
+
+/// A census key: either an IPv4 `/24` or an IPv6 `/48`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PrefixKey {
+    /// IPv4 `/24`.
+    V4(Prefix24),
+    /// IPv6 `/48`.
+    V6(Prefix48),
+}
+
+impl PrefixKey {
+    /// The prefix containing `addr` at census granularity.
+    pub fn of(addr: IpAddr) -> Self {
+        match addr {
+            IpAddr::V4(a) => PrefixKey::V4(Prefix24::of(a)),
+            IpAddr::V6(a) => PrefixKey::V6(Prefix48::of(a)),
+        }
+    }
+
+    /// Whether this is an IPv4 key.
+    pub fn is_v4(&self) -> bool {
+        matches!(self, PrefixKey::V4(_))
+    }
+}
+
+impl fmt::Display for PrefixKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixKey::V4(p) => p.fmt(f),
+            PrefixKey::V6(p) => p.fmt(f),
+        }
+    }
+}
+
+/// An IPv4 CIDR prefix of arbitrary length, as seen in BGP announcements.
+///
+/// Used for the pfx2as-style aggregation (§5.6) and the BGPTools comparison
+/// (Table 7): a BGP-announced prefix covers `2^(24-len)` census `/24`s (for
+/// `len <= 24`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cidr4 {
+    net: u32,
+    len: u8,
+}
+
+impl Cidr4 {
+    /// Create a prefix, masking host bits. Panics if `len > 32`.
+    pub fn new(net: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Cidr4 {
+            net: net & mask,
+            len,
+        }
+    }
+
+    /// The network address.
+    pub fn network(self) -> u32 {
+        self.net
+    }
+
+    /// The prefix length.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Whether the prefix length is zero (the default route).
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether this prefix contains the given `/24`.
+    pub fn contains_24(self, p: Prefix24) -> bool {
+        if self.len > 24 {
+            return false;
+        }
+        let mask = if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        };
+        p.network() & mask == self.net
+    }
+
+    /// Number of `/24`s covered (0 for prefixes longer than /24).
+    pub fn count_24s(self) -> u32 {
+        if self.len > 24 {
+            0
+        } else {
+            1u32 << (24 - self.len)
+        }
+    }
+
+    /// Iterate over all covered `/24`s.
+    pub fn iter_24s(self) -> impl Iterator<Item = Prefix24> {
+        let n = self.count_24s();
+        let base = self.net;
+        (0..n).map(move |i| Prefix24::from_network(base + (i << 8)))
+    }
+}
+
+impl fmt::Display for Cidr4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv4Addr::from(self.net), self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix24_masks_host_octet() {
+        let p = Prefix24::of(Ipv4Addr::new(192, 0, 2, 77));
+        assert_eq!(p.addr(0), Ipv4Addr::new(192, 0, 2, 0));
+        assert_eq!(p.addr(1), Ipv4Addr::new(192, 0, 2, 1));
+        assert!(p.contains(Ipv4Addr::new(192, 0, 2, 255)));
+        assert!(!p.contains(Ipv4Addr::new(192, 0, 3, 0)));
+        assert_eq!(p.to_string(), "192.0.2.0/24");
+    }
+
+    #[test]
+    fn prefix48_masks_low_bits() {
+        let a: Ipv6Addr = "2001:db8:42:9999::1".parse().unwrap();
+        let p = Prefix48::of(a);
+        assert_eq!(p.addr(0), "2001:db8:42::".parse::<Ipv6Addr>().unwrap());
+        assert!(p.contains("2001:db8:42:ffff::5".parse().unwrap()));
+        assert!(!p.contains("2001:db8:43::1".parse().unwrap()));
+        assert_eq!(p.to_string(), "2001:db8:42::/48");
+    }
+
+    #[test]
+    fn prefix_key_dispatches_on_version() {
+        let k4 = PrefixKey::of("10.1.2.3".parse().unwrap());
+        let k6 = PrefixKey::of("2001:db8::1".parse().unwrap());
+        assert!(k4.is_v4());
+        assert!(!k6.is_v4());
+        assert_ne!(k4, k6);
+    }
+
+    #[test]
+    fn cidr_contains_and_counts() {
+        let c = Cidr4::new(u32::from(Ipv4Addr::new(10, 0, 0, 0)), 16);
+        assert_eq!(c.count_24s(), 256);
+        assert!(c.contains_24(Prefix24::of(Ipv4Addr::new(10, 0, 200, 1))));
+        assert!(!c.contains_24(Prefix24::of(Ipv4Addr::new(10, 1, 0, 1))));
+        assert_eq!(c.iter_24s().count(), 256);
+
+        let c24 = Cidr4::new(u32::from(Ipv4Addr::new(10, 0, 0, 0)), 24);
+        assert_eq!(c24.count_24s(), 1);
+        assert_eq!(
+            c24.iter_24s().next().unwrap(),
+            Prefix24::of(Ipv4Addr::new(10, 0, 0, 9))
+        );
+
+        let c32 = Cidr4::new(u32::from(Ipv4Addr::new(10, 0, 0, 1)), 32);
+        assert_eq!(c32.count_24s(), 0);
+        assert!(!c32.contains_24(Prefix24::of(Ipv4Addr::new(10, 0, 0, 1))));
+    }
+
+    #[test]
+    fn cidr_display_and_masking() {
+        let c = Cidr4::new(u32::from(Ipv4Addr::new(10, 1, 2, 3)), 11);
+        assert_eq!(c.to_string(), "10.0.0.0/11");
+        assert_eq!(c.count_24s(), 8192);
+    }
+
+    #[test]
+    fn prefix_ordering_is_by_network() {
+        let a = Prefix24::of(Ipv4Addr::new(10, 0, 0, 0));
+        let b = Prefix24::of(Ipv4Addr::new(10, 0, 1, 0));
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,124 @@
+//! RFC 1071 Internet checksum.
+//!
+//! Used by ICMPv4 (over the ICMP message), ICMPv6/TCP/UDP (over a
+//! pseudo-header plus the transport message).
+
+use std::net::IpAddr;
+
+/// One's-complement sum of 16-bit words, per RFC 1071.
+///
+/// Odd trailing bytes are padded with a zero byte, as the RFC specifies.
+pub fn ones_complement_sum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// The Internet checksum of `data`: the one's complement of the
+/// one's-complement sum.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data)
+}
+
+/// Verify a buffer whose checksum field is already filled in: the
+/// one's-complement sum over the whole buffer must be `0xFFFF`.
+pub fn verify(data: &[u8]) -> bool {
+    ones_complement_sum(data) == 0xFFFF
+}
+
+/// Checksum of a transport message plus the IPv4/IPv6 pseudo-header, as used
+/// by TCP, UDP, and ICMPv6.
+///
+/// `proto` is the IP protocol number (6 TCP, 17 UDP, 58 ICMPv6).
+pub fn pseudo_header_checksum(src: IpAddr, dst: IpAddr, proto: u8, transport: &[u8]) -> u16 {
+    let mut buf = Vec::with_capacity(40 + transport.len());
+    match (src, dst) {
+        (IpAddr::V4(s), IpAddr::V4(d)) => {
+            buf.extend_from_slice(&s.octets());
+            buf.extend_from_slice(&d.octets());
+            buf.push(0);
+            buf.push(proto);
+            buf.extend_from_slice(&(transport.len() as u16).to_be_bytes());
+        }
+        (IpAddr::V6(s), IpAddr::V6(d)) => {
+            buf.extend_from_slice(&s.octets());
+            buf.extend_from_slice(&d.octets());
+            buf.extend_from_slice(&(transport.len() as u32).to_be_bytes());
+            buf.extend_from_slice(&[0, 0, 0, proto]);
+        }
+        _ => panic!("mixed address families in pseudo-header"),
+    }
+    buf.extend_from_slice(transport);
+    internet_checksum(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // The classic example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&data), 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn checksum_of_empty_is_all_ones() {
+        assert_eq!(internet_checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(ones_complement_sum(&[0xAB]), 0xAB00);
+    }
+
+    #[test]
+    fn verify_accepts_buffer_with_embedded_checksum() {
+        let mut data = vec![0x45u8, 0x00, 0x12, 0x34, 0x00, 0x00, 0xAB, 0xCD];
+        let ck = internet_checksum(&data);
+        data[4..6].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn pseudo_header_differs_by_address() {
+        let t = [1u8, 2, 3, 4];
+        let a = pseudo_header_checksum(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            6,
+            &t,
+        );
+        let b = pseudo_header_checksum(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.3".parse().unwrap(),
+            6,
+            &t,
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed address families")]
+    fn pseudo_header_rejects_mixed_families() {
+        let _ = pseudo_header_checksum(
+            "10.0.0.1".parse().unwrap(),
+            "2001:db8::1".parse().unwrap(),
+            6,
+            &[],
+        );
+    }
+}

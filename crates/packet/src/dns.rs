@@ -1,0 +1,476 @@
+//! Minimal DNS wire format: A/AAAA queries with probe metadata encoded in
+//! the query name, and CHAOS-class TXT queries per RFC 4892.
+//!
+//! For UDP/DNS probing the census sends an `A` (or `AAAA`) query whose qname
+//! encodes the measurement id, worker id, and transmit time; DNS servers echo
+//! the question section in their response, so the reply is attributable no
+//! matter which worker captures it. For CHAOS probing the qname is the fixed
+//! `hostname.bind`, so attribution rides in the 16-bit message id instead
+//! (which responders also echo).
+
+use std::fmt::Write as _;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::probe::ProbeMeta;
+use crate::PacketError;
+
+/// Query type A (IPv4 host address).
+pub const TYPE_A: u16 = 1;
+/// Query type AAAA (IPv6 host address).
+pub const TYPE_AAAA: u16 = 28;
+/// Query type TXT.
+pub const TYPE_TXT: u16 = 16;
+/// Class IN.
+pub const CLASS_IN: u16 = 1;
+/// Class CHAOS.
+pub const CLASS_CH: u16 = 3;
+
+/// Zone under which probe qnames are minted. `.invalid` is reserved
+/// (RFC 2606) and can never collide with a real delegation.
+pub const PROBE_ZONE: &str = "census.laces.invalid";
+
+/// The RFC 4892 CHAOS qname used to ask a server for its identity.
+pub const CHAOS_QNAME: &str = "hostname.bind";
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Query name, dot-separated, without trailing dot.
+    pub qname: String,
+    /// Query type.
+    pub qtype: u16,
+    /// Query class.
+    pub qclass: u16,
+}
+
+/// A resource record in the answer section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceRecord {
+    /// Owner name.
+    pub name: String,
+    /// RR type.
+    pub rtype: u16,
+    /// RR class.
+    pub rclass: u16,
+    /// Time to live.
+    pub ttl: u32,
+    /// Raw rdata.
+    pub rdata: Vec<u8>,
+}
+
+impl ResourceRecord {
+    /// Decode TXT rdata into its character-strings.
+    pub fn txt_strings(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.rdata.len() {
+            let len = usize::from(self.rdata[i]);
+            i += 1;
+            let end = (i + len).min(self.rdata.len());
+            out.push(String::from_utf8_lossy(&self.rdata[i..end]).into_owned());
+            i = end;
+        }
+        out
+    }
+}
+
+/// A parsed DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsMessage {
+    /// Message id.
+    pub id: u16,
+    /// QR bit: true for responses.
+    pub is_response: bool,
+    /// Question section (LACeS messages always carry exactly one question).
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<ResourceRecord>,
+}
+
+impl DnsMessage {
+    /// The sole question, if the message has exactly one.
+    pub fn question(&self) -> Option<&Question> {
+        if self.questions.len() == 1 {
+            self.questions.first()
+        } else {
+            None
+        }
+    }
+}
+
+/// Mint the probe qname for `meta`:
+/// `p<meas:8hex><worker:4hex><time:16hex>.census.laces.invalid`.
+pub fn probe_qname(meta: &ProbeMeta) -> String {
+    let mut label = String::with_capacity(29);
+    label.push('p');
+    let _ = write!(
+        label,
+        "{:08x}{:04x}{:016x}",
+        meta.measurement_id, meta.worker_id, meta.tx_time_ms
+    );
+    format!("{label}.{PROBE_ZONE}")
+}
+
+/// Recover probe metadata from a probe qname. Returns `NotOurs` for names
+/// outside the probe zone.
+pub fn parse_probe_qname(qname: &str) -> Result<ProbeMeta, PacketError> {
+    let suffix = format!(".{PROBE_ZONE}");
+    let label = qname.strip_suffix(&suffix).ok_or(PacketError::NotOurs)?;
+    let hex = label.strip_prefix('p').ok_or(PacketError::NotOurs)?;
+    if hex.len() != 28 {
+        return Err(PacketError::Malformed {
+            what: "probe qname label length",
+        });
+    }
+    let measurement_id =
+        u32::from_str_radix(&hex[0..8], 16).map_err(|_| PacketError::Malformed {
+            what: "probe qname measurement id",
+        })?;
+    let worker_id = u16::from_str_radix(&hex[8..12], 16).map_err(|_| PacketError::Malformed {
+        what: "probe qname worker id",
+    })?;
+    let tx_time_ms = u64::from_str_radix(&hex[12..28], 16).map_err(|_| PacketError::Malformed {
+        what: "probe qname timestamp",
+    })?;
+    Ok(ProbeMeta {
+        measurement_id,
+        worker_id,
+        tx_time_ms,
+    })
+}
+
+/// Build an A (or AAAA, for v6 measurements) query carrying `meta`.
+pub fn build_probe_query(meta: &ProbeMeta, qtype: u16) -> Vec<u8> {
+    serialize(
+        meta.worker_id,
+        false,
+        &[Question {
+            qname: probe_qname(meta),
+            qtype,
+            qclass: CLASS_IN,
+        }],
+        &[],
+    )
+}
+
+/// Build a CHAOS `hostname.bind TXT` query; attribution via the id field.
+pub fn build_chaos_query(worker_id: u16) -> Vec<u8> {
+    serialize(
+        worker_id,
+        false,
+        &[Question {
+            qname: CHAOS_QNAME.to_string(),
+            qtype: TYPE_TXT,
+            qclass: CLASS_CH,
+        }],
+        &[],
+    )
+}
+
+/// The answer a simulated DNS server attaches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsAnswerData {
+    /// IN A record.
+    A(Ipv4Addr),
+    /// IN AAAA record.
+    Aaaa(Ipv6Addr),
+    /// TXT character-string (CHAOS identity).
+    Txt(String),
+}
+
+/// Build the response to `query`, echoing its question and id.
+pub fn build_response(query: &DnsMessage, answer: Option<DnsAnswerData>) -> Vec<u8> {
+    let q = query.questions.first().cloned();
+    let answers: Vec<ResourceRecord> = match (q.as_ref(), answer) {
+        (Some(q), Some(data)) => {
+            let (rtype, rclass, rdata) = match data {
+                DnsAnswerData::A(a) => (TYPE_A, CLASS_IN, a.octets().to_vec()),
+                DnsAnswerData::Aaaa(a) => (TYPE_AAAA, CLASS_IN, a.octets().to_vec()),
+                DnsAnswerData::Txt(s) => {
+                    let bytes = s.into_bytes();
+                    let mut rdata = Vec::with_capacity(bytes.len() + 1);
+                    rdata.push(bytes.len().min(255) as u8);
+                    rdata.extend_from_slice(&bytes[..bytes.len().min(255)]);
+                    (TYPE_TXT, query.questions[0].qclass, rdata)
+                }
+            };
+            vec![ResourceRecord {
+                name: q.qname.clone(),
+                rtype,
+                rclass,
+                ttl: 60,
+                rdata,
+            }]
+        }
+        _ => Vec::new(),
+    };
+    serialize(query.id, true, &query.questions, &answers)
+}
+
+fn write_name(buf: &mut Vec<u8>, name: &str) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        let bytes = label.as_bytes();
+        debug_assert!(bytes.len() <= 63, "label too long: {label}");
+        buf.push(bytes.len() as u8);
+        buf.extend_from_slice(bytes);
+    }
+    buf.push(0);
+}
+
+fn serialize(
+    id: u16,
+    response: bool,
+    questions: &[Question],
+    answers: &[ResourceRecord],
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&id.to_be_bytes());
+    // Flags: QR bit plus RD for queries (cosmetic; targets ignore it).
+    let flags: u16 = if response { 0x8180 } else { 0x0100 };
+    buf.extend_from_slice(&flags.to_be_bytes());
+    buf.extend_from_slice(&(questions.len() as u16).to_be_bytes());
+    buf.extend_from_slice(&(answers.len() as u16).to_be_bytes());
+    buf.extend_from_slice(&0u16.to_be_bytes()); // nscount
+    buf.extend_from_slice(&0u16.to_be_bytes()); // arcount
+    for q in questions {
+        write_name(&mut buf, &q.qname);
+        buf.extend_from_slice(&q.qtype.to_be_bytes());
+        buf.extend_from_slice(&q.qclass.to_be_bytes());
+    }
+    for rr in answers {
+        write_name(&mut buf, &rr.name);
+        buf.extend_from_slice(&rr.rtype.to_be_bytes());
+        buf.extend_from_slice(&rr.rclass.to_be_bytes());
+        buf.extend_from_slice(&rr.ttl.to_be_bytes());
+        buf.extend_from_slice(&(rr.rdata.len() as u16).to_be_bytes());
+        buf.extend_from_slice(&rr.rdata);
+    }
+    buf
+}
+
+fn read_name(bytes: &[u8], mut pos: usize) -> Result<(String, usize), PacketError> {
+    let mut name = String::new();
+    loop {
+        let len = *bytes.get(pos).ok_or(PacketError::Truncated {
+            what: "DNS name",
+            need: pos + 1,
+            have: bytes.len(),
+        })?;
+        pos += 1;
+        if len == 0 {
+            break;
+        }
+        if len & 0xC0 != 0 {
+            return Err(PacketError::Malformed {
+                what: "DNS name compression unsupported",
+            });
+        }
+        let end = pos + usize::from(len);
+        let label = bytes.get(pos..end).ok_or(PacketError::Truncated {
+            what: "DNS label",
+            need: end,
+            have: bytes.len(),
+        })?;
+        if !name.is_empty() {
+            name.push('.');
+        }
+        name.push_str(&String::from_utf8_lossy(label));
+        pos = end;
+    }
+    Ok((name, pos))
+}
+
+/// Parse a DNS message (uncompressed names only, as LACeS emits).
+pub fn parse(bytes: &[u8]) -> Result<DnsMessage, PacketError> {
+    if bytes.len() < 12 {
+        return Err(PacketError::Truncated {
+            what: "DNS header",
+            need: 12,
+            have: bytes.len(),
+        });
+    }
+    let id = u16::from_be_bytes(bytes[0..2].try_into().unwrap());
+    let flags = u16::from_be_bytes(bytes[2..4].try_into().unwrap());
+    let qdcount = u16::from_be_bytes(bytes[4..6].try_into().unwrap());
+    let ancount = u16::from_be_bytes(bytes[6..8].try_into().unwrap());
+    let mut pos = 12;
+    let mut questions = Vec::with_capacity(qdcount.into());
+    for _ in 0..qdcount {
+        let (qname, p) = read_name(bytes, pos)?;
+        pos = p;
+        let rest = bytes.get(pos..pos + 4).ok_or(PacketError::Truncated {
+            what: "DNS question",
+            need: pos + 4,
+            have: bytes.len(),
+        })?;
+        questions.push(Question {
+            qname,
+            qtype: u16::from_be_bytes(rest[0..2].try_into().unwrap()),
+            qclass: u16::from_be_bytes(rest[2..4].try_into().unwrap()),
+        });
+        pos += 4;
+    }
+    let mut answers = Vec::with_capacity(ancount.into());
+    for _ in 0..ancount {
+        let (name, p) = read_name(bytes, pos)?;
+        pos = p;
+        let fixed = bytes.get(pos..pos + 10).ok_or(PacketError::Truncated {
+            what: "DNS RR",
+            need: pos + 10,
+            have: bytes.len(),
+        })?;
+        let rtype = u16::from_be_bytes(fixed[0..2].try_into().unwrap());
+        let rclass = u16::from_be_bytes(fixed[2..4].try_into().unwrap());
+        let ttl = u32::from_be_bytes(fixed[4..8].try_into().unwrap());
+        let rdlen = usize::from(u16::from_be_bytes(fixed[8..10].try_into().unwrap()));
+        pos += 10;
+        let rdata = bytes.get(pos..pos + rdlen).ok_or(PacketError::Truncated {
+            what: "DNS rdata",
+            need: pos + rdlen,
+            have: bytes.len(),
+        })?;
+        answers.push(ResourceRecord {
+            name,
+            rtype,
+            rclass,
+            ttl,
+            rdata: rdata.to_vec(),
+        });
+        pos += rdlen;
+    }
+    Ok(DnsMessage {
+        id,
+        is_response: flags & 0x8000 != 0,
+        questions,
+        answers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> ProbeMeta {
+        ProbeMeta {
+            measurement_id: 0xDEADBEEF,
+            worker_id: 31,
+            tx_time_ms: 987_654_321,
+        }
+    }
+
+    #[test]
+    fn qname_roundtrip() {
+        let m = meta();
+        let name = probe_qname(&m);
+        assert!(name.ends_with(PROBE_ZONE));
+        assert_eq!(parse_probe_qname(&name).unwrap(), m);
+    }
+
+    #[test]
+    fn foreign_qname_is_not_ours() {
+        assert!(matches!(
+            parse_probe_qname("www.example.com"),
+            Err(PacketError::NotOurs)
+        ));
+        assert!(matches!(
+            parse_probe_qname(&format!("x123.{PROBE_ZONE}")),
+            Err(PacketError::NotOurs)
+        ));
+    }
+
+    #[test]
+    fn bad_hex_is_malformed() {
+        let name = format!("p{}.{}", "zz".repeat(14), PROBE_ZONE);
+        assert!(matches!(
+            parse_probe_qname(&name),
+            Err(PacketError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn a_query_roundtrip() {
+        let m = meta();
+        let bytes = build_probe_query(&m, TYPE_A);
+        let msg = parse(&bytes).unwrap();
+        assert!(!msg.is_response);
+        assert_eq!(msg.id, 31);
+        let q = msg.question().unwrap();
+        assert_eq!(q.qtype, TYPE_A);
+        assert_eq!(q.qclass, CLASS_IN);
+        assert_eq!(parse_probe_qname(&q.qname).unwrap(), m);
+    }
+
+    #[test]
+    fn response_echoes_question_and_id() {
+        let query = parse(&build_probe_query(&meta(), TYPE_A)).unwrap();
+        let resp_bytes =
+            build_response(&query, Some(DnsAnswerData::A(Ipv4Addr::new(192, 0, 2, 1))));
+        let resp = parse(&resp_bytes).unwrap();
+        assert!(resp.is_response);
+        assert_eq!(resp.id, query.id);
+        assert_eq!(resp.question().unwrap(), query.question().unwrap());
+        assert_eq!(resp.answers.len(), 1);
+        assert_eq!(resp.answers[0].rdata, vec![192, 0, 2, 1]);
+    }
+
+    #[test]
+    fn aaaa_response_carries_16_bytes() {
+        let m = meta();
+        let query = parse(&build_probe_query(&m, TYPE_AAAA)).unwrap();
+        let addr: Ipv6Addr = "2001:db8::42".parse().unwrap();
+        let resp = parse(&build_response(&query, Some(DnsAnswerData::Aaaa(addr)))).unwrap();
+        assert_eq!(resp.answers[0].rdata, addr.octets().to_vec());
+    }
+
+    #[test]
+    fn chaos_query_and_identity_response() {
+        let bytes = build_chaos_query(7);
+        let query = parse(&bytes).unwrap();
+        assert_eq!(query.id, 7);
+        let q = query.question().unwrap();
+        assert_eq!(q.qname, CHAOS_QNAME);
+        assert_eq!(q.qclass, CLASS_CH);
+        assert_eq!(q.qtype, TYPE_TXT);
+
+        let resp = parse(&build_response(
+            &query,
+            Some(DnsAnswerData::Txt("site-ams01".into())),
+        ))
+        .unwrap();
+        assert_eq!(resp.id, 7);
+        assert_eq!(
+            resp.answers[0].txt_strings(),
+            vec!["site-ams01".to_string()]
+        );
+    }
+
+    #[test]
+    fn empty_response_for_unresponsive_name() {
+        let query = parse(&build_probe_query(&meta(), TYPE_A)).unwrap();
+        let resp = parse(&build_response(&query, None)).unwrap();
+        assert!(resp.is_response);
+        assert!(resp.answers.is_empty());
+    }
+
+    #[test]
+    fn truncated_messages_error() {
+        assert!(matches!(
+            parse(&[0, 1, 2]),
+            Err(PacketError::Truncated { .. })
+        ));
+        let bytes = build_probe_query(&meta(), TYPE_A);
+        assert!(parse(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn txt_strings_handles_multiple_strings() {
+        let rr = ResourceRecord {
+            name: "x".into(),
+            rtype: TYPE_TXT,
+            rclass: CLASS_CH,
+            ttl: 0,
+            rdata: vec![2, b'a', b'b', 1, b'c'],
+        };
+        assert_eq!(rr.txt_strings(), vec!["ab".to_string(), "c".to_string()]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Wire formats for LACeS probes and replies.
+//!
+//! The LACeS measurement methodology identifies, for every response captured
+//! at any worker, *which worker sent the probe that elicited it* and *when*.
+//! This is achieved by encoding metadata in protocol fields that targets echo
+//! back verbatim:
+//!
+//! * **ICMP** — the echo-request payload (echoed in the echo reply),
+//! * **UDP/DNS** — the query name (echoed in the response's question
+//!   section),
+//! * **TCP** — the acknowledgement number of the SYN/ACK probe (echoed as
+//!   the sequence number of the RST the target sends in reply).
+//!
+//! This crate implements full encode/decode for all of these, including
+//! Internet checksums, so the simulated wire carries real bytes and the
+//! worker-side capture path parses real packets.
+//!
+//! It also defines the census keyspace: [`Prefix24`] and [`Prefix48`], the
+//! smallest prefix granularities generally propagated by BGP, at which the
+//! census probes and reports.
+
+pub mod addr;
+pub mod checksum;
+pub mod dns;
+pub mod icmp;
+pub mod probe;
+pub mod tcp;
+pub mod udp;
+
+pub use addr::{Cidr4, Prefix24, Prefix48, PrefixKey};
+pub use probe::{IpVersion, Packet, ProbeEncoding, ProbeMeta, Protocol, ReplyInfo};
+
+/// Errors produced when parsing packets off the (simulated) wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// The buffer is shorter than the fixed header requires.
+    Truncated {
+        /// What was being parsed.
+        what: &'static str,
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A checksum failed verification.
+    BadChecksum {
+        /// Which protocol's checksum failed.
+        what: &'static str,
+    },
+    /// A field held a value we do not understand.
+    Malformed {
+        /// Description of the problem.
+        what: &'static str,
+    },
+    /// The packet parsed but does not belong to our measurement.
+    NotOurs,
+}
+
+impl std::fmt::Display for PacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PacketError::Truncated { what, need, have } => {
+                write!(f, "truncated {what}: need {need} bytes, have {have}")
+            }
+            PacketError::BadChecksum { what } => write!(f, "bad {what} checksum"),
+            PacketError::Malformed { what } => write!(f, "malformed packet: {what}"),
+            PacketError::NotOurs => write!(f, "packet does not belong to this measurement"),
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}

@@ -1,0 +1,492 @@
+//! Unified probe construction, target-side reply synthesis, and worker-side
+//! reply attribution across all supported protocols.
+
+use std::net::IpAddr;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::{dns, icmp, tcp, udp, PacketError};
+
+/// Probing protocols supported by LACeS (paper §4.1.3, R4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Protocol {
+    /// ICMP echo (ping).
+    Icmp,
+    /// TCP SYN/ACK to a high port, eliciting a stateless RST.
+    Tcp,
+    /// UDP/DNS A (v4) or AAAA (v6) query.
+    Udp,
+    /// UDP/DNS CHAOS-class TXT `hostname.bind` query (RFC 4892).
+    Chaos,
+}
+
+impl Protocol {
+    /// All census protocols (excludes CHAOS, which is a validation aid).
+    pub const CENSUS: [Protocol; 3] = [Protocol::Icmp, Protocol::Tcp, Protocol::Udp];
+
+    /// Short name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Icmp => "ICMP",
+            Protocol::Tcp => "TCP",
+            Protocol::Udp => "UDP",
+            Protocol::Chaos => "CHAOS",
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// IP version of a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IpVersion {
+    /// IPv4 (census granularity /24).
+    V4,
+    /// IPv6 (census granularity /48).
+    V6,
+}
+
+impl IpVersion {
+    /// The version of a concrete address.
+    pub fn of(addr: IpAddr) -> Self {
+        if addr.is_ipv4() {
+            IpVersion::V4
+        } else {
+            IpVersion::V6
+        }
+    }
+
+    /// Protocol label as used in the paper ("ICMPv4", "TCPv6", ...).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            IpVersion::V4 => "v4",
+            IpVersion::V6 => "v6",
+        }
+    }
+}
+
+/// Metadata attached to every probe so that replies can be attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeMeta {
+    /// Identifies the measurement run; replies from other runs are discarded.
+    pub measurement_id: u32,
+    /// The worker that transmitted the probe.
+    pub worker_id: u16,
+    /// Virtual transmit time in milliseconds since measurement epoch.
+    pub tx_time_ms: u64,
+}
+
+/// How probe packets vary across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeEncoding {
+    /// Regular operation: payload/qname/ack vary per worker and instant.
+    PerWorker,
+    /// §5.1.4 load-balancer experiment: all workers send byte-identical
+    /// probes (ICMP only; worker attribution is then impossible by design).
+    Static,
+}
+
+/// A packet on the simulated wire: addresses plus serialized transport bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Source address.
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// Transport protocol of `bytes`.
+    pub protocol: Protocol,
+    /// Serialized transport message (ICMP message, TCP segment, or UDP
+    /// datagram including its DNS payload).
+    pub bytes: Bytes,
+}
+
+/// What a worker learns from a captured, validated reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyInfo {
+    /// Protocol the reply arrived over.
+    pub protocol: Protocol,
+    /// The worker that sent the eliciting probe, when recoverable
+    /// (`None` under [`ProbeEncoding::Static`]).
+    pub tx_worker: Option<u16>,
+    /// Transmit time of the eliciting probe, when recoverable. For TCP this
+    /// is reconstructed from the 26-bit truncated echo.
+    pub tx_time_ms: Option<u64>,
+    /// CHAOS identity string, for [`Protocol::Chaos`] replies with data.
+    pub chaos_identity: Option<String>,
+}
+
+/// Build a probe packet for any protocol.
+///
+/// For [`Protocol::Udp`] the query type follows the destination's address
+/// family (A for IPv4, AAAA for IPv6).
+pub fn build_probe(
+    src: IpAddr,
+    dst: IpAddr,
+    protocol: Protocol,
+    meta: &ProbeMeta,
+    encoding: ProbeEncoding,
+) -> Packet {
+    let bytes = match protocol {
+        Protocol::Icmp => icmp::build_echo_request(src, dst, meta, encoding),
+        Protocol::Tcp => tcp::build_probe(src, dst, meta),
+        Protocol::Udp => {
+            let qtype = if dst.is_ipv4() {
+                dns::TYPE_A
+            } else {
+                dns::TYPE_AAAA
+            };
+            let query = dns::build_probe_query(meta, qtype);
+            udp::build(
+                src,
+                dst,
+                tcp::probe_src_port(meta.measurement_id),
+                udp::DNS_PORT,
+                &query,
+            )
+        }
+        Protocol::Chaos => {
+            let query = dns::build_chaos_query(meta.worker_id);
+            udp::build(
+                src,
+                dst,
+                tcp::probe_src_port(meta.measurement_id),
+                udp::DNS_PORT,
+                &query,
+            )
+        }
+    };
+    Packet {
+        src,
+        dst,
+        protocol,
+        bytes: Bytes::from(bytes),
+    }
+}
+
+/// Synthesize the reply a responsive target produces for `probe`.
+///
+/// `chaos_identity` is the site-identity TXT value a DNS server at the
+/// responding site would disclose; it is only consulted for CHAOS probes.
+/// Returns an error when the probe bytes do not parse (a real host would
+/// silently drop such a packet).
+pub fn build_reply(probe: &Packet, chaos_identity: Option<&str>) -> Result<Packet, PacketError> {
+    let bytes = match probe.protocol {
+        Protocol::Icmp => {
+            let req = icmp::parse(probe.src, probe.dst, &probe.bytes)?;
+            if !req.is_request() {
+                return Err(PacketError::Malformed {
+                    what: "ICMP reply to a non-request",
+                });
+            }
+            icmp::build_echo_reply(probe.src, probe.dst, &req)
+        }
+        Protocol::Tcp => {
+            let seg = tcp::parse(probe.src, probe.dst, &probe.bytes)?;
+            if !seg.is_syn_ack() {
+                return Err(PacketError::Malformed {
+                    what: "TCP reply to a non-SYN/ACK",
+                });
+            }
+            tcp::build_rst_reply(probe.src, probe.dst, &seg)
+        }
+        Protocol::Udp | Protocol::Chaos => {
+            let dgram = udp::parse(probe.src, probe.dst, &probe.bytes)?;
+            let query = dns::parse(&dgram.payload)?;
+            let q = query.question().ok_or(PacketError::Malformed {
+                what: "DNS query without question",
+            })?;
+            let answer = match probe.protocol {
+                Protocol::Udp => match q.qtype {
+                    dns::TYPE_A => Some(dns::DnsAnswerData::A("192.0.2.1".parse().unwrap())),
+                    dns::TYPE_AAAA => {
+                        Some(dns::DnsAnswerData::Aaaa("2001:db8::1".parse().unwrap()))
+                    }
+                    _ => None,
+                },
+                Protocol::Chaos => chaos_identity.map(|s| dns::DnsAnswerData::Txt(s.to_string())),
+                _ => unreachable!(),
+            };
+            let resp = dns::build_response(&query, answer);
+            udp::build(probe.dst, probe.src, dgram.dst_port, dgram.src_port, &resp)
+        }
+    };
+    Ok(Packet {
+        src: probe.dst,
+        dst: probe.src,
+        protocol: probe.protocol,
+        bytes: Bytes::from(bytes),
+    })
+}
+
+/// Validate a captured reply and attribute it to the probe that elicited it.
+///
+/// `rx_time_ms` is the capture time, needed to reconstruct TCP's truncated
+/// timestamp. Replies from other measurements yield [`PacketError::NotOurs`].
+pub fn parse_reply(
+    reply: &Packet,
+    measurement_id: u32,
+    rx_time_ms: u64,
+) -> Result<ReplyInfo, PacketError> {
+    match reply.protocol {
+        Protocol::Icmp => {
+            let msg = icmp::parse(reply.src, reply.dst, &reply.bytes)?;
+            if !msg.is_reply() {
+                return Err(PacketError::NotOurs);
+            }
+            if msg.ident != icmp::ECHO_IDENT {
+                return Err(PacketError::NotOurs);
+            }
+            let (mid, worker, tx) = icmp::decode_payload(&msg.payload)?;
+            if mid != measurement_id {
+                return Err(PacketError::NotOurs);
+            }
+            Ok(ReplyInfo {
+                protocol: Protocol::Icmp,
+                tx_worker: worker,
+                tx_time_ms: tx,
+                chaos_identity: None,
+            })
+        }
+        Protocol::Tcp => {
+            let seg = tcp::parse(reply.src, reply.dst, &reply.bytes)?;
+            if !seg.is_rst() {
+                return Err(PacketError::NotOurs);
+            }
+            if !tcp::port_matches(seg.dst_port, measurement_id)
+                || seg.src_port != tcp::PROBE_DST_PORT
+            {
+                return Err(PacketError::NotOurs);
+            }
+            let (worker, truncated) = tcp::decode_ack(seg.seq);
+            Ok(ReplyInfo {
+                protocol: Protocol::Tcp,
+                tx_worker: Some(worker),
+                tx_time_ms: Some(tcp::reconstruct_time(truncated, rx_time_ms)),
+                chaos_identity: None,
+            })
+        }
+        Protocol::Udp => {
+            let dgram = udp::parse(reply.src, reply.dst, &reply.bytes)?;
+            if !tcp::port_matches(dgram.dst_port, measurement_id) {
+                return Err(PacketError::NotOurs);
+            }
+            let msg = dns::parse(&dgram.payload)?;
+            if !msg.is_response {
+                return Err(PacketError::NotOurs);
+            }
+            let q = msg.question().ok_or(PacketError::NotOurs)?;
+            let meta = dns::parse_probe_qname(&q.qname)?;
+            if meta.measurement_id != measurement_id {
+                return Err(PacketError::NotOurs);
+            }
+            Ok(ReplyInfo {
+                protocol: Protocol::Udp,
+                tx_worker: Some(meta.worker_id),
+                tx_time_ms: Some(meta.tx_time_ms),
+                chaos_identity: None,
+            })
+        }
+        Protocol::Chaos => {
+            let dgram = udp::parse(reply.src, reply.dst, &reply.bytes)?;
+            if !tcp::port_matches(dgram.dst_port, measurement_id) {
+                return Err(PacketError::NotOurs);
+            }
+            let msg = dns::parse(&dgram.payload)?;
+            if !msg.is_response {
+                return Err(PacketError::NotOurs);
+            }
+            let identity = msg
+                .answers
+                .iter()
+                .find(|rr| rr.rtype == dns::TYPE_TXT)
+                .and_then(|rr| rr.txt_strings().into_iter().next());
+            Ok(ReplyInfo {
+                protocol: Protocol::Chaos,
+                tx_worker: Some(msg.id),
+                tx_time_ms: None,
+                chaos_identity: identity,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MID: u32 = 314;
+
+    fn meta(worker: u16, t: u64) -> ProbeMeta {
+        ProbeMeta {
+            measurement_id: MID,
+            worker_id: worker,
+            tx_time_ms: t,
+        }
+    }
+
+    fn v4() -> (IpAddr, IpAddr) {
+        (
+            "192.0.2.10".parse().unwrap(),
+            "198.51.100.20".parse().unwrap(),
+        )
+    }
+
+    fn v6() -> (IpAddr, IpAddr) {
+        (
+            "2001:db8:1::1".parse().unwrap(),
+            "2001:db8:2::2".parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn full_cycle_icmp_v4_and_v6() {
+        for (src, dst) in [v4(), v6()] {
+            let probe = build_probe(
+                src,
+                dst,
+                Protocol::Icmp,
+                &meta(5, 1000),
+                ProbeEncoding::PerWorker,
+            );
+            let reply = build_reply(&probe, None).unwrap();
+            assert_eq!(reply.src, dst);
+            assert_eq!(reply.dst, src);
+            let info = parse_reply(&reply, MID, 1050).unwrap();
+            assert_eq!(info.tx_worker, Some(5));
+            assert_eq!(info.tx_time_ms, Some(1000));
+        }
+    }
+
+    #[test]
+    fn full_cycle_tcp() {
+        for (src, dst) in [v4(), v6()] {
+            let probe = build_probe(
+                src,
+                dst,
+                Protocol::Tcp,
+                &meta(9, 123_456),
+                ProbeEncoding::PerWorker,
+            );
+            let reply = build_reply(&probe, None).unwrap();
+            let info = parse_reply(&reply, MID, 123_500).unwrap();
+            assert_eq!(info.tx_worker, Some(9));
+            assert_eq!(info.tx_time_ms, Some(123_456));
+        }
+    }
+
+    #[test]
+    fn full_cycle_udp_dns() {
+        for (src, dst) in [v4(), v6()] {
+            let probe = build_probe(
+                src,
+                dst,
+                Protocol::Udp,
+                &meta(2, 42),
+                ProbeEncoding::PerWorker,
+            );
+            let reply = build_reply(&probe, None).unwrap();
+            let info = parse_reply(&reply, MID, 99).unwrap();
+            assert_eq!(info.tx_worker, Some(2));
+            assert_eq!(info.tx_time_ms, Some(42));
+        }
+    }
+
+    #[test]
+    fn full_cycle_chaos_with_identity() {
+        let (src, dst) = v4();
+        let probe = build_probe(
+            src,
+            dst,
+            Protocol::Chaos,
+            &meta(11, 0),
+            ProbeEncoding::PerWorker,
+        );
+        let reply = build_reply(&probe, Some("ams1.ns.example")).unwrap();
+        let info = parse_reply(&reply, MID, 10).unwrap();
+        assert_eq!(info.tx_worker, Some(11));
+        assert_eq!(info.chaos_identity.as_deref(), Some("ams1.ns.example"));
+    }
+
+    #[test]
+    fn chaos_without_identity_yields_no_string() {
+        let (src, dst) = v4();
+        let probe = build_probe(
+            src,
+            dst,
+            Protocol::Chaos,
+            &meta(1, 0),
+            ProbeEncoding::PerWorker,
+        );
+        let reply = build_reply(&probe, None).unwrap();
+        let info = parse_reply(&reply, MID, 10).unwrap();
+        assert_eq!(info.chaos_identity, None);
+    }
+
+    #[test]
+    fn wrong_measurement_id_is_rejected() {
+        let (src, dst) = v4();
+        for proto in [Protocol::Icmp, Protocol::Tcp, Protocol::Udp] {
+            let probe = build_probe(src, dst, proto, &meta(1, 5), ProbeEncoding::PerWorker);
+            let reply = build_reply(&probe, None).unwrap();
+            assert!(
+                matches!(parse_reply(&reply, MID + 1, 10), Err(PacketError::NotOurs)),
+                "{proto} reply accepted for wrong measurement"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_itself_is_not_a_valid_reply() {
+        let (src, dst) = v4();
+        for proto in [Protocol::Icmp, Protocol::Tcp] {
+            let probe = build_probe(src, dst, proto, &meta(1, 5), ProbeEncoding::PerWorker);
+            assert!(
+                parse_reply(&probe, MID, 10).is_err(),
+                "{proto} probe parsed as reply"
+            );
+        }
+    }
+
+    #[test]
+    fn static_encoding_loses_attribution_but_keeps_measurement() {
+        let (src, dst) = v4();
+        let probe = build_probe(
+            src,
+            dst,
+            Protocol::Icmp,
+            &meta(7, 999),
+            ProbeEncoding::Static,
+        );
+        let reply = build_reply(&probe, None).unwrap();
+        let info = parse_reply(&reply, MID, 1000).unwrap();
+        assert_eq!(info.tx_worker, None);
+        assert_eq!(info.tx_time_ms, None);
+    }
+
+    #[test]
+    fn udp_probe_uses_aaaa_for_v6() {
+        let (src, dst) = v6();
+        let probe = build_probe(
+            src,
+            dst,
+            Protocol::Udp,
+            &meta(1, 1),
+            ProbeEncoding::PerWorker,
+        );
+        let dgram = udp::parse(src, dst, &probe.bytes).unwrap();
+        let msg = dns::parse(&dgram.payload).unwrap();
+        assert_eq!(msg.question().unwrap().qtype, dns::TYPE_AAAA);
+    }
+
+    #[test]
+    fn protocol_names_match_paper() {
+        assert_eq!(Protocol::Icmp.to_string(), "ICMP");
+        assert_eq!(Protocol::Udp.name(), "UDP");
+        assert_eq!(Protocol::CENSUS.len(), 3);
+    }
+}

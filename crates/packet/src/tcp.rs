@@ -1,0 +1,304 @@
+//! TCP SYN/ACK probes and the RST replies they elicit.
+//!
+//! LACeS probes TCP responsiveness *responsibly*: it sends a SYN/ACK segment
+//! to a high port. A host with no matching connection replies with RST, and —
+//! crucially — creates no state (§4.1.3, R3). Per RFC 793, the RST's sequence
+//! number equals the acknowledgement number of the offending segment, so the
+//! probe metadata is encoded in the 32-bit acknowledgement number:
+//!
+//! ```text
+//!   bits 31..26  worker id        (6 bits, up to 64 workers)
+//!   bits 25..0   tx time, ms mod 2^26  (~18.6 h wrap)
+//! ```
+//!
+//! The measurement id is carried in the source port (echoed as the RST's
+//! destination port): `BASE_PORT + measurement_id % PORT_SPAN`.
+
+use std::net::IpAddr;
+
+use crate::checksum;
+use crate::probe::ProbeMeta;
+use crate::PacketError;
+
+/// Flag bit: SYN.
+pub const FLAG_SYN: u8 = 0x02;
+/// Flag bit: ACK.
+pub const FLAG_ACK: u8 = 0x10;
+/// Flag bit: RST.
+pub const FLAG_RST: u8 = 0x04;
+
+/// High destination port probed (unlikely to host a listener).
+pub const PROBE_DST_PORT: u16 = 62_853;
+/// Base of the source-port range that encodes the measurement id.
+pub const BASE_PORT: u16 = 50_000;
+/// Size of the source-port range.
+pub const PORT_SPAN: u16 = 10_000;
+
+const WORKER_BITS: u32 = 6;
+const TIME_BITS: u32 = 26;
+const TIME_MASK: u32 = (1 << TIME_BITS) - 1;
+
+/// Maximum worker id representable in the acknowledgement-number encoding.
+pub const MAX_TCP_WORKER_ID: u16 = (1 << WORKER_BITS) - 1;
+
+/// A parsed TCP segment (options-free, as LACeS sends and receives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpSegment {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag byte (low 8 flag bits).
+    pub flags: u8,
+    /// Advertised window.
+    pub window: u16,
+}
+
+impl TcpSegment {
+    /// Whether this segment is a SYN/ACK.
+    pub fn is_syn_ack(&self) -> bool {
+        self.flags & (FLAG_SYN | FLAG_ACK) == (FLAG_SYN | FLAG_ACK) && self.flags & FLAG_RST == 0
+    }
+
+    /// Whether this segment is an RST.
+    pub fn is_rst(&self) -> bool {
+        self.flags & FLAG_RST != 0
+    }
+}
+
+/// Pack probe metadata into the 32-bit acknowledgement number.
+pub fn encode_ack(meta: &ProbeMeta) -> u32 {
+    let worker = u32::from(meta.worker_id & u16::from(MAX_TCP_WORKER_ID));
+    let time = (meta.tx_time_ms as u32) & TIME_MASK;
+    (worker << TIME_BITS) | time
+}
+
+/// Unpack `(worker_id, tx_time_ms mod 2^26)` from an acknowledgement number.
+pub fn decode_ack(ack: u32) -> (u16, u64) {
+    let worker = (ack >> TIME_BITS) as u16;
+    let time = u64::from(ack & TIME_MASK);
+    (worker, time)
+}
+
+/// Reconstruct a full timestamp from the 26-bit truncated value, given a
+/// receive time that is guaranteed to be *at or after* transmission and
+/// within one wrap period (~18.6 h) of it.
+pub fn reconstruct_time(truncated: u64, rx_time_ms: u64) -> u64 {
+    let period = 1u64 << TIME_BITS;
+    let base = rx_time_ms & !(period - 1);
+    let candidate = base | truncated;
+    if candidate > rx_time_ms {
+        candidate.saturating_sub(period)
+    } else {
+        candidate
+    }
+}
+
+/// The source port encoding `measurement_id`.
+pub fn probe_src_port(measurement_id: u32) -> u16 {
+    BASE_PORT + (measurement_id % u32::from(PORT_SPAN)) as u16
+}
+
+/// Whether `port` matches the encoding of `measurement_id`.
+pub fn port_matches(port: u16, measurement_id: u32) -> bool {
+    port == probe_src_port(measurement_id)
+}
+
+/// Build a SYN/ACK probe segment.
+pub fn build_probe(src: IpAddr, dst: IpAddr, meta: &ProbeMeta) -> Vec<u8> {
+    serialize(
+        src,
+        dst,
+        &TcpSegment {
+            src_port: probe_src_port(meta.measurement_id),
+            dst_port: PROBE_DST_PORT,
+            // An arbitrary but deterministic sequence number.
+            seq: meta.measurement_id.wrapping_mul(0x9E37_79B9),
+            ack: encode_ack(meta),
+            flags: FLAG_SYN | FLAG_ACK,
+            window: 0,
+        },
+    )
+}
+
+/// Build the RST a closed port sends in reply to a SYN/ACK, per RFC 793:
+/// `seq = incoming.ack`, ports swapped, no ACK.
+pub fn build_rst_reply(req_src: IpAddr, req_dst: IpAddr, probe: &TcpSegment) -> Vec<u8> {
+    serialize(
+        req_dst,
+        req_src,
+        &TcpSegment {
+            src_port: probe.dst_port,
+            dst_port: probe.src_port,
+            seq: probe.ack,
+            ack: 0,
+            flags: FLAG_RST,
+            window: 0,
+        },
+    )
+}
+
+fn serialize(src: IpAddr, dst: IpAddr, seg: &TcpSegment) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(20);
+    buf.extend_from_slice(&seg.src_port.to_be_bytes());
+    buf.extend_from_slice(&seg.dst_port.to_be_bytes());
+    buf.extend_from_slice(&seg.seq.to_be_bytes());
+    buf.extend_from_slice(&seg.ack.to_be_bytes());
+    buf.push(5 << 4); // data offset: 5 words, no options
+    buf.push(seg.flags);
+    buf.extend_from_slice(&seg.window.to_be_bytes());
+    buf.extend_from_slice(&[0, 0]); // checksum placeholder
+    buf.extend_from_slice(&[0, 0]); // urgent pointer
+    let ck = checksum::pseudo_header_checksum(src, dst, 6, &buf);
+    buf[16..18].copy_from_slice(&ck.to_be_bytes());
+    buf
+}
+
+/// Parse and checksum-verify a TCP segment.
+pub fn parse(src: IpAddr, dst: IpAddr, bytes: &[u8]) -> Result<TcpSegment, PacketError> {
+    if bytes.len() < 20 {
+        return Err(PacketError::Truncated {
+            what: "TCP header",
+            need: 20,
+            have: bytes.len(),
+        });
+    }
+    if checksum::pseudo_header_checksum(src, dst, 6, bytes) != 0 {
+        return Err(PacketError::BadChecksum { what: "TCP" });
+    }
+    let data_offset = bytes[12] >> 4;
+    if data_offset < 5 {
+        return Err(PacketError::Malformed {
+            what: "TCP data offset < 5",
+        });
+    }
+    Ok(TcpSegment {
+        src_port: u16::from_be_bytes(bytes[0..2].try_into().unwrap()),
+        dst_port: u16::from_be_bytes(bytes[2..4].try_into().unwrap()),
+        seq: u32::from_be_bytes(bytes[4..8].try_into().unwrap()),
+        ack: u32::from_be_bytes(bytes[8..12].try_into().unwrap()),
+        flags: bytes[13],
+        window: u16::from_be_bytes(bytes[14..16].try_into().unwrap()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "192.0.2.1";
+    const DST: &str = "203.0.113.9";
+
+    fn meta() -> ProbeMeta {
+        ProbeMeta {
+            measurement_id: 77,
+            worker_id: 29,
+            tx_time_ms: 5_000_123,
+        }
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let m = meta();
+        let (w, t) = decode_ack(encode_ack(&m));
+        assert_eq!(w, 29);
+        assert_eq!(t, 5_000_123 & u64::from(TIME_MASK));
+    }
+
+    #[test]
+    fn probe_is_syn_ack_to_high_port() {
+        let src: IpAddr = SRC.parse().unwrap();
+        let dst: IpAddr = DST.parse().unwrap();
+        let seg = parse(src, dst, &build_probe(src, dst, &meta())).unwrap();
+        assert!(seg.is_syn_ack());
+        assert!(!seg.is_rst());
+        assert_eq!(seg.dst_port, PROBE_DST_PORT);
+        assert_eq!(seg.src_port, probe_src_port(77));
+    }
+
+    #[test]
+    fn rst_reply_echoes_ack_as_seq() {
+        let src: IpAddr = SRC.parse().unwrap();
+        let dst: IpAddr = DST.parse().unwrap();
+        let probe = parse(src, dst, &build_probe(src, dst, &meta())).unwrap();
+        let rst_bytes = build_rst_reply(src, dst, &probe);
+        let rst = parse(dst, src, &rst_bytes).unwrap();
+        assert!(rst.is_rst());
+        assert_eq!(rst.seq, probe.ack);
+        assert_eq!(rst.dst_port, probe.src_port);
+        assert_eq!(rst.src_port, probe.dst_port);
+        let (w, t) = decode_ack(rst.seq);
+        assert_eq!(w, 29);
+        assert_eq!(reconstruct_time(t, 5_000_200), 5_000_123);
+    }
+
+    #[test]
+    fn reconstruct_time_across_wrap() {
+        let period = 1u64 << 26;
+        // Sent just before a wrap boundary, received just after.
+        let tx = period - 10;
+        let truncated = tx & (period - 1);
+        assert_eq!(reconstruct_time(truncated, period + 5), tx);
+        // Sent and received within the same period.
+        assert_eq!(reconstruct_time(1234, 2000), 1234);
+    }
+
+    #[test]
+    fn port_encodes_measurement() {
+        assert!(port_matches(probe_src_port(3), 3));
+        assert!(!port_matches(probe_src_port(3), 4));
+        assert!(probe_src_port(u32::MAX) >= BASE_PORT);
+    }
+
+    #[test]
+    fn v6_segments_checksum_with_pseudo_header() {
+        let src: IpAddr = "2001:db8::1".parse().unwrap();
+        let dst: IpAddr = "2001:db8::2".parse().unwrap();
+        let bytes = build_probe(src, dst, &meta());
+        assert!(parse(src, dst, &bytes).is_ok());
+        // A different address (not a swap — the one's-complement sum is
+        // commutative in src/dst) must fail the pseudo-header checksum.
+        let other: IpAddr = "2001:db8:beef::9".parse().unwrap();
+        assert!(matches!(
+            parse(other, dst, &bytes),
+            Err(PacketError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let src: IpAddr = SRC.parse().unwrap();
+        let dst: IpAddr = DST.parse().unwrap();
+        let mut bytes = build_probe(src, dst, &meta());
+        bytes[9] ^= 0x40;
+        assert!(matches!(
+            parse(src, dst, &bytes),
+            Err(PacketError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn short_segment_is_truncated() {
+        let src: IpAddr = SRC.parse().unwrap();
+        let dst: IpAddr = DST.parse().unwrap();
+        assert!(matches!(
+            parse(src, dst, &[0u8; 10]),
+            Err(PacketError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn worker_id_above_six_bits_is_masked() {
+        let m = ProbeMeta {
+            measurement_id: 1,
+            worker_id: 200,
+            tx_time_ms: 7,
+        };
+        let (w, _) = decode_ack(encode_ack(&m));
+        assert_eq!(w, 200 & MAX_TCP_WORKER_ID);
+    }
+}

@@ -1,0 +1,122 @@
+//! UDP datagrams (carrying DNS for the census's UDP probing).
+
+use std::net::IpAddr;
+
+use crate::checksum;
+use crate::PacketError;
+
+/// Well-known DNS port.
+pub const DNS_PORT: u16 = 53;
+
+/// A parsed UDP datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Serialise a UDP datagram with checksum (pseudo-header included; the
+/// checksum is mandatory for IPv6 and we always set it for IPv4 too).
+pub fn build(src: IpAddr, dst: IpAddr, src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
+    let len = 8 + payload.len();
+    let mut buf = Vec::with_capacity(len);
+    buf.extend_from_slice(&src_port.to_be_bytes());
+    buf.extend_from_slice(&dst_port.to_be_bytes());
+    buf.extend_from_slice(&(len as u16).to_be_bytes());
+    buf.extend_from_slice(&[0, 0]); // checksum placeholder
+    buf.extend_from_slice(payload);
+    let mut ck = checksum::pseudo_header_checksum(src, dst, 17, &buf);
+    if ck == 0 {
+        // RFC 768: a computed zero checksum is transmitted as all ones.
+        ck = 0xFFFF;
+    }
+    buf[6..8].copy_from_slice(&ck.to_be_bytes());
+    buf
+}
+
+/// Parse and checksum-verify a UDP datagram.
+pub fn parse(src: IpAddr, dst: IpAddr, bytes: &[u8]) -> Result<UdpDatagram, PacketError> {
+    if bytes.len() < 8 {
+        return Err(PacketError::Truncated {
+            what: "UDP header",
+            need: 8,
+            have: bytes.len(),
+        });
+    }
+    let len = usize::from(u16::from_be_bytes(bytes[4..6].try_into().unwrap()));
+    if len != bytes.len() {
+        return Err(PacketError::Malformed {
+            what: "UDP length mismatch",
+        });
+    }
+    if checksum::pseudo_header_checksum(src, dst, 17, bytes) != 0 {
+        return Err(PacketError::BadChecksum { what: "UDP" });
+    }
+    Ok(UdpDatagram {
+        src_port: u16::from_be_bytes(bytes[0..2].try_into().unwrap()),
+        dst_port: u16::from_be_bytes(bytes[2..4].try_into().unwrap()),
+        payload: bytes[8..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let src: IpAddr = "192.0.2.1".parse().unwrap();
+        let dst: IpAddr = "203.0.113.5".parse().unwrap();
+        let d = parse(src, dst, &build(src, dst, 4444, DNS_PORT, b"hello")).unwrap();
+        assert_eq!(d.src_port, 4444);
+        assert_eq!(d.dst_port, DNS_PORT);
+        assert_eq!(d.payload, b"hello");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let src: IpAddr = "192.0.2.1".parse().unwrap();
+        let dst: IpAddr = "203.0.113.5".parse().unwrap();
+        let mut bytes = build(src, dst, 4444, DNS_PORT, b"hello");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            parse(src, dst, &bytes),
+            Err(PacketError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn length_field_must_match() {
+        let src: IpAddr = "192.0.2.1".parse().unwrap();
+        let dst: IpAddr = "203.0.113.5".parse().unwrap();
+        let mut bytes = build(src, dst, 4444, DNS_PORT, b"hello");
+        bytes.push(0);
+        assert!(matches!(
+            parse(src, dst, &bytes),
+            Err(PacketError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn short_datagram_is_truncated() {
+        let src: IpAddr = "192.0.2.1".parse().unwrap();
+        let dst: IpAddr = "203.0.113.5".parse().unwrap();
+        assert!(matches!(
+            parse(src, dst, &[1, 2, 3]),
+            Err(PacketError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn v6_roundtrip() {
+        let src: IpAddr = "2001:db8::1".parse().unwrap();
+        let dst: IpAddr = "2001:db8::2".parse().unwrap();
+        let d = parse(src, dst, &build(src, dst, 9999, DNS_PORT, b"abc")).unwrap();
+        assert_eq!(d.payload, b"abc");
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests: every (protocol, meta) combination must survive the
+//! full probe -> target reply -> attribution cycle, and parsers must never
+//! panic on arbitrary bytes.
+
+use std::net::IpAddr;
+
+use laces_packet::probe::{
+    build_probe, build_reply, parse_reply, ProbeEncoding, ProbeMeta, Protocol,
+};
+use laces_packet::tcp::MAX_TCP_WORKER_ID;
+use laces_packet::{dns, icmp, tcp as tcp_mod, udp, Prefix24, Prefix48};
+use proptest::prelude::*;
+
+fn proto_strategy() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::Icmp),
+        Just(Protocol::Tcp),
+        Just(Protocol::Udp),
+        Just(Protocol::Chaos),
+    ]
+}
+
+fn addr4() -> impl Strategy<Value = IpAddr> {
+    any::<u32>().prop_map(|v| IpAddr::V4(std::net::Ipv4Addr::from(v)))
+}
+
+fn addr6() -> impl Strategy<Value = IpAddr> {
+    any::<u128>().prop_map(|v| IpAddr::V6(std::net::Ipv6Addr::from(v)))
+}
+
+proptest! {
+    #[test]
+    fn probe_reply_attribution_roundtrip_v4(
+        proto in proto_strategy(),
+        src in addr4(), dst in addr4(),
+        mid in any::<u32>(),
+        worker in 0u16..=MAX_TCP_WORKER_ID,
+        // Keep tx within one TCP wrap of rx so reconstruction is exact.
+        tx in 0u64..60_000_000,
+    ) {
+        let meta = ProbeMeta { measurement_id: mid, worker_id: worker, tx_time_ms: tx };
+        let probe = build_probe(src, dst, proto, &meta, ProbeEncoding::PerWorker);
+        let reply = build_reply(&probe, Some("site-x")).unwrap();
+        prop_assert_eq!(reply.src, dst);
+        prop_assert_eq!(reply.dst, src);
+        let info = parse_reply(&reply, mid, tx + 500).unwrap();
+        prop_assert_eq!(info.tx_worker, Some(worker));
+        if proto != Protocol::Chaos {
+            prop_assert_eq!(info.tx_time_ms, Some(tx));
+        }
+    }
+
+    #[test]
+    fn probe_reply_attribution_roundtrip_v6(
+        proto in proto_strategy(),
+        src in addr6(), dst in addr6(),
+        mid in any::<u32>(),
+        worker in 0u16..=MAX_TCP_WORKER_ID,
+        tx in 0u64..60_000_000,
+    ) {
+        let meta = ProbeMeta { measurement_id: mid, worker_id: worker, tx_time_ms: tx };
+        let probe = build_probe(src, dst, proto, &meta, ProbeEncoding::PerWorker);
+        let reply = build_reply(&probe, Some("site-y")).unwrap();
+        let info = parse_reply(&reply, mid, tx + 500).unwrap();
+        prop_assert_eq!(info.tx_worker, Some(worker));
+    }
+
+    #[test]
+    fn parsers_never_panic_on_arbitrary_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+        src in addr4(), dst in addr4(),
+    ) {
+        let _ = icmp::parse(src, dst, &data);
+        let _ = tcp_mod::parse(src, dst, &data);
+        let _ = udp::parse(src, dst, &data);
+        let _ = dns::parse(&data);
+    }
+
+    #[test]
+    fn wrong_measurement_never_attributed(
+        src in addr4(), dst in addr4(),
+        mid in any::<u32>(), other in any::<u32>(),
+        worker in 0u16..=MAX_TCP_WORKER_ID,
+    ) {
+        prop_assume!(mid != other);
+        for proto in [Protocol::Icmp, Protocol::Tcp, Protocol::Udp] {
+            let meta = ProbeMeta { measurement_id: mid, worker_id: worker, tx_time_ms: 1 };
+            let probe = build_probe(src, dst, proto, &meta, ProbeEncoding::PerWorker);
+            let reply = build_reply(&probe, None).unwrap();
+            // TCP's measurement id lives in a port modulo PORT_SPAN; collisions
+            // are possible by construction, so only assert when ports differ.
+            if proto == Protocol::Tcp
+                && laces_packet::tcp::probe_src_port(mid) == laces_packet::tcp::probe_src_port(other)
+            {
+                continue;
+            }
+            prop_assert!(parse_reply(&reply, other, 10).is_err());
+        }
+    }
+
+    #[test]
+    fn prefix24_of_is_idempotent_and_contains(addr in any::<u32>()) {
+        let a = std::net::Ipv4Addr::from(addr);
+        let p = Prefix24::of(a);
+        prop_assert!(p.contains(a));
+        prop_assert_eq!(Prefix24::of(p.addr(0)), p);
+        prop_assert_eq!(Prefix24::of(p.addr(255)), p);
+    }
+
+    #[test]
+    fn prefix48_of_is_idempotent_and_contains(addr in any::<u128>()) {
+        let a = std::net::Ipv6Addr::from(addr);
+        let p = Prefix48::of(a);
+        prop_assert!(p.contains(a));
+        prop_assert_eq!(Prefix48::of(p.addr(0)), p);
+    }
+
+    #[test]
+    fn tcp_time_reconstruction_is_exact_within_wrap(
+        tx in 0u64..100_000_000,
+        delay in 0u64..1_000_000,
+    ) {
+        let truncated = tx & ((1 << 26) - 1);
+        prop_assert_eq!(laces_packet::tcp::reconstruct_time(truncated, tx + delay), tx);
+    }
+}

@@ -1,0 +1,136 @@
+//! Quickstart: one synchronized anycast-based measurement, classified.
+//!
+//! ```text
+//! cargo run --release -p laces-examples --bin quickstart -- [--mid|--paper] [CLI flags]
+//! ```
+//!
+//! Accepts the LACeS CLI flags (`--protocol`, `--offset`, `--rate`,
+//! `--static`, `--platform`, `--day`); run with `--protocol udp` to see the
+//! DNS census, or `--offset 780000` to feel MAnycast²'s pain.
+
+use std::sync::Arc;
+
+use laces_core::classify::AnycastClassification;
+use laces_core::orchestrator::run_measurement;
+use laces_core::spec::MeasurementSpec;
+use laces_core::{cli, Class};
+use laces_packet::IpVersion;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let world = laces_examples::world_from_args(&args);
+    let cli_args: Vec<String> = args
+        .iter()
+        .filter(|a| *a != "--paper" && *a != "--mid")
+        .cloned()
+        .collect();
+    let req = match cli::parse_args(&cli_args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}\n{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+
+    // Resolve the platform by name against the world's registry.
+    let platform = (0..world.platforms.len() as u16)
+        .map(laces_netsim::PlatformId)
+        .find(|&p| world.platform(p).name == req.platform && world.platform(p).is_anycast())
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown anycast platform {:?}; available: {:?}",
+                req.platform,
+                world
+                    .platforms
+                    .iter()
+                    .filter(|p| p.is_anycast())
+                    .map(|p| &p.name)
+                    .collect::<Vec<_>>()
+            );
+            std::process::exit(2);
+        });
+
+    let hitlist = match req.family {
+        IpVersion::V4 => {
+            if req.protocol == laces_packet::Protocol::Udp {
+                laces_hitlist::build_v4_dns(&world)
+            } else {
+                laces_hitlist::build_v4(&world)
+            }
+        }
+        IpVersion::V6 => laces_hitlist::build_v6(&world),
+    };
+    println!(
+        "probing {} {} targets over {} from {} ({} workers, offset {} ms)...",
+        hitlist.len(),
+        req.family.suffix(),
+        req.protocol,
+        world.platform(platform).name,
+        world.platform(platform).n_vps(),
+        req.offset_ms,
+    );
+
+    let spec = MeasurementSpec {
+        id: 42,
+        platform,
+        protocol: req.protocol,
+        targets: Arc::new(hitlist.addresses()),
+        rate_per_s: req.rate_per_s,
+        offset_ms: req.offset_ms,
+        encoding: req.encoding,
+        day: req.day,
+        fail: None,
+        senders: None,
+    };
+    let t0 = std::time::Instant::now();
+    let outcome = run_measurement(&world, &spec);
+    let class = AnycastClassification::from_outcome(&outcome);
+
+    let mut unicast = 0usize;
+    let mut anycast = 0usize;
+    for o in class.observations.values() {
+        if o.rx_workers.len() > 1 {
+            anycast += 1;
+        } else {
+            unicast += 1;
+        }
+    }
+    let unresponsive = outcome.n_targets - class.n_responsive();
+    println!(
+        "done in {:.1?}: {} probes sent, {} replies captured",
+        t0.elapsed(),
+        outcome.probes_sent,
+        outcome.records.len()
+    );
+    println!("  anycast candidates : {anycast}");
+    println!("  unicast            : {unicast}");
+    println!("  unresponsive       : {unresponsive}");
+
+    println!("\ncandidates by receiving-VP count (the confidence signal):");
+    for (n_vps, count) in class.vp_count_histogram() {
+        println!("  {n_vps:>3} VPs: {count}");
+    }
+
+    // Show a couple of high-confidence detections.
+    println!("\nsample high-confidence detections:");
+    let mut shown = 0;
+    for (prefix, o) in &class.observations {
+        if o.rx_workers.len() >= 5 {
+            println!("  {prefix}  seen at {} VPs", o.rx_workers.len());
+            shown += 1;
+            if shown == 5 {
+                break;
+            }
+        }
+    }
+    if shown == 0 {
+        println!("  (none at >=5 VPs — try --paper for the full-scale world)");
+    }
+    // Exercise the Class API for the first candidate.
+    if let Some(p) = class.anycast_targets().first() {
+        match class.class_of(*p) {
+            Class::Anycast { n_vps } => println!("\nfirst candidate {p}: anycast at {n_vps} VPs"),
+            other => println!("\nfirst candidate {p}: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Regional anycast: where each methodology breaks (§5.8's ccTLD cases).
+//!
+//! Regional deployments — a ccTLD's three sites inside one country — are
+//! the hard case for both methodologies: the anycast-based stage misses
+//! them when every site sits in one VP's catchment, and GCD misses them
+//! when the sites are within each other's latency blur. This example runs
+//! both stages against ground truth and reports the failure matrix, which
+//! is exactly why the census publishes both verdicts independently.
+//!
+//! ```text
+//! cargo run --release -p laces-examples --bin regional_anycast -- [--mid|--paper]
+//! ```
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use laces_census::pipeline::{CensusPipeline, PipelineConfig};
+use laces_core::Class;
+use laces_netsim::TargetKind;
+use laces_packet::PrefixKey;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let world = laces_examples::world_from_args(&args);
+
+    let mut pipeline = CensusPipeline::new(Arc::clone(&world), PipelineConfig::icmp_only(&world));
+    let out = pipeline.run_day(0);
+    let gcd_confirmed: BTreeSet<PrefixKey> = out.census.gcd_confirmed().into_iter().collect();
+    let icmp = &out.classifications["ICMPv4"];
+
+    println!(
+        "{:<44} {:>6} {:>8} {:>9} {:>6}",
+        "deployment", "sites", "extent", "anycast?", "GCD?"
+    );
+    let mut both = 0;
+    let mut only_anycast = 0;
+    let mut only_gcd = 0;
+    let mut neither = 0;
+    for (i, dep) in world.deployments.iter().enumerate() {
+        if !dep.regional {
+            continue;
+        }
+        // Geographic extent: max pairwise site distance.
+        let mut extent: f64 = 0.0;
+        for a in &dep.sites {
+            for b in &dep.sites {
+                extent = extent.max(
+                    world
+                        .db
+                        .get(a.city)
+                        .coord
+                        .gcd_km(&world.db.get(b.city).coord),
+                );
+            }
+        }
+        // Find this deployment's ICMP-responsive v4 prefixes.
+        let prefixes: Vec<PrefixKey> = world
+            .targets
+            .iter()
+            .filter(|t| {
+                matches!(t.kind, TargetKind::Anycast { dep: d } if d.0 as usize == i)
+                    && t.resp.icmp
+                    && t.prefix.is_v4()
+            })
+            .map(|t| t.prefix)
+            .collect();
+        if prefixes.is_empty() {
+            continue;
+        }
+        let p = prefixes[0];
+        let detected_anycast = matches!(icmp.class_of(p), Class::Anycast { .. });
+        let detected_gcd = gcd_confirmed.contains(&p);
+        match (detected_anycast, detected_gcd) {
+            (true, true) => both += 1,
+            (true, false) => only_anycast += 1,
+            (false, true) => only_gcd += 1,
+            (false, false) => neither += 1,
+        }
+        println!(
+            "{:<44} {:>6} {:>7.0}km {:>9} {:>6}",
+            dep.operator,
+            dep.n_sites(),
+            extent,
+            if detected_anycast { "yes" } else { "MISS" },
+            if detected_gcd { "yes" } else { "MISS" },
+        );
+    }
+
+    println!("\nfailure matrix over regional deployments:");
+    println!("  detected by both          : {both}");
+    println!(
+        "  anycast-based only        : {only_anycast}  (GCD blind: sites within latency blur)"
+    );
+    println!("  GCD only                  : {only_gcd}  (anycast-based blind: one VP catchment)");
+    println!("  missed by both            : {neither}");
+    println!(
+        "\nthe combined census (union + AT feedback) covers {} of {} regional deployments",
+        both + only_anycast + only_gcd,
+        both + only_anycast + only_gcd + neither
+    );
+}

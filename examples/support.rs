@@ -1,0 +1,25 @@
+//! Shared helpers for the example binaries.
+
+use std::sync::Arc;
+
+use laces_netsim::{World, WorldConfig};
+
+/// Resolve the world scale from command-line arguments: `--paper` selects
+/// the full paper-calibrated world (minutes of runtime), `--mid` a
+/// mid-size one, anything else the seconds-scale test world.
+pub fn world_from_args(args: &[String]) -> Arc<World> {
+    let cfg = if args.iter().any(|a| a == "--paper") {
+        eprintln!("generating the paper-scale world (~400k prefixes, this takes a few seconds)...");
+        WorldConfig::paper()
+    } else if args.iter().any(|a| a == "--mid") {
+        WorldConfig::paper_topology_tiny_targets()
+    } else {
+        WorldConfig::tiny()
+    };
+    Arc::new(World::generate(cfg))
+}
+
+/// Representative probe addresses for all IPv4 prefixes of a world.
+pub fn v4_hitlist(world: &World) -> Vec<std::net::IpAddr> {
+    laces_hitlist::build_v4(world).addresses()
+}

@@ -1,0 +1,152 @@
+//! Integration: the §6 future-work extensions working together — BGP feed
+//! triggers, longitudinal hijack detection, canary outage monitoring, and
+//! the census store.
+
+use std::sync::Arc;
+
+use laces_census::hijack::{detect_hijacks, DayEvidence};
+use laces_census::pipeline::{CensusPipeline, PipelineConfig};
+use laces_census::store::{CensusQuery, CensusStore};
+use laces_census::trigger::{run_triggered_verification, TriggerVerdict};
+use laces_netsim::{World, WorldConfig};
+use laces_packet::PrefixKey;
+
+fn world() -> Arc<World> {
+    Arc::new(World::generate(WorldConfig::tiny()))
+}
+
+#[test]
+fn hijack_found_by_both_trigger_and_longitudinal_paths() {
+    let w = world();
+    // Ground truth: the first hijack whose victim answers ICMP.
+    let (victim, hijack) = w
+        .targets
+        .iter()
+        .filter_map(|t| t.hijack.map(|h| (t.prefix, h)))
+        .next()
+        .expect("tiny world plants hijacks");
+    let day = hijack.day;
+
+    // Path 1: the BGP feed trigger flags it the same day.
+    let report = run_triggered_verification(&w, day, 61_000);
+    assert!(
+        report
+            .with_verdict(TriggerVerdict::SuspectedHijack)
+            .contains(&victim),
+        "trigger missed the hijack: {:?}",
+        report.verdicts.get(&victim)
+    );
+
+    // Path 2: the longitudinal detector flags it from daily censuses
+    // bracketing the event.
+    let mut cfg = PipelineConfig::icmp_only(&w);
+    cfg.protocols_v6 = vec![];
+    let mut pipeline = CensusPipeline::new(Arc::clone(&w), cfg);
+    let start = day.saturating_sub(1);
+    let evidence: Vec<DayEvidence> = (start..start + 4)
+        .map(|d| {
+            let out = pipeline.run_day(d);
+            DayEvidence {
+                day: d,
+                gcd_confirmed: out.census.gcd_confirmed().into_iter().collect(),
+                candidates: out.census.anycast_based().into_iter().collect(),
+            }
+        })
+        .collect();
+    let suspects = detect_hijacks(&evidence);
+    assert!(
+        suspects.iter().any(|s| s.prefix == victim && s.day == day),
+        "longitudinal detector missed the hijack: {suspects:?}"
+    );
+    // And it does not drown the signal: suspects are few.
+    assert!(suspects.len() <= 5, "too many suspects: {suspects:?}");
+}
+
+#[test]
+fn census_store_roundtrips_a_pipeline_run() {
+    let w = world();
+    let dir = std::env::temp_dir().join(format!("laces-int-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CensusStore::open(&dir).unwrap();
+
+    let mut cfg = PipelineConfig::icmp_only(&w);
+    cfg.protocols_v6 = vec![];
+    let mut pipeline = CensusPipeline::new(Arc::clone(&w), cfg);
+    let mut originals = Vec::new();
+    for day in 0..3 {
+        let census = pipeline.run_day(day).census;
+        store.save(&census).unwrap();
+        originals.push(census);
+    }
+
+    assert_eq!(store.days().unwrap(), vec![0, 1, 2]);
+    let loaded = store.load_all().unwrap();
+    for (orig, back) in originals.iter().zip(&loaded) {
+        assert_eq!(
+            orig.records, back.records,
+            "day {} corrupted on disk",
+            orig.day
+        );
+        assert_eq!(orig.stats, back.stats);
+    }
+
+    // The query layer answers prefix-history questions from disk.
+    let q = CensusQuery::new(loaded);
+    let stable: Vec<PrefixKey> = originals[0]
+        .gcd_confirmed()
+        .into_iter()
+        .filter(|p| {
+            originals
+                .iter()
+                .all(|c| c.records.get(p).is_some_and(|r| r.gcd_confirmed()))
+        })
+        .collect();
+    assert!(!stable.is_empty());
+    let history = q.prefix_history(stable[0]);
+    assert_eq!(history.len(), 3);
+    assert!(history.iter().all(|(_, _, gcd)| *gcd));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn canary_distinguishes_healthy_days_from_outages() {
+    use laces_census::canary::{detect_outages, CanarySnapshot};
+    use laces_core::orchestrator::run_measurement;
+    use laces_core::spec::{FailureInjection, MeasurementSpec};
+    use laces_packet::Protocol;
+
+    let w = world();
+    // Canary reference set: GCD-stable anycast + a slice of the hitlist.
+    let targets = Arc::new(laces_hitlist::build_v4(&w).addresses());
+    let mk = |id: u32, fail: Option<FailureInjection>| {
+        let mut spec = MeasurementSpec::census(
+            id,
+            w.std_platforms.production,
+            Protocol::Icmp,
+            Arc::clone(&targets),
+            0,
+        );
+        spec.fail = fail;
+        CanarySnapshot::from_outcome(&run_measurement(&w, &spec))
+    };
+    let baseline = mk(62_000, None);
+    // Three healthy re-measurements: no alarms on any.
+    for i in 0..3u32 {
+        let today = mk(62_001 + i, None);
+        assert!(
+            detect_outages(&baseline, &today, 0.25).is_empty(),
+            "false alarm on run {i}"
+        );
+    }
+    // A dead site alarms.
+    let broken = mk(
+        62_010,
+        Some(FailureInjection {
+            worker: 2,
+            after_orders: 3,
+        }),
+    );
+    let alarms = detect_outages(&baseline, &broken, 0.25);
+    assert!(alarms.iter().any(|a| a.worker == 2));
+}

@@ -1,0 +1,79 @@
+//! Integration: a multi-day census run — the longitudinal behaviour the
+//! system exists to capture (§5.1.6).
+
+use std::sync::Arc;
+
+use laces_census::longitudinal::presence_from_run;
+use laces_census::pipeline::{CensusPipeline, PipelineConfig};
+use laces_netsim::{TargetKind, World, WorldConfig};
+
+#[test]
+fn gcd_set_is_more_stable_than_anycast_based_set() {
+    let w = Arc::new(World::generate(WorldConfig::tiny()));
+    let mut pipeline = CensusPipeline::new(Arc::clone(&w), PipelineConfig::icmp_only(&w));
+    let days: Vec<_> = (0..6).map(|d| pipeline.run_day(d).census).collect();
+
+    let (anycast, gcd) = presence_from_run(&days);
+    let a = anycast.stats();
+    let g = gcd.stats();
+
+    assert_eq!(a.n_days, 6);
+    assert!(a.union > 0 && g.union > 0);
+    // §5.1.6: anycast-based is highly variable, GCD much more stable.
+    let a_stable = a.always_present as f64 / a.union as f64;
+    let g_stable = g.always_present as f64 / g.union as f64;
+    assert!(
+        g_stable > a_stable,
+        "GCD stability {g_stable:.2} should beat anycast-based {a_stable:.2}"
+    );
+    assert!(
+        g_stable > 0.6,
+        "GCD set should be mostly stable: {g_stable:.2}"
+    );
+}
+
+#[test]
+fn temporary_anycast_toggles_in_the_census() {
+    let w = Arc::new(World::generate(WorldConfig::tiny()));
+    let mut pipeline = CensusPipeline::new(Arc::clone(&w), PipelineConfig::icmp_only(&w));
+    let days: Vec<_> = (0..8).map(|d| pipeline.run_day(d).census).collect();
+    let (_, gcd) = presence_from_run(&days);
+
+    // At least one Imperva-style temporary prefix must appear on some days
+    // and vanish on others.
+    let mut toggled = 0;
+    for t in &w.targets {
+        if t.temp.is_some()
+            && matches!(t.kind, TargetKind::Anycast { .. })
+            && t.resp.icmp
+            && t.prefix.is_v4()
+        {
+            let present = gcd.days_present(t.prefix);
+            if present > 0 && present < 8 {
+                toggled += 1;
+            }
+        }
+    }
+    assert!(
+        toggled > 0,
+        "temporary anycast invisible in longitudinal data"
+    );
+}
+
+#[test]
+fn daily_results_vary_but_deployments_persist() {
+    let w = Arc::new(World::generate(WorldConfig::tiny()));
+    let mut pipeline = CensusPipeline::new(Arc::clone(&w), PipelineConfig::icmp_only(&w));
+    let d0 = pipeline.run_day(0).census;
+    let d1 = pipeline.run_day(1).census;
+
+    let s0: std::collections::BTreeSet<_> = d0.gcd_confirmed().into_iter().collect();
+    let s1: std::collections::BTreeSet<_> = d1.gcd_confirmed().into_iter().collect();
+    let inter = s0.intersection(&s1).count();
+    // Heavy overlap day over day.
+    assert!(
+        inter * 10 >= s0.len() * 8,
+        "only {inter}/{} persisted",
+        s0.len()
+    );
+}
