@@ -58,7 +58,7 @@ pub fn chaos_census(
         offset_ms: 1_000,
         encoding: ProbeEncoding::PerWorker,
         day,
-        fail: None,
+        faults: laces_core::fault::FaultPlan::default(),
         senders: None,
     };
     let outcome = run_measurement(world, &spec);
@@ -90,16 +90,14 @@ mod tests {
                 continue;
             }
             match (t.ns, &t.kind) {
-                (Some(ChaosProfile::PerSite), TargetKind::Anycast { dep }) => {
-                    if world.deployment(*dep).n_sites() >= 6 && census.site_count(t.prefix) >= 2 {
+                (Some(ChaosProfile::PerSite), TargetKind::Anycast { dep })
+                    if world.deployment(*dep).n_sites() >= 6 && census.site_count(t.prefix) >= 2 => {
                         anycast_ns_multi += 1;
                     }
-                }
-                (Some(ChaosProfile::Colo(k)), TargetKind::Unicast { .. }) if k >= 2 => {
-                    if census.site_count(t.prefix) >= 2 {
+                (Some(ChaosProfile::Colo(k)), TargetKind::Unicast { .. }) if k >= 2
+                    && census.site_count(t.prefix) >= 2 => {
                         colo_multi += 1;
                     }
-                }
                 _ => {}
             }
         }

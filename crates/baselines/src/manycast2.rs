@@ -47,7 +47,7 @@ pub fn run_manycast2(
         offset_ms: interval_ms,
         encoding: ProbeEncoding::PerWorker,
         day,
-        fail: None,
+        faults: laces_core::fault::FaultPlan::default(),
         senders: None,
     };
     run_measurement(world, &spec)

@@ -1,0 +1,56 @@
+//! Cost of the fault-injection layer on the measurement hot path.
+//!
+//! Two questions: (a) a fault-free `FaultPlan` must be free — the census
+//! never pays for machinery it does not use; (b) a degraded run (crashed
+//! workers, faulty capture fabric) must not cost more than a healthy one,
+//! since it does strictly less work.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laces_core::fault::FaultPlan;
+use laces_core::orchestrator::run_measurement;
+use laces_core::spec::MeasurementSpec;
+use laces_netsim::{World, WorldConfig};
+use laces_packet::Protocol;
+
+fn bench_faulted_measurement(c: &mut Criterion) {
+    let world = Arc::new(World::generate(WorldConfig::tiny()));
+    let targets = Arc::new(laces_hitlist::build_v4(&world).addresses());
+
+    let mut group = c.benchmark_group("faulted_measurement");
+    group.sample_size(10);
+
+    let scenarios: Vec<(&str, FaultPlan)> = vec![
+        ("healthy", FaultPlan::none()),
+        ("crash_4_of_32", FaultPlan::seeded(11, 32, 4, 50)),
+        (
+            "lossy_fabric",
+            FaultPlan::with_seed(11).and_fabric(0.05, 0.01),
+        ),
+        ("abort_at_100", FaultPlan::none().and_abort_after(100)),
+    ];
+    for (name, plan) in scenarios {
+        group.bench_with_input(
+            BenchmarkId::new("icmp_census", name),
+            &plan,
+            |b, plan| {
+                b.iter(|| {
+                    let mut spec = MeasurementSpec::census(
+                        70_000,
+                        world.std_platforms.production,
+                        Protocol::Icmp,
+                        Arc::clone(&targets),
+                        0,
+                    );
+                    spec.faults = plan.clone();
+                    run_measurement(&world, &spec)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_faulted_measurement);
+criterion_main!(benches);

@@ -56,6 +56,10 @@ impl Scale {
 /// A cached anycast-based measurement: classification plus probing cost.
 pub type CachedClass = Arc<(AnycastClassification, u64)>;
 
+/// Cache key for anycast-based measurements:
+/// (measurement id, protocol, v6?, offset override, DNS hitlist?).
+type ClassCacheKey = (u16, Protocol, bool, u64, bool);
+
 /// The artifact cache.
 pub struct Artifacts {
     /// The world under measurement.
@@ -66,7 +70,7 @@ pub struct Artifacts {
     hit_v4_dns: OnceLock<Arc<Vec<IpAddr>>>,
     hit_v6: OnceLock<Arc<Vec<IpAddr>>>,
     addr_index: OnceLock<Arc<BTreeMap<PrefixKey, IpAddr>>>,
-    classes: Mutex<HashMap<(u16, Protocol, bool, u64, bool), CachedClass>>,
+    classes: Mutex<HashMap<ClassCacheKey, CachedClass>>,
     gcd_full_v4: OnceLock<Arc<GcdReport>>,
     gcd_full_v6: OnceLock<Arc<GcdReport>>,
 }
@@ -201,7 +205,7 @@ impl Artifacts {
                 ProbeEncoding::PerWorker
             },
             day: 0,
-            fail: None,
+            faults: laces_core::fault::FaultPlan::default(),
             senders: None,
         };
         let outcome = run_measurement(&self.world, &spec);

@@ -101,7 +101,7 @@ pub fn rate(a: &Artifacts) -> Report {
             offset_ms: 1_000,
             encoding: ProbeEncoding::PerWorker,
             day: 0,
-            fail: None,
+            faults: laces_core::fault::FaultPlan::default(),
             senders: None,
         };
         let outcome = run_measurement(&a.world, &spec);

@@ -241,6 +241,8 @@ mod tests {
             n_targets: prefix_vps.len(),
             records,
             failed_workers: vec![],
+            worker_health: vec![],
+            degraded: false,
         })
     }
 

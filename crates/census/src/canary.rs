@@ -97,12 +97,13 @@ pub fn detect_outages(
 mod tests {
     use super::*;
     use laces_core::orchestrator::run_measurement;
-    use laces_core::spec::{FailureInjection, MeasurementSpec};
+    use laces_core::fault::FaultPlan;
+    use laces_core::spec::MeasurementSpec;
     use laces_netsim::{World, WorldConfig};
     use laces_packet::Protocol;
     use std::sync::Arc;
 
-    fn snapshot(world: &Arc<World>, id: u32, fail: Option<FailureInjection>) -> CanarySnapshot {
+    fn snapshot(world: &Arc<World>, id: u32, faults: FaultPlan) -> CanarySnapshot {
         let targets = Arc::new(laces_hitlist::build_v4(world).addresses());
         let mut spec = MeasurementSpec::census(
             id,
@@ -111,15 +112,15 @@ mod tests {
             targets,
             0,
         );
-        spec.fail = fail;
+        spec.faults = faults;
         CanarySnapshot::from_outcome(&run_measurement(world, &spec))
     }
 
     #[test]
     fn healthy_platform_raises_no_alarms() {
         let world = Arc::new(World::generate(WorldConfig::tiny()));
-        let baseline = snapshot(&world, 6_000, None);
-        let today = snapshot(&world, 6_001, None);
+        let baseline = snapshot(&world, 6_000, FaultPlan::none());
+        let today = snapshot(&world, 6_001, FaultPlan::none());
         let alarms = detect_outages(&baseline, &today, 0.25);
         assert!(alarms.is_empty(), "false alarms: {alarms:?}");
     }
@@ -127,16 +128,9 @@ mod tests {
     #[test]
     fn injected_worker_failure_is_detected() {
         let world = Arc::new(World::generate(WorldConfig::tiny()));
-        let baseline = snapshot(&world, 6_002, None);
+        let baseline = snapshot(&world, 6_002, FaultPlan::none());
         // Worker 7 dies almost immediately: its captures are lost.
-        let today = snapshot(
-            &world,
-            6_003,
-            Some(FailureInjection {
-                worker: 7,
-                after_orders: 5,
-            }),
-        );
+        let today = snapshot(&world, 6_003, FaultPlan::crash(7, 5));
         let alarms = detect_outages(&baseline, &today, 0.25);
         assert!(
             alarms.iter().any(|a| a.worker == 7 && a.self_reported),

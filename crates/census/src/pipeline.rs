@@ -20,6 +20,7 @@ use std::net::IpAddr;
 use std::sync::Arc;
 
 use laces_core::classify::AnycastClassification;
+use laces_core::fault::FaultPlan;
 use laces_core::orchestrator::run_measurement;
 use laces_core::spec::MeasurementSpec;
 use laces_gcd::engine::{run_campaign, GcdClass, GcdConfig};
@@ -48,6 +49,9 @@ pub struct PipelineConfig {
     pub offset_ms: u64,
     /// Base measurement id; each stage derives a unique id from it.
     pub base_measurement_id: u32,
+    /// Fault schedule applied to every anycast-based stage (robustness
+    /// tests; the default plan is fault-free).
+    pub faults: FaultPlan,
 }
 
 impl PipelineConfig {
@@ -61,6 +65,7 @@ impl PipelineConfig {
             rate_per_s: 10_000,
             offset_ms: 1_000,
             base_measurement_id: 1_000,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -93,6 +98,8 @@ pub struct DayOutput {
     pub classifications: BTreeMap<String, AnycastClassification>,
     /// The GCD stage's report over the AT set, keyed by prefix.
     pub gcd: BTreeMap<PrefixKey, laces_gcd::PrefixGcd>,
+    /// Whether any stage ran degraded (mirrors `census.stats.degraded`).
+    pub degraded: bool,
 }
 
 impl CensusPipeline {
@@ -141,12 +148,15 @@ impl CensusPipeline {
                 offset_ms: self.cfg.offset_ms,
                 encoding: ProbeEncoding::PerWorker,
                 day,
-                fail: None,
+                faults: self.cfg.faults.clone(),
                 senders: None,
             };
             stage_idx += 1;
             let outcome = run_measurement(world, &spec);
             stats.anycast_probes += outcome.probes_sent;
+            // A stage that lost workers degrades the whole day's census:
+            // published, but flagged.
+            stats.degraded |= outcome.degraded;
             let class = AnycastClassification::from_outcome(&outcome);
             stats
                 .ats_per_protocol
@@ -183,6 +193,7 @@ impl CensusPipeline {
         gcd_cfg.precheck = false; // ATs are known-responsive; probe fully
         let mut report = run_campaign(world, self.cfg.gcd_platform, &at_addrs, &gcd_cfg);
         stats.gcd_probes += report.probes_sent;
+        stats.degraded |= report.degraded;
 
         let dark: Vec<IpAddr> = report
             .results
@@ -196,6 +207,7 @@ impl CensusPipeline {
             tcp_cfg.precheck = true;
             let tcp_report = run_campaign(world, self.cfg.gcd_platform, &dark, &tcp_cfg);
             stats.gcd_probes += tcp_report.probes_sent;
+            stats.degraded |= tcp_report.degraded;
             for (p, r) in tcp_report.results {
                 if r.class != GcdClass::Unresponsive {
                     report.results.insert(p, r);
@@ -260,6 +272,7 @@ impl CensusPipeline {
             .collect();
         self.feedback.merge(confirmed, AtSource::DailyGcdFeedback);
 
+        let degraded = stats.degraded;
         DayOutput {
             census: DailyCensus {
                 day,
@@ -268,6 +281,7 @@ impl CensusPipeline {
             },
             classifications,
             gcd: report.results,
+            degraded,
         }
     }
 }

@@ -73,6 +73,11 @@ pub struct CensusStats {
     pub ats_per_protocol: BTreeMap<String, usize>,
     /// Size of the GCD target set after AT feedback.
     pub gcd_target_count: usize,
+    /// Whether any stage of the day ran degraded (failed workers, an
+    /// aborted measurement, or a lost GCD chunk). The day is published
+    /// anyway; longitudinal consumers must not read absences on a degraded
+    /// day as withdrawals.
+    pub degraded: bool,
 }
 
 /// One day's census.
@@ -88,6 +93,12 @@ pub struct DailyCensus {
 }
 
 impl DailyCensus {
+    /// Whether the day was produced under degradation (see
+    /// [`CensusStats::degraded`]).
+    pub fn degraded(&self) -> bool {
+        self.stats.degraded
+    }
+
     /// Prefixes confirmed anycast by GCD.
     pub fn gcd_confirmed(&self) -> Vec<PrefixKey> {
         self.records

@@ -55,6 +55,8 @@ fn classification(data: &[(u16, usize, Option<bool>)]) -> AnycastClassification 
         n_targets: data.len(),
         records,
         failed_workers: vec![],
+        worker_health: vec![],
+        degraded: false,
     })
 }
 

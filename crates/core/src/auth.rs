@@ -20,7 +20,7 @@ pub struct AuthKey(pub u64);
 impl AuthKey {
     /// Derive a per-deployment key from a seed.
     pub fn derive(seed: u64) -> Self {
-        AuthKey(mix(seed ^ 0xAE57_11D0_C0DE_D00D, 0x5EC2_E7))
+        AuthKey(mix(seed ^ 0xAE57_11D0_C0DE_D00D, 0x5EC2E7))
     }
 }
 

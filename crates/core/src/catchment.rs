@@ -179,6 +179,8 @@ mod tests {
             n_targets: 4,
             records,
             failed_workers: vec![],
+            worker_health: vec![],
+            degraded: false,
         }
     }
 

@@ -142,6 +142,8 @@ mod tests {
             n_targets: 3,
             records,
             failed_workers: vec![],
+            worker_health: vec![],
+            degraded: false,
         }
     }
 

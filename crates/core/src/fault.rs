@@ -1,0 +1,273 @@
+//! Deterministic fault injection for the measurement path (R5).
+//!
+//! A [`FaultPlan`] describes every deliberate fault a measurement run
+//! should suffer: workers crashing mid-measurement, start orders that fail
+//! authentication, order channels that come up late or close early,
+//! capture-fabric drops and duplications, and a mid-stream abort of the
+//! whole measurement. The plan is serializable (so a failing run can be
+//! attached to a bug report and replayed) and every stochastic choice in it
+//! is keyed on one `seed`, so two runs under the same plan produce
+//! bit-identical [`MeasurementOutcome`](crate::results::MeasurementOutcome)s.
+//!
+//! The plan injects faults; *graceful degradation* is what the rest of the
+//! stack does with them. The Orchestrator completes the measurement with
+//! the surviving workers and reports per-worker health plus a `degraded`
+//! flag; the census pipeline publishes the day anyway, with the flag set,
+//! rather than losing it.
+
+use laces_netsim::rng;
+use laces_netsim::CaptureFaults;
+use serde::{Deserialize, Serialize};
+
+/// One worker crash: the worker goes dark after processing `after_orders`
+/// probe orders, losing its remaining probes and all of its site's
+/// captures (R5: a worker's loss costs only its own captures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerCrash {
+    /// The worker that disconnects.
+    pub worker: u16,
+    /// How many probe orders it processes before going dark.
+    pub after_orders: usize,
+}
+
+/// A fault on one worker's order channel: the stream from the Orchestrator
+/// comes up late (the first `delay_orders` orders are lost) and/or closes
+/// early (after `close_after` delivered orders). The worker itself stays
+/// healthy — it probes fewer targets and completes normally, which is
+/// exactly how a flapping control connection degrades a real platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderChannelFault {
+    /// The worker whose order channel is faulty.
+    pub worker: u16,
+    /// Orders lost before the channel comes up.
+    pub delay_orders: usize,
+    /// Close the channel after delivering this many orders.
+    pub close_after: Option<usize>,
+}
+
+/// A complete, reproducible fault schedule for one measurement.
+///
+/// `FaultPlan::default()` is the fault-free plan every production spec
+/// carries.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed all stochastic fault decisions are keyed on (capture-fabric
+    /// verdicts, [`FaultPlan::seeded`] generation).
+    pub seed: u64,
+    /// Workers that crash, each after its own order count.
+    pub crashes: Vec<WorkerCrash>,
+    /// Workers whose start order is sealed under a corrupted key; they
+    /// reject it (R8) and never start.
+    pub reject_seal: Vec<u16>,
+    /// Per-worker order-channel faults.
+    pub order_faults: Vec<OrderChannelFault>,
+    /// Capture-fabric drop/duplication model, applied at the wire layer.
+    pub fabric: Option<CaptureFaults>,
+    /// Abort the whole measurement once this many records were collected
+    /// (models the CLI disconnecting mid-stream).
+    pub abort_after_records: Option<usize>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An empty plan carrying `seed` for later stochastic faults.
+    pub fn with_seed(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// A plan crashing exactly one worker — the shape robustness tests
+    /// used before plans could express more.
+    pub fn crash(worker: u16, after_orders: usize) -> Self {
+        FaultPlan::default().and_crash(worker, after_orders)
+    }
+
+    /// Add one worker crash.
+    pub fn and_crash(mut self, worker: u16, after_orders: usize) -> Self {
+        self.crashes.push(WorkerCrash {
+            worker,
+            after_orders,
+        });
+        self
+    }
+
+    /// Add a start-order authentication failure for `worker`.
+    pub fn and_reject_seal(mut self, worker: u16) -> Self {
+        self.reject_seal.push(worker);
+        self
+    }
+
+    /// Add an order-channel fault.
+    pub fn and_order_fault(
+        mut self,
+        worker: u16,
+        delay_orders: usize,
+        close_after: Option<usize>,
+    ) -> Self {
+        self.order_faults.push(OrderChannelFault {
+            worker,
+            delay_orders,
+            close_after,
+        });
+        self
+    }
+
+    /// Enable capture-fabric faults keyed on this plan's seed.
+    pub fn and_fabric(mut self, drop_rate: f64, dup_rate: f64) -> Self {
+        self.fabric = Some(CaptureFaults {
+            seed: self.seed,
+            drop_rate,
+            dup_rate,
+        });
+        self
+    }
+
+    /// Abort the measurement after `n` collected records.
+    pub fn and_abort_after(mut self, n: usize) -> Self {
+        self.abort_after_records = Some(n);
+        self
+    }
+
+    /// Derive a pseudo-random crash schedule from `seed`: `k` distinct
+    /// workers out of `n_workers`, each with its own `after_orders` below
+    /// `max_after`. Pure in its arguments, so a fault-matrix test can
+    /// sweep seeds and replay any cell.
+    pub fn seeded(seed: u64, n_workers: u16, k: usize, max_after: usize) -> Self {
+        let mut plan = FaultPlan::with_seed(seed);
+        let k = k.min(usize::from(n_workers));
+        let mut draw = 0u64;
+        while plan.crashes.len() < k {
+            let w = (rng::key(seed, &[0xC2A5, draw]) % u64::from(n_workers)) as u16;
+            draw += 1;
+            if plan.crashes.iter().any(|c| c.worker == w) {
+                continue;
+            }
+            let after = rng::below(rng::key(seed, &[0xC2A6, u64::from(w)]), max_after.max(1));
+            plan.crashes.push(WorkerCrash {
+                worker: w,
+                after_orders: after,
+            });
+        }
+        plan.crashes.sort_unstable_by_key(|c| c.worker);
+        plan
+    }
+
+    /// Whether the plan injects no faults at all.
+    pub fn is_none(&self) -> bool {
+        self.crashes.is_empty()
+            && self.reject_seal.is_empty()
+            && self.order_faults.is_empty()
+            && self.fabric.is_none()
+            && self.abort_after_records.is_none()
+    }
+
+    /// The order count after which `worker` crashes, if scheduled to. When
+    /// a plan lists a worker twice the earliest crash wins.
+    pub fn crash_after(&self, worker: u16) -> Option<usize> {
+        self.crashes
+            .iter()
+            .filter(|c| c.worker == worker)
+            .map(|c| c.after_orders)
+            .min()
+    }
+
+    /// Whether `worker`'s start order should be sealed under a bad key.
+    pub fn rejects_seal(&self, worker: u16) -> bool {
+        self.reject_seal.contains(&worker)
+    }
+
+    /// The order-channel fault for `worker`, if any.
+    pub fn order_fault(&self, worker: u16) -> Option<&OrderChannelFault> {
+        self.order_faults.iter().find(|f| f.worker == worker)
+    }
+
+    /// Workers the plan prevents from completing (crashes and seal
+    /// rejections), sorted and deduplicated.
+    pub fn doomed_workers(&self) -> Vec<u16> {
+        let mut ws: Vec<u16> = self
+            .crashes
+            .iter()
+            .map(|c| c.worker)
+            .chain(self.reject_seal.iter().copied())
+            .collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_fault_free() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        assert_eq!(p.crash_after(0), None);
+        assert!(p.doomed_workers().is_empty());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = FaultPlan::with_seed(7)
+            .and_crash(3, 10)
+            .and_crash(5, 0)
+            .and_reject_seal(9)
+            .and_order_fault(1, 4, Some(20))
+            .and_fabric(0.1, 0.05)
+            .and_abort_after(100);
+        assert!(!p.is_none());
+        assert_eq!(p.crash_after(3), Some(10));
+        assert_eq!(p.crash_after(5), Some(0));
+        assert_eq!(p.crash_after(4), None);
+        assert!(p.rejects_seal(9));
+        assert_eq!(p.order_fault(1).unwrap().close_after, Some(20));
+        assert_eq!(p.fabric.unwrap().seed, 7);
+        assert_eq!(p.doomed_workers(), vec![3, 5, 9]);
+    }
+
+    #[test]
+    fn duplicate_crash_entries_take_earliest() {
+        let p = FaultPlan::default().and_crash(2, 50).and_crash(2, 5);
+        assert_eq!(p.crash_after(2), Some(5));
+        assert_eq!(p.doomed_workers(), vec![2]);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_distinct() {
+        let a = FaultPlan::seeded(42, 32, 5, 100);
+        let b = FaultPlan::seeded(42, 32, 5, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.crashes.len(), 5);
+        let workers: std::collections::BTreeSet<u16> =
+            a.crashes.iter().map(|c| c.worker).collect();
+        assert_eq!(workers.len(), 5, "crashed workers are distinct");
+        assert!(workers.iter().all(|&w| w < 32));
+        let c = FaultPlan::seeded(43, 32, 5, 100);
+        assert_ne!(a, c, "different seeds give different schedules");
+    }
+
+    #[test]
+    fn seeded_clamps_k_to_platform_size() {
+        let p = FaultPlan::seeded(1, 4, 10, 8);
+        assert_eq!(p.crashes.len(), 4);
+    }
+
+    #[test]
+    fn plan_roundtrips_through_serde() {
+        let p = FaultPlan::seeded(9, 16, 3, 40)
+            .and_fabric(0.2, 0.01)
+            .and_order_fault(2, 0, Some(7))
+            .and_abort_after(500);
+        let text = serde_json::to_string(&p).expect("plan serialises");
+        let back: FaultPlan = serde_json::from_str(&text).expect("plan parses");
+        assert_eq!(p, back);
+    }
+}

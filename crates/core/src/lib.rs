@@ -48,6 +48,7 @@ pub mod auth;
 pub mod catchment;
 pub mod classify;
 pub mod cli;
+pub mod fault;
 pub mod orchestrator;
 pub mod rate;
 pub mod results;
@@ -56,8 +57,9 @@ pub mod worker;
 
 pub use catchment::{shift, CatchmentMap, CatchmentShift};
 pub use classify::{AnycastClassification, Class};
+pub use fault::{FaultPlan, OrderChannelFault, WorkerCrash};
 pub use orchestrator::{
-    run_measurement, run_measurement_abortable, run_with_precheck, AbortHandle,
+    run_measurement, run_measurement_abortable, run_with_precheck, AbortHandle, PRECHECK_ID_BIT,
 };
-pub use results::{MeasurementOutcome, ProbeRecord};
-pub use spec::{FailureInjection, MeasurementSpec};
+pub use results::{MeasurementOutcome, ProbeRecord, WorkerHealth, WorkerStatus};
+pub use spec::MeasurementSpec;

@@ -20,7 +20,7 @@ use laces_packet::IpVersion;
 
 use crate::auth::{AuthKey, Sealed};
 use crate::rate::window_start_ms;
-use crate::results::{MeasurementOutcome, WorkerEvent};
+use crate::results::{MeasurementOutcome, WorkerEvent, WorkerHealth, WorkerStatus};
 use crate::spec::MeasurementSpec;
 use crate::worker::{run_worker, ProbeOrder, StartOrder, WorkerOut};
 
@@ -28,6 +28,13 @@ use crate::worker::{run_worker, ProbeOrder, StartOrder, WorkerOut};
 /// (the paper's Orchestrator buffers the hitlist and streams it; workers
 /// keep only a small in-flight window).
 const ORDER_QUEUE: usize = 4_096;
+
+/// Measurement ids with this bit set are reserved for the internal
+/// precheck pass of [`run_with_precheck`]; user measurements must stay
+/// below it. The explicit partition guarantees a precheck can never share
+/// an id with any user measurement (two measurements sharing an id would
+/// accept each other's replies).
+pub const PRECHECK_ID_BIT: u32 = 0x8000_0000;
 
 /// Run a measurement to completion and aggregate the result stream.
 ///
@@ -75,9 +82,33 @@ pub fn run_measurement_abortable(
     );
     let n_workers = platform.n_vps();
     assert!(
-        n_workers >= 1 && n_workers <= 64,
+        (1..=64).contains(&n_workers),
         "worker count {n_workers} out of range"
     );
+
+    // An empty hitlist is a complete (and cheap) measurement: spawning a
+    // platform of workers to stream zero orders would only burn threads.
+    // Prechecks over fully-unresponsive target sets hit this path.
+    if spec.targets.is_empty() {
+        return MeasurementOutcome {
+            measurement_id: spec.id,
+            platform: spec.platform,
+            protocol: spec.protocol,
+            n_workers,
+            probes_sent: 0,
+            n_targets: 0,
+            records: Vec::new(),
+            failed_workers: Vec::new(),
+            worker_health: (0..n_workers)
+                .map(|w| WorkerHealth {
+                    worker: w as u16,
+                    status: WorkerStatus::Completed,
+                    probes_sent: 0,
+                })
+                .collect(),
+            degraded: false,
+        };
+    }
 
     let key = AuthKey::derive(world.cfg.seed ^ u64::from(spec.id));
     let span_ms = spec.span_ms(n_workers);
@@ -114,6 +145,7 @@ pub fn run_measurement_abortable(
     let mut records = Vec::new();
     let mut probes_sent = 0u64;
     let mut failed_workers = Vec::new();
+    let mut worker_health: Vec<WorkerHealth> = Vec::with_capacity(n_workers);
 
     std::thread::scope(|scope| {
         for (w, (orders, captures)) in order_rxs.into_iter().zip(cap_rxs).enumerate() {
@@ -127,17 +159,32 @@ pub fn run_measurement_abortable(
                 span_ms,
                 day: spec.day,
                 src_addr,
-                fail_after: spec
-                    .fail
-                    .and_then(|f| (usize::from(f.worker) == w).then_some(f.after_orders)),
+                fail_after: spec.faults.crash_after(w as u16),
+                fabric_faults: spec.faults.fabric,
             };
-            let sealed = Sealed::seal(key, start);
+            // A seal-rejection fault seals this worker's order under a key
+            // derived from a corrupted seed, so the worker's own key (R8)
+            // refuses it.
+            let seal_key = if spec.faults.rejects_seal(w as u16) {
+                AuthKey::derive(world.cfg.seed ^ u64::from(spec.id) ^ 0x0BAD_5EA1)
+            } else {
+                key
+            };
+            let sealed = Sealed::seal(seal_key, start);
             let fabric = cap_txs.clone();
             let out = out_tx.clone();
+            let out_err = out_tx.clone();
             let world = Arc::clone(world);
             scope.spawn(move || {
-                run_worker(&world, key, sealed, orders, captures, fabric, out)
-                    .expect("start order seals under the same key");
+                // A worker whose start order fails authentication never
+                // starts; the platform degrades to the remaining workers
+                // instead of poisoning the thread scope (R5).
+                if run_worker(&world, key, sealed, orders, captures, fabric, out).is_err() {
+                    let _ = out_err.send(WorkerOut::Event(WorkerEvent::Failed {
+                        worker: w as u16,
+                        probes_sent: 0,
+                    }));
+                }
             });
         }
         // The orchestrator keeps no capture senders or result senders.
@@ -147,10 +194,12 @@ pub fn run_measurement_abortable(
         // Stream the hitlist at the configured rate. Each target is ordered
         // to every worker; a worker that died has a closed queue and is
         // skipped (R5: measurement continues with the remaining workers).
-        let abort = abort.clone();
+        let stream_abort = abort.clone();
         scope.spawn(move || {
+            let mut txs: Vec<Option<_>> = order_txs.into_iter().map(Some).collect();
+            let mut sent = vec![0usize; txs.len()];
             for (i, &target) in spec.targets.iter().enumerate() {
-                if abort.is_aborted() {
+                if stream_abort.is_aborted() {
                     // CLI disconnected: stop streaming; workers wind down.
                     break;
                 }
@@ -158,11 +207,28 @@ pub fn run_measurement_abortable(
                     target,
                     window_start_ms: window_start_ms(i, spec.rate_per_s),
                 };
-                for (w, tx) in order_txs.iter().enumerate() {
+                for w in 0..txs.len() {
                     // Non-sender workers (single-VP precheck mode) receive
                     // no orders but still capture replies.
-                    if spec.is_sender(w as u16) {
+                    if !spec.is_sender(w as u16) {
+                        continue;
+                    }
+                    if let Some(f) = spec.faults.order_fault(w as u16) {
+                        if i < f.delay_orders {
+                            // The channel came up late; early orders are
+                            // lost in the disconnected stream.
+                            continue;
+                        }
+                        if f.close_after.is_some_and(|c| sent[w] >= c) {
+                            // Dropping the sender closes the worker's order
+                            // stream; it completes with what it received.
+                            txs[w] = None;
+                            continue;
+                        }
+                    }
+                    if let Some(tx) = &txs[w] {
                         let _ = tx.send(order);
+                        sent[w] += 1;
                     }
                 }
             }
@@ -172,20 +238,60 @@ pub fn run_measurement_abortable(
         // Aggregate the live result stream (this is the CLI's sink file).
         for msg in out_rx.iter() {
             match msg {
-                WorkerOut::Record(r) => records.push(r),
-                WorkerOut::Event(WorkerEvent::Done { probes_sent: p, .. }) => probes_sent += p,
+                WorkerOut::Record(r) => {
+                    records.push(r);
+                    if spec
+                        .faults
+                        .abort_after_records
+                        .is_some_and(|n| records.len() >= n)
+                    {
+                        // Mid-stream abort fault: the CLI disconnects, but
+                        // everything collected so far is kept.
+                        abort.abort();
+                    }
+                }
+                WorkerOut::Event(WorkerEvent::Done {
+                    worker,
+                    probes_sent: p,
+                }) => {
+                    probes_sent += p;
+                    worker_health.push(WorkerHealth {
+                        worker,
+                        status: WorkerStatus::Completed,
+                        probes_sent: p,
+                    });
+                }
                 WorkerOut::Event(WorkerEvent::Failed {
                     worker,
                     probes_sent: p,
                 }) => {
                     probes_sent += p;
                     failed_workers.push(worker);
+                    worker_health.push(WorkerHealth {
+                        worker,
+                        status: WorkerStatus::Failed,
+                        probes_sent: p,
+                    });
                 }
             }
         }
     });
 
     failed_workers.sort_unstable();
+    worker_health.sort_unstable_by_key(|h| h.worker);
+    // Canonical record order: workers race to the result stream, so the
+    // arrival order is scheduler noise. Sorting makes equal runs serialise
+    // identically (fault plans are replayable bit-for-bit).
+    records.sort_unstable_by(|a, b| {
+        (a.prefix, a.tx_worker, a.rx_worker, a.tx_time_ms, a.rx_time_ms).cmp(&(
+            b.prefix,
+            b.tx_worker,
+            b.rx_worker,
+            b.tx_time_ms,
+            b.rx_time_ms,
+        ))
+    });
+    let degraded = !failed_workers.is_empty() || abort.is_aborted();
     MeasurementOutcome {
         measurement_id: spec.id,
         platform: spec.platform,
@@ -195,6 +301,8 @@ pub fn run_measurement_abortable(
         n_targets: spec.targets.len(),
         records,
         failed_workers,
+        worker_health,
+        degraded,
     }
 }
 
@@ -231,8 +339,19 @@ pub fn run_with_precheck(
     spec: &MeasurementSpec,
     precheck_worker: u16,
 ) -> PrecheckedOutcome {
+    // The precheck pass needs its own measurement id (replies to the
+    // precheck must not validate against the full pass). Ids with
+    // PRECHECK_ID_BIT set are reserved for it; a spec id inside the
+    // reserved range would collide with its own (or another spec's)
+    // precheck, so it is rejected outright.
+    assert!(
+        spec.id & PRECHECK_ID_BIT == 0,
+        "measurement id {:#010x} lies in the reserved precheck id space \
+         (ids must be below {PRECHECK_ID_BIT:#010x})",
+        spec.id
+    );
     let mut pre = spec.clone();
-    pre.id = spec.id ^ 0x4000_0000;
+    pre.id = spec.id | PRECHECK_ID_BIT;
     pre.senders = Some(vec![precheck_worker]);
     let pre_outcome = run_measurement(world, &pre);
 

@@ -56,6 +56,27 @@ pub enum WorkerEvent {
     },
 }
 
+/// Terminal state of one worker within a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerStatus {
+    /// The worker processed its whole order stream and drained captures.
+    Completed,
+    /// The worker disconnected mid-measurement or rejected its start
+    /// order; its remaining probes and its captures are lost.
+    Failed,
+}
+
+/// Per-worker health entry in a [`MeasurementOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerHealth {
+    /// Worker id.
+    pub worker: u16,
+    /// How the worker ended.
+    pub status: WorkerStatus,
+    /// Probes the worker transmitted.
+    pub probes_sent: u64,
+}
+
 /// Aggregated outcome of one measurement, as assembled at the CLI.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MeasurementOutcome {
@@ -71,10 +92,18 @@ pub struct MeasurementOutcome {
     pub probes_sent: u64,
     /// Number of targets in the hitlist.
     pub n_targets: usize,
-    /// Every captured reply.
+    /// Every captured reply, in canonical order (sorted, so equal runs
+    /// serialise identically).
     pub records: Vec<ProbeRecord>,
     /// Workers that failed mid-measurement.
     pub failed_workers: Vec<u16>,
+    /// Terminal state of every worker, sorted by worker id.
+    pub worker_health: Vec<WorkerHealth>,
+    /// Whether the measurement ran degraded: at least one worker failed,
+    /// or the run was aborted before the hitlist was fully streamed.
+    /// Consumers (the census pipeline) publish anyway but must carry the
+    /// flag forward.
+    pub degraded: bool,
 }
 
 #[cfg(test)]

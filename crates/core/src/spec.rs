@@ -12,16 +12,8 @@ use std::sync::Arc;
 
 use laces_netsim::PlatformId;
 use laces_packet::{ProbeEncoding, Protocol};
-use serde::{Deserialize, Serialize};
 
-/// Deliberate fault injection for robustness tests (R5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FailureInjection {
-    /// The worker that will disconnect.
-    pub worker: u16,
-    /// How many probe orders it processes before going dark.
-    pub after_orders: usize,
-}
+use crate::fault::FaultPlan;
 
 /// A complete measurement definition.
 #[derive(Debug, Clone)]
@@ -46,8 +38,9 @@ pub struct MeasurementSpec {
     pub encoding: ProbeEncoding,
     /// Simulated day of the measurement.
     pub day: u32,
-    /// Optional worker-failure injection.
-    pub fail: Option<FailureInjection>,
+    /// Deliberate fault schedule for robustness tests (R5); the default
+    /// plan is fault-free.
+    pub faults: FaultPlan,
     /// Restrict probing to these workers (all workers still capture).
     /// `None` means every worker probes. Used by the single-VP
     /// responsiveness precheck (paper §6 future work).
@@ -73,14 +66,14 @@ impl MeasurementSpec {
             offset_ms: 1_000,
             encoding: ProbeEncoding::PerWorker,
             day,
-            fail: None,
+            faults: FaultPlan::default(),
             senders: None,
         }
     }
 
     /// Whether `worker` transmits probes under this spec.
     pub fn is_sender(&self, worker: u16) -> bool {
-        self.senders.as_ref().map_or(true, |s| s.contains(&worker))
+        self.senders.as_ref().is_none_or(|s| s.contains(&worker))
     }
 
     /// Window span between the first and last probe a target receives.

@@ -13,7 +13,7 @@ use std::net::IpAddr;
 use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender, TrySendError};
-use laces_netsim::wire::{MeasurementCtx, ProbeSource};
+use laces_netsim::wire::{CaptureFaults, FabricVerdict, MeasurementCtx, ProbeSource};
 use laces_netsim::{Delivery, PlatformId, World};
 use laces_packet::probe::{build_probe, parse_reply, ProbeMeta};
 use laces_packet::{PrefixKey, ProbeEncoding, Protocol};
@@ -46,6 +46,9 @@ pub struct StartOrder {
     pub src_addr: IpAddr,
     /// Fault injection: stop after this many orders.
     pub fail_after: Option<usize>,
+    /// Fault injection: capture-fabric drop/duplication model applied when
+    /// this worker forwards deliveries into the fabric.
+    pub fabric_faults: Option<CaptureFaults>,
 }
 
 /// One probe order: a target and the window start assigned by the
@@ -114,8 +117,13 @@ pub fn run_worker(
     };
 
     let mut probes_sent: u64 = 0;
-    let mut processed: usize = 0;
     let mut failed = false;
+    // A worker scheduled to crash contributes no capture records at all:
+    // which captures a dying worker managed to flush before the crash is a
+    // thread-scheduling race in the real system, and modelling it as "none"
+    // is the only choice that keeps outcomes bit-identical across reruns
+    // of the same fault plan.
+    let doomed = start.fail_after.is_some();
 
     let process_capture = |d: Delivery, out: &Sender<WorkerOut>| {
         // Validate the capture belongs to this measurement; anything else
@@ -137,14 +145,11 @@ pub fn run_worker(
 
     // Probing phase: interleave order processing with opportunistic capture
     // draining (results stream out while probing is still under way).
-    for order in orders.iter() {
-        if let Some(limit) = start.fail_after {
-            if processed >= limit {
-                failed = true;
-                break;
-            }
+    for (processed, order) in orders.iter().enumerate() {
+        if start.fail_after.is_some_and(|limit| processed >= limit) {
+            failed = true;
+            break;
         }
-        processed += 1;
 
         let tx_time = order.window_start_ms + start.offset_ms * u64::from(start.worker_id);
         let meta = ProbeMeta {
@@ -163,21 +168,24 @@ pub fn run_worker(
         if let Ok(Some(delivery)) =
             world.send_probe(source, &pkt, tx_time, order.window_start_ms, &ctx)
         {
-            let rx = delivery.rx_index;
-            if let Some(s) = fabric.get(rx) {
-                // A send can only fail if the receiving worker crashed; the
-                // reply is then lost with it, like packets to a dead site.
-                match s.try_send(delivery) {
-                    Ok(()) | Err(TrySendError::Disconnected(_)) => {}
-                    Err(TrySendError::Full(d)) => {
-                        let _ = s.send(d);
+            let verdict = start
+                .fabric_faults
+                .map_or(FabricVerdict::Deliver, |f| f.verdict(&delivery));
+            if verdict != FabricVerdict::Drop {
+                let rx = delivery.rx_index;
+                if let Some(s) = fabric.get(rx) {
+                    if verdict == FabricVerdict::Duplicate {
+                        forward(s, delivery.clone());
                     }
+                    forward(s, delivery);
                 }
             }
         }
 
-        while let Ok(d) = captures.try_recv() {
-            process_capture(d, &out);
+        if !doomed {
+            while let Ok(d) = captures.try_recv() {
+                process_capture(d, &out);
+            }
         }
     }
 
@@ -200,4 +208,16 @@ pub fn run_worker(
         probes_sent,
     }));
     Ok(())
+}
+
+/// Forward a delivery into a site's capture queue. A send can only fail if
+/// the receiving worker crashed; the reply is then lost with it, like
+/// packets to a dead site.
+fn forward(s: &Sender<Delivery>, d: Delivery) {
+    match s.try_send(d) {
+        Ok(()) | Err(TrySendError::Disconnected(_)) => {}
+        Err(TrySendError::Full(d)) => {
+            let _ = s.send(d);
+        }
+    }
 }

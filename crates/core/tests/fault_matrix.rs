@@ -1,0 +1,237 @@
+//! Fault-injection matrix: crash k of n workers at varying points, break
+//! order channels, corrupt seals, fault the capture fabric, and abort
+//! mid-stream — the measurement must complete, report exactly the injected
+//! faults, and reproduce bit-identically from the same fault seed.
+
+use std::collections::BTreeSet;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use laces_core::fault::FaultPlan;
+use laces_core::orchestrator::{run_measurement, run_with_precheck};
+use laces_core::results::WorkerStatus;
+use laces_core::spec::MeasurementSpec;
+use laces_netsim::{World, WorldConfig};
+use laces_packet::Protocol;
+
+fn world() -> Arc<World> {
+    Arc::new(World::generate(WorldConfig::tiny()))
+}
+
+fn v4_hitlist(world: &World) -> Arc<Vec<IpAddr>> {
+    Arc::new(laces_hitlist::build_v4(world).addresses())
+}
+
+fn census_spec(world: &World, id: u32, faults: FaultPlan) -> MeasurementSpec {
+    let mut spec = MeasurementSpec::census(
+        id,
+        world.std_platforms.production,
+        Protocol::Icmp,
+        v4_hitlist(world),
+        0,
+    );
+    spec.faults = faults;
+    spec
+}
+
+#[test]
+fn fault_matrix_reports_exactly_the_crashed_workers() {
+    let w = world();
+    let n_workers = 32u16;
+    // Crash k of 32 at varying fail_after, including immediate (0) crashes.
+    for (case, k) in [1usize, 3, 8].into_iter().enumerate() {
+        let plan = FaultPlan::seeded(9_000 + case as u64, n_workers, k, 60);
+        let expected = plan.doomed_workers();
+        let expected_fail_sum: u64 = plan.crashes.iter().map(|c| c.after_orders as u64).sum();
+        let spec = census_spec(&w, 900 + case as u32, plan);
+        let outcome = run_measurement(&w, &spec);
+
+        // Exactly the planned workers are reported failed, no more.
+        assert_eq!(outcome.failed_workers, expected, "case {case}");
+        assert!(outcome.degraded, "case {case}: a crashed worker degrades");
+
+        // Health covers the whole platform and matches the plan.
+        assert_eq!(outcome.worker_health.len(), usize::from(n_workers));
+        let failed_by_health: Vec<u16> = outcome
+            .worker_health
+            .iter()
+            .filter(|h| h.status == WorkerStatus::Failed)
+            .map(|h| h.worker)
+            .collect();
+        assert_eq!(failed_by_health, expected, "case {case}");
+
+        // Survivors completed the full hitlist; crashed workers stopped at
+        // their planned order counts.
+        let survivors = u64::from(n_workers) - expected.len() as u64;
+        assert_eq!(
+            outcome.probes_sent,
+            survivors * spec.targets.len() as u64 + expected_fail_sum,
+            "case {case}: survivor probing must be complete"
+        );
+
+        // A crashed worker's captures are lost with it: no record claims a
+        // dead worker as its receiver.
+        let dead: BTreeSet<u16> = expected.iter().copied().collect();
+        assert!(
+            outcome.records.iter().all(|r| !dead.contains(&r.rx_worker)),
+            "case {case}: dead workers must not contribute captures"
+        );
+    }
+}
+
+#[test]
+fn same_fault_seed_reruns_are_bit_identical() {
+    let w = world();
+    let plan = FaultPlan::seeded(77, 32, 4, 40).and_fabric(0.05, 0.02);
+    let spec = census_spec(&w, 910, plan);
+    let a = run_measurement(&w, &spec);
+    let b = run_measurement(&w, &spec);
+    let ja = serde_json::to_string(&a).expect("outcome serialises");
+    let jb = serde_json::to_string(&b).expect("outcome serialises");
+    assert_eq!(ja, jb, "same fault seed must reproduce byte-identically");
+
+    // And a different fault seed produces a different outcome.
+    let other = census_spec(&w, 910, FaultPlan::seeded(78, 32, 4, 40).and_fabric(0.05, 0.02));
+    let c = run_measurement(&w, &other);
+    assert_ne!(
+        ja,
+        serde_json::to_string(&c).expect("outcome serialises"),
+        "different fault seeds must differ"
+    );
+}
+
+#[test]
+fn abort_mid_stream_keeps_every_collected_record() {
+    let w = world();
+    let full = run_measurement(&w, &census_spec(&w, 920, FaultPlan::none()));
+    assert!(full.records.len() > 200, "world too small for this test");
+
+    let aborted = run_measurement(&w, &census_spec(&w, 920, FaultPlan::none().and_abort_after(50)));
+    // Nothing collected before the abort is lost; in-flight probes may add
+    // records beyond the trigger point.
+    assert!(
+        aborted.records.len() >= 50,
+        "only {} records survived the abort",
+        aborted.records.len()
+    );
+    assert!(aborted.degraded, "an aborted measurement is degraded");
+    assert!(
+        aborted.probes_sent < full.probes_sent,
+        "the abort must actually stop the hitlist stream"
+    );
+    // Every surviving record is one the full run also observed (the abort
+    // truncates, it does not corrupt).
+    let full_set: BTreeSet<String> = full
+        .records
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+    assert!(aborted
+        .records
+        .iter()
+        .all(|r| full_set.contains(&serde_json::to_string(r).unwrap())));
+}
+
+#[test]
+fn seal_rejection_degrades_instead_of_panicking() {
+    let w = world();
+    let outcome = run_measurement(&w, &census_spec(&w, 930, FaultPlan::none().and_reject_seal(4)));
+    assert_eq!(outcome.failed_workers, vec![4]);
+    let h = outcome.worker_health.iter().find(|h| h.worker == 4).unwrap();
+    assert_eq!(h.status, WorkerStatus::Failed);
+    assert_eq!(h.probes_sent, 0, "a rejected worker never probes");
+    // The other 31 workers completed the measurement.
+    assert_eq!(
+        outcome.probes_sent,
+        31 * outcome.n_targets as u64,
+        "platform degrades to the surviving workers"
+    );
+}
+
+#[test]
+fn order_channel_faults_shrink_but_complete_the_worker() {
+    let w = world();
+    let plan = FaultPlan::none().and_order_fault(6, 10, Some(25));
+    let outcome = run_measurement(&w, &census_spec(&w, 940, plan));
+    // The worker is healthy — a broken control channel is not a crash.
+    assert!(outcome.failed_workers.is_empty());
+    assert!(!outcome.degraded);
+    let h = outcome.worker_health.iter().find(|h| h.worker == 6).unwrap();
+    assert_eq!(h.status, WorkerStatus::Completed);
+    assert_eq!(
+        h.probes_sent, 25,
+        "10 orders lost to the late channel, closed after 25 delivered"
+    );
+    // Everyone else got the full hitlist.
+    assert!(outcome
+        .worker_health
+        .iter()
+        .filter(|h| h.worker != 6)
+        .all(|h| h.probes_sent == outcome.n_targets as u64));
+}
+
+#[test]
+fn fabric_drop_loses_captures_silently_and_dup_doubles_them() {
+    let w = world();
+    let baseline = run_measurement(&w, &census_spec(&w, 950, FaultPlan::none()));
+
+    // Total fabric loss: the platform probes normally but records nothing.
+    let dark = run_measurement(
+        &w,
+        &census_spec(&w, 950, FaultPlan::with_seed(5).and_fabric(1.0, 0.0)),
+    );
+    assert!(dark.records.is_empty());
+    assert_eq!(dark.probes_sent, baseline.probes_sent);
+    assert!(
+        !dark.degraded,
+        "fabric loss is invisible to the tool; workers all completed"
+    );
+
+    // Total duplication: exactly every record twice.
+    let doubled = run_measurement(
+        &w,
+        &census_spec(&w, 950, FaultPlan::with_seed(5).and_fabric(0.0, 1.0)),
+    );
+    assert_eq!(doubled.records.len(), 2 * baseline.records.len());
+    // Canonical ordering puts each duplicate next to its original.
+    for pair in doubled.records.chunks(2) {
+        assert_eq!(pair[0], pair[1]);
+    }
+}
+
+#[test]
+fn empty_hitlist_short_circuits() {
+    let w = world();
+    let spec = MeasurementSpec::census(
+        960,
+        w.std_platforms.production,
+        Protocol::Icmp,
+        Arc::new(Vec::new()),
+        0,
+    );
+    let outcome = run_measurement(&w, &spec);
+    assert_eq!(outcome.probes_sent, 0);
+    assert_eq!(outcome.n_targets, 0);
+    assert!(outcome.records.is_empty());
+    assert!(outcome.failed_workers.is_empty());
+    assert!(!outcome.degraded);
+    assert_eq!(outcome.worker_health.len(), outcome.n_workers);
+    assert!(outcome
+        .worker_health
+        .iter()
+        .all(|h| h.status == WorkerStatus::Completed && h.probes_sent == 0));
+}
+
+#[test]
+#[should_panic(expected = "reserved precheck id space")]
+fn precheck_rejects_ids_in_the_reserved_space() {
+    let w = world();
+    let spec = MeasurementSpec::census(
+        0x8000_0001,
+        w.std_platforms.production,
+        Protocol::Icmp,
+        v4_hitlist(&w),
+        0,
+    );
+    let _ = run_with_precheck(&w, &spec, 0);
+}

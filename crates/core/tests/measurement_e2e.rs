@@ -6,7 +6,8 @@ use std::sync::Arc;
 
 use laces_core::classify::{AnycastClassification, Class};
 use laces_core::orchestrator::run_measurement;
-use laces_core::spec::{FailureInjection, MeasurementSpec};
+use laces_core::fault::FaultPlan;
+use laces_core::spec::MeasurementSpec;
 use laces_netsim::{TargetKind, World, WorldConfig};
 use laces_packet::{PrefixKey, ProbeEncoding, Protocol};
 
@@ -65,8 +66,8 @@ fn census_measurement_classifies_all_kinds() {
     for t in &w.targets[..w.n_v4] {
         let c = class.class_of(t.prefix);
         match t.kind {
-            TargetKind::Anycast { dep } if t.resp.icmp && t.any_anycast_on(0) => {
-                if w.deployment(dep).n_distinct_cities() >= 6 {
+            TargetKind::Anycast { dep } if t.resp.icmp && t.any_anycast_on(0)
+                && w.deployment(dep).n_distinct_cities() >= 6 => {
                     // Widely distributed deployments must be detected
                     // (allowing rare churn misses).
                     if c.is_anycast() {
@@ -75,12 +76,10 @@ fn census_measurement_classifies_all_kinds() {
                         fn_count += 1;
                     }
                 }
-            }
-            TargetKind::Unicast { .. } if t.resp.icmp && !t.jittery => {
-                if c == Class::Unicast || c == Class::Unresponsive {
+            TargetKind::Unicast { .. } if t.resp.icmp && !t.jittery
+                && (c == Class::Unicast || c == Class::Unresponsive) => {
                     unicast_ok += 1;
                 }
-            }
             _ => {}
         }
     }
@@ -151,10 +150,7 @@ fn worker_failure_does_not_abort_measurement() {
         v4_hitlist(&w),
         0,
     );
-    spec.fail = Some(FailureInjection {
-        worker: 5,
-        after_orders: 10,
-    });
+    spec.faults = FaultPlan::crash(5, 10);
     let outcome = run_measurement(&w, &spec);
     assert_eq!(outcome.failed_workers, vec![5]);
     // The rest of the platform completed: probes from 31 workers for all

@@ -28,6 +28,7 @@ fn start_order(world: &World, id: u32) -> StartOrder {
         day: 0,
         src_addr: plat::anycast_src_v4(world.std_platforms.production),
         fail_after: None,
+        fabric_faults: None,
     }
 }
 

@@ -93,6 +93,10 @@ pub struct GcdReport {
     pub probes_sent: u64,
     /// Number of VPs that participated.
     pub n_vps: usize,
+    /// Whether part of the campaign was lost (a measurement thread
+    /// panicked): the report covers only the surviving chunks and the
+    /// consumer must carry the flag forward instead of trusting absences.
+    pub degraded: bool,
 }
 
 impl GcdReport {
@@ -172,6 +176,7 @@ pub fn run_campaign(
     let chunk = targets.len().div_ceil(threads.max(1)).max(1);
 
     let mut results: BTreeMap<PrefixKey, PrefixGcd> = BTreeMap::new();
+    let mut degraded = false;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for part in targets.chunks(chunk) {
@@ -189,7 +194,13 @@ pub fn run_campaign(
             }));
         }
         for h in handles {
-            results.extend(h.join().expect("campaign thread panicked"));
+            match h.join() {
+                Ok(local) => results.extend(local),
+                // A panicked chunk loses its targets, not the campaign:
+                // the report is published degraded (graceful degradation,
+                // mirroring the Orchestrator's R5 behaviour).
+                Err(_) => degraded = true,
+            }
         }
     });
 
@@ -197,6 +208,7 @@ pub fn run_campaign(
         results,
         probes_sent: probes_sent.into_inner(),
         n_vps: vps.len(),
+        degraded,
     }
 }
 

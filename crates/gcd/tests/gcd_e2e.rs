@@ -38,12 +38,11 @@ fn gcd_confirms_global_anycast_and_passes_unicast() {
                 targets.push(addr_of(&w, i));
                 truth.push(true);
             }
-            TargetKind::Unicast { .. } => {
-                if truth.iter().filter(|&&x| !x).count() < 200 {
+            TargetKind::Unicast { .. }
+                if truth.iter().filter(|&&x| !x).count() < 200 => {
                     targets.push(addr_of(&w, i));
                     truth.push(false);
                 }
-            }
             _ => {}
         }
     }

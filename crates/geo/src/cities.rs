@@ -258,7 +258,7 @@ const RAW: &[(&str, &str, f64, f64, u64)] = &[
     ("Manila", "PH", 14.60, 120.98, 14_410_000),
     ("Cebu", "PH", 10.32, 123.89, 2_960_000),
     ("Singapore", "SG", 1.35, 103.82, 5_640_000),
-    ("Kuala Lumpur", "MY", 3.14, 101.69, 8_420_000),
+    ("Kuala Lumpur", "MY", 3.139, 101.69, 8_420_000),
     ("Johor Bahru", "MY", 1.49, 103.74, 1_070_000),
     ("Jakarta", "ID", -6.21, 106.85, 34_540_000),
     ("Surabaya", "ID", -7.26, 112.75, 2_880_000),

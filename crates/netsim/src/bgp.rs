@@ -151,7 +151,7 @@ fn max_chunk(net: u32, remaining: u32) -> u8 {
     let mut len = 24u8;
     while len > 11 {
         let size = 1u32 << (24 - (len - 1));
-        let align_ok = (net >> 8) % size == 0;
+        let align_ok = (net >> 8).is_multiple_of(size);
         if align_ok && remaining >= size {
             len -= 1;
         } else {

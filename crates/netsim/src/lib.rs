@@ -68,5 +68,5 @@ pub use routing::{RouteClass, Routes, TieSet};
 pub use targets::{ChaosProfile, Hijack, Resp, Target, TargetId, TargetKind};
 pub use topology::{AsNode, Tier, TopoConfig, Topology};
 pub use trace::TraceHop;
-pub use wire::{flip_probability, Delivery, MeasurementCtx, ProbeSource};
+pub use wire::{flip_probability, CaptureFaults, Delivery, FabricVerdict, MeasurementCtx, ProbeSource};
 pub use world::{StandardPlatforms, World, WorldConfig};

@@ -151,7 +151,7 @@ impl Target {
     /// octet/IID (partial anycast is anycast only on its low addresses;
     /// temporary anycast only on active days).
     pub fn is_anycast_at(&self, host: u8, day: u32) -> bool {
-        let scheduled = self.temp.map_or(true, |t| t.active_on(day));
+        let scheduled = self.temp.is_none_or(|t| t.active_on(day));
         match self.kind {
             TargetKind::Anycast { .. } => scheduled,
             TargetKind::PartialAnycast { .. } => scheduled && host < PARTIAL_ANYCAST_HOSTS,
@@ -161,7 +161,7 @@ impl Target {
 
     /// Ground-truth: is any address in this prefix anycast on `day`?
     pub fn any_anycast_on(&self, day: u32) -> bool {
-        let scheduled = self.temp.map_or(true, |t| t.active_on(day));
+        let scheduled = self.temp.is_none_or(|t| t.active_on(day));
         matches!(
             self.kind,
             TargetKind::Anycast { .. } | TargetKind::PartialAnycast { .. }

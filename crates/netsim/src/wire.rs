@@ -11,6 +11,7 @@
 
 use laces_packet::probe::Packet;
 use laces_packet::{PacketError, PrefixKey, Protocol};
+use serde::{Deserialize, Serialize};
 use std::net::IpAddr;
 
 use crate::platform::{PlatformId, PlatformKind};
@@ -63,6 +64,57 @@ pub struct Delivery {
     pub rx_time_ms: u64,
     /// The round-trip time as a float (what scamper would log).
     pub rtt_ms: f64,
+}
+
+/// Deterministic fault model for the capture fabric: the path a captured
+/// reply takes from a site's capture filter back to the worker process.
+/// Real deployments lose and occasionally duplicate captures here (pcap
+/// buffer overruns, mirrored spans); the model makes both injectable.
+///
+/// The verdict for a delivery is a pure function of `seed` and the
+/// delivery's coordinates (receiving site, capture time, responder), so a
+/// rerun under the same fault plan reproduces the identical record stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CaptureFaults {
+    /// Fault-plan seed the verdicts are keyed on.
+    pub seed: u64,
+    /// Probability a capture is silently dropped before reaching the worker.
+    pub drop_rate: f64,
+    /// Probability a capture is delivered twice (checked only if not
+    /// dropped).
+    pub dup_rate: f64,
+}
+
+/// What the capture fabric does with one delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricVerdict {
+    /// Delivered once (the non-faulty path).
+    Deliver,
+    /// Lost in the fabric; the worker never sees it.
+    Drop,
+    /// Delivered twice; the worker records it twice.
+    Duplicate,
+}
+
+impl CaptureFaults {
+    /// Decide the fate of `d`, deterministically in `(seed, d)`.
+    pub fn verdict(&self, d: &Delivery) -> FabricVerdict {
+        let src = match d.packet.src {
+            IpAddr::V4(a) => u64::from(u32::from(a)),
+            IpAddr::V6(a) => {
+                let o = a.octets();
+                o.iter().fold(0u64, |acc, &b| acc.rotate_left(8) ^ u64::from(b))
+            }
+        };
+        let k = rng::key(self.seed, &[0xFAB1C, d.rx_index as u64, d.rx_time_ms, src]);
+        if rng::unit_f64(rng::mix(k, 1)) < self.drop_rate {
+            FabricVerdict::Drop
+        } else if rng::unit_f64(rng::mix(k, 2)) < self.dup_rate {
+            FabricVerdict::Duplicate
+        } else {
+            FabricVerdict::Deliver
+        }
+    }
 }
 
 /// Probability that a target's reverse route flips at least once within a
@@ -125,12 +177,19 @@ impl World {
             ProbeSource::Worker { site, .. } => site,
             ProbeSource::Vp { vp, .. } => vp,
         };
+        // Per-probe draws are keyed by the probe's position in the
+        // measurement schedule (offset inside the target's window), not by
+        // absolute transmit time: pacing the same schedule slower or faster
+        // must redraw nothing, or the census would not be rate-invariant
+        // (§5.5.2). Within one measurement every probe still gets a unique
+        // key via (target, source, window offset).
+        let sched_offset_ms = tx_time_ms.saturating_sub(window_start_ms);
         let probe_key = rng::key(
             self.cfg.seed,
             &[
                 0x920BE,
                 tid.0 as u64,
-                tx_time_ms,
+                sched_offset_ms,
                 src_idx as u64,
                 ctx.id as u64,
             ],

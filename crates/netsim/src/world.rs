@@ -898,16 +898,31 @@ impl World {
             let mut assigned = 0usize;
             let mut i = 0usize;
             while assigned < cfg.hijacked_24s && i < n_v4 {
-                let pick = rng::key(cfg.seed, &[0x41AC, i as u64]) % 97 == 0;
+                let pick = rng::key(cfg.seed, &[0x41AC, i as u64]).is_multiple_of(97);
                 if pick {
-                    if let TargetKind::Unicast { .. } = targets[i].kind {
+                    if let TargetKind::Unicast { city } = targets[i].kind {
                         if targets[i].resp.icmp && !targets[i].jittery {
                             let day = (rng::key(cfg.seed, &[0x41AD, i as u64])
                                 % u64::from(HIJACK_WINDOW_DAYS))
                                 as u32;
-                            let attacker = stub_list[(rng::key(cfg.seed, &[0x41AE, i as u64])
+                            // A bogus origin near the victim is inside the
+                            // victim's own feasibility disks — GCD cannot
+                            // distinguish it even in principle, so such an
+                            // event models nothing detectable. Plant only
+                            // intercontinental hijacks: scan the stub list
+                            // from a keyed random start for an attacker far
+                            // from the victim.
+                            let victim_coord = db.get(city).coord;
+                            let start = (rng::key(cfg.seed, &[0x41AE, i as u64])
                                 % stub_list.len() as u64)
-                                as usize];
+                                as usize;
+                            let attacker = (0..stub_list.len())
+                                .map(|k| stub_list[(start + k) % stub_list.len()])
+                                .find(|&a| {
+                                    db.get(topo.home_city(a)).coord.gcd_km(&victim_coord)
+                                        >= 7_000.0
+                                })
+                                .unwrap_or(stub_list[start]);
                             targets[i].hijack = Some(crate::targets::Hijack {
                                 day,
                                 attacker_as: attacker,

@@ -72,7 +72,7 @@ impl TcpSegment {
 
 /// Pack probe metadata into the 32-bit acknowledgement number.
 pub fn encode_ack(meta: &ProbeMeta) -> u32 {
-    let worker = u32::from(meta.worker_id & u16::from(MAX_TCP_WORKER_ID));
+    let worker = u32::from(meta.worker_id & MAX_TCP_WORKER_ID);
     let time = (meta.tx_time_ms as u32) & TIME_MASK;
     (worker << TIME_BITS) | time
 }

@@ -79,7 +79,7 @@ fn main() {
         offset_ms: req.offset_ms,
         encoding: req.encoding,
         day: req.day,
-        fail: None,
+        faults: laces_core::fault::FaultPlan::default(),
         senders: None,
     };
     let t0 = std::time::Instant::now();

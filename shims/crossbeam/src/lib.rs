@@ -1,0 +1,345 @@
+//! Offline crossbeam shim: MPMC channels (Mutex + Condvar backed) with the
+//! crossbeam-channel API subset the measurement path uses. Disconnect
+//! semantics match crossbeam: a channel is disconnected when every handle
+//! on the other side is dropped; queued messages stay drainable after
+//! sender disconnect.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: Option<usize>,
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// The receiver disconnected; the message is returned.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error for [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
+    /// All senders dropped and the queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue currently empty.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Create a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap))
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; errors only when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.0.cap {
+                    Some(cap) if inner.queue.len() >= cap => {
+                        inner = self.0.not_full.wait(inner).unwrap();
+                    }
+                    _ => {
+                        inner.queue.push_back(msg);
+                        self.0.not_empty.notify_one();
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        /// Non-blocking send.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.0.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.0.cap {
+                if inner.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            inner.queue.push_back(msg);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.0.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                // Wake receivers blocked on an empty queue so they observe
+                // the disconnect.
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; drains queued messages before reporting
+        /// disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.not_empty.wait(inner).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.0.inner.lock().unwrap();
+            if let Some(msg) = inner.queue.pop_front() {
+                self.0.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocking iterator until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.0.inner.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.inner.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                // Wake senders blocked on a full queue so they observe the
+                // disconnect.
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    /// Owning blocking iterator.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn disconnect_drains_then_errors() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn bounded_try_send_full() {
+        let (tx, rx) = channel::bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(channel::TrySendError::Full(2))));
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(3),
+            Err(channel::TrySendError::Disconnected(3))
+        ));
+    }
+
+    #[test]
+    fn blocking_send_unblocks_on_recv() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn iter_ends_on_disconnect() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mpmc_across_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(t * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), 400);
+    }
+}

@@ -1,0 +1,425 @@
+//! Offline serde_derive shim.
+//!
+//! Hand-rolled derive macros (no syn/quote available offline) for the serde
+//! shim's value-model traits. Supports what the workspace uses: structs with
+//! named fields, tuple structs, unit structs, enums with unit / tuple /
+//! struct variants, and plain type parameters (each gets a trait bound).
+//! Field attributes (`#[serde(...)]`) are not supported and not used.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    type_params: Vec<String>,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let item = parse_item(item);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let item = parse_item(item);
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+// --- parsing -------------------------------------------------------------
+
+fn parse_item(item: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+
+    let type_params = parse_generics(&tokens, &mut i);
+
+    // Skip a where-clause if present.
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+        {
+            i += 1;
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_body(&tokens, i)),
+        "enum" => Shape::Enum(parse_enum_body(&tokens, i)),
+        other => panic!("cannot derive for {other}"),
+    };
+    Item {
+        name,
+        type_params,
+        shape,
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' and the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `<...>` after the type name, returning the plain type-parameter
+/// idents (lifetimes and const params are rejected — unused here).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return params,
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while *i < tokens.len() && depth > 0 {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => at_param_start = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                panic!("lifetime parameters unsupported by the serde shim derive")
+            }
+            TokenTree::Ident(id) if at_param_start && depth == 1 => {
+                let s = id.to_string();
+                if s == "const" {
+                    panic!("const parameters unsupported by the serde shim derive");
+                }
+                params.push(s);
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_struct_body(tokens: &[TokenTree], i: usize) -> Fields {
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        None => Fields::Unit,
+        other => panic!("unexpected struct body {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, got {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        // Expect ':' then the type, up to a comma at angle-depth zero.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected ':', got {other}"),
+        }
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle = 0i32;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 && idx + 1 < tokens.len() => {
+                n += 1; // ignore a trailing comma
+            }
+            _ => {}
+        }
+    }
+    n
+}
+
+fn parse_enum_body(tokens: &[TokenTree], i: usize) -> Vec<(String, Fields)> {
+    let group = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("expected enum body, got {other:?}"),
+    };
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, got {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant, then the separating comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// --- codegen -------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.type_params.is_empty() {
+        format!("impl ::serde::{t} for {n}", t = trait_name, n = item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{bounds}> ::serde::{t} for {n}<{params}>",
+            bounds = bounded.join(", "),
+            t = trait_name,
+            n = item.name,
+            params = item.type_params.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.shape {
+        Shape::Struct(fields) => ser_struct_body(fields),
+        Shape::Enum(variants) => ser_enum_body(&item.name, variants),
+    };
+    format!(
+        "{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header(item, "Serialize"),
+    )
+}
+
+fn ser_fields_obj(names: &[String], accessor: &str) -> String {
+    let pairs: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({accessor}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Obj(::std::vec![{}])", pairs.join(", "))
+}
+
+fn ser_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => ser_fields_obj(names, "&self."),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => format!(
+                "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+            ),
+            Fields::Tuple(1) => format!(
+                "{name}::{v}(a0) => ::serde::Value::Obj(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(a0))]),"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("a{i}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(a{i})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({binds}) => ::serde::Value::Obj(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Arr(::std::vec![{items}]))]),",
+                    binds = binds.join(", "),
+                    items = items.join(", ")
+                )
+            }
+            Fields::Named(field_names) => {
+                let binds = field_names.join(", ");
+                let obj = ser_fields_obj(field_names, "");
+                format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::Value::Obj(::std::vec![(::std::string::String::from(\"{v}\"), {obj})]),"
+                )
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(" "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match &item.shape {
+        Shape::Struct(fields) => de_struct_body(&item.name, fields),
+        Shape::Enum(variants) => de_enum_body(&item.name, variants),
+    };
+    format!(
+        "{header} {{ fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        header = impl_header(item, "Deserialize"),
+    )
+}
+
+fn de_named_fields(type_path: &str, names: &[String], source: &str) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value({source}.get(\"{f}\").unwrap_or(&::serde::Value::Null))?"
+            )
+        })
+        .collect();
+    format!(
+        "::std::result::Result::Ok({type_path} {{ {} }})",
+        fields.join(", ")
+    )
+}
+
+fn de_tuple_fields(type_path: &str, n: usize, source: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| {
+            format!(
+                "::serde::Deserialize::from_value(items.get({i}).unwrap_or(&::serde::Value::Null))?"
+            )
+        })
+        .collect();
+    format!(
+        "{{ let items = {source}.as_arr().ok_or_else(|| ::serde::DeError::expected(\"tuple array\", {source}))?; ::std::result::Result::Ok({type_path}({items})) }}",
+        items = items.join(", ")
+    )
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => de_named_fields(name, names, "v"),
+        Fields::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Fields::Tuple(n) => de_tuple_fields(name, *n, "v"),
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let keyed_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(v, fields)| match fields {
+            Fields::Unit => None,
+            Fields::Tuple(1) => Some(format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(val)?)),"
+            )),
+            Fields::Tuple(n) => Some(format!(
+                "\"{v}\" => {},",
+                de_tuple_fields(&format!("{name}::{v}"), *n, "val")
+            )),
+            Fields::Named(field_names) => Some(format!(
+                "\"{v}\" => {},",
+                de_named_fields(&format!("{name}::{v}"), field_names, "val")
+            )),
+        })
+        .collect();
+    format!(
+        "match v {{ \
+            ::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant {{other:?}}\"))), }}, \
+            ::serde::Value::Obj(pairs) if pairs.len() == 1 => {{ \
+                let (k, val) = &pairs[0]; \
+                match k.as_str() {{ {keyed_arms} other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant {{other:?}}\"))), }} \
+            }}, \
+            other => ::std::result::Result::Err(::serde::DeError::expected(\"enum variant\", other)), \
+        }}",
+        unit_arms = unit_arms.join(" "),
+        keyed_arms = keyed_arms.join(" "),
+    )
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/catchment_mapping-469d803e2f094684.d: examples/catchment_mapping.rs
+
+/root/repo/target/debug/deps/catchment_mapping-469d803e2f094684: examples/catchment_mapping.rs
+
+examples/catchment_mapping.rs:

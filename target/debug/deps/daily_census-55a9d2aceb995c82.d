@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daily_census-55a9d2aceb995c82.d: examples/daily_census.rs
+
+/root/repo/target/debug/deps/daily_census-55a9d2aceb995c82: examples/daily_census.rs
+
+examples/daily_census.rs:

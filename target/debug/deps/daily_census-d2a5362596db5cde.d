@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daily_census-d2a5362596db5cde.d: tests/tests/daily_census.rs
+
+/root/repo/target/debug/deps/daily_census-d2a5362596db5cde: tests/tests/daily_census.rs
+
+tests/tests/daily_census.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_hijack_tmp-924e4ae0c814edab.d: tests/tests/debug_hijack_tmp.rs
+
+/root/repo/target/debug/deps/debug_hijack_tmp-924e4ae0c814edab: tests/tests/debug_hijack_tmp.rs
+
+tests/tests/debug_hijack_tmp.rs:

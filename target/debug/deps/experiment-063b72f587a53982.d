@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment-063b72f587a53982.d: crates/bench/src/bin/experiment.rs
+
+/root/repo/target/debug/deps/experiment-063b72f587a53982: crates/bench/src/bin/experiment.rs
+
+crates/bench/src/bin/experiment.rs:

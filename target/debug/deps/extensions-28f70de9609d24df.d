@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-28f70de9609d24df.d: tests/tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-28f70de9609d24df: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

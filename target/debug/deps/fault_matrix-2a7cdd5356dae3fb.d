@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_matrix-2a7cdd5356dae3fb.d: crates/core/tests/fault_matrix.rs
+
+/root/repo/target/debug/deps/fault_matrix-2a7cdd5356dae3fb: crates/core/tests/fault_matrix.rs
+
+crates/core/tests/fault_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gcd_e2e-075e1b558b2452e4.d: crates/gcd/tests/gcd_e2e.rs
+
+/root/repo/target/debug/deps/gcd_e2e-075e1b558b2452e4: crates/gcd/tests/gcd_e2e.rs
+
+crates/gcd/tests/gcd_e2e.rs:

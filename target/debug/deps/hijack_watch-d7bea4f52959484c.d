@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hijack_watch-d7bea4f52959484c.d: examples/hijack_watch.rs
+
+/root/repo/target/debug/deps/hijack_watch-d7bea4f52959484c: examples/hijack_watch.rs
+
+examples/hijack_watch.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/laces_baselines-60027dbd62935eff.d: crates/baselines/src/lib.rs crates/baselines/src/bgp_passive.rs crates/baselines/src/bgptools.rs crates/baselines/src/chaos_detect.rs crates/baselines/src/igreedy_classic.rs crates/baselines/src/manycast2.rs
+
+/root/repo/target/debug/deps/liblaces_baselines-60027dbd62935eff.rlib: crates/baselines/src/lib.rs crates/baselines/src/bgp_passive.rs crates/baselines/src/bgptools.rs crates/baselines/src/chaos_detect.rs crates/baselines/src/igreedy_classic.rs crates/baselines/src/manycast2.rs
+
+/root/repo/target/debug/deps/liblaces_baselines-60027dbd62935eff.rmeta: crates/baselines/src/lib.rs crates/baselines/src/bgp_passive.rs crates/baselines/src/bgptools.rs crates/baselines/src/chaos_detect.rs crates/baselines/src/igreedy_classic.rs crates/baselines/src/manycast2.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bgp_passive.rs:
+crates/baselines/src/bgptools.rs:
+crates/baselines/src/chaos_detect.rs:
+crates/baselines/src/igreedy_classic.rs:
+crates/baselines/src/manycast2.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/laces_baselines-e7bb0161d70ca358.d: crates/baselines/src/lib.rs crates/baselines/src/bgp_passive.rs crates/baselines/src/bgptools.rs crates/baselines/src/chaos_detect.rs crates/baselines/src/igreedy_classic.rs crates/baselines/src/manycast2.rs
+
+/root/repo/target/debug/deps/laces_baselines-e7bb0161d70ca358: crates/baselines/src/lib.rs crates/baselines/src/bgp_passive.rs crates/baselines/src/bgptools.rs crates/baselines/src/chaos_detect.rs crates/baselines/src/igreedy_classic.rs crates/baselines/src/manycast2.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bgp_passive.rs:
+crates/baselines/src/bgptools.rs:
+crates/baselines/src/chaos_detect.rs:
+crates/baselines/src/igreedy_classic.rs:
+crates/baselines/src/manycast2.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/laces_bench-745c39c832ee0b65.d: crates/bench/src/lib.rs crates/bench/src/artifacts.rs crates/bench/src/extras.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/liblaces_bench-745c39c832ee0b65.rlib: crates/bench/src/lib.rs crates/bench/src/artifacts.rs crates/bench/src/extras.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/liblaces_bench-745c39c832ee0b65.rmeta: crates/bench/src/lib.rs crates/bench/src/artifacts.rs crates/bench/src/extras.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/artifacts.rs:
+crates/bench/src/extras.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/laces_bench-bbb9801c846cbdbc.d: crates/bench/src/lib.rs crates/bench/src/artifacts.rs crates/bench/src/extras.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/laces_bench-bbb9801c846cbdbc: crates/bench/src/lib.rs crates/bench/src/artifacts.rs crates/bench/src/extras.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/artifacts.rs:
+crates/bench/src/extras.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/laces_core-238803c2e7817faa.d: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/catchment.rs crates/core/src/classify.rs crates/core/src/cli.rs crates/core/src/fault.rs crates/core/src/orchestrator.rs crates/core/src/rate.rs crates/core/src/results.rs crates/core/src/spec.rs crates/core/src/worker.rs
+
+/root/repo/target/debug/deps/liblaces_core-238803c2e7817faa.rlib: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/catchment.rs crates/core/src/classify.rs crates/core/src/cli.rs crates/core/src/fault.rs crates/core/src/orchestrator.rs crates/core/src/rate.rs crates/core/src/results.rs crates/core/src/spec.rs crates/core/src/worker.rs
+
+/root/repo/target/debug/deps/liblaces_core-238803c2e7817faa.rmeta: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/catchment.rs crates/core/src/classify.rs crates/core/src/cli.rs crates/core/src/fault.rs crates/core/src/orchestrator.rs crates/core/src/rate.rs crates/core/src/results.rs crates/core/src/spec.rs crates/core/src/worker.rs
+
+crates/core/src/lib.rs:
+crates/core/src/auth.rs:
+crates/core/src/catchment.rs:
+crates/core/src/classify.rs:
+crates/core/src/cli.rs:
+crates/core/src/fault.rs:
+crates/core/src/orchestrator.rs:
+crates/core/src/rate.rs:
+crates/core/src/results.rs:
+crates/core/src/spec.rs:
+crates/core/src/worker.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/laces_core-d8814076302fee4c.d: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/catchment.rs crates/core/src/classify.rs crates/core/src/cli.rs crates/core/src/fault.rs crates/core/src/orchestrator.rs crates/core/src/rate.rs crates/core/src/results.rs crates/core/src/spec.rs crates/core/src/worker.rs
+
+/root/repo/target/debug/deps/laces_core-d8814076302fee4c: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/catchment.rs crates/core/src/classify.rs crates/core/src/cli.rs crates/core/src/fault.rs crates/core/src/orchestrator.rs crates/core/src/rate.rs crates/core/src/results.rs crates/core/src/spec.rs crates/core/src/worker.rs
+
+crates/core/src/lib.rs:
+crates/core/src/auth.rs:
+crates/core/src/catchment.rs:
+crates/core/src/classify.rs:
+crates/core/src/cli.rs:
+crates/core/src/fault.rs:
+crates/core/src/orchestrator.rs:
+crates/core/src/rate.rs:
+crates/core/src/results.rs:
+crates/core/src/spec.rs:
+crates/core/src/worker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/laces_examples-64057ea215e6a136.d: examples/support.rs
+
+/root/repo/target/debug/deps/laces_examples-64057ea215e6a136: examples/support.rs
+
+examples/support.rs:

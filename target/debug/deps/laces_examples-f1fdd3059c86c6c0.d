@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/laces_examples-f1fdd3059c86c6c0.d: examples/support.rs
+
+/root/repo/target/debug/deps/liblaces_examples-f1fdd3059c86c6c0.rlib: examples/support.rs
+
+/root/repo/target/debug/deps/liblaces_examples-f1fdd3059c86c6c0.rmeta: examples/support.rs
+
+examples/support.rs:

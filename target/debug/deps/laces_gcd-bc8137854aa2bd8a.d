@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/laces_gcd-bc8137854aa2bd8a.d: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs
+
+/root/repo/target/debug/deps/laces_gcd-bc8137854aa2bd8a: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs
+
+crates/gcd/src/lib.rs:
+crates/gcd/src/engine.rs:
+crates/gcd/src/enumerate.rs:
+crates/gcd/src/vp_selection.rs:

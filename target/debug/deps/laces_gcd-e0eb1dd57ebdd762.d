@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/laces_gcd-e0eb1dd57ebdd762.d: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs
+
+/root/repo/target/debug/deps/liblaces_gcd-e0eb1dd57ebdd762.rlib: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs
+
+/root/repo/target/debug/deps/liblaces_gcd-e0eb1dd57ebdd762.rmeta: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs
+
+crates/gcd/src/lib.rs:
+crates/gcd/src/engine.rs:
+crates/gcd/src/enumerate.rs:
+crates/gcd/src/vp_selection.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/laces_geo-a6145ea6bbee3121.d: crates/geo/src/lib.rs crates/geo/src/cities.rs crates/geo/src/continent.rs crates/geo/src/coord.rs
+
+/root/repo/target/debug/deps/liblaces_geo-a6145ea6bbee3121.rlib: crates/geo/src/lib.rs crates/geo/src/cities.rs crates/geo/src/continent.rs crates/geo/src/coord.rs
+
+/root/repo/target/debug/deps/liblaces_geo-a6145ea6bbee3121.rmeta: crates/geo/src/lib.rs crates/geo/src/cities.rs crates/geo/src/continent.rs crates/geo/src/coord.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/cities.rs:
+crates/geo/src/continent.rs:
+crates/geo/src/coord.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/laces_geo-bfe7d91a1056ec7f.d: crates/geo/src/lib.rs crates/geo/src/cities.rs crates/geo/src/continent.rs crates/geo/src/coord.rs
+
+/root/repo/target/debug/deps/laces_geo-bfe7d91a1056ec7f: crates/geo/src/lib.rs crates/geo/src/cities.rs crates/geo/src/continent.rs crates/geo/src/coord.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/cities.rs:
+crates/geo/src/continent.rs:
+crates/geo/src/coord.rs:

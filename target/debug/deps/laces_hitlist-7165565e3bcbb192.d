@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/laces_hitlist-7165565e3bcbb192.d: crates/hitlist/src/lib.rs
+
+/root/repo/target/debug/deps/laces_hitlist-7165565e3bcbb192: crates/hitlist/src/lib.rs
+
+crates/hitlist/src/lib.rs:

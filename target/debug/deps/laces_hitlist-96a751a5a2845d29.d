@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/laces_hitlist-96a751a5a2845d29.d: crates/hitlist/src/lib.rs
+
+/root/repo/target/debug/deps/liblaces_hitlist-96a751a5a2845d29.rlib: crates/hitlist/src/lib.rs
+
+/root/repo/target/debug/deps/liblaces_hitlist-96a751a5a2845d29.rmeta: crates/hitlist/src/lib.rs
+
+crates/hitlist/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/laces_integration_tests-39abfe1e9448cb0f.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/liblaces_integration_tests-39abfe1e9448cb0f.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/liblaces_integration_tests-39abfe1e9448cb0f.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

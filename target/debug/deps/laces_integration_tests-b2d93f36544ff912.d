@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/laces_integration_tests-b2d93f36544ff912.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/laces_integration_tests-b2d93f36544ff912: tests/src/lib.rs
+
+tests/src/lib.rs:

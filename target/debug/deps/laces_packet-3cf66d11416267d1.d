@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/laces_packet-3cf66d11416267d1.d: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/checksum.rs crates/packet/src/dns.rs crates/packet/src/icmp.rs crates/packet/src/probe.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+/root/repo/target/debug/deps/liblaces_packet-3cf66d11416267d1.rlib: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/checksum.rs crates/packet/src/dns.rs crates/packet/src/icmp.rs crates/packet/src/probe.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+/root/repo/target/debug/deps/liblaces_packet-3cf66d11416267d1.rmeta: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/checksum.rs crates/packet/src/dns.rs crates/packet/src/icmp.rs crates/packet/src/probe.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/addr.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/dns.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/probe.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/laces_packet-4f97fcf15814acc0.d: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/checksum.rs crates/packet/src/dns.rs crates/packet/src/icmp.rs crates/packet/src/probe.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+/root/repo/target/debug/deps/laces_packet-4f97fcf15814acc0: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/checksum.rs crates/packet/src/dns.rs crates/packet/src/icmp.rs crates/packet/src/probe.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/addr.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/dns.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/probe.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:

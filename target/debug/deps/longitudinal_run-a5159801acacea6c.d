@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/longitudinal_run-a5159801acacea6c.d: tests/tests/longitudinal_run.rs
+
+/root/repo/target/debug/deps/longitudinal_run-a5159801acacea6c: tests/tests/longitudinal_run.rs
+
+tests/tests/longitudinal_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/measurement_e2e-e1c6afa1b06da542.d: crates/core/tests/measurement_e2e.rs
+
+/root/repo/target/debug/deps/measurement_e2e-e1c6afa1b06da542: crates/core/tests/measurement_e2e.rs
+
+crates/core/tests/measurement_e2e.rs:

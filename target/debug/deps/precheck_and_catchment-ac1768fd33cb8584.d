@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/precheck_and_catchment-ac1768fd33cb8584.d: crates/core/tests/precheck_and_catchment.rs
+
+/root/repo/target/debug/deps/precheck_and_catchment-ac1768fd33cb8584: crates/core/tests/precheck_and_catchment.rs
+
+crates/core/tests/precheck_and_catchment.rs:

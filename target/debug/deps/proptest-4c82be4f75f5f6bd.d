@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-4c82be4f75f5f6bd.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-4c82be4f75f5f6bd: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-712d4b8d217b828f.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-712d4b8d217b828f.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-712d4b8d217b828f.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_analysis-cce960852c8b185d.d: crates/census/tests/proptest_analysis.rs
+
+/root/repo/target/debug/deps/proptest_analysis-cce960852c8b185d: crates/census/tests/proptest_analysis.rs
+
+crates/census/tests/proptest_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_geo-b870a574f87c1e61.d: crates/geo/tests/proptest_geo.rs
+
+/root/repo/target/debug/deps/proptest_geo-b870a574f87c1e61: crates/geo/tests/proptest_geo.rs
+
+crates/geo/tests/proptest_geo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_packet-9784b1c8b70d10b4.d: crates/packet/tests/proptest_packet.rs
+
+/root/repo/target/debug/deps/proptest_packet-9784b1c8b70d10b4: crates/packet/tests/proptest_packet.rs
+
+crates/packet/tests/proptest_packet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_routing-14c9b7e92f807996.d: crates/netsim/tests/proptest_routing.rs
+
+/root/repo/target/debug/deps/proptest_routing-14c9b7e92f807996: crates/netsim/tests/proptest_routing.rs
+
+crates/netsim/tests/proptest_routing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-6c685f43b1418210.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-6c685f43b1418210: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/regional_anycast-d6cb76079f925e21.d: examples/regional_anycast.rs
+
+/root/repo/target/debug/deps/regional_anycast-d6cb76079f925e21: examples/regional_anycast.rs
+
+examples/regional_anycast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-9cc6dc785b845f8d.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-9cc6dc785b845f8d: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

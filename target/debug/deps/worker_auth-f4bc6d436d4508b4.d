@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/worker_auth-f4bc6d436d4508b4.d: crates/core/tests/worker_auth.rs
+
+/root/repo/target/debug/deps/worker_auth-f4bc6d436d4508b4: crates/core/tests/worker_auth.rs
+
+crates/core/tests/worker_auth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/world_behavior-5f1b093a6a911dc9.d: crates/netsim/tests/world_behavior.rs
+
+/root/repo/target/debug/deps/world_behavior-5f1b093a6a911dc9: crates/netsim/tests/world_behavior.rs
+
+crates/netsim/tests/world_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scale_test-1ff4272757634f61.d: crates/netsim/examples/scale_test.rs
+
+/root/repo/target/debug/examples/scale_test-1ff4272757634f61: crates/netsim/examples/scale_test.rs
+
+crates/netsim/examples/scale_test.rs:

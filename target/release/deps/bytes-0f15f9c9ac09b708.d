@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-0f15f9c9ac09b708.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-0f15f9c9ac09b708: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

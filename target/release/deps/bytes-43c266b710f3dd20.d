@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bytes-43c266b710f3dd20.d: shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbytes-43c266b710f3dd20.rmeta: shims/bytes/src/lib.rs Cargo.toml
+
+shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

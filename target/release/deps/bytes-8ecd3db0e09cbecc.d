@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-8ecd3db0e09cbecc.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-8ecd3db0e09cbecc.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-8ecd3db0e09cbecc.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

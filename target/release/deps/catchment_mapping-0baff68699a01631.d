@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/catchment_mapping-0baff68699a01631.d: examples/catchment_mapping.rs Cargo.toml
+
+/root/repo/target/release/deps/libcatchment_mapping-0baff68699a01631.rmeta: examples/catchment_mapping.rs Cargo.toml
+
+examples/catchment_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

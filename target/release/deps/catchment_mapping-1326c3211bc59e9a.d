@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/catchment_mapping-1326c3211bc59e9a.d: examples/catchment_mapping.rs
+
+/root/repo/target/release/deps/catchment_mapping-1326c3211bc59e9a: examples/catchment_mapping.rs
+
+examples/catchment_mapping.rs:

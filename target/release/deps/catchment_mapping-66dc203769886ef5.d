@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/catchment_mapping-66dc203769886ef5.d: examples/catchment_mapping.rs Cargo.toml
+
+/root/repo/target/release/deps/libcatchment_mapping-66dc203769886ef5.rmeta: examples/catchment_mapping.rs Cargo.toml
+
+examples/catchment_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/catchment_mapping-e3c1031f430ac928.d: examples/catchment_mapping.rs
+
+/root/repo/target/release/deps/catchment_mapping-e3c1031f430ac928: examples/catchment_mapping.rs
+
+examples/catchment_mapping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-3b195f844ba741fb.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-3b195f844ba741fb: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

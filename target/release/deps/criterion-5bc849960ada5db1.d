@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-5bc849960ada5db1.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-5bc849960ada5db1.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-5bc849960ada5db1.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

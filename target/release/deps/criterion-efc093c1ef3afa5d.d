@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-efc093c1ef3afa5d.d: shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-efc093c1ef3afa5d.rmeta: shims/criterion/src/lib.rs Cargo.toml
+
+shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

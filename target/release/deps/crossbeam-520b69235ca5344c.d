@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-520b69235ca5344c.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-520b69235ca5344c: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

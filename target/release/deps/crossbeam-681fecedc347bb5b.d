@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-681fecedc347bb5b.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-681fecedc347bb5b.rlib: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-681fecedc347bb5b.rmeta: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-d0de2d99783254ac.d: shims/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-d0de2d99783254ac.rmeta: shims/crossbeam/src/lib.rs Cargo.toml
+
+shims/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/daily_census-13b61d7bad9b129c.d: examples/daily_census.rs Cargo.toml
+
+/root/repo/target/release/deps/libdaily_census-13b61d7bad9b129c.rmeta: examples/daily_census.rs Cargo.toml
+
+examples/daily_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/daily_census-52e10bd2b2adeab3.d: tests/tests/daily_census.rs Cargo.toml
+
+/root/repo/target/release/deps/libdaily_census-52e10bd2b2adeab3.rmeta: tests/tests/daily_census.rs Cargo.toml
+
+tests/tests/daily_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/daily_census-8b0595a635d902d5.d: examples/daily_census.rs
+
+/root/repo/target/release/deps/daily_census-8b0595a635d902d5: examples/daily_census.rs
+
+examples/daily_census.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/daily_census-b9c7a8399d06b6e8.d: tests/tests/daily_census.rs
+
+/root/repo/target/release/deps/daily_census-b9c7a8399d06b6e8: tests/tests/daily_census.rs
+
+tests/tests/daily_census.rs:

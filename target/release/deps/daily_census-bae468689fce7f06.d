@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/daily_census-bae468689fce7f06.d: examples/daily_census.rs
+
+/root/repo/target/release/deps/daily_census-bae468689fce7f06: examples/daily_census.rs
+
+examples/daily_census.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/daily_census-f3a294ec2ecd0678.d: examples/daily_census.rs Cargo.toml
+
+/root/repo/target/release/deps/libdaily_census-f3a294ec2ecd0678.rmeta: examples/daily_census.rs Cargo.toml
+
+examples/daily_census.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/enumeration-c99e83d5ac8a3f14.d: crates/bench/benches/enumeration.rs Cargo.toml
+
+/root/repo/target/release/deps/libenumeration-c99e83d5ac8a3f14.rmeta: crates/bench/benches/enumeration.rs Cargo.toml
+
+crates/bench/benches/enumeration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

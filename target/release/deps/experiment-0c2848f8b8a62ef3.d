@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiment-0c2848f8b8a62ef3.d: crates/bench/src/bin/experiment.rs
+
+/root/repo/target/release/deps/experiment-0c2848f8b8a62ef3: crates/bench/src/bin/experiment.rs
+
+crates/bench/src/bin/experiment.rs:

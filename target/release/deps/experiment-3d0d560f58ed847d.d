@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiment-3d0d560f58ed847d.d: crates/bench/src/bin/experiment.rs
+
+/root/repo/target/release/deps/experiment-3d0d560f58ed847d: crates/bench/src/bin/experiment.rs
+
+crates/bench/src/bin/experiment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiment-55f19042028e8a8a.d: crates/bench/src/bin/experiment.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiment-55f19042028e8a8a.rmeta: crates/bench/src/bin/experiment.rs Cargo.toml
+
+crates/bench/src/bin/experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

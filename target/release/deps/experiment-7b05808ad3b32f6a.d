@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/experiment-7b05808ad3b32f6a.d: crates/bench/src/bin/experiment.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiment-7b05808ad3b32f6a.rmeta: crates/bench/src/bin/experiment.rs Cargo.toml
+
+crates/bench/src/bin/experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

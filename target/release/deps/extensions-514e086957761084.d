@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/extensions-514e086957761084.d: tests/tests/extensions.rs Cargo.toml
+
+/root/repo/target/release/deps/libextensions-514e086957761084.rmeta: tests/tests/extensions.rs Cargo.toml
+
+tests/tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-f1eccfcdcd7ea8da.d: tests/tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-f1eccfcdcd7ea8da: tests/tests/extensions.rs
+
+tests/tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_demo-1d6e410291a8d87e.d: examples/fault_demo.rs
+
+/root/repo/target/release/deps/fault_demo-1d6e410291a8d87e: examples/fault_demo.rs
+
+examples/fault_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fault_matrix-2778d6433203bd0b.d: crates/core/tests/fault_matrix.rs Cargo.toml
+
+/root/repo/target/release/deps/libfault_matrix-2778d6433203bd0b.rmeta: crates/core/tests/fault_matrix.rs Cargo.toml
+
+crates/core/tests/fault_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

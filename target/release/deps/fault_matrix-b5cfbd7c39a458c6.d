@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_matrix-b5cfbd7c39a458c6.d: crates/core/tests/fault_matrix.rs
+
+/root/repo/target/release/deps/fault_matrix-b5cfbd7c39a458c6: crates/core/tests/fault_matrix.rs
+
+crates/core/tests/fault_matrix.rs:

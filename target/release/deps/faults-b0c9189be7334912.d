@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/faults-b0c9189be7334912.d: crates/bench/benches/faults.rs
+
+/root/repo/target/release/deps/faults-b0c9189be7334912: crates/bench/benches/faults.rs
+
+crates/bench/benches/faults.rs:

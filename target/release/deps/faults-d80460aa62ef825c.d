@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/faults-d80460aa62ef825c.d: crates/bench/benches/faults.rs Cargo.toml
+
+/root/repo/target/release/deps/libfaults-d80460aa62ef825c.rmeta: crates/bench/benches/faults.rs Cargo.toml
+
+crates/bench/benches/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

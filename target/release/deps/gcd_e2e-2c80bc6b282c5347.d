@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gcd_e2e-2c80bc6b282c5347.d: crates/gcd/tests/gcd_e2e.rs Cargo.toml
+
+/root/repo/target/release/deps/libgcd_e2e-2c80bc6b282c5347.rmeta: crates/gcd/tests/gcd_e2e.rs Cargo.toml
+
+crates/gcd/tests/gcd_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

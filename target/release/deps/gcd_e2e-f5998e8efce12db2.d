@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gcd_e2e-f5998e8efce12db2.d: crates/gcd/tests/gcd_e2e.rs
+
+/root/repo/target/release/deps/gcd_e2e-f5998e8efce12db2: crates/gcd/tests/gcd_e2e.rs
+
+crates/gcd/tests/gcd_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hijack_watch-0dec75a525e69a5d.d: examples/hijack_watch.rs Cargo.toml
+
+/root/repo/target/release/deps/libhijack_watch-0dec75a525e69a5d.rmeta: examples/hijack_watch.rs Cargo.toml
+
+examples/hijack_watch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hijack_watch-710fe9adee601257.d: examples/hijack_watch.rs
+
+/root/repo/target/release/deps/hijack_watch-710fe9adee601257: examples/hijack_watch.rs
+
+examples/hijack_watch.rs:

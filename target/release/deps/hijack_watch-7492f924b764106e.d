@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hijack_watch-7492f924b764106e.d: examples/hijack_watch.rs
+
+/root/repo/target/release/deps/hijack_watch-7492f924b764106e: examples/hijack_watch.rs
+
+examples/hijack_watch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hijack_watch-dae06cb01e6a8f2b.d: examples/hijack_watch.rs Cargo.toml
+
+/root/repo/target/release/deps/libhijack_watch-dae06cb01e6a8f2b.rmeta: examples/hijack_watch.rs Cargo.toml
+
+examples/hijack_watch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

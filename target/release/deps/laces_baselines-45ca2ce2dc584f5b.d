@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/laces_baselines-45ca2ce2dc584f5b.d: crates/baselines/src/lib.rs crates/baselines/src/bgp_passive.rs crates/baselines/src/bgptools.rs crates/baselines/src/chaos_detect.rs crates/baselines/src/igreedy_classic.rs crates/baselines/src/manycast2.rs
+
+/root/repo/target/release/deps/laces_baselines-45ca2ce2dc584f5b: crates/baselines/src/lib.rs crates/baselines/src/bgp_passive.rs crates/baselines/src/bgptools.rs crates/baselines/src/chaos_detect.rs crates/baselines/src/igreedy_classic.rs crates/baselines/src/manycast2.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bgp_passive.rs:
+crates/baselines/src/bgptools.rs:
+crates/baselines/src/chaos_detect.rs:
+crates/baselines/src/igreedy_classic.rs:
+crates/baselines/src/manycast2.rs:

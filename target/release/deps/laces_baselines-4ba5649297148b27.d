@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/laces_baselines-4ba5649297148b27.d: crates/baselines/src/lib.rs crates/baselines/src/bgp_passive.rs crates/baselines/src/bgptools.rs crates/baselines/src/chaos_detect.rs crates/baselines/src/igreedy_classic.rs crates/baselines/src/manycast2.rs
+
+/root/repo/target/release/deps/liblaces_baselines-4ba5649297148b27.rlib: crates/baselines/src/lib.rs crates/baselines/src/bgp_passive.rs crates/baselines/src/bgptools.rs crates/baselines/src/chaos_detect.rs crates/baselines/src/igreedy_classic.rs crates/baselines/src/manycast2.rs
+
+/root/repo/target/release/deps/liblaces_baselines-4ba5649297148b27.rmeta: crates/baselines/src/lib.rs crates/baselines/src/bgp_passive.rs crates/baselines/src/bgptools.rs crates/baselines/src/chaos_detect.rs crates/baselines/src/igreedy_classic.rs crates/baselines/src/manycast2.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bgp_passive.rs:
+crates/baselines/src/bgptools.rs:
+crates/baselines/src/chaos_detect.rs:
+crates/baselines/src/igreedy_classic.rs:
+crates/baselines/src/manycast2.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/laces_baselines-ac15219afcdaa37d.d: crates/baselines/src/lib.rs crates/baselines/src/bgp_passive.rs crates/baselines/src/bgptools.rs crates/baselines/src/chaos_detect.rs crates/baselines/src/igreedy_classic.rs crates/baselines/src/manycast2.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_baselines-ac15219afcdaa37d.rmeta: crates/baselines/src/lib.rs crates/baselines/src/bgp_passive.rs crates/baselines/src/bgptools.rs crates/baselines/src/chaos_detect.rs crates/baselines/src/igreedy_classic.rs crates/baselines/src/manycast2.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/bgp_passive.rs:
+crates/baselines/src/bgptools.rs:
+crates/baselines/src/chaos_detect.rs:
+crates/baselines/src/igreedy_classic.rs:
+crates/baselines/src/manycast2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

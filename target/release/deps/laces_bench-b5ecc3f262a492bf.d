@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/laces_bench-b5ecc3f262a492bf.d: crates/bench/src/lib.rs crates/bench/src/artifacts.rs crates/bench/src/extras.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/laces_bench-b5ecc3f262a492bf: crates/bench/src/lib.rs crates/bench/src/artifacts.rs crates/bench/src/extras.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/artifacts.rs:
+crates/bench/src/extras.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/laces_bench-bf017669cff4a7ff.d: crates/bench/src/lib.rs crates/bench/src/artifacts.rs crates/bench/src/extras.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_bench-bf017669cff4a7ff.rmeta: crates/bench/src/lib.rs crates/bench/src/artifacts.rs crates/bench/src/extras.rs crates/bench/src/figures.rs crates/bench/src/report.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/artifacts.rs:
+crates/bench/src/extras.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/report.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

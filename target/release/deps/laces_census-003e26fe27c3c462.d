@@ -1,0 +1,26 @@
+/root/repo/target/release/deps/laces_census-003e26fe27c3c462.d: crates/census/src/lib.rs crates/census/src/analysis.rs crates/census/src/asn_ranking.rs crates/census/src/atlist.rs crates/census/src/canary.rs crates/census/src/chaos.rs crates/census/src/diff.rs crates/census/src/external.rs crates/census/src/geoloc.rs crates/census/src/groundtruth.rs crates/census/src/hijack.rs crates/census/src/longitudinal.rs crates/census/src/partial.rs crates/census/src/pipeline.rs crates/census/src/record.rs crates/census/src/store.rs crates/census/src/trace_enum.rs crates/census/src/trigger.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_census-003e26fe27c3c462.rmeta: crates/census/src/lib.rs crates/census/src/analysis.rs crates/census/src/asn_ranking.rs crates/census/src/atlist.rs crates/census/src/canary.rs crates/census/src/chaos.rs crates/census/src/diff.rs crates/census/src/external.rs crates/census/src/geoloc.rs crates/census/src/groundtruth.rs crates/census/src/hijack.rs crates/census/src/longitudinal.rs crates/census/src/partial.rs crates/census/src/pipeline.rs crates/census/src/record.rs crates/census/src/store.rs crates/census/src/trace_enum.rs crates/census/src/trigger.rs Cargo.toml
+
+crates/census/src/lib.rs:
+crates/census/src/analysis.rs:
+crates/census/src/asn_ranking.rs:
+crates/census/src/atlist.rs:
+crates/census/src/canary.rs:
+crates/census/src/chaos.rs:
+crates/census/src/diff.rs:
+crates/census/src/external.rs:
+crates/census/src/geoloc.rs:
+crates/census/src/groundtruth.rs:
+crates/census/src/hijack.rs:
+crates/census/src/longitudinal.rs:
+crates/census/src/partial.rs:
+crates/census/src/pipeline.rs:
+crates/census/src/record.rs:
+crates/census/src/store.rs:
+crates/census/src/trace_enum.rs:
+crates/census/src/trigger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/laces_core-1e065f62304d4b94.d: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/catchment.rs crates/core/src/classify.rs crates/core/src/cli.rs crates/core/src/fault.rs crates/core/src/orchestrator.rs crates/core/src/rate.rs crates/core/src/results.rs crates/core/src/spec.rs crates/core/src/worker.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_core-1e065f62304d4b94.rmeta: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/catchment.rs crates/core/src/classify.rs crates/core/src/cli.rs crates/core/src/fault.rs crates/core/src/orchestrator.rs crates/core/src/rate.rs crates/core/src/results.rs crates/core/src/spec.rs crates/core/src/worker.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/auth.rs:
+crates/core/src/catchment.rs:
+crates/core/src/classify.rs:
+crates/core/src/cli.rs:
+crates/core/src/fault.rs:
+crates/core/src/orchestrator.rs:
+crates/core/src/rate.rs:
+crates/core/src/results.rs:
+crates/core/src/spec.rs:
+crates/core/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

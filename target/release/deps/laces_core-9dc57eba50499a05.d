@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/laces_core-9dc57eba50499a05.d: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/catchment.rs crates/core/src/classify.rs crates/core/src/cli.rs crates/core/src/fault.rs crates/core/src/orchestrator.rs crates/core/src/rate.rs crates/core/src/results.rs crates/core/src/spec.rs crates/core/src/worker.rs
+
+/root/repo/target/release/deps/liblaces_core-9dc57eba50499a05.rlib: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/catchment.rs crates/core/src/classify.rs crates/core/src/cli.rs crates/core/src/fault.rs crates/core/src/orchestrator.rs crates/core/src/rate.rs crates/core/src/results.rs crates/core/src/spec.rs crates/core/src/worker.rs
+
+/root/repo/target/release/deps/liblaces_core-9dc57eba50499a05.rmeta: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/catchment.rs crates/core/src/classify.rs crates/core/src/cli.rs crates/core/src/fault.rs crates/core/src/orchestrator.rs crates/core/src/rate.rs crates/core/src/results.rs crates/core/src/spec.rs crates/core/src/worker.rs
+
+crates/core/src/lib.rs:
+crates/core/src/auth.rs:
+crates/core/src/catchment.rs:
+crates/core/src/classify.rs:
+crates/core/src/cli.rs:
+crates/core/src/fault.rs:
+crates/core/src/orchestrator.rs:
+crates/core/src/rate.rs:
+crates/core/src/results.rs:
+crates/core/src/spec.rs:
+crates/core/src/worker.rs:

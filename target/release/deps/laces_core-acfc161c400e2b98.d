@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/laces_core-acfc161c400e2b98.d: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/catchment.rs crates/core/src/classify.rs crates/core/src/cli.rs crates/core/src/fault.rs crates/core/src/orchestrator.rs crates/core/src/rate.rs crates/core/src/results.rs crates/core/src/spec.rs crates/core/src/worker.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_core-acfc161c400e2b98.rmeta: crates/core/src/lib.rs crates/core/src/auth.rs crates/core/src/catchment.rs crates/core/src/classify.rs crates/core/src/cli.rs crates/core/src/fault.rs crates/core/src/orchestrator.rs crates/core/src/rate.rs crates/core/src/results.rs crates/core/src/spec.rs crates/core/src/worker.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/auth.rs:
+crates/core/src/catchment.rs:
+crates/core/src/classify.rs:
+crates/core/src/cli.rs:
+crates/core/src/fault.rs:
+crates/core/src/orchestrator.rs:
+crates/core/src/rate.rs:
+crates/core/src/results.rs:
+crates/core/src/spec.rs:
+crates/core/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

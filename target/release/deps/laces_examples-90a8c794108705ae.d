@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/laces_examples-90a8c794108705ae.d: examples/support.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_examples-90a8c794108705ae.rmeta: examples/support.rs Cargo.toml
+
+examples/support.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/laces_examples-b0f001a6643056b3.d: examples/support.rs
+
+/root/repo/target/release/deps/laces_examples-b0f001a6643056b3: examples/support.rs
+
+examples/support.rs:

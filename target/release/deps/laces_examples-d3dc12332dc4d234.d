@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/laces_examples-d3dc12332dc4d234.d: examples/support.rs
+
+/root/repo/target/release/deps/liblaces_examples-d3dc12332dc4d234.rlib: examples/support.rs
+
+/root/repo/target/release/deps/liblaces_examples-d3dc12332dc4d234.rmeta: examples/support.rs
+
+examples/support.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/laces_examples-d904d1a43d319630.d: examples/support.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_examples-d904d1a43d319630.rmeta: examples/support.rs Cargo.toml
+
+examples/support.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/laces_gcd-0b9afa37c866ed36.d: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs
+
+/root/repo/target/release/deps/liblaces_gcd-0b9afa37c866ed36.rlib: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs
+
+/root/repo/target/release/deps/liblaces_gcd-0b9afa37c866ed36.rmeta: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs
+
+crates/gcd/src/lib.rs:
+crates/gcd/src/engine.rs:
+crates/gcd/src/enumerate.rs:
+crates/gcd/src/vp_selection.rs:

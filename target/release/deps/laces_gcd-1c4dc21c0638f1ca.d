@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/laces_gcd-1c4dc21c0638f1ca.d: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs
+
+/root/repo/target/release/deps/laces_gcd-1c4dc21c0638f1ca: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs
+
+crates/gcd/src/lib.rs:
+crates/gcd/src/engine.rs:
+crates/gcd/src/enumerate.rs:
+crates/gcd/src/vp_selection.rs:

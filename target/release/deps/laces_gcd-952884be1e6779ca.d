@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/laces_gcd-952884be1e6779ca.d: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_gcd-952884be1e6779ca.rmeta: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs Cargo.toml
+
+crates/gcd/src/lib.rs:
+crates/gcd/src/engine.rs:
+crates/gcd/src/enumerate.rs:
+crates/gcd/src/vp_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/laces_gcd-c33582bbadf101ed.d: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_gcd-c33582bbadf101ed.rmeta: crates/gcd/src/lib.rs crates/gcd/src/engine.rs crates/gcd/src/enumerate.rs crates/gcd/src/vp_selection.rs Cargo.toml
+
+crates/gcd/src/lib.rs:
+crates/gcd/src/engine.rs:
+crates/gcd/src/enumerate.rs:
+crates/gcd/src/vp_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

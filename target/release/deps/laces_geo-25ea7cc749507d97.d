@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/laces_geo-25ea7cc749507d97.d: crates/geo/src/lib.rs crates/geo/src/cities.rs crates/geo/src/continent.rs crates/geo/src/coord.rs
+
+/root/repo/target/release/deps/liblaces_geo-25ea7cc749507d97.rlib: crates/geo/src/lib.rs crates/geo/src/cities.rs crates/geo/src/continent.rs crates/geo/src/coord.rs
+
+/root/repo/target/release/deps/liblaces_geo-25ea7cc749507d97.rmeta: crates/geo/src/lib.rs crates/geo/src/cities.rs crates/geo/src/continent.rs crates/geo/src/coord.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/cities.rs:
+crates/geo/src/continent.rs:
+crates/geo/src/coord.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/laces_geo-c89bd584a9f1c7a1.d: crates/geo/src/lib.rs crates/geo/src/cities.rs crates/geo/src/continent.rs crates/geo/src/coord.rs
+
+/root/repo/target/release/deps/laces_geo-c89bd584a9f1c7a1: crates/geo/src/lib.rs crates/geo/src/cities.rs crates/geo/src/continent.rs crates/geo/src/coord.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/cities.rs:
+crates/geo/src/continent.rs:
+crates/geo/src/coord.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/laces_geo-cae72cb22eecd296.d: crates/geo/src/lib.rs crates/geo/src/cities.rs crates/geo/src/continent.rs crates/geo/src/coord.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_geo-cae72cb22eecd296.rmeta: crates/geo/src/lib.rs crates/geo/src/cities.rs crates/geo/src/continent.rs crates/geo/src/coord.rs Cargo.toml
+
+crates/geo/src/lib.rs:
+crates/geo/src/cities.rs:
+crates/geo/src/continent.rs:
+crates/geo/src/coord.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

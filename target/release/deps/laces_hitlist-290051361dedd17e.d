@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/laces_hitlist-290051361dedd17e.d: crates/hitlist/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_hitlist-290051361dedd17e.rmeta: crates/hitlist/src/lib.rs Cargo.toml
+
+crates/hitlist/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/laces_hitlist-5ddff7118ada67d6.d: crates/hitlist/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_hitlist-5ddff7118ada67d6.rmeta: crates/hitlist/src/lib.rs Cargo.toml
+
+crates/hitlist/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

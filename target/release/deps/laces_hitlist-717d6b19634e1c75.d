@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/laces_hitlist-717d6b19634e1c75.d: crates/hitlist/src/lib.rs
+
+/root/repo/target/release/deps/laces_hitlist-717d6b19634e1c75: crates/hitlist/src/lib.rs
+
+crates/hitlist/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/laces_hitlist-db6a570effadf4ae.d: crates/hitlist/src/lib.rs
+
+/root/repo/target/release/deps/liblaces_hitlist-db6a570effadf4ae.rlib: crates/hitlist/src/lib.rs
+
+/root/repo/target/release/deps/liblaces_hitlist-db6a570effadf4ae.rmeta: crates/hitlist/src/lib.rs
+
+crates/hitlist/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/laces_integration_tests-03f72e5133feaf5e.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_integration_tests-03f72e5133feaf5e.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

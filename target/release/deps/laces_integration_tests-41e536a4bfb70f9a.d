@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/laces_integration_tests-41e536a4bfb70f9a.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/laces_integration_tests-41e536a4bfb70f9a: tests/src/lib.rs
+
+tests/src/lib.rs:

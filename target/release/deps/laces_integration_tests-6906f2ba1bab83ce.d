@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/laces_integration_tests-6906f2ba1bab83ce.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/liblaces_integration_tests-6906f2ba1bab83ce.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/liblaces_integration_tests-6906f2ba1bab83ce.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/laces_netsim-807785446a591536.d: crates/netsim/src/lib.rs crates/netsim/src/bgp.rs crates/netsim/src/deployments.rs crates/netsim/src/latency.rs crates/netsim/src/platform.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/targets.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/validate.rs crates/netsim/src/wire.rs crates/netsim/src/world.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_netsim-807785446a591536.rmeta: crates/netsim/src/lib.rs crates/netsim/src/bgp.rs crates/netsim/src/deployments.rs crates/netsim/src/latency.rs crates/netsim/src/platform.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/targets.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/validate.rs crates/netsim/src/wire.rs crates/netsim/src/world.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/bgp.rs:
+crates/netsim/src/deployments.rs:
+crates/netsim/src/latency.rs:
+crates/netsim/src/platform.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/targets.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/validate.rs:
+crates/netsim/src/wire.rs:
+crates/netsim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/laces_netsim-bba7cd53126caa17.d: crates/netsim/src/lib.rs crates/netsim/src/bgp.rs crates/netsim/src/deployments.rs crates/netsim/src/latency.rs crates/netsim/src/platform.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/targets.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/validate.rs crates/netsim/src/wire.rs crates/netsim/src/world.rs
+
+/root/repo/target/release/deps/liblaces_netsim-bba7cd53126caa17.rlib: crates/netsim/src/lib.rs crates/netsim/src/bgp.rs crates/netsim/src/deployments.rs crates/netsim/src/latency.rs crates/netsim/src/platform.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/targets.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/validate.rs crates/netsim/src/wire.rs crates/netsim/src/world.rs
+
+/root/repo/target/release/deps/liblaces_netsim-bba7cd53126caa17.rmeta: crates/netsim/src/lib.rs crates/netsim/src/bgp.rs crates/netsim/src/deployments.rs crates/netsim/src/latency.rs crates/netsim/src/platform.rs crates/netsim/src/rng.rs crates/netsim/src/routing.rs crates/netsim/src/targets.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/validate.rs crates/netsim/src/wire.rs crates/netsim/src/world.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/bgp.rs:
+crates/netsim/src/deployments.rs:
+crates/netsim/src/latency.rs:
+crates/netsim/src/platform.rs:
+crates/netsim/src/rng.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/targets.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/validate.rs:
+crates/netsim/src/wire.rs:
+crates/netsim/src/world.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/laces_packet-89919f474a4b2537.d: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/checksum.rs crates/packet/src/dns.rs crates/packet/src/icmp.rs crates/packet/src/probe.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+/root/repo/target/release/deps/liblaces_packet-89919f474a4b2537.rlib: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/checksum.rs crates/packet/src/dns.rs crates/packet/src/icmp.rs crates/packet/src/probe.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+/root/repo/target/release/deps/liblaces_packet-89919f474a4b2537.rmeta: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/checksum.rs crates/packet/src/dns.rs crates/packet/src/icmp.rs crates/packet/src/probe.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/addr.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/dns.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/probe.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/laces_packet-e068476297b6d2fb.d: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/checksum.rs crates/packet/src/dns.rs crates/packet/src/icmp.rs crates/packet/src/probe.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+/root/repo/target/release/deps/laces_packet-e068476297b6d2fb: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/checksum.rs crates/packet/src/dns.rs crates/packet/src/icmp.rs crates/packet/src/probe.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/addr.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/dns.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/probe.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/laces_packet-f1e33b0e701a7535.d: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/checksum.rs crates/packet/src/dns.rs crates/packet/src/icmp.rs crates/packet/src/probe.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs Cargo.toml
+
+/root/repo/target/release/deps/liblaces_packet-f1e33b0e701a7535.rmeta: crates/packet/src/lib.rs crates/packet/src/addr.rs crates/packet/src/checksum.rs crates/packet/src/dns.rs crates/packet/src/icmp.rs crates/packet/src/probe.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs Cargo.toml
+
+crates/packet/src/lib.rs:
+crates/packet/src/addr.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/dns.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/probe.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

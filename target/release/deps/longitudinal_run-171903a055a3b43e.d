@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/longitudinal_run-171903a055a3b43e.d: tests/tests/longitudinal_run.rs
+
+/root/repo/target/release/deps/longitudinal_run-171903a055a3b43e: tests/tests/longitudinal_run.rs
+
+tests/tests/longitudinal_run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/longitudinal_run-ee72406e4d6990f7.d: tests/tests/longitudinal_run.rs Cargo.toml
+
+/root/repo/target/release/deps/liblongitudinal_run-ee72406e4d6990f7.rmeta: tests/tests/longitudinal_run.rs Cargo.toml
+
+tests/tests/longitudinal_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

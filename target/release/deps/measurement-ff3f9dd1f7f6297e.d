@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/measurement-ff3f9dd1f7f6297e.d: crates/bench/benches/measurement.rs Cargo.toml
+
+/root/repo/target/release/deps/libmeasurement-ff3f9dd1f7f6297e.rmeta: crates/bench/benches/measurement.rs Cargo.toml
+
+crates/bench/benches/measurement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/measurement_e2e-a38a30f0f6a20a1c.d: crates/core/tests/measurement_e2e.rs
+
+/root/repo/target/release/deps/measurement_e2e-a38a30f0f6a20a1c: crates/core/tests/measurement_e2e.rs
+
+crates/core/tests/measurement_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/measurement_e2e-eac9fb271fc5bcca.d: crates/core/tests/measurement_e2e.rs Cargo.toml
+
+/root/repo/target/release/deps/libmeasurement_e2e-eac9fb271fc5bcca.rmeta: crates/core/tests/measurement_e2e.rs Cargo.toml
+
+crates/core/tests/measurement_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

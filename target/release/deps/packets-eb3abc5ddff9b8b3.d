@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/packets-eb3abc5ddff9b8b3.d: crates/bench/benches/packets.rs Cargo.toml
+
+/root/repo/target/release/deps/libpackets-eb3abc5ddff9b8b3.rmeta: crates/bench/benches/packets.rs Cargo.toml
+
+crates/bench/benches/packets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

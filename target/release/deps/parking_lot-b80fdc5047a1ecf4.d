@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-b80fdc5047a1ecf4.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-b80fdc5047a1ecf4.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-b80fdc5047a1ecf4.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-daa518128d0a8a7c.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-daa518128d0a8a7c: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

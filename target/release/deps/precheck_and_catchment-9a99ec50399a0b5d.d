@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/precheck_and_catchment-9a99ec50399a0b5d.d: crates/core/tests/precheck_and_catchment.rs
+
+/root/repo/target/release/deps/precheck_and_catchment-9a99ec50399a0b5d: crates/core/tests/precheck_and_catchment.rs
+
+crates/core/tests/precheck_and_catchment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/precheck_and_catchment-ddfb19e7f2b9537c.d: crates/core/tests/precheck_and_catchment.rs Cargo.toml
+
+/root/repo/target/release/deps/libprecheck_and_catchment-ddfb19e7f2b9537c.rmeta: crates/core/tests/precheck_and_catchment.rs Cargo.toml
+
+crates/core/tests/precheck_and_catchment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

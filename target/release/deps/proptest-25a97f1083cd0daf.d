@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-25a97f1083cd0daf.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-25a97f1083cd0daf.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-25a97f1083cd0daf.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

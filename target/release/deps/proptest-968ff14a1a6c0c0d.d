@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-968ff14a1a6c0c0d.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-968ff14a1a6c0c0d: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-9eb58acdc90e2b0c.d: shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-9eb58acdc90e2b0c.rmeta: shims/proptest/src/lib.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_analysis-11bef4cb47d574f5.d: crates/census/tests/proptest_analysis.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_analysis-11bef4cb47d574f5.rmeta: crates/census/tests/proptest_analysis.rs Cargo.toml
+
+crates/census/tests/proptest_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

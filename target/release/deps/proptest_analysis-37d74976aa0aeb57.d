@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_analysis-37d74976aa0aeb57.d: crates/census/tests/proptest_analysis.rs
+
+/root/repo/target/release/deps/proptest_analysis-37d74976aa0aeb57: crates/census/tests/proptest_analysis.rs
+
+crates/census/tests/proptest_analysis.rs:

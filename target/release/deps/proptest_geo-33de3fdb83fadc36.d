@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_geo-33de3fdb83fadc36.d: crates/geo/tests/proptest_geo.rs
+
+/root/repo/target/release/deps/proptest_geo-33de3fdb83fadc36: crates/geo/tests/proptest_geo.rs
+
+crates/geo/tests/proptest_geo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_geo-db4ccacb30204c9f.d: crates/geo/tests/proptest_geo.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_geo-db4ccacb30204c9f.rmeta: crates/geo/tests/proptest_geo.rs Cargo.toml
+
+crates/geo/tests/proptest_geo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

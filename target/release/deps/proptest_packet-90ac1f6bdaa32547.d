@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_packet-90ac1f6bdaa32547.d: crates/packet/tests/proptest_packet.rs
+
+/root/repo/target/release/deps/proptest_packet-90ac1f6bdaa32547: crates/packet/tests/proptest_packet.rs
+
+crates/packet/tests/proptest_packet.rs:

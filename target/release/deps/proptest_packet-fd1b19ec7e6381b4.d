@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_packet-fd1b19ec7e6381b4.d: crates/packet/tests/proptest_packet.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_packet-fd1b19ec7e6381b4.rmeta: crates/packet/tests/proptest_packet.rs Cargo.toml
+
+crates/packet/tests/proptest_packet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

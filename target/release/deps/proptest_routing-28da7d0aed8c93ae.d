@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_routing-28da7d0aed8c93ae.d: crates/netsim/tests/proptest_routing.rs
+
+/root/repo/target/release/deps/proptest_routing-28da7d0aed8c93ae: crates/netsim/tests/proptest_routing.rs
+
+crates/netsim/tests/proptest_routing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest_routing-3bd98627bc584b0e.d: crates/netsim/tests/proptest_routing.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest_routing-3bd98627bc584b0e.rmeta: crates/netsim/tests/proptest_routing.rs Cargo.toml
+
+crates/netsim/tests/proptest_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

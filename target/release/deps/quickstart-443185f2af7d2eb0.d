@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quickstart-443185f2af7d2eb0.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/deps/libquickstart-443185f2af7d2eb0.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

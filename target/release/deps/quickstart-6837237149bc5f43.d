@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quickstart-6837237149bc5f43.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/deps/libquickstart-6837237149bc5f43.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-b033a1c1f54a720d.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-b033a1c1f54a720d: examples/quickstart.rs
+
+examples/quickstart.rs:

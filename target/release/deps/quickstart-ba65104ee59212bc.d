@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-ba65104ee59212bc.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-ba65104ee59212bc: examples/quickstart.rs
+
+examples/quickstart.rs:

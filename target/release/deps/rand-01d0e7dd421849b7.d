@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-01d0e7dd421849b7.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-01d0e7dd421849b7.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-01d0e7dd421849b7.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-24e0bc3f4833ba68.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-24e0bc3f4833ba68.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

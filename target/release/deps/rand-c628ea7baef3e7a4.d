@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-c628ea7baef3e7a4.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-c628ea7baef3e7a4: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/regional_anycast-065584a81dcde70f.d: examples/regional_anycast.rs
+
+/root/repo/target/release/deps/regional_anycast-065584a81dcde70f: examples/regional_anycast.rs
+
+examples/regional_anycast.rs:

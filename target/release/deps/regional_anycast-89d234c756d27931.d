@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/regional_anycast-89d234c756d27931.d: examples/regional_anycast.rs Cargo.toml
+
+/root/repo/target/release/deps/libregional_anycast-89d234c756d27931.rmeta: examples/regional_anycast.rs Cargo.toml
+
+examples/regional_anycast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

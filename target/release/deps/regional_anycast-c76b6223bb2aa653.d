@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/regional_anycast-c76b6223bb2aa653.d: examples/regional_anycast.rs Cargo.toml
+
+/root/repo/target/release/deps/libregional_anycast-c76b6223bb2aa653.rmeta: examples/regional_anycast.rs Cargo.toml
+
+examples/regional_anycast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/regional_anycast-ec6d3d0da36e5071.d: examples/regional_anycast.rs
+
+/root/repo/target/release/deps/regional_anycast-ec6d3d0da36e5071: examples/regional_anycast.rs
+
+examples/regional_anycast.rs:

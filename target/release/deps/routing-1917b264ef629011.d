@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/routing-1917b264ef629011.d: crates/bench/benches/routing.rs Cargo.toml
+
+/root/repo/target/release/deps/librouting-1917b264ef629011.rmeta: crates/bench/benches/routing.rs Cargo.toml
+
+crates/bench/benches/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-779f7589e7234ce2.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-779f7589e7234ce2: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

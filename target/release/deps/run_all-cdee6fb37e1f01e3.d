@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-cdee6fb37e1f01e3.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-cdee6fb37e1f01e3: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/run_all-f1b6e664ceeed58b.d: crates/bench/src/bin/run_all.rs Cargo.toml
+
+/root/repo/target/release/deps/librun_all-f1b6e664ceeed58b.rmeta: crates/bench/src/bin/run_all.rs Cargo.toml
+
+crates/bench/src/bin/run_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-957f0db79244d131.d: shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-957f0db79244d131.rmeta: shims/serde/src/lib.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

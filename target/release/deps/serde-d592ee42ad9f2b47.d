@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-d592ee42ad9f2b47.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-d592ee42ad9f2b47: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

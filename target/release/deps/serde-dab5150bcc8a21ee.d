@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-dab5150bcc8a21ee.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-dab5150bcc8a21ee.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-dab5150bcc8a21ee.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2b151b73fefceebb.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-2b151b73fefceebb: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-bbed4c27ff7388ee.d: shims/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-bbed4c27ff7388ee.rmeta: shims/serde_derive/src/lib.rs Cargo.toml
+
+shims/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

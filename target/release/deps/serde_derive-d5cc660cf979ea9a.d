@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-d5cc660cf979ea9a.d: shims/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-d5cc660cf979ea9a.rmeta: shims/serde_derive/src/lib.rs Cargo.toml
+
+shims/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

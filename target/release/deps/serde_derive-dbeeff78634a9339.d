@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-dbeeff78634a9339.d: shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-dbeeff78634a9339.so: shims/serde_derive/src/lib.rs
+
+shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-3d45f91b70d6d723.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-3d45f91b70d6d723: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-ade6c39a3005adef.d: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-ade6c39a3005adef.rlib: shims/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-ade6c39a3005adef.rmeta: shims/serde_json/src/lib.rs
+
+shims/serde_json/src/lib.rs:

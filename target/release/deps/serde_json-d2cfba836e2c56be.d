@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_json-d2cfba836e2c56be.d: shims/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_json-d2cfba836e2c56be.rmeta: shims/serde_json/src/lib.rs Cargo.toml
+
+shims/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

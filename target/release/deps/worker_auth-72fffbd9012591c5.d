@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/worker_auth-72fffbd9012591c5.d: crates/core/tests/worker_auth.rs
+
+/root/repo/target/release/deps/worker_auth-72fffbd9012591c5: crates/core/tests/worker_auth.rs
+
+crates/core/tests/worker_auth.rs:

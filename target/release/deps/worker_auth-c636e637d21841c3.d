@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/worker_auth-c636e637d21841c3.d: crates/core/tests/worker_auth.rs Cargo.toml
+
+/root/repo/target/release/deps/libworker_auth-c636e637d21841c3.rmeta: crates/core/tests/worker_auth.rs Cargo.toml
+
+crates/core/tests/worker_auth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/world_behavior-0da56d81371af9ae.d: crates/netsim/tests/world_behavior.rs Cargo.toml
+
+/root/repo/target/release/deps/libworld_behavior-0da56d81371af9ae.rmeta: crates/netsim/tests/world_behavior.rs Cargo.toml
+
+crates/netsim/tests/world_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/world_behavior-9d3081b5f164b2b6.d: crates/netsim/tests/world_behavior.rs
+
+/root/repo/target/release/deps/world_behavior-9d3081b5f164b2b6: crates/netsim/tests/world_behavior.rs
+
+crates/netsim/tests/world_behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scale_test-0ccd23aba44198cf.d: crates/netsim/examples/scale_test.rs
+
+/root/repo/target/release/examples/scale_test-0ccd23aba44198cf: crates/netsim/examples/scale_test.rs
+
+crates/netsim/examples/scale_test.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/scale_test-f165ac4c4b53196e.d: crates/netsim/examples/scale_test.rs Cargo.toml
+
+/root/repo/target/release/examples/libscale_test-f165ac4c4b53196e.rmeta: crates/netsim/examples/scale_test.rs Cargo.toml
+
+crates/netsim/examples/scale_test.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -246,3 +246,30 @@ fn gcd_tcp_fallback_covers_icmp_dark_targets() {
     }
     assert!(seen > 0, "TCP GCD fallback found nothing");
 }
+
+#[test]
+fn degraded_day_publishes_with_the_flag_set() {
+    use laces_core::fault::FaultPlan;
+
+    let w = world();
+    // Crash two workers mid-measurement in every anycast stage. The day
+    // must still publish a census — degraded operation, not an abort (R5).
+    let mut cfg = PipelineConfig::icmp_only(&w);
+    cfg.faults = FaultPlan::crash(3, 5).and_crash(9, 40);
+    let mut pipeline = CensusPipeline::new(Arc::clone(&w), cfg);
+    let out = pipeline.run_day(0);
+
+    assert!(out.degraded, "lost workers must mark the day degraded");
+    assert!(out.census.degraded(), "published census must carry the flag");
+    assert!(out.census.stats.degraded);
+    assert!(
+        !out.census.records.is_empty(),
+        "a degraded day still publishes the records it collected"
+    );
+
+    // A fault-free day over the same world stays clean.
+    let mut clean = CensusPipeline::new(Arc::clone(&w), PipelineConfig::icmp_only(&w));
+    let clean_out = clean.run_day(0);
+    assert!(!clean_out.degraded);
+    assert!(!clean_out.census.degraded());
+}

@@ -113,13 +113,14 @@ fn census_store_roundtrips_a_pipeline_run() {
 fn canary_distinguishes_healthy_days_from_outages() {
     use laces_census::canary::{detect_outages, CanarySnapshot};
     use laces_core::orchestrator::run_measurement;
-    use laces_core::spec::{FailureInjection, MeasurementSpec};
+    use laces_core::fault::FaultPlan;
+    use laces_core::spec::MeasurementSpec;
     use laces_packet::Protocol;
 
     let w = world();
     // Canary reference set: GCD-stable anycast + a slice of the hitlist.
     let targets = Arc::new(laces_hitlist::build_v4(&w).addresses());
-    let mk = |id: u32, fail: Option<FailureInjection>| {
+    let mk = |id: u32, faults: FaultPlan| {
         let mut spec = MeasurementSpec::census(
             id,
             w.std_platforms.production,
@@ -127,26 +128,20 @@ fn canary_distinguishes_healthy_days_from_outages() {
             Arc::clone(&targets),
             0,
         );
-        spec.fail = fail;
+        spec.faults = faults;
         CanarySnapshot::from_outcome(&run_measurement(&w, &spec))
     };
-    let baseline = mk(62_000, None);
+    let baseline = mk(62_000, FaultPlan::none());
     // Three healthy re-measurements: no alarms on any.
     for i in 0..3u32 {
-        let today = mk(62_001 + i, None);
+        let today = mk(62_001 + i, FaultPlan::none());
         assert!(
             detect_outages(&baseline, &today, 0.25).is_empty(),
             "false alarm on run {i}"
         );
     }
     // A dead site alarms.
-    let broken = mk(
-        62_010,
-        Some(FailureInjection {
-            worker: 2,
-            after_orders: 3,
-        }),
-    );
+    let broken = mk(62_010, FaultPlan::crash(2, 3));
     let alarms = detect_outages(&baseline, &broken, 0.25);
     assert!(alarms.iter().any(|a| a.worker == 2));
 }
