@@ -98,8 +98,14 @@ pub struct DayOutput {
     pub classifications: BTreeMap<String, AnycastClassification>,
     /// The GCD stage's report over the AT set, keyed by prefix.
     pub gcd: BTreeMap<PrefixKey, laces_gcd::PrefixGcd>,
-    /// Whether any stage ran degraded (mirrors `census.stats.degraded`).
-    pub degraded: bool,
+}
+
+impl DayOutput {
+    /// Whether any stage of the day ran degraded (see
+    /// [`DailyCensus::degraded`]).
+    pub fn degraded(&self) -> bool {
+        self.census.degraded()
+    }
 }
 
 impl CensusPipeline {
@@ -272,7 +278,6 @@ impl CensusPipeline {
             .collect();
         self.feedback.merge(confirmed, AtSource::DailyGcdFeedback);
 
-        let degraded = stats.degraded;
         DayOutput {
             census: DailyCensus {
                 day,
@@ -281,7 +286,6 @@ impl CensusPipeline {
             },
             classifications,
             gcd: report.results,
-            degraded,
         }
     }
 }

@@ -6,8 +6,13 @@
 //! capture-fabric drops and duplications, and a mid-stream abort of the
 //! whole measurement. The plan is serializable (so a failing run can be
 //! attached to a bug report and replayed) and every stochastic choice in it
-//! is keyed on one `seed`, so two runs under the same plan produce
-//! bit-identical [`MeasurementOutcome`](crate::results::MeasurementOutcome)s.
+//! is keyed on one `seed`, so two runs under the same abort-free plan
+//! produce bit-identical
+//! [`MeasurementOutcome`](crate::results::MeasurementOutcome)s. A
+//! mid-stream abort fires deterministically but cuts the stream at a
+//! scheduling-dependent point, exactly like the real CLI disconnect it
+//! models — replays of abort plans keep every collected record, not the
+//! identical cut.
 //!
 //! The plan injects faults; *graceful degradation* is what the rest of the
 //! stack does with them. The Orchestrator completes the measurement with
@@ -64,7 +69,9 @@ pub struct FaultPlan {
     /// Capture-fabric drop/duplication model, applied at the wire layer.
     pub fabric: Option<CaptureFaults>,
     /// Abort the whole measurement once this many records were collected
-    /// (models the CLI disconnecting mid-stream).
+    /// (models the CLI disconnecting mid-stream). Whether the abort fires
+    /// is deterministic; where the hitlist stream is cut is not — see the
+    /// module docs.
     pub abort_after_records: Option<usize>,
 }
 
@@ -118,7 +125,10 @@ impl FaultPlan {
         self
     }
 
-    /// Enable capture-fabric faults keyed on this plan's seed.
+    /// Enable capture-fabric faults keyed on this plan's seed *as of this
+    /// call*: set the seed first ([`FaultPlan::with_seed`] /
+    /// [`FaultPlan::seeded`]), or the fabric verdicts stay keyed on the
+    /// default seed 0.
     pub fn and_fabric(mut self, drop_rate: f64, dup_rate: f64) -> Self {
         self.fabric = Some(CaptureFaults {
             seed: self.seed,
@@ -187,8 +197,10 @@ impl FaultPlan {
         self.order_faults.iter().find(|f| f.worker == worker)
     }
 
-    /// Workers the plan prevents from completing (crashes and seal
-    /// rejections), sorted and deduplicated.
+    /// Workers the plan schedules to fail (crashes and seal rejections),
+    /// sorted and deduplicated. This is the plan's *intent*: a crash whose
+    /// `after_orders` exceeds the orders the measurement actually delivers
+    /// to that worker never fires, and the worker completes healthy.
     pub fn doomed_workers(&self) -> Vec<u16> {
         let mut ws: Vec<u16> = self
             .crashes

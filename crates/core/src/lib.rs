@@ -59,7 +59,8 @@ pub use catchment::{shift, CatchmentMap, CatchmentShift};
 pub use classify::{AnycastClassification, Class};
 pub use fault::{FaultPlan, OrderChannelFault, WorkerCrash};
 pub use orchestrator::{
-    run_measurement, run_measurement_abortable, run_with_precheck, AbortHandle, PRECHECK_ID_BIT,
+    run_measurement, run_measurement_abortable, run_with_precheck, AbortHandle, ReservedIdError,
+    PRECHECK_ID_BIT,
 };
 pub use results::{MeasurementOutcome, ProbeRecord, WorkerHealth, WorkerStatus};
 pub use spec::MeasurementSpec;

@@ -88,8 +88,32 @@ pub fn run_measurement_abortable(
 
     // An empty hitlist is a complete (and cheap) measurement: spawning a
     // platform of workers to stream zero orders would only burn threads.
-    // Prechecks over fully-unresponsive target sets hit this path.
+    // Prechecks over fully-unresponsive target sets hit this path. The
+    // fault plan still applies where it would with real workers: start
+    // orders are authenticated before any probing, so seal rejections fail
+    // their workers even here, and a crash scheduled after zero orders
+    // fires with zero orders delivered; later crashes and order-channel
+    // faults need deliveries that never happen.
     if spec.targets.is_empty() {
+        let worker_health: Vec<WorkerHealth> = (0..n_workers)
+            .map(|w| WorkerHealth {
+                worker: w as u16,
+                status: if spec.faults.rejects_seal(w as u16)
+                    || spec.faults.crash_after(w as u16) == Some(0)
+                {
+                    WorkerStatus::Failed
+                } else {
+                    WorkerStatus::Completed
+                },
+                probes_sent: 0,
+            })
+            .collect();
+        let failed_workers: Vec<u16> = worker_health
+            .iter()
+            .filter(|h| h.status == WorkerStatus::Failed)
+            .map(|h| h.worker)
+            .collect();
+        let degraded = !failed_workers.is_empty();
         return MeasurementOutcome {
             measurement_id: spec.id,
             platform: spec.platform,
@@ -98,15 +122,9 @@ pub fn run_measurement_abortable(
             probes_sent: 0,
             n_targets: 0,
             records: Vec::new(),
-            failed_workers: Vec::new(),
-            worker_health: (0..n_workers)
-                .map(|w| WorkerHealth {
-                    worker: w as u16,
-                    status: WorkerStatus::Completed,
-                    probes_sent: 0,
-                })
-                .collect(),
-            degraded: false,
+            failed_workers,
+            worker_health,
+            degraded,
         };
     }
 
@@ -327,6 +345,27 @@ impl PrecheckedOutcome {
     }
 }
 
+/// A measurement id that lies in the id space reserved for precheck
+/// passes (bit [`PRECHECK_ID_BIT`] set) and therefore cannot be prechecked:
+/// its derived precheck id would collide with its own — or another
+/// measurement's — precheck, and two measurements sharing an id would
+/// accept each other's replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReservedIdError(pub u32);
+
+impl std::fmt::Display for ReservedIdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "measurement id {:#010x} lies in the reserved precheck id space \
+             (ids must be below {PRECHECK_ID_BIT:#010x})",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ReservedIdError {}
+
 /// Run a measurement with a single-worker responsiveness precheck: worker
 /// `precheck_worker` probes the full hitlist alone (all workers capture);
 /// only targets that answered are then probed by the full platform.
@@ -334,22 +373,21 @@ impl PrecheckedOutcome {
 /// On a hitlist with unresponsive share `u`, this saves roughly
 /// `u × (n_workers - 1) / n_workers` of the probe budget at the cost of
 /// missing targets that lose the single precheck probe.
+///
+/// # Errors
+///
+/// Returns [`ReservedIdError`] when `spec.id` has [`PRECHECK_ID_BIT`] set:
+/// the precheck pass needs its own measurement id (replies to the precheck
+/// must not validate against the full pass), and ids with that bit are
+/// reserved for it.
 pub fn run_with_precheck(
     world: &Arc<World>,
     spec: &MeasurementSpec,
     precheck_worker: u16,
-) -> PrecheckedOutcome {
-    // The precheck pass needs its own measurement id (replies to the
-    // precheck must not validate against the full pass). Ids with
-    // PRECHECK_ID_BIT set are reserved for it; a spec id inside the
-    // reserved range would collide with its own (or another spec's)
-    // precheck, so it is rejected outright.
-    assert!(
-        spec.id & PRECHECK_ID_BIT == 0,
-        "measurement id {:#010x} lies in the reserved precheck id space \
-         (ids must be below {PRECHECK_ID_BIT:#010x})",
-        spec.id
-    );
+) -> Result<PrecheckedOutcome, ReservedIdError> {
+    if spec.id & PRECHECK_ID_BIT != 0 {
+        return Err(ReservedIdError(spec.id));
+    }
     let mut pre = spec.clone();
     pre.id = spec.id | PRECHECK_ID_BIT;
     pre.senders = Some(vec![precheck_worker]);
@@ -368,10 +406,10 @@ pub fn run_with_precheck(
     let mut full = spec.clone();
     full.targets = Arc::new(filtered);
     let outcome = run_measurement(world, &full);
-    PrecheckedOutcome {
+    Ok(PrecheckedOutcome {
         responsive_targets: outcome.n_targets,
         skipped_targets: skipped,
         precheck_probes: pre_outcome.probes_sent,
         outcome,
-    }
+    })
 }

@@ -100,9 +100,10 @@ pub struct MeasurementOutcome {
     /// Terminal state of every worker, sorted by worker id.
     pub worker_health: Vec<WorkerHealth>,
     /// Whether the measurement ran degraded: at least one worker failed,
-    /// or the run was aborted before the hitlist was fully streamed.
-    /// Consumers (the census pipeline) publish anyway but must carry the
-    /// flag forward.
+    /// or an abort was requested mid-run (even one that landed after the
+    /// hitlist had fully streamed — a disconnected CLI makes the run
+    /// suspect regardless of how much survived). Consumers (the census
+    /// pipeline) publish anyway but must carry the flag forward.
     pub degraded: bool,
 }
 

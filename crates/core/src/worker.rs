@@ -118,11 +118,13 @@ pub fn run_worker(
 
     let mut probes_sent: u64 = 0;
     let mut failed = false;
-    // A worker scheduled to crash contributes no capture records at all:
-    // which captures a dying worker managed to flush before the crash is a
+    // A worker scheduled to crash defers all capture draining: which
+    // captures a dying worker managed to flush before the crash is a
     // thread-scheduling race in the real system, and modelling it as "none"
-    // is the only choice that keeps outcomes bit-identical across reruns
-    // of the same fault plan.
+    // is the only choice that keeps outcomes bit-identical across reruns of
+    // the same fault plan. If the order stream ends before the crash point
+    // is reached, the worker survives and drains everything in the final
+    // phase (the capture channel is unbounded, so nothing was lost).
     let doomed = start.fail_after.is_some();
 
     let process_capture = |d: Delivery, out: &Sender<WorkerOut>| {
@@ -145,11 +147,13 @@ pub fn run_worker(
 
     // Probing phase: interleave order processing with opportunistic capture
     // draining (results stream out while probing is still under way).
+    let mut processed_orders = 0usize;
     for (processed, order) in orders.iter().enumerate() {
         if start.fail_after.is_some_and(|limit| processed >= limit) {
             failed = true;
             break;
         }
+        processed_orders += 1;
 
         let tx_time = order.window_start_ms + start.offset_ms * u64::from(start.worker_id);
         let meta = ProbeMeta {
@@ -187,6 +191,14 @@ pub fn run_worker(
                 process_capture(d, &out);
             }
         }
+    }
+
+    // "Crash after N orders" fires once the worker has processed N orders,
+    // even when the stream closed right at that point rather than
+    // delivering an N+1-th order (otherwise a crash scheduled exactly at
+    // the end of the hitlist would silently never happen).
+    if !failed && start.fail_after.is_some_and(|limit| processed_orders >= limit) {
+        failed = true;
     }
 
     // A failed worker vanishes: it neither probes nor captures further.

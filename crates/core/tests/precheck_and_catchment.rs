@@ -30,7 +30,7 @@ fn precheck_saves_probes_and_keeps_detections() {
     );
 
     let full = run_measurement(&w, &spec);
-    let pre = run_with_precheck(&w, &spec, 0);
+    let pre = run_with_precheck(&w, &spec, 0).expect("id 800 is outside the reserved space");
 
     // The world has a sizeable unresponsive mass, so the precheck must pay.
     assert!(

@@ -233,9 +233,15 @@ fn measure_target(
             IpAddr::V6(_) => plat::vp_src_v6(platform, vp),
         };
         let mut best: Option<f64> = None;
+        // The wire keys per-probe draws on the offset inside the target's
+        // window (rate invariance, §5.5.2), so attempts must occupy distinct
+        // schedule offsets under a *fixed* window start — passing each
+        // attempt's tx as its own window start would zero the offset and
+        // give every retry the identical loss/jitter draw.
+        let window_start = u64::from(cfg.measurement_id) * 1000;
         for attempt in 0..cfg.attempts.max(1) {
-            // Distinct virtual times give each attempt independent jitter.
-            let tx = u64::from(cfg.measurement_id) * 1000 + u64::from(attempt) * 50;
+            // Distinct schedule offsets give each attempt independent jitter.
+            let tx = window_start + u64::from(attempt) * 50;
             let meta = ProbeMeta {
                 measurement_id: cfg.measurement_id,
                 worker_id: vp as u16,
@@ -244,7 +250,7 @@ fn measure_target(
             let pkt = build_probe(src, target, cfg.protocol, &meta, ProbeEncoding::PerWorker);
             *sent += 1;
             if let Ok(Some(d)) =
-                world.send_probe(ProbeSource::Vp { platform, vp }, &pkt, tx, tx, &ctx)
+                world.send_probe(ProbeSource::Vp { platform, vp }, &pkt, tx, window_start, &ctx)
             {
                 best = Some(best.map_or(d.rtt_ms, |b: f64| b.min(d.rtt_ms)));
             }

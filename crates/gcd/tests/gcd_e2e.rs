@@ -204,6 +204,38 @@ fn min_distance_filter_thins_platform() {
 }
 
 #[test]
+fn retry_attempts_draw_independent_loss_and_jitter() {
+    // Regression: each retry used to pass its own tx time as the window
+    // start, zeroing the schedule offset the wire keys per-probe draws on —
+    // every attempt drew the identical loss verdict and `attempts > 1` was
+    // a no-op.
+    let mut wc = WorldConfig::tiny();
+    wc.loss_rate = 0.7;
+    let w = Arc::new(World::generate(wc));
+    let targets: Vec<IpAddr> = (0..200.min(w.n_v4)).map(|i| addr_of(&w, i)).collect();
+    let mut one = GcdConfig::daily(509, 0);
+    one.precheck = false;
+    let mut four = one.clone();
+    four.attempts = 4;
+    let a = run_campaign(&w, w.std_platforms.ark, &targets, &one);
+    let b = run_campaign(&w, w.std_platforms.ark, &targets, &four);
+    let samples = |r: &laces_gcd::engine::GcdReport| -> usize {
+        r.results.values().map(|p| p.enumeration.n_samples).sum()
+    };
+    assert!(
+        samples(&b) > samples(&a),
+        "retries must redraw loss independently: {} samples with 4 attempts \
+         vs {} with 1",
+        samples(&b),
+        samples(&a)
+    );
+    assert!(
+        b.count(GcdClass::Unresponsive) <= a.count(GcdClass::Unresponsive),
+        "extra attempts cannot lose responsive targets"
+    );
+}
+
+#[test]
 fn campaign_is_deterministic() {
     let w = world();
     let targets: Vec<IpAddr> = (0..100.min(w.n_v4)).map(|i| addr_of(&w, i)).collect();

@@ -921,13 +921,17 @@ impl World {
                                 .find(|&a| {
                                     db.get(topo.home_city(a)).coord.gcd_km(&victim_coord)
                                         >= 7_000.0
-                                })
-                                .unwrap_or(stub_list[start]);
-                            targets[i].hijack = Some(crate::targets::Hijack {
-                                day,
-                                attacker_as: attacker,
-                            });
-                            assigned += 1;
+                                });
+                            // No far-enough stub for this victim (possible
+                            // in regionally clustered topologies): plant no
+                            // event rather than an undetectable nearby one.
+                            if let Some(attacker) = attacker {
+                                targets[i].hijack = Some(crate::targets::Hijack {
+                                    day,
+                                    attacker_as: attacker,
+                                });
+                                assigned += 1;
+                            }
                         }
                     }
                 }

@@ -241,6 +241,18 @@ impl<'a> Parser<'a> {
             .map_err(|_| Error(format!("bad number {text:?}")))
     }
 
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(Error("truncated \\u escape".into()));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|e| Error(e.to_string()))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error(format!("bad \\u escape {hex:?}")))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
     fn parse_string(&mut self) -> Result<String, Error> {
         self.expect(b'"')?;
         let mut s = String::new();
@@ -266,15 +278,33 @@ impl<'a> Parser<'a> {
                         b'b' => s.push('\u{8}'),
                         b'f' => s.push('\u{c}'),
                         b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(Error("truncated \\u escape".into()));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|e| Error(e.to_string()))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| Error(format!("bad \\u escape {hex:?}")))?;
-                            self.pos += 4;
-                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            let code = self.parse_hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&code) {
+                                // Astral-plane characters are escaped as a
+                                // UTF-16 surrogate pair: \uD8xx\uDCxx.
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err(Error("lone leading surrogate".into()));
+                                }
+                                self.pos += 2;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error(format!(
+                                        "expected low surrogate, found \\u{low:04x}"
+                                    )));
+                                }
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error("bad surrogate pair".into()))?
+                            } else if (0xDC00..0xE000).contains(&code) {
+                                return Err(Error("lone trailing surrogate".into()));
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error(format!("bad \\u escape {code:04x}")))?
+                            };
+                            s.push(ch);
                         }
                         other => return Err(Error(format!("bad escape \\{}", other as char))),
                     }
@@ -398,5 +428,19 @@ mod tests {
         let s = "héllo ✓ wörld";
         let json = to_string(&s).unwrap();
         assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn escaped_surrogate_pairs_combine() {
+        // Other JSON producers escape astral-plane characters as UTF-16
+        // surrogate pairs; they must decode to the real character, not a
+        // pair of replacement characters.
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+        assert_eq!(from_str::<String>("\"a\\ud834\\udd1eb\"").unwrap(), "a𝄞b");
+        // Lone or misordered surrogates are malformed JSON text.
+        assert!(from_str::<String>("\"\\ud83d\"").is_err());
+        assert!(from_str::<String>("\"\\ud83dx\"").is_err());
+        assert!(from_str::<String>("\"\\ude00\"").is_err());
+        assert!(from_str::<String>("\"\\ud83d\\ud83d\"").is_err());
     }
 }

@@ -259,7 +259,7 @@ fn degraded_day_publishes_with_the_flag_set() {
     let mut pipeline = CensusPipeline::new(Arc::clone(&w), cfg);
     let out = pipeline.run_day(0);
 
-    assert!(out.degraded, "lost workers must mark the day degraded");
+    assert!(out.degraded(), "lost workers must mark the day degraded");
     assert!(out.census.degraded(), "published census must carry the flag");
     assert!(out.census.stats.degraded);
     assert!(
@@ -270,6 +270,6 @@ fn degraded_day_publishes_with_the_flag_set() {
     // A fault-free day over the same world stays clean.
     let mut clean = CensusPipeline::new(Arc::clone(&w), PipelineConfig::icmp_only(&w));
     let clean_out = clean.run_day(0);
-    assert!(!clean_out.degraded);
+    assert!(!clean_out.degraded());
     assert!(!clean_out.census.degraded());
 }
