@@ -83,7 +83,9 @@ mod tests {
             targets,
             0,
         );
-        let class = AnycastClassification::from_outcome(&run_measurement(&world, &spec));
+        let class = AnycastClassification::from_outcome(
+            &run_measurement(&world, &spec).expect("valid spec"),
+        );
         let table = bgp_table(&world);
         let census = bgptools_census(&class, &table);
 

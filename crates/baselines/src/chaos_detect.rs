@@ -14,8 +14,9 @@ use laces_core::classify::AnycastClassification;
 use laces_core::orchestrator::run_measurement;
 use laces_core::results::MeasurementOutcome;
 use laces_core::spec::MeasurementSpec;
+use laces_core::MeasurementError;
 use laces_netsim::{PlatformId, World};
-use laces_packet::{PrefixKey, ProbeEncoding, Protocol};
+use laces_packet::{PrefixKey, Protocol};
 use serde::{Deserialize, Serialize};
 
 /// CHAOS census results for one nameserver hitlist.
@@ -42,33 +43,31 @@ impl ChaosCensus {
 }
 
 /// Run a CHAOS measurement from an anycast platform and collect identities.
+///
+/// # Errors
+///
+/// Any [`MeasurementError`] from spec validation (wrong platform kind,
+/// reserved id).
 pub fn chaos_census(
     world: &Arc<World>,
     id: u32,
     platform: PlatformId,
     targets: Arc<Vec<IpAddr>>,
     day: u32,
-) -> (ChaosCensus, MeasurementOutcome) {
-    let spec = MeasurementSpec {
-        id,
-        platform,
-        protocol: Protocol::Chaos,
-        targets,
-        rate_per_s: 10_000,
-        offset_ms: 1_000,
-        encoding: ProbeEncoding::PerWorker,
-        day,
-        faults: laces_core::fault::FaultPlan::default(),
-        senders: None,
-    };
-    let outcome = run_measurement(world, &spec);
+) -> Result<(ChaosCensus, MeasurementOutcome), MeasurementError> {
+    let spec = MeasurementSpec::builder(id, platform)
+        .protocol(Protocol::Chaos)
+        .targets(targets)
+        .day(day)
+        .build(world)?;
+    let outcome = run_measurement(world, &spec)?;
     let class = AnycastClassification::from_outcome(&outcome);
     let identities = class
         .observations
         .iter()
         .map(|(p, o)| (*p, o.chaos_values.iter().cloned().collect()))
         .collect();
-    (ChaosCensus { identities }, outcome)
+    Ok((ChaosCensus { identities }, outcome))
 }
 
 #[cfg(test)]
@@ -80,7 +79,8 @@ mod tests {
     fn chaos_counts_sites_for_anycast_but_overcounts_colo() {
         let world = Arc::new(World::generate(WorldConfig::tiny()));
         let hit = laces_hitlist_like(&world);
-        let (census, _) = chaos_census(&world, 90, world.std_platforms.production, hit, 0);
+        let (census, _) = chaos_census(&world, 90, world.std_platforms.production, hit, 0)
+            .expect("valid CHAOS spec");
 
         let mut anycast_ns_multi = 0;
         let mut colo_multi = 0;
@@ -91,13 +91,16 @@ mod tests {
             }
             match (t.ns, &t.kind) {
                 (Some(ChaosProfile::PerSite), TargetKind::Anycast { dep })
-                    if world.deployment(*dep).n_sites() >= 6 && census.site_count(t.prefix) >= 2 => {
-                        anycast_ns_multi += 1;
-                    }
-                (Some(ChaosProfile::Colo(k)), TargetKind::Unicast { .. }) if k >= 2
-                    && census.site_count(t.prefix) >= 2 => {
-                        colo_multi += 1;
-                    }
+                    if world.deployment(*dep).n_sites() >= 6
+                        && census.site_count(t.prefix) >= 2 =>
+                {
+                    anycast_ns_multi += 1;
+                }
+                (Some(ChaosProfile::Colo(k)), TargetKind::Unicast { .. })
+                    if k >= 2 && census.site_count(t.prefix) >= 2 =>
+                {
+                    colo_multi += 1;
+                }
                 _ => {}
             }
         }

@@ -18,8 +18,9 @@ use std::sync::Arc;
 use laces_core::orchestrator::run_measurement;
 use laces_core::results::MeasurementOutcome;
 use laces_core::spec::MeasurementSpec;
+use laces_core::MeasurementError;
 use laces_netsim::{PlatformId, World};
-use laces_packet::{ProbeEncoding, Protocol};
+use laces_packet::Protocol;
 
 /// The inter-probe interval of the original MAnycast² paper's setup:
 /// ~13 minutes between probes to the same target.
@@ -29,6 +30,11 @@ pub const MANYCAST2_INTERVAL_MS: u64 = 13 * 60 * 1000;
 /// except that consecutive workers probe a target `interval_ms` apart
 /// (13 minutes for the historical setup, 1 minute for the paper's shorter
 /// re-run).
+///
+/// # Errors
+///
+/// Any [`MeasurementError`] from spec validation (wrong platform kind,
+/// reserved id).
 pub fn run_manycast2(
     world: &Arc<World>,
     id: u32,
@@ -37,19 +43,13 @@ pub fn run_manycast2(
     targets: Arc<Vec<IpAddr>>,
     interval_ms: u64,
     day: u32,
-) -> MeasurementOutcome {
-    let spec = MeasurementSpec {
-        id,
-        platform,
-        protocol,
-        targets,
-        rate_per_s: 10_000,
-        offset_ms: interval_ms,
-        encoding: ProbeEncoding::PerWorker,
-        day,
-        faults: laces_core::fault::FaultPlan::default(),
-        senders: None,
-    };
+) -> Result<MeasurementOutcome, MeasurementError> {
+    let spec = MeasurementSpec::builder(id, platform)
+        .protocol(protocol)
+        .targets(targets)
+        .offset_ms(interval_ms)
+        .day(day)
+        .build(world)?;
     run_measurement(world, &spec)
 }
 
@@ -84,8 +84,10 @@ mod tests {
             Arc::clone(&targets),
             MANYCAST2_INTERVAL_MS,
             0,
-        );
-        let synced = run_manycast2(&world, 70, prod, Protocol::Icmp, targets, 1_000, 0);
+        )
+        .expect("valid spec");
+        let synced =
+            run_manycast2(&world, 70, prod, Protocol::Icmp, targets, 1_000, 0).expect("valid spec");
 
         let count_fp = |o: &MeasurementOutcome| {
             let c = AnycastClassification::from_outcome(o);

@@ -31,23 +31,19 @@ fn bench_faulted_measurement(c: &mut Criterion) {
         ("abort_at_100", FaultPlan::none().and_abort_after(100)),
     ];
     for (name, plan) in scenarios {
-        group.bench_with_input(
-            BenchmarkId::new("icmp_census", name),
-            &plan,
-            |b, plan| {
-                b.iter(|| {
-                    let mut spec = MeasurementSpec::census(
-                        70_000,
-                        world.std_platforms.production,
-                        Protocol::Icmp,
-                        Arc::clone(&targets),
-                        0,
-                    );
-                    spec.faults = plan.clone();
-                    run_measurement(&world, &spec)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("icmp_census", name), &plan, |b, plan| {
+            b.iter(|| {
+                let mut spec = MeasurementSpec::census(
+                    70_000,
+                    world.std_platforms.production,
+                    Protocol::Icmp,
+                    Arc::clone(&targets),
+                    0,
+                );
+                spec.faults = plan.clone();
+                run_measurement(&world, &spec)
+            })
+        });
     }
     group.finish();
 }

@@ -50,7 +50,7 @@ fn bench_measurement(c: &mut Criterion) {
         targets,
         0,
     );
-    let outcome = run_measurement(&world, &spec);
+    let outcome = run_measurement(&world, &spec).expect("valid spec");
     let mut group = c.benchmark_group("classification");
     group.throughput(criterion::Throughput::Elements(outcome.records.len() as u64));
     group.bench_function("aggregate_records", |b| {

@@ -192,23 +192,19 @@ impl Artifacts {
             offset_ms,
             targets.len()
         );
-        let spec = MeasurementSpec {
-            id,
-            platform,
-            protocol,
-            targets,
-            rate_per_s: 10_000,
-            offset_ms,
-            encoding: if static_probes {
+        let spec = MeasurementSpec::builder(id, platform)
+            .protocol(protocol)
+            .targets(targets)
+            .rate_per_s(10_000)
+            .offset_ms(offset_ms)
+            .encoding(if static_probes {
                 ProbeEncoding::Static
             } else {
                 ProbeEncoding::PerWorker
-            },
-            day: 0,
-            faults: laces_core::fault::FaultPlan::default(),
-            senders: None,
-        };
-        let outcome = run_measurement(&self.world, &spec);
+            })
+            .build(&self.world)
+            .expect("valid spec");
+        let outcome = run_measurement(&self.world, &spec).expect("valid spec");
         let cached: CachedClass = Arc::new((
             AnycastClassification::from_outcome(&outcome),
             outcome.probes_sent,
@@ -253,7 +249,8 @@ impl Artifacts {
                 self.world.std_platforms.ark_dev,
                 &targets,
                 &cfg,
-            );
+            )
+            .expect("unicast VP platform");
             eprintln!(
                 "[artifacts] GCD_Ark{} done in {:.0?}",
                 family.suffix(),
@@ -276,7 +273,7 @@ impl Artifacts {
         let mut cfg = GcdConfig::daily(id, 0);
         cfg.precheck = false;
         cfg.min_vp_distance_km = min_vp_distance_km;
-        run_campaign(&self.world, platform, &addrs, &cfg)
+        run_campaign(&self.world, platform, &addrs, &cfg).expect("unicast VP platform")
     }
 
     /// GCD-anycast verdict map of the full reference scan.

@@ -39,7 +39,7 @@ pub fn longitudinal(a: &Artifacts) -> Report {
     let mut run = Vec::new();
     for d in 0..days {
         eprintln!("[longitudinal] census day {d}/{days}...");
-        run.push(pipeline.run_day(d).census);
+        run.push(pipeline.run_day(d).expect("valid pipeline config").census);
     }
     let (anycast, gcd) = presence_from_run(&run);
     let (sa, sg) = (anycast.stats(), gcd.stats());
@@ -104,7 +104,7 @@ pub fn rate(a: &Artifacts) -> Report {
             faults: laces_core::fault::FaultPlan::default(),
             senders: None,
         };
-        let outcome = run_measurement(&a.world, &spec);
+        let outcome = run_measurement(&a.world, &spec).expect("valid spec");
         let class = AnycastClassification::from_outcome(&outcome);
         let ats: BTreeSet<PrefixKey> = class.anycast_targets().into_iter().collect();
         rows.push(vec![
@@ -196,7 +196,8 @@ pub fn partial(a: &Artifacts) -> Report {
         "[partial] /32-granularity scan over {} /24s with 9 VPs...",
         prefixes.len()
     );
-    let scan = run_partial_scan(&a.world, a.world.std_platforms.ark, &prefixes, 9, 37_000, 0);
+    let scan = run_partial_scan(&a.world, a.world.std_platforms.ark, &prefixes, 9, 37_000, 0)
+        .expect("unicast VP platform");
     let truth_partial = a.world.targets[..a.world.n_v4]
         .iter()
         .filter(|t| matches!(t.kind, TargetKind::PartialAnycast { .. }))
@@ -290,7 +291,8 @@ pub fn gcd_udp(a: &Artifacts) -> Report {
         let mut cfg = GcdConfig::daily(id, 0);
         cfg.protocol = proto;
         cfg.precheck = false;
-        let report = run_campaign(&a.world, a.world.std_platforms.ark, &addrs, &cfg);
+        let report = run_campaign(&a.world, a.world.std_platforms.ark, &addrs, &cfg)
+            .expect("unicast VP platform");
         let detected = report.count(laces_gcd::GcdClass::Anycast);
         let mean_sites: f64 = {
             let sites: Vec<usize> = report

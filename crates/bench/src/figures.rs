@@ -403,7 +403,7 @@ pub fn f10(a: &Artifacts) -> Report {
         "f10",
         "Figure 10: CHAOS records vs anycast-based vs GCD site counts (nameservers)",
     );
-    let cmp = run_chaos_comparison(&a.world, 34_000, 0);
+    let cmp = run_chaos_comparison(&a.world, 34_000, 0).expect("valid comparison specs");
     let mut rows = Vec::new();
     for (chaos, ab, gcd) in cmp.series().into_iter().take(12) {
         rows.push(vec![

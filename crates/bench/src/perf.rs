@@ -1,0 +1,185 @@
+//! Machine-readable performance snapshot: `BENCH_pr2.json`.
+//!
+//! The experiment suite reports *shape* claims; this module reports raw
+//! speed so regressions in the hot paths show up in CI. Three numbers
+//! cover the census critical path (R6: census under 3 hours):
+//!
+//! - probing-pipeline throughput — `run_measurement` over the v4 hitlist,
+//!   probes per wall-clock second;
+//! - GCD enumeration time — a full campaign plus the deterministic
+//!   overlap-test count from telemetry (the O(n·k) driver of iGreedy);
+//! - classification throughput — `AnycastClassification::from_outcome`,
+//!   records per wall-clock second.
+//!
+//! Wall-clock numbers vary run to run; the telemetry-derived counts
+//! (probes sent, overlap tests, records) are bit-stable and double as a
+//! workload fingerprint, so a throughput change can be attributed to
+//! either "same work, slower" or "the workload changed".
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use laces_core::classify::AnycastClassification;
+use laces_core::orchestrator::run_measurement;
+use laces_core::spec::MeasurementSpec;
+use laces_gcd::engine::{run_campaign, GcdConfig};
+
+use crate::artifacts::Artifacts;
+
+/// One timed section: deterministic work counts plus wall-clock rates.
+#[derive(Debug, Clone)]
+pub struct PerfSection {
+    /// Section name (JSON key).
+    pub name: &'static str,
+    /// Deterministic work counters, in insertion order.
+    pub work: Vec<(&'static str, u64)>,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Work items per second (first work counter / wall seconds).
+    pub per_s: f64,
+}
+
+impl PerfSection {
+    fn new(name: &'static str, work: Vec<(&'static str, u64)>, wall_ms: f64) -> Self {
+        let per_s = if wall_ms > 0.0 {
+            work.first()
+                .map_or(0.0, |(_, n)| *n as f64 * 1000.0 / wall_ms)
+        } else {
+            0.0
+        };
+        PerfSection {
+            name,
+            work,
+            wall_ms,
+            per_s,
+        }
+    }
+}
+
+/// The full snapshot.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Scale label the run used.
+    pub scale: String,
+    /// Number of targets in the measured world.
+    pub n_targets: usize,
+    /// The timed sections.
+    pub sections: Vec<PerfSection>,
+}
+
+impl PerfReport {
+    /// Serialise as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"scale\": \"{}\",", self.scale);
+        let _ = writeln!(s, "  \"n_targets\": {},", self.n_targets);
+        for (i, sec) in self.sections.iter().enumerate() {
+            let _ = writeln!(s, "  \"{}\": {{", sec.name);
+            for (k, v) in &sec.work {
+                let _ = writeln!(s, "    \"{k}\": {v},");
+            }
+            let _ = writeln!(s, "    \"wall_ms\": {:.3},", sec.wall_ms);
+            let _ = writeln!(s, "    \"per_s\": {:.1}", sec.per_s);
+            let comma = if i + 1 < self.sections.len() { "," } else { "" };
+            let _ = writeln!(s, "  }}{comma}");
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Run the three hot-path benchmarks on the artifact cache's world.
+pub fn run_perf(a: &Artifacts) -> PerfReport {
+    let targets = a.hit_v4();
+
+    // Probing pipeline: the full orchestrator/worker/wire path.
+    let spec = MeasurementSpec::builder(30_001, a.world.std_platforms.production)
+        .targets(std::sync::Arc::clone(&targets))
+        .rate_per_s(10_000)
+        .build(&a.world)
+        .expect("valid perf spec");
+    let t0 = Instant::now();
+    let outcome = run_measurement(&a.world, &spec).expect("valid spec");
+    let probing_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let probing = PerfSection::new(
+        "probing_pipeline",
+        vec![
+            ("probes_sent", outcome.probes_sent),
+            ("records", outcome.records.len() as u64),
+        ],
+        probing_ms,
+    );
+
+    // GCD campaign: measure + iGreedy enumeration over the same hitlist.
+    let mut cfg = GcdConfig::daily(30_002, 0);
+    cfg.precheck = false;
+    let t0 = Instant::now();
+    let report = run_campaign(&a.world, a.world.std_platforms.ark_dev, &targets, &cfg)
+        .expect("unicast VP platform");
+    let gcd_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let gcd = PerfSection::new(
+        "gcd_enumeration",
+        vec![
+            ("targets", targets.len() as u64),
+            ("probes_sent", report.probes_sent),
+            (
+                "overlap_tests",
+                report.telemetry.counter("gcd.enumeration.overlap_tests"),
+            ),
+        ],
+        gcd_ms,
+    );
+
+    // Classification: records -> per-prefix verdicts.
+    let t0 = Instant::now();
+    let class = AnycastClassification::from_outcome(&outcome);
+    let class_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    let classification = PerfSection::new(
+        "classification",
+        vec![
+            ("records", outcome.records.len() as u64),
+            ("anycast_prefixes", class.anycast_targets().len() as u64),
+        ],
+        class_ms,
+    );
+
+    PerfReport {
+        scale: format!("{:?}", a.scale),
+        n_targets: a.world.n_targets(),
+        sections: vec![probing, gcd, classification],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifacts::Scale;
+
+    #[test]
+    fn perf_report_is_valid_json_with_all_sections() {
+        let a = Artifacts::new(Scale::Tiny);
+        let report = run_perf(&a);
+        let json = report.to_json();
+        let v: serde::Value = serde_json::from_str(&json).expect("BENCH_pr2.json parses");
+        if let serde::Value::Obj(fields) = v {
+            let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+            for want in [
+                "scale",
+                "n_targets",
+                "probing_pipeline",
+                "gcd_enumeration",
+                "classification",
+            ] {
+                assert!(keys.contains(&want), "missing {want} in {keys:?}");
+            }
+        } else {
+            panic!("top level must be an object");
+        }
+        // The deterministic work counters are non-trivial.
+        for sec in &report.sections {
+            let (name, n) = sec.work[0];
+            assert!(n > 0, "{}.{name} is zero", sec.name);
+        }
+    }
+}

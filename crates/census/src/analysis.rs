@@ -242,7 +242,7 @@ mod tests {
             records,
             failed_workers: vec![],
             worker_health: vec![],
-            degraded: false,
+            telemetry: laces_core::RunReport::new(),
         })
     }
 

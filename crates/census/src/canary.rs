@@ -96,8 +96,8 @@ pub fn detect_outages(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use laces_core::orchestrator::run_measurement;
     use laces_core::fault::FaultPlan;
+    use laces_core::orchestrator::run_measurement;
     use laces_core::spec::MeasurementSpec;
     use laces_netsim::{World, WorldConfig};
     use laces_packet::Protocol;
@@ -113,7 +113,7 @@ mod tests {
             0,
         );
         spec.faults = faults;
-        CanarySnapshot::from_outcome(&run_measurement(world, &spec))
+        CanarySnapshot::from_outcome(&run_measurement(world, &spec).expect("valid spec"))
     }
 
     #[test]

@@ -13,6 +13,7 @@ use laces_baselines::chaos_detect::chaos_census;
 use laces_core::classify::AnycastClassification;
 use laces_core::orchestrator::run_measurement;
 use laces_core::spec::MeasurementSpec;
+use laces_core::MeasurementError;
 use laces_gcd::engine::{run_campaign, GcdConfig};
 use laces_netsim::World;
 use laces_packet::{PrefixKey, Protocol};
@@ -55,7 +56,16 @@ impl ChaosComparison {
 }
 
 /// Run the three measurements over the nameserver hitlist and join them.
-pub fn run_chaos_comparison(world: &Arc<World>, base_id: u32, day: u32) -> ChaosComparison {
+///
+/// # Errors
+///
+/// Any [`MeasurementError`] from spec validation in the three underlying
+/// measurements.
+pub fn run_chaos_comparison(
+    world: &Arc<World>,
+    base_id: u32,
+    day: u32,
+) -> Result<ChaosComparison, MeasurementError> {
     let hitlist = laces_hitlist::build_nameservers_v4(world);
     let targets = Arc::new(hitlist.addresses());
 
@@ -66,7 +76,7 @@ pub fn run_chaos_comparison(world: &Arc<World>, base_id: u32, day: u32) -> Chaos
         world.std_platforms.production,
         Arc::clone(&targets),
         day,
-    );
+    )?;
 
     // Separate synchronized anycast-based measurement (1 s offsets, App. C).
     let spec = MeasurementSpec::census(
@@ -76,7 +86,7 @@ pub fn run_chaos_comparison(world: &Arc<World>, base_id: u32, day: u32) -> Chaos
         Arc::clone(&targets),
         day,
     );
-    let anycast_class = AnycastClassification::from_outcome(&run_measurement(world, &spec));
+    let anycast_class = AnycastClassification::from_outcome(&run_measurement(world, &spec)?);
 
     // GCD measurement toward the same addresses.
     let gcd = run_campaign(
@@ -84,7 +94,7 @@ pub fn run_chaos_comparison(world: &Arc<World>, base_id: u32, day: u32) -> Chaos
         world.std_platforms.ark,
         &targets,
         &GcdConfig::daily(base_id + 2, day),
-    );
+    )?;
 
     let mut counts = BTreeMap::new();
     for (prefix, ids) in &chaos.identities {
@@ -105,7 +115,7 @@ pub fn run_chaos_comparison(world: &Arc<World>, base_id: u32, day: u32) -> Chaos
             },
         );
     }
-    ChaosComparison { counts }
+    Ok(ChaosComparison { counts })
 }
 
 #[cfg(test)]
@@ -116,7 +126,7 @@ mod tests {
     #[test]
     fn comparison_joins_three_methodologies() {
         let world = Arc::new(World::generate(WorldConfig::tiny()));
-        let cmp = run_chaos_comparison(&world, 7_000, 0);
+        let cmp = run_chaos_comparison(&world, 7_000, 0).expect("valid comparison specs");
         assert!(!cmp.counts.is_empty());
 
         // Anycast nameservers with many sites should show chaos >= 2 and a

@@ -235,7 +235,8 @@ mod tests {
             world.std_platforms.ark_dev,
             &targets,
             &GcdConfig::daily(77_000, 0),
-        );
+        )
+        .expect("unicast VP platform");
         // Tolerance reflects the tiny world's sparse VP platform (larger
         // disks -> stronger population-prior pull toward big metros); the
         // paper-scale platform is denser and scores tighter.

@@ -16,6 +16,7 @@ use std::collections::BTreeSet;
 use std::net::IpAddr;
 use std::sync::Arc;
 
+use laces_core::MeasurementError;
 use laces_gcd::engine::{run_campaign, GcdClass, GcdConfig};
 use laces_netsim::{PlatformId, World};
 use laces_packet::{Prefix24, PrefixKey, Protocol};
@@ -39,6 +40,11 @@ pub const HIGH_HOST: u8 = laces_netsim::targets::REPRESENTATIVE_HOST;
 
 /// Run the scan over all `/24`s in `prefixes` using `n_vps` VPs of the
 /// given platform (the paper used nine).
+///
+/// # Errors
+///
+/// [`MeasurementError::NotUnicast`] if `platform` is not a unicast VP
+/// platform.
 pub fn run_partial_scan(
     world: &Arc<World>,
     platform: PlatformId,
@@ -46,7 +52,7 @@ pub fn run_partial_scan(
     n_vps: usize,
     measurement_id: u32,
     day: u32,
-) -> PartialScan {
+) -> Result<PartialScan, MeasurementError> {
     let mut cfg = GcdConfig::daily(measurement_id, day);
     cfg.precheck = true;
     cfg.max_vps = Some(n_vps);
@@ -61,10 +67,10 @@ pub fn run_partial_scan(
         .map(|p| IpAddr::V4(p.addr(HIGH_HOST)))
         .collect();
 
-    let low_report = run_campaign(world, platform, &low, &cfg);
+    let low_report = run_campaign(world, platform, &low, &cfg)?;
     let mut cfg2 = cfg.clone();
     cfg2.measurement_id = measurement_id + 1;
-    let high_report = run_campaign(world, platform, &high, &cfg2);
+    let high_report = run_campaign(world, platform, &high, &cfg2)?;
 
     let mut out = PartialScan {
         probes_sent: low_report.probes_sent + high_report.probes_sent,
@@ -84,7 +90,7 @@ pub fn run_partial_scan(
             (false, false) => {}
         }
     }
-    out
+    Ok(out)
 }
 
 /// Convenience: the protocol the scan uses.
@@ -131,7 +137,8 @@ mod tests {
         }
         assert!(!truth_partial.is_empty());
 
-        let scan = run_partial_scan(&world, world.std_platforms.ark, &prefixes, 9, 700, 0);
+        let scan = run_partial_scan(&world, world.std_platforms.ark, &prefixes, 9, 700, 0)
+            .expect("unicast VP platform");
         // Most true partials detected (allowing churn/loss misses).
         let hit = truth_partial.intersection(&scan.partial).count();
         assert!(

@@ -23,10 +23,12 @@ use laces_core::classify::AnycastClassification;
 use laces_core::fault::FaultPlan;
 use laces_core::orchestrator::run_measurement;
 use laces_core::spec::MeasurementSpec;
+use laces_core::MeasurementError;
 use laces_gcd::engine::{run_campaign, GcdClass, GcdConfig};
 use laces_hitlist::Hitlist;
 use laces_netsim::{PlatformId, World};
-use laces_packet::{PrefixKey, ProbeEncoding, Protocol};
+use laces_obs::{RunReport, SimClock, StageTimer};
+use laces_packet::{PrefixKey, Protocol};
 use serde::{Deserialize, Serialize};
 
 use crate::atlist::{AtList, AtSource};
@@ -106,6 +108,11 @@ impl DayOutput {
     pub fn degraded(&self) -> bool {
         self.census.degraded()
     }
+
+    /// The day's telemetry (see [`CensusStats::telemetry`]).
+    pub fn telemetry(&self) -> &RunReport {
+        &self.census.stats.telemetry
+    }
 }
 
 impl CensusPipeline {
@@ -125,9 +132,17 @@ impl CensusPipeline {
     }
 
     /// Run one census day.
-    pub fn run_day(&mut self, day: u32) -> DayOutput {
+    ///
+    /// # Errors
+    ///
+    /// Any [`MeasurementError`] from spec validation or a measurement
+    /// entry point — a *configuration* problem (wrong platform kind, bad
+    /// fault plan). Runtime failures never error: they degrade the day and
+    /// are reported in [`CensusStats::telemetry`].
+    pub fn run_day(&mut self, day: u32) -> Result<DayOutput, MeasurementError> {
         let world = &self.world;
         let mut stats = CensusStats::default();
+        let mut clock = SimClock::new();
         let mut classifications: BTreeMap<String, AnycastClassification> = BTreeMap::new();
         let mut addr_of: BTreeMap<PrefixKey, IpAddr> = BTreeMap::new();
 
@@ -142,32 +157,47 @@ impl CensusPipeline {
         }
 
         let mut stage_idx = 0u32;
-        let mut run_stage = |hitlist: &Hitlist, protocol: Protocol, stats: &mut CensusStats| {
+        let mut run_stage = |hitlist: &Hitlist,
+                             protocol: Protocol,
+                             stats: &mut CensusStats,
+                             clock: &mut SimClock|
+         -> Result<(), MeasurementError> {
             let label = format!("{}{}", protocol.name(), hitlist.family.suffix());
             let targets = Arc::new(hitlist.addresses());
-            let spec = MeasurementSpec {
-                id: self.cfg.base_measurement_id + day * 32 + stage_idx,
-                platform: self.cfg.anycast_platform,
-                protocol,
-                targets,
-                rate_per_s: self.cfg.rate_per_s,
-                offset_ms: self.cfg.offset_ms,
-                encoding: ProbeEncoding::PerWorker,
-                day,
-                faults: self.cfg.faults.clone(),
-                senders: None,
-            };
+            let spec = MeasurementSpec::builder(
+                self.cfg.base_measurement_id + day * 32 + stage_idx,
+                self.cfg.anycast_platform,
+            )
+            .protocol(protocol)
+            .targets(targets)
+            .rate_per_s(self.cfg.rate_per_s)
+            .offset_ms(self.cfg.offset_ms)
+            .day(day)
+            .faults(self.cfg.faults.clone())
+            .build(world)?;
             stage_idx += 1;
-            let outcome = run_measurement(world, &spec);
+            let mut stage = StageTimer::start(format!("anycast:{label}"), &*clock);
+            let stage_start = clock.now_ms();
+            let outcome = run_measurement(world, &spec)?;
             stats.anycast_probes += outcome.probes_sent;
+            stage.count("targets", spec.targets.len() as u64);
+            stage.count("probes_sent", outcome.probes_sent);
+            let mut inner_ms = 0u64;
+            for s in &outcome.telemetry.stages {
+                inner_ms = inner_ms.max(s.end_ms());
+                stage.child(s.clone().rebased(stage_start));
+            }
+            clock.advance(inner_ms);
             // A stage that lost workers degrades the whole day's census:
-            // published, but flagged.
-            stats.degraded |= outcome.degraded;
+            // published, but flagged with the stage's typed reasons.
+            stats.telemetry.absorb(&label, &outcome.telemetry);
+            stats.telemetry.push_stage(stage.finish(&*clock));
             let class = AnycastClassification::from_outcome(&outcome);
             stats
                 .ats_per_protocol
                 .insert(label.clone(), class.anycast_targets().len());
             classifications.insert(label, class);
+            Ok(())
         };
 
         for &p in &self.cfg.protocols_v4 {
@@ -176,10 +206,10 @@ impl CensusPipeline {
             } else {
                 &hit_v4
             };
-            run_stage(h, p, &mut stats);
+            run_stage(h, p, &mut stats, &mut clock)?;
         }
         for &p in &self.cfg.protocols_v6 {
-            run_stage(&hit_v6, p, &mut stats);
+            run_stage(&hit_v6, p, &mut stats, &mut clock)?;
         }
 
         // --- Stage 2: AT assembly ---------------------------------------
@@ -197,9 +227,16 @@ impl CensusPipeline {
         let at_addrs: Vec<IpAddr> = gcd_targets.iter().map(|p| addr_of[p]).collect();
         let mut gcd_cfg = GcdConfig::daily(self.cfg.base_measurement_id + day * 32 + 20, day);
         gcd_cfg.precheck = false; // ATs are known-responsive; probe fully
-        let mut report = run_campaign(world, self.cfg.gcd_platform, &at_addrs, &gcd_cfg);
+        let mut gcd_stage = StageTimer::start("gcd", &clock);
+        let gcd_start = clock.now_ms();
+        let mut report = run_campaign(world, self.cfg.gcd_platform, &at_addrs, &gcd_cfg)?;
         stats.gcd_probes += report.probes_sent;
-        stats.degraded |= report.degraded;
+        let mut gcd_ms = 0u64;
+        for s in &report.telemetry.stages {
+            gcd_ms = gcd_ms.max(s.end_ms());
+            gcd_stage.child(s.clone().rebased(gcd_start));
+        }
+        stats.telemetry.absorb("gcd", &report.telemetry);
 
         let dark: Vec<IpAddr> = report
             .results
@@ -211,15 +248,25 @@ impl CensusPipeline {
             let mut tcp_cfg = GcdConfig::daily(self.cfg.base_measurement_id + day * 32 + 21, day);
             tcp_cfg.protocol = Protocol::Tcp;
             tcp_cfg.precheck = true;
-            let tcp_report = run_campaign(world, self.cfg.gcd_platform, &dark, &tcp_cfg);
+            let tcp_report = run_campaign(world, self.cfg.gcd_platform, &dark, &tcp_cfg)?;
             stats.gcd_probes += tcp_report.probes_sent;
-            stats.degraded |= tcp_report.degraded;
+            for s in &tcp_report.telemetry.stages {
+                gcd_ms = gcd_ms.max(s.end_ms());
+                gcd_stage.child(s.clone().rebased(gcd_start));
+            }
+            stats
+                .telemetry
+                .absorb("gcd_tcp_retry", &tcp_report.telemetry);
             for (p, r) in tcp_report.results {
                 if r.class != GcdClass::Unresponsive {
                     report.results.insert(p, r);
                 }
             }
         }
+        clock.advance(gcd_ms);
+        gcd_stage.count("targets", at_addrs.len() as u64);
+        gcd_stage.count("probes_sent", stats.gcd_probes);
+        stats.telemetry.push_stage(gcd_stage.finish(&clock));
 
         // --- Stage 4: publish + feedback ---------------------------------
         let mut records: BTreeMap<PrefixKey, CensusRecord> = BTreeMap::new();
@@ -278,7 +325,24 @@ impl CensusPipeline {
             .collect();
         self.feedback.merge(confirmed, AtSource::DailyGcdFeedback);
 
-        DayOutput {
+        stats.telemetry.set_gauge("census.day", u64::from(day));
+        stats
+            .telemetry
+            .set_gauge("census.candidates", candidates.len() as u64);
+        stats
+            .telemetry
+            .set_gauge("census.gcd_targets", stats.gcd_target_count as u64);
+        stats
+            .telemetry
+            .set_gauge("census.published", records.len() as u64);
+        stats
+            .telemetry
+            .set_gauge("census.feedback_size", self.feedback.len() as u64);
+        stats
+            .telemetry
+            .set_gauge("census.day_sim_ms", clock.now_ms());
+
+        Ok(DayOutput {
             census: DailyCensus {
                 day,
                 records,
@@ -286,6 +350,6 @@ impl CensusPipeline {
             },
             classifications,
             gcd: report.results,
-        }
+        })
     }
 }

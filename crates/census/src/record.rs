@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 
 use laces_core::classify::Class;
 use laces_gcd::GcdClass;
+use laces_obs::{Degraded, DegradedReason, RunReport};
 use laces_packet::{PrefixKey, Protocol};
 use serde::{Deserialize, Serialize};
 
@@ -73,11 +74,19 @@ pub struct CensusStats {
     pub ats_per_protocol: BTreeMap<String, usize>,
     /// Size of the GCD target set after AT feedback.
     pub gcd_target_count: usize,
-    /// Whether any stage of the day ran degraded (failed workers, an
-    /// aborted measurement, or a lost GCD chunk). The day is published
-    /// anyway; longitudinal consumers must not read absences on a degraded
-    /// day as withdrawals.
-    pub degraded: bool,
+    /// Deterministic telemetry for the whole day: every stage's metrics
+    /// absorbed under its label, the day's simulated-clock stage tree, and
+    /// typed degradation events (failed workers, an aborted measurement, a
+    /// lost GCD chunk). A degraded day is published anyway; longitudinal
+    /// consumers must not read absences on a degraded day as withdrawals —
+    /// [`degraded_reasons`](Degraded::degraded_reasons) says what was lost.
+    pub telemetry: RunReport,
+}
+
+impl Degraded for CensusStats {
+    fn degraded_reasons(&self) -> &[DegradedReason] {
+        self.telemetry.degraded_reasons()
+    }
 }
 
 /// One day's census.
@@ -94,9 +103,14 @@ pub struct DailyCensus {
 
 impl DailyCensus {
     /// Whether the day was produced under degradation (see
-    /// [`CensusStats::degraded`]).
+    /// [`CensusStats::telemetry`]).
     pub fn degraded(&self) -> bool {
-        self.stats.degraded
+        self.stats.is_degraded()
+    }
+
+    /// Why the day degraded (empty when every stage ran clean).
+    pub fn degraded_reasons(&self) -> &[DegradedReason] {
+        self.stats.degraded_reasons()
     }
 
     /// Prefixes confirmed anycast by GCD.

@@ -33,11 +33,22 @@ impl CensusStore {
         self.dir.join(format!("census-day-{day:05}.stats.json"))
     }
 
-    /// Persist one day's census.
+    fn telemetry_path(&self, day: u32) -> PathBuf {
+        self.dir
+            .join(format!("census-day-{day:05}.telemetry.jsonl"))
+    }
+
+    /// Persist one day's census: the records, the stats sidecar, and the
+    /// day's telemetry as JSON lines (one metric, stage or degradation
+    /// event per line — greppable without parsing the whole stats file).
     pub fn save(&self, census: &DailyCensus) -> io::Result<()> {
         std::fs::write(self.day_path(census.day), census.to_jsonl())?;
         let stats = serde_json::to_string_pretty(&census.stats).expect("stats serialise");
-        std::fs::write(self.stats_path(census.day), stats)
+        std::fs::write(self.stats_path(census.day), stats)?;
+        std::fs::write(
+            self.telemetry_path(census.day),
+            census.stats.telemetry.to_jsonl(),
+        )
     }
 
     /// Load one day.
@@ -178,11 +189,20 @@ mod tests {
     #[test]
     fn save_load_roundtrip() {
         let store = CensusStore::open(tmpdir("roundtrip")).unwrap();
-        let census = sample_census(3, 5);
+        let mut census = sample_census(3, 5);
+        census.stats.telemetry.inc("census.test_counter", 7);
         store.save(&census).unwrap();
         let back = store.load(3).unwrap();
         assert_eq!(back.records, census.records);
         assert_eq!(back.day, 3);
+        assert_eq!(back.stats.telemetry.counter("census.test_counter"), 7);
+        // The telemetry sidecar is written alongside the records.
+        let telemetry =
+            std::fs::read_to_string(store.path().join("census-day-00003.telemetry.jsonl")).unwrap();
+        assert!(telemetry.contains("census.test_counter"));
+        for line in telemetry.lines() {
+            serde_json::from_str::<serde::Value>(line).expect("each line is valid JSON");
+        }
     }
 
     #[test]

@@ -103,7 +103,8 @@ mod tests {
         }
         assert!(!regional_addrs.is_empty(), "world has regional anycast");
 
-        let gcd = run_campaign(&world, ark, &regional_addrs, &GcdConfig::daily(64_000, 0));
+        let gcd = run_campaign(&world, ark, &regional_addrs, &GcdConfig::daily(64_000, 0))
+            .expect("unicast VP platform");
         let traces = trace_enumerate_all(&world, ark, &regional_addrs, 0);
 
         let mut trace_wins = 0usize;

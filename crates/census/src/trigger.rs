@@ -17,6 +17,7 @@ use std::sync::Arc;
 use laces_core::classify::AnycastClassification;
 use laces_core::orchestrator::run_measurement;
 use laces_core::spec::MeasurementSpec;
+use laces_core::MeasurementError;
 use laces_gcd::engine::{run_campaign, GcdClass, GcdConfig};
 use laces_netsim::bgp::{bgp_updates, BgpEventKind};
 use laces_netsim::World;
@@ -65,7 +66,16 @@ impl TriggerReport {
 }
 
 /// Consume the day's BGP events and run targeted verification measurements.
-pub fn run_triggered_verification(world: &Arc<World>, day: u32, base_id: u32) -> TriggerReport {
+///
+/// # Errors
+///
+/// Any [`MeasurementError`] from spec validation in the underlying
+/// targeted measurements.
+pub fn run_triggered_verification(
+    world: &Arc<World>,
+    day: u32,
+    base_id: u32,
+) -> Result<TriggerReport, MeasurementError> {
     let events = bgp_updates(world, day);
     let mut verdicts: BTreeMap<PrefixKey, TriggerVerdict> = BTreeMap::new();
     let mut probes_sent = 0u64;
@@ -110,7 +120,7 @@ pub fn run_triggered_verification(world: &Arc<World>, day: u32, base_id: u32) ->
                 v4_targets,
                 day,
             );
-            let outcome = run_measurement(world, &spec);
+            let outcome = run_measurement(world, &spec)?;
             probes_sent += outcome.probes_sent;
             class = Some(AnycastClassification::from_outcome(&outcome));
         }
@@ -119,7 +129,7 @@ pub fn run_triggered_verification(world: &Arc<World>, day: u32, base_id: u32) ->
         let addrs: Vec<IpAddr> = probe_list.iter().map(|(_, a, _)| *a).collect();
         let mut cfg = GcdConfig::daily(base_id + 1, day);
         cfg.precheck = true;
-        let gcd = run_campaign(world, world.std_platforms.ark, &addrs, &cfg);
+        let gcd = run_campaign(world, world.std_platforms.ark, &addrs, &cfg)?;
         probes_sent += gcd.probes_sent;
 
         for (prefix, _, kind) in probe_list {
@@ -141,11 +151,11 @@ pub fn run_triggered_verification(world: &Arc<World>, day: u32, base_id: u32) ->
         }
     }
 
-    TriggerReport {
+    Ok(TriggerReport {
         day,
         verdicts,
         probes_sent,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -181,14 +191,14 @@ mod tests {
                         .any(|e| e.kind == BgpEventKind::NewAnnouncement)
                 })
                 .expect("temporary anycast exists");
-            let report = run_triggered_verification(&world, day, 8_000);
+            let report = run_triggered_verification(&world, day, 8_000).expect("valid specs");
             assert!(!report
                 .with_verdict(TriggerVerdict::ConfirmedNewAnycast)
                 .is_empty());
             return;
         };
 
-        let report = run_triggered_verification(&world, day, 8_000);
+        let report = run_triggered_verification(&world, day, 8_000).expect("valid specs");
         assert!(report.probes_sent > 0);
 
         // Temporary anycast turning up is confirmed as anycast the same day.
@@ -227,7 +237,7 @@ mod tests {
         let world = Arc::new(World::generate(WorldConfig::tiny()));
         // Find a day with no events at all (if none exists, skip).
         if let Some(day) = (1..60).find(|&d| bgp_updates(&world, d).is_empty()) {
-            let report = run_triggered_verification(&world, day, 8_100);
+            let report = run_triggered_verification(&world, day, 8_100).expect("valid specs");
             assert!(report.verdicts.is_empty());
             assert_eq!(report.probes_sent, 0);
         }
@@ -243,7 +253,7 @@ mod tests {
                     .any(|e| e.kind == BgpEventKind::Withdrawal)
             })
             .expect("temporary anycast withdraws eventually");
-        let report = run_triggered_verification(&world, day, 8_200);
+        let report = run_triggered_verification(&world, day, 8_200).expect("valid specs");
         let withdrawn = report.with_verdict(TriggerVerdict::Withdrawn);
         assert!(!withdrawn.is_empty());
         for p in &withdrawn {

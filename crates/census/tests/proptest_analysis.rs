@@ -56,7 +56,7 @@ fn classification(data: &[(u16, usize, Option<bool>)]) -> AnycastClassification 
         records,
         failed_workers: vec![],
         worker_health: vec![],
-        degraded: false,
+        telemetry: laces_core::RunReport::new(),
     })
 }
 

@@ -180,7 +180,7 @@ mod tests {
             records,
             failed_workers: vec![],
             worker_health: vec![],
-            degraded: false,
+            telemetry: laces_obs::RunReport::new(),
         }
     }
 

@@ -258,8 +258,7 @@ mod tests {
         let b = FaultPlan::seeded(42, 32, 5, 100);
         assert_eq!(a, b);
         assert_eq!(a.crashes.len(), 5);
-        let workers: std::collections::BTreeSet<u16> =
-            a.crashes.iter().map(|c| c.worker).collect();
+        let workers: std::collections::BTreeSet<u16> = a.crashes.iter().map(|c| c.worker).collect();
         assert_eq!(workers.len(), 5, "crashed workers are distinct");
         assert!(workers.iter().all(|&w| w < 32));
         let c = FaultPlan::seeded(43, 32, 5, 100);

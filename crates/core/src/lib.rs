@@ -39,7 +39,7 @@
 //!     Arc::new(targets),
 //!     0,
 //! );
-//! let outcome = orchestrator::run_measurement(&world, &spec);
+//! let outcome = orchestrator::run_measurement(&world, &spec).expect("anycast platform");
 //! let class = AnycastClassification::from_outcome(&outcome);
 //! println!("{} anycast candidates", class.anycast_targets().len());
 //! ```
@@ -48,6 +48,7 @@ pub mod auth;
 pub mod catchment;
 pub mod classify;
 pub mod cli;
+pub mod error;
 pub mod fault;
 pub mod orchestrator;
 pub mod rate;
@@ -57,10 +58,13 @@ pub mod worker;
 
 pub use catchment::{shift, CatchmentMap, CatchmentShift};
 pub use classify::{AnycastClassification, Class};
+pub use error::MeasurementError;
 pub use fault::{FaultPlan, OrderChannelFault, WorkerCrash};
+pub use laces_obs::{Degraded, DegradedReason, RunReport};
+#[allow(deprecated)]
+pub use orchestrator::ReservedIdError;
 pub use orchestrator::{
-    run_measurement, run_measurement_abortable, run_with_precheck, AbortHandle, ReservedIdError,
-    PRECHECK_ID_BIT,
+    run_measurement, run_measurement_abortable, run_with_precheck, AbortHandle, PRECHECK_ID_BIT,
 };
-pub use results::{MeasurementOutcome, ProbeRecord, WorkerHealth, WorkerStatus};
-pub use spec::MeasurementSpec;
+pub use results::{MeasurementOutcome, ProbeRecord, WorkerHealth, WorkerStatus, WorkerTelemetry};
+pub use spec::{MeasurementSpec, MeasurementSpecBuilder};

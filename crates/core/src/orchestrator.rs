@@ -11,16 +11,26 @@
 //! streams are `crossbeam` channels, which preserves the concurrency
 //! structure (streaming, backpressure, failure isolation) while staying
 //! inside one deterministic process.
+//!
+//! Every run assembles a [`RunReport`]: aggregate and per-worker counters,
+//! the RTT distribution, a stage timing on the simulated clock, and the
+//! typed degradation events. For abort-free fault plans the report is
+//! bit-identical across reruns (see `laces-obs` for the rules that make
+//! that hold).
 
 use std::sync::Arc;
 
 use crossbeam::channel;
 use laces_netsim::{platform as plat, World};
+use laces_obs::{metrics, Counter, DegradedReason, Histogram, RunReport, SimClock, StageTimer};
 use laces_packet::IpVersion;
 
 use crate::auth::{AuthKey, Sealed};
+use crate::error::MeasurementError;
 use crate::rate::window_start_ms;
-use crate::results::{MeasurementOutcome, WorkerEvent, WorkerHealth, WorkerStatus};
+use crate::results::{
+    MeasurementOutcome, WorkerEvent, WorkerFailure, WorkerHealth, WorkerStatus, WorkerTelemetry,
+};
 use crate::spec::MeasurementSpec;
 use crate::worker::{run_worker, ProbeOrder, StartOrder, WorkerOut};
 
@@ -38,9 +48,15 @@ pub const PRECHECK_ID_BIT: u32 = 0x8000_0000;
 
 /// Run a measurement to completion and aggregate the result stream.
 ///
-/// Panics if the spec's platform is not an anycast platform or has more
-/// workers than the probe encodings can attribute (64).
-pub fn run_measurement(world: &Arc<World>, spec: &MeasurementSpec) -> MeasurementOutcome {
+/// # Errors
+///
+/// [`MeasurementError::NotAnycast`] when the spec's platform is a unicast
+/// VP platform, [`MeasurementError::WorkerCount`] when the platform's
+/// worker count cannot be attributed by the probe encodings (1..=64).
+pub fn run_measurement(
+    world: &Arc<World>,
+    spec: &MeasurementSpec,
+) -> Result<MeasurementOutcome, MeasurementError> {
     run_measurement_abortable(world, spec, &AbortHandle::new())
 }
 
@@ -69,22 +85,69 @@ impl AbortHandle {
     }
 }
 
+/// Merge one worker's telemetry into the run report under the per-worker
+/// namespace and the aggregate counters.
+fn merge_worker_telemetry(report: &mut RunReport, worker: u16, t: &WorkerTelemetry) {
+    let w = format!("worker.{worker:03}");
+    report.inc(&format!("{w}.probes_sent"), t.probes_sent);
+    report.inc(&format!("{w}.records_streamed"), t.records_streamed);
+    report.inc(&format!("{w}.captures_rejected"), t.captures_rejected);
+    report.inc("worker.probes_sent", t.probes_sent);
+    report.inc("worker.records_streamed", t.records_streamed);
+    report.inc("worker.captures_rejected", t.captures_rejected);
+    report.inc("fabric.replies_delivered", t.replies_delivered);
+    report.inc("fabric.unanswered", t.unanswered);
+    report.inc("fabric.dropped", t.fabric_dropped);
+    report.inc("fabric.duplicated", t.fabric_duplicated);
+}
+
 /// [`run_measurement`] with a cancellation handle.
+///
+/// # Errors
+///
+/// As [`run_measurement`].
 pub fn run_measurement_abortable(
     world: &Arc<World>,
     spec: &MeasurementSpec,
     abort: &AbortHandle,
-) -> MeasurementOutcome {
+) -> Result<MeasurementOutcome, MeasurementError> {
     let platform = world.platform(spec.platform);
-    assert!(
-        platform.is_anycast(),
-        "measurements probe from an anycast platform"
-    );
+    if !platform.is_anycast() {
+        return Err(MeasurementError::NotAnycast {
+            platform: spec.platform,
+        });
+    }
     let n_workers = platform.n_vps();
-    assert!(
-        (1..=64).contains(&n_workers),
-        "worker count {n_workers} out of range"
+    if !(1..=64).contains(&n_workers) {
+        return Err(MeasurementError::WorkerCount { n_workers });
+    }
+
+    let span_ms = spec.span_ms(n_workers);
+    let mut telemetry = RunReport::new();
+    telemetry.set_gauge("orchestrator.n_workers", n_workers as u64);
+    telemetry.set_gauge("orchestrator.n_targets", spec.targets.len() as u64);
+    telemetry.set_gauge("orchestrator.span_ms", span_ms);
+    telemetry.set_gauge("orchestrator.rate_per_s", u64::from(spec.rate_per_s));
+    telemetry.set_gauge(
+        "orchestrator.probe_budget",
+        spec.probe_budget(if spec.senders.is_some() {
+            spec.senders.as_ref().map_or(0, |s| s.len())
+        } else {
+            n_workers
+        }),
     );
+    if let Some(fabric) = &spec.faults.fabric {
+        // Planned fabric fault rates, in permille, next to the observed
+        // fabric.dropped / fabric.duplicated counters.
+        telemetry.set_gauge(
+            "fabric.planned_drop_permille",
+            (fabric.drop_rate * 1000.0) as u64,
+        );
+        telemetry.set_gauge(
+            "fabric.planned_dup_permille",
+            (fabric.dup_rate * 1000.0) as u64,
+        );
+    }
 
     // An empty hitlist is a complete (and cheap) measurement: spawning a
     // platform of workers to stream zero orders would only burn threads.
@@ -96,16 +159,23 @@ pub fn run_measurement_abortable(
     // faults need deliveries that never happen.
     if spec.targets.is_empty() {
         let worker_health: Vec<WorkerHealth> = (0..n_workers)
-            .map(|w| WorkerHealth {
-                worker: w as u16,
-                status: if spec.faults.rejects_seal(w as u16)
-                    || spec.faults.crash_after(w as u16) == Some(0)
-                {
+            .map(|w| {
+                let w = w as u16;
+                let status = if spec.faults.rejects_seal(w) {
+                    telemetry.inc("orchestrator.seal_rejections", 1);
+                    telemetry.add_degraded(DegradedReason::SealRejected { worker: w });
+                    WorkerStatus::Failed
+                } else if spec.faults.crash_after(w) == Some(0) {
+                    telemetry.add_degraded(DegradedReason::WorkerCrashed { worker: w });
                     WorkerStatus::Failed
                 } else {
                     WorkerStatus::Completed
-                },
-                probes_sent: 0,
+                };
+                WorkerHealth {
+                    worker: w,
+                    status,
+                    probes_sent: 0,
+                }
             })
             .collect();
         let failed_workers: Vec<u16> = worker_health
@@ -113,8 +183,7 @@ pub fn run_measurement_abortable(
             .filter(|h| h.status == WorkerStatus::Failed)
             .map(|h| h.worker)
             .collect();
-        let degraded = !failed_workers.is_empty();
-        return MeasurementOutcome {
+        return Ok(MeasurementOutcome {
             measurement_id: spec.id,
             platform: spec.platform,
             protocol: spec.protocol,
@@ -124,12 +193,11 @@ pub fn run_measurement_abortable(
             records: Vec::new(),
             failed_workers,
             worker_health,
-            degraded,
-        };
+            telemetry,
+        });
     }
 
     let key = AuthKey::derive(world.cfg.seed ^ u64::from(spec.id));
-    let span_ms = spec.span_ms(n_workers);
 
     // Family of the measurement follows the first target (hitlists are
     // single-family); the platform announces both an IPv4 and IPv6 prefix.
@@ -164,6 +232,15 @@ pub fn run_measurement_abortable(
     let mut probes_sent = 0u64;
     let mut failed_workers = Vec::new();
     let mut worker_health: Vec<WorkerHealth> = Vec::with_capacity(n_workers);
+
+    // Streamer-side counters, shared by reference with the stream thread
+    // inside the scope. Orders-streamed is a plain sum; stalls count the
+    // schedule's rate-limiter waits (the points where the next target's
+    // window opens strictly later than the previous one's) — derived from
+    // the deterministic schedule, not from channel backpressure, which is
+    // scheduler noise.
+    let orders_streamed = Counter::new();
+    let order_stalls = Counter::new();
 
     std::thread::scope(|scope| {
         for (w, (orders, captures)) in order_rxs.into_iter().zip(cap_rxs).enumerate() {
@@ -200,7 +277,8 @@ pub fn run_measurement_abortable(
                 if run_worker(&world, key, sealed, orders, captures, fabric, out).is_err() {
                     let _ = out_err.send(WorkerOut::Event(WorkerEvent::Failed {
                         worker: w as u16,
-                        probes_sent: 0,
+                        telemetry: WorkerTelemetry::default(),
+                        cause: WorkerFailure::SealRejected,
                     }));
                 }
             });
@@ -213,17 +291,25 @@ pub fn run_measurement_abortable(
         // to every worker; a worker that died has a closed queue and is
         // skipped (R5: measurement continues with the remaining workers).
         let stream_abort = abort.clone();
+        let orders_streamed = &orders_streamed;
+        let order_stalls = &order_stalls;
         scope.spawn(move || {
             let mut txs: Vec<Option<_>> = order_txs.into_iter().map(Some).collect();
             let mut sent = vec![0usize; txs.len()];
+            let mut last_window = 0u64;
             for (i, &target) in spec.targets.iter().enumerate() {
                 if stream_abort.is_aborted() {
                     // CLI disconnected: stop streaming; workers wind down.
                     break;
                 }
+                let window = window_start_ms(i, spec.rate_per_s);
+                if window > last_window {
+                    order_stalls.inc();
+                    last_window = window;
+                }
                 let order = ProbeOrder {
                     target,
-                    window_start_ms: window_start_ms(i, spec.rate_per_s),
+                    window_start_ms: window,
                 };
                 for w in 0..txs.len() {
                     // Non-sender workers (single-VP precheck mode) receive
@@ -247,6 +333,7 @@ pub fn run_measurement_abortable(
                     if let Some(tx) = &txs[w] {
                         let _ = tx.send(order);
                         sent[w] += 1;
+                        orders_streamed.inc();
                     }
                 }
             }
@@ -270,25 +357,37 @@ pub fn run_measurement_abortable(
                 }
                 WorkerOut::Event(WorkerEvent::Done {
                     worker,
-                    probes_sent: p,
+                    telemetry: t,
                 }) => {
-                    probes_sent += p;
+                    probes_sent += t.probes_sent;
+                    merge_worker_telemetry(&mut telemetry, worker, &t);
                     worker_health.push(WorkerHealth {
                         worker,
                         status: WorkerStatus::Completed,
-                        probes_sent: p,
+                        probes_sent: t.probes_sent,
                     });
                 }
                 WorkerOut::Event(WorkerEvent::Failed {
                     worker,
-                    probes_sent: p,
+                    telemetry: t,
+                    cause,
                 }) => {
-                    probes_sent += p;
+                    probes_sent += t.probes_sent;
+                    merge_worker_telemetry(&mut telemetry, worker, &t);
+                    match cause {
+                        WorkerFailure::Crash => {
+                            telemetry.add_degraded(DegradedReason::WorkerCrashed { worker });
+                        }
+                        WorkerFailure::SealRejected => {
+                            telemetry.inc("orchestrator.seal_rejections", 1);
+                            telemetry.add_degraded(DegradedReason::SealRejected { worker });
+                        }
+                    }
                     failed_workers.push(worker);
                     worker_health.push(WorkerHealth {
                         worker,
                         status: WorkerStatus::Failed,
-                        probes_sent: p,
+                        probes_sent: t.probes_sent,
                     });
                 }
             }
@@ -301,16 +400,49 @@ pub fn run_measurement_abortable(
     // arrival order is scheduler noise. Sorting makes equal runs serialise
     // identically (fault plans are replayable bit-for-bit).
     records.sort_unstable_by(|a, b| {
-        (a.prefix, a.tx_worker, a.rx_worker, a.tx_time_ms, a.rx_time_ms).cmp(&(
-            b.prefix,
-            b.tx_worker,
-            b.rx_worker,
-            b.tx_time_ms,
-            b.rx_time_ms,
-        ))
+        (
+            a.prefix,
+            a.tx_worker,
+            a.rx_worker,
+            a.tx_time_ms,
+            a.rx_time_ms,
+        )
+            .cmp(&(
+                b.prefix,
+                b.tx_worker,
+                b.rx_worker,
+                b.tx_time_ms,
+                b.rx_time_ms,
+            ))
     });
-    let degraded = !failed_workers.is_empty() || abort.is_aborted();
-    MeasurementOutcome {
+
+    telemetry.inc("orchestrator.orders_streamed", orders_streamed.get());
+    telemetry.inc("orchestrator.rate_limiter_stalls", order_stalls.get());
+    telemetry.inc("orchestrator.records_collected", records.len() as u64);
+    if abort.is_aborted() {
+        telemetry.inc("orchestrator.aborts", 1);
+        telemetry.add_degraded(DegradedReason::Aborted);
+    }
+    // The RTT distribution is computed from the canonical record list (a
+    // multiset — order-independent by construction).
+    let mut rtts = Histogram::new(&metrics::RTT_BUCKETS_MS);
+    for r in &records {
+        if let Some(rtt) = r.rtt_ms() {
+            rtts.observe(rtt);
+        }
+    }
+    telemetry.record_histogram("worker.rtt_ms", rtts.snapshot());
+    // Stage timing on the simulated clock: the probing phase spans the
+    // rate-limited hitlist stream plus the last worker's offset window
+    // (R6's quantity, per measurement).
+    let mut clock = SimClock::new();
+    let mut stage = StageTimer::start(format!("measurement:{:?}", spec.protocol), &clock);
+    stage.count("targets", spec.targets.len() as u64);
+    stage.count("probes_sent", probes_sent);
+    clock.advance(window_start_ms(spec.targets.len().saturating_sub(1), spec.rate_per_s) + span_ms);
+    telemetry.push_stage(stage.finish(&clock));
+
+    Ok(MeasurementOutcome {
         measurement_id: spec.id,
         platform: spec.platform,
         protocol: spec.protocol,
@@ -320,8 +452,8 @@ pub fn run_measurement_abortable(
         records,
         failed_workers,
         worker_health,
-        degraded,
-    }
+        telemetry,
+    })
 }
 
 /// Result of a prechecked measurement (§6 future work: "check
@@ -350,9 +482,14 @@ impl PrecheckedOutcome {
 /// its derived precheck id would collide with its own — or another
 /// measurement's — precheck, and two measurements sharing an id would
 /// accept each other's replies.
+#[deprecated(
+    since = "0.2.0",
+    note = "folded into MeasurementError::ReservedId; match on that instead"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReservedIdError(pub u32);
 
+#[allow(deprecated)]
 impl std::fmt::Display for ReservedIdError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -364,6 +501,7 @@ impl std::fmt::Display for ReservedIdError {
     }
 }
 
+#[allow(deprecated)]
 impl std::error::Error for ReservedIdError {}
 
 /// Run a measurement with a single-worker responsiveness precheck: worker
@@ -376,22 +514,22 @@ impl std::error::Error for ReservedIdError {}
 ///
 /// # Errors
 ///
-/// Returns [`ReservedIdError`] when `spec.id` has [`PRECHECK_ID_BIT`] set:
-/// the precheck pass needs its own measurement id (replies to the precheck
-/// must not validate against the full pass), and ids with that bit are
-/// reserved for it.
+/// [`MeasurementError::ReservedId`] when `spec.id` has [`PRECHECK_ID_BIT`]
+/// set: the precheck pass needs its own measurement id (replies to the
+/// precheck must not validate against the full pass), and ids with that
+/// bit are reserved for it. Platform errors as [`run_measurement`].
 pub fn run_with_precheck(
     world: &Arc<World>,
     spec: &MeasurementSpec,
     precheck_worker: u16,
-) -> Result<PrecheckedOutcome, ReservedIdError> {
+) -> Result<PrecheckedOutcome, MeasurementError> {
     if spec.id & PRECHECK_ID_BIT != 0 {
-        return Err(ReservedIdError(spec.id));
+        return Err(MeasurementError::ReservedId { id: spec.id });
     }
     let mut pre = spec.clone();
     pre.id = spec.id | PRECHECK_ID_BIT;
     pre.senders = Some(vec![precheck_worker]);
-    let pre_outcome = run_measurement(world, &pre);
+    let pre_outcome = run_measurement(world, &pre)?;
 
     let responsive: std::collections::BTreeSet<laces_packet::PrefixKey> =
         pre_outcome.records.iter().map(|r| r.prefix).collect();
@@ -405,7 +543,7 @@ pub fn run_with_precheck(
 
     let mut full = spec.clone();
     full.targets = Arc::new(filtered);
-    let outcome = run_measurement(world, &full);
+    let outcome = run_measurement(world, &full)?;
     Ok(PrecheckedOutcome {
         responsive_targets: outcome.n_targets,
         skipped_targets: skipped,

@@ -2,6 +2,7 @@
 //! aggregation at the CLI.
 
 use laces_netsim::PlatformId;
+use laces_obs::{Degraded, DegradedReason, RunReport};
 use laces_packet::{PrefixKey, Protocol};
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +38,38 @@ impl ProbeRecord {
     }
 }
 
+/// What one worker observed about its own run, carried back to the
+/// Orchestrator inside its terminal [`WorkerEvent`]. Every field is a sum
+/// of per-probe / per-capture contributions, so the merged totals are
+/// independent of thread scheduling (the obs determinism rules).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerTelemetry {
+    /// Probes the worker transmitted.
+    pub probes_sent: u64,
+    /// Replies the wire delivered back to the worker's sends.
+    pub replies_delivered: u64,
+    /// Sends that elicited no delivery (dead target, loss, unroutable).
+    pub unanswered: u64,
+    /// Deliveries the capture fabric dropped at this worker's send side.
+    pub fabric_dropped: u64,
+    /// Deliveries the capture fabric duplicated at this worker's send side.
+    pub fabric_duplicated: u64,
+    /// Validated captures the worker streamed out as records.
+    pub records_streamed: u64,
+    /// Captures rejected by the filter (other measurements, backscatter).
+    pub captures_rejected: u64,
+}
+
+/// Why a worker failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkerFailure {
+    /// The worker disconnected mid-measurement (outage; R5).
+    Crash,
+    /// The worker's start order failed authentication (R8); it never
+    /// probed.
+    SealRejected,
+}
+
 /// Worker lifecycle events interleaved with results.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkerEvent {
@@ -44,15 +77,17 @@ pub enum WorkerEvent {
     Done {
         /// Worker id.
         worker: u16,
-        /// Probes it transmitted.
-        probes_sent: u64,
+        /// What the worker observed.
+        telemetry: WorkerTelemetry,
     },
-    /// Worker disconnected mid-measurement (outage; R5).
+    /// Worker dropped out of the measurement (R5).
     Failed {
         /// Worker id.
         worker: u16,
-        /// Probes it transmitted before failing.
-        probes_sent: u64,
+        /// What the worker observed before failing.
+        telemetry: WorkerTelemetry,
+        /// Why it failed.
+        cause: WorkerFailure,
     },
 }
 
@@ -99,12 +134,35 @@ pub struct MeasurementOutcome {
     pub failed_workers: Vec<u16>,
     /// Terminal state of every worker, sorted by worker id.
     pub worker_health: Vec<WorkerHealth>,
+    /// Everything the run observed about itself: per-worker and aggregate
+    /// counters, the RTT distribution, stage timing on the simulated
+    /// clock, and the typed degradation events (worker failures, seal
+    /// rejections, mid-stream aborts). Replaces PR 1's `degraded: bool`;
+    /// the bool is now derived via [`MeasurementOutcome::is_degraded`].
+    /// Consumers (the census pipeline) publish degraded runs anyway but
+    /// must carry the reasons forward.
+    pub telemetry: RunReport,
+}
+
+impl MeasurementOutcome {
     /// Whether the measurement ran degraded: at least one worker failed,
     /// or an abort was requested mid-run (even one that landed after the
     /// hitlist had fully streamed — a disconnected CLI makes the run
-    /// suspect regardless of how much survived). Consumers (the census
-    /// pipeline) publish anyway but must carry the flag forward.
-    pub degraded: bool,
+    /// suspect regardless of how much survived).
+    pub fn is_degraded(&self) -> bool {
+        self.telemetry.is_degraded()
+    }
+
+    /// The typed events that degraded this measurement.
+    pub fn degraded_reasons(&self) -> &[DegradedReason] {
+        self.telemetry.degraded_reasons()
+    }
+}
+
+impl Degraded for MeasurementOutcome {
+    fn degraded_reasons(&self) -> &[DegradedReason] {
+        self.telemetry.degraded_reasons()
+    }
 }
 
 #[cfg(test)]

@@ -10,10 +10,12 @@
 use std::net::IpAddr;
 use std::sync::Arc;
 
-use laces_netsim::PlatformId;
+use laces_netsim::{PlatformId, World};
 use laces_packet::{ProbeEncoding, Protocol};
 
+use crate::error::MeasurementError;
 use crate::fault::FaultPlan;
+use crate::orchestrator::PRECHECK_ID_BIT;
 
 /// A complete measurement definition.
 #[derive(Debug, Clone)]
@@ -71,6 +73,18 @@ impl MeasurementSpec {
         }
     }
 
+    /// Start building a spec with the daily-census defaults, validating
+    /// the whole definition against a world at
+    /// [`build`](MeasurementSpecBuilder::build). Misuse that previously
+    /// panicked deep inside the orchestrator (unicast platform,
+    /// unattributable worker count) is rejected here, before any thread is
+    /// spawned.
+    pub fn builder(id: u32, platform: PlatformId) -> MeasurementSpecBuilder {
+        MeasurementSpecBuilder {
+            spec: MeasurementSpec::census(id, platform, Protocol::Icmp, Arc::new(Vec::new()), 0),
+        }
+    }
+
     /// Whether `worker` transmits probes under this spec.
     pub fn is_sender(&self, worker: u16) -> bool {
         self.senders.as_ref().is_none_or(|s| s.contains(&worker))
@@ -84,6 +98,130 @@ impl MeasurementSpec {
     /// Total probes this measurement will send.
     pub fn probe_budget(&self, n_workers: usize) -> u64 {
         self.targets.len() as u64 * n_workers as u64
+    }
+}
+
+/// Builder for a [`MeasurementSpec`], created by
+/// [`MeasurementSpec::builder`]. Starts from the daily-census defaults
+/// (ICMP, 10 k targets/s, 1 s offsets, per-worker encoding, no faults) and
+/// validates the complete definition at [`build`](Self::build).
+#[derive(Debug, Clone)]
+pub struct MeasurementSpecBuilder {
+    spec: MeasurementSpec,
+}
+
+impl MeasurementSpecBuilder {
+    /// Set the probing protocol.
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.spec.protocol = protocol;
+        self
+    }
+
+    /// Set the target addresses.
+    pub fn targets(mut self, targets: Arc<Vec<IpAddr>>) -> Self {
+        self.spec.targets = targets;
+        self
+    }
+
+    /// Set the hitlist streaming rate (targets per second).
+    pub fn rate_per_s(mut self, rate: u32) -> Self {
+        self.spec.rate_per_s = rate;
+        self
+    }
+
+    /// Set the inter-worker probe offset in milliseconds.
+    pub fn offset_ms(mut self, offset: u64) -> Self {
+        self.spec.offset_ms = offset;
+        self
+    }
+
+    /// Set the probe encoding.
+    pub fn encoding(mut self, encoding: ProbeEncoding) -> Self {
+        self.spec.encoding = encoding;
+        self
+    }
+
+    /// Set the simulated day.
+    pub fn day(mut self, day: u32) -> Self {
+        self.spec.day = day;
+        self
+    }
+
+    /// Set the fault schedule.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.spec.faults = faults;
+        self
+    }
+
+    /// Restrict probing to these workers (all workers still capture).
+    pub fn senders(mut self, senders: Vec<u16>) -> Self {
+        self.spec.senders = Some(senders);
+        self
+    }
+
+    /// Validate the definition against `world` and produce the spec.
+    ///
+    /// # Errors
+    ///
+    /// * [`MeasurementError::NotAnycast`] — the platform is a unicast VP
+    ///   platform;
+    /// * [`MeasurementError::WorkerCount`] — worker count outside 1..=64;
+    /// * [`MeasurementError::ReservedId`] — the id lies in the precheck id
+    ///   space ([`PRECHECK_ID_BIT`]);
+    /// * [`MeasurementError::SenderOutOfRange`] — a sender restriction
+    ///   names a worker the platform does not have;
+    /// * [`MeasurementError::InvalidFaultPlan`] — a fabric rate outside
+    ///   [0, 1] or a fault scheduled on a nonexistent worker.
+    pub fn build(self, world: &World) -> Result<MeasurementSpec, MeasurementError> {
+        let spec = self.spec;
+        let platform = world.platform(spec.platform);
+        if !platform.is_anycast() {
+            return Err(MeasurementError::NotAnycast {
+                platform: spec.platform,
+            });
+        }
+        let n_workers = platform.n_vps();
+        if !(1..=64).contains(&n_workers) {
+            return Err(MeasurementError::WorkerCount { n_workers });
+        }
+        if spec.id & PRECHECK_ID_BIT != 0 {
+            return Err(MeasurementError::ReservedId { id: spec.id });
+        }
+        if let Some(senders) = &spec.senders {
+            if let Some(&worker) = senders.iter().find(|&&w| usize::from(w) >= n_workers) {
+                return Err(MeasurementError::SenderOutOfRange { worker, n_workers });
+            }
+        }
+        if let Some(fabric) = &spec.faults.fabric {
+            for (name, rate) in [
+                ("drop_rate", fabric.drop_rate),
+                ("dup_rate", fabric.dup_rate),
+            ] {
+                if !(0.0..=1.0).contains(&rate) || !rate.is_finite() {
+                    return Err(MeasurementError::InvalidFaultPlan {
+                        detail: format!("fabric {name} {rate} outside [0, 1]"),
+                    });
+                }
+            }
+        }
+        let fault_workers = spec
+            .faults
+            .crashes
+            .iter()
+            .map(|c| c.worker)
+            .chain(spec.faults.reject_seal.iter().copied())
+            .chain(spec.faults.order_faults.iter().map(|f| f.worker));
+        for worker in fault_workers {
+            if usize::from(worker) >= n_workers {
+                return Err(MeasurementError::InvalidFaultPlan {
+                    detail: format!(
+                        "fault scheduled on worker {worker}, but the platform has only \
+                         workers 0..{n_workers}"
+                    ),
+                });
+            }
+        }
+        Ok(spec)
     }
 }
 

@@ -13,14 +13,15 @@ use std::net::IpAddr;
 use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender, TrySendError};
-use laces_netsim::wire::{CaptureFaults, FabricVerdict, MeasurementCtx, ProbeSource};
-use laces_netsim::{Delivery, PlatformId, World};
+use laces_netsim::wire::{CaptureFaults, FabricStats, FabricVerdict, MeasurementCtx, ProbeSource};
+use laces_netsim::{Delivery, PlatformId, WireStats, World};
+use laces_obs::Counter;
 use laces_packet::probe::{build_probe, parse_reply, ProbeMeta};
 use laces_packet::{PrefixKey, ProbeEncoding, Protocol};
 use serde::{Deserialize, Serialize};
 
 use crate::auth::{AuthKey, Sealed};
-use crate::results::{ProbeRecord, WorkerEvent};
+use crate::results::{ProbeRecord, WorkerEvent, WorkerFailure, WorkerTelemetry};
 
 /// The sealed instruction that starts a worker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -116,7 +117,14 @@ pub fn run_worker(
         site: start.worker_id as usize,
     };
 
-    let mut probes_sent: u64 = 0;
+    // Worker-local telemetry: the wire and fabric stats observe sends, the
+    // capture counters observe the filter. All are order-independent sums,
+    // so the totals carried back to the Orchestrator are deterministic.
+    let wire_stats = WireStats::new();
+    let fabric_stats = FabricStats::new();
+    let records_streamed = Counter::new();
+    let captures_rejected = Counter::new();
+
     let mut failed = false;
     // A worker scheduled to crash defers all capture draining: which
     // captures a dying worker managed to flush before the crash is a
@@ -141,7 +149,10 @@ pub fn run_worker(
                 rx_time_ms: d.rx_time_ms,
                 chaos_identity: info.chaos_identity,
             };
+            records_streamed.inc();
             let _ = out.send(WorkerOut::Record(record));
+        } else {
+            captures_rejected.inc();
         }
     };
 
@@ -168,13 +179,17 @@ pub fn run_worker(
             &meta,
             start.encoding,
         );
-        probes_sent += 1;
-        if let Ok(Some(delivery)) =
-            world.send_probe(source, &pkt, tx_time, order.window_start_ms, &ctx)
-        {
-            let verdict = start
-                .fabric_faults
-                .map_or(FabricVerdict::Deliver, |f| f.verdict(&delivery));
+        if let Ok(Some(delivery)) = world.send_probe_observed(
+            source,
+            &pkt,
+            tx_time,
+            order.window_start_ms,
+            &ctx,
+            &wire_stats,
+        ) {
+            let verdict = start.fabric_faults.map_or(FabricVerdict::Deliver, |f| {
+                f.verdict_observed(&delivery, &fabric_stats)
+            });
             if verdict != FabricVerdict::Drop {
                 let rx = delivery.rx_index;
                 if let Some(s) = fabric.get(rx) {
@@ -197,16 +212,30 @@ pub fn run_worker(
     // even when the stream closed right at that point rather than
     // delivering an N+1-th order (otherwise a crash scheduled exactly at
     // the end of the hitlist would silently never happen).
-    if !failed && start.fail_after.is_some_and(|limit| processed_orders >= limit) {
+    if !failed
+        && start
+            .fail_after
+            .is_some_and(|limit| processed_orders >= limit)
+    {
         failed = true;
     }
 
     // A failed worker vanishes: it neither probes nor captures further.
     drop(fabric);
+    let telemetry = |records_streamed: u64, captures_rejected: u64| WorkerTelemetry {
+        probes_sent: wire_stats.probes.get(),
+        replies_delivered: wire_stats.deliveries.get(),
+        unanswered: wire_stats.unanswered.get(),
+        fabric_dropped: fabric_stats.dropped.get(),
+        fabric_duplicated: fabric_stats.duplicated.get(),
+        records_streamed,
+        captures_rejected,
+    };
     if failed {
         let _ = out.send(WorkerOut::Event(WorkerEvent::Failed {
             worker: start.worker_id,
-            probes_sent,
+            telemetry: telemetry(records_streamed.get(), captures_rejected.get()),
+            cause: WorkerFailure::Crash,
         }));
         return Ok(());
     }
@@ -217,7 +246,7 @@ pub fn run_worker(
     }
     let _ = out.send(WorkerOut::Event(WorkerEvent::Done {
         worker: start.worker_id,
-        probes_sent,
+        telemetry: telemetry(records_streamed.get(), captures_rejected.get()),
     }));
     Ok(())
 }

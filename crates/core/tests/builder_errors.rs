@@ -1,0 +1,132 @@
+//! Every `MeasurementError` variant the builder can return, one test per
+//! variant. `fault_matrix.rs` covers `NotAnycast` and `ReservedId` through
+//! the run entry points; `gcd_e2e.rs` covers `NotUnicast`. Here the
+//! builder itself is the unit under test: a bad definition must be a typed
+//! error at `build`, before any thread is spawned.
+
+use std::sync::Arc;
+
+use laces_core::error::MeasurementError;
+use laces_core::fault::FaultPlan;
+use laces_core::spec::MeasurementSpec;
+use laces_netsim::platform::{Platform, PlatformKind};
+use laces_netsim::{PlatformId, World, WorldConfig};
+
+fn world() -> World {
+    World::generate(WorldConfig::tiny())
+}
+
+#[test]
+fn builder_accepts_the_census_defaults() {
+    let w = world();
+    let spec = MeasurementSpec::builder(1, w.std_platforms.production)
+        .targets(Arc::new(vec!["192.0.2.1".parse().unwrap()]))
+        .build(&w)
+        .expect("default census definition is valid");
+    assert_eq!(spec.id, 1);
+    assert_eq!(spec.targets.len(), 1);
+}
+
+#[test]
+fn builder_rejects_unicast_platforms() {
+    let w = world();
+    let err = MeasurementSpec::builder(2, w.std_platforms.ark)
+        .build(&w)
+        .expect_err("ark is GCD territory, not a worker platform");
+    assert_eq!(
+        err,
+        MeasurementError::NotAnycast {
+            platform: w.std_platforms.ark
+        }
+    );
+}
+
+#[test]
+fn builder_rejects_platforms_with_no_workers() {
+    let mut w = world();
+    let empty = PlatformId(w.platforms.len() as u16);
+    w.platforms.push(Platform {
+        name: "ghost-town".into(),
+        kind: PlatformKind::Anycast { sites: Vec::new() },
+    });
+    let err = MeasurementSpec::builder(3, empty)
+        .build(&w)
+        .expect_err("a platform with zero sites cannot measure");
+    assert_eq!(err, MeasurementError::WorkerCount { n_workers: 0 });
+    assert!(err.to_string().contains("worker count"));
+}
+
+#[test]
+fn builder_rejects_reserved_precheck_ids() {
+    let w = world();
+    let err = MeasurementSpec::builder(0x8000_0002, w.std_platforms.production)
+        .build(&w)
+        .expect_err("bit 31 belongs to the precheck pass");
+    assert_eq!(err, MeasurementError::ReservedId { id: 0x8000_0002 });
+}
+
+#[test]
+fn builder_rejects_senders_the_platform_does_not_have() {
+    let w = world();
+    let n = w.platform(w.std_platforms.production).n_vps();
+    let bad = n as u16; // first worker id past the end
+    let err = MeasurementSpec::builder(4, w.std_platforms.production)
+        .senders(vec![0, bad])
+        .build(&w)
+        .expect_err("sender restriction names a nonexistent worker");
+    assert_eq!(
+        err,
+        MeasurementError::SenderOutOfRange {
+            worker: bad,
+            n_workers: n
+        }
+    );
+    // In-range restrictions pass.
+    assert!(MeasurementSpec::builder(5, w.std_platforms.production)
+        .senders(vec![0, (n - 1) as u16])
+        .build(&w)
+        .is_ok());
+}
+
+#[test]
+fn builder_rejects_fabric_rates_outside_unit_interval() {
+    let w = world();
+    for bad_rate in [1.5, -0.1, f64::NAN, f64::INFINITY] {
+        let err = MeasurementSpec::builder(6, w.std_platforms.production)
+            .faults(FaultPlan::none().and_fabric(bad_rate, 0.0))
+            .build(&w)
+            .expect_err("fabric rate outside [0, 1] must be rejected");
+        match err {
+            MeasurementError::InvalidFaultPlan { detail } => {
+                assert!(detail.contains("drop_rate"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn builder_rejects_faults_on_nonexistent_workers() {
+    let w = world();
+    let n = w.platform(w.std_platforms.production).n_vps() as u16;
+    for plan in [
+        FaultPlan::crash(n, 5),
+        FaultPlan::none().and_reject_seal(n + 3),
+    ] {
+        let err = MeasurementSpec::builder(7, w.std_platforms.production)
+            .faults(plan)
+            .build(&w)
+            .expect_err("fault on a worker the platform lacks");
+        match err {
+            MeasurementError::InvalidFaultPlan { detail } => {
+                assert!(detail.contains("worker"), "unexpected detail: {detail}");
+            }
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+    }
+    // The same plans are fine on workers that exist.
+    assert!(MeasurementSpec::builder(8, w.std_platforms.production)
+        .faults(FaultPlan::crash(0, 5))
+        .build(&w)
+        .is_ok());
+}

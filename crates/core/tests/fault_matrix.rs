@@ -1,16 +1,19 @@
 //! Fault-injection matrix: crash k of n workers at varying points, break
 //! order channels, corrupt seals, fault the capture fabric, and abort
 //! mid-stream — the measurement must complete, report exactly the injected
-//! faults, and reproduce bit-identically from the same fault seed.
+//! faults (as typed degradation events in its telemetry), and reproduce
+//! bit-identically from the same fault seed, run report included.
 
 use std::collections::BTreeSet;
 use std::net::IpAddr;
 use std::sync::Arc;
 
+use laces_core::error::MeasurementError;
 use laces_core::fault::FaultPlan;
 use laces_core::orchestrator::{run_measurement, run_with_precheck};
 use laces_core::results::WorkerStatus;
 use laces_core::spec::MeasurementSpec;
+use laces_core::DegradedReason;
 use laces_netsim::{World, WorldConfig};
 use laces_packet::Protocol;
 
@@ -44,11 +47,24 @@ fn fault_matrix_reports_exactly_the_crashed_workers() {
         let expected = plan.doomed_workers();
         let expected_fail_sum: u64 = plan.crashes.iter().map(|c| c.after_orders as u64).sum();
         let spec = census_spec(&w, 900 + case as u32, plan);
-        let outcome = run_measurement(&w, &spec);
+        let outcome = run_measurement(&w, &spec).expect("valid spec");
 
         // Exactly the planned workers are reported failed, no more.
         assert_eq!(outcome.failed_workers, expected, "case {case}");
-        assert!(outcome.degraded, "case {case}: a crashed worker degrades");
+        assert!(
+            outcome.is_degraded(),
+            "case {case}: a crashed worker degrades"
+        );
+        // Every failure surfaces as a typed degradation event.
+        let crashed: Vec<u16> = outcome
+            .degraded_reasons()
+            .iter()
+            .filter_map(|r| match r {
+                DegradedReason::WorkerCrashed { worker } => Some(*worker),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashed, expected, "case {case}: reasons name the workers");
 
         // Health covers the whole platform and matches the plan.
         assert_eq!(outcome.worker_health.len(), usize::from(n_workers));
@@ -68,6 +84,12 @@ fn fault_matrix_reports_exactly_the_crashed_workers() {
             survivors * spec.targets.len() as u64 + expected_fail_sum,
             "case {case}: survivor probing must be complete"
         );
+        // The aggregate probe counter agrees with the outcome field.
+        assert_eq!(
+            outcome.telemetry.counter("worker.probes_sent"),
+            outcome.probes_sent,
+            "case {case}: telemetry probe total matches"
+        );
 
         // A crashed worker's captures are lost with it: no record claims a
         // dead worker as its receiver.
@@ -84,15 +106,19 @@ fn same_fault_seed_reruns_are_bit_identical() {
     let w = world();
     let plan = FaultPlan::seeded(77, 32, 4, 40).and_fabric(0.05, 0.02);
     let spec = census_spec(&w, 910, plan);
-    let a = run_measurement(&w, &spec);
-    let b = run_measurement(&w, &spec);
+    let a = run_measurement(&w, &spec).expect("valid spec");
+    let b = run_measurement(&w, &spec).expect("valid spec");
     let ja = serde_json::to_string(&a).expect("outcome serialises");
     let jb = serde_json::to_string(&b).expect("outcome serialises");
     assert_eq!(ja, jb, "same fault seed must reproduce byte-identically");
 
     // And a different fault seed produces a different outcome.
-    let other = census_spec(&w, 910, FaultPlan::seeded(78, 32, 4, 40).and_fabric(0.05, 0.02));
-    let c = run_measurement(&w, &other);
+    let other = census_spec(
+        &w,
+        910,
+        FaultPlan::seeded(78, 32, 4, 40).and_fabric(0.05, 0.02),
+    );
+    let c = run_measurement(&w, &other).expect("valid spec");
     assert_ne!(
         ja,
         serde_json::to_string(&c).expect("outcome serialises"),
@@ -101,12 +127,97 @@ fn same_fault_seed_reruns_are_bit_identical() {
 }
 
 #[test]
+fn run_report_is_bit_identical_across_reruns() {
+    // The tentpole acceptance criterion: for any abort-free plan the whole
+    // serialized RunReport — counters, gauges, histograms, stages, typed
+    // degradation events — is a pure function of (world seed, spec, fault
+    // plan). Thread scheduling must not leak into a single byte.
+    let w = world();
+    for (case, plan) in [
+        FaultPlan::none(),
+        FaultPlan::seeded(41, 32, 5, 30),
+        FaultPlan::seeded(42, 32, 2, 50)
+            .and_fabric(0.10, 0.03)
+            .and_reject_seal(11)
+            .and_order_fault(3, 5, Some(40)),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let spec = census_spec(&w, 980 + case as u32, plan);
+        let a = run_measurement(&w, &spec).expect("valid spec");
+        let b = run_measurement(&w, &spec).expect("valid spec");
+        assert_eq!(
+            serde_json::to_string(&a.telemetry).expect("report serialises"),
+            serde_json::to_string(&b.telemetry).expect("report serialises"),
+            "case {case}: run reports must be bit-identical across reruns"
+        );
+        assert_eq!(
+            a.telemetry.to_jsonl(),
+            b.telemetry.to_jsonl(),
+            "case {case}: the JSONL encoding must be bit-identical too"
+        );
+    }
+}
+
+#[test]
+fn telemetry_counts_the_schedule_and_the_wire() {
+    let w = world();
+    let spec = census_spec(&w, 985, FaultPlan::none());
+    let outcome = run_measurement(&w, &spec).expect("valid spec");
+    let t = &outcome.telemetry;
+    // Every (target, worker) pair was ordered exactly once.
+    assert_eq!(
+        t.counter("orchestrator.orders_streamed"),
+        spec.targets.len() as u64 * 32
+    );
+    // The schedule stalls whenever the next window opens later; at 10 k
+    // targets/s the integer-ms schedule has one stall every 10 targets.
+    assert_eq!(
+        t.counter("orchestrator.rate_limiter_stalls"),
+        (spec.targets.len() as u64 - 1) / 10
+    );
+    assert_eq!(
+        t.counter("orchestrator.records_collected"),
+        outcome.records.len() as u64
+    );
+    // The wire accounted for every probe: delivered + unanswered = sent.
+    assert_eq!(
+        t.counter("fabric.replies_delivered") + t.counter("fabric.unanswered"),
+        t.counter("worker.probes_sent")
+    );
+    // Per-worker counters sum to the aggregate.
+    let per_worker: u64 = (0..32)
+        .map(|w| t.counter(&format!("worker.{w:03}.probes_sent")))
+        .sum();
+    assert_eq!(per_worker, t.counter("worker.probes_sent"));
+    // The RTT histogram observed every attributable record.
+    let rtts = t.histograms.get("worker.rtt_ms").expect("rtt histogram");
+    assert_eq!(
+        rtts.count,
+        outcome
+            .records
+            .iter()
+            .filter(|r| r.rtt_ms().is_some())
+            .count() as u64
+    );
+    // One stage, spanning the simulated probing window.
+    assert_eq!(t.stages.len(), 1);
+    assert_eq!(t.stages[0].counter("probes_sent"), outcome.probes_sent);
+    assert!(t.stages[0].sim_ms >= spec.span_ms(32));
+}
+
+#[test]
 fn abort_mid_stream_keeps_every_collected_record() {
     let w = world();
-    let full = run_measurement(&w, &census_spec(&w, 920, FaultPlan::none()));
+    let full = run_measurement(&w, &census_spec(&w, 920, FaultPlan::none())).expect("valid spec");
     assert!(full.records.len() > 200, "world too small for this test");
 
-    let aborted = run_measurement(&w, &census_spec(&w, 920, FaultPlan::none().and_abort_after(50)));
+    let aborted = run_measurement(
+        &w,
+        &census_spec(&w, 920, FaultPlan::none().and_abort_after(50)),
+    )
+    .expect("valid spec");
     // Nothing collected before the abort is lost; in-flight probes may add
     // records beyond the trigger point.
     assert!(
@@ -114,7 +225,13 @@ fn abort_mid_stream_keeps_every_collected_record() {
         "only {} records survived the abort",
         aborted.records.len()
     );
-    assert!(aborted.degraded, "an aborted measurement is degraded");
+    assert!(aborted.is_degraded(), "an aborted measurement is degraded");
+    assert!(
+        aborted
+            .degraded_reasons()
+            .contains(&DegradedReason::Aborted),
+        "the abort surfaces as a typed reason"
+    );
     // Where the abort cuts the stream is scheduling-dependent (see the
     // fault module docs); on a hitlist smaller than the order queues the
     // streamer may even finish before the flag is observed, so only the
@@ -139,11 +256,25 @@ fn abort_mid_stream_keeps_every_collected_record() {
 #[test]
 fn seal_rejection_degrades_instead_of_panicking() {
     let w = world();
-    let outcome = run_measurement(&w, &census_spec(&w, 930, FaultPlan::none().and_reject_seal(4)));
+    let outcome = run_measurement(
+        &w,
+        &census_spec(&w, 930, FaultPlan::none().and_reject_seal(4)),
+    )
+    .expect("valid spec");
     assert_eq!(outcome.failed_workers, vec![4]);
-    let h = outcome.worker_health.iter().find(|h| h.worker == 4).unwrap();
+    let h = outcome
+        .worker_health
+        .iter()
+        .find(|h| h.worker == 4)
+        .unwrap();
     assert_eq!(h.status, WorkerStatus::Failed);
     assert_eq!(h.probes_sent, 0, "a rejected worker never probes");
+    // The rejection is distinguishable from a crash in the telemetry.
+    assert_eq!(
+        outcome.degraded_reasons(),
+        &[DegradedReason::SealRejected { worker: 4 }]
+    );
+    assert_eq!(outcome.telemetry.counter("orchestrator.seal_rejections"), 1);
     // The other 31 workers completed the measurement.
     assert_eq!(
         outcome.probes_sent,
@@ -156,11 +287,15 @@ fn seal_rejection_degrades_instead_of_panicking() {
 fn order_channel_faults_shrink_but_complete_the_worker() {
     let w = world();
     let plan = FaultPlan::none().and_order_fault(6, 10, Some(25));
-    let outcome = run_measurement(&w, &census_spec(&w, 940, plan));
+    let outcome = run_measurement(&w, &census_spec(&w, 940, plan)).expect("valid spec");
     // The worker is healthy — a broken control channel is not a crash.
     assert!(outcome.failed_workers.is_empty());
-    assert!(!outcome.degraded);
-    let h = outcome.worker_health.iter().find(|h| h.worker == 6).unwrap();
+    assert!(!outcome.is_degraded());
+    let h = outcome
+        .worker_health
+        .iter()
+        .find(|h| h.worker == 6)
+        .unwrap();
     assert_eq!(h.status, WorkerStatus::Completed);
     assert_eq!(
         h.probes_sent, 25,
@@ -177,30 +312,44 @@ fn order_channel_faults_shrink_but_complete_the_worker() {
 #[test]
 fn fabric_drop_loses_captures_silently_and_dup_doubles_them() {
     let w = world();
-    let baseline = run_measurement(&w, &census_spec(&w, 950, FaultPlan::none()));
+    let baseline =
+        run_measurement(&w, &census_spec(&w, 950, FaultPlan::none())).expect("valid spec");
 
     // Total fabric loss: the platform probes normally but records nothing.
     let dark = run_measurement(
         &w,
         &census_spec(&w, 950, FaultPlan::with_seed(5).and_fabric(1.0, 0.0)),
-    );
+    )
+    .expect("valid spec");
     assert!(dark.records.is_empty());
     assert_eq!(dark.probes_sent, baseline.probes_sent);
     assert!(
-        !dark.degraded,
+        !dark.is_degraded(),
         "fabric loss is invisible to the tool; workers all completed"
     );
+    // ... but the telemetry shows what the fabric did: everything the wire
+    // delivered was dropped, exactly as the planned rate promised.
+    assert_eq!(
+        dark.telemetry.counter("fabric.dropped"),
+        dark.telemetry.counter("fabric.replies_delivered")
+    );
+    assert_eq!(dark.telemetry.gauge("fabric.planned_drop_permille"), 1000);
 
     // Total duplication: exactly every record twice.
     let doubled = run_measurement(
         &w,
         &census_spec(&w, 950, FaultPlan::with_seed(5).and_fabric(0.0, 1.0)),
-    );
+    )
+    .expect("valid spec");
     assert_eq!(doubled.records.len(), 2 * baseline.records.len());
     // Canonical ordering puts each duplicate next to its original.
     for pair in doubled.records.chunks(2) {
         assert_eq!(pair[0], pair[1]);
     }
+    assert_eq!(
+        doubled.telemetry.counter("fabric.duplicated"),
+        doubled.telemetry.counter("fabric.replies_delivered")
+    );
 }
 
 #[test]
@@ -213,12 +362,12 @@ fn empty_hitlist_short_circuits() {
         Arc::new(Vec::new()),
         0,
     );
-    let outcome = run_measurement(&w, &spec);
+    let outcome = run_measurement(&w, &spec).expect("valid spec");
     assert_eq!(outcome.probes_sent, 0);
     assert_eq!(outcome.n_targets, 0);
     assert!(outcome.records.is_empty());
     assert!(outcome.failed_workers.is_empty());
-    assert!(!outcome.degraded);
+    assert!(!outcome.is_degraded());
     assert_eq!(outcome.worker_health.len(), outcome.n_workers);
     assert!(outcome
         .worker_health
@@ -237,7 +386,7 @@ fn precheck_rejects_ids_in_the_reserved_space() {
         0,
     );
     let err = run_with_precheck(&w, &spec, 0).expect_err("reserved id must be rejected");
-    assert_eq!(err, laces_core::ReservedIdError(0x8000_0001));
+    assert_eq!(err, MeasurementError::ReservedId { id: 0x8000_0001 });
     assert!(err.to_string().contains("reserved precheck id space"));
     // Ids outside the reserved space are accepted unchanged.
     let ok = MeasurementSpec::census(
@@ -248,6 +397,29 @@ fn precheck_rejects_ids_in_the_reserved_space() {
         0,
     );
     assert!(run_with_precheck(&w, &ok, 0).is_ok());
+}
+
+#[test]
+fn unicast_platform_is_a_typed_error_not_a_panic() {
+    let w = world();
+    let spec = MeasurementSpec::census(
+        965,
+        w.std_platforms.ark, // a unicast VP platform — GCD territory
+        Protocol::Icmp,
+        v4_hitlist(&w),
+        0,
+    );
+    let err = run_measurement(&w, &spec).expect_err("unicast platform must be rejected");
+    assert_eq!(
+        err,
+        MeasurementError::NotAnycast {
+            platform: w.std_platforms.ark
+        }
+    );
+    assert!(err.to_string().contains("not an anycast platform"));
+    // The abortable and precheck entry points reject it identically.
+    let err2 = run_with_precheck(&w, &spec, 0).expect_err("precheck validates the platform too");
+    assert_eq!(err, err2);
 }
 
 #[test]
@@ -270,10 +442,18 @@ fn empty_hitlist_still_fails_doomed_workers() {
         .and_reject_seal(4)
         .and_crash(7, 0)
         .and_crash(9, 100);
-    let outcome = run_measurement(&w, &spec);
+    let outcome = run_measurement(&w, &spec).expect("valid spec");
     assert_eq!(outcome.probes_sent, 0);
     assert_eq!(outcome.failed_workers, vec![4, 7]);
-    assert!(outcome.degraded);
+    assert!(outcome.is_degraded());
+    assert_eq!(
+        outcome.degraded_reasons(),
+        &[
+            DegradedReason::WorkerCrashed { worker: 7 },
+            DegradedReason::SealRejected { worker: 4 },
+        ],
+        "the early return reports the same typed reasons as the full path"
+    );
     for h in &outcome.worker_health {
         let expect = if h.worker == 4 || h.worker == 7 {
             WorkerStatus::Failed
@@ -294,9 +474,13 @@ fn crash_scheduled_at_end_of_stream_still_fires() {
     let n = targets.len();
     let plan = FaultPlan::none().and_crash(2, n);
     let spec = census_spec(&w, 970, plan);
-    let outcome = run_measurement(&w, &spec);
+    let outcome = run_measurement(&w, &spec).expect("valid spec");
     assert_eq!(outcome.failed_workers, vec![2]);
-    let h = outcome.worker_health.iter().find(|h| h.worker == 2).unwrap();
+    let h = outcome
+        .worker_health
+        .iter()
+        .find(|h| h.worker == 2)
+        .unwrap();
     assert_eq!(h.status, WorkerStatus::Failed);
     assert_eq!(
         h.probes_sent, n as u64,
@@ -305,7 +489,7 @@ fn crash_scheduled_at_end_of_stream_still_fires() {
     // A crash scheduled beyond the stream never fires: the measurement
     // ended before the worker reached its crash point.
     let survivor = census_spec(&w, 971, FaultPlan::none().and_crash(2, n + 1));
-    let outcome = run_measurement(&w, &survivor);
+    let outcome = run_measurement(&w, &survivor).expect("valid spec");
     assert!(outcome.failed_workers.is_empty());
-    assert!(!outcome.degraded);
+    assert!(!outcome.is_degraded());
 }

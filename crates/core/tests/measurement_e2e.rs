@@ -5,8 +5,8 @@ use std::net::IpAddr;
 use std::sync::Arc;
 
 use laces_core::classify::{AnycastClassification, Class};
-use laces_core::orchestrator::run_measurement;
 use laces_core::fault::FaultPlan;
+use laces_core::orchestrator::run_measurement;
 use laces_core::spec::MeasurementSpec;
 use laces_netsim::{TargetKind, World, WorldConfig};
 use laces_packet::{PrefixKey, ProbeEncoding, Protocol};
@@ -51,7 +51,7 @@ fn census_measurement_classifies_all_kinds() {
         v4_hitlist(&w),
         0,
     );
-    let outcome = run_measurement(&w, &spec);
+    let outcome = run_measurement(&w, &spec).expect("valid spec");
 
     assert!(outcome.failed_workers.is_empty());
     assert_eq!(outcome.n_workers, 32);
@@ -66,20 +66,26 @@ fn census_measurement_classifies_all_kinds() {
     for t in &w.targets[..w.n_v4] {
         let c = class.class_of(t.prefix);
         match t.kind {
-            TargetKind::Anycast { dep } if t.resp.icmp && t.any_anycast_on(0)
-                && w.deployment(dep).n_distinct_cities() >= 6 => {
-                    // Widely distributed deployments must be detected
-                    // (allowing rare churn misses).
-                    if c.is_anycast() {
-                        anycast_hits += 1;
-                    } else {
-                        fn_count += 1;
-                    }
+            TargetKind::Anycast { dep }
+                if t.resp.icmp
+                    && t.any_anycast_on(0)
+                    && w.deployment(dep).n_distinct_cities() >= 6 =>
+            {
+                // Widely distributed deployments must be detected
+                // (allowing rare churn misses).
+                if c.is_anycast() {
+                    anycast_hits += 1;
+                } else {
+                    fn_count += 1;
                 }
-            TargetKind::Unicast { .. } if t.resp.icmp && !t.jittery
-                && (c == Class::Unicast || c == Class::Unresponsive) => {
-                    unicast_ok += 1;
-                }
+            }
+            TargetKind::Unicast { .. }
+                if t.resp.icmp
+                    && !t.jittery
+                    && (c == Class::Unicast || c == Class::Unresponsive) =>
+            {
+                unicast_ok += 1;
+            }
             _ => {}
         }
     }
@@ -107,7 +113,8 @@ fn unresponsive_prefixes_classified_unresponsive() {
         v4_hitlist(&w),
         0,
     );
-    let class = AnycastClassification::from_outcome(&run_measurement(&w, &spec));
+    let class =
+        AnycastClassification::from_outcome(&run_measurement(&w, &spec).expect("valid spec"));
     let mut checked = 0;
     for t in &w.targets[..w.n_v4] {
         if !t.resp.any() {
@@ -128,7 +135,7 @@ fn ipv6_measurement_works() {
         v6_hitlist(&w),
         0,
     );
-    let outcome = run_measurement(&w, &spec);
+    let outcome = run_measurement(&w, &spec).expect("valid spec");
     let class = AnycastClassification::from_outcome(&outcome);
     assert!(
         class
@@ -151,7 +158,7 @@ fn worker_failure_does_not_abort_measurement() {
         0,
     );
     spec.faults = FaultPlan::crash(5, 10);
-    let outcome = run_measurement(&w, &spec);
+    let outcome = run_measurement(&w, &spec).expect("valid spec");
     assert_eq!(outcome.failed_workers, vec![5]);
     // The rest of the platform completed: probes from 31 workers for all
     // targets plus 10 from the failed one.
@@ -174,7 +181,7 @@ fn static_encoding_still_counts_receivers() {
         0,
     );
     spec.encoding = ProbeEncoding::Static;
-    let outcome = run_measurement(&w, &spec);
+    let outcome = run_measurement(&w, &spec).expect("valid spec");
     // §5.1.4: attribution is impossible, but receiving-worker counting (the
     // classification signal) still works.
     assert!(outcome.records.iter().all(|r| r.tx_worker.is_none()));
@@ -187,7 +194,9 @@ fn static_encoding_still_counts_receivers() {
         v4_hitlist(&w),
         0,
     );
-    let class_regular = AnycastClassification::from_outcome(&run_measurement(&w, &spec_regular));
+    let class_regular = AnycastClassification::from_outcome(
+        &run_measurement(&w, &spec_regular).expect("valid spec"),
+    );
 
     // The load-balancer experiment's conclusion: static probes match the
     // regular measurement.
@@ -213,9 +222,11 @@ fn reduced_probing_rate_finds_same_anycast_targets() {
     let mut slow = fast.clone();
     slow.rate_per_s = 10_000 / 8;
     let at_fast =
-        AnycastClassification::from_outcome(&run_measurement(&w, &fast)).anycast_targets();
+        AnycastClassification::from_outcome(&run_measurement(&w, &fast).expect("valid spec"))
+            .anycast_targets();
     let at_slow =
-        AnycastClassification::from_outcome(&run_measurement(&w, &slow)).anycast_targets();
+        AnycastClassification::from_outcome(&run_measurement(&w, &slow).expect("valid spec"))
+            .anycast_targets();
     assert_eq!(at_fast, at_slow);
 }
 
@@ -225,7 +236,7 @@ fn tcp_and_udp_measurements_run() {
     for (id, proto) in [(16, Protocol::Tcp), (17, Protocol::Udp)] {
         let spec =
             MeasurementSpec::census(id, w.std_platforms.production, proto, v4_hitlist(&w), 0);
-        let outcome = run_measurement(&w, &spec);
+        let outcome = run_measurement(&w, &spec).expect("valid spec");
         assert!(!outcome.records.is_empty(), "{proto} got no replies");
         assert!(outcome.records.iter().all(|r| r.protocol == proto));
         let class = AnycastClassification::from_outcome(&outcome);
@@ -255,8 +266,9 @@ fn smaller_platform_yields_fewer_or_equal_receivers() {
         0,
     );
     let spec2 = MeasurementSpec::census(19, w.std_platforms.eu_na, Protocol::Icmp, hit, 0);
-    let c32 = AnycastClassification::from_outcome(&run_measurement(&w, &spec32));
-    let c2 = AnycastClassification::from_outcome(&run_measurement(&w, &spec2));
+    let c32 =
+        AnycastClassification::from_outcome(&run_measurement(&w, &spec32).expect("valid spec"));
+    let c2 = AnycastClassification::from_outcome(&run_measurement(&w, &spec2).expect("valid spec"));
     // A 2-site platform can never see more than 2 receivers.
     assert!(c2.vp_count_histogram().keys().all(|&k| k <= 2));
     // And the 32-site platform detects at least as many wide deployments.
@@ -279,8 +291,8 @@ fn outcome_is_deterministic_across_runs() {
         v4_hitlist(&w),
         0,
     );
-    let a = AnycastClassification::from_outcome(&run_measurement(&w, &spec));
-    let b = AnycastClassification::from_outcome(&run_measurement(&w, &spec));
+    let a = AnycastClassification::from_outcome(&run_measurement(&w, &spec).expect("valid spec"));
+    let b = AnycastClassification::from_outcome(&run_measurement(&w, &spec).expect("valid spec"));
     assert_eq!(
         a.observations, b.observations,
         "same spec must reproduce identical results"

@@ -29,7 +29,7 @@ fn precheck_saves_probes_and_keeps_detections() {
         0,
     );
 
-    let full = run_measurement(&w, &spec);
+    let full = run_measurement(&w, &spec).expect("valid spec");
     let pre = run_with_precheck(&w, &spec, 0).expect("id 800 is outside the reserved space");
 
     // The world has a sizeable unresponsive mass, so the precheck must pay.
@@ -77,7 +77,7 @@ fn single_sender_measurement_still_captures_at_other_workers() {
         0,
     );
     spec.senders = Some(vec![3]);
-    let outcome = run_measurement(&w, &spec);
+    let outcome = run_measurement(&w, &spec).expect("valid spec");
     // Only worker 3 transmitted.
     assert_eq!(outcome.probes_sent, spec.targets.len() as u64);
     assert!(outcome.records.iter().all(|r| r.tx_worker == Some(3)));
@@ -100,7 +100,7 @@ fn catchment_map_matches_ground_truth_for_stable_unicast() {
         hitlist(&w),
         0,
     );
-    let outcome = run_measurement(&w, &spec);
+    let outcome = run_measurement(&w, &spec).expect("valid spec");
     let map = CatchmentMap::from_outcome(&outcome);
 
     assert!(!map.assignments.is_empty());
@@ -140,7 +140,7 @@ fn catchment_shift_between_days_is_small_but_nonzero() {
             hitlist(&w),
             day,
         );
-        CatchmentMap::from_outcome(&run_measurement(&w, &spec))
+        CatchmentMap::from_outcome(&run_measurement(&w, &spec).expect("valid spec"))
     };
     let d0 = mk(0);
     let d1 = mk(1);
@@ -173,7 +173,7 @@ fn aborted_measurement_sends_no_further_probes() {
     let handle = AbortHandle::new();
     handle.abort();
     assert!(handle.is_aborted());
-    let outcome = run_measurement_abortable(&w, &spec, &handle);
+    let outcome = run_measurement_abortable(&w, &spec, &handle).expect("valid spec");
     assert_eq!(outcome.probes_sent, 0);
     assert!(outcome.records.is_empty());
     assert!(outcome.failed_workers.is_empty());
@@ -185,7 +185,7 @@ fn aborted_measurement_sends_no_further_probes() {
         std::thread::sleep(std::time::Duration::from_millis(30));
         h2.abort();
     });
-    let outcome = run_measurement_abortable(&w, &spec, &handle);
+    let outcome = run_measurement_abortable(&w, &spec, &handle).expect("valid spec");
     killer.join().unwrap();
     assert!(
         outcome.probes_sent < spec.probe_budget(32),

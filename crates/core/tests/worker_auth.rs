@@ -108,12 +108,17 @@ fn worker_discards_captures_from_other_measurements() {
     run_worker(&w, key, sealed, order_rx, cap_rx, vec![], out_tx).unwrap();
 
     let msgs: Vec<WorkerOut> = out_rx.iter().collect();
-    // Only the lifecycle Done event; the foreign capture produced no record.
+    // Only the lifecycle Done event; the foreign capture produced no record,
+    // but the filter counted the rejection in the worker's telemetry.
     assert_eq!(msgs.len(), 1);
-    assert!(matches!(
-        msgs[0],
-        WorkerOut::Event(laces_core::results::WorkerEvent::Done { probes_sent: 0, .. })
-    ));
+    match &msgs[0] {
+        WorkerOut::Event(laces_core::results::WorkerEvent::Done { telemetry, .. }) => {
+            assert_eq!(telemetry.probes_sent, 0);
+            assert_eq!(telemetry.records_streamed, 0);
+            assert_eq!(telemetry.captures_rejected, 1);
+        }
+        other => panic!("expected a Done event, got {other:?}"),
+    }
 }
 
 #[test]
@@ -161,10 +166,8 @@ fn worker_processes_orders_and_validates_own_captures() {
     let done = msgs.iter().any(|m| {
         matches!(
             m,
-            WorkerOut::Event(laces_core::results::WorkerEvent::Done {
-                probes_sent: 20,
-                ..
-            })
+            WorkerOut::Event(laces_core::results::WorkerEvent::Done { telemetry, .. })
+                if telemetry.probes_sent == 20
         )
     });
     assert!(done, "worker must report 20 probes sent");

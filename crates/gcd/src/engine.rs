@@ -6,14 +6,16 @@ use std::net::IpAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use laces_core::MeasurementError;
 use laces_geo::Coord;
-use laces_netsim::wire::{MeasurementCtx, ProbeSource};
+use laces_netsim::wire::{MeasurementCtx, ProbeSource, WireStats};
 use laces_netsim::{platform as plat, PlatformId, World};
+use laces_obs::{Degraded, DegradedReason, RunReport, SimClock, StageTimer};
 use laces_packet::probe::{build_probe, ProbeEncoding, ProbeMeta};
 use laces_packet::{PrefixKey, Protocol};
 use serde::{Deserialize, Serialize};
 
-use crate::enumerate::{enumerate, Enumeration, RttSample};
+use crate::enumerate::{enumerate_counted, Enumeration, RttSample};
 use crate::vp_selection::select_by_distance;
 
 /// Configuration of a GCD campaign.
@@ -93,10 +95,11 @@ pub struct GcdReport {
     pub probes_sent: u64,
     /// Number of VPs that participated.
     pub n_vps: usize,
-    /// Whether part of the campaign was lost (a measurement thread
-    /// panicked): the report covers only the surviving chunks and the
-    /// consumer must carry the flag forward instead of trusting absences.
-    pub degraded: bool,
+    /// Deterministic campaign telemetry. Lost chunks (a measurement thread
+    /// panicked) appear as [`DegradedReason::GcdChunkLost`] entries: the
+    /// report covers only the surviving chunks and the consumer must carry
+    /// the reasons forward instead of trusting absences.
+    pub telemetry: RunReport,
 }
 
 impl GcdReport {
@@ -112,6 +115,22 @@ impl GcdReport {
     /// Count per class.
     pub fn count(&self, class: GcdClass) -> usize {
         self.results.values().filter(|r| r.class == class).count()
+    }
+
+    /// Whether part of the campaign was lost.
+    pub fn is_degraded(&self) -> bool {
+        self.telemetry.is_degraded()
+    }
+
+    /// Why the campaign degraded (empty when it ran clean).
+    pub fn degraded_reasons(&self) -> &[DegradedReason] {
+        self.telemetry.degraded_reasons()
+    }
+}
+
+impl Degraded for GcdReport {
+    fn degraded_reasons(&self) -> &[DegradedReason] {
+        self.telemetry.degraded_reasons()
     }
 }
 
@@ -157,15 +176,23 @@ pub fn participating_vps(
 
 /// Run a GCD campaign from `platform` toward `targets`.
 ///
-/// Panics if `platform` is not a unicast VP platform.
+/// # Errors
+///
+/// [`MeasurementError::NotUnicast`] if `platform` is an anycast platform:
+/// GCD needs geographically dispersed unicast vantage points, each with
+/// its own return path.
 pub fn run_campaign(
     world: &Arc<World>,
     platform: PlatformId,
     targets: &[IpAddr],
     cfg: &GcdConfig,
-) -> GcdReport {
+) -> Result<GcdReport, MeasurementError> {
+    if world.platform(platform).is_anycast() {
+        return Err(MeasurementError::NotUnicast { platform });
+    }
     let vps = participating_vps(world, platform, cfg);
-    let probes_sent = AtomicU64::new(0);
+    let wire = WireStats::new();
+    let overlap_tests = AtomicU64::new(0);
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -175,41 +202,88 @@ pub fn run_campaign(
     };
     let chunk = targets.len().div_ceil(threads.max(1)).max(1);
 
+    let mut report = RunReport::new();
     let mut results: BTreeMap<PrefixKey, PrefixGcd> = BTreeMap::new();
-    let mut degraded = false;
+    let mut chunks_spawned = 0u64;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for part in targets.chunks(chunk) {
             let vps = &vps;
-            let probes_sent = &probes_sent;
-            handles.push(scope.spawn(move || {
-                let mut local: Vec<(PrefixKey, PrefixGcd)> = Vec::with_capacity(part.len());
-                let mut sent = 0u64;
-                for &target in part {
-                    let r = measure_target(world, platform, vps, target, cfg, &mut sent);
-                    local.push((PrefixKey::of(target), r));
-                }
-                probes_sent.fetch_add(sent, Ordering::Relaxed);
-                local
-            }));
+            let wire = &wire;
+            let overlap_tests = &overlap_tests;
+            chunks_spawned += 1;
+            handles.push((
+                part.len(),
+                scope.spawn(move || {
+                    let mut local: Vec<(PrefixKey, PrefixGcd)> = Vec::with_capacity(part.len());
+                    let mut tests = 0u64;
+                    for &target in part {
+                        let r = measure_target(world, platform, vps, target, cfg, wire, &mut tests);
+                        local.push((PrefixKey::of(target), r));
+                    }
+                    overlap_tests.fetch_add(tests, Ordering::Relaxed);
+                    local
+                }),
+            ));
         }
-        for h in handles {
+        for (n_targets, h) in handles {
             match h.join() {
                 Ok(local) => results.extend(local),
                 // A panicked chunk loses its targets, not the campaign:
                 // the report is published degraded (graceful degradation,
                 // mirroring the Orchestrator's R5 behaviour).
-                Err(_) => degraded = true,
+                Err(_) => {
+                    report.add_degraded(DegradedReason::GcdChunkLost { targets: n_targets });
+                    report.inc("gcd.targets_lost", n_targets as u64);
+                }
             }
         }
     });
 
-    GcdReport {
-        results,
-        probes_sent: probes_sent.into_inner(),
-        n_vps: vps.len(),
-        degraded,
+    let probes_sent = wire.probes.get();
+    report.set_gauge("gcd.n_vps", vps.len() as u64);
+    report.set_gauge("gcd.n_targets", targets.len() as u64);
+    report.set_gauge("gcd.threads", threads as u64);
+    report.set_gauge("gcd.chunks", chunks_spawned);
+    report.set_gauge("gcd.attempts", u64::from(cfg.attempts.max(1)));
+    report.set_gauge("gcd.precheck", u64::from(cfg.precheck));
+    report.inc("gcd.probes_sent", probes_sent);
+    report.inc("gcd.replies", wire.deliveries.get());
+    report.inc("gcd.unanswered", wire.unanswered.get());
+    report.inc("gcd.enumeration.overlap_tests", overlap_tests.into_inner());
+    let mut sites = 0u64;
+    for (key, class) in [
+        ("gcd.class.anycast", GcdClass::Anycast),
+        ("gcd.class.unicast", GcdClass::Unicast),
+        ("gcd.class.unresponsive", GcdClass::Unresponsive),
+    ] {
+        report.inc(
+            key,
+            results.values().filter(|r| r.class == class).count() as u64,
+        );
     }
+    for r in results.values() {
+        sites += r.n_sites() as u64;
+    }
+    report.inc("gcd.sites_enumerated", sites);
+
+    // One stage spanning the campaign's probing schedule: every attempt is
+    // offset 50 ms from the previous one inside the target's window, and
+    // targets are probed concurrently, so the simulated span is the
+    // per-target attempt train.
+    let mut clock = SimClock::new();
+    let mut stage = StageTimer::start(format!("gcd:{:?}", cfg.protocol), &clock);
+    stage.count("targets", targets.len() as u64);
+    stage.count("probes_sent", probes_sent);
+    clock.advance(u64::from(cfg.attempts.max(1)) * 50);
+    report.push_stage(stage.finish(&clock));
+
+    Ok(GcdReport {
+        results,
+        probes_sent,
+        n_vps: vps.len(),
+        telemetry: report,
+    })
 }
 
 fn measure_target(
@@ -218,7 +292,8 @@ fn measure_target(
     vps: &[(usize, Coord)],
     target: IpAddr,
     cfg: &GcdConfig,
-    sent: &mut u64,
+    wire: &WireStats,
+    overlap_tests: &mut u64,
 ) -> PrefixGcd {
     let ctx = MeasurementCtx {
         id: cfg.measurement_id,
@@ -227,7 +302,7 @@ fn measure_target(
     };
     let mut samples: Vec<RttSample> = Vec::with_capacity(vps.len());
 
-    let probe_from = |vp: usize, sent: &mut u64| -> Option<f64> {
+    let probe_from = |vp: usize| -> Option<f64> {
         let src = match target {
             IpAddr::V4(_) => plat::vp_src_v4(platform, vp),
             IpAddr::V6(_) => plat::vp_src_v6(platform, vp),
@@ -248,10 +323,14 @@ fn measure_target(
                 tx_time_ms: tx,
             };
             let pkt = build_probe(src, target, cfg.protocol, &meta, ProbeEncoding::PerWorker);
-            *sent += 1;
-            if let Ok(Some(d)) =
-                world.send_probe(ProbeSource::Vp { platform, vp }, &pkt, tx, window_start, &ctx)
-            {
+            if let Ok(Some(d)) = world.send_probe_observed(
+                ProbeSource::Vp { platform, vp },
+                &pkt,
+                tx,
+                window_start,
+                &ctx,
+                wire,
+            ) {
                 best = Some(best.map_or(d.rtt_ms, |b: f64| b.min(d.rtt_ms)));
             }
         }
@@ -264,10 +343,10 @@ fn measure_target(
         let Some((vp0, c0)) = vps.first().copied() else {
             return PrefixGcd {
                 class: GcdClass::Unresponsive,
-                enumeration: enumerate(&[], &world.db),
+                enumeration: enumerate_counted(&[], &world.db, overlap_tests),
             };
         };
-        match probe_from(vp0, sent) {
+        match probe_from(vp0) {
             Some(rtt) => samples.push(RttSample {
                 vp: vp0,
                 vp_coord: c0,
@@ -276,14 +355,14 @@ fn measure_target(
             None => {
                 return PrefixGcd {
                     class: GcdClass::Unresponsive,
-                    enumeration: enumerate(&[], &world.db),
+                    enumeration: enumerate_counted(&[], &world.db, overlap_tests),
                 }
             }
         }
         start = 1;
     }
     for &(vp, coord) in &vps[start..] {
-        if let Some(rtt) = probe_from(vp, sent) {
+        if let Some(rtt) = probe_from(vp) {
             samples.push(RttSample {
                 vp,
                 vp_coord: coord,
@@ -292,7 +371,7 @@ fn measure_target(
         }
     }
 
-    let enumeration = enumerate(&samples, &world.db);
+    let enumeration = enumerate_counted(&samples, &world.db, overlap_tests);
     let class = if enumeration.n_samples == 0 {
         GcdClass::Unresponsive
     } else if enumeration.is_anycast() {

@@ -78,6 +78,19 @@ impl Enumeration {
 /// Samples with non-finite or absurd RTTs are discarded. An empty sample
 /// set yields an empty enumeration (unresponsive).
 pub fn enumerate(samples: &[RttSample], db: &CityDb) -> Enumeration {
+    enumerate_counted(samples, db, &mut 0)
+}
+
+/// [`enumerate`], also accumulating the number of disk-overlap tests the
+/// greedy pass performed into `overlap_tests`. The test count is the
+/// algorithm's true cost driver (`O(n·k)` for k enumerated sites) and is
+/// what the campaign telemetry reports, since wall-clock time is
+/// nondeterministic.
+pub fn enumerate_counted(
+    samples: &[RttSample],
+    db: &CityDb,
+    overlap_tests: &mut u64,
+) -> Enumeration {
     let mut disks: Vec<(usize, Disk)> = samples
         .iter()
         .filter(|s| s.rtt_ms.is_finite() && (0.0..10_000.0).contains(&s.rtt_ms))
@@ -95,7 +108,15 @@ pub fn enumerate(samples: &[RttSample], db: &CityDb) -> Enumeration {
 
     let mut picked: Vec<(usize, Disk)> = Vec::new();
     for (vp, disk) in disks {
-        if picked.iter().all(|(_, p)| !p.overlaps(&disk)) {
+        let mut independent = true;
+        for (_, p) in &picked {
+            *overlap_tests += 1;
+            if p.overlaps(&disk) {
+                independent = false;
+                break;
+            }
+        }
+        if independent {
             picked.push((vp, disk));
         }
     }

@@ -41,7 +41,8 @@
 //!     world.std_platforms.ark,
 //!     &targets,
 //!     &GcdConfig::daily(900, 0),
-//! );
+//! )
+//! .expect("unicast VP platform");
 //! println!("{} anycast, {} probes", report.count(GcdClass::Anycast), report.probes_sent);
 //! ```
 
@@ -50,5 +51,7 @@ pub mod enumerate;
 pub mod vp_selection;
 
 pub use engine::{run_campaign, GcdClass, GcdConfig, GcdReport, PrefixGcd};
-pub use enumerate::{enumerate, has_violation, Enumeration, RttSample, SiteEstimate};
+pub use enumerate::{
+    enumerate, enumerate_counted, has_violation, Enumeration, RttSample, SiteEstimate,
+};
 pub use vp_selection::select_by_distance;

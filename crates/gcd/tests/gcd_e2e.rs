@@ -38,11 +38,10 @@ fn gcd_confirms_global_anycast_and_passes_unicast() {
                 targets.push(addr_of(&w, i));
                 truth.push(true);
             }
-            TargetKind::Unicast { .. }
-                if truth.iter().filter(|&&x| !x).count() < 200 => {
-                    targets.push(addr_of(&w, i));
-                    truth.push(false);
-                }
+            TargetKind::Unicast { .. } if truth.iter().filter(|&&x| !x).count() < 200 => {
+                targets.push(addr_of(&w, i));
+                truth.push(false);
+            }
             _ => {}
         }
     }
@@ -56,7 +55,8 @@ fn gcd_confirms_global_anycast_and_passes_unicast() {
         w.std_platforms.ark_dev,
         &targets,
         &GcdConfig::daily(500, 0),
-    );
+    )
+    .expect("unicast VP platform");
     let mut tp = 0;
     let mut fn_ = 0;
     let mut fp = 0;
@@ -98,7 +98,8 @@ fn gcd_enumeration_is_lower_bound_and_scales_with_deployment() {
         w.std_platforms.ark_dev,
         &[addr_of(&w, big_i)],
         &GcdConfig::daily(501, 0),
-    );
+    )
+    .expect("unicast VP platform");
     let r = &report.results[&w.targets[big_i].prefix];
     assert_eq!(r.class, GcdClass::Anycast);
     assert!(
@@ -119,7 +120,8 @@ fn gcd_enumeration_is_lower_bound_and_scales_with_deployment() {
             w.std_platforms.ark_dev,
             &[addr_of(&w, small_i)],
             &GcdConfig::daily(502, 0),
-        );
+        )
+        .expect("unicast VP platform");
         let r = &report.results[&w.targets[small_i].prefix];
         assert!(r.n_sites() <= small_sites);
     }
@@ -134,8 +136,8 @@ fn precheck_reduces_probing_cost_without_changing_verdicts() {
     let mut without = with.clone();
     without.precheck = false;
     without.measurement_id = 503; // same id: identical availability and jitter keys
-    let a = run_campaign(&w, w.std_platforms.ark, &targets, &with);
-    let b = run_campaign(&w, w.std_platforms.ark, &targets, &without);
+    let a = run_campaign(&w, w.std_platforms.ark, &targets, &with).expect("unicast VP platform");
+    let b = run_campaign(&w, w.std_platforms.ark, &targets, &without).expect("unicast VP platform");
     assert!(a.probes_sent < b.probes_sent, "precheck should save probes");
     for t in &targets {
         let k = PrefixKey::of(*t);
@@ -167,7 +169,8 @@ fn backing_anycast_creates_v6_false_positives_on_broken_vps() {
         w.std_platforms.ark_dev,
         &targets,
         &GcdConfig::daily(504, 0),
-    );
+    )
+    .expect("unicast VP platform");
     let fps = report.count(GcdClass::Anycast);
     assert!(fps > 0, "expected backing-anycast FPs through broken VPs");
 }
@@ -217,8 +220,8 @@ fn retry_attempts_draw_independent_loss_and_jitter() {
     one.precheck = false;
     let mut four = one.clone();
     four.attempts = 4;
-    let a = run_campaign(&w, w.std_platforms.ark, &targets, &one);
-    let b = run_campaign(&w, w.std_platforms.ark, &targets, &four);
+    let a = run_campaign(&w, w.std_platforms.ark, &targets, &one).expect("unicast VP platform");
+    let b = run_campaign(&w, w.std_platforms.ark, &targets, &four).expect("unicast VP platform");
     let samples = |r: &laces_gcd::engine::GcdReport| -> usize {
         r.results.values().map(|p| p.enumeration.n_samples).sum()
     };
@@ -240,11 +243,72 @@ fn campaign_is_deterministic() {
     let w = world();
     let targets: Vec<IpAddr> = (0..100.min(w.n_v4)).map(|i| addr_of(&w, i)).collect();
     let cfg = GcdConfig::daily(508, 0);
-    let a = run_campaign(&w, w.std_platforms.ark, &targets, &cfg);
-    let b = run_campaign(&w, w.std_platforms.ark, &targets, &cfg);
+    let a = run_campaign(&w, w.std_platforms.ark, &targets, &cfg).expect("unicast VP platform");
+    let b = run_campaign(&w, w.std_platforms.ark, &targets, &cfg).expect("unicast VP platform");
     assert_eq!(a.probes_sent, b.probes_sent);
     for (k, ra) in &a.results {
         assert_eq!(ra.class, b.results[k].class);
         assert_eq!(ra.n_sites(), b.results[k].n_sites());
     }
+    // The campaign telemetry is bit-identical across reruns, even with the
+    // multi-threaded chunked probing (counters only ever sum).
+    assert_eq!(
+        serde_json::to_string(&a.telemetry).unwrap(),
+        serde_json::to_string(&b.telemetry).unwrap()
+    );
+}
+
+#[test]
+fn anycast_platform_is_a_typed_error_not_a_panic() {
+    let w = world();
+    let targets: Vec<IpAddr> = (0..10.min(w.n_v4)).map(|i| addr_of(&w, i)).collect();
+    let err = run_campaign(
+        &w,
+        w.std_platforms.production,
+        &targets,
+        &GcdConfig::daily(510, 0),
+    )
+    .expect_err("anycast platform must be rejected");
+    assert_eq!(
+        err,
+        laces_core::MeasurementError::NotUnicast {
+            platform: w.std_platforms.production
+        }
+    );
+}
+
+#[test]
+fn campaign_telemetry_accounts_for_the_wire() {
+    let w = world();
+    let targets: Vec<IpAddr> = (0..100.min(w.n_v4)).map(|i| addr_of(&w, i)).collect();
+    let mut cfg = GcdConfig::daily(511, 0);
+    cfg.precheck = false;
+    cfg.threads = 4;
+    let report =
+        run_campaign(&w, w.std_platforms.ark, &targets, &cfg).expect("unicast VP platform");
+    let t = &report.telemetry;
+    assert!(!report.is_degraded());
+    assert_eq!(t.counter("gcd.probes_sent"), report.probes_sent);
+    assert_eq!(
+        t.counter("gcd.replies") + t.counter("gcd.unanswered"),
+        report.probes_sent,
+        "every probe is either answered or unanswered"
+    );
+    assert_eq!(t.gauge("gcd.n_vps"), report.n_vps as u64);
+    assert_eq!(t.gauge("gcd.n_targets"), targets.len() as u64);
+    assert_eq!(t.gauge("gcd.threads"), 4);
+    assert_eq!(
+        t.counter("gcd.class.anycast")
+            + t.counter("gcd.class.unicast")
+            + t.counter("gcd.class.unresponsive"),
+        targets.len() as u64,
+        "every target is classified exactly once"
+    );
+    assert!(
+        t.counter("gcd.enumeration.overlap_tests") > 0,
+        "the greedy pass must have compared disks"
+    );
+    assert_eq!(t.stages.len(), 1);
+    assert_eq!(t.stages[0].name, "gcd:Icmp");
+    assert_eq!(t.stages[0].counter("targets"), targets.len() as u64);
 }

@@ -68,5 +68,8 @@ pub use routing::{RouteClass, Routes, TieSet};
 pub use targets::{ChaosProfile, Hijack, Resp, Target, TargetId, TargetKind};
 pub use topology::{AsNode, Tier, TopoConfig, Topology};
 pub use trace::TraceHop;
-pub use wire::{flip_probability, CaptureFaults, Delivery, FabricVerdict, MeasurementCtx, ProbeSource};
+pub use wire::{
+    flip_probability, CaptureFaults, Delivery, FabricStats, FabricVerdict, MeasurementCtx,
+    ProbeSource, WireStats,
+};
 pub use world::{StandardPlatforms, World, WorldConfig};

@@ -9,6 +9,7 @@
 //! delivers them to the vantage point that BGP would deliver them to, with
 //! an RTT from the latency model.
 
+use laces_obs::Counter;
 use laces_packet::probe::Packet;
 use laces_packet::{PacketError, PrefixKey, Protocol};
 use serde::{Deserialize, Serialize};
@@ -96,6 +97,57 @@ pub enum FabricVerdict {
     Duplicate,
 }
 
+/// Telemetry for one sender's view of the wire: probes handed in, replies
+/// delivered back, probes that elicited nothing (dead target, loss,
+/// unroutable reply). Counters are atomic sums, so the totals are
+/// order-independent and a shared instance across worker threads stays
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct WireStats {
+    /// Probes handed to the wire.
+    pub probes: Counter,
+    /// Replies the wire delivered back.
+    pub deliveries: Counter,
+    /// Probes that elicited no delivery.
+    pub unanswered: Counter,
+}
+
+impl WireStats {
+    /// Zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Telemetry for the capture fabric: what the planned fault model
+/// *actually did* to this run's deliveries, to compare against the
+/// configured `drop_rate` / `dup_rate` (planned vs. observed).
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    /// Deliveries that reached the worker once.
+    pub delivered: Counter,
+    /// Deliveries lost in the fabric.
+    pub dropped: Counter,
+    /// Deliveries duplicated by the fabric.
+    pub duplicated: Counter,
+}
+
+impl FabricStats {
+    /// Zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one verdict.
+    pub fn record(&self, verdict: FabricVerdict) {
+        match verdict {
+            FabricVerdict::Deliver => self.delivered.inc(),
+            FabricVerdict::Drop => self.dropped.inc(),
+            FabricVerdict::Duplicate => self.duplicated.inc(),
+        }
+    }
+}
+
 impl CaptureFaults {
     /// Decide the fate of `d`, deterministically in `(seed, d)`.
     pub fn verdict(&self, d: &Delivery) -> FabricVerdict {
@@ -103,7 +155,8 @@ impl CaptureFaults {
             IpAddr::V4(a) => u64::from(u32::from(a)),
             IpAddr::V6(a) => {
                 let o = a.octets();
-                o.iter().fold(0u64, |acc, &b| acc.rotate_left(8) ^ u64::from(b))
+                o.iter()
+                    .fold(0u64, |acc, &b| acc.rotate_left(8) ^ u64::from(b))
             }
         };
         let k = rng::key(self.seed, &[0xFAB1C, d.rx_index as u64, d.rx_time_ms, src]);
@@ -114,6 +167,13 @@ impl CaptureFaults {
         } else {
             FabricVerdict::Deliver
         }
+    }
+
+    /// [`CaptureFaults::verdict`], recording the outcome into `stats`.
+    pub fn verdict_observed(&self, d: &Delivery, stats: &FabricStats) -> FabricVerdict {
+        let v = self.verdict(d);
+        stats.record(v);
+        v
     }
 }
 
@@ -366,6 +426,27 @@ impl World {
             rx_time_ms,
             rtt_ms: rtt,
         }))
+    }
+
+    /// [`World::send_probe`], recording the probe and its outcome into
+    /// `stats`. This is the entry point the measurement path uses, so every
+    /// probe a worker transmits is accounted for in the run's telemetry.
+    pub fn send_probe_observed(
+        &self,
+        src: ProbeSource,
+        packet: &Packet,
+        tx_time_ms: u64,
+        window_start_ms: u64,
+        ctx: &MeasurementCtx,
+        stats: &WireStats,
+    ) -> Result<Option<Delivery>, PacketError> {
+        stats.probes.inc();
+        let result = self.send_probe(src, packet, tx_time_ms, window_start_ms, ctx)?;
+        match result {
+            Some(_) => stats.deliveries.inc(),
+            None => stats.unanswered.inc(),
+        }
+        Ok(result)
     }
 
     /// Coordinate of a vantage point on any platform.

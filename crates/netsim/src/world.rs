@@ -919,8 +919,7 @@ impl World {
                             let attacker = (0..stub_list.len())
                                 .map(|k| stub_list[(start + k) % stub_list.len()])
                                 .find(|&a| {
-                                    db.get(topo.home_city(a)).coord.gcd_km(&victim_coord)
-                                        >= 7_000.0
+                                    db.get(topo.home_city(a)).coord.gcd_km(&victim_coord) >= 7_000.0
                                 });
                             // No far-enough stub for this victim (possible
                             // in regionally clustered topologies): plant no

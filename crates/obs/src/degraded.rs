@@ -1,0 +1,129 @@
+//! The unified degraded surface.
+//!
+//! PR 1 gave `MeasurementOutcome`, `GcdReport` and `CensusStats` each a
+//! bare `degraded: bool`. A bool says *that* records were lost, never
+//! *where* — and a longitudinal consumer deciding whether an absence is a
+//! withdrawal needs the where. Every degradation is now a typed
+//! [`DegradedReason`] event recorded in the run's telemetry, and the
+//! [`Degraded`] trait exposes the list uniformly across all three
+//! surfaces.
+
+use serde::{Deserialize, Serialize};
+
+/// One telemetry event that degraded a run. Ordered and deduplicated
+/// inside a [`RunReport`](crate::RunReport), so serialization is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DegradedReason {
+    /// A worker crashed mid-measurement; its remaining probes and its
+    /// site's captures are lost (R5).
+    WorkerCrashed {
+        /// The worker that went dark.
+        worker: u16,
+    },
+    /// A worker's start order failed authentication (R8); it never probed.
+    SealRejected {
+        /// The rejected worker.
+        worker: u16,
+    },
+    /// The measurement was aborted mid-stream (CLI disconnect); records
+    /// collected before the abort are kept, the rest never existed.
+    Aborted,
+    /// A GCD measurement chunk panicked; its targets are missing from the
+    /// report and absences there must not be read as unresponsive.
+    GcdChunkLost {
+        /// Targets the lost chunk should have covered.
+        targets: usize,
+    },
+    /// A nested pipeline stage degraded; `detail` is the display form of
+    /// the underlying reason.
+    Stage {
+        /// The stage label (e.g. `"anycast:ICMPv4"`, `"gcd"`).
+        stage: String,
+        /// Human-readable underlying reason.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DegradedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradedReason::WorkerCrashed { worker } => {
+                write!(f, "worker {worker} crashed mid-measurement")
+            }
+            DegradedReason::SealRejected { worker } => {
+                write!(f, "worker {worker} rejected its start-order seal")
+            }
+            DegradedReason::Aborted => write!(f, "measurement aborted mid-stream"),
+            DegradedReason::GcdChunkLost { targets } => {
+                write!(f, "GCD chunk covering {targets} targets was lost")
+            }
+            DegradedReason::Stage { stage, detail } => write!(f, "stage {stage}: {detail}"),
+        }
+    }
+}
+
+/// The one degraded surface every result type shares: the typed list of
+/// telemetry events that degraded the run. Degraded results are still
+/// published (graceful degradation, R5) — consumers read the reasons to
+/// decide what absences mean.
+pub trait Degraded {
+    /// Every event that degraded this run, sorted and deduplicated; empty
+    /// for a clean run.
+    fn degraded_reasons(&self) -> &[DegradedReason];
+
+    /// Whether the run degraded at all (the old bool, derived).
+    fn is_degraded(&self) -> bool {
+        !self.degraded_reasons().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixture(Vec<DegradedReason>);
+    impl Degraded for Fixture {
+        fn degraded_reasons(&self) -> &[DegradedReason] {
+            &self.0
+        }
+    }
+
+    #[test]
+    fn trait_derives_bool_from_reasons() {
+        assert!(!Fixture(vec![]).is_degraded());
+        assert!(Fixture(vec![DegradedReason::Aborted]).is_degraded());
+    }
+
+    #[test]
+    fn reasons_order_and_display() {
+        let mut rs = [
+            DegradedReason::Aborted,
+            DegradedReason::WorkerCrashed { worker: 3 },
+            DegradedReason::SealRejected { worker: 9 },
+        ];
+        rs.sort();
+        assert_eq!(rs[0], DegradedReason::WorkerCrashed { worker: 3 });
+        assert!(rs[0].to_string().contains("worker 3"));
+        let stage = DegradedReason::Stage {
+            stage: "gcd".into(),
+            detail: DegradedReason::GcdChunkLost { targets: 12 }.to_string(),
+        };
+        assert!(stage.to_string().contains("stage gcd"));
+        assert!(stage.to_string().contains("12 targets"));
+    }
+
+    #[test]
+    fn reasons_roundtrip_serde() {
+        let rs = vec![
+            DegradedReason::WorkerCrashed { worker: 1 },
+            DegradedReason::Stage {
+                stage: "anycast:ICMPv4".into(),
+                detail: "worker 1 crashed mid-measurement".into(),
+            },
+        ];
+        let text = serde_json::to_string(&rs).expect("reasons serialise");
+        let back: Vec<DegradedReason> = serde_json::from_str(&text).expect("reasons parse");
+        assert_eq!(back, rs);
+    }
+}

@@ -1,0 +1,282 @@
+//! The serializable telemetry snapshot a run carries.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::degraded::DegradedReason;
+use crate::metrics::HistogramSnapshot;
+use crate::stage::StageReport;
+
+/// Everything a run observed about itself: counters, gauges, histogram
+/// snapshots, the stage tree, and the degradation events. Attached to
+/// `MeasurementOutcome`, `GcdReport` and `CensusStats`; serialized to
+/// JSONL alongside the census store.
+///
+/// All maps are `BTreeMap`s and `degraded` is kept sorted + deduplicated,
+/// so `serde_json::to_string` over a `RunReport` is bit-identical across
+/// reruns of the same abort-free plan (see crate docs for the rules).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Monotonic event counts, keyed by dotted metric name
+    /// (`"orchestrator.orders_streamed"`, `"worker.003.probes_sent"`).
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time values sampled once (`"gcd.n_vps"`, `"census.ats_size"`).
+    pub gauges: BTreeMap<String, u64>,
+    /// Distribution snapshots (RTTs, per-chunk sizes).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Hierarchical simulated-clock stage timings.
+    pub stages: Vec<StageReport>,
+    /// Degradation events, sorted and deduplicated.
+    pub degraded: Vec<DegradedReason>,
+}
+
+impl RunReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to counter `name`.
+    pub fn inc(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Read counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name`.
+    pub fn set_gauge(&mut self, name: &str, value: u64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Read gauge `name` (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Store a histogram snapshot under `name`.
+    pub fn record_histogram(&mut self, name: &str, snapshot: HistogramSnapshot) {
+        self.histograms.insert(name.to_string(), snapshot);
+    }
+
+    /// Append a completed stage.
+    pub fn push_stage(&mut self, stage: StageReport) {
+        self.stages.push(stage);
+    }
+
+    /// Record a degradation event, keeping the list sorted and unique.
+    pub fn add_degraded(&mut self, reason: DegradedReason) {
+        if let Err(at) = self.degraded.binary_search(&reason) {
+            self.degraded.insert(at, reason);
+        }
+    }
+
+    /// The degradation events (the `Degraded` surface of whatever carries
+    /// this report).
+    pub fn degraded_reasons(&self) -> &[DegradedReason] {
+        &self.degraded
+    }
+
+    /// Whether any degradation event was recorded.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+
+    /// Fold another report into this one under a name prefix: metrics are
+    /// re-keyed `"<prefix>.<name>"` and each of `other`'s degradation
+    /// events is recorded as a [`DegradedReason::Stage`] under `prefix`.
+    /// Stages are *not* copied — the inner report's clock starts at zero,
+    /// so the caller nests them explicitly (see
+    /// [`StageReport::rebased`](crate::StageReport::rebased)). This is how
+    /// the census pipeline rolls per-stage measurement telemetry into day
+    /// telemetry.
+    pub fn absorb(&mut self, prefix: &str, other: &RunReport) {
+        for (name, value) in &other.counters {
+            self.inc(&format!("{prefix}.{name}"), *value);
+        }
+        for (name, value) in &other.gauges {
+            self.set_gauge(&format!("{prefix}.{name}"), *value);
+        }
+        for (name, snapshot) in &other.histograms {
+            self.record_histogram(&format!("{prefix}.{name}"), snapshot.clone());
+        }
+        for reason in &other.degraded {
+            self.add_degraded(DegradedReason::Stage {
+                stage: prefix.to_string(),
+                detail: reason.to_string(),
+            });
+        }
+    }
+
+    /// Encode as JSON Lines: one object per counter, gauge, histogram,
+    /// top-level stage, and degradation event, in that order. Within each
+    /// kind, entries follow the map's key order (deterministic), so the
+    /// whole encoding is bit-identical across reruns.
+    pub fn to_jsonl(&self) -> String {
+        use serde::Value;
+
+        let mut out = String::new();
+        let mut push = |kind: &str, fields: Vec<(String, Value)>| {
+            let mut pairs = vec![("kind".to_string(), Value::Str(kind.to_string()))];
+            pairs.extend(fields);
+            let line = Value::Obj(pairs);
+            out.push_str(&serde_json::to_string(&line).expect("telemetry line serialises"));
+            out.push('\n');
+        };
+        for (name, value) in &self.counters {
+            push(
+                "counter",
+                vec![
+                    ("name".to_string(), Value::Str(name.clone())),
+                    ("value".to_string(), Value::UInt(*value as u128)),
+                ],
+            );
+        }
+        for (name, value) in &self.gauges {
+            push(
+                "gauge",
+                vec![
+                    ("name".to_string(), Value::Str(name.clone())),
+                    ("value".to_string(), Value::UInt(*value as u128)),
+                ],
+            );
+        }
+        for (name, snapshot) in &self.histograms {
+            push(
+                "histogram",
+                vec![
+                    ("name".to_string(), Value::Str(name.clone())),
+                    (
+                        "snapshot".to_string(),
+                        serde_json::to_value(snapshot).expect("snapshot maps to a value"),
+                    ),
+                ],
+            );
+        }
+        for stage in &self.stages {
+            push(
+                "stage",
+                vec![(
+                    "stage".to_string(),
+                    serde_json::to_value(stage).expect("stage maps to a value"),
+                )],
+            );
+        }
+        for reason in &self.degraded {
+            push(
+                "degraded",
+                vec![(
+                    "reason".to_string(),
+                    serde_json::to_value(reason).expect("reason maps to a value"),
+                )],
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+    use crate::stage::{SimClock, StageTimer};
+
+    fn sample() -> RunReport {
+        let mut r = RunReport::new();
+        r.inc("orchestrator.orders_streamed", 128);
+        r.inc("worker.000.probes_sent", 64);
+        r.set_gauge("gcd.n_vps", 9);
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(4);
+        h.observe(40);
+        r.record_histogram("fabric.rtt_ms", h.snapshot());
+        let mut clock = SimClock::new();
+        let t = StageTimer::start("anycast:ICMPv4", &clock);
+        clock.advance(2_500);
+        r.push_stage(t.finish(&clock));
+        r.add_degraded(DegradedReason::WorkerCrashed { worker: 2 });
+        r
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let mut r = RunReport::new();
+        r.inc("x", 1);
+        r.inc("x", 2);
+        r.set_gauge("g", 5);
+        r.set_gauge("g", 7);
+        assert_eq!(r.counter("x"), 3);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.gauge("g"), 7);
+        assert_eq!(r.gauge("absent"), 0);
+    }
+
+    #[test]
+    fn degraded_stays_sorted_and_unique() {
+        let mut r = RunReport::new();
+        r.add_degraded(DegradedReason::Aborted);
+        r.add_degraded(DegradedReason::WorkerCrashed { worker: 7 });
+        r.add_degraded(DegradedReason::WorkerCrashed { worker: 7 });
+        r.add_degraded(DegradedReason::WorkerCrashed { worker: 1 });
+        assert_eq!(
+            r.degraded_reasons(),
+            &[
+                DegradedReason::WorkerCrashed { worker: 1 },
+                DegradedReason::WorkerCrashed { worker: 7 },
+                DegradedReason::Aborted,
+            ]
+        );
+        assert!(r.is_degraded());
+        assert!(!RunReport::new().is_degraded());
+    }
+
+    #[test]
+    fn report_roundtrips_serde() {
+        let r = sample();
+        let text = serde_json::to_string(&r).expect("report serialises");
+        let back: RunReport = serde_json::from_str(&text).expect("report parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn absorb_prefixes_and_wraps_degradation() {
+        let inner = sample();
+        let mut outer = RunReport::new();
+        outer.inc("day.stages", 1);
+        outer.absorb("anycast:ICMPv4", &inner);
+        assert_eq!(
+            outer.counter("anycast:ICMPv4.orchestrator.orders_streamed"),
+            128
+        );
+        assert_eq!(outer.gauge("anycast:ICMPv4.gcd.n_vps"), 9);
+        assert!(outer
+            .histograms
+            .contains_key("anycast:ICMPv4.fabric.rtt_ms"));
+        assert_eq!(
+            outer.degraded_reasons(),
+            &[DegradedReason::Stage {
+                stage: "anycast:ICMPv4".into(),
+                detail: "worker 2 crashed mid-measurement".into(),
+            }]
+        );
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_line_per_entry() {
+        let r = sample();
+        let a = r.to_jsonl();
+        let b = r.clone().to_jsonl();
+        assert_eq!(a, b, "same report must encode to identical bytes");
+        let lines: Vec<&str> = a.lines().collect();
+        // 2 counters + 1 gauge + 1 histogram + 1 stage + 1 degraded event.
+        assert_eq!(lines.len(), 6);
+        for line in &lines {
+            serde_json::from_str::<serde::Value>(line).expect("each line is valid JSON");
+        }
+        assert!(lines[0].contains("orchestrator.orders_streamed"));
+        assert!(lines[5].contains("degraded"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Hierarchical stage timing on a simulated clock.
+//!
+//! Wall-clock timings differ between machines and runs; simulated timings
+//! are a pure function of the measurement schedule, so they can live in a
+//! [`RunReport`](crate::RunReport) without breaking rerun determinism.
+//! The census pipeline advances a [`SimClock`] by each stage's scheduled
+//! duration (hitlist length / rate plus the probing window span), which is
+//! exactly the quantity behind the paper's R6 claim ("a full census in
+//! under 3 hours") — and now it is recorded per stage and checkable.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A simulated clock: milliseconds since the start of the run, advanced
+/// explicitly by scheduled durations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now_ms: u64,
+}
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Advance by `ms`.
+    pub fn advance(&mut self, ms: u64) {
+        self.now_ms = self.now_ms.saturating_add(ms);
+    }
+}
+
+/// One timed stage: its span on the simulated clock, optional per-stage
+/// counters, and nested sub-stages.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Stage name (e.g. `"anycast:ICMPv4"`, `"gcd"`).
+    pub name: String,
+    /// Simulated start time, milliseconds since run start.
+    pub start_ms: u64,
+    /// Simulated duration in milliseconds.
+    pub sim_ms: u64,
+    /// Stage-scoped counters (target counts, probe counts, ...).
+    pub counters: BTreeMap<String, u64>,
+    /// Nested stages.
+    pub children: Vec<StageReport>,
+}
+
+impl StageReport {
+    /// Look up a stage counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Simulated end time.
+    pub fn end_ms(&self) -> u64 {
+        self.start_ms.saturating_add(self.sim_ms)
+    }
+
+    /// The same stage (and its children) shifted `offset_ms` later. Used
+    /// when nesting a stage recorded on its own clock — measurements start
+    /// at t = 0 — into a parent timeline such as the census day.
+    pub fn rebased(mut self, offset_ms: u64) -> StageReport {
+        self.start_ms = self.start_ms.saturating_add(offset_ms);
+        self.children = self
+            .children
+            .into_iter()
+            .map(|c| c.rebased(offset_ms))
+            .collect();
+        self
+    }
+}
+
+/// Builder for one stage: captures the clock at creation, accumulates
+/// counters and children, and freezes into a [`StageReport`] when the
+/// clock has been advanced past the stage's work.
+#[derive(Debug)]
+pub struct StageTimer {
+    name: String,
+    start_ms: u64,
+    counters: BTreeMap<String, u64>,
+    children: Vec<StageReport>,
+}
+
+impl StageTimer {
+    /// Begin a stage at the clock's current time.
+    pub fn start(name: impl Into<String>, clock: &SimClock) -> Self {
+        StageTimer {
+            name: name.into(),
+            start_ms: clock.now_ms(),
+            counters: BTreeMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Add to a stage counter.
+    pub fn count(&mut self, name: &str, n: u64) -> &mut Self {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+        self
+    }
+
+    /// Attach a completed sub-stage.
+    pub fn child(&mut self, child: StageReport) -> &mut Self {
+        self.children.push(child);
+        self
+    }
+
+    /// End the stage at the clock's current time.
+    pub fn finish(self, clock: &SimClock) -> StageReport {
+        StageReport {
+            name: self.name,
+            start_ms: self.start_ms,
+            sim_ms: clock.now_ms().saturating_sub(self.start_ms),
+            counters: self.counters,
+            children: self.children,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_saturates() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_ms(), 0);
+        c.advance(250);
+        assert_eq!(c.now_ms(), 250);
+        c.advance(u64::MAX);
+        assert_eq!(c.now_ms(), u64::MAX);
+    }
+
+    #[test]
+    fn timer_spans_clock_advance() {
+        let mut clock = SimClock::new();
+        clock.advance(100);
+        let mut outer = StageTimer::start("day", &clock);
+
+        let mut inner = StageTimer::start("anycast:ICMPv4", &clock);
+        inner.count("targets", 500).count("probes", 16_000);
+        clock.advance(5_000);
+        let inner = inner.finish(&clock);
+        assert_eq!(inner.start_ms, 100);
+        assert_eq!(inner.sim_ms, 5_000);
+        assert_eq!(inner.counter("probes"), 16_000);
+        assert_eq!(inner.end_ms(), 5_100);
+
+        outer.child(inner);
+        clock.advance(400);
+        let outer = outer.finish(&clock);
+        assert_eq!(outer.sim_ms, 5_400);
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.counter("missing"), 0);
+    }
+
+    #[test]
+    fn rebased_shifts_the_whole_subtree() {
+        let mut clock = SimClock::new();
+        let mut outer = StageTimer::start("outer", &clock);
+        let inner = StageTimer::start("inner", &clock);
+        clock.advance(100);
+        outer.child(inner.finish(&clock));
+        clock.advance(100);
+        let r = outer.finish(&clock).rebased(1_000);
+        assert_eq!(r.start_ms, 1_000);
+        assert_eq!(r.end_ms(), 1_200);
+        assert_eq!(r.children[0].start_ms, 1_000);
+        assert_eq!(r.children[0].end_ms(), 1_100);
+    }
+
+    #[test]
+    fn stage_report_roundtrips_serde() {
+        let mut clock = SimClock::new();
+        let mut t = StageTimer::start("gcd", &clock);
+        t.count("targets", 42);
+        clock.advance(1_000);
+        let r = t.finish(&clock);
+        let text = serde_json::to_string(&r).expect("stage serialises");
+        let back: StageReport = serde_json::from_str(&text).expect("stage parses");
+        assert_eq!(back, r);
+    }
+}

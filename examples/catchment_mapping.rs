@@ -30,8 +30,12 @@ fn main() {
         world.platform(platform).n_vps(),
         targets.len()
     );
-    let spec = MeasurementSpec::census(7, platform, Protocol::Icmp, targets, 0);
-    let outcome = run_measurement(&world, &spec);
+    let spec = MeasurementSpec::builder(7, platform)
+        .protocol(Protocol::Icmp)
+        .targets(targets)
+        .build(&world)
+        .expect("anycast platform");
+    let outcome = run_measurement(&world, &spec).expect("valid spec");
 
     // Catchment of a prefix = the site that captured its responses. For
     // multi-site responders (anycast!) we list them all.

@@ -30,7 +30,7 @@ fn main() {
     let mut censuses = Vec::new();
     for day in 0..days {
         let t0 = std::time::Instant::now();
-        let out = pipeline.run_day(day);
+        let out = pipeline.run_day(day).expect("valid pipeline config");
         let c = out.census;
         println!(
             "day {day}: {} records published ({} GCD-confirmed) in {:.1?}",

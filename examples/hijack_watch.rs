@@ -35,7 +35,8 @@ fn main() {
     for day in 0..days {
         // The real-time path: BGP events trigger same-day verification.
         let feed = bgp_updates(&world, day);
-        let report = run_triggered_verification(&world, day, 90_000 + day * 8);
+        let report =
+            run_triggered_verification(&world, day, 90_000 + day * 8).expect("valid specs");
         let confirmed = report.with_verdict(TriggerVerdict::ConfirmedNewAnycast);
         let suspects = report.with_verdict(TriggerVerdict::SuspectedHijack);
         println!(
@@ -50,7 +51,7 @@ fn main() {
         }
 
         // The batch path: the daily census feeds the longitudinal detector.
-        let out = pipeline.run_day(day);
+        let out = pipeline.run_day(day).expect("valid pipeline config");
         evidence.push(DayEvidence {
             day,
             gcd_confirmed: out.census.gcd_confirmed().into_iter().collect(),

@@ -70,20 +70,20 @@ fn main() {
         req.offset_ms,
     );
 
-    let spec = MeasurementSpec {
-        id: 42,
-        platform,
-        protocol: req.protocol,
-        targets: Arc::new(hitlist.addresses()),
-        rate_per_s: req.rate_per_s,
-        offset_ms: req.offset_ms,
-        encoding: req.encoding,
-        day: req.day,
-        faults: laces_core::fault::FaultPlan::default(),
-        senders: None,
-    };
+    // The builder validates the whole definition up front: a unicast
+    // platform, a reserved id or a nonsense fault plan is a typed
+    // MeasurementError here instead of a panic mid-measurement.
+    let spec = MeasurementSpec::builder(42, platform)
+        .protocol(req.protocol)
+        .targets(Arc::new(hitlist.addresses()))
+        .rate_per_s(req.rate_per_s)
+        .offset_ms(req.offset_ms)
+        .encoding(req.encoding)
+        .day(req.day)
+        .build(&world)
+        .expect("valid measurement request");
     let t0 = std::time::Instant::now();
-    let outcome = run_measurement(&world, &spec);
+    let outcome = run_measurement(&world, &spec).expect("valid spec");
     let class = AnycastClassification::from_outcome(&outcome);
 
     let mut unicast = 0usize;

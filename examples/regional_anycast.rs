@@ -24,7 +24,7 @@ fn main() {
     let world = laces_examples::world_from_args(&args);
 
     let mut pipeline = CensusPipeline::new(Arc::clone(&world), PipelineConfig::icmp_only(&world));
-    let out = pipeline.run_day(0);
+    let out = pipeline.run_day(0).expect("valid pipeline config");
     let gcd_confirmed: BTreeSet<PrefixKey> = out.census.gcd_confirmed().into_iter().collect();
     let icmp = &out.classifications["ICMPv4"];
 

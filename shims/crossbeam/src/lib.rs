@@ -294,7 +294,10 @@ mod tests {
     fn bounded_try_send_full() {
         let (tx, rx) = channel::bounded(1);
         tx.try_send(1).unwrap();
-        assert!(matches!(tx.try_send(2), Err(channel::TrySendError::Full(2))));
+        assert!(matches!(
+            tx.try_send(2),
+            Err(channel::TrySendError::Full(2))
+        ));
         drop(rx);
         assert!(matches!(
             tx.try_send(3),

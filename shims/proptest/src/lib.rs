@@ -449,8 +449,8 @@ macro_rules! prop_assume {
 /// The usual imports.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-        Just, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 

@@ -34,7 +34,9 @@ pub fn derive_serialize(item: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(item: TokenStream) -> TokenStream {
     let item = parse_item(item);
-    gen_deserialize(&item).parse().expect("generated impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
 }
 
 // --- parsing -------------------------------------------------------------
@@ -59,7 +61,8 @@ fn parse_item(item: TokenStream) -> Item {
 
     // Skip a where-clause if present.
     if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
-        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+        while i < tokens.len()
+            && !matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
         {
             i += 1;
         }
@@ -379,9 +382,9 @@ fn de_tuple_fields(type_path: &str, n: usize, source: &str) -> String {
 fn de_struct_body(name: &str, fields: &Fields) -> String {
     match fields {
         Fields::Named(names) => de_named_fields(name, names, "v"),
-        Fields::Tuple(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
-        ),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
         Fields::Tuple(n) => de_tuple_fields(name, *n, "v"),
         Fields::Unit => format!("::std::result::Result::Ok({name})"),
     }

@@ -194,10 +194,7 @@ impl<'a> Parser<'a> {
             Some(b'[') => self.parse_array(),
             Some(b'{') => self.parse_object(),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
-            other => Err(Error(format!(
-                "unexpected {other:?} at byte {}",
-                self.pos
-            ))),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
         }
     }
 
@@ -226,8 +223,8 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| Error(e.to_string()))?;
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| Error(e.to_string()))?;
         if !is_float {
             if let Ok(u) = text.parse::<u128>() {
                 return Ok(Value::UInt(u));
@@ -247,8 +244,8 @@ impl<'a> Parser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|e| Error(e.to_string()))?;
-        let code = u32::from_str_radix(hex, 16)
-            .map_err(|_| Error(format!("bad \\u escape {hex:?}")))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| Error(format!("bad \\u escape {hex:?}")))?;
         self.pos += 4;
         Ok(code)
     }
@@ -294,8 +291,7 @@ impl<'a> Parser<'a> {
                                         "expected low surrogate, found \\u{low:04x}"
                                     )));
                                 }
-                                let combined =
-                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| Error("bad surrogate pair".into()))?
                             } else if (0xDC00..0xE000).contains(&code) {

@@ -18,7 +18,7 @@ fn world() -> Arc<World> {
 fn full_census_day_end_to_end() {
     let w = world();
     let mut pipeline = CensusPipeline::new(Arc::clone(&w), PipelineConfig::standard(&w));
-    let out = pipeline.run_day(0);
+    let out = pipeline.run_day(0).expect("valid pipeline config");
     let census = &out.census;
 
     // The census publishes something, with plausible stage costs.
@@ -127,7 +127,7 @@ fn full_census_day_end_to_end() {
 fn census_record_verdicts_are_independent() {
     let w = world();
     let mut pipeline = CensusPipeline::new(Arc::clone(&w), PipelineConfig::standard(&w));
-    let out = pipeline.run_day(0);
+    let out = pipeline.run_day(0).expect("valid pipeline config");
 
     // R1: records carry both verdicts; they must be allowed to disagree.
     let mut agree = 0;
@@ -153,8 +153,8 @@ fn dns_only_anycast_needs_udp() {
     // case) must appear only in the full one.
     let mut full = CensusPipeline::new(Arc::clone(&w), PipelineConfig::standard(&w));
     let mut icmp_only = CensusPipeline::new(Arc::clone(&w), PipelineConfig::icmp_only(&w));
-    let out_full = full.run_day(0);
-    let out_icmp = icmp_only.run_day(0);
+    let out_full = full.run_day(0).expect("valid pipeline config");
+    let out_icmp = icmp_only.run_day(0).expect("valid pipeline config");
 
     let mut dns_only_in_full = 0;
     let mut dns_only_in_icmp = 0;
@@ -190,7 +190,7 @@ fn at_feedback_covers_anycast_stage_fns_next_day() {
 
     // Seed the feedback list with a regional anycast prefix the anycast
     // stage misses, as a full-scan feedback would.
-    let out0 = pipeline.run_day(0);
+    let out0 = pipeline.run_day(0).expect("valid pipeline config");
     let regional_missed: Vec<PrefixKey> = w
         .targets
         .iter()
@@ -210,7 +210,7 @@ fn at_feedback_covers_anycast_stage_fns_next_day() {
         .feedback
         .merge(regional_missed.clone(), AtSource::FullScanFeedback);
 
-    let out1 = pipeline.run_day(1);
+    let out1 = pipeline.run_day(1).expect("valid pipeline config");
     // The fed-back prefixes were GCD-probed on day 1.
     let mut probed = 0;
     for p in &regional_missed {
@@ -229,7 +229,7 @@ fn at_feedback_covers_anycast_stage_fns_next_day() {
 fn gcd_tcp_fallback_covers_icmp_dark_targets() {
     let w = world();
     let mut pipeline = CensusPipeline::new(Arc::clone(&w), PipelineConfig::standard(&w));
-    let out = pipeline.run_day(0);
+    let out = pipeline.run_day(0).expect("valid pipeline config");
     // A TCP-only anycast target (no ICMP) that the anycast stage flagged
     // should still get a GCD verdict via the TCP retry.
     let mut seen = 0;
@@ -257,11 +257,25 @@ fn degraded_day_publishes_with_the_flag_set() {
     let mut cfg = PipelineConfig::icmp_only(&w);
     cfg.faults = FaultPlan::crash(3, 5).and_crash(9, 40);
     let mut pipeline = CensusPipeline::new(Arc::clone(&w), cfg);
-    let out = pipeline.run_day(0);
+    let out = pipeline.run_day(0).expect("valid pipeline config");
 
     assert!(out.degraded(), "lost workers must mark the day degraded");
-    assert!(out.census.degraded(), "published census must carry the flag");
-    assert!(out.census.stats.degraded);
+    assert!(
+        out.census.degraded(),
+        "published census must carry the flag"
+    );
+    // The typed reasons say *which* stages lost *which* workers: every
+    // anycast stage crashed workers 3 and 9, wrapped as Stage reasons.
+    let reasons = out.census.degraded_reasons();
+    assert!(!reasons.is_empty());
+    assert!(
+        reasons.iter().all(|r| matches!(
+            r,
+            laces_core::DegradedReason::Stage { stage, detail }
+                if stage.starts_with("ICMP") && detail.contains("crashed")
+        )),
+        "unexpected reasons: {reasons:?}"
+    );
     assert!(
         !out.census.records.is_empty(),
         "a degraded day still publishes the records it collected"
@@ -269,7 +283,7 @@ fn degraded_day_publishes_with_the_flag_set() {
 
     // A fault-free day over the same world stays clean.
     let mut clean = CensusPipeline::new(Arc::clone(&w), PipelineConfig::icmp_only(&w));
-    let clean_out = clean.run_day(0);
+    let clean_out = clean.run_day(0).expect("valid pipeline config");
     assert!(!clean_out.degraded());
     assert!(!clean_out.census.degraded());
 }

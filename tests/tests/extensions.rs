@@ -28,7 +28,7 @@ fn hijack_found_by_both_trigger_and_longitudinal_paths() {
     let day = hijack.day;
 
     // Path 1: the BGP feed trigger flags it the same day.
-    let report = run_triggered_verification(&w, day, 61_000);
+    let report = run_triggered_verification(&w, day, 61_000).expect("valid specs");
     assert!(
         report
             .with_verdict(TriggerVerdict::SuspectedHijack)
@@ -45,7 +45,7 @@ fn hijack_found_by_both_trigger_and_longitudinal_paths() {
     let start = day.saturating_sub(1);
     let evidence: Vec<DayEvidence> = (start..start + 4)
         .map(|d| {
-            let out = pipeline.run_day(d);
+            let out = pipeline.run_day(d).expect("valid pipeline config");
             DayEvidence {
                 day: d,
                 gcd_confirmed: out.census.gcd_confirmed().into_iter().collect(),
@@ -74,7 +74,7 @@ fn census_store_roundtrips_a_pipeline_run() {
     let mut pipeline = CensusPipeline::new(Arc::clone(&w), cfg);
     let mut originals = Vec::new();
     for day in 0..3 {
-        let census = pipeline.run_day(day).census;
+        let census = pipeline.run_day(day).expect("valid pipeline config").census;
         store.save(&census).unwrap();
         originals.push(census);
     }
@@ -106,14 +106,39 @@ fn census_store_roundtrips_a_pipeline_run() {
     assert_eq!(history.len(), 3);
     assert!(history.iter().all(|(_, _, gcd)| *gcd));
 
+    // Each day left a telemetry sidecar with per-stage timings and the
+    // absorbed per-stage metrics, one JSON object per line.
+    for day in 0..3u32 {
+        let sidecar = dir.join(format!("census-day-{day:05}.telemetry.jsonl"));
+        let body = std::fs::read_to_string(&sidecar).expect("telemetry sidecar written");
+        assert!(
+            body.lines()
+                .any(|l| l.contains("\"kind\":\"stage\"") && l.contains("anycast:ICMPv4")),
+            "day {day}: missing anycast stage timing"
+        );
+        assert!(
+            body.lines().any(|l| l.contains("\"kind\":\"counter\"")
+                && l.contains("ICMPv4.orchestrator.orders_streamed")),
+            "day {day}: missing absorbed per-stage counters"
+        );
+        assert!(
+            body.lines()
+                .any(|l| l.contains("\"kind\":\"gauge\"") && l.contains("census.day_sim_ms")),
+            "day {day}: missing the R6 day-duration gauge"
+        );
+        for line in body.lines() {
+            serde_json::from_str::<serde::Value>(line).expect("each sidecar line is valid JSON");
+        }
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
 fn canary_distinguishes_healthy_days_from_outages() {
     use laces_census::canary::{detect_outages, CanarySnapshot};
-    use laces_core::orchestrator::run_measurement;
     use laces_core::fault::FaultPlan;
+    use laces_core::orchestrator::run_measurement;
     use laces_core::spec::MeasurementSpec;
     use laces_packet::Protocol;
 
@@ -129,7 +154,7 @@ fn canary_distinguishes_healthy_days_from_outages() {
             0,
         );
         spec.faults = faults;
-        CanarySnapshot::from_outcome(&run_measurement(&w, &spec))
+        CanarySnapshot::from_outcome(&run_measurement(&w, &spec).expect("valid spec"))
     };
     let baseline = mk(62_000, FaultPlan::none());
     // Three healthy re-measurements: no alarms on any.

@@ -11,7 +11,9 @@ use laces_netsim::{TargetKind, World, WorldConfig};
 fn gcd_set_is_more_stable_than_anycast_based_set() {
     let w = Arc::new(World::generate(WorldConfig::tiny()));
     let mut pipeline = CensusPipeline::new(Arc::clone(&w), PipelineConfig::icmp_only(&w));
-    let days: Vec<_> = (0..6).map(|d| pipeline.run_day(d).census).collect();
+    let days: Vec<_> = (0..6)
+        .map(|d| pipeline.run_day(d).expect("valid pipeline config").census)
+        .collect();
 
     let (anycast, gcd) = presence_from_run(&days);
     let a = anycast.stats();
@@ -36,7 +38,9 @@ fn gcd_set_is_more_stable_than_anycast_based_set() {
 fn temporary_anycast_toggles_in_the_census() {
     let w = Arc::new(World::generate(WorldConfig::tiny()));
     let mut pipeline = CensusPipeline::new(Arc::clone(&w), PipelineConfig::icmp_only(&w));
-    let days: Vec<_> = (0..8).map(|d| pipeline.run_day(d).census).collect();
+    let days: Vec<_> = (0..8)
+        .map(|d| pipeline.run_day(d).expect("valid pipeline config").census)
+        .collect();
     let (_, gcd) = presence_from_run(&days);
 
     // At least one Imperva-style temporary prefix must appear on some days
@@ -64,8 +68,8 @@ fn temporary_anycast_toggles_in_the_census() {
 fn daily_results_vary_but_deployments_persist() {
     let w = Arc::new(World::generate(WorldConfig::tiny()));
     let mut pipeline = CensusPipeline::new(Arc::clone(&w), PipelineConfig::icmp_only(&w));
-    let d0 = pipeline.run_day(0).census;
-    let d1 = pipeline.run_day(1).census;
+    let d0 = pipeline.run_day(0).expect("valid pipeline config").census;
+    let d1 = pipeline.run_day(1).expect("valid pipeline config").census;
 
     let s0: std::collections::BTreeSet<_> = d0.gcd_confirmed().into_iter().collect();
     let s1: std::collections::BTreeSet<_> = d1.gcd_confirmed().into_iter().collect();
