@@ -4,7 +4,7 @@
 //! anycast-based classification, the full-hitlist GCD_Ark reference); this
 //! cache computes each once per process.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::IpAddr;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -70,7 +70,7 @@ pub struct Artifacts {
     hit_v4_dns: OnceLock<Arc<Vec<IpAddr>>>,
     hit_v6: OnceLock<Arc<Vec<IpAddr>>>,
     addr_index: OnceLock<Arc<BTreeMap<PrefixKey, IpAddr>>>,
-    classes: Mutex<HashMap<ClassCacheKey, CachedClass>>,
+    classes: Mutex<BTreeMap<ClassCacheKey, CachedClass>>,
     gcd_full_v4: OnceLock<Arc<GcdReport>>,
     gcd_full_v6: OnceLock<Arc<GcdReport>>,
 }
@@ -93,7 +93,7 @@ impl Artifacts {
             hit_v4_dns: OnceLock::new(),
             hit_v6: OnceLock::new(),
             addr_index: OnceLock::new(),
-            classes: Mutex::new(HashMap::new()),
+            classes: Mutex::new(BTreeMap::new()),
             gcd_full_v4: OnceLock::new(),
             gcd_full_v6: OnceLock::new(),
         }

@@ -50,8 +50,10 @@ pub fn detect_hijacks(run: &[DayEvidence]) -> Vec<HijackSuspect> {
             confirmed_days.entry(*p).or_default().push(d.day);
         }
     }
-    let first = run.first().expect("non-empty").day;
-    let last = run.last().expect("non-empty").day;
+    let (Some(first), Some(last)) = (run.first(), run.last()) else {
+        return Vec::new(); // unreachable given the length guard above
+    };
+    let (first, last) = (first.day, last.day);
     confirmed_days
         .into_iter()
         .filter_map(|(prefix, days)| match days.as_slice() {

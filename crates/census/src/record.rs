@@ -136,6 +136,7 @@ impl DailyCensus {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for r in self.records.values() {
+            // laces-lint: allow(panic-path) — CensusRecord is a plain in-memory struct (no maps with non-string keys, no custom Serialize); serde_json::to_string on it is infallible
             out.push_str(&serde_json::to_string(r).expect("record serialises"));
             out.push('\n');
         }

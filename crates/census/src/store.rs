@@ -43,7 +43,8 @@ impl CensusStore {
     /// event per line — greppable without parsing the whole stats file).
     pub fn save(&self, census: &DailyCensus) -> io::Result<()> {
         std::fs::write(self.day_path(census.day), census.to_jsonl())?;
-        let stats = serde_json::to_string_pretty(&census.stats).expect("stats serialise");
+        let stats = serde_json::to_string_pretty(&census.stats)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         std::fs::write(self.stats_path(census.day), stats)?;
         std::fs::write(
             self.telemetry_path(census.day),

@@ -37,8 +37,10 @@ impl CatchmentMap {
         let mut assignments = BTreeMap::new();
         let mut multi_site = BTreeMap::new();
         for (p, s) in sites {
-            if s.len() == 1 {
-                assignments.insert(p, *s.iter().next().expect("non-empty"));
+            // A one-element set is a stable single-site assignment; the
+            // `if let` shape keeps the measurement path free of panics.
+            if let (1, Some(&site)) = (s.len(), s.iter().next()) {
+                assignments.insert(p, site);
             } else {
                 multi_site.insert(p, s);
             }

@@ -98,13 +98,11 @@ pub fn enumerate_counted(
         .collect();
     let n_samples = disks.len();
     // Smallest radius first: tight disks are the strongest localisation
-    // evidence and maximise the independent-set size.
-    disks.sort_by(|a, b| {
-        a.1.radius_km
-            .partial_cmp(&b.1.radius_km)
-            .unwrap()
-            .then(a.0.cmp(&b.0))
-    });
+    // evidence and maximise the independent-set size. `total_cmp` because
+    // the RTT filter above guarantees finite radii and the measurement
+    // path must not carry a panic (radii are never NaN, and a total order
+    // keeps the sort deterministic even if that invariant slipped).
+    disks.sort_by(|a, b| a.1.radius_km.total_cmp(&b.1.radius_km).then(a.0.cmp(&b.0)));
 
     let mut picked: Vec<(usize, Disk)> = Vec::new();
     for (vp, disk) in disks {
@@ -146,7 +144,7 @@ pub fn has_violation(samples: &[RttSample]) -> bool {
     let Some(min_idx) = disks
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.radius_km.partial_cmp(&b.1.radius_km).unwrap())
+        .min_by(|a, b| a.1.radius_km.total_cmp(&b.1.radius_km))
         .map(|(i, _)| i)
     else {
         return false;

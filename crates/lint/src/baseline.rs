@@ -1,0 +1,250 @@
+//! The grandfathered-violation baseline (`lint-baseline.json`).
+//!
+//! New code must be clean; pre-existing violations that are deliberate
+//! (e.g. documented panicking accessors awaiting an API change) live in a
+//! checked-in baseline so the linter can gate CI from day one without a
+//! big-bang rewrite. Every entry carries a justification — an entry
+//! without one is a lint error in itself.
+//!
+//! Entries match violations by `(file, rule, excerpt)` — the trimmed
+//! source line — not by line number, so unrelated edits above a
+//! grandfathered site do not invalidate the baseline. An entry suppresses
+//! every occurrence of that excerpt in its file; `--update-baseline`
+//! regenerates the file deterministically (sorted, stable JSON) while
+//! preserving existing justifications.
+
+use crate::json::{self, Json};
+use crate::Violation;
+
+/// One grandfathered violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// Rule id (`Rule::id` form).
+    pub rule: String,
+    /// The trimmed source line the violation sits on.
+    pub excerpt: String,
+    /// Why this site is allowed to stand (required, non-empty).
+    pub justification: String,
+}
+
+/// Parse a baseline document. A missing `justification` (or an empty one)
+/// is reported in the error list but does not drop the entry — the entry
+/// still suppresses, the lint run still fails via `bad-allow` so the gap
+/// gets fixed.
+pub fn parse(src: &str) -> Result<(Vec<BaselineEntry>, Vec<String>), String> {
+    let doc = json::parse(src)?;
+    let mut entries = Vec::new();
+    let mut problems = Vec::new();
+    let list = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "baseline must have an \"entries\" array".to_string())?;
+    for (idx, e) in list.iter().enumerate() {
+        let field = |name: &str| e.get(name).and_then(Json::as_str).map(str::to_string);
+        let (Some(file), Some(rule), Some(excerpt)) =
+            (field("file"), field("rule"), field("excerpt"))
+        else {
+            return Err(format!("baseline entry {idx} is missing file/rule/excerpt"));
+        };
+        let justification = field("justification").unwrap_or_default();
+        if justification.trim().is_empty() {
+            problems.push(format!(
+                "baseline entry for {file} [{rule}] has no justification"
+            ));
+        }
+        entries.push(BaselineEntry {
+            file,
+            rule,
+            excerpt,
+            justification,
+        });
+    }
+    Ok((entries, problems))
+}
+
+/// Render a baseline deterministically: entries sorted, two-space indent,
+/// trailing newline. Byte-identical across reruns for the same entry set.
+pub fn render(entries: &[BaselineEntry]) -> String {
+    let mut sorted: Vec<&BaselineEntry> = entries.iter().collect();
+    sorted.sort();
+    sorted.dedup();
+    let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+    for (i, e) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\n      \"file\": \"{}\",\n      \"rule\": \"{}\",\n      \
+             \"excerpt\": \"{}\",\n      \"justification\": \"{}\"\n    }}",
+            json::escape(&e.file),
+            json::escape(&e.rule),
+            json::escape(&e.excerpt),
+            json::escape(&e.justification)
+        ));
+    }
+    if !sorted.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Split `violations` into (non-baselined, baselined-count) and report
+/// stale entries (entries matching nothing — the site was fixed; they
+/// should be pruned with `--update-baseline`).
+pub fn apply(
+    violations: Vec<Violation>,
+    baseline: &[BaselineEntry],
+) -> (Vec<Violation>, usize, Vec<BaselineEntry>) {
+    let mut used = vec![false; baseline.len()];
+    let mut remaining = Vec::new();
+    let mut suppressed = 0usize;
+    for v in violations {
+        let hit = baseline
+            .iter()
+            .position(|e| e.file == v.file && e.rule == v.rule.id() && e.excerpt == v.excerpt);
+        match hit {
+            Some(idx) => {
+                used[idx] = true;
+                suppressed += 1;
+            }
+            None => remaining.push(v),
+        }
+    }
+    let stale = baseline
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (remaining, suppressed, stale)
+}
+
+/// Build an updated baseline from the current violation set: keep the
+/// justification of any entry that still matches, mark new entries as
+/// needing one (which `bad-allow` will then flag until a human writes it).
+pub fn regenerate(violations: &[Violation], old: &[BaselineEntry]) -> Vec<BaselineEntry> {
+    let mut out: Vec<BaselineEntry> = violations
+        .iter()
+        .map(|v| {
+            let justification = old
+                .iter()
+                .find(|e| e.file == v.file && e.rule == v.rule.id() && e.excerpt == v.excerpt)
+                .map(|e| e.justification.clone())
+                .unwrap_or_default();
+            BaselineEntry {
+                file: v.file.clone(),
+                rule: v.rule.id().to_string(),
+                excerpt: v.excerpt.clone(),
+                justification,
+            }
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn v(file: &str, rule: Rule, excerpt: &str) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line: 10,
+            rule,
+            excerpt: excerpt.to_string(),
+            message: rule.describe().to_string(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_stable() {
+        let entries = vec![
+            BaselineEntry {
+                file: "crates/x/src/a.rs".into(),
+                rule: "panic-path".into(),
+                excerpt: "foo.unwrap();".into(),
+                justification: "documented invariant".into(),
+            },
+            BaselineEntry {
+                file: "crates/x/src/a.rs".into(),
+                rule: "wall-clock".into(),
+                excerpt: "Instant::now();".into(),
+                justification: "perf counter".into(),
+            },
+        ];
+        let text = render(&entries);
+        let (back, problems) = parse(&text).unwrap();
+        assert!(problems.is_empty());
+        assert_eq!(back, entries);
+        // Determinism: re-rendering parsed entries is byte-identical.
+        assert_eq!(render(&back), text);
+    }
+
+    #[test]
+    fn apply_matches_by_excerpt_not_line() {
+        let baseline = vec![BaselineEntry {
+            file: "crates/x/src/a.rs".into(),
+            rule: "panic-path".into(),
+            excerpt: "foo.unwrap();".into(),
+            justification: "why".into(),
+        }];
+        let (rest, suppressed, stale) = apply(
+            vec![
+                v("crates/x/src/a.rs", Rule::PanicPath, "foo.unwrap();"),
+                v("crates/x/src/a.rs", Rule::PanicPath, "bar.unwrap();"),
+            ],
+            &baseline,
+        );
+        assert_eq!(suppressed, 1);
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].excerpt, "bar.unwrap();");
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let baseline = vec![BaselineEntry {
+            file: "crates/x/src/gone.rs".into(),
+            rule: "print-path".into(),
+            excerpt: "println!(\"x\");".into(),
+            justification: "was needed".into(),
+        }];
+        let (_, _, stale) = apply(vec![], &baseline);
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn missing_justification_is_reported_but_still_suppresses() {
+        let text = r#"{"version":1,"entries":[{"file":"f.rs","rule":"panic-path","excerpt":"x.unwrap()"}]}"#;
+        let (entries, problems) = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("no justification"));
+    }
+
+    #[test]
+    fn regenerate_preserves_existing_justifications() {
+        let old = vec![BaselineEntry {
+            file: "a.rs".into(),
+            rule: "panic-path".into(),
+            excerpt: "x.unwrap();".into(),
+            justification: "keep me".into(),
+        }];
+        let new = regenerate(
+            &[
+                v("a.rs", Rule::PanicPath, "x.unwrap();"),
+                v("b.rs", Rule::PrintPath, "println!();"),
+            ],
+            &old,
+        );
+        assert_eq!(new.len(), 2);
+        assert_eq!(new[0].justification, "keep me");
+        assert_eq!(new[1].justification, "");
+    }
+}

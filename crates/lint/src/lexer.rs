@@ -1,0 +1,364 @@
+//! Token-level scanner for Rust sources.
+//!
+//! The linter's rules are lexical (identifier sequences like
+//! `Instant :: now` or `. unwrap (`), so a full parse is unnecessary —
+//! but a naive substring grep would fire inside string literals, comments
+//! and doc examples. This lexer walks the byte stream once, classifying
+//! every position as code, comment or literal, and emits:
+//!
+//! * identifier / punctuation tokens with their 1-based line numbers, and
+//! * comments (for `laces-lint: allow(..)` marker extraction).
+//!
+//! Handled literal forms: cooked strings with escapes, raw strings
+//! `r"…"` / `r#"…"#` (any hash count), byte strings `b"…"` / `br#"…"#`,
+//! char literals (including escaped ones), and lifetimes (`'a`, which are
+//! *not* char literals). Block comments nest, per the Rust grammar.
+
+/// One code token: an identifier, a number-free punctuation character, or
+/// the two-character path separator `::`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text (identifiers verbatim; punctuation as itself).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line or block), captured for allow-marker parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether the comment is the first non-whitespace on its line
+    /// (a standalone marker applies to the *next* line; a trailing
+    /// marker applies to its own line).
+    pub alone: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and comments.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut line_has_code = false;
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    line,
+                    alone: !line_has_code,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let alone = !line_has_code;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i.min(src.len())].to_string(),
+                    line: start_line,
+                    alone,
+                });
+            }
+            b'"' => {
+                i = skip_cooked_string(b, i, &mut line);
+                line_has_code = true;
+            }
+            b'\'' => {
+                i = skip_char_or_lifetime(b, i, &mut line);
+                line_has_code = true;
+            }
+            b'0'..=b'9' => {
+                i = skip_number(b, i);
+                line_has_code = true;
+            }
+            _ if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // String-literal prefixes: b"…", r"…", r#"…"#, br#"…"#.
+                if word == "b" && b.get(i) == Some(&b'"') {
+                    i = skip_cooked_string(b, i, &mut line);
+                    line_has_code = true;
+                    continue;
+                }
+                if (word == "r" || word == "br") && matches!(b.get(i), Some(&b'"') | Some(&b'#')) {
+                    if let Some(end) = skip_raw_string(b, i, &mut line) {
+                        i = end;
+                        line_has_code = true;
+                        continue;
+                    }
+                    // `r#ident` raw identifiers fall through: emit `r`,
+                    // then the `#` and the identifier as ordinary tokens.
+                }
+                out.tokens.push(Token {
+                    text: word.to_string(),
+                    line,
+                });
+                line_has_code = true;
+            }
+            b':' if b.get(i + 1) == Some(&b':') => {
+                out.tokens.push(Token {
+                    text: "::".to_string(),
+                    line,
+                });
+                i += 2;
+                line_has_code = true;
+            }
+            _ if c.is_ascii() => {
+                out.tokens.push(Token {
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+                line_has_code = true;
+            }
+            _ => {
+                // Non-ASCII outside strings/comments (e.g. an em-dash in a
+                // macro-generated doc). Opaque to every rule: skip the byte.
+                i += 1;
+                line_has_code = true;
+            }
+        }
+    }
+    out
+}
+
+/// Skip a `"…"` string starting at the opening quote; returns the index
+/// one past the closing quote.
+fn skip_cooked_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skip a raw string whose hash-or-quote run starts at `i` (the byte after
+/// the `r`/`br` prefix). Returns `None` if this is not actually a raw
+/// string opener (e.g. the `r#ident` raw-identifier form).
+fn skip_raw_string(b: &[u8], start: usize, line: &mut u32) -> Option<usize> {
+    let mut i = start;
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return None;
+    }
+    i += 1;
+    // Scan for `"` followed by `hashes` hash marks.
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && b.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return Some(j);
+            }
+        }
+        i += 1;
+    }
+    Some(i)
+}
+
+/// Skip a char literal (`'x'`, `'\n'`, `'\u{1F980}'`) or a lifetime
+/// (`'a`, `'_`, `'static`) starting at the quote.
+fn skip_char_or_lifetime(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if b.get(i + 1) == Some(&b'\\') {
+        // Escaped char literal: scan to the closing quote.
+        i += 2; // quote + backslash
+        i += 1; // the escape head (n, t, ', u, x, …)
+        while i < b.len() && b[i] != b'\'' {
+            if b[i] == b'\n' {
+                *line += 1;
+            }
+            i += 1;
+        }
+        return i + 1;
+    }
+    // `'X'` (X any single byte or UTF-8 head; multibyte chars end at the
+    // next quote) vs a lifetime.
+    if let Some(&next) = b.get(i + 1) {
+        let is_ident_start = next == b'_' || next.is_ascii_alphabetic();
+        if b.get(i + 2) == Some(&b'\'') && next != b'\'' {
+            return i + 3; // ASCII char literal
+        }
+        if !is_ident_start {
+            // Multibyte char literal (or stray quote): scan to close.
+            i += 1;
+            while i < b.len() && b[i] != b'\'' {
+                if b[i] == b'\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+            return (i + 1).min(b.len());
+        }
+    }
+    // Lifetime: consume the quote and the identifier.
+    i += 1;
+    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+        i += 1;
+    }
+    i
+}
+
+/// Skip a numeric literal (integer, float, hex/oct/bin, suffixed).
+fn skip_number(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+        i += 1;
+    }
+    // A fractional part: `.` followed by a digit (so `1..10` stays a range).
+    if b.get(i) == Some(&b'.') && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+        i += 1;
+        while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| {
+                t.text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+            })
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            let x = "Instant::now() in a string";
+            // Instant::now() in a line comment
+            /* Instant::now() in a block /* nested */ comment */
+            let y = r#"thread_rng in a raw string"#;
+            let z = b"HashMap in bytes";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"thread_rng".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_position() {
+        let src = "let a = 1; // trailing\n// standalone\nlet b = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.comments[0].alone);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[1].alone);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // A naive scanner would treat `'a` as an unterminated char literal
+        // and swallow the rest of the file.
+        let src = "fn f<'a>(x: &'a str) { x.unwrap(); }";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn char_literals_including_escapes() {
+        let src = "let q = '\\''; let n = '\\n'; let x = 'z'; y.unwrap();";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_string()), "{ids:?}");
+        // The literal contents never surface as tokens.
+        assert!(!ids.contains(&"z".to_string()));
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let lexed = lex("Instant::now()");
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["Instant", "::", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let s = \"line\nline\nline\";\nfoo.unwrap();\n";
+        let lexed = lex(src);
+        let unwrap = lexed.tokens.iter().find(|t| t.text == "unwrap");
+        assert_eq!(unwrap.map(|t| t.line), Some(4));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string_opener() {
+        let ids = idents("let r#type = 1; x.unwrap();");
+        assert!(ids.contains(&"unwrap".to_string()), "{ids:?}");
+    }
+}

@@ -1,0 +1,530 @@
+//! `laces-lint`: the workspace determinism & robustness linter.
+//!
+//! LACeS is a *longitudinal* census: its value rests on day-N and a rerun
+//! of day-N producing bit-identical artifacts (PAPER.md §5, DESIGN.md
+//! §9–§10). One stray wall-clock read, ambient RNG, unordered map in a
+//! serialized path, or panic in the measurement path silently breaks that
+//! contract. This crate is a self-contained, dependency-free static
+//! analysis pass that locks the invariants in:
+//!
+//! | id              | rule                                                  |
+//! |-----------------|-------------------------------------------------------|
+//! | `wall-clock`    | no `Instant::now`/`SystemTime::now` outside obs/bench |
+//! | `ambient-rng`   | no `thread_rng`/`from_entropy`/`OsRng` anywhere       |
+//! | `unordered-iter`| no `HashMap`/`HashSet` in serialized paths            |
+//! | `panic-path`    | no `unwrap`/`expect`/`panic!`/`todo!` on the          |
+//! |                 | measurement path                                      |
+//! | `print-path`    | no `println!`-family output in library crates         |
+//!
+//! Violations are suppressed either by an inline marker on the offending
+//! line (or the line directly above it):
+//!
+//! ```text
+//! // laces-lint: allow(panic-path) — serialising plain in-memory structs is infallible
+//! ```
+//!
+//! or by an entry in the checked-in `lint-baseline.json` (see
+//! [`baseline`]). Both require a justification; a marker without one is
+//! itself a violation (`bad-allow`). String literals, comments, attribute
+//! argument lists and `#[cfg(test)]`/`#[test]` items never fire.
+
+pub mod baseline;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use lexer::{Comment, Lexed, Token};
+use rules::Rule;
+
+/// One reportable violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// The trimmed source line (the baseline matching key).
+    pub excerpt: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The outcome of scanning a set of files.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Violations not suppressed by inline markers (baseline not yet
+    /// applied), sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Count of hits suppressed by valid inline allow markers.
+    pub allowed: usize,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// A parsed `laces-lint: allow(..)` marker.
+#[derive(Debug)]
+struct AllowMarker {
+    rule: Option<Rule>,
+    line: u32,
+    alone: bool,
+    justified: bool,
+}
+
+const MARKER_INTRO: &str = "laces-lint:";
+
+/// Extract allow markers from a file's comments. Malformed markers yield
+/// `bad-allow` violations (reported with the file's other findings).
+fn parse_markers(
+    comments: &[Comment],
+    path: &str,
+    lines: &[&str],
+) -> (Vec<AllowMarker>, Vec<Violation>) {
+    let mut markers = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        let Some(pos) = c.text.find(MARKER_INTRO) else {
+            continue;
+        };
+        let rest = c.text[pos + MARKER_INTRO.len()..].trim_start();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            bad.push(bad_allow(path, c.line, lines, "expected `allow(<rule>)`"));
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            bad.push(bad_allow(path, c.line, lines, "unclosed `allow(`"));
+            continue;
+        };
+        let rule_id = args[..close].trim();
+        // Documentation *about* the grammar writes placeholders like
+        // `allow(..)` or `allow(<rule>)`; only id-shaped attempts are
+        // judged, so a typo'd rule still fails but prose never does.
+        if rule_id.is_empty()
+            || !rule_id
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            continue;
+        }
+        let rule = Rule::from_id(rule_id);
+        if rule.is_none() {
+            bad.push(bad_allow(
+                path,
+                c.line,
+                lines,
+                &format!("unknown rule id `{rule_id}`"),
+            ));
+        }
+        // Justification: everything after the closing paren, minus a
+        // leading separator (em-dash, hyphen(s) or colon).
+        let tail = args[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':'])
+            .trim();
+        let justified = tail.len() >= 3;
+        if !justified {
+            bad.push(bad_allow(
+                path,
+                c.line,
+                lines,
+                "missing justification after the rule id",
+            ));
+        }
+        markers.push(AllowMarker {
+            rule,
+            line: c.line,
+            alone: c.alone,
+            justified,
+        });
+    }
+    (markers, bad)
+}
+
+fn bad_allow(path: &str, line: u32, lines: &[&str], why: &str) -> Violation {
+    Violation {
+        file: path.to_string(),
+        line,
+        rule: Rule::BadAllow,
+        excerpt: excerpt_at(lines, line),
+        message: format!("{} ({why})", Rule::BadAllow.describe()),
+    }
+}
+
+fn excerpt_at(lines: &[&str], line: u32) -> String {
+    lines
+        .get(line.saturating_sub(1) as usize)
+        .map(|l| l.trim().to_string())
+        .unwrap_or_default()
+}
+
+/// Compute, for each token, whether it is exempt from the rules: inside an
+/// attribute's argument list, or inside an item annotated `#[cfg(test)]`,
+/// `#[test]` or `#[bench]` (an inner `#![cfg(test)]` exempts the whole
+/// file). Token-level brace matching — no parser needed.
+fn exempt_tokens(tokens: &[Token]) -> Vec<bool> {
+    let n = tokens.len();
+    let mut skip = vec![false; n];
+    let text = |i: usize| tokens.get(i).map(|t| t.text.as_str());
+    let mut i = 0usize;
+    while i < n {
+        if text(i) != Some("#") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let inner = text(j) == Some("!");
+        if inner {
+            j += 1;
+        }
+        if text(j) != Some("[") {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]` (attribute arguments may nest brackets).
+        let attr_body_start = j + 1;
+        let mut depth = 1i32;
+        let mut k = attr_body_start;
+        while k < n && depth > 0 {
+            match text(k) {
+                Some("[") => depth += 1,
+                Some("]") => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        let attr_end = k; // one past `]`
+                          // Attribute argument lists are never code: exempt them outright
+                          // (e.g. `#[deprecated(note = "...unwrap...")]` token content).
+        for s in skip.iter_mut().take(attr_end).skip(i) {
+            *s = true;
+        }
+        if is_test_attr(&tokens[attr_body_start..attr_end.saturating_sub(1)]) {
+            if inner {
+                // `#![cfg(test)]`: the entire file is test code.
+                for s in skip.iter_mut() {
+                    *s = true;
+                }
+                return skip;
+            }
+            // Exempt the annotated item: any further attributes, then the
+            // item through its closing brace (or terminating semicolon).
+            let mut m = attr_end;
+            while text(m) == Some("#") && text(m + 1) == Some("[") {
+                let mut d = 1i32;
+                let mut p = m + 2;
+                while p < n && d > 0 {
+                    match text(p) {
+                        Some("[") => d += 1,
+                        Some("]") => d -= 1,
+                        _ => {}
+                    }
+                    p += 1;
+                }
+                m = p;
+            }
+            let mut brace = 0i32;
+            while m < n {
+                match text(m) {
+                    Some("{") => brace += 1,
+                    Some("}") => {
+                        brace -= 1;
+                        if brace == 0 {
+                            break;
+                        }
+                    }
+                    Some(";") if brace == 0 => break,
+                    _ => {}
+                }
+                m += 1;
+            }
+            let item_end = (m + 1).min(n);
+            for s in skip.iter_mut().take(item_end).skip(i) {
+                *s = true;
+            }
+            i = item_end;
+            continue;
+        }
+        i = attr_end;
+    }
+    skip
+}
+
+/// Does an attribute's token body mark test-only code? Matches `test`,
+/// `bench`, `cfg(test)` and `cfg(any(test, ..))` — but not `cfg(not(test))`,
+/// which guards *non*-test code.
+fn is_test_attr(body: &[Token]) -> bool {
+    let texts: Vec<&str> = body.iter().map(|t| t.text.as_str()).collect();
+    match texts.first() {
+        Some(&"test") | Some(&"bench") => true,
+        Some(&"cfg") => texts.contains(&"test") && !texts.contains(&"not"),
+        // `#[tokio::test]`-style: a path ending in `test`.
+        _ => texts.last() == Some(&"test") && texts.contains(&"::"),
+    }
+}
+
+/// Scan one source file (by its workspace-relative path) and return its
+/// violations after inline-marker suppression, plus the allowed count.
+pub fn scan_source(path: &str, src: &str) -> (Vec<Violation>, usize) {
+    let Lexed { tokens, comments } = lexer::lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let skip = exempt_tokens(&tokens);
+    let hits = rules::check_tokens(path, &tokens, &skip);
+    let (markers, mut violations) = parse_markers(&comments, path, &lines);
+
+    let mut allowed = 0usize;
+    for hit in hits {
+        let suppressed = markers.iter().any(|m| {
+            m.rule == Some(hit.rule)
+                && m.justified
+                && (m.line == hit.line || (m.alone && m.line + 1 == hit.line))
+        });
+        if suppressed {
+            allowed += 1;
+            continue;
+        }
+        violations.push(Violation {
+            file: path.to_string(),
+            line: hit.line,
+            rule: hit.rule,
+            excerpt: excerpt_at(&lines, hit.line),
+            message: format!("`{}`: {}", hit.matched, hit.rule.describe()),
+        });
+    }
+    (violations, allowed)
+}
+
+/// Directories never scanned: build output, the offline dependency shims
+/// (they mirror external crates' APIs, ambient-RNG names included), and
+/// lint-rule fixture corpora (violations on purpose).
+fn walk_excluded(rel: &str) -> bool {
+    rel == "target" || rel == "shims" || rel.ends_with("/fixtures") || rel.ends_with("/target")
+}
+
+/// Collect the workspace-relative paths of every `.rs` file to scan,
+/// sorted for deterministic output.
+pub fn collect_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = BTreeSet::new();
+    let mut stack: Vec<PathBuf> = ["crates", "examples", "tests"]
+        .iter()
+        .map(|d| root.join(d))
+        .filter(|d| d.is_dir())
+        .collect();
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let p = entry.path();
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if p.is_dir() {
+                if !walk_excluded(&rel) {
+                    stack.push(p);
+                }
+            } else if rel.ends_with(".rs") {
+                out.insert(rel);
+            }
+        }
+    }
+    Ok(out.into_iter().collect())
+}
+
+/// Scan the workspace rooted at `root`. Violations come back sorted by
+/// (file, line, rule id) — stable across reruns.
+pub fn scan_workspace(root: &Path) -> io::Result<ScanReport> {
+    let mut report = ScanReport::default();
+    for rel in collect_files(root)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let (violations, allowed) = scan_source(&rel, &src);
+        report.violations.extend(violations);
+        report.allowed += allowed;
+        report.files_scanned += 1;
+    }
+    sort_violations(&mut report.violations);
+    Ok(report)
+}
+
+/// Canonical violation order for output and baselines.
+pub fn sort_violations(violations: &mut [Violation]) {
+    violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.id(), a.excerpt.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule.id(),
+            b.excerpt.as_str(),
+        ))
+    });
+}
+
+/// Render violations as human-readable diagnostics.
+pub fn render_human(violations: &[Violation], stale: &[baseline::BaselineEntry]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            v.file,
+            v.line,
+            v.rule.id(),
+            v.message,
+            v.excerpt
+        ));
+    }
+    for e in stale {
+        out.push_str(&format!(
+            "warning: stale baseline entry (site fixed? run --update-baseline): {} [{}] {}\n",
+            e.file, e.rule, e.excerpt
+        ));
+    }
+    out
+}
+
+/// Render violations as a deterministic JSON document (sorted input in,
+/// byte-identical output out — no timestamps, no absolute paths).
+pub fn render_json(
+    violations: &[Violation],
+    stale: &[baseline::BaselineEntry],
+    files_scanned: usize,
+    baselined: usize,
+    allowed: usize,
+) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"excerpt\": \"{}\", \"message\": \"{}\"}}",
+            json::escape(&v.file),
+            v.line,
+            v.rule.id(),
+            json::escape(&v.excerpt),
+            json::escape(&v.message)
+        ));
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"stale_baseline\": [");
+    for (i, e) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"rule\": \"{}\", \"excerpt\": \"{}\"}}",
+            json::escape(&e.file),
+            json::escape(&e.rule),
+            json::escape(&e.excerpt)
+        ));
+    }
+    if !stale.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"summary\": {{\"files_scanned\": {files_scanned}, \"violations\": {}, \"baselined\": {baselined}, \"allowed\": {allowed}}}\n}}\n",
+        violations.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/core/src/fake.rs";
+
+    #[test]
+    fn marker_on_same_line_suppresses() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() /* laces-lint: allow(panic-path) — checked by caller */ }\n";
+        let (v, allowed) = scan_source(LIB, src);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(allowed, 1);
+    }
+
+    #[test]
+    fn standalone_marker_covers_next_line_only() {
+        let src = "\
+// laces-lint: allow(panic-path) — demo justification
+fn g(x: Option<u8>) -> u8 { x.unwrap() }
+fn h(x: Option<u8>) -> u8 { x.unwrap() }
+";
+        let (v, allowed) = scan_source(LIB, src);
+        assert_eq!(allowed, 1);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn unjustified_marker_is_bad_allow_and_does_not_suppress() {
+        let src = "fn g(x: Option<u8>) -> u8 { x.unwrap() } // laces-lint: allow(panic-path)\n";
+        let (v, allowed) = scan_source(LIB, src);
+        assert_eq!(allowed, 0);
+        let rules: BTreeSet<&str> = v.iter().map(|x| x.rule.id()).collect();
+        assert!(rules.contains("bad-allow"), "{v:?}");
+        assert!(rules.contains("panic-path"), "{v:?}");
+    }
+
+    #[test]
+    fn unknown_rule_in_marker_is_bad_allow() {
+        let src = "// laces-lint: allow(no-such-rule) — whatever\nfn f() {}\n";
+        let (v, _) = scan_source(LIB, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::BadAllow);
+    }
+
+    #[test]
+    fn cfg_test_items_are_exempt() {
+        let src = "\
+pub fn lib_code() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x: Option<u8> = None;
+        x.unwrap();
+        println!(\"{:?}\", std::time::Instant::now());
+    }
+}
+";
+        let (v, _) = scan_source(LIB, src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let (v, _) = scan_source(LIB, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::PanicPath);
+    }
+
+    #[test]
+    fn attribute_arguments_are_exempt() {
+        let src = "#[deprecated(note = \"x\")]\nfn f() { g(HashMap::or_not); }\n";
+        // HashMap outside R3 scope here; check with a serialized-path file.
+        let (v, _) = scan_source("crates/census/src/fake.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}"); // the HashMap in the body fires once
+    }
+
+    #[test]
+    fn inner_cfg_test_exempts_whole_file() {
+        let src = "#![cfg(test)]\nfn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let (v, _) = scan_source(LIB, src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn wrong_rule_marker_does_not_suppress() {
+        let src = "fn g(x: Option<u8>) -> u8 { x.unwrap() } // laces-lint: allow(print-path) — wrong rule\n";
+        let (v, allowed) = scan_source(LIB, src);
+        assert_eq!(allowed, 0);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::PanicPath);
+    }
+}

@@ -1,0 +1,195 @@
+//! `laces-lint` CLI: scan the workspace, apply the baseline, report.
+//!
+//! Exit codes: 0 clean, 1 non-baselined violations found, 2 usage or I/O
+//! error. `--format json` output is byte-identical across reruns of the
+//! same tree — CI diffs it, and determinism here is dogfooding the very
+//! invariant the linter enforces.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use laces_lint::{baseline, render_human, render_json, scan_workspace, sort_violations};
+
+const USAGE: &str = "\
+laces-lint — LACeS workspace determinism & robustness linter
+
+USAGE:
+    laces-lint [--root DIR] [--format human|json] [--baseline FILE]
+               [--update-baseline] [--help]
+
+OPTIONS:
+    --root DIR          Workspace root (default: auto-detected from cwd)
+    --format FMT        `human` (default) or `json` (deterministic)
+    --baseline FILE     Baseline path (default: <root>/lint-baseline.json)
+    --update-baseline   Rewrite the baseline from current violations,
+                        preserving existing justifications, and exit
+    --help              Show this help
+";
+
+struct Opts {
+    root: Option<PathBuf>,
+    format: Format,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Opts>, String> {
+    let mut opts = Opts {
+        root: None,
+        format: Format::Human,
+        baseline: None,
+        update_baseline: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--root" => {
+                opts.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?))
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline needs a file path")?,
+                ))
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => opts.format = Format::Human,
+                Some("json") => opts.format = Format::Json,
+                _ => return Err("--format must be `human` or `json`".to_string()),
+            },
+            "--update-baseline" => opts.update_baseline = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+/// Walk up from cwd to the workspace root (the directory whose Cargo.toml
+/// declares `[workspace]` and which contains `crates/`).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file()
+            && dir.join("crates").is_dir()
+            && std::fs::read_to_string(&manifest).is_ok_and(|t| t.contains("[workspace]"))
+        {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(o)) => o,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("laces-lint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let Some(root) = opts.root.or_else(find_root) else {
+        eprintln!("laces-lint: could not locate the workspace root (try --root)");
+        return ExitCode::from(2);
+    };
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("laces-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Load the baseline (a missing file means an empty baseline).
+    let (entries, baseline_problems) = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!(
+                    "laces-lint: malformed baseline {}: {e}",
+                    baseline_path.display()
+                );
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => (Vec::new(), Vec::new()),
+    };
+
+    if opts.update_baseline {
+        let new_entries = baseline::regenerate(&report.violations, &entries);
+        let rendered = baseline::render(&new_entries);
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!("laces-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        let missing = new_entries
+            .iter()
+            .filter(|e| e.justification.trim().is_empty())
+            .count();
+        println!(
+            "laces-lint: wrote {} entries to {}{}",
+            new_entries.len(),
+            baseline_path.display(),
+            if missing > 0 {
+                format!(" ({missing} need a justification before CI will pass)")
+            } else {
+                String::new()
+            }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let (mut violations, baselined, stale) = baseline::apply(report.violations, &entries);
+    // Unjustified baseline entries fail the run like unjustified markers.
+    for p in &baseline_problems {
+        eprintln!("laces-lint: {p}");
+    }
+    sort_violations(&mut violations);
+
+    match opts.format {
+        Format::Human => {
+            print!("{}", render_human(&violations, &stale));
+            println!(
+                "laces-lint: {} files scanned, {} violations ({} baselined, {} allowed inline)",
+                report.files_scanned,
+                violations.len(),
+                baselined,
+                report.allowed
+            );
+        }
+        Format::Json => print!(
+            "{}",
+            render_json(
+                &violations,
+                &stale,
+                report.files_scanned,
+                baselined,
+                report.allowed
+            )
+        ),
+    }
+
+    if violations.is_empty() && baseline_problems.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,308 @@
+//! The rule set: what LACeS's determinism and robustness invariants
+//! forbid, and where each rule applies.
+//!
+//! Every rule is derived from an invariant the system already relies on
+//! (DESIGN.md §9–§11): reruns must be bit-identical, the measurement path
+//! must degrade rather than panic, and all output flows through typed
+//! results or `laces-obs`. The linter enforces them lexically; scope is
+//! decided per file from its workspace-relative path.
+
+use crate::lexer::Token;
+
+/// A lint rule. Rule ids (`Rule::id`) are what allow markers and baseline
+/// entries name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// R1: no wall-clock reads (`Instant::now`, `SystemTime::now`) outside
+    /// `laces-obs` (which owns simulated time) and bench/example code.
+    /// Wall-clock values differ across reruns and would leak
+    /// nondeterminism into serialized artifacts.
+    WallClock,
+    /// R2: no ambient randomness (`thread_rng`, `from_entropy`, `OsRng`).
+    /// Every RNG must be seeded from the world/measurement seed so a rerun
+    /// of the same census day reproduces bit-identically.
+    AmbientRng,
+    /// R3: no `HashMap`/`HashSet` in code feeding serialized artifacts
+    /// (census store, telemetry sidecar, world snapshots, bench
+    /// artifacts). Their iteration order is randomized per process; use
+    /// `BTreeMap`/`BTreeSet` or sort explicitly.
+    UnorderedIter,
+    /// R4: no `.unwrap()` / `.expect()` / `panic!` / `todo!` /
+    /// `unimplemented!` in measurement-path library code now that
+    /// `MeasurementError` exists — the path degrades, it does not abort.
+    PanicPath,
+    /// R5: no `println!`-family output in library crates; results flow
+    /// through return values and `laces-obs` telemetry.
+    PrintPath,
+    /// A malformed `laces-lint: allow(..)` marker: unknown rule id or
+    /// missing justification. Markers must stay auditable.
+    BadAllow,
+}
+
+/// All enforceable rules, in id order (excludes the marker meta-rule).
+pub const ALL_RULES: [Rule; 5] = [
+    Rule::WallClock,
+    Rule::AmbientRng,
+    Rule::UnorderedIter,
+    Rule::PanicPath,
+    Rule::PrintPath,
+];
+
+impl Rule {
+    /// Stable kebab-case id used in markers, baselines and JSON output.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::PanicPath => "panic-path",
+            Rule::PrintPath => "print-path",
+            Rule::BadAllow => "bad-allow",
+        }
+    }
+
+    /// Parse a rule id (as written in an allow marker).
+    pub fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "wall-clock" => Some(Rule::WallClock),
+            "ambient-rng" => Some(Rule::AmbientRng),
+            "unordered-iter" => Some(Rule::UnorderedIter),
+            "panic-path" => Some(Rule::PanicPath),
+            "print-path" => Some(Rule::PrintPath),
+            "bad-allow" => Some(Rule::BadAllow),
+            _ => None,
+        }
+    }
+
+    /// One-line description shown in diagnostics.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "wall-clock read on a deterministic path — stage timing comes from \
+                 laces-obs SimClock, not Instant/SystemTime"
+            }
+            Rule::AmbientRng => {
+                "ambient randomness — every RNG must be seeded from the world or \
+                 measurement seed so reruns are bit-identical"
+            }
+            Rule::UnorderedIter => {
+                "HashMap/HashSet in a serialized path — iteration order is \
+                 per-process random; use BTreeMap/BTreeSet or sort explicitly"
+            }
+            Rule::PanicPath => {
+                "panicking call in measurement-path library code — propagate \
+                 MeasurementError (or the module's typed error) instead"
+            }
+            Rule::PrintPath => {
+                "direct stdout/stderr output in a library crate — route through \
+                 laces-obs telemetry or return the value"
+            }
+            Rule::BadAllow => {
+                "malformed laces-lint allow marker — needs a known rule id and a \
+                 non-empty justification"
+            }
+        }
+    }
+
+    /// Whether this rule applies to the file at workspace-relative `path`
+    /// (forward slashes). Test sources (`tests/` trees) and `#[cfg(test)]`
+    /// regions are exempt from every rule; the latter is handled by the
+    /// scanner, the former here.
+    pub fn applies_to(self, path: &str) -> bool {
+        // R2 holds everywhere we scan: even examples, tests and bench runs
+        // must reproduce from their seeds.
+        if matches!(self, Rule::AmbientRng | Rule::BadAllow) {
+            return true;
+        }
+        if is_test_tree(path) {
+            return false;
+        }
+        match self {
+            Rule::AmbientRng | Rule::BadAllow => unreachable!("handled above"),
+            // R1: library src of every crate except laces-obs (owner of
+            // time) and laces-bench (wall-clock throughput is its job).
+            Rule::WallClock => {
+                is_lib_src(path) && !in_crate(path, "obs") && !in_crate(path, "bench")
+            }
+            // R3: the crates whose in-memory state reaches disk — census
+            // records/stats, telemetry sidecars, world snapshots consumed
+            // by deterministic tests, and bench artifacts.
+            Rule::UnorderedIter => SERIALIZED_PATH_CRATES
+                .iter()
+                .any(|c| in_crate(path, c) && under_src(path)),
+            // R4: measurement-path library code.
+            Rule::PanicPath => {
+                is_lib_src(path) && MEASUREMENT_CRATES.iter().any(|c| in_crate(path, c))
+            }
+            // R5: every library crate (bench is a reporting harness and
+            // prints by design).
+            Rule::PrintPath => is_lib_src(path) && !in_crate(path, "bench"),
+        }
+    }
+}
+
+/// Crates whose library code sits on the measurement path (R4 scope).
+pub const MEASUREMENT_CRATES: [&str; 5] = ["census", "core", "gcd", "netsim", "obs"];
+
+/// Crates whose `src/` feeds serialized artifacts (R3 scope).
+pub const SERIALIZED_PATH_CRATES: [&str; 4] = ["bench", "census", "netsim", "obs"];
+
+fn in_crate(path: &str, name: &str) -> bool {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .is_some_and(|c| c == name)
+}
+
+fn under_src(path: &str) -> bool {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split_once('/'))
+        .is_some_and(|(_, sub)| sub.starts_with("src/"))
+}
+
+/// `crates/<c>/src/**` excluding binaries (`src/bin/**`, `src/main.rs`):
+/// the scope where "library code" rules bite.
+fn is_lib_src(path: &str) -> bool {
+    path.strip_prefix("crates/")
+        .and_then(|rest| rest.split_once('/'))
+        .is_some_and(|(_, sub)| {
+            sub.starts_with("src/") && !sub.starts_with("src/bin/") && sub != "src/main.rs"
+        })
+}
+
+/// Test trees: crate-level `tests/`, the workspace `tests/` crate, bench
+/// `benches/`, and `examples/` (both crate-level and workspace-level).
+fn is_test_tree(path: &str) -> bool {
+    path.starts_with("tests/")
+        || path.starts_with("examples/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+}
+
+/// One raw rule hit, before allow-marker / baseline suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hit {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// 1-based source line.
+    pub line: u32,
+    /// What matched (for the diagnostic), e.g. `Instant::now`.
+    pub matched: String,
+}
+
+const WALL_CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+const AMBIENT_RNG_IDENTS: [&str; 3] = ["OsRng", "from_entropy", "thread_rng"];
+const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const PANIC_METHODS: [&str; 2] = ["expect", "unwrap"];
+const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+const PRINT_MACROS: [&str; 5] = ["dbg", "eprint", "eprintln", "print", "println"];
+
+/// Run every in-scope rule over the token stream. `skip[i]` marks tokens
+/// inside `#[cfg(test)]` items, `#[test]` items or attribute argument
+/// lists — exempt from all rules.
+pub fn check_tokens(path: &str, tokens: &[Token], skip: &[bool]) -> Vec<Hit> {
+    let mut hits = Vec::new();
+    let text = |i: usize| tokens.get(i).map(|t| t.text.as_str());
+    for (i, tok) in tokens.iter().enumerate() {
+        if skip.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = tok.text.as_str();
+        if Rule::WallClock.applies_to(path)
+            && WALL_CLOCK_TYPES.contains(&t)
+            && text(i + 1) == Some("::")
+            && text(i + 2) == Some("now")
+        {
+            hits.push(Hit {
+                rule: Rule::WallClock,
+                line: tok.line,
+                matched: format!("{t}::now"),
+            });
+        }
+        if Rule::AmbientRng.applies_to(path) && AMBIENT_RNG_IDENTS.contains(&t) {
+            hits.push(Hit {
+                rule: Rule::AmbientRng,
+                line: tok.line,
+                matched: t.to_string(),
+            });
+        }
+        if Rule::UnorderedIter.applies_to(path) && UNORDERED_TYPES.contains(&t) {
+            hits.push(Hit {
+                rule: Rule::UnorderedIter,
+                line: tok.line,
+                matched: t.to_string(),
+            });
+        }
+        if Rule::PanicPath.applies_to(path) {
+            // `.unwrap(` / `.expect(` — the exact method, so
+            // `unwrap_or_else` and friends stay legal.
+            if PANIC_METHODS.contains(&t)
+                && i > 0
+                && text(i - 1) == Some(".")
+                && text(i + 1) == Some("(")
+            {
+                hits.push(Hit {
+                    rule: Rule::PanicPath,
+                    line: tok.line,
+                    matched: format!(".{t}()"),
+                });
+            }
+            if PANIC_MACROS.contains(&t) && text(i + 1) == Some("!") {
+                hits.push(Hit {
+                    rule: Rule::PanicPath,
+                    line: tok.line,
+                    matched: format!("{t}!"),
+                });
+            }
+        }
+        if Rule::PrintPath.applies_to(path) && PRINT_MACROS.contains(&t) && text(i + 1) == Some("!")
+        {
+            hits.push(Hit {
+                rule: Rule::PrintPath,
+                line: tok.line,
+                matched: format!("{t}!"),
+            });
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for r in ALL_RULES {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+        }
+        assert_eq!(Rule::from_id("bad-allow"), Some(Rule::BadAllow));
+        assert_eq!(Rule::from_id("no-such-rule"), None);
+    }
+
+    #[test]
+    fn scopes_match_the_workspace_layout() {
+        // R1 exempts obs (owner of time) and bench (measures wall-clock).
+        assert!(Rule::WallClock.applies_to("crates/core/src/worker.rs"));
+        assert!(!Rule::WallClock.applies_to("crates/obs/src/stage.rs"));
+        assert!(!Rule::WallClock.applies_to("crates/bench/src/perf.rs"));
+        assert!(!Rule::WallClock.applies_to("crates/netsim/examples/scale_test.rs"));
+        // R2 applies even to examples.
+        assert!(Rule::AmbientRng.applies_to("examples/quickstart.rs"));
+        // R3 covers serialized-path crates only.
+        assert!(Rule::UnorderedIter.applies_to("crates/census/src/store.rs"));
+        assert!(Rule::UnorderedIter.applies_to("crates/bench/src/artifacts.rs"));
+        assert!(!Rule::UnorderedIter.applies_to("crates/geo/src/cities.rs"));
+        // R4 covers measurement-path library code, not bins or tests.
+        assert!(Rule::PanicPath.applies_to("crates/gcd/src/enumerate.rs"));
+        assert!(!Rule::PanicPath.applies_to("crates/gcd/tests/gcd_e2e.rs"));
+        assert!(!Rule::PanicPath.applies_to("crates/baselines/src/bgptools.rs"));
+        // R5 spares the bench harness and binaries.
+        assert!(Rule::PrintPath.applies_to("crates/census/src/pipeline.rs"));
+        assert!(!Rule::PrintPath.applies_to("crates/bench/src/report.rs"));
+        assert!(!Rule::PrintPath.applies_to("crates/lint/src/main.rs"));
+        // Test trees are exempt from everything except ambient-rng.
+        assert!(Rule::AmbientRng.applies_to("tests/tests/daily_census.rs"));
+        assert!(!Rule::PanicPath.applies_to("crates/core/tests/fault_matrix.rs"));
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end tests of the `laces-lint` binary: exit codes, baseline
+//! gating, and byte-identical `--format json` output across reruns.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_laces-lint"))
+        .args(args)
+        .output()
+        .expect("spawn laces-lint")
+}
+
+#[test]
+fn repo_at_head_exits_zero() {
+    let root = workspace_root();
+    let out = run(&["--root", root.to_str().expect("utf-8 root")]);
+    assert!(
+        out.status.success(),
+        "laces-lint failed on the repo:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn json_output_is_byte_identical_across_reruns() {
+    let root = workspace_root();
+    let root = root.to_str().expect("utf-8 root");
+    let a = run(&["--root", root, "--format", "json"]);
+    let b = run(&["--root", root, "--format", "json"]);
+    assert!(a.status.success() && b.status.success());
+    assert!(!a.stdout.is_empty());
+    assert_eq!(a.stdout, b.stdout, "JSON output must be deterministic");
+}
+
+#[test]
+fn injected_violation_fails_the_run() {
+    // Build a miniature workspace with one violating file and lint it.
+    let dir = std::env::temp_dir().join(format!("laces-lint-cli-{}", std::process::id()));
+    let src_dir = dir.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .expect("write manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    )
+    .expect("write violation");
+
+    let out = run(&["--root", dir.to_str().expect("utf-8 tmp")]);
+    assert_eq!(out.status.code(), Some(1), "violation must exit 1");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("panic-path"), "{text}");
+    assert!(text.contains("crates/core/src/lib.rs:1"), "{text}");
+
+    // A justified inline marker turns the same tree green.
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "pub fn f(x: Option<u8>) -> u8 {\n    // laces-lint: allow(panic-path) — CLI test: caller checks\n    x.unwrap()\n}\n",
+    )
+    .expect("rewrite");
+    let out = run(&["--root", dir.to_str().expect("utf-8 tmp")]);
+    assert_eq!(out.status.code(), Some(0), "allowed site must pass");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn update_baseline_then_clean_pass() {
+    let dir = std::env::temp_dir().join(format!("laces-lint-base-{}", std::process::id()));
+    let src_dir = dir.join("crates/census/src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    std::fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .expect("write manifest");
+    std::fs::write(
+        src_dir.join("lib.rs"),
+        "use std::collections::HashMap;\npub type T = HashMap<u32, u32>;\n",
+    )
+    .expect("write violation");
+    let root = dir.to_str().expect("utf-8 tmp");
+
+    assert_eq!(run(&["--root", root]).status.code(), Some(1));
+    // Record the baseline; entries start unjustified, so the run still
+    // fails — the workflow forces a human to write the why.
+    assert_eq!(
+        run(&["--root", root, "--update-baseline"]).status.code(),
+        Some(0)
+    );
+    assert_eq!(run(&["--root", root]).status.code(), Some(1));
+    // Justify the entries → green.
+    let baseline_path = dir.join("lint-baseline.json");
+    let text = std::fs::read_to_string(&baseline_path).expect("baseline written");
+    let justified = text.replace(
+        "\"justification\": \"\"",
+        "\"justification\": \"CLI test: grandfathered\"",
+    );
+    std::fs::write(&baseline_path, justified).expect("rewrite baseline");
+    let out = run(&["--root", root]);
+    assert_eq!(out.status.code(), Some(0), "justified baseline must pass");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

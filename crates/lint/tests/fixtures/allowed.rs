@@ -1,0 +1,44 @@
+//! Fixture: constructs that LOOK like violations but must not fire —
+//! occurrences inside string literals, comments, attribute arguments and
+//! `#[cfg(test)]` modules — plus correctly-marked allowed sites.
+
+/// Doc comments naming Instant::now(), thread_rng() and HashMap are prose,
+/// not code.
+pub fn strings_and_comments() -> String {
+    // A line comment mentioning SystemTime::now() and x.unwrap() is fine.
+    /* So is a block comment with panic!("...") inside,
+       /* even nested */ and spanning lines. */
+    let cooked = "Instant::now() plus thread_rng() plus HashMap::new()";
+    let raw = r#"SystemTime::now() and x.unwrap() and println!("hi")"#;
+    let raw_hashes = r##"a raw string with "#quotes#" and from_entropy"##;
+    let bytes = b"HashMap in a byte string";
+    let ch = '"'; // a char literal quote must not open a string
+    let lifetime_test: &'static str = "lifetimes are not char literals";
+    format!("{cooked}{raw}{raw_hashes}{bytes:?}{ch}{lifetime_test}")
+}
+
+#[deprecated(note = "call sites used to unwrap() here; mentions in attribute arguments must not fire")]
+pub fn attribute_arguments() {}
+
+pub fn marked_sites(x: Option<u8>) -> u8 {
+    // laces-lint: allow(panic-path) — fixture: justified marker on the line above
+    let a = x.unwrap();
+    let b = x.unwrap(); // laces-lint: allow(panic-path) — fixture: justified trailing marker
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_may_do_what_it_likes() {
+        let t0 = Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1u32, t0);
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        println!("elapsed: {:?}", t0.elapsed());
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: violations meant to be matched by baseline entries (the
+//! grandfathered-site workflow). The test constructs a baseline whose
+//! entries name the excerpts below, and asserts suppression plus
+//! stale-entry reporting.
+
+pub fn grandfathered(x: Option<u8>) -> u8 {
+    x.expect("legacy accessor")
+}
+
+pub fn not_in_baseline(y: Option<u8>) -> u8 {
+    y.unwrap()
+}

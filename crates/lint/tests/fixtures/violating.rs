@@ -1,0 +1,41 @@
+//! Fixture: one honest violation of every rule. Scanned by the test
+//! harness under a pretend measurement-path library location — this file
+//! is never compiled and never scanned by the workspace walk (its
+//! `fixtures/` directory is excluded).
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+pub fn wall_clock_violations() -> u64 {
+    let t0 = Instant::now(); // R1
+    let _wall = SystemTime::now(); // R1
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn ambient_rng_violations() {
+    let mut rng = rand::thread_rng(); // R2
+    let seeded = StdRng::from_entropy(); // R2
+    let _ = (rng.gen::<u8>(), seeded);
+}
+
+pub struct UnorderedState {
+    pub by_prefix: HashMap<u32, u64>, // R3
+    pub seen: HashSet<u32>,           // R3
+}
+
+pub fn panic_violations(x: Option<u8>, y: Result<u8, String>) -> u8 {
+    let a = x.unwrap(); // R4
+    let b = y.expect("always ok"); // R4
+    if a + b > 250 {
+        panic!("overflow"); // R4
+    }
+    if a == 0 {
+        todo!(); // R4
+    }
+    a + b
+}
+
+pub fn print_violations(n: usize) {
+    println!("probing {n} targets"); // R5
+    eprintln!("warning: {n}"); // R5
+}

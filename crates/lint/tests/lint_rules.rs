@@ -1,0 +1,164 @@
+//! Rule-level tests over the fixture corpus.
+//!
+//! Fixtures live in `tests/fixtures/` (excluded from the workspace walk)
+//! and are scanned under *pretend* workspace paths, so every rule's scope
+//! logic is exercised exactly as in production.
+
+use std::collections::BTreeMap;
+
+use laces_lint::baseline::{self, BaselineEntry};
+use laces_lint::rules::Rule;
+use laces_lint::{scan_source, Violation};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Scan a fixture as if it lived at a measurement-path library location.
+fn scan_as_lib(name: &str) -> (Vec<Violation>, usize) {
+    scan_source("crates/core/src/fixture.rs", &fixture(name))
+}
+
+fn count_by_rule(violations: &[Violation]) -> BTreeMap<&'static str, usize> {
+    let mut m = BTreeMap::new();
+    for v in violations {
+        *m.entry(v.rule.id()).or_insert(0) += 1;
+    }
+    m
+}
+
+#[test]
+fn violating_fixture_fires_every_rule() {
+    // Scanned as census src so R3 (serialized path) is in scope too.
+    let (violations, _) = scan_source("crates/census/src/fixture.rs", &fixture("violating.rs"));
+    let counts = count_by_rule(&violations);
+    assert_eq!(counts.get("wall-clock"), Some(&2), "{counts:?}");
+    assert_eq!(counts.get("ambient-rng"), Some(&2), "{counts:?}");
+    // `use ... {HashMap, HashSet}` + two field types.
+    assert_eq!(counts.get("unordered-iter"), Some(&4), "{counts:?}");
+    assert_eq!(counts.get("panic-path"), Some(&4), "{counts:?}");
+    assert_eq!(counts.get("print-path"), Some(&2), "{counts:?}");
+    assert_eq!(counts.get("bad-allow"), None, "{counts:?}");
+}
+
+#[test]
+fn violating_fixture_lines_are_attributed() {
+    let (violations, _) = scan_source("crates/census/src/fixture.rs", &fixture("violating.rs"));
+    let wall: Vec<u32> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::WallClock)
+        .map(|v| v.line)
+        .collect();
+    // Instant::now() / SystemTime::now() sit on fixture lines 10 and 11.
+    assert_eq!(wall, vec![10, 11]);
+    // The excerpt is the trimmed source line — the baseline matching key.
+    let first = violations.iter().find(|v| v.line == 10).unwrap();
+    assert!(first.excerpt.contains("Instant::now()"), "{first:?}");
+}
+
+#[test]
+fn allowed_fixture_is_silent() {
+    let (violations, allowed) = scan_as_lib("allowed.rs");
+    assert!(
+        violations.is_empty(),
+        "strings/comments/attributes/cfg(test)/markers must not fire: {violations:#?}"
+    );
+    // Both justified markers suppressed their `.unwrap()`s.
+    assert_eq!(allowed, 2);
+}
+
+#[test]
+fn scope_gates_rules_by_path() {
+    let src = &fixture("violating.rs");
+    // In a non-serialized, non-measurement crate (geo), only R1 (lib src)
+    // and R2 (everywhere) remain in scope.
+    let (violations, _) = scan_source("crates/geo/src/fixture.rs", src);
+    let counts = count_by_rule(&violations);
+    assert_eq!(counts.get("wall-clock"), Some(&2), "{counts:?}");
+    assert_eq!(counts.get("ambient-rng"), Some(&2), "{counts:?}");
+    assert_eq!(counts.get("unordered-iter"), None, "{counts:?}");
+    assert_eq!(counts.get("panic-path"), None, "{counts:?}");
+    // In the obs crate wall-clock is legal (it owns simulated time).
+    let (violations, _) = scan_source("crates/obs/src/fixture.rs", src);
+    assert_eq!(count_by_rule(&violations).get("wall-clock"), None);
+    // In a test tree only ambient-rng still applies.
+    let (violations, _) = scan_source("crates/core/tests/fixture.rs", src);
+    let counts = count_by_rule(&violations);
+    assert_eq!(counts.get("ambient-rng"), Some(&2), "{counts:?}");
+    assert_eq!(counts.len(), 1, "{counts:?}");
+    // A bench binary may read the wall clock and print.
+    let (violations, _) = scan_source("crates/bench/src/bin/fixture.rs", src);
+    let counts = count_by_rule(&violations);
+    assert_eq!(counts.get("wall-clock"), None, "{counts:?}");
+    assert_eq!(counts.get("print-path"), None, "{counts:?}");
+}
+
+#[test]
+fn baseline_suppresses_and_reports_stale() {
+    let (violations, _) = scan_as_lib("baselined.rs");
+    assert_eq!(violations.len(), 2);
+    let entries = vec![
+        BaselineEntry {
+            file: "crates/core/src/fixture.rs".into(),
+            rule: "panic-path".into(),
+            excerpt: "x.expect(\"legacy accessor\")".into(),
+            justification: "grandfathered accessor, tracked for Option-ification".into(),
+        },
+        BaselineEntry {
+            file: "crates/core/src/fixture.rs".into(),
+            rule: "panic-path".into(),
+            excerpt: "this_site_was_fixed.unwrap()".into(),
+            justification: "site no longer exists".into(),
+        },
+    ];
+    let (remaining, suppressed, stale) = baseline::apply(violations, &entries);
+    assert_eq!(suppressed, 1);
+    assert_eq!(remaining.len(), 1);
+    assert!(remaining[0].excerpt.contains("y.unwrap()"), "{remaining:?}");
+    assert_eq!(stale.len(), 1);
+    assert!(stale[0].excerpt.contains("this_site_was_fixed"));
+}
+
+#[test]
+fn update_baseline_round_trip_is_deterministic() {
+    let (violations, _) = scan_as_lib("baselined.rs");
+    let generated = baseline::regenerate(&violations, &[]);
+    assert_eq!(generated.len(), 2);
+    // Regenerated entries start unjustified; rendering and re-parsing
+    // must survive byte-identically.
+    let text = baseline::render(&generated);
+    let (back, problems) = baseline::parse(&text).unwrap();
+    assert_eq!(problems.len(), 2, "unjustified entries are flagged");
+    assert_eq!(back, generated);
+    assert_eq!(baseline::render(&back), text);
+}
+
+#[test]
+fn repo_is_lint_clean_modulo_baseline() {
+    // The workspace itself must scan clean against its checked-in
+    // baseline: the exact gate CI runs, enforced from the tier-1 suite.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = laces_lint::scan_workspace(&root).expect("scan");
+    let baseline_text =
+        std::fs::read_to_string(root.join("lint-baseline.json")).unwrap_or_default();
+    let (entries, problems) = if baseline_text.is_empty() {
+        (Vec::new(), Vec::new())
+    } else {
+        baseline::parse(&baseline_text).expect("baseline parses")
+    };
+    assert!(
+        problems.is_empty(),
+        "unjustified baseline entries: {problems:?}"
+    );
+    let (remaining, _, stale) = baseline::apply(report.violations, &entries);
+    assert!(
+        remaining.is_empty(),
+        "non-baselined lint violations in the workspace:\n{}",
+        laces_lint::render_human(&remaining, &[])
+    );
+    assert!(stale.is_empty(), "stale baseline entries: {stale:?}");
+}

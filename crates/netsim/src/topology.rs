@@ -140,6 +140,11 @@ impl Topology {
     }
 
     /// The PoP of `as_idx` geographically nearest to `to`.
+    ///
+    /// Generation gives every AS at least one PoP; should that invariant
+    /// ever slip, the world's first city stands in rather than a panic
+    /// mid-measurement (great-circle distances are always finite, so the
+    /// total order below equals the partial one).
     pub fn nearest_pop(&self, db: &CityDb, as_idx: u32, to: &Coord) -> CityId {
         let pops = &self.ases[as_idx as usize].pops;
         *pops
@@ -147,9 +152,9 @@ impl Topology {
             .min_by(|a, b| {
                 let da = db.get(**a).coord.gcd_km(to);
                 let dbd = db.get(**b).coord.gcd_km(to);
-                da.partial_cmp(&dbd).unwrap()
+                da.total_cmp(&dbd)
             })
-            .expect("AS has at least one PoP")
+            .unwrap_or(&CityId(0))
     }
 
     /// The first (home) PoP of an AS.
@@ -177,7 +182,10 @@ impl Topology {
                 }
                 x -= w;
             }
-            *cities.last().unwrap()
+            // Numeric fallthrough (x can exceed every cumulative weight by
+            // a rounding hair): the final city is the correct weighted
+            // pick, and the embedded database is never empty.
+            cities.last().copied().unwrap_or(CityId(0))
         };
 
         // Tier-1 clique.

@@ -39,7 +39,7 @@ pub struct TraceHop {
 /// primitive used on handfuls of targets; the cache is bounded).
 #[derive(Default)]
 pub(crate) struct TraceCache {
-    routes: std::collections::HashMap<u32, Arc<Routes>>,
+    routes: std::collections::BTreeMap<u32, Arc<Routes>>,
 }
 
 static TRACE_CACHE_LIMIT: usize = 512;

@@ -85,6 +85,78 @@ fn world_generation_is_deterministic() {
     }
 }
 
+/// Derived routing state must be identical across two independent
+/// generations of the same config, regardless of the order the lazy
+/// caches were populated in. Regression test for the ordered-map
+/// conversion of the world caches (platform routes, deployment
+/// catchments, traceroute routes) and the bench artifact cache keys.
+#[test]
+fn derived_state_is_identical_across_reruns() {
+    let a = tiny_world();
+    let b = tiny_world();
+
+    // Populate the caches in opposite orders: lookups must not depend on
+    // insertion order.
+    let pids: Vec<_> = (0..a.platforms.len() as u16)
+        .map(laces_netsim::PlatformId)
+        .filter(|&pid| a.platform(pid).is_anycast())
+        .collect();
+    for &pid in &pids {
+        a.platform_routes(pid);
+    }
+    for &pid in pids.iter().rev() {
+        b.platform_routes(pid);
+    }
+    for &pid in &pids {
+        let ra = a.platform_routes(pid);
+        let rb = b.platform_routes(pid);
+        assert_eq!(ra.dist, rb.dist, "platform {pid:?} route distances");
+        assert_eq!(
+            format!("{:?}", ra.origins),
+            format!("{:?}", rb.origins),
+            "platform {pid:?} origin tie-sets"
+        );
+    }
+
+    let dids: Vec<_> = (0..a.deployments.len() as u32)
+        .map(laces_netsim::DeploymentId)
+        .collect();
+    for &did in dids.iter().rev() {
+        a.dep_catchment(did);
+    }
+    for &did in &dids {
+        assert_eq!(
+            format!("{:?}", a.dep_catchment(did).per_vp),
+            format!("{:?}", b.dep_catchment(did).per_vp),
+            "deployment {did:?} catchment"
+        );
+    }
+
+    // forward_site goes through the vp_as_pos index; spot-check every
+    // deployment from every registered VP AS on two days.
+    for &did in &dids {
+        for &vp_as in a.vp_ases() {
+            for day in [0, 7] {
+                assert_eq!(
+                    a.forward_site(did, vp_as, day),
+                    b.forward_site(did, vp_as, day),
+                    "forward_site({did:?}, {vp_as}, {day})"
+                );
+            }
+        }
+    }
+
+    // Traceroutes exercise the destination-route cache; compare full hop
+    // lists for a sample of targets from the first platform's first VP.
+    let pid = pids[0];
+    for tid in (0..a.n_targets()).step_by(a.n_targets() / 16 + 1) {
+        let dst = target_addr(&a, laces_netsim::TargetId(tid as u32), 9);
+        let ha = a.traceroute(pid, 0, dst, 3);
+        let hb = b.traceroute(pid, 0, dst, 3);
+        assert_eq!(format!("{ha:?}"), format!("{hb:?}"), "traceroute to {dst}");
+    }
+}
+
 #[test]
 fn population_counts_match_config() {
     let w = tiny_world();

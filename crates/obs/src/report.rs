@@ -123,6 +123,7 @@ impl RunReport {
             let mut pairs = vec![("kind".to_string(), Value::Str(kind.to_string()))];
             pairs.extend(fields);
             let line = Value::Obj(pairs);
+            // laces-lint: allow(panic-path) — the line is an already-built Value tree; rendering it cannot fail
             out.push_str(&serde_json::to_string(&line).expect("telemetry line serialises"));
             out.push('\n');
         };
@@ -151,6 +152,7 @@ impl RunReport {
                     ("name".to_string(), Value::Str(name.clone())),
                     (
                         "snapshot".to_string(),
+                        // laces-lint: allow(panic-path) — HistogramSnapshot is plain counters; to_value on it is infallible
                         serde_json::to_value(snapshot).expect("snapshot maps to a value"),
                     ),
                 ],
@@ -161,6 +163,7 @@ impl RunReport {
                 "stage",
                 vec![(
                     "stage".to_string(),
+                    // laces-lint: allow(panic-path) — StageReport is plain named fields; to_value on it is infallible
                     serde_json::to_value(stage).expect("stage maps to a value"),
                 )],
             );
@@ -170,6 +173,7 @@ impl RunReport {
                 "degraded",
                 vec![(
                     "reason".to_string(),
+                    // laces-lint: allow(panic-path) — DegradedReason is a fieldless-or-plain enum; to_value on it is infallible
                     serde_json::to_value(reason).expect("reason maps to a value"),
                 )],
             );
