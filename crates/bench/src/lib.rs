@@ -17,11 +17,13 @@ pub mod artifacts;
 pub mod extras;
 pub mod figures;
 pub mod perf;
+pub mod probing;
 pub mod report;
 pub mod tables;
 
 pub use artifacts::{Artifacts, Scale};
 pub use perf::{run_perf, PerfReport};
+pub use probing::{run_probing_bench, ProbingBench};
 pub use report::Report;
 
 /// An experiment: id and the function that produces its report.

@@ -65,8 +65,8 @@ impl AnycastClassification {
             o.rx_workers.insert(r.rx_worker);
             o.n_responses += 1;
             if let Some(c) = &r.chaos_identity {
-                if !o.chaos_values.contains(c.as_str()) {
-                    o.chaos_values.insert(c.clone());
+                if !o.chaos_values.contains(c.as_ref()) {
+                    o.chaos_values.insert(c.as_ref().to_string());
                 }
             }
         }

@@ -55,6 +55,12 @@ pub enum MeasurementError {
         /// What is wrong with the plan.
         detail: String,
     },
+    /// The spec's probe-batch size is zero: a worker receiving empty
+    /// batches could never make progress.
+    InvalidBatchSize {
+        /// The offending batch size.
+        batch_size: usize,
+    },
 }
 
 impl std::fmt::Display for MeasurementError {
@@ -97,6 +103,9 @@ impl std::fmt::Display for MeasurementError {
             }
             MeasurementError::InvalidFaultPlan { detail } => {
                 write!(f, "invalid fault plan: {detail}")
+            }
+            MeasurementError::InvalidBatchSize { batch_size } => {
+                write!(f, "invalid batch size {batch_size}; must be at least 1")
             }
         }
     }

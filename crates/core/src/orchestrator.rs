@@ -32,7 +32,7 @@ use crate::results::{
     MeasurementOutcome, WorkerEvent, WorkerFailure, WorkerHealth, WorkerStatus, WorkerTelemetry,
 };
 use crate::spec::MeasurementSpec;
-use crate::worker::{run_worker, ProbeOrder, StartOrder, WorkerOut};
+use crate::worker::{run_worker, ProbeBatch, ProbeOrder, StartOrder, WorkerOut};
 
 /// How many orders may queue per worker before the hitlist stream blocks
 /// (the paper's Orchestrator buffers the hitlist and streams it; workers
@@ -218,8 +218,11 @@ pub fn run_measurement_abortable(
     let mut order_rxs = Vec::with_capacity(n_workers);
     let mut cap_txs = Vec::with_capacity(n_workers);
     let mut cap_rxs = Vec::with_capacity(n_workers);
+    // The queue bound is denominated in *orders*: batching the stream must
+    // not multiply the per-worker in-flight window by the batch size.
+    let batch_queue = (ORDER_QUEUE / spec.batch_size.max(1)).max(1);
     for _ in 0..n_workers {
-        let (ot, or) = channel::bounded::<ProbeOrder>(ORDER_QUEUE);
+        let (ot, or) = channel::bounded::<ProbeBatch>(batch_queue);
         order_txs.push(ot);
         order_rxs.push(or);
         let (ct, cr) = channel::unbounded();
@@ -296,10 +299,29 @@ pub fn run_measurement_abortable(
         scope.spawn(move || {
             let mut txs: Vec<Option<_>> = order_txs.into_iter().map(Some).collect();
             let mut sent = vec![0usize; txs.len()];
+            // Per-worker batch accumulators: one channel send per
+            // `spec.batch_size` orders instead of one per target. Fault
+            // semantics stay per-order — delays and closes are applied to
+            // individual orders before they enter a batch.
+            let mut pending: Vec<Vec<ProbeOrder>> = txs.iter().map(|_| Vec::new()).collect();
+            let flush =
+                |w: usize, pending: &mut Vec<Vec<ProbeOrder>>, tx: &channel::Sender<ProbeBatch>| {
+                    if pending[w].is_empty() {
+                        return;
+                    }
+                    let orders = std::mem::take(&mut pending[w]);
+                    orders_streamed.add(orders.len() as u64);
+                    let _ = tx.send(ProbeBatch { orders });
+                };
+            let mut aborted = false;
             let mut last_window = 0u64;
             for (i, &target) in spec.targets.iter().enumerate() {
                 if stream_abort.is_aborted() {
                     // CLI disconnected: stop streaming; workers wind down.
+                    // Accumulated but unsent batches are dropped — the
+                    // abort cuts the stream at a batch boundary (R3: no
+                    // unnecessary probes).
+                    aborted = true;
                     break;
                 }
                 let window = window_start_ms(i, spec.rate_per_s);
@@ -325,15 +347,28 @@ pub fn run_measurement_abortable(
                         }
                         if f.close_after.is_some_and(|c| sent[w] >= c) {
                             // Dropping the sender closes the worker's order
-                            // stream; it completes with what it received.
-                            txs[w] = None;
+                            // stream; it completes with what it received —
+                            // including a final partial batch.
+                            if let Some(tx) = txs[w].take() {
+                                flush(w, &mut pending, &tx);
+                            }
                             continue;
                         }
                     }
                     if let Some(tx) = &txs[w] {
-                        let _ = tx.send(order);
+                        pending[w].push(order);
                         sent[w] += 1;
-                        orders_streamed.inc();
+                        if pending[w].len() >= spec.batch_size {
+                            flush(w, &mut pending, tx);
+                        }
+                    }
+                }
+            }
+            // End of hitlist: flush the partial tail batches.
+            if !aborted {
+                for (w, tx) in txs.iter().enumerate() {
+                    if let Some(tx) = tx {
+                        flush(w, &mut pending, tx);
                     }
                 }
             }
@@ -343,8 +378,8 @@ pub fn run_measurement_abortable(
         // Aggregate the live result stream (this is the CLI's sink file).
         for msg in out_rx.iter() {
             match msg {
-                WorkerOut::Record(r) => {
-                    records.push(r);
+                WorkerOut::Records(batch) => {
+                    records.extend(batch);
                     if spec
                         .faults
                         .abort_after_records

@@ -1,6 +1,8 @@
 //! Measurement results: the records workers stream back and their
 //! aggregation at the CLI.
 
+use std::sync::Arc;
+
 use laces_netsim::PlatformId;
 use laces_obs::{Degraded, DegradedReason, RunReport};
 use laces_packet::{PrefixKey, Protocol};
@@ -26,8 +28,9 @@ pub struct ProbeRecord {
     pub tx_time_ms: Option<u64>,
     /// Capture time.
     pub rx_time_ms: u64,
-    /// CHAOS identity disclosed by the responder, if any.
-    pub chaos_identity: Option<String>,
+    /// CHAOS identity disclosed by the responder, if any. `Arc<str>` so
+    /// fabric duplicates and classification share one allocation.
+    pub chaos_identity: Option<Arc<str>>,
 }
 
 impl ProbeRecord {

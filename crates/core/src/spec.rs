@@ -17,6 +17,14 @@ use crate::error::MeasurementError;
 use crate::fault::FaultPlan;
 use crate::orchestrator::PRECHECK_ID_BIT;
 
+/// Default probe-batch size: how many orders the Orchestrator groups into
+/// one channel send toward each worker, and how many probes a worker hands
+/// to the wire per `send_probe_batch` call. Tuned by the probing bench
+/// (BENCH_pr4.json): 256 amortizes channel wakeups and fabric flushes into
+/// large frames while the in-flight window per worker stays modest; larger
+/// sizes measured flat to slightly worse.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
 /// A complete measurement definition.
 #[derive(Debug, Clone)]
 pub struct MeasurementSpec {
@@ -47,6 +55,13 @@ pub struct MeasurementSpec {
     /// `None` means every worker probes. Used by the single-VP
     /// responsiveness precheck (paper §6 future work).
     pub senders: Option<Vec<u16>>,
+    /// Orders per [`ProbeBatch`](crate::worker::ProbeBatch): the
+    /// Orchestrator issues `ceil(n_targets / batch_size)` channel sends per
+    /// worker instead of one per target. Purely a transport knob — records,
+    /// classification and telemetry are bit-identical across batch sizes
+    /// (the probe schedule and all RNG draws are keyed on per-probe
+    /// coordinates, never on the batching).
+    pub batch_size: usize,
 }
 
 impl MeasurementSpec {
@@ -70,6 +85,7 @@ impl MeasurementSpec {
             day,
             faults: FaultPlan::default(),
             senders: None,
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 
@@ -159,6 +175,14 @@ impl MeasurementSpecBuilder {
         self
     }
 
+    /// Set the probe-batch size (orders per channel send; default
+    /// [`DEFAULT_BATCH_SIZE`]). Outputs are invariant in this knob; it only
+    /// trades channel overhead against the per-worker in-flight window.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.spec.batch_size = batch_size;
+        self
+    }
+
     /// Validate the definition against `world` and produce the spec.
     ///
     /// # Errors
@@ -171,9 +195,13 @@ impl MeasurementSpecBuilder {
     /// * [`MeasurementError::SenderOutOfRange`] — a sender restriction
     ///   names a worker the platform does not have;
     /// * [`MeasurementError::InvalidFaultPlan`] — a fabric rate outside
-    ///   [0, 1] or a fault scheduled on a nonexistent worker.
+    ///   [0, 1] or a fault scheduled on a nonexistent worker;
+    /// * [`MeasurementError::InvalidBatchSize`] — a batch size of zero.
     pub fn build(self, world: &World) -> Result<MeasurementSpec, MeasurementError> {
         let spec = self.spec;
+        if spec.batch_size == 0 {
+            return Err(MeasurementError::InvalidBatchSize { batch_size: 0 });
+        }
         let platform = world.platform(spec.platform);
         if !platform.is_anycast() {
             return Err(MeasurementError::NotAnycast {

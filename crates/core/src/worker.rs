@@ -1,27 +1,43 @@
 //! The Worker component.
 //!
 //! A Worker runs at one site of the anycast measurement platform. It
-//! receives a sealed start order, then a stream of probe orders from the
+//! receives a sealed start order, then a stream of probe batches from the
 //! Orchestrator; for each order it transmits one probe at its scheduled
 //! offset. Replies captured at its site (which may answer *other* workers'
 //! probes — that is the whole point of the methodology) are validated
-//! against the measurement id and streamed back as [`ProbeRecord`]s
-//! immediately, so a worker holds neither the hitlist nor results (R10) and
-//! its loss costs only its own captures (R5).
+//! against the measurement id and streamed back as [`ProbeRecord`]s in
+//! small batches, so a worker holds neither the hitlist nor results (R10)
+//! and its loss costs only its own captures (R5).
+//!
+//! The hot path is allocation-lean: the worker resolves its route handles
+//! once into a [`ProbeSession`], builds probe bytes into a reused buffer
+//! pool, and hands whole batches to [`World::send_probe_batch`] — no lock
+//! acquisition and no fresh allocation per probe in steady state. Batching
+//! is purely a transport concern: the probe schedule, every RNG draw, and
+//! all telemetry totals are keyed on per-order coordinates, so outputs are
+//! bit-identical across batch sizes.
 
 use std::net::IpAddr;
 use std::sync::Arc;
 
 use crossbeam::channel::{Receiver, Sender, TrySendError};
-use laces_netsim::wire::{CaptureFaults, FabricStats, FabricVerdict, MeasurementCtx, ProbeSource};
+use laces_netsim::wire::{
+    BatchProbe, CaptureFaults, FabricStats, FabricVerdict, MeasurementCtx, ProbeSource,
+};
 use laces_netsim::{Delivery, PlatformId, WireStats, World};
 use laces_obs::Counter;
-use laces_packet::probe::{build_probe, parse_reply, ProbeMeta};
+use laces_packet::probe::{build_probe_into, parse_reply, ProbeMeta};
 use laces_packet::{PrefixKey, ProbeEncoding, Protocol};
 use serde::{Deserialize, Serialize};
 
 use crate::auth::{AuthKey, Sealed};
 use crate::results::{ProbeRecord, WorkerEvent, WorkerFailure, WorkerTelemetry};
+
+/// How many validated records a worker accumulates before flushing a
+/// [`WorkerOut::Records`] batch to the Orchestrator. Purely a transport
+/// knob (the aggregate record multiset is batch-independent); kept
+/// internal because nothing observable depends on it.
+const RECORD_FLUSH: usize = 256;
 
 /// The sealed instruction that starts a worker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -62,11 +78,25 @@ pub struct ProbeOrder {
     pub window_start_ms: u64,
 }
 
+/// A batch of probe orders: one channel send from the Orchestrator carries
+/// up to `spec.batch_size` orders, so streaming a hitlist of `n` targets
+/// costs `ceil(n / batch_size)` sends per worker instead of `n`.
+///
+/// Fault semantics stay per-*order*: a crash scheduled after N orders fires
+/// mid-batch exactly where it would have fired in an unbatched stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeBatch {
+    /// The orders, in schedule order.
+    pub orders: Vec<ProbeOrder>,
+}
+
 /// Messages a worker emits toward the Orchestrator/CLI.
 #[derive(Debug, Clone)]
 pub enum WorkerOut {
-    /// A validated capture.
-    Record(ProbeRecord),
+    /// A batch of validated captures. The Orchestrator merges batches
+    /// order-independently (records are canonically re-sorted), so the
+    /// flush granularity never shows in the outcome.
+    Records(Vec<ProbeRecord>),
     /// Lifecycle event.
     Event(WorkerEvent),
 }
@@ -88,22 +118,57 @@ impl std::fmt::Display for WorkerError {
 
 impl std::error::Error for WorkerError {}
 
+/// Validate one capture and buffer the record (flushed in batches by the
+/// caller). Anything that is not a reply to this measurement (other
+/// measurements, backscatter) is dropped exactly as the real capture
+/// filter drops it.
+fn process_capture(
+    d: &Delivery,
+    measurement_id: u32,
+    rx_worker: u16,
+    records: &mut Vec<ProbeRecord>,
+    records_streamed: &Counter,
+    captures_rejected: &Counter,
+) {
+    if let Ok(info) = parse_reply(&d.packet, measurement_id, d.rx_time_ms) {
+        records.push(ProbeRecord {
+            prefix: PrefixKey::of(d.packet.src),
+            protocol: info.protocol,
+            rx_worker,
+            tx_worker: info.tx_worker,
+            tx_time_ms: info.tx_time_ms,
+            rx_time_ms: d.rx_time_ms,
+            chaos_identity: info.chaos_identity,
+        });
+        records_streamed.inc();
+    } else {
+        captures_rejected.inc();
+    }
+}
+
+/// Flush buffered records as one [`WorkerOut::Records`] batch.
+fn flush_records(records: &mut Vec<ProbeRecord>, out: &Sender<WorkerOut>) {
+    if !records.is_empty() {
+        let _ = out.send(WorkerOut::Records(std::mem::take(records)));
+    }
+}
+
 /// Run a worker to completion.
 ///
-/// * `orders` — probe orders from the Orchestrator; channel close ends the
-///   probing phase.
-/// * `captures` — replies the wire delivers to this site (fed by all
+/// * `orders` — probe-order batches from the Orchestrator; channel close
+///   ends the probing phase.
+/// * `captures` — reply batches the wire delivers to this site (fed by all
 ///   workers' sends); channel close (every peer finished) ends the capture
 ///   phase.
 /// * `fabric` — capture senders toward every worker, indexed by site.
-/// * `out` — stream of records and lifecycle events toward the CLI.
+/// * `out` — stream of record batches and lifecycle events toward the CLI.
 pub fn run_worker(
     world: &Arc<World>,
     key: AuthKey,
     start: Sealed<StartOrder>,
-    orders: Receiver<ProbeOrder>,
-    captures: Receiver<Delivery>,
-    fabric: Vec<Sender<Delivery>>,
+    orders: Receiver<ProbeBatch>,
+    captures: Receiver<Vec<Delivery>>,
+    fabric: Vec<Sender<Vec<Delivery>>>,
     out: Sender<WorkerOut>,
 ) -> Result<(), WorkerError> {
     let start = start.open(key).ok_or(WorkerError::BadAuth)?;
@@ -116,6 +181,9 @@ pub fn run_worker(
         platform: start.platform,
         site: start.worker_id as usize,
     };
+    // Resolve the per-worker route handles once, at start-order time: the
+    // probing loop below never touches the world's route cache lock.
+    let mut session = world.probe_session(source);
 
     // Worker-local telemetry: the wire and fabric stats observe sends, the
     // capture counters observe the filter. All are order-independent sums,
@@ -135,76 +203,136 @@ pub fn run_worker(
     // phase (the capture channel is unbounded, so nothing was lost).
     let doomed = start.fail_after.is_some();
 
-    let process_capture = |d: Delivery, out: &Sender<WorkerOut>| {
-        // Validate the capture belongs to this measurement; anything else
-        // (other measurements, backscatter) is dropped exactly as the real
-        // capture filter drops it.
-        if let Ok(info) = parse_reply(&d.packet, start.measurement_id, d.rx_time_ms) {
-            let record = ProbeRecord {
-                prefix: PrefixKey::of(d.packet.src),
-                protocol: info.protocol,
-                rx_worker: start.worker_id,
-                tx_worker: info.tx_worker,
-                tx_time_ms: info.tx_time_ms,
-                rx_time_ms: d.rx_time_ms,
-                chaos_identity: info.chaos_identity,
-            };
-            records_streamed.inc();
-            let _ = out.send(WorkerOut::Record(record));
-        } else {
-            captures_rejected.inc();
-        }
-    };
+    // Reused across batches: probe byte buffers (one per order slot),
+    // the wire's delivery output, per-site fabric accumulators, and the
+    // outgoing record buffer. Steady state allocates nothing per probe.
+    let mut pool: Vec<Vec<u8>> = Vec::new();
+    let mut deliveries: Vec<Delivery> = Vec::new();
+    let mut pending: Vec<Vec<Delivery>> = fabric.iter().map(|_| Vec::new()).collect();
+    let mut records: Vec<ProbeRecord> = Vec::new();
 
-    // Probing phase: interleave order processing with opportunistic capture
+    // Probing phase: interleave batch processing with opportunistic capture
     // draining (results stream out while probing is still under way).
     let mut processed_orders = 0usize;
-    for (processed, order) in orders.iter().enumerate() {
-        if start.fail_after.is_some_and(|limit| processed >= limit) {
-            failed = true;
-            break;
-        }
-        processed_orders += 1;
-
-        let tx_time = order.window_start_ms + start.offset_ms * u64::from(start.worker_id);
-        let meta = ProbeMeta {
-            measurement_id: start.measurement_id,
-            worker_id: start.worker_id,
-            tx_time_ms: tx_time,
+    for batch in orders.iter() {
+        // "Crash after N orders" counts *orders*, not batches: truncate the
+        // batch at the crash point so the worker dies exactly where it
+        // would have in an unbatched stream.
+        let take = match start.fail_after {
+            Some(limit) => {
+                let remaining = limit.saturating_sub(processed_orders);
+                if remaining < batch.orders.len() {
+                    failed = true;
+                }
+                remaining.min(batch.orders.len())
+            }
+            None => batch.orders.len(),
         };
-        let pkt = build_probe(
-            start.src_addr,
-            order.target,
-            start.protocol,
-            &meta,
-            start.encoding,
-        );
-        if let Ok(Some(delivery)) = world.send_probe_observed(
-            source,
-            &pkt,
-            tx_time,
-            order.window_start_ms,
-            &ctx,
-            &wire_stats,
-        ) {
-            let verdict = start.fabric_faults.map_or(FabricVerdict::Deliver, |f| {
-                f.verdict_observed(&delivery, &fabric_stats)
-            });
-            if verdict != FabricVerdict::Drop {
+
+        if take > 0 {
+            if pool.len() < take {
+                pool.resize_with(take, Vec::new);
+            }
+            let tx_offset = start.offset_ms * u64::from(start.worker_id);
+            for (order, buf) in batch.orders[..take].iter().zip(pool.iter_mut()) {
+                let meta = ProbeMeta {
+                    measurement_id: start.measurement_id,
+                    worker_id: start.worker_id,
+                    tx_time_ms: order.window_start_ms + tx_offset,
+                };
+                build_probe_into(
+                    start.src_addr,
+                    order.target,
+                    start.protocol,
+                    &meta,
+                    start.encoding,
+                    buf,
+                );
+            }
+            let probes: Vec<BatchProbe<'_>> = batch.orders[..take]
+                .iter()
+                .zip(pool.iter())
+                .map(|(order, bytes)| BatchProbe {
+                    dst: order.target,
+                    bytes,
+                    tx_time_ms: order.window_start_ms + tx_offset,
+                    window_start_ms: order.window_start_ms,
+                })
+                .collect();
+            let _ = world.send_probe_batch(
+                &mut session,
+                start.src_addr,
+                start.protocol,
+                &probes,
+                &ctx,
+                &wire_stats,
+                &mut deliveries,
+            );
+            processed_orders += take;
+
+            for delivery in deliveries.drain(..) {
+                let verdict = start.fabric_faults.map_or(FabricVerdict::Deliver, |f| {
+                    f.verdict_observed(&delivery, &fabric_stats)
+                });
+                if verdict == FabricVerdict::Drop {
+                    continue;
+                }
                 let rx = delivery.rx_index;
-                if let Some(s) = fabric.get(rx) {
+                if rx == usize::from(start.worker_id) && rx < fabric.len() && !doomed {
+                    // Self-delivery: this worker is its own capture site, so
+                    // skip the fabric round-trip and validate in place.
                     if verdict == FabricVerdict::Duplicate {
-                        forward(s, delivery.clone());
+                        process_capture(
+                            &delivery,
+                            start.measurement_id,
+                            start.worker_id,
+                            &mut records,
+                            &records_streamed,
+                            &captures_rejected,
+                        );
                     }
-                    forward(s, delivery);
+                    process_capture(
+                        &delivery,
+                        start.measurement_id,
+                        start.worker_id,
+                        &mut records,
+                        &records_streamed,
+                        &captures_rejected,
+                    );
+                } else if let Some(p) = pending.get_mut(rx) {
+                    if verdict == FabricVerdict::Duplicate {
+                        p.push(delivery.clone());
+                    }
+                    p.push(delivery);
+                }
+            }
+            // One fabric send per (batch, receiving site) with captures.
+            for (p, s) in pending.iter_mut().zip(&fabric) {
+                if !p.is_empty() {
+                    forward(s, std::mem::take(p));
                 }
             }
         }
 
+        if failed {
+            break;
+        }
         if !doomed {
-            while let Ok(d) = captures.try_recv() {
-                process_capture(d, &out);
+            while let Ok(caps) = captures.try_recv() {
+                for d in &caps {
+                    process_capture(
+                        d,
+                        start.measurement_id,
+                        start.worker_id,
+                        &mut records,
+                        &records_streamed,
+                        &captures_rejected,
+                    );
+                }
             }
+        }
+        if records.len() >= RECORD_FLUSH {
+            flush_records(&mut records, &out);
         }
     }
 
@@ -232,6 +360,7 @@ pub fn run_worker(
         captures_rejected,
     };
     if failed {
+        flush_records(&mut records, &out);
         let _ = out.send(WorkerOut::Event(WorkerEvent::Failed {
             worker: start.worker_id,
             telemetry: telemetry(records_streamed.get(), captures_rejected.get()),
@@ -241,9 +370,22 @@ pub fn run_worker(
     }
 
     // Capture phase: drain until every worker has dropped its senders.
-    for d in captures.iter() {
-        process_capture(d, &out);
+    for caps in captures.iter() {
+        for d in &caps {
+            process_capture(
+                d,
+                start.measurement_id,
+                start.worker_id,
+                &mut records,
+                &records_streamed,
+                &captures_rejected,
+            );
+        }
+        if records.len() >= RECORD_FLUSH {
+            flush_records(&mut records, &out);
+        }
     }
+    flush_records(&mut records, &out);
     let _ = out.send(WorkerOut::Event(WorkerEvent::Done {
         worker: start.worker_id,
         telemetry: telemetry(records_streamed.get(), captures_rejected.get()),
@@ -251,10 +393,10 @@ pub fn run_worker(
     Ok(())
 }
 
-/// Forward a delivery into a site's capture queue. A send can only fail if
-/// the receiving worker crashed; the reply is then lost with it, like
+/// Forward a capture batch into a site's queue. A send can only fail if
+/// the receiving worker crashed; the replies are then lost with it, like
 /// packets to a dead site.
-fn forward(s: &Sender<Delivery>, d: Delivery) {
+fn forward(s: &Sender<Vec<Delivery>>, d: Vec<Delivery>) {
     match s.try_send(d) {
         Ok(()) | Err(TrySendError::Disconnected(_)) => {}
         Err(TrySendError::Full(d)) => {

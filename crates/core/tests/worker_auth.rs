@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use crossbeam::channel;
 use laces_core::auth::{AuthKey, Sealed};
-use laces_core::worker::{run_worker, ProbeOrder, StartOrder, WorkerError, WorkerOut};
+use laces_core::worker::{run_worker, ProbeBatch, ProbeOrder, StartOrder, WorkerError, WorkerOut};
 use laces_netsim::wire::{MeasurementCtx, ProbeSource};
 use laces_netsim::{platform as plat, World, WorldConfig};
 use laces_packet::probe::{build_probe, ProbeEncoding, ProbeMeta};
@@ -39,7 +39,7 @@ fn worker_refuses_unauthenticated_start_order() {
     let bad_key = AuthKey::derive(2);
     let sealed = Sealed::seal(bad_key, start_order(&w, 900));
 
-    let (_order_tx, order_rx) = channel::bounded::<ProbeOrder>(8);
+    let (_order_tx, order_rx) = channel::bounded::<ProbeBatch>(8);
     let (_cap_tx, cap_rx) = channel::unbounded();
     let (out_tx, out_rx) = channel::unbounded::<WorkerOut>();
 
@@ -97,11 +97,11 @@ fn worker_discards_captures_from_other_measurements() {
         .unwrap()
         .expect("target responds");
 
-    let (order_tx, order_rx) = channel::bounded::<ProbeOrder>(8);
+    let (order_tx, order_rx) = channel::bounded::<ProbeBatch>(8);
     let (cap_tx, cap_rx) = channel::unbounded();
     let (out_tx, out_rx) = channel::unbounded::<WorkerOut>();
 
-    cap_tx.send(delivery).unwrap();
+    cap_tx.send(vec![delivery]).unwrap();
     drop(cap_tx);
     drop(order_tx); // no orders: worker goes straight to the capture phase
 
@@ -140,18 +140,31 @@ fn worker_processes_orders_and_validates_own_captures() {
         })
         .collect();
 
-    let (order_tx, order_rx) = channel::bounded::<ProbeOrder>(64);
+    let (order_tx, order_rx) = channel::bounded::<ProbeBatch>(64);
     let (cap_tx, cap_rx) = channel::unbounded();
     let (out_tx, out_rx) = channel::unbounded::<WorkerOut>();
 
-    for (i, &t) in targets.iter().enumerate() {
-        order_tx
-            .send(ProbeOrder {
-                target: t,
-                window_start_ms: i as u64 * 100,
-            })
-            .unwrap();
-    }
+    let orders: Vec<ProbeOrder> = targets
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| ProbeOrder {
+            target: t,
+            window_start_ms: i as u64 * 100,
+        })
+        .collect();
+    // Deliberately uneven batch split: the worker must treat batch
+    // boundaries as pure transport framing.
+    let (head, tail) = orders.split_at(13);
+    order_tx
+        .send(ProbeBatch {
+            orders: head.to_vec(),
+        })
+        .unwrap();
+    order_tx
+        .send(ProbeBatch {
+            orders: tail.to_vec(),
+        })
+        .unwrap();
     drop(order_tx);
 
     // Fabric: route every delivery back to this single worker regardless of
@@ -159,10 +172,13 @@ fn worker_processes_orders_and_validates_own_captures() {
     run_worker(&w, key, sealed, order_rx, cap_rx, vec![cap_tx; 32], out_tx).unwrap();
 
     let msgs: Vec<WorkerOut> = out_rx.iter().collect();
-    let records = msgs
+    let records: usize = msgs
         .iter()
-        .filter(|m| matches!(m, WorkerOut::Record(_)))
-        .count();
+        .filter_map(|m| match m {
+            WorkerOut::Records(rs) => Some(rs.len()),
+            _ => None,
+        })
+        .sum();
     let done = msgs.iter().any(|m| {
         matches!(
             m,

@@ -142,7 +142,9 @@ pub fn participating_vps(
     platform: PlatformId,
     cfg: &GcdConfig,
 ) -> Vec<(usize, Coord)> {
-    let vps = world.platform(platform).vps();
+    let Some(vps) = world.platform(platform).vps() else {
+        return Vec::new();
+    };
     let mut active: Vec<(usize, Coord)> = vps
         .iter()
         .enumerate()

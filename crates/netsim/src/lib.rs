@@ -69,7 +69,7 @@ pub use targets::{ChaosProfile, Hijack, Resp, Target, TargetId, TargetKind};
 pub use topology::{AsNode, Tier, TopoConfig, Topology};
 pub use trace::TraceHop;
 pub use wire::{
-    flip_probability, CaptureFaults, Delivery, FabricStats, FabricVerdict, MeasurementCtx,
-    ProbeSource, WireStats,
+    flip_probability, BatchProbe, CaptureFaults, Delivery, FabricStats, FabricVerdict,
+    MeasurementCtx, ProbeSession, ProbeSource, WireStats,
 };
 pub use world::{StandardPlatforms, World, WorldConfig};

@@ -73,19 +73,19 @@ impl Platform {
         matches!(self.kind, PlatformKind::Anycast { .. })
     }
 
-    /// Sites of an anycast platform (panics for unicast platforms).
-    pub fn sites(&self) -> &[Site] {
+    /// Sites of an anycast platform (`None` for unicast platforms).
+    pub fn sites(&self) -> Option<&[Site]> {
         match &self.kind {
-            PlatformKind::Anycast { sites } => sites,
-            PlatformKind::Unicast { .. } => panic!("unicast platform has no anycast sites"),
+            PlatformKind::Anycast { sites } => Some(sites),
+            PlatformKind::Unicast { .. } => None,
         }
     }
 
-    /// VPs of a unicast platform (panics for anycast platforms).
-    pub fn vps(&self) -> &[Vp] {
+    /// VPs of a unicast platform (`None` for anycast platforms).
+    pub fn vps(&self) -> Option<&[Vp]> {
         match &self.kind {
-            PlatformKind::Unicast { vps } => vps,
-            PlatformKind::Anycast { .. } => panic!("anycast platform has no unicast VPs"),
+            PlatformKind::Unicast { vps } => Some(vps),
+            PlatformKind::Anycast { .. } => None,
         }
     }
 }

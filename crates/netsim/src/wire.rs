@@ -9,16 +9,22 @@
 //! delivers them to the vantage point that BGP would deliver them to, with
 //! an RTT from the latency model.
 
+use bytes::Bytes;
+use laces_geo::Coord;
 use laces_obs::Counter;
-use laces_packet::probe::Packet;
+use laces_packet::probe::{Packet, PacketView};
 use laces_packet::{PacketError, PrefixKey, Protocol};
 use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
 use std::net::IpAddr;
+use std::sync::Arc;
 
+use crate::deployments::DeploymentId;
 use crate::platform::{PlatformId, PlatformKind};
 use crate::rng;
+use crate::routing::{Routes, TieSet};
 use crate::targets::{ChaosProfile, TargetKind};
-use crate::world::World;
+use crate::world::{forward_site_in, receiving_site_in, DepCatchment, World};
 
 /// Where a probe is being sent from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -203,7 +209,76 @@ fn host_of(addr: IpAddr) -> u8 {
     }
 }
 
+/// Pre-resolved per-worker probing state: the route handles
+/// (`Arc<Routes>`, `Arc<DepCatchment>`) a sender needs are fetched from the
+/// `World` caches once at start-order time, and the reply/chaos scratch
+/// buffers are owned here, so [`World::send_probe_batch`] never touches the
+/// cache `RwLock` and allocates nothing per probe in its steady state.
+#[derive(Debug)]
+pub struct ProbeSession {
+    src: ProbeSource,
+    src_platform: PlatformId,
+    src_as: u32,
+    /// Position of `src_as` in the VP-AS table, resolved once.
+    src_vp_pos: Option<u16>,
+    src_coord: Coord,
+    /// Reply routing toward the sender's own platform (workers only).
+    routes: Option<Arc<Routes>>,
+    /// Forward catchment of every deployment, indexed by `DeploymentId`.
+    catchments: Vec<Arc<DepCatchment>>,
+    chaos_buf: String,
+    reply_buf: Vec<u8>,
+}
+
+impl ProbeSession {
+    /// The source this session probes from.
+    pub fn source(&self) -> ProbeSource {
+        self.src
+    }
+}
+
+/// One pre-built probe inside a batch handed to [`World::send_probe_batch`].
+/// The transport bytes are borrowed (typically from a worker-owned buffer
+/// pool filled by `build_probe_into`).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchProbe<'a> {
+    /// Destination address.
+    pub dst: IpAddr,
+    /// Pre-serialized transport bytes.
+    pub bytes: &'a [u8],
+    /// Virtual transmit time of this probe.
+    pub tx_time_ms: u64,
+    /// Virtual time the *first* worker probes this target.
+    pub window_start_ms: u64,
+}
+
 impl World {
+    /// Resolve everything a sender needs for a measurement's probing loop —
+    /// done once at start-order time, so the per-probe path is lock-free.
+    pub fn probe_session(&self, src: ProbeSource) -> ProbeSession {
+        let (src_platform, src_idx) = match src {
+            ProbeSource::Worker { platform, site } => (platform, site),
+            ProbeSource::Vp { platform, vp } => (platform, vp),
+        };
+        let src_as = self.platform(src_platform).vp_as(src_idx);
+        ProbeSession {
+            src,
+            src_platform,
+            src_as,
+            src_vp_pos: self.vp_as_position(src_as),
+            src_coord: self.vantage_coord(src_platform, src_idx),
+            routes: match src {
+                ProbeSource::Worker { platform, .. } => Some(self.platform_routes(platform)),
+                ProbeSource::Vp { .. } => None,
+            },
+            catchments: (0..self.deployments.len() as u32)
+                .map(|d| self.dep_catchment(DeploymentId(d)))
+                .collect(),
+            chaos_buf: String::new(),
+            reply_buf: Vec::new(),
+        }
+    }
+
     /// Deliver a probe; returns the reply delivery, or `None` when the
     /// target does not exist, is down or unresponsive on this protocol, the
     /// probe is lost, or the reply cannot route back.
@@ -224,6 +299,138 @@ impl World {
         tx_time_ms: u64,
         window_start_ms: u64,
         ctx: &MeasurementCtx,
+    ) -> Result<Option<Delivery>, PacketError> {
+        let (src_platform, src_idx) = match src {
+            ProbeSource::Worker { platform, site } => (platform, site),
+            ProbeSource::Vp { platform, vp } => (platform, vp),
+        };
+        let src_as = self.platform(src_platform).vp_as(src_idx);
+        let mut chaos_buf = String::new();
+        let mut reply_buf = Vec::new();
+        self.send_probe_core(
+            src,
+            src_platform,
+            self.vantage_coord(src_platform, src_idx),
+            &packet.view(),
+            tx_time_ms,
+            window_start_ms,
+            ctx,
+            |dep| self.forward_site(dep, src_as, ctx.day),
+            |responder_as| self.receiving_site(src_platform, responder_as, ctx.day),
+            &mut chaos_buf,
+            &mut reply_buf,
+        )
+    }
+
+    /// The lock-free batched sending path: every probe of `probes` goes
+    /// through the same decision pipeline as [`World::send_probe`], but
+    /// route lookups resolve against the session's pre-fetched handles and
+    /// reply synthesis reuses the session's buffers. Wire statistics are
+    /// accumulated locally and added to `stats` once per batch (the sums
+    /// are identical to per-probe increments).
+    ///
+    /// Deliveries are appended to `out` (cleared first) in probe order.
+    ///
+    /// # Errors
+    ///
+    /// Malformed probe bytes surface as `Err` after the whole batch has
+    /// been processed (the malformed probe itself elicits nothing, exactly
+    /// as on the scalar path); the first error wins.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_probe_batch(
+        &self,
+        session: &mut ProbeSession,
+        src_addr: IpAddr,
+        protocol: Protocol,
+        probes: &[BatchProbe<'_>],
+        ctx: &MeasurementCtx,
+        stats: &WireStats,
+        out: &mut Vec<Delivery>,
+    ) -> Result<(), PacketError> {
+        out.clear();
+        let ProbeSession {
+            src,
+            src_platform,
+            src_as,
+            src_vp_pos,
+            src_coord,
+            routes,
+            catchments,
+            chaos_buf,
+            reply_buf,
+        } = session;
+        let (src, src_platform, src_as, src_vp_pos, src_coord) =
+            (*src, *src_platform, *src_as, *src_vp_pos, *src_coord);
+        let routes = routes.as_deref();
+        let catchments: &[Arc<DepCatchment>] = catchments;
+        let seed = self.cfg.seed;
+        let day = ctx.day;
+        let mut unanswered: u64 = 0;
+        let mut first_err: Option<PacketError> = None;
+        for p in probes {
+            let view = PacketView {
+                src: src_addr,
+                dst: p.dst,
+                protocol,
+                bytes: p.bytes,
+            };
+            let sent = self.send_probe_core(
+                src,
+                src_platform,
+                src_coord,
+                &view,
+                p.tx_time_ms,
+                p.window_start_ms,
+                ctx,
+                |dep| {
+                    let pos = src_vp_pos?;
+                    forward_site_in(seed, &catchments[dep.0 as usize], pos, dep, src_as, day)
+                },
+                |responder_as| receiving_site_in(seed, routes?, src_platform, responder_as, day),
+                chaos_buf,
+                reply_buf,
+            );
+            match sent {
+                Ok(Some(d)) => out.push(d),
+                Ok(None) => unanswered += 1,
+                // A malformed probe is counted as a probe but elicits
+                // nothing — same accounting as the scalar observed path.
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        stats.probes.add(probes.len() as u64);
+        stats.deliveries.add(out.len() as u64);
+        stats.unanswered.add(unanswered);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The shared decision pipeline behind [`World::send_probe`] and
+    /// [`World::send_probe_batch`]. `forward` and `receiving` abstract the
+    /// route-table access (locked caches on the scalar path, pre-resolved
+    /// session handles on the batched path) and MUST be backed by
+    /// [`forward_site_in`] / [`receiving_site_in`] so the RNG draws are
+    /// bit-identical between paths.
+    #[allow(clippy::too_many_arguments)]
+    fn send_probe_core(
+        &self,
+        src: ProbeSource,
+        src_platform: PlatformId,
+        src_coord: Coord,
+        packet: &PacketView<'_>,
+        tx_time_ms: u64,
+        window_start_ms: u64,
+        ctx: &MeasurementCtx,
+        mut forward: impl FnMut(DeploymentId) -> Option<(usize, u16)>,
+        mut receiving: impl FnMut(u32) -> Option<(usize, u16, TieSet)>,
+        chaos_buf: &mut String,
+        reply_buf: &mut Vec<u8>,
     ) -> Result<Option<Delivery>, PacketError> {
         let Some(tid) = self.lookup(PrefixKey::of(packet.dst)) else {
             return Ok(None);
@@ -258,12 +465,6 @@ impl World {
             return Ok(None);
         }
 
-        let src_platform = match src {
-            ProbeSource::Worker { platform, .. } | ProbeSource::Vp { platform, .. } => platform,
-        };
-        let src_as = self.platform(src_platform).vp_as(src_idx);
-        let src_coord = self.vantage_coord(src_platform, src_idx);
-
         // --- Who responds, and from where? ---------------------------------
         let host = host_of(packet.dst);
         let acts_anycast = target.is_anycast_at(host, ctx.day)
@@ -278,7 +479,7 @@ impl World {
                 | TargetKind::BackingAnycast { dep, .. } => dep,
                 _ => unreachable!("acts_anycast implies a deployment"),
             };
-            let Some((site, dist)) = self.forward_site(dep, src_as, ctx.day) else {
+            let Some((site, dist)) = forward(dep) else {
                 return Ok(None);
             };
             let s = &self.deployment(dep).sites[site];
@@ -339,30 +540,36 @@ impl World {
         };
 
         // --- Synthesize the reply bytes -------------------------------------
-        let chaos_identity: Option<String> = if packet.protocol == Protocol::Chaos {
+        // The identity is borrowed, not cloned: per-site identities point
+        // into the deployment table, colo identities are formatted into the
+        // reusable scratch buffer.
+        let chaos_identity: Option<&str> = if packet.protocol == Protocol::Chaos {
             match (target.ns, site_idx) {
                 (Some(ChaosProfile::PerSite), Some((dep, site))) => {
-                    Some(self.deployment(dep).sites[site].chaos_identity.clone())
+                    Some(self.deployment(dep).sites[site].chaos_identity.as_str())
                 }
-                (Some(ChaosProfile::PerSite), None) => Some("ns-single-site".to_string()),
-                (Some(ChaosProfile::Colo(k)), _) => Some(format!(
-                    "auth{}",
-                    1 + rng::below(rng::mix(probe_key, 0xC010), k.max(1) as usize)
-                )),
+                (Some(ChaosProfile::PerSite), None) => Some("ns-single-site"),
+                (Some(ChaosProfile::Colo(k)), _) => {
+                    chaos_buf.clear();
+                    let _ = write!(
+                        chaos_buf,
+                        "auth{}",
+                        1 + rng::below(rng::mix(probe_key, 0xC010), k.max(1) as usize)
+                    );
+                    Some(chaos_buf.as_str())
+                }
                 (None, _) => None,
             }
         } else {
             None
         };
-        let reply = laces_packet::probe::build_reply(packet, chaos_identity.as_deref())?;
+        laces_packet::probe::build_reply_into(packet, chaos_identity, reply_buf)?;
 
         // --- Route the reply back -------------------------------------------
         let (rx_index, hops_back, rx_coord) = match src {
             ProbeSource::Vp { .. } => (src_idx, hops_fwd, src_coord),
             ProbeSource::Worker { platform, .. } => {
-                let Some((primary, dist_back, ties)) =
-                    self.receiving_site(platform, responder_as, ctx.day)
-                else {
+                let Some((primary, dist_back, ties)) = receiving(responder_as) else {
                     return Ok(None);
                 };
                 let mut site = primary;
@@ -393,7 +600,9 @@ impl World {
                         }
                     }
                 }
-                let sites = self.platform(platform).sites();
+                let Some(sites) = self.platform(platform).sites() else {
+                    return Ok(None);
+                };
                 (site, dist_back, self.db.get(sites[site].city).coord)
             }
         };
@@ -421,7 +630,12 @@ impl World {
         }
         let rx_time_ms = tx_time_ms + (rtt.ceil() as u64).max(1);
         Ok(Some(Delivery {
-            packet: reply,
+            packet: Packet {
+                src: packet.dst,
+                dst: packet.src,
+                protocol: packet.protocol,
+                bytes: Bytes::copy_from_slice(reply_buf),
+            },
             rx_index,
             rx_time_ms,
             rtt_ms: rtt,

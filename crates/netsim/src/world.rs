@@ -576,9 +576,8 @@ impl World {
         // --- Production catchment, for jittery-target placement ------------
         let prod_origin_ases: Vec<u32> = platforms[production.0 as usize]
             .sites()
-            .iter()
-            .map(|s| s.as_idx)
-            .collect();
+            .map(|sites| sites.iter().map(|s| s.as_idx).collect())
+            .unwrap_or_default();
         let prod_routes = routing::compute(&topo, &prod_origin_ases);
         let tie_stubs: Vec<u32> = stub_range
             .clone()
@@ -1012,7 +1011,13 @@ impl World {
         if let Some(r) = self.caches.read().platform_routes.get(&id.0) {
             return Arc::clone(r);
         }
-        let origins: Vec<u32> = self.platform(id).sites().iter().map(|s| s.as_idx).collect();
+        // A unicast platform has no anycast sites: an empty origin set makes
+        // every AS unreachable, which downstream treats as "no receiver".
+        let origins: Vec<u32> = self
+            .platform(id)
+            .sites()
+            .map(|sites| sites.iter().map(|s| s.as_idx).collect())
+            .unwrap_or_default();
         let routes = Arc::new(routing::compute(&self.topo, &origins));
         self.caches
             .write()
@@ -1053,14 +1058,20 @@ impl World {
     /// the AS-path distance. Returns `None` if `src_as` is not a registered
     /// VP AS or the deployment is unreachable from it.
     pub fn forward_site(&self, dep: DeploymentId, src_as: u32, day: u32) -> Option<(usize, u16)> {
-        let pos = *self.vp_as_pos.get(&src_as)?;
-        let c = self.dep_catchment(dep);
-        let (ties, dist) = c.per_vp[pos as usize];
-        if ties.is_empty() {
-            return None;
-        }
-        let pick = sticky_tie_pick(self.cfg.seed, 0xF02D, dep.0 as u64, src_as, day, ties.len());
-        Some((ties.as_slice()[pick] as usize, dist))
+        let pos = self.vp_as_position(src_as)?;
+        forward_site_in(
+            self.cfg.seed,
+            &self.dep_catchment(dep),
+            pos,
+            dep,
+            src_as,
+            day,
+        )
+    }
+
+    /// Position of `src_as` in the registered VP-AS table, if registered.
+    pub(crate) fn vp_as_position(&self, src_as: u32) -> Option<u16> {
+        self.vp_as_pos.get(&src_as).copied()
     }
 
     /// Which worker (site index) of anycast platform `platform` receives a
@@ -1072,24 +1083,13 @@ impl World {
         responder_as: u32,
         day: u32,
     ) -> Option<(usize, u16, TieSet)> {
-        let routes = self.platform_routes(platform);
-        let ties = routes.origins[responder_as as usize];
-        if ties.is_empty() {
-            return None;
-        }
-        let pick = sticky_tie_pick(
+        receiving_site_in(
             self.cfg.seed,
-            0x2CAE,
-            platform.0 as u64,
+            &self.platform_routes(platform),
+            platform,
             responder_as,
             day,
-            ties.len(),
-        );
-        Some((
-            ties.as_slice()[pick] as usize,
-            routes.dist[responder_as as usize],
-            ties,
-        ))
+        )
     }
 
     /// For a flipped route: the site a responder fails over to. If the tie
@@ -1111,7 +1111,9 @@ impl World {
         if !others.is_empty() {
             return others[rng::below(key, others.len())] as usize;
         }
-        let sites = self.platform(platform).sites();
+        let Some(sites) = self.platform(platform).sites() else {
+            return primary;
+        };
         let pc = self.db.get(sites[primary].city).coord;
         let mut best = primary;
         let mut best_d = f64::INFINITY;
@@ -1147,6 +1149,54 @@ const DAILY_TIE_REROLL: f64 = 0.06;
 
 /// A *sticky* tie-break: the same member is chosen every day, except that
 /// with probability [`DAILY_TIE_REROLL`] per day the choice re-rolls.
+/// Lock-free body of [`World::forward_site`]: which site of `dep` a probe
+/// from VP-AS position `pos` reaches on `day`, given an already-resolved
+/// catchment handle. Shared by the scalar path and `ProbeSession`, so both
+/// draw from identical RNG keys.
+pub(crate) fn forward_site_in(
+    seed: u64,
+    catchment: &DepCatchment,
+    pos: u16,
+    dep: DeploymentId,
+    src_as: u32,
+    day: u32,
+) -> Option<(usize, u16)> {
+    let (ties, dist) = catchment.per_vp[pos as usize];
+    if ties.is_empty() {
+        return None;
+    }
+    let pick = sticky_tie_pick(seed, 0xF02D, dep.0 as u64, src_as, day, ties.len());
+    Some((ties.as_slice()[pick] as usize, dist))
+}
+
+/// Lock-free body of [`World::receiving_site`], given an already-resolved
+/// routing table toward the platform's sites.
+pub(crate) fn receiving_site_in(
+    seed: u64,
+    routes: &Routes,
+    platform: PlatformId,
+    responder_as: u32,
+    day: u32,
+) -> Option<(usize, u16, TieSet)> {
+    let ties = routes.origins[responder_as as usize];
+    if ties.is_empty() {
+        return None;
+    }
+    let pick = sticky_tie_pick(
+        seed,
+        0x2CAE,
+        platform.0 as u64,
+        responder_as,
+        day,
+        ties.len(),
+    );
+    Some((
+        ties.as_slice()[pick] as usize,
+        routes.dist[responder_as as usize],
+        ties,
+    ))
+}
+
 fn sticky_tie_pick(seed: u64, tag: u64, scope: u64, as_idx: u32, day: u32, n: usize) -> usize {
     if n <= 1 {
         return 0;

@@ -141,30 +141,38 @@ pub fn parse_probe_qname(qname: &str) -> Result<ProbeMeta, PacketError> {
 
 /// Build an A (or AAAA, for v6 measurements) query carrying `meta`.
 pub fn build_probe_query(meta: &ProbeMeta, qtype: u16) -> Vec<u8> {
-    serialize(
-        meta.worker_id,
-        false,
-        &[Question {
-            qname: probe_qname(meta),
-            qtype,
-            qclass: CLASS_IN,
-        }],
-        &[],
-    )
+    let mut out = Vec::with_capacity(64);
+    write_probe_query(meta, qtype, &mut out);
+    out
+}
+
+/// Append the wire bytes of [`build_probe_query`] to `out`, minting the
+/// probe qname directly into the buffer (no `String` allocation).
+pub fn write_probe_query(meta: &ProbeMeta, qtype: u16, out: &mut Vec<u8>) {
+    write_header(meta.worker_id, false, 1, 0, out);
+    out.push(29); // label: 'p' + 28 hex chars
+    out.push(b'p');
+    push_hex(out, u64::from(meta.measurement_id), 8);
+    push_hex(out, u64::from(meta.worker_id), 4);
+    push_hex(out, meta.tx_time_ms, 16);
+    write_name(out, PROBE_ZONE);
+    out.extend_from_slice(&qtype.to_be_bytes());
+    out.extend_from_slice(&CLASS_IN.to_be_bytes());
 }
 
 /// Build a CHAOS `hostname.bind TXT` query; attribution via the id field.
 pub fn build_chaos_query(worker_id: u16) -> Vec<u8> {
-    serialize(
-        worker_id,
-        false,
-        &[Question {
-            qname: CHAOS_QNAME.to_string(),
-            qtype: TYPE_TXT,
-            qclass: CLASS_CH,
-        }],
-        &[],
-    )
+    let mut out = Vec::with_capacity(32);
+    write_chaos_query(worker_id, &mut out);
+    out
+}
+
+/// Append the wire bytes of [`build_chaos_query`] to `out`.
+pub fn write_chaos_query(worker_id: u16, out: &mut Vec<u8>) {
+    write_header(worker_id, false, 1, 0, out);
+    write_name(out, CHAOS_QNAME);
+    out.extend_from_slice(&TYPE_TXT.to_be_bytes());
+    out.extend_from_slice(&CLASS_CH.to_be_bytes());
 }
 
 /// The answer a simulated DNS server attaches.
@@ -178,33 +186,101 @@ pub enum DnsAnswerData {
     Txt(String),
 }
 
+impl DnsAnswerData {
+    /// Borrow as the allocation-free [`DnsAnswerRef`] variant.
+    pub fn borrowed(&self) -> DnsAnswerRef<'_> {
+        match self {
+            DnsAnswerData::A(a) => DnsAnswerRef::A(*a),
+            DnsAnswerData::Aaaa(a) => DnsAnswerRef::Aaaa(*a),
+            DnsAnswerData::Txt(s) => DnsAnswerRef::Txt(s),
+        }
+    }
+}
+
+/// Borrowed form of [`DnsAnswerData`] so responses can be written without
+/// cloning the TXT identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DnsAnswerRef<'a> {
+    /// IN A record.
+    A(Ipv4Addr),
+    /// IN AAAA record.
+    Aaaa(Ipv6Addr),
+    /// TXT character-string (CHAOS identity).
+    Txt(&'a str),
+}
+
 /// Build the response to `query`, echoing its question and id.
 pub fn build_response(query: &DnsMessage, answer: Option<DnsAnswerData>) -> Vec<u8> {
-    let q = query.questions.first().cloned();
-    let answers: Vec<ResourceRecord> = match (q.as_ref(), answer) {
-        (Some(q), Some(data)) => {
-            let (rtype, rclass, rdata) = match data {
-                DnsAnswerData::A(a) => (TYPE_A, CLASS_IN, a.octets().to_vec()),
-                DnsAnswerData::Aaaa(a) => (TYPE_AAAA, CLASS_IN, a.octets().to_vec()),
-                DnsAnswerData::Txt(s) => {
-                    let bytes = s.into_bytes();
-                    let mut rdata = Vec::with_capacity(bytes.len() + 1);
-                    rdata.push(bytes.len().min(255) as u8);
-                    rdata.extend_from_slice(&bytes[..bytes.len().min(255)]);
-                    (TYPE_TXT, query.questions[0].qclass, rdata)
-                }
-            };
-            vec![ResourceRecord {
-                name: q.qname.clone(),
-                rtype,
-                rclass,
-                ttl: 60,
-                rdata,
-            }]
+    let mut out = Vec::with_capacity(64);
+    write_response(
+        query,
+        answer.as_ref().map(DnsAnswerData::borrowed),
+        &mut out,
+    );
+    out
+}
+
+/// Append the wire bytes of [`build_response`] to `out` without building
+/// intermediate `ResourceRecord`s.
+pub fn write_response(query: &DnsMessage, answer: Option<DnsAnswerRef<'_>>, out: &mut Vec<u8>) {
+    let q = query.questions.first();
+    let ancount = u16::from(q.is_some() && answer.is_some());
+    write_header(query.id, true, query.questions.len() as u16, ancount, out);
+    for q in &query.questions {
+        write_name(out, &q.qname);
+        out.extend_from_slice(&q.qtype.to_be_bytes());
+        out.extend_from_slice(&q.qclass.to_be_bytes());
+    }
+    if let (Some(q), Some(data)) = (q, answer) {
+        write_name(out, &q.qname);
+        let (rtype, rclass) = match data {
+            DnsAnswerRef::A(_) => (TYPE_A, CLASS_IN),
+            DnsAnswerRef::Aaaa(_) => (TYPE_AAAA, CLASS_IN),
+            DnsAnswerRef::Txt(_) => (TYPE_TXT, q.qclass),
+        };
+        out.extend_from_slice(&rtype.to_be_bytes());
+        out.extend_from_slice(&rclass.to_be_bytes());
+        out.extend_from_slice(&60u32.to_be_bytes()); // ttl
+        match data {
+            DnsAnswerRef::A(a) => {
+                out.extend_from_slice(&4u16.to_be_bytes());
+                out.extend_from_slice(&a.octets());
+            }
+            DnsAnswerRef::Aaaa(a) => {
+                out.extend_from_slice(&16u16.to_be_bytes());
+                out.extend_from_slice(&a.octets());
+            }
+            DnsAnswerRef::Txt(s) => {
+                // One character-string, capped at the 255-byte TXT limit.
+                let bytes = &s.as_bytes()[..s.len().min(255)];
+                out.extend_from_slice(&((bytes.len() + 1) as u16).to_be_bytes());
+                out.push(bytes.len() as u8);
+                out.extend_from_slice(bytes);
+            }
         }
-        _ => Vec::new(),
-    };
-    serialize(query.id, true, &query.questions, &answers)
+    }
+}
+
+fn write_header(id: u16, response: bool, qdcount: u16, ancount: u16, out: &mut Vec<u8>) {
+    out.extend_from_slice(&id.to_be_bytes());
+    // Flags: QR bit plus RD for queries (cosmetic; targets ignore it).
+    let flags: u16 = if response { 0x8180 } else { 0x0100 };
+    out.extend_from_slice(&flags.to_be_bytes());
+    out.extend_from_slice(&qdcount.to_be_bytes());
+    out.extend_from_slice(&ancount.to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes()); // nscount
+    out.extend_from_slice(&0u16.to_be_bytes()); // arcount
+}
+
+fn push_hex(out: &mut Vec<u8>, v: u64, width: u32) {
+    for i in (0..width).rev() {
+        let nibble = ((v >> (i * 4)) & 0xF) as u8;
+        out.push(if nibble < 10 {
+            b'0' + nibble
+        } else {
+            b'a' + (nibble - 10)
+        });
+    }
 }
 
 fn write_name(buf: &mut Vec<u8>, name: &str) {
@@ -215,37 +291,6 @@ fn write_name(buf: &mut Vec<u8>, name: &str) {
         buf.extend_from_slice(bytes);
     }
     buf.push(0);
-}
-
-fn serialize(
-    id: u16,
-    response: bool,
-    questions: &[Question],
-    answers: &[ResourceRecord],
-) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(64);
-    buf.extend_from_slice(&id.to_be_bytes());
-    // Flags: QR bit plus RD for queries (cosmetic; targets ignore it).
-    let flags: u16 = if response { 0x8180 } else { 0x0100 };
-    buf.extend_from_slice(&flags.to_be_bytes());
-    buf.extend_from_slice(&(questions.len() as u16).to_be_bytes());
-    buf.extend_from_slice(&(answers.len() as u16).to_be_bytes());
-    buf.extend_from_slice(&0u16.to_be_bytes()); // nscount
-    buf.extend_from_slice(&0u16.to_be_bytes()); // arcount
-    for q in questions {
-        write_name(&mut buf, &q.qname);
-        buf.extend_from_slice(&q.qtype.to_be_bytes());
-        buf.extend_from_slice(&q.qclass.to_be_bytes());
-    }
-    for rr in answers {
-        write_name(&mut buf, &rr.name);
-        buf.extend_from_slice(&rr.rtype.to_be_bytes());
-        buf.extend_from_slice(&rr.rclass.to_be_bytes());
-        buf.extend_from_slice(&rr.ttl.to_be_bytes());
-        buf.extend_from_slice(&(rr.rdata.len() as u16).to_be_bytes());
-        buf.extend_from_slice(&rr.rdata);
-    }
-    buf
 }
 
 fn read_name(bytes: &[u8], mut pos: usize) -> Result<(String, usize), PacketError> {

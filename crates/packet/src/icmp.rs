@@ -63,23 +63,29 @@ impl IcmpEcho {
 /// Serialise the probe metadata into the echo payload.
 pub fn encode_payload(meta: &ProbeMeta, encoding: ProbeEncoding) -> Vec<u8> {
     let mut p = Vec::with_capacity(PAYLOAD_LEN);
-    p.extend_from_slice(PAYLOAD_MAGIC);
-    p.push(PAYLOAD_VERSION);
-    p.extend_from_slice(&meta.measurement_id.to_be_bytes());
+    encode_payload_into(meta, encoding, &mut p);
+    p
+}
+
+/// Append the echo payload for `meta` to `out` (no intermediate allocation).
+pub fn encode_payload_into(meta: &ProbeMeta, encoding: ProbeEncoding, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(PAYLOAD_MAGIC);
+    out.push(PAYLOAD_VERSION);
+    out.extend_from_slice(&meta.measurement_id.to_be_bytes());
     match encoding {
         ProbeEncoding::PerWorker => {
-            p.extend_from_slice(&meta.worker_id.to_be_bytes());
-            p.extend_from_slice(&meta.tx_time_ms.to_be_bytes());
+            out.extend_from_slice(&meta.worker_id.to_be_bytes());
+            out.extend_from_slice(&meta.tx_time_ms.to_be_bytes());
         }
         ProbeEncoding::Static => {
             // §5.1.4 load-balancer experiment: every worker sends byte-for-byte
             // identical probes, so neither worker id nor timestamp may vary.
-            p.extend_from_slice(&STATIC_WORKER_SENTINEL.to_be_bytes());
-            p.extend_from_slice(&0u64.to_be_bytes());
+            out.extend_from_slice(&STATIC_WORKER_SENTINEL.to_be_bytes());
+            out.extend_from_slice(&0u64.to_be_bytes());
         }
     }
-    debug_assert_eq!(p.len(), PAYLOAD_LEN);
-    p
+    debug_assert_eq!(out.len() - start, PAYLOAD_LEN);
 }
 
 /// Recover probe metadata from an echoed payload.
@@ -118,6 +124,20 @@ pub fn build_echo_request(
     meta: &ProbeMeta,
     encoding: ProbeEncoding,
 ) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + PAYLOAD_LEN);
+    build_echo_request_into(src, dst, meta, encoding, &mut out);
+    out
+}
+
+/// [`build_echo_request`] into a reusable buffer: `out` is cleared and
+/// refilled; the steady state allocates nothing.
+pub fn build_echo_request_into(
+    src: IpAddr,
+    dst: IpAddr,
+    meta: &ProbeMeta,
+    encoding: ProbeEncoding,
+    out: &mut Vec<u8>,
+) {
     let seq = match encoding {
         // The sequence number also varies per worker, mimicking a ping train
         // (the paper's synchronized probing looks like one ping per second
@@ -130,14 +150,9 @@ pub fn build_echo_request(
     } else {
         V6_ECHO_REQUEST
     };
-    serialize(
-        src,
-        dst,
-        req_type,
-        ECHO_IDENT,
-        seq,
-        &encode_payload(meta, encoding),
-    )
+    write_header(req_type, ECHO_IDENT, seq, out);
+    encode_payload_into(meta, encoding, out);
+    patch_checksum(src, dst, out);
 }
 
 /// Build the echo reply a responsive target produces for `request`.
@@ -146,47 +161,99 @@ pub fn build_echo_request(
 /// copied verbatim; only the type changes and the checksum is recomputed
 /// (with source and destination swapped for the v6 pseudo-header).
 pub fn build_echo_reply(req_src: IpAddr, req_dst: IpAddr, request: &IcmpEcho) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + request.payload.len());
+    build_echo_reply_into(req_src, req_dst, &request.view(), &mut out);
+    out
+}
+
+/// [`build_echo_reply`] into a reusable buffer from a borrowed request view.
+pub fn build_echo_reply_into(
+    req_src: IpAddr,
+    req_dst: IpAddr,
+    request: &IcmpEchoView<'_>,
+    out: &mut Vec<u8>,
+) {
     let reply_type = if req_src.is_ipv4() {
         V4_ECHO_REPLY
     } else {
         V6_ECHO_REPLY
     };
-    serialize(
-        req_dst,
-        req_src,
-        reply_type,
-        request.ident,
-        request.seq,
-        &request.payload,
-    )
+    write_header(reply_type, request.ident, request.seq, out);
+    out.extend_from_slice(request.payload);
+    patch_checksum(req_dst, req_src, out);
 }
 
-fn serialize(
-    src: IpAddr,
-    dst: IpAddr,
-    icmp_type: u8,
-    ident: u16,
-    seq: u16,
-    payload: &[u8],
-) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(8 + payload.len());
-    buf.push(icmp_type);
-    buf.push(0); // code
-    buf.extend_from_slice(&[0, 0]); // checksum placeholder
-    buf.extend_from_slice(&ident.to_be_bytes());
-    buf.extend_from_slice(&seq.to_be_bytes());
-    buf.extend_from_slice(payload);
+fn write_header(icmp_type: u8, ident: u16, seq: u16, out: &mut Vec<u8>) {
+    out.clear();
+    out.push(icmp_type);
+    out.push(0); // code
+    out.extend_from_slice(&[0, 0]); // checksum placeholder
+    out.extend_from_slice(&ident.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+}
+
+fn patch_checksum(src: IpAddr, dst: IpAddr, buf: &mut [u8]) {
     let ck = if src.is_ipv4() {
-        checksum::internet_checksum(&buf)
+        checksum::internet_checksum(buf)
     } else {
-        checksum::pseudo_header_checksum(src, dst, 58, &buf)
+        checksum::pseudo_header_checksum(src, dst, 58, buf)
     };
     buf[2..4].copy_from_slice(&ck.to_be_bytes());
-    buf
+}
+
+/// A parsed ICMP echo message borrowing its payload from the packet bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcmpEchoView<'a> {
+    /// ICMP type octet.
+    pub icmp_type: u8,
+    /// Identifier field.
+    pub ident: u16,
+    /// Sequence number field.
+    pub seq: u16,
+    /// Echo payload (borrowed).
+    pub payload: &'a [u8],
+}
+
+impl IcmpEchoView<'_> {
+    /// Whether this is an echo request (either family).
+    pub fn is_request(&self) -> bool {
+        self.icmp_type == V4_ECHO_REQUEST || self.icmp_type == V6_ECHO_REQUEST
+    }
+
+    /// Whether this is an echo reply (either family).
+    pub fn is_reply(&self) -> bool {
+        self.icmp_type == V4_ECHO_REPLY || self.icmp_type == V6_ECHO_REPLY
+    }
+}
+
+impl IcmpEcho {
+    /// Borrow this message as an [`IcmpEchoView`].
+    pub fn view(&self) -> IcmpEchoView<'_> {
+        IcmpEchoView {
+            icmp_type: self.icmp_type,
+            ident: self.ident,
+            seq: self.seq,
+            payload: &self.payload,
+        }
+    }
 }
 
 /// Parse and checksum-verify an ICMP message.
 pub fn parse(src: IpAddr, dst: IpAddr, bytes: &[u8]) -> Result<IcmpEcho, PacketError> {
+    parse_view(src, dst, bytes).map(|v| IcmpEcho {
+        icmp_type: v.icmp_type,
+        ident: v.ident,
+        seq: v.seq,
+        payload: v.payload.to_vec(),
+    })
+}
+
+/// [`parse`] without copying the payload out of `bytes`.
+pub fn parse_view<'a>(
+    src: IpAddr,
+    dst: IpAddr,
+    bytes: &'a [u8],
+) -> Result<IcmpEchoView<'a>, PacketError> {
     if bytes.len() < 8 {
         return Err(PacketError::Truncated {
             what: "ICMP header",
@@ -208,11 +275,11 @@ pub fn parse(src: IpAddr, dst: IpAddr, bytes: &[u8]) -> Result<IcmpEcho, PacketE
             what: "nonzero ICMP code",
         });
     }
-    Ok(IcmpEcho {
+    Ok(IcmpEchoView {
         icmp_type,
         ident: u16::from_be_bytes(bytes[4..6].try_into().unwrap()),
         seq: u16::from_be_bytes(bytes[6..8].try_into().unwrap()),
-        payload: bytes[8..].to_vec(),
+        payload: &bytes[8..],
     })
 }
 

@@ -2,6 +2,7 @@
 //! reply attribution across all supported protocols.
 
 use std::net::IpAddr;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -105,6 +106,32 @@ pub struct Packet {
     pub bytes: Bytes,
 }
 
+impl Packet {
+    /// Borrow this packet as a [`PacketView`].
+    pub fn view(&self) -> PacketView<'_> {
+        PacketView {
+            src: self.src,
+            dst: self.dst,
+            protocol: self.protocol,
+            bytes: &self.bytes,
+        }
+    }
+}
+
+/// A borrowed packet: what the hot path hands around so replies can be built
+/// from reused buffers without constructing a [`Packet`] first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketView<'a> {
+    /// Source address.
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// Transport protocol of `bytes`.
+    pub protocol: Protocol,
+    /// Serialized transport message (borrowed).
+    pub bytes: &'a [u8],
+}
+
 /// What a worker learns from a captured, validated reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplyInfo {
@@ -117,7 +144,9 @@ pub struct ReplyInfo {
     /// is reconstructed from the 26-bit truncated echo.
     pub tx_time_ms: Option<u64>,
     /// CHAOS identity string, for [`Protocol::Chaos`] replies with data.
-    pub chaos_identity: Option<String>,
+    /// Shared (`Arc<str>`) so fan-out into records is a refcount bump, not
+    /// a per-reply string clone.
+    pub chaos_identity: Option<Arc<str>>,
 }
 
 /// Build a probe packet for any protocol.
@@ -131,40 +160,55 @@ pub fn build_probe(
     meta: &ProbeMeta,
     encoding: ProbeEncoding,
 ) -> Packet {
-    let bytes = match protocol {
-        Protocol::Icmp => icmp::build_echo_request(src, dst, meta, encoding),
-        Protocol::Tcp => tcp::build_probe(src, dst, meta),
+    let mut bytes = Vec::new();
+    build_probe_into(src, dst, protocol, meta, encoding, &mut bytes);
+    Packet {
+        src,
+        dst,
+        protocol,
+        bytes: Bytes::from(bytes),
+    }
+}
+
+/// [`build_probe`] into a reusable buffer: `out` is cleared and refilled
+/// with the transport bytes, so a worker's steady state allocates nothing
+/// per probe.
+pub fn build_probe_into(
+    src: IpAddr,
+    dst: IpAddr,
+    protocol: Protocol,
+    meta: &ProbeMeta,
+    encoding: ProbeEncoding,
+    out: &mut Vec<u8>,
+) {
+    match protocol {
+        Protocol::Icmp => icmp::build_echo_request_into(src, dst, meta, encoding, out),
+        Protocol::Tcp => tcp::build_probe_into(src, dst, meta, out),
         Protocol::Udp => {
             let qtype = if dst.is_ipv4() {
                 dns::TYPE_A
             } else {
                 dns::TYPE_AAAA
             };
-            let query = dns::build_probe_query(meta, qtype);
-            udp::build(
+            udp::build_into_with(
                 src,
                 dst,
                 tcp::probe_src_port(meta.measurement_id),
                 udp::DNS_PORT,
-                &query,
-            )
+                out,
+                |buf| dns::write_probe_query(meta, qtype, buf),
+            );
         }
         Protocol::Chaos => {
-            let query = dns::build_chaos_query(meta.worker_id);
-            udp::build(
+            udp::build_into_with(
                 src,
                 dst,
                 tcp::probe_src_port(meta.measurement_id),
                 udp::DNS_PORT,
-                &query,
-            )
+                out,
+                |buf| dns::write_chaos_query(meta.worker_id, buf),
+            );
         }
-    };
-    Packet {
-        src,
-        dst,
-        protocol,
-        bytes: Bytes::from(bytes),
     }
 }
 
@@ -175,52 +219,68 @@ pub fn build_probe(
 /// Returns an error when the probe bytes do not parse (a real host would
 /// silently drop such a packet).
 pub fn build_reply(probe: &Packet, chaos_identity: Option<&str>) -> Result<Packet, PacketError> {
-    let bytes = match probe.protocol {
-        Protocol::Icmp => {
-            let req = icmp::parse(probe.src, probe.dst, &probe.bytes)?;
-            if !req.is_request() {
-                return Err(PacketError::Malformed {
-                    what: "ICMP reply to a non-request",
-                });
-            }
-            icmp::build_echo_reply(probe.src, probe.dst, &req)
-        }
-        Protocol::Tcp => {
-            let seg = tcp::parse(probe.src, probe.dst, &probe.bytes)?;
-            if !seg.is_syn_ack() {
-                return Err(PacketError::Malformed {
-                    what: "TCP reply to a non-SYN/ACK",
-                });
-            }
-            tcp::build_rst_reply(probe.src, probe.dst, &seg)
-        }
-        Protocol::Udp | Protocol::Chaos => {
-            let dgram = udp::parse(probe.src, probe.dst, &probe.bytes)?;
-            let query = dns::parse(&dgram.payload)?;
-            let q = query.question().ok_or(PacketError::Malformed {
-                what: "DNS query without question",
-            })?;
-            let answer = match probe.protocol {
-                Protocol::Udp => match q.qtype {
-                    dns::TYPE_A => Some(dns::DnsAnswerData::A("192.0.2.1".parse().unwrap())),
-                    dns::TYPE_AAAA => {
-                        Some(dns::DnsAnswerData::Aaaa("2001:db8::1".parse().unwrap()))
-                    }
-                    _ => None,
-                },
-                Protocol::Chaos => chaos_identity.map(|s| dns::DnsAnswerData::Txt(s.to_string())),
-                _ => unreachable!(),
-            };
-            let resp = dns::build_response(&query, answer);
-            udp::build(probe.dst, probe.src, dgram.dst_port, dgram.src_port, &resp)
-        }
-    };
+    let mut bytes = Vec::new();
+    build_reply_into(&probe.view(), chaos_identity, &mut bytes)?;
     Ok(Packet {
         src: probe.dst,
         dst: probe.src,
         protocol: probe.protocol,
         bytes: Bytes::from(bytes),
     })
+}
+
+/// [`build_reply`] into a reusable buffer: on success `out` holds the reply's
+/// transport bytes (the reply travels `probe.dst -> probe.src`).
+pub fn build_reply_into(
+    probe: &PacketView<'_>,
+    chaos_identity: Option<&str>,
+    out: &mut Vec<u8>,
+) -> Result<(), PacketError> {
+    match probe.protocol {
+        Protocol::Icmp => {
+            let req = icmp::parse_view(probe.src, probe.dst, probe.bytes)?;
+            if !req.is_request() {
+                return Err(PacketError::Malformed {
+                    what: "ICMP reply to a non-request",
+                });
+            }
+            icmp::build_echo_reply_into(probe.src, probe.dst, &req, out);
+        }
+        Protocol::Tcp => {
+            let seg = tcp::parse(probe.src, probe.dst, probe.bytes)?;
+            if !seg.is_syn_ack() {
+                return Err(PacketError::Malformed {
+                    what: "TCP reply to a non-SYN/ACK",
+                });
+            }
+            tcp::build_rst_reply_into(probe.src, probe.dst, &seg, out);
+        }
+        Protocol::Udp | Protocol::Chaos => {
+            let dgram = udp::parse_view(probe.src, probe.dst, probe.bytes)?;
+            let query = dns::parse(dgram.payload)?;
+            let q = query.question().ok_or(PacketError::Malformed {
+                what: "DNS query without question",
+            })?;
+            let answer = match probe.protocol {
+                Protocol::Udp => match q.qtype {
+                    dns::TYPE_A => Some(dns::DnsAnswerRef::A("192.0.2.1".parse().unwrap())),
+                    dns::TYPE_AAAA => Some(dns::DnsAnswerRef::Aaaa("2001:db8::1".parse().unwrap())),
+                    _ => None,
+                },
+                Protocol::Chaos => chaos_identity.map(dns::DnsAnswerRef::Txt),
+                _ => unreachable!(),
+            };
+            udp::build_into_with(
+                probe.dst,
+                probe.src,
+                dgram.dst_port,
+                dgram.src_port,
+                out,
+                |buf| dns::write_response(&query, answer, buf),
+            );
+        }
+    }
+    Ok(())
 }
 
 /// Validate a captured reply and attribute it to the probe that elicited it.
@@ -309,7 +369,7 @@ pub fn parse_reply(
                 protocol: Protocol::Chaos,
                 tx_worker: Some(msg.id),
                 tx_time_ms: None,
-                chaos_identity: identity,
+                chaos_identity: identity.map(Arc::from),
             })
         }
     }

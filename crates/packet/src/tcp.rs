@@ -110,7 +110,14 @@ pub fn port_matches(port: u16, measurement_id: u32) -> bool {
 
 /// Build a SYN/ACK probe segment.
 pub fn build_probe(src: IpAddr, dst: IpAddr, meta: &ProbeMeta) -> Vec<u8> {
-    serialize(
+    let mut out = Vec::with_capacity(20);
+    build_probe_into(src, dst, meta, &mut out);
+    out
+}
+
+/// [`build_probe`] into a reusable buffer (`out` is cleared first).
+pub fn build_probe_into(src: IpAddr, dst: IpAddr, meta: &ProbeMeta, out: &mut Vec<u8>) {
+    serialize_into(
         src,
         dst,
         &TcpSegment {
@@ -122,13 +129,26 @@ pub fn build_probe(src: IpAddr, dst: IpAddr, meta: &ProbeMeta) -> Vec<u8> {
             flags: FLAG_SYN | FLAG_ACK,
             window: 0,
         },
-    )
+        out,
+    );
 }
 
 /// Build the RST a closed port sends in reply to a SYN/ACK, per RFC 793:
 /// `seq = incoming.ack`, ports swapped, no ACK.
 pub fn build_rst_reply(req_src: IpAddr, req_dst: IpAddr, probe: &TcpSegment) -> Vec<u8> {
-    serialize(
+    let mut out = Vec::with_capacity(20);
+    build_rst_reply_into(req_src, req_dst, probe, &mut out);
+    out
+}
+
+/// [`build_rst_reply`] into a reusable buffer (`out` is cleared first).
+pub fn build_rst_reply_into(
+    req_src: IpAddr,
+    req_dst: IpAddr,
+    probe: &TcpSegment,
+    out: &mut Vec<u8>,
+) {
+    serialize_into(
         req_dst,
         req_src,
         &TcpSegment {
@@ -139,11 +159,12 @@ pub fn build_rst_reply(req_src: IpAddr, req_dst: IpAddr, probe: &TcpSegment) -> 
             flags: FLAG_RST,
             window: 0,
         },
-    )
+        out,
+    );
 }
 
-fn serialize(src: IpAddr, dst: IpAddr, seg: &TcpSegment) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(20);
+fn serialize_into(src: IpAddr, dst: IpAddr, seg: &TcpSegment, buf: &mut Vec<u8>) {
+    buf.clear();
     buf.extend_from_slice(&seg.src_port.to_be_bytes());
     buf.extend_from_slice(&seg.dst_port.to_be_bytes());
     buf.extend_from_slice(&seg.seq.to_be_bytes());
@@ -153,9 +174,8 @@ fn serialize(src: IpAddr, dst: IpAddr, seg: &TcpSegment) -> Vec<u8> {
     buf.extend_from_slice(&seg.window.to_be_bytes());
     buf.extend_from_slice(&[0, 0]); // checksum placeholder
     buf.extend_from_slice(&[0, 0]); // urgent pointer
-    let ck = checksum::pseudo_header_checksum(src, dst, 6, &buf);
+    let ck = checksum::pseudo_header_checksum(src, dst, 6, buf);
     buf[16..18].copy_from_slice(&ck.to_be_bytes());
-    buf
 }
 
 /// Parse and checksum-verify a TCP segment.

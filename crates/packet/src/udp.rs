@@ -22,24 +22,67 @@ pub struct UdpDatagram {
 /// Serialise a UDP datagram with checksum (pseudo-header included; the
 /// checksum is mandatory for IPv6 and we always set it for IPv4 too).
 pub fn build(src: IpAddr, dst: IpAddr, src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
-    let len = 8 + payload.len();
-    let mut buf = Vec::with_capacity(len);
-    buf.extend_from_slice(&src_port.to_be_bytes());
-    buf.extend_from_slice(&dst_port.to_be_bytes());
-    buf.extend_from_slice(&(len as u16).to_be_bytes());
-    buf.extend_from_slice(&[0, 0]); // checksum placeholder
-    buf.extend_from_slice(payload);
-    let mut ck = checksum::pseudo_header_checksum(src, dst, 17, &buf);
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    build_into_with(src, dst, src_port, dst_port, &mut buf, |out| {
+        out.extend_from_slice(payload)
+    });
+    buf
+}
+
+/// [`build`] into a reusable buffer, with the payload appended in place by
+/// `write_payload` (so DNS queries/responses can be serialised directly after
+/// the UDP header without an intermediate allocation). `out` is cleared
+/// first; the length and checksum fields are patched after the payload is in.
+pub fn build_into_with(
+    src: IpAddr,
+    dst: IpAddr,
+    src_port: u16,
+    dst_port: u16,
+    out: &mut Vec<u8>,
+    write_payload: impl FnOnce(&mut Vec<u8>),
+) {
+    out.clear();
+    out.extend_from_slice(&src_port.to_be_bytes());
+    out.extend_from_slice(&dst_port.to_be_bytes());
+    out.extend_from_slice(&[0, 0]); // length, patched below
+    out.extend_from_slice(&[0, 0]); // checksum placeholder
+    write_payload(out);
+    let len = out.len() as u16;
+    out[4..6].copy_from_slice(&len.to_be_bytes());
+    let mut ck = checksum::pseudo_header_checksum(src, dst, 17, out);
     if ck == 0 {
         // RFC 768: a computed zero checksum is transmitted as all ones.
         ck = 0xFFFF;
     }
-    buf[6..8].copy_from_slice(&ck.to_be_bytes());
-    buf
+    out[6..8].copy_from_slice(&ck.to_be_bytes());
+}
+
+/// A parsed UDP datagram borrowing its payload from the packet bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpView<'a> {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload bytes (borrowed).
+    pub payload: &'a [u8],
 }
 
 /// Parse and checksum-verify a UDP datagram.
 pub fn parse(src: IpAddr, dst: IpAddr, bytes: &[u8]) -> Result<UdpDatagram, PacketError> {
+    parse_view(src, dst, bytes).map(|v| UdpDatagram {
+        src_port: v.src_port,
+        dst_port: v.dst_port,
+        payload: v.payload.to_vec(),
+    })
+}
+
+/// [`parse`] without copying the payload out of `bytes`.
+pub fn parse_view<'a>(
+    src: IpAddr,
+    dst: IpAddr,
+    bytes: &'a [u8],
+) -> Result<UdpView<'a>, PacketError> {
     if bytes.len() < 8 {
         return Err(PacketError::Truncated {
             what: "UDP header",
@@ -56,10 +99,10 @@ pub fn parse(src: IpAddr, dst: IpAddr, bytes: &[u8]) -> Result<UdpDatagram, Pack
     if checksum::pseudo_header_checksum(src, dst, 17, bytes) != 0 {
         return Err(PacketError::BadChecksum { what: "UDP" });
     }
-    Ok(UdpDatagram {
+    Ok(UdpView {
         src_port: u16::from_be_bytes(bytes[0..2].try_into().unwrap()),
         dst_port: u16::from_be_bytes(bytes[2..4].try_into().unwrap()),
-        payload: bytes[8..].to_vec(),
+        payload: &bytes[8..],
     })
 }
 

@@ -55,7 +55,10 @@ fn main() {
         }
     }
 
-    let sites = world.platform(platform).sites();
+    let sites = world
+        .platform(platform)
+        .sites()
+        .expect("catchment mapping runs on an anycast platform");
     println!("\ncatchment sizes (prefixes captured exclusively per site):");
     let mut rows: Vec<(usize, u16)> = catchment_size.iter().map(|(s, n)| (*n, *s)).collect();
     rows.sort_unstable_by(|a, b| b.cmp(a));

@@ -271,6 +271,14 @@ impl<T: Deserialize> Deserialize for Arc<T> {
     }
 }
 
+// Coherence-safe next to the blanket `Arc<T: Deserialize>` impl above:
+// that one implicitly requires `T: Sized`, so `Arc<str>` is uncovered.
+impl Deserialize for Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        String::from_value(v).map(Arc::from)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
