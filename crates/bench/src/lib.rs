@@ -20,11 +20,13 @@ pub mod perf;
 pub mod probing;
 pub mod report;
 pub mod tables;
+pub mod tracing;
 
 pub use artifacts::{Artifacts, Scale};
 pub use perf::{run_perf, PerfReport};
 pub use probing::{run_probing_bench, ProbingBench};
 pub use report::Report;
+pub use tracing::{run_tracing_bench, TracingBench};
 
 /// An experiment: id and the function that produces its report.
 pub type Experiment = (&'static str, &'static str, fn(&Artifacts) -> Report);

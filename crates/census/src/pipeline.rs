@@ -29,6 +29,7 @@ use laces_hitlist::Hitlist;
 use laces_netsim::{PlatformId, World};
 use laces_obs::{RunReport, SimClock, StageTimer};
 use laces_packet::{PrefixKey, Protocol};
+use laces_trace::{Component, TraceConfig, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::atlist::{AtList, AtSource};
@@ -54,6 +55,10 @@ pub struct PipelineConfig {
     /// Fault schedule applied to every anycast-based stage (robustness
     /// tests; the default plan is fault-free).
     pub faults: FaultPlan,
+    /// Flight-recorder configuration, applied to every stage of every day
+    /// (default: disabled). Sections land in
+    /// [`CensusStats::trace_report`] under per-stage labels.
+    pub trace: TraceConfig,
 }
 
 impl PipelineConfig {
@@ -68,6 +73,7 @@ impl PipelineConfig {
             offset_ms: 1_000,
             base_measurement_id: 1_000,
             faults: FaultPlan::default(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -174,6 +180,7 @@ impl CensusPipeline {
             .offset_ms(self.cfg.offset_ms)
             .day(day)
             .faults(self.cfg.faults.clone())
+            .trace(self.cfg.trace)
             .build(world)?;
             stage_idx += 1;
             let mut stage = StageTimer::start(format!("anycast:{label}"), &*clock);
@@ -192,7 +199,16 @@ impl CensusPipeline {
             // published, but flagged with the stage's typed reasons.
             stats.telemetry.absorb(&label, &outcome.telemetry);
             stats.telemetry.push_stage(stage.finish(&*clock));
-            let class = AnycastClassification::from_outcome(&outcome);
+            stats
+                .trace_report
+                .absorb(&label, outcome.trace_report.clone());
+            // The classify pass gets its own tracer so its contribution
+            // and verdict events land in a "<label>/classify" section.
+            let classify_tracer = Tracer::new(self.cfg.trace);
+            let class = AnycastClassification::from_outcome_traced(&outcome, &classify_tracer);
+            stats
+                .trace_report
+                .absorb(&label, classify_tracer.snapshot("classify"));
             stats
                 .ats_per_protocol
                 .insert(label.clone(), class.anycast_targets().len());
@@ -227,6 +243,7 @@ impl CensusPipeline {
         let at_addrs: Vec<IpAddr> = gcd_targets.iter().map(|p| addr_of[p]).collect();
         let mut gcd_cfg = GcdConfig::daily(self.cfg.base_measurement_id + day * 32 + 20, day);
         gcd_cfg.precheck = false; // ATs are known-responsive; probe fully
+        gcd_cfg.trace = self.cfg.trace;
         let mut gcd_stage = StageTimer::start("gcd", &clock);
         let gcd_start = clock.now_ms();
         let mut report = run_campaign(world, self.cfg.gcd_platform, &at_addrs, &gcd_cfg)?;
@@ -237,6 +254,9 @@ impl CensusPipeline {
             gcd_stage.child(s.clone().rebased(gcd_start));
         }
         stats.telemetry.absorb("gcd", &report.telemetry);
+        stats
+            .trace_report
+            .absorb("gcd", report.trace_report.clone());
 
         let dark: Vec<IpAddr> = report
             .results
@@ -248,6 +268,7 @@ impl CensusPipeline {
             let mut tcp_cfg = GcdConfig::daily(self.cfg.base_measurement_id + day * 32 + 21, day);
             tcp_cfg.protocol = Protocol::Tcp;
             tcp_cfg.precheck = true;
+            tcp_cfg.trace = self.cfg.trace;
             let tcp_report = run_campaign(world, self.cfg.gcd_platform, &dark, &tcp_cfg)?;
             stats.gcd_probes += tcp_report.probes_sent;
             for s in &tcp_report.telemetry.stages {
@@ -257,6 +278,9 @@ impl CensusPipeline {
             stats
                 .telemetry
                 .absorb("gcd_tcp_retry", &tcp_report.telemetry);
+            stats
+                .trace_report
+                .absorb("gcd_tcp_retry", tcp_report.trace_report.clone());
             for (p, r) in tcp_report.results {
                 if r.class != GcdClass::Unresponsive {
                     report.results.insert(p, r);
@@ -341,6 +365,20 @@ impl CensusPipeline {
         stats
             .telemetry
             .set_gauge("census.day_sim_ms", clock.now_ms());
+
+        // Day-level stage spans for the flight recorder: the census's
+        // top-level stage tree, mirrored as unsampled `StageSpan` events so
+        // the Chrome export shows the day's timeline next to the per-probe
+        // flights.
+        let day_tracer = Tracer::new(self.cfg.trace);
+        for s in &stats.telemetry.stages {
+            day_tracer.record(Component::Census, || TraceEvent::StageSpan {
+                name: s.name.clone(),
+                start_ms: s.start_ms,
+                sim_ms: s.sim_ms,
+            });
+        }
+        stats.trace_report.absorb("census", day_tracer.snapshot(""));
 
         Ok(DayOutput {
             census: DailyCensus {

@@ -81,6 +81,12 @@ pub struct CensusStats {
     /// consumers must not read absences on a degraded day as withdrawals —
     /// [`degraded_reasons`](Degraded::degraded_reasons) says what was lost.
     pub telemetry: RunReport,
+    /// The day's flight-recorder log: every stage's trace sections absorbed
+    /// under the stage label ("ICMPv4", "ICMPv4/classify", "gcd", ...).
+    /// Empty and disabled unless the pipeline enabled tracing; feed it to
+    /// [`laces_trace::TraceReport::explain`] to justify any published
+    /// verdict end to end.
+    pub trace_report: laces_trace::TraceReport,
 }
 
 impl Degraded for CensusStats {

@@ -9,6 +9,9 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use laces_obs::{DegradedReason, HistogramSnapshot, RunReport, StageReport};
+use serde::{Deserialize, Value};
+
 use crate::record::{CensusStats, DailyCensus};
 
 /// A directory of daily censuses.
@@ -38,9 +41,21 @@ impl CensusStore {
             .join(format!("census-day-{day:05}.telemetry.jsonl"))
     }
 
-    /// Persist one day's census: the records, the stats sidecar, and the
-    /// day's telemetry as JSON lines (one metric, stage or degradation
-    /// event per line — greppable without parsing the whole stats file).
+    fn trace_path(&self, day: u32) -> PathBuf {
+        self.dir.join(format!("census-day-{day:05}.trace.jsonl"))
+    }
+
+    fn chrome_trace_path(&self, day: u32) -> PathBuf {
+        self.dir
+            .join(format!("census-day-{day:05}.trace.chrome.json"))
+    }
+
+    /// Persist one day's census: the records, the stats sidecar, the day's
+    /// telemetry as JSON lines (one metric, stage or degradation event per
+    /// line — greppable without parsing the whole stats file), and — when
+    /// the day ran with tracing enabled — the flight-recorder sidecars
+    /// (JSONL event log plus a Chrome trace-event file for flamegraph
+    /// viewers).
     pub fn save(&self, census: &DailyCensus) -> io::Result<()> {
         std::fs::write(self.day_path(census.day), census.to_jsonl())?;
         let stats = serde_json::to_string_pretty(&census.stats)
@@ -49,7 +64,91 @@ impl CensusStore {
         std::fs::write(
             self.telemetry_path(census.day),
             census.stats.telemetry.to_jsonl(),
-        )
+        )?;
+        if census.stats.trace_report.enabled {
+            std::fs::write(
+                self.trace_path(census.day),
+                census.stats.trace_report.to_jsonl(),
+            )?;
+            std::fs::write(
+                self.chrome_trace_path(census.day),
+                census.stats.trace_report.to_chrome_json(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Read a day's telemetry sidecar back into a [`RunReport`] — the
+    /// consumer-side pairing of the writer in [`save`](Self::save). The
+    /// sidecar is the DESIGN.md §10 JSONL schema: one object per line with
+    /// a `kind` discriminator of `counter`, `gauge`, `histogram`, `stage`
+    /// or `degraded`. Unknown kinds are rejected so schema drift fails
+    /// loudly instead of silently dropping metrics.
+    pub fn load_telemetry(&self, day: u32) -> io::Result<RunReport> {
+        let body = std::fs::read_to_string(self.telemetry_path(day))?;
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let mut report = RunReport::new();
+        for (lineno, line) in body.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v: Value = serde_json::from_str(line)
+                .map_err(|e| bad(format!("telemetry line {}: {e}", lineno + 1)))?;
+            let field = |key: &str| {
+                v.get(key)
+                    .ok_or_else(|| bad(format!("telemetry line {}: missing `{key}`", lineno + 1)))
+            };
+            let name = |key: &str| -> io::Result<String> {
+                match field(key)? {
+                    Value::Str(s) => Ok(s.clone()),
+                    other => Err(bad(format!(
+                        "telemetry line {}: `{key}` is not a string: {other:?}",
+                        lineno + 1
+                    ))),
+                }
+            };
+            let metric = |key: &str| -> io::Result<u64> {
+                match field(key)? {
+                    Value::UInt(n) => Ok(*n as u64),
+                    other => Err(bad(format!(
+                        "telemetry line {}: `{key}` is not an unsigned integer: {other:?}",
+                        lineno + 1
+                    ))),
+                }
+            };
+            match name("kind")?.as_str() {
+                "counter" => {
+                    report.counters.insert(name("name")?, metric("value")?);
+                }
+                "gauge" => {
+                    report.gauges.insert(name("name")?, metric("value")?);
+                }
+                "histogram" => {
+                    let snapshot = HistogramSnapshot::from_value(field("snapshot")?)
+                        .map_err(|e| bad(format!("telemetry line {}: {e}", lineno + 1)))?;
+                    report.histograms.insert(name("name")?, snapshot);
+                }
+                "stage" => {
+                    let stage = StageReport::from_value(field("stage")?)
+                        .map_err(|e| bad(format!("telemetry line {}: {e}", lineno + 1)))?;
+                    report.stages.push(stage);
+                }
+                "degraded" => {
+                    let reason = DegradedReason::from_value(field("reason")?)
+                        .map_err(|e| bad(format!("telemetry line {}: {e}", lineno + 1)))?;
+                    // add_degraded keeps the sorted+dedup invariant the
+                    // writer relied on, so the round trip is exact.
+                    report.add_degraded(reason);
+                }
+                other => {
+                    return Err(bad(format!(
+                        "telemetry line {}: unknown kind `{other}`",
+                        lineno + 1
+                    )));
+                }
+            }
+        }
+        Ok(report)
     }
 
     /// Load one day.
@@ -204,6 +303,80 @@ mod tests {
         for line in telemetry.lines() {
             serde_json::from_str::<serde::Value>(line).expect("each line is valid JSON");
         }
+    }
+
+    /// Pins the DESIGN.md §10 telemetry sidecar schema: every line kind the
+    /// writer emits (`counter`, `gauge`, `histogram`, `stage`, `degraded`)
+    /// must survive a save→`load_telemetry` round trip bit-for-bit.
+    #[test]
+    fn telemetry_save_load_roundtrip() {
+        use laces_obs::{DegradedReason, Histogram, StageReport};
+
+        let store = CensusStore::open(tmpdir("telemetry-roundtrip")).unwrap();
+        let mut census = sample_census(7, 2);
+        let t = &mut census.stats.telemetry;
+        t.inc("orchestrator.orders_streamed", 128);
+        t.inc("worker.000.probes_sent", 64);
+        t.set_gauge("gcd.n_vps", 9);
+        let mut h = Histogram::new(&[10, 100]);
+        h.observe(4);
+        h.observe(40);
+        h.observe(400);
+        t.record_histogram("fabric.rtt_ms", h.snapshot());
+        t.push_stage(StageReport {
+            name: "anycast:ICMPv4".to_string(),
+            start_ms: 0,
+            sim_ms: 1_250,
+            counters: [("targets".to_string(), 120u64)].into_iter().collect(),
+            children: vec![StageReport {
+                name: "classify".to_string(),
+                start_ms: 1_200,
+                sim_ms: 50,
+                counters: Map::new(),
+                children: Vec::new(),
+            }],
+        });
+        t.add_degraded(DegradedReason::WorkerCrashed { worker: 3 });
+        t.add_degraded(DegradedReason::GcdChunkLost { targets: 17 });
+
+        store.save(&census).unwrap();
+        let back = store.load_telemetry(7).unwrap();
+        assert_eq!(back, census.stats.telemetry);
+
+        // Schema drift fails loudly rather than dropping lines.
+        std::fs::write(
+            store.path().join("census-day-00007.telemetry.jsonl"),
+            "{\"kind\":\"surprise\",\"name\":\"x\"}\n",
+        )
+        .unwrap();
+        let err = store.load_telemetry(7).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("unknown kind"));
+    }
+
+    #[test]
+    fn missing_telemetry_sidecar_errors() {
+        let store = CensusStore::open(tmpdir("telemetry-missing")).unwrap();
+        assert!(store.load_telemetry(42).is_err());
+    }
+
+    #[test]
+    fn trace_sidecars_written_only_when_enabled() {
+        let store = CensusStore::open(tmpdir("trace-sidecar")).unwrap();
+        let mut census = sample_census(4, 1);
+        store.save(&census).unwrap();
+        assert!(!store.path().join("census-day-00004.trace.jsonl").exists());
+
+        census.stats.trace_report.enabled = true;
+        census.stats.trace_report.seed = 0xC0FFEE;
+        store.save(&census).unwrap();
+        let jsonl =
+            std::fs::read_to_string(store.path().join("census-day-00004.trace.jsonl")).unwrap();
+        assert!(jsonl.contains("\"kind\":\"trace\""));
+        let chrome =
+            std::fs::read_to_string(store.path().join("census-day-00004.trace.chrome.json"))
+                .unwrap();
+        serde_json::from_str::<serde::Value>(&chrome).expect("chrome export is valid JSON");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use laces_packet::PrefixKey;
+use laces_trace::{Component, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::results::MeasurementOutcome;
@@ -59,8 +60,22 @@ pub struct AnycastClassification {
 impl AnycastClassification {
     /// Aggregate a measurement outcome.
     pub fn from_outcome(outcome: &MeasurementOutcome) -> Self {
+        Self::from_outcome_traced(outcome, &Tracer::disabled())
+    }
+
+    /// Aggregate a measurement outcome, recording each record's
+    /// contribution and the per-prefix verdict into `tracer`. The records
+    /// are walked in the outcome's canonical order and verdicts come from
+    /// a `BTreeMap` walk, so the recorded events are deterministic.
+    pub fn from_outcome_traced(outcome: &MeasurementOutcome, tracer: &Tracer) -> Self {
         let mut observations: BTreeMap<PrefixKey, PrefixObservation> = BTreeMap::new();
         for r in &outcome.records {
+            tracer.record_for(Component::Classify, r.prefix, || {
+                TraceEvent::ClassContribution {
+                    prefix: r.prefix,
+                    rx_worker: r.rx_worker,
+                }
+            });
             let o = observations.entry(r.prefix).or_default();
             o.rx_workers.insert(r.rx_worker);
             o.n_responses += 1;
@@ -68,6 +83,20 @@ impl AnycastClassification {
                 if !o.chaos_values.contains(c.as_ref()) {
                     o.chaos_values.insert(c.as_ref().to_string());
                 }
+            }
+        }
+        if tracer.is_enabled() {
+            for (prefix, o) in &observations {
+                let verdict = if o.rx_workers.len() > 1 {
+                    "anycast"
+                } else {
+                    "unicast"
+                };
+                tracer.record_for(Component::Classify, *prefix, || TraceEvent::ClassVerdict {
+                    prefix: *prefix,
+                    n_vps: o.rx_workers.len(),
+                    verdict: verdict.to_string(),
+                });
             }
         }
         AnycastClassification {
@@ -144,6 +173,7 @@ mod tests {
             failed_workers: vec![],
             worker_health: vec![],
             telemetry: laces_obs::RunReport::new(),
+            trace_report: laces_trace::TraceReport::default(),
         }
     }
 

@@ -23,7 +23,8 @@ use std::sync::Arc;
 use crossbeam::channel;
 use laces_netsim::{platform as plat, World};
 use laces_obs::{metrics, Counter, DegradedReason, Histogram, RunReport, SimClock, StageTimer};
-use laces_packet::IpVersion;
+use laces_packet::{IpVersion, PrefixKey};
+use laces_trace::{Component, OrderFaultCause, TraceEvent, Tracer};
 
 use crate::auth::{AuthKey, Sealed};
 use crate::error::MeasurementError;
@@ -123,6 +124,7 @@ pub fn run_measurement_abortable(
     }
 
     let span_ms = spec.span_ms(n_workers);
+    let tracer = Tracer::new(spec.trace);
     let mut telemetry = RunReport::new();
     telemetry.set_gauge("orchestrator.n_workers", n_workers as u64);
     telemetry.set_gauge("orchestrator.n_targets", spec.targets.len() as u64);
@@ -164,9 +166,19 @@ pub fn run_measurement_abortable(
                 let status = if spec.faults.rejects_seal(w) {
                     telemetry.inc("orchestrator.seal_rejections", 1);
                     telemetry.add_degraded(DegradedReason::SealRejected { worker: w });
+                    tracer.record(Component::Control, || TraceEvent::WorkerFault {
+                        worker: w,
+                        cause: "seal rejected".into(),
+                        after_probes: 0,
+                    });
                     WorkerStatus::Failed
                 } else if spec.faults.crash_after(w) == Some(0) {
                     telemetry.add_degraded(DegradedReason::WorkerCrashed { worker: w });
+                    tracer.record(Component::Control, || TraceEvent::WorkerFault {
+                        worker: w,
+                        cause: "crash".into(),
+                        after_probes: 0,
+                    });
                     WorkerStatus::Failed
                 } else {
                     WorkerStatus::Completed
@@ -194,6 +206,7 @@ pub fn run_measurement_abortable(
             failed_workers,
             worker_health,
             telemetry,
+            trace_report: tracer.snapshot(""),
         });
     }
 
@@ -273,11 +286,23 @@ pub fn run_measurement_abortable(
             let out = out_tx.clone();
             let out_err = out_tx.clone();
             let world = Arc::clone(world);
+            let worker_tracer = tracer.clone();
             scope.spawn(move || {
                 // A worker whose start order fails authentication never
                 // starts; the platform degrades to the remaining workers
                 // instead of poisoning the thread scope (R5).
-                if run_worker(&world, key, sealed, orders, captures, fabric, out).is_err() {
+                if run_worker(
+                    &world,
+                    key,
+                    sealed,
+                    orders,
+                    captures,
+                    fabric,
+                    out,
+                    worker_tracer,
+                )
+                .is_err()
+                {
                     let _ = out_err.send(WorkerOut::Event(WorkerEvent::Failed {
                         worker: w as u16,
                         telemetry: WorkerTelemetry::default(),
@@ -296,6 +321,7 @@ pub fn run_measurement_abortable(
         let stream_abort = abort.clone();
         let orders_streamed = &orders_streamed;
         let order_stalls = &order_stalls;
+        let stream_tracer = tracer.clone();
         scope.spawn(move || {
             let mut txs: Vec<Option<_>> = order_txs.into_iter().map(Some).collect();
             let mut sent = vec![0usize; txs.len()];
@@ -333,6 +359,7 @@ pub fn run_measurement_abortable(
                     target,
                     window_start_ms: window,
                 };
+                let prefix = PrefixKey::of(target);
                 for w in 0..txs.len() {
                     // Non-sender workers (single-VP precheck mode) receive
                     // no orders but still capture replies.
@@ -343,6 +370,13 @@ pub fn run_measurement_abortable(
                         if i < f.delay_orders {
                             // The channel came up late; early orders are
                             // lost in the disconnected stream.
+                            stream_tracer.record_for(Component::Orchestrator, prefix, || {
+                                TraceEvent::OrderFault {
+                                    prefix,
+                                    worker: w as u16,
+                                    cause: OrderFaultCause::Delayed,
+                                }
+                            });
                             continue;
                         }
                         if f.close_after.is_some_and(|c| sent[w] >= c) {
@@ -352,10 +386,24 @@ pub fn run_measurement_abortable(
                             if let Some(tx) = txs[w].take() {
                                 flush(w, &mut pending, &tx);
                             }
+                            stream_tracer.record_for(Component::Orchestrator, prefix, || {
+                                TraceEvent::OrderFault {
+                                    prefix,
+                                    worker: w as u16,
+                                    cause: OrderFaultCause::ChannelClosed,
+                                }
+                            });
                             continue;
                         }
                     }
                     if let Some(tx) = &txs[w] {
+                        stream_tracer.record_for(Component::Orchestrator, prefix, || {
+                            TraceEvent::OrderIssued {
+                                prefix,
+                                worker: w as u16,
+                                window_start_ms: window,
+                            }
+                        });
                         pending[w].push(order);
                         sent[w] += 1;
                         if pending[w].len() >= spec.batch_size {
@@ -409,6 +457,17 @@ pub fn run_measurement_abortable(
                 }) => {
                     probes_sent += t.probes_sent;
                     merge_worker_telemetry(&mut telemetry, worker, &t);
+                    // One unsampled fault event per failed worker: probes it
+                    // had not sent and captures it held are attributed to it
+                    // by `TraceReport::explain`.
+                    tracer.record(Component::Control, || TraceEvent::WorkerFault {
+                        worker,
+                        cause: match cause {
+                            WorkerFailure::Crash => "crash".into(),
+                            WorkerFailure::SealRejected => "seal rejected".into(),
+                        },
+                        after_probes: t.probes_sent,
+                    });
                     match cause {
                         WorkerFailure::Crash => {
                             telemetry.add_degraded(DegradedReason::WorkerCrashed { worker });
@@ -474,8 +533,14 @@ pub fn run_measurement_abortable(
     let mut stage = StageTimer::start(format!("measurement:{:?}", spec.protocol), &clock);
     stage.count("targets", spec.targets.len() as u64);
     stage.count("probes_sent", probes_sent);
-    clock.advance(window_start_ms(spec.targets.len().saturating_sub(1), spec.rate_per_s) + span_ms);
+    let sim_ms = window_start_ms(spec.targets.len().saturating_sub(1), spec.rate_per_s) + span_ms;
+    clock.advance(sim_ms);
     telemetry.push_stage(stage.finish(&clock));
+    tracer.record(Component::Control, || TraceEvent::StageSpan {
+        name: format!("measurement:{:?}", spec.protocol),
+        start_ms: 0,
+        sim_ms,
+    });
 
     Ok(MeasurementOutcome {
         measurement_id: spec.id,
@@ -488,6 +553,7 @@ pub fn run_measurement_abortable(
         failed_workers,
         worker_health,
         telemetry,
+        trace_report: tracer.snapshot(""),
     })
 }
 

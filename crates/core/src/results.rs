@@ -145,6 +145,10 @@ pub struct MeasurementOutcome {
     /// Consumers (the census pipeline) publish degraded runs anyway but
     /// must carry the reasons forward.
     pub telemetry: RunReport,
+    /// The flight recorder's causal event log for this measurement
+    /// (empty and disabled unless the spec enabled tracing). Feed it to
+    /// [`laces_trace::TraceReport::explain`] to justify a verdict.
+    pub trace_report: laces_trace::TraceReport,
 }
 
 impl MeasurementOutcome {

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use laces_netsim::{PlatformId, World};
 use laces_packet::{ProbeEncoding, Protocol};
+use laces_trace::TraceConfig;
 
 use crate::error::MeasurementError;
 use crate::fault::FaultPlan;
@@ -62,6 +63,11 @@ pub struct MeasurementSpec {
     /// (the probe schedule and all RNG draws are keyed on per-probe
     /// coordinates, never on the batching).
     pub batch_size: usize,
+    /// Flight-recorder configuration. Disabled by default: the probing hot
+    /// path then pays one branch per hook and allocates nothing. When
+    /// enabled, targets are sampled by a seeded, prefix-keyed hash, so the
+    /// same targets are traced on every rerun and at every batch size.
+    pub trace: TraceConfig,
 }
 
 impl MeasurementSpec {
@@ -86,6 +92,7 @@ impl MeasurementSpec {
             faults: FaultPlan::default(),
             senders: None,
             batch_size: DEFAULT_BATCH_SIZE,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -180,6 +187,12 @@ impl MeasurementSpecBuilder {
     /// trades channel overhead against the per-worker in-flight window.
     pub fn batch_size(mut self, batch_size: usize) -> Self {
         self.spec.batch_size = batch_size;
+        self
+    }
+
+    /// Set the flight-recorder configuration (default: disabled).
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.spec.trace = trace;
         self
     }
 

@@ -28,6 +28,7 @@ use laces_netsim::{Delivery, PlatformId, WireStats, World};
 use laces_obs::Counter;
 use laces_packet::probe::{build_probe_into, parse_reply, ProbeMeta};
 use laces_packet::{PrefixKey, ProbeEncoding, Protocol};
+use laces_trace::{Component, FabricFaultKind, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::auth::{AuthKey, Sealed};
@@ -129,10 +130,19 @@ fn process_capture(
     records: &mut Vec<ProbeRecord>,
     records_streamed: &Counter,
     captures_rejected: &Counter,
+    tracer: &Tracer,
 ) {
+    let prefix = PrefixKey::of(d.packet.src);
     if let Ok(info) = parse_reply(&d.packet, measurement_id, d.rx_time_ms) {
+        tracer.record_for(Component::Capture, prefix, || TraceEvent::Captured {
+            prefix,
+            rx_worker,
+            rx_time_ms: d.rx_time_ms,
+            accepted: true,
+            chaos_identity: info.chaos_identity.as_deref().map(str::to_string),
+        });
         records.push(ProbeRecord {
-            prefix: PrefixKey::of(d.packet.src),
+            prefix,
             protocol: info.protocol,
             rx_worker,
             tx_worker: info.tx_worker,
@@ -142,6 +152,13 @@ fn process_capture(
         });
         records_streamed.inc();
     } else {
+        tracer.record_for(Component::Capture, prefix, || TraceEvent::Captured {
+            prefix,
+            rx_worker,
+            rx_time_ms: d.rx_time_ms,
+            accepted: false,
+            chaos_identity: None,
+        });
         captures_rejected.inc();
     }
 }
@@ -162,6 +179,9 @@ fn flush_records(records: &mut Vec<ProbeRecord>, out: &Sender<WorkerOut>) {
 ///   phase.
 /// * `fabric` — capture senders toward every worker, indexed by site.
 /// * `out` — stream of record batches and lifecycle events toward the CLI.
+/// * `tracer` — flight recorder for probe-lifecycle events; pass
+///   [`Tracer::disabled`] to record nothing (one branch per hook).
+#[allow(clippy::too_many_arguments)]
 pub fn run_worker(
     world: &Arc<World>,
     key: AuthKey,
@@ -170,6 +190,7 @@ pub fn run_worker(
     captures: Receiver<Vec<Delivery>>,
     fabric: Vec<Sender<Vec<Delivery>>>,
     out: Sender<WorkerOut>,
+    tracer: Tracer,
 ) -> Result<(), WorkerError> {
     let start = start.open(key).ok_or(WorkerError::BadAuth)?;
     let ctx = MeasurementCtx {
@@ -184,6 +205,7 @@ pub fn run_worker(
     // Resolve the per-worker route handles once, at start-order time: the
     // probing loop below never touches the world's route cache lock.
     let mut session = world.probe_session(source);
+    session.attach_tracer(tracer.clone());
 
     // Worker-local telemetry: the wire and fabric stats observe sends, the
     // capture counters observe the filter. All are order-independent sums,
@@ -235,6 +257,12 @@ pub fn run_worker(
             }
             let tx_offset = start.offset_ms * u64::from(start.worker_id);
             for (order, buf) in batch.orders[..take].iter().zip(pool.iter_mut()) {
+                let prefix = PrefixKey::of(order.target);
+                tracer.record_for(Component::Worker, prefix, || TraceEvent::ProbeSent {
+                    prefix,
+                    worker: start.worker_id,
+                    tx_time_ms: order.window_start_ms + tx_offset,
+                });
                 let meta = ProbeMeta {
                     measurement_id: start.measurement_id,
                     worker_id: start.worker_id,
@@ -274,6 +302,22 @@ pub fn run_worker(
                 let verdict = start.fabric_faults.map_or(FabricVerdict::Deliver, |f| {
                     f.verdict_observed(&delivery, &fabric_stats)
                 });
+                if verdict != FabricVerdict::Deliver {
+                    // Only faults are recorded: a reply with no FabricFault
+                    // event passed through the fabric untouched.
+                    let prefix = PrefixKey::of(delivery.packet.src);
+                    tracer.record_for(Component::Fabric, prefix, || TraceEvent::FabricFault {
+                        prefix,
+                        tx_worker: start.worker_id,
+                        rx_worker: delivery.rx_index as u16,
+                        rx_time_ms: delivery.rx_time_ms,
+                        kind: if verdict == FabricVerdict::Drop {
+                            FabricFaultKind::Dropped
+                        } else {
+                            FabricFaultKind::Duplicated
+                        },
+                    });
+                }
                 if verdict == FabricVerdict::Drop {
                     continue;
                 }
@@ -289,6 +333,7 @@ pub fn run_worker(
                             &mut records,
                             &records_streamed,
                             &captures_rejected,
+                            &tracer,
                         );
                     }
                     process_capture(
@@ -298,6 +343,7 @@ pub fn run_worker(
                         &mut records,
                         &records_streamed,
                         &captures_rejected,
+                        &tracer,
                     );
                 } else if let Some(p) = pending.get_mut(rx) {
                     if verdict == FabricVerdict::Duplicate {
@@ -327,6 +373,7 @@ pub fn run_worker(
                         &mut records,
                         &records_streamed,
                         &captures_rejected,
+                        &tracer,
                     );
                 }
             }
@@ -379,6 +426,7 @@ pub fn run_worker(
                 &mut records,
                 &records_streamed,
                 &captures_rejected,
+                &tracer,
             );
         }
         if records.len() >= RECORD_FLUSH {

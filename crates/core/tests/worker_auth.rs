@@ -43,7 +43,16 @@ fn worker_refuses_unauthenticated_start_order() {
     let (_cap_tx, cap_rx) = channel::unbounded();
     let (out_tx, out_rx) = channel::unbounded::<WorkerOut>();
 
-    let err = run_worker(&w, good_key, sealed, order_rx, cap_rx, vec![], out_tx);
+    let err = run_worker(
+        &w,
+        good_key,
+        sealed,
+        order_rx,
+        cap_rx,
+        vec![],
+        out_tx,
+        laces_trace::Tracer::disabled(),
+    );
     assert_eq!(err, Err(WorkerError::BadAuth));
     // A refused worker emits nothing.
     assert!(out_rx.try_recv().is_err());
@@ -105,7 +114,17 @@ fn worker_discards_captures_from_other_measurements() {
     drop(cap_tx);
     drop(order_tx); // no orders: worker goes straight to the capture phase
 
-    run_worker(&w, key, sealed, order_rx, cap_rx, vec![], out_tx).unwrap();
+    run_worker(
+        &w,
+        key,
+        sealed,
+        order_rx,
+        cap_rx,
+        vec![],
+        out_tx,
+        laces_trace::Tracer::disabled(),
+    )
+    .unwrap();
 
     let msgs: Vec<WorkerOut> = out_rx.iter().collect();
     // Only the lifecycle Done event; the foreign capture produced no record,
@@ -169,7 +188,17 @@ fn worker_processes_orders_and_validates_own_captures() {
 
     // Fabric: route every delivery back to this single worker regardless of
     // its true catchment (single-worker harness).
-    run_worker(&w, key, sealed, order_rx, cap_rx, vec![cap_tx; 32], out_tx).unwrap();
+    run_worker(
+        &w,
+        key,
+        sealed,
+        order_rx,
+        cap_rx,
+        vec![cap_tx; 32],
+        out_tx,
+        laces_trace::Tracer::disabled(),
+    )
+    .unwrap();
 
     let msgs: Vec<WorkerOut> = out_rx.iter().collect();
     let records: usize = msgs

@@ -13,6 +13,7 @@ use laces_netsim::{platform as plat, PlatformId, World};
 use laces_obs::{Degraded, DegradedReason, RunReport, SimClock, StageTimer};
 use laces_packet::probe::{build_probe, ProbeEncoding, ProbeMeta};
 use laces_packet::{PrefixKey, Protocol};
+use laces_trace::{Component, TraceConfig, TraceEvent, TraceReport, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::enumerate::{enumerate_counted, Enumeration, RttSample};
@@ -41,6 +42,8 @@ pub struct GcdConfig {
     pub day: u32,
     /// Worker threads for the campaign (0 = all available cores).
     pub threads: usize,
+    /// Flight-recorder configuration (default: disabled).
+    pub trace: TraceConfig,
 }
 
 impl GcdConfig {
@@ -55,6 +58,7 @@ impl GcdConfig {
             measurement_id,
             day,
             threads: 0,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -100,6 +104,9 @@ pub struct GcdReport {
     /// report covers only the surviving chunks and the consumer must carry
     /// the reasons forward instead of trusting absences.
     pub telemetry: RunReport,
+    /// The flight recorder's event log for the campaign (empty and
+    /// disabled unless [`GcdConfig::trace`] enabled tracing).
+    pub trace_report: TraceReport,
 }
 
 impl GcdReport {
@@ -193,6 +200,7 @@ pub fn run_campaign(
         return Err(MeasurementError::NotUnicast { platform });
     }
     let vps = participating_vps(world, platform, cfg);
+    let tracer = Tracer::new(cfg.trace);
     let wire = WireStats::new();
     let overlap_tests = AtomicU64::new(0);
     let threads = if cfg.threads == 0 {
@@ -209,18 +217,25 @@ pub fn run_campaign(
     let mut chunks_spawned = 0u64;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for part in targets.chunks(chunk) {
+        for (chunk_index, part) in targets.chunks(chunk).enumerate() {
             let vps = &vps;
             let wire = &wire;
             let overlap_tests = &overlap_tests;
+            let tracer = &tracer;
             chunks_spawned += 1;
+            tracer.record(Component::Control, || TraceEvent::GcdChunk {
+                chunk_index,
+                n_targets: part.len(),
+            });
             handles.push((
                 part.len(),
                 scope.spawn(move || {
                     let mut local: Vec<(PrefixKey, PrefixGcd)> = Vec::with_capacity(part.len());
                     let mut tests = 0u64;
                     for &target in part {
-                        let r = measure_target(world, platform, vps, target, cfg, wire, &mut tests);
+                        let r = measure_target(
+                            world, platform, vps, target, cfg, wire, &mut tests, tracer,
+                        );
                         local.push((PrefixKey::of(target), r));
                     }
                     overlap_tests.fetch_add(tests, Ordering::Relaxed);
@@ -277,17 +292,25 @@ pub fn run_campaign(
     let mut stage = StageTimer::start(format!("gcd:{:?}", cfg.protocol), &clock);
     stage.count("targets", targets.len() as u64);
     stage.count("probes_sent", probes_sent);
-    clock.advance(u64::from(cfg.attempts.max(1)) * 50);
+    let sim_ms = u64::from(cfg.attempts.max(1)) * 50;
+    clock.advance(sim_ms);
     report.push_stage(stage.finish(&clock));
+    tracer.record(Component::Control, || TraceEvent::StageSpan {
+        name: format!("gcd:{:?}", cfg.protocol),
+        start_ms: 0,
+        sim_ms,
+    });
 
     Ok(GcdReport {
         results,
         probes_sent,
         n_vps: vps.len(),
         telemetry: report,
+        trace_report: tracer.snapshot(""),
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure_target(
     world: &Arc<World>,
     platform: PlatformId,
@@ -296,11 +319,33 @@ fn measure_target(
     cfg: &GcdConfig,
     wire: &WireStats,
     overlap_tests: &mut u64,
+    tracer: &Tracer,
 ) -> PrefixGcd {
     let ctx = MeasurementCtx {
         id: cfg.measurement_id,
         day: cfg.day,
         span_ms: 0,
+    };
+    let prefix = PrefixKey::of(target);
+    // RTTs are deterministic f64s on the SimClock; events carry them as
+    // integer micro-milliseconds so the trace stays float-free.
+    let trace_probe = |vp: usize, best: Option<f64>| {
+        tracer.record_for(Component::Gcd, prefix, || TraceEvent::GcdProbe {
+            prefix,
+            vp: vp as u16,
+            rtt_micro_ms: best.map(|r| (r * 1000.0).round() as u64),
+        });
+    };
+    let verdict = |class: GcdClass| {
+        tracer.record_for(Component::Gcd, prefix, || TraceEvent::GcdVerdict {
+            prefix,
+            class: match class {
+                GcdClass::Anycast => "anycast",
+                GcdClass::Unicast => "unicast",
+                GcdClass::Unresponsive => "unresponsive",
+            }
+            .to_string(),
+        });
     };
     let mut samples: Vec<RttSample> = Vec::with_capacity(vps.len());
 
@@ -343,28 +388,34 @@ fn measure_target(
     if cfg.precheck {
         // Responsiveness gate from the first participating VP.
         let Some((vp0, c0)) = vps.first().copied() else {
+            verdict(GcdClass::Unresponsive);
             return PrefixGcd {
                 class: GcdClass::Unresponsive,
                 enumeration: enumerate_counted(&[], &world.db, overlap_tests),
             };
         };
-        match probe_from(vp0) {
+        let best = probe_from(vp0);
+        trace_probe(vp0, best);
+        match best {
             Some(rtt) => samples.push(RttSample {
                 vp: vp0,
                 vp_coord: c0,
                 rtt_ms: rtt,
             }),
             None => {
+                verdict(GcdClass::Unresponsive);
                 return PrefixGcd {
                     class: GcdClass::Unresponsive,
                     enumeration: enumerate_counted(&[], &world.db, overlap_tests),
-                }
+                };
             }
         }
         start = 1;
     }
     for &(vp, coord) in &vps[start..] {
-        if let Some(rtt) = probe_from(vp) {
+        let best = probe_from(vp);
+        trace_probe(vp, best);
+        if let Some(rtt) = best {
             samples.push(RttSample {
                 vp,
                 vp_coord: coord,
@@ -373,7 +424,15 @@ fn measure_target(
         }
     }
 
+    let tests_before = *overlap_tests;
     let enumeration = enumerate_counted(&samples, &world.db, overlap_tests);
+    let tests_here = *overlap_tests - tests_before;
+    tracer.record_for(Component::Gcd, prefix, || TraceEvent::GcdOverlap {
+        prefix,
+        n_samples: enumeration.n_samples,
+        overlap_tests: tests_here,
+        n_sites: enumeration.n_sites(),
+    });
     let class = if enumeration.n_samples == 0 {
         GcdClass::Unresponsive
     } else if enumeration.is_anycast() {
@@ -381,5 +440,6 @@ fn measure_target(
     } else {
         GcdClass::Unicast
     };
+    verdict(class);
     PrefixGcd { class, enumeration }
 }

@@ -34,18 +34,26 @@ pub enum Rule {
     /// R5: no `println!`-family output in library crates; results flow
     /// through return values and `laces-obs` telemetry.
     PrintPath,
+    /// R6: no direct `degraded` / `worker_health` field matching on the
+    /// measurement path outside `impl Degraded for ..` blocks. Degradation
+    /// state is read through the [`Degraded`] trait
+    /// (`degraded_reasons()` / `is_degraded()`) so the sorted+dedup
+    /// invariant and the "published anyway, flagged why" contract stay in
+    /// one place; ad-hoc field pokes bypass both.
+    DegradedBypass,
     /// A malformed `laces-lint: allow(..)` marker: unknown rule id or
     /// missing justification. Markers must stay auditable.
     BadAllow,
 }
 
 /// All enforceable rules, in id order (excludes the marker meta-rule).
-pub const ALL_RULES: [Rule; 5] = [
+pub const ALL_RULES: [Rule; 6] = [
     Rule::WallClock,
     Rule::AmbientRng,
     Rule::UnorderedIter,
     Rule::PanicPath,
     Rule::PrintPath,
+    Rule::DegradedBypass,
 ];
 
 impl Rule {
@@ -57,6 +65,7 @@ impl Rule {
             Rule::UnorderedIter => "unordered-iter",
             Rule::PanicPath => "panic-path",
             Rule::PrintPath => "print-path",
+            Rule::DegradedBypass => "degraded-bypass",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -69,6 +78,7 @@ impl Rule {
             "unordered-iter" => Some(Rule::UnorderedIter),
             "panic-path" => Some(Rule::PanicPath),
             "print-path" => Some(Rule::PrintPath),
+            "degraded-bypass" => Some(Rule::DegradedBypass),
             "bad-allow" => Some(Rule::BadAllow),
             _ => None,
         }
@@ -96,6 +106,10 @@ impl Rule {
             Rule::PrintPath => {
                 "direct stdout/stderr output in a library crate — route through \
                  laces-obs telemetry or return the value"
+            }
+            Rule::DegradedBypass => {
+                "direct degraded/worker_health field access bypasses the Degraded \
+                 trait — read degradation through degraded_reasons()/is_degraded()"
             }
             Rule::BadAllow => {
                 "malformed laces-lint allow marker — needs a known rule id and a \
@@ -137,6 +151,13 @@ impl Rule {
             // R5: every library crate (bench is a reporting harness and
             // prints by design).
             Rule::PrintPath => is_lib_src(path) && !in_crate(path, "bench"),
+            // R6: measurement-path library code, except laces-obs — the
+            // owner of RunReport is allowed at its own fields.
+            Rule::DegradedBypass => {
+                is_lib_src(path)
+                    && !in_crate(path, "obs")
+                    && MEASUREMENT_CRATES.iter().any(|c| in_crate(path, c))
+            }
         }
     }
 }
@@ -191,11 +212,76 @@ pub struct Hit {
 }
 
 const WALL_CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
+const DEGRADED_FIELDS: [&str; 2] = ["degraded", "worker_health"];
 const AMBIENT_RNG_IDENTS: [&str; 3] = ["OsRng", "from_entropy", "thread_rng"];
 const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 const PANIC_METHODS: [&str; 2] = ["expect", "unwrap"];
 const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
 const PRINT_MACROS: [&str; 5] = ["dbg", "eprint", "eprintln", "print", "println"];
+
+/// Mark every token inside an `impl Degraded for ..` block (including
+/// `impl laces_obs::Degraded for ..` path forms): the one place direct
+/// `degraded` field access is the point rather than a bypass. Token-level
+/// brace matching, same approach as the test-exemption mask.
+fn degraded_impl_mask(tokens: &[Token]) -> Vec<bool> {
+    let n = tokens.len();
+    let mut mask = vec![false; n];
+    let text = |i: usize| tokens.get(i).map(|t| t.text.as_str());
+    let mut i = 0usize;
+    while i < n {
+        if text(i) != Some("impl") {
+            i += 1;
+            continue;
+        }
+        // Scan the impl header (up to the opening `{`), looking for the
+        // `Degraded .. for` shape. A `{` before `for` means this is an
+        // inherent impl (or a different trait) — leave it alone.
+        let mut saw_degraded = false;
+        let mut is_degraded_impl = false;
+        let mut j = i + 1;
+        while j < n {
+            match text(j) {
+                Some("{") => break,
+                Some("for") => {
+                    is_degraded_impl = saw_degraded;
+                    break;
+                }
+                Some("Degraded") => saw_degraded = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_degraded_impl {
+            i += 1;
+            continue;
+        }
+        // Find the block's `{` and mark through its matching `}`.
+        while j < n && text(j) != Some("{") {
+            j += 1;
+        }
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < n {
+            match text(k) {
+                Some("{") => depth += 1,
+                Some("}") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let end = (k + 1).min(n);
+        for m in mask.iter_mut().take(end).skip(i) {
+            *m = true;
+        }
+        i = end;
+    }
+    mask
+}
 
 /// Run every in-scope rule over the token stream. `skip[i]` marks tokens
 /// inside `#[cfg(test)]` items, `#[test]` items or attribute argument
@@ -203,6 +289,12 @@ const PRINT_MACROS: [&str; 5] = ["dbg", "eprint", "eprintln", "print", "println"
 pub fn check_tokens(path: &str, tokens: &[Token], skip: &[bool]) -> Vec<Hit> {
     let mut hits = Vec::new();
     let text = |i: usize| tokens.get(i).map(|t| t.text.as_str());
+    let degraded_scope = Rule::DegradedBypass.applies_to(path);
+    let degraded_impl = if degraded_scope {
+        degraded_impl_mask(tokens)
+    } else {
+        Vec::new()
+    };
     for (i, tok) in tokens.iter().enumerate() {
         if skip.get(i).copied().unwrap_or(false) {
             continue;
@@ -263,6 +355,22 @@ pub fn check_tokens(path: &str, tokens: &[Token], skip: &[bool]) -> Vec<Hit> {
                 matched: format!("{t}!"),
             });
         }
+        // `.degraded` / `.worker_health` field access (a following `(`
+        // would make it a method call — `census.degraded()` is the trait's
+        // own surface and stays legal).
+        if degraded_scope
+            && DEGRADED_FIELDS.contains(&t)
+            && i > 0
+            && text(i - 1) == Some(".")
+            && text(i + 1) != Some("(")
+            && !degraded_impl.get(i).copied().unwrap_or(false)
+        {
+            hits.push(Hit {
+                rule: Rule::DegradedBypass,
+                line: tok.line,
+                matched: format!(".{t}"),
+            });
+        }
     }
     hits
 }
@@ -301,8 +409,48 @@ mod tests {
         assert!(Rule::PrintPath.applies_to("crates/census/src/pipeline.rs"));
         assert!(!Rule::PrintPath.applies_to("crates/bench/src/report.rs"));
         assert!(!Rule::PrintPath.applies_to("crates/lint/src/main.rs"));
+        // R6 covers measurement-path library code but spares laces-obs,
+        // the owner of the RunReport fields.
+        assert!(Rule::DegradedBypass.applies_to("crates/core/src/results.rs"));
+        assert!(Rule::DegradedBypass.applies_to("crates/census/src/pipeline.rs"));
+        assert!(!Rule::DegradedBypass.applies_to("crates/obs/src/report.rs"));
+        assert!(!Rule::DegradedBypass.applies_to("crates/geo/src/cities.rs"));
+        assert!(!Rule::DegradedBypass.applies_to("crates/core/tests/fault_matrix.rs"));
         // Test trees are exempt from everything except ambient-rng.
         assert!(Rule::AmbientRng.applies_to("tests/tests/daily_census.rs"));
         assert!(!Rule::PanicPath.applies_to("crates/core/tests/fault_matrix.rs"));
+    }
+
+    #[test]
+    fn degraded_bypass_detection() {
+        use crate::scan_source;
+        let path = "crates/core/src/fixture.rs";
+        // Field access fires; method calls and trait impls do not.
+        let src = "\
+pub fn peek(outcome: &MeasurementOutcome) -> usize {
+    outcome.worker_health.len() + outcome.telemetry.degraded.len()
+}
+pub fn legal(census: &DailyCensus) -> bool {
+    census.degraded() || !census.degraded_reasons().is_empty()
+}
+impl Degraded for Wrapper {
+    fn degraded_reasons(&self) -> &[DegradedReason] {
+        &self.inner.degraded
+    }
+}
+impl laces_obs::Degraded for Other {
+    fn degraded_reasons(&self) -> &[DegradedReason] {
+        &self.report.degraded
+    }
+}
+";
+        let (violations, _) = scan_source(path, src);
+        let hits: Vec<(u32, &str)> = violations
+            .iter()
+            .filter(|v| v.rule == Rule::DegradedBypass)
+            .map(|v| (v.line, v.message.as_str()))
+            .collect();
+        assert_eq!(hits.len(), 2, "{violations:#?}");
+        assert!(hits.iter().all(|(line, _)| *line == 2), "{hits:?}");
     }
 }

@@ -27,6 +27,18 @@ pub fn marked_sites(x: Option<u8>) -> u8 {
     a + b
 }
 
+/// The Degraded trait's own surface: method calls and `impl Degraded for`
+/// bodies read degradation state legally.
+pub fn degradation_via_trait(census: &DailyCensus) -> bool {
+    census.degraded() || !census.degraded_reasons().is_empty()
+}
+
+impl Degraded for FixtureReport {
+    fn degraded_reasons(&self) -> &[DegradedReason] {
+        &self.telemetry.degraded
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::collections::HashMap;

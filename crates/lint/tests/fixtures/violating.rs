@@ -39,3 +39,9 @@ pub fn print_violations(n: usize) {
     println!("probing {n} targets"); // R5
     eprintln!("warning: {n}"); // R5
 }
+
+pub fn degraded_bypass_violations(outcome: &MeasurementOutcome) -> usize {
+    let crashed = outcome.worker_health.len(); // R6
+    let reasons = &outcome.telemetry.degraded; // R6
+    crashed + reasons.len()
+}

@@ -39,6 +39,7 @@ fn violating_fixture_fires_every_rule() {
     assert_eq!(counts.get("unordered-iter"), Some(&4), "{counts:?}");
     assert_eq!(counts.get("panic-path"), Some(&4), "{counts:?}");
     assert_eq!(counts.get("print-path"), Some(&2), "{counts:?}");
+    assert_eq!(counts.get("degraded-bypass"), Some(&2), "{counts:?}");
     assert_eq!(counts.get("bad-allow"), None, "{counts:?}");
 }
 
@@ -82,6 +83,8 @@ fn scope_gates_rules_by_path() {
     // In the obs crate wall-clock is legal (it owns simulated time).
     let (violations, _) = scan_source("crates/obs/src/fixture.rs", src);
     assert_eq!(count_by_rule(&violations).get("wall-clock"), None);
+    // In obs, degraded-bypass is also out of scope (owner of the fields).
+    assert_eq!(count_by_rule(&violations).get("degraded-bypass"), None);
     // In a test tree only ambient-rng still applies.
     let (violations, _) = scan_source("crates/core/tests/fixture.rs", src);
     let counts = count_by_rule(&violations);
@@ -130,6 +133,25 @@ fn update_baseline_round_trip_is_deterministic() {
     let text = baseline::render(&generated);
     let (back, problems) = baseline::parse(&text).unwrap();
     assert_eq!(problems.len(), 2, "unjustified entries are flagged");
+    assert_eq!(back, generated);
+    assert_eq!(baseline::render(&back), text);
+}
+
+#[test]
+fn degraded_bypass_baseline_regen_round_trip() {
+    // Regenerating a baseline over degraded-bypass hits must render and
+    // re-parse byte-identically, like every other rule's entries.
+    let (violations, _) = scan_source("crates/core/src/fixture.rs", &fixture("violating.rs"));
+    let bypass: Vec<Violation> = violations
+        .into_iter()
+        .filter(|v| v.rule == Rule::DegradedBypass)
+        .collect();
+    assert_eq!(bypass.len(), 2, "{bypass:?}");
+    let generated = baseline::regenerate(&bypass, &[]);
+    assert_eq!(generated.len(), 2);
+    assert!(generated.iter().all(|e| e.rule == "degraded-bypass"));
+    let text = baseline::render(&generated);
+    let (back, _) = baseline::parse(&text).unwrap();
     assert_eq!(back, generated);
     assert_eq!(baseline::render(&back), text);
 }

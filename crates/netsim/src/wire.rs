@@ -14,6 +14,7 @@ use laces_geo::Coord;
 use laces_obs::Counter;
 use laces_packet::probe::{Packet, PacketView};
 use laces_packet::{PacketError, PrefixKey, Protocol};
+use laces_trace::{Component, TraceEvent, Tracer, UnansweredCause, WireFate};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::net::IpAddr;
@@ -228,12 +229,21 @@ pub struct ProbeSession {
     catchments: Vec<Arc<DepCatchment>>,
     chaos_buf: String,
     reply_buf: Vec<u8>,
+    /// Flight recorder for per-probe wire fates; the default is the
+    /// disabled tracer, which costs one branch per probe.
+    tracer: Tracer,
 }
 
 impl ProbeSession {
     /// The source this session probes from.
     pub fn source(&self) -> ProbeSource {
         self.src
+    }
+
+    /// Attach a flight recorder; the wire emits a `WireOutcome` event for
+    /// every sampled probe this session sends.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -276,6 +286,7 @@ impl World {
                 .collect(),
             chaos_buf: String::new(),
             reply_buf: Vec::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -319,6 +330,7 @@ impl World {
             |responder_as| self.receiving_site(src_platform, responder_as, ctx.day),
             &mut chaos_buf,
             &mut reply_buf,
+            &Tracer::disabled(),
         )
     }
 
@@ -358,7 +370,9 @@ impl World {
             catchments,
             chaos_buf,
             reply_buf,
+            tracer,
         } = session;
+        let tracer = &*tracer;
         let (src, src_platform, src_as, src_vp_pos, src_coord) =
             (*src, *src_platform, *src_as, *src_vp_pos, *src_coord);
         let routes = routes.as_deref();
@@ -389,6 +403,7 @@ impl World {
                 |responder_as| receiving_site_in(seed, routes?, src_platform, responder_as, day),
                 chaos_buf,
                 reply_buf,
+                tracer,
             );
             match sent {
                 Ok(Some(d)) => out.push(d),
@@ -431,19 +446,38 @@ impl World {
         mut receiving: impl FnMut(u32) -> Option<(usize, u16, TieSet)>,
         chaos_buf: &mut String,
         reply_buf: &mut Vec<u8>,
+        tracer: &Tracer,
     ) -> Result<Option<Delivery>, PacketError> {
-        let Some(tid) = self.lookup(PrefixKey::of(packet.dst)) else {
-            return Ok(None);
-        };
-        let target = self.target(tid);
-        if !target.alive_on(self.cfg.seed, tid, ctx.day) || !target.resp.to(packet.protocol) {
-            return Ok(None);
-        }
-
         let src_idx = match src {
             ProbeSource::Worker { site, .. } => site,
             ProbeSource::Vp { vp, .. } => vp,
         };
+        // Per-probe flight-recorder hook: a single branch when tracing is
+        // disabled, and the event closure only runs for sampled targets.
+        // Every fate is keyed on per-probe coordinates (prefix, sender,
+        // schedule time), so the recorded multiset is batch-invariant.
+        let prefix = PrefixKey::of(packet.dst);
+        let unanswered = |cause: UnansweredCause| {
+            tracer.record_for(Component::Wire, prefix, || TraceEvent::WireOutcome {
+                prefix,
+                worker: src_idx as u16,
+                tx_time_ms,
+                fate: WireFate::Unanswered { cause },
+            });
+        };
+        let Some(tid) = self.lookup(prefix) else {
+            unanswered(UnansweredCause::UnknownTarget);
+            return Ok(None);
+        };
+        let target = self.target(tid);
+        if !target.alive_on(self.cfg.seed, tid, ctx.day) {
+            unanswered(UnansweredCause::TargetDown);
+            return Ok(None);
+        }
+        if !target.resp.to(packet.protocol) {
+            unanswered(UnansweredCause::ProtocolClosed);
+            return Ok(None);
+        }
         // Per-probe draws are keyed by the probe's position in the
         // measurement schedule (offset inside the target's window), not by
         // absolute transmit time: pacing the same schedule slower or faster
@@ -462,6 +496,7 @@ impl World {
             ],
         );
         if rng::unit_f64(rng::mix(probe_key, 0x1055)) < self.cfg.loss_rate {
+            unanswered(UnansweredCause::ProbeLost);
             return Ok(None);
         }
 
@@ -480,6 +515,7 @@ impl World {
                 _ => unreachable!("acts_anycast implies a deployment"),
             };
             let Some((site, dist)) = forward(dep) else {
+                unanswered(UnansweredCause::NoForwardRoute);
                 return Ok(None);
             };
             let s = &self.deployment(dep).sites[site];
@@ -535,7 +571,11 @@ impl World {
                         (target.as_idx, coord, None, hops)
                     }
                 }
-                TargetKind::Anycast { .. } => return Ok(None), // inactive temporary anycast
+                TargetKind::Anycast { .. } => {
+                    // Inactive temporary anycast.
+                    unanswered(UnansweredCause::InactiveAnycast);
+                    return Ok(None);
+                }
             }
         };
 
@@ -570,6 +610,7 @@ impl World {
             ProbeSource::Vp { .. } => (src_idx, hops_fwd, src_coord),
             ProbeSource::Worker { platform, .. } => {
                 let Some((primary, dist_back, ties)) = receiving(responder_as) else {
+                    unanswered(UnansweredCause::NoReverseRoute);
                     return Ok(None);
                 };
                 let mut site = primary;
@@ -601,6 +642,7 @@ impl World {
                     }
                 }
                 let Some(sites) = self.platform(platform).sites() else {
+                    unanswered(UnansweredCause::NoReverseRoute);
                     return Ok(None);
                 };
                 (site, dist_back, self.db.get(sites[site].city).coord)
@@ -629,6 +671,15 @@ impl World {
             rtt += (1.0 / (1.0 - 0.92 * u) - 1.0).min(40.0) + 0.5;
         }
         let rx_time_ms = tx_time_ms + (rtt.ceil() as u64).max(1);
+        tracer.record_for(Component::Wire, prefix, || TraceEvent::WireOutcome {
+            prefix,
+            worker: src_idx as u16,
+            tx_time_ms,
+            fate: WireFate::Delivered {
+                rx_worker: rx_index as u16,
+                rx_time_ms,
+            },
+        });
         Ok(Some(Delivery {
             packet: Packet {
                 src: packet.dst,

@@ -269,6 +269,67 @@ mod tests {
     }
 
     #[test]
+    fn absorb_histogram_name_collision_overwrites() {
+        // Two children absorbed under the same prefix with the same
+        // histogram name: record_histogram replaces, so the last child
+        // wins — callers who need both must use distinct prefixes.
+        let mut first = RunReport::new();
+        let mut h1 = Histogram::new(&[10]);
+        h1.observe(1);
+        first.record_histogram("rtt_ms", h1.snapshot());
+        let mut second = RunReport::new();
+        let mut h2 = Histogram::new(&[10]);
+        h2.observe(1);
+        h2.observe(2);
+        h2.observe(3);
+        second.record_histogram("rtt_ms", h2.snapshot());
+
+        let mut outer = RunReport::new();
+        outer.absorb("stage", &first);
+        outer.absorb("stage", &second);
+        assert_eq!(outer.histograms.len(), 1);
+        assert_eq!(outer.histograms["stage.rtt_ms"], h2.snapshot());
+    }
+
+    #[test]
+    fn absorb_twice_doubles_counters_but_not_gauges_or_degradation() {
+        let inner = sample();
+        let mut outer = RunReport::new();
+        outer.absorb("stage", &inner);
+        outer.absorb("stage", &inner);
+        // Counters accumulate: a double absorb genuinely double-counts.
+        assert_eq!(
+            outer.counter("stage.orchestrator.orders_streamed"),
+            2 * inner.counter("orchestrator.orders_streamed")
+        );
+        // Gauges are point-in-time sets: the second absorb overwrites
+        // with the same value, so the result is idempotent.
+        assert_eq!(outer.gauge("stage.gcd.n_vps"), inner.gauge("gcd.n_vps"));
+        // Degradation events dedup — the same wrapped reason once.
+        assert_eq!(outer.degraded_reasons().len(), 1);
+        // Stages are never copied by absorb.
+        assert!(outer.stages.is_empty());
+    }
+
+    #[test]
+    fn absorb_into_nonempty_parent_with_overlapping_gauge_keys() {
+        let mut outer = RunReport::new();
+        outer.inc("stage.shared", 10);
+        outer.set_gauge("stage.level", 3);
+        let mut inner = RunReport::new();
+        inner.inc("shared", 5);
+        inner.set_gauge("level", 9);
+        outer.absorb("stage", &inner);
+        // The child's re-keyed names collide with the parent's existing
+        // keys: counters add onto them, gauges overwrite them.
+        assert_eq!(outer.counter("stage.shared"), 15);
+        assert_eq!(outer.gauge("stage.level"), 9);
+        // Only the two (merged) keys exist — no duplicate entries.
+        assert_eq!(outer.counters.len(), 1);
+        assert_eq!(outer.gauges.len(), 1);
+    }
+
+    #[test]
     fn jsonl_is_deterministic_and_line_per_entry() {
         let r = sample();
         let a = r.to_jsonl();

@@ -1,0 +1,602 @@
+//! `Trace::explain(prefix)` — reconstruct the causal chain justifying a
+//! target's verdict from the recorded event stream, including
+//! fault-attributed probe loss ("reply dropped by capture-fabric drop
+//! fault en route 3→1").
+
+use std::collections::BTreeMap;
+
+use laces_packet::PrefixKey;
+
+use crate::event::{FabricFaultKind, OrderFaultCause, TraceEvent, UnansweredCause, WireFate};
+use crate::prefix_sampled;
+use crate::report::TraceReport;
+
+/// The resolved fate of one probe order for the explained target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeFate {
+    /// The probe reached a site and its reply reached a worker.
+    Delivered {
+        /// Transmitting worker.
+        worker: u16,
+        /// Capturing worker.
+        rx_worker: u16,
+        /// SimClock capture time.
+        rx_time_ms: u64,
+        /// Whether a capture event accepted the reply.
+        captured: bool,
+        /// Whether the capture fabric duplicated the reply.
+        duplicated: bool,
+    },
+    /// The wire attributed the loss.
+    Unanswered {
+        /// Transmitting worker.
+        worker: u16,
+        /// Attributed cause.
+        cause: UnansweredCause,
+    },
+    /// The reply was dropped by a capture-fabric fault.
+    DroppedByFabric {
+        /// Transmitting worker.
+        worker: u16,
+        /// Worker the reply was addressed to.
+        rx_worker: u16,
+    },
+    /// The reply was delivered but its capturing worker failed before
+    /// processing it.
+    CaptureLostToWorkerFault {
+        /// Transmitting worker.
+        worker: u16,
+        /// The failed capturing worker.
+        rx_worker: u16,
+    },
+    /// The probe was never sent: the transmitting worker failed first.
+    LostToWorkerFault {
+        /// The failed worker.
+        worker: u16,
+    },
+    /// The order never reached the worker: an order-channel fault.
+    LostToOrderFault {
+        /// The faulted worker.
+        worker: u16,
+        /// What the fault did.
+        cause: OrderFaultCause,
+    },
+    /// The recorder has no explanation for this order — the chain is
+    /// incomplete.
+    Unknown {
+        /// The worker whose order is unexplained.
+        worker: u16,
+    },
+}
+
+/// A [`ProbeFate`] with the section scope it was resolved in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// Section scope (stage label) the probe belongs to.
+    pub scope: String,
+    /// Resolved fate.
+    pub fate: ProbeFate,
+}
+
+/// The full causal chain for one target, as reconstructed by
+/// [`TraceReport::explain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// The explained target.
+    pub prefix: PrefixKey,
+    /// Whether the target was in the traced sample.
+    pub sampled: bool,
+    /// Every probe order's resolved fate, in (section, worker) order.
+    pub probes: Vec<ProbeOutcome>,
+    /// Verdicts reached about the target, as `(scope, verdict)` pairs —
+    /// classification verdicts and GCD classes.
+    pub verdicts: Vec<(String, String)>,
+    /// Human-readable narrative of the chain, in section order.
+    pub steps: Vec<String>,
+    /// True when the target was sampled, at least one event references it,
+    /// and every probe order resolved to an attributed fate (no
+    /// [`ProbeFate::Unknown`]).
+    pub complete: bool,
+}
+
+impl TraceReport {
+    /// Reconstruct the causal chain justifying `prefix`'s verdict.
+    pub fn explain(&self, prefix: PrefixKey) -> Explanation {
+        let sampled = self.enabled && prefix_sampled(self.seed, self.sample_per_mille, prefix);
+        let mut out = Explanation {
+            prefix,
+            sampled,
+            probes: Vec::new(),
+            verdicts: Vec::new(),
+            steps: Vec::new(),
+            complete: false,
+        };
+        if !self.enabled {
+            out.steps.push("tracing was disabled for this run".into());
+            return out;
+        }
+        if !sampled {
+            out.steps.push(format!(
+                "{prefix} is outside the traced sample ({}‰, seed {:#x})",
+                self.sample_per_mille, self.seed
+            ));
+            return out;
+        }
+        let mut found_any = false;
+        for section in &self.sections {
+            found_any |= explain_section(section, prefix, &mut out);
+        }
+        if !found_any {
+            out.steps
+                .push(format!("no recorded events reference {prefix}"));
+        }
+        out.complete = found_any
+            && !out
+                .probes
+                .iter()
+                .any(|p| matches!(p.fate, ProbeFate::Unknown { .. }));
+        out
+    }
+}
+
+/// Explain one section's slice of the chain. Returns whether any event in
+/// the section references the prefix.
+fn explain_section(
+    section: &crate::report::TraceSection,
+    prefix: PrefixKey,
+    out: &mut Explanation,
+) -> bool {
+    let scope = section.scope.as_str();
+    let label = if scope.is_empty() {
+        "measurement"
+    } else {
+        scope
+    };
+    // Worker faults are unsampled section-wide context.
+    let mut worker_faults: BTreeMap<u16, (&str, u64)> = BTreeMap::new();
+    for event in &section.events {
+        if let TraceEvent::WorkerFault {
+            worker,
+            cause,
+            after_probes,
+        } = event
+        {
+            worker_faults.insert(*worker, (cause.as_str(), *after_probes));
+        }
+    }
+
+    let mine: Vec<&TraceEvent> = section
+        .events
+        .iter()
+        .filter(|e| e.prefix() == Some(prefix))
+        .collect();
+    if mine.is_empty() {
+        return false;
+    }
+
+    let mut sent: Vec<u16> = Vec::new();
+    let mut outcomes: Vec<(u16, WireFate)> = Vec::new();
+    let mut fabric: Vec<(u16, u16, u64, FabricFaultKind, bool)> = Vec::new();
+    let mut captures: Vec<(u16, u64, bool, bool)> = Vec::new();
+    let mut orders: Vec<(u16, Option<OrderFaultCause>)> = Vec::new();
+    let mut contributions = 0usize;
+    for event in &mine {
+        match event {
+            TraceEvent::OrderIssued { worker, .. } => orders.push((*worker, None)),
+            TraceEvent::OrderFault { worker, cause, .. } => orders.push((*worker, Some(*cause))),
+            TraceEvent::ProbeSent { worker, .. } => sent.push(*worker),
+            TraceEvent::WireOutcome { worker, fate, .. } => outcomes.push((*worker, *fate)),
+            TraceEvent::FabricFault {
+                tx_worker,
+                rx_worker,
+                rx_time_ms,
+                kind,
+                ..
+            } => fabric.push((*tx_worker, *rx_worker, *rx_time_ms, *kind, false)),
+            TraceEvent::Captured {
+                rx_worker,
+                rx_time_ms,
+                accepted,
+                ..
+            } => captures.push((*rx_worker, *rx_time_ms, *accepted, false)),
+            _ => {}
+        }
+    }
+
+    let before = out.probes.len();
+    for (worker, order_fault) in &orders {
+        let fate = resolve_order(
+            *worker,
+            *order_fault,
+            &sent,
+            &outcomes,
+            &mut fabric,
+            &mut captures,
+            &worker_faults,
+        );
+        out.probes.push(ProbeOutcome {
+            scope: scope.to_string(),
+            fate,
+        });
+    }
+    let resolved = &out.probes[before..];
+
+    if !orders.is_empty() {
+        let delivered = resolved
+            .iter()
+            .filter(|p| matches!(p.fate, ProbeFate::Delivered { .. }))
+            .count();
+        let captured = resolved
+            .iter()
+            .filter(|p| matches!(p.fate, ProbeFate::Delivered { captured: true, .. }))
+            .count();
+        out.steps.push(format!(
+            "[{label}] {} probe orders issued; {delivered} replies delivered, {captured} captured",
+            orders.len(),
+        ));
+        for probe in resolved {
+            if let Some(line) = describe_loss(&probe.fate, &worker_faults) {
+                out.steps.push(format!("[{label}] {line}"));
+            }
+        }
+    }
+
+    for event in &mine {
+        match event {
+            TraceEvent::ClassContribution { .. } => contributions += 1,
+            TraceEvent::ClassVerdict { n_vps, verdict, .. } => {
+                out.steps.push(format!(
+                    "[{label}] classified {verdict} from {contributions} records \
+                     across {n_vps} distinct workers"
+                ));
+                out.verdicts.push((scope.to_string(), verdict.clone()));
+            }
+            TraceEvent::GcdProbe {
+                vp, rtt_micro_ms, ..
+            } => {
+                let line = match rtt_micro_ms {
+                    Some(us) => format!(
+                        "[{label}] GCD probe from VP {vp}: rtt {}.{:03} ms",
+                        us / 1000,
+                        us % 1000
+                    ),
+                    None => format!("[{label}] GCD probe from VP {vp}: unanswered"),
+                };
+                out.steps.push(line);
+            }
+            TraceEvent::GcdOverlap {
+                n_samples,
+                overlap_tests,
+                n_sites,
+                ..
+            } => out.steps.push(format!(
+                "[{label}] GCD enumeration: {n_samples} RTT samples, \
+                 {overlap_tests} overlap tests, {n_sites} sites kept"
+            )),
+            TraceEvent::GcdVerdict { class, .. } => {
+                out.steps.push(format!("[{label}] GCD verdict: {class}"));
+                out.verdicts.push((scope.to_string(), class.clone()));
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_order(
+    worker: u16,
+    order_fault: Option<OrderFaultCause>,
+    sent: &[u16],
+    outcomes: &[(u16, WireFate)],
+    fabric: &mut [(u16, u16, u64, FabricFaultKind, bool)],
+    captures: &mut [(u16, u64, bool, bool)],
+    worker_faults: &BTreeMap<u16, (&str, u64)>,
+) -> ProbeFate {
+    if let Some(cause) = order_fault {
+        return ProbeFate::LostToOrderFault { worker, cause };
+    }
+    if !sent.contains(&worker) {
+        return if worker_faults.contains_key(&worker) {
+            ProbeFate::LostToWorkerFault { worker }
+        } else {
+            ProbeFate::Unknown { worker }
+        };
+    }
+    let fate = match outcomes.iter().find(|(w, _)| *w == worker) {
+        Some((_, fate)) => *fate,
+        None => return ProbeFate::Unknown { worker },
+    };
+    let (rx_worker, rx_time_ms) = match fate {
+        WireFate::Unanswered { cause } => return ProbeFate::Unanswered { worker, cause },
+        WireFate::Delivered {
+            rx_worker,
+            rx_time_ms,
+        } => (rx_worker, rx_time_ms),
+    };
+    // Consume a matching fabric fault, if one was recorded.
+    let mut duplicated = false;
+    if let Some(fault) = fabric
+        .iter_mut()
+        .find(|(tx, rx, t, _, used)| !used && *tx == worker && *rx == rx_worker && *t == rx_time_ms)
+    {
+        fault.4 = true;
+        match fault.3 {
+            FabricFaultKind::Dropped => return ProbeFate::DroppedByFabric { worker, rx_worker },
+            FabricFaultKind::Duplicated => duplicated = true,
+        }
+    }
+    // Consume the matching capture(s) — two when duplicated.
+    let mut captured = false;
+    for _ in 0..if duplicated { 2 } else { 1 } {
+        if let Some(cap) = captures
+            .iter_mut()
+            .find(|(rx, t, _, used)| !used && *rx == rx_worker && *t == rx_time_ms)
+        {
+            cap.3 = true;
+            captured |= cap.2;
+        }
+    }
+    if !captured && worker_faults.contains_key(&rx_worker) {
+        return ProbeFate::CaptureLostToWorkerFault { worker, rx_worker };
+    }
+    ProbeFate::Delivered {
+        worker,
+        rx_worker,
+        rx_time_ms,
+        captured,
+        duplicated,
+    }
+}
+
+/// A narrative line for a lossy (or noteworthy) fate; clean deliveries
+/// stay in the summary line.
+fn describe_loss(fate: &ProbeFate, worker_faults: &BTreeMap<u16, (&str, u64)>) -> Option<String> {
+    match fate {
+        ProbeFate::Delivered {
+            worker,
+            rx_worker,
+            duplicated: true,
+            ..
+        } => Some(format!(
+            "worker {worker}: reply duplicated by capture-fabric dup fault en route to \
+             worker {rx_worker}"
+        )),
+        ProbeFate::Delivered { .. } => None,
+        ProbeFate::Unanswered { worker, cause } => Some(format!(
+            "worker {worker}: unanswered — {}",
+            cause.describe()
+        )),
+        ProbeFate::DroppedByFabric { worker, rx_worker } => Some(format!(
+            "worker {worker}: reply dropped by capture-fabric drop fault en route to \
+             worker {rx_worker}"
+        )),
+        ProbeFate::CaptureLostToWorkerFault { worker, rx_worker } => {
+            let cause = worker_faults.get(rx_worker).map_or("fault", |(c, _)| c);
+            Some(format!(
+                "worker {worker}: reply delivered to worker {rx_worker}, lost when it \
+                 failed ({cause})"
+            ))
+        }
+        ProbeFate::LostToWorkerFault { worker } => {
+            let (cause, after) = worker_faults.get(worker).copied().unwrap_or(("fault", 0));
+            Some(format!(
+                "worker {worker}: probe never sent — worker failed ({cause}) after \
+                 {after} probes"
+            ))
+        }
+        ProbeFate::LostToOrderFault { worker, cause } => Some(format!(
+            "worker {worker}: order consumed by channel fault ({})",
+            match cause {
+                OrderFaultCause::Delayed => "delayed",
+                OrderFaultCause::ChannelClosed => "channel closed",
+            }
+        )),
+        ProbeFate::Unknown { worker } => Some(format!(
+            "worker {worker}: no recorded fate for this order (chain incomplete)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::TraceSection;
+    use laces_packet::Prefix24;
+
+    fn p(net: u32) -> PrefixKey {
+        PrefixKey::V4(Prefix24::from_network(net << 8))
+    }
+
+    fn report(events: Vec<TraceEvent>) -> TraceReport {
+        TraceReport {
+            enabled: true,
+            seed: 1,
+            sample_per_mille: 1000,
+            sections: vec![TraceSection {
+                scope: String::new(),
+                events,
+                dropped: BTreeMap::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn clean_delivery_chain_is_complete() {
+        let prefix = p(1);
+        let r = report(vec![
+            TraceEvent::OrderIssued {
+                prefix,
+                worker: 0,
+                window_start_ms: 0,
+            },
+            TraceEvent::ProbeSent {
+                prefix,
+                worker: 0,
+                tx_time_ms: 0,
+            },
+            TraceEvent::WireOutcome {
+                prefix,
+                worker: 0,
+                tx_time_ms: 0,
+                fate: WireFate::Delivered {
+                    rx_worker: 2,
+                    rx_time_ms: 23,
+                },
+            },
+            TraceEvent::Captured {
+                prefix,
+                rx_worker: 2,
+                rx_time_ms: 23,
+                accepted: true,
+                chaos_identity: Some("site-a".into()),
+            },
+            TraceEvent::ClassVerdict {
+                prefix,
+                n_vps: 1,
+                verdict: "unicast".into(),
+            },
+        ]);
+        let ex = r.explain(prefix);
+        assert!(ex.sampled);
+        assert!(ex.complete, "steps: {:?}", ex.steps);
+        assert_eq!(ex.probes.len(), 1);
+        assert!(matches!(
+            ex.probes[0].fate,
+            ProbeFate::Delivered {
+                captured: true,
+                duplicated: false,
+                ..
+            }
+        ));
+        assert_eq!(ex.verdicts, vec![(String::new(), "unicast".to_string())]);
+    }
+
+    #[test]
+    fn fault_attributed_losses_resolve() {
+        let prefix = p(2);
+        let r = report(vec![
+            // Worker 0: dropped by the fabric.
+            TraceEvent::OrderIssued {
+                prefix,
+                worker: 0,
+                window_start_ms: 0,
+            },
+            TraceEvent::ProbeSent {
+                prefix,
+                worker: 0,
+                tx_time_ms: 0,
+            },
+            TraceEvent::WireOutcome {
+                prefix,
+                worker: 0,
+                tx_time_ms: 0,
+                fate: WireFate::Delivered {
+                    rx_worker: 1,
+                    rx_time_ms: 9,
+                },
+            },
+            TraceEvent::FabricFault {
+                prefix,
+                tx_worker: 0,
+                rx_worker: 1,
+                rx_time_ms: 9,
+                kind: FabricFaultKind::Dropped,
+            },
+            // Worker 3: never sent, crashed first.
+            TraceEvent::OrderIssued {
+                prefix,
+                worker: 3,
+                window_start_ms: 0,
+            },
+            TraceEvent::WorkerFault {
+                worker: 3,
+                cause: "crash".into(),
+                after_probes: 37,
+            },
+            // Worker 4: order channel closed.
+            TraceEvent::OrderFault {
+                prefix,
+                worker: 4,
+                cause: OrderFaultCause::ChannelClosed,
+            },
+            // Worker 5: unanswered on the wire.
+            TraceEvent::OrderIssued {
+                prefix,
+                worker: 5,
+                window_start_ms: 0,
+            },
+            TraceEvent::ProbeSent {
+                prefix,
+                worker: 5,
+                tx_time_ms: 5,
+            },
+            TraceEvent::WireOutcome {
+                prefix,
+                worker: 5,
+                tx_time_ms: 5,
+                fate: WireFate::Unanswered {
+                    cause: UnansweredCause::ProbeLost,
+                },
+            },
+        ]);
+        let ex = r.explain(prefix);
+        assert!(ex.complete, "steps: {:?}", ex.steps);
+        let fates: Vec<&ProbeFate> = ex.probes.iter().map(|o| &o.fate).collect();
+        assert!(fates.contains(&&ProbeFate::DroppedByFabric {
+            worker: 0,
+            rx_worker: 1
+        }));
+        assert!(fates.contains(&&ProbeFate::LostToWorkerFault { worker: 3 }));
+        assert!(fates.contains(&&ProbeFate::LostToOrderFault {
+            worker: 4,
+            cause: OrderFaultCause::ChannelClosed
+        }));
+        assert!(fates.contains(&&ProbeFate::Unanswered {
+            worker: 5,
+            cause: UnansweredCause::ProbeLost
+        }));
+        assert!(ex
+            .steps
+            .iter()
+            .any(|s| s.contains("dropped by capture-fabric drop fault")));
+    }
+
+    #[test]
+    fn unexplained_orders_mark_the_chain_incomplete() {
+        let prefix = p(3);
+        let r = report(vec![TraceEvent::OrderIssued {
+            prefix,
+            worker: 0,
+            window_start_ms: 0,
+        }]);
+        let ex = r.explain(prefix);
+        assert!(!ex.complete);
+        assert!(matches!(
+            ex.probes[0].fate,
+            ProbeFate::Unknown { worker: 0 }
+        ));
+    }
+
+    #[test]
+    fn unsampled_and_disabled_cases_are_explicit() {
+        let disabled = TraceReport::default();
+        let ex = disabled.explain(p(4));
+        assert!(!ex.sampled && !ex.complete);
+        assert!(ex.steps[0].contains("disabled"));
+
+        let sparse = TraceReport {
+            enabled: true,
+            seed: 0x5EED,
+            sample_per_mille: 1,
+            sections: Vec::new(),
+        };
+        let miss = (0..5000)
+            .map(p)
+            .find(|&k| !prefix_sampled(0x5EED, 1, k))
+            .expect("some unsampled prefix");
+        let ex = sparse.explain(miss);
+        assert!(!ex.sampled);
+        assert!(ex.steps[0].contains("outside the traced sample"));
+    }
+}

@@ -1,0 +1,174 @@
+//! The serializable trace report: scoped sections of canonical events.
+
+use std::collections::BTreeMap;
+
+use laces_packet::PrefixKey;
+use serde::{Deserialize, Serialize};
+
+use crate::event::TraceEvent;
+
+/// A snapshot of the flight recorder, attached to
+/// `MeasurementOutcome` / `GcdReport` / `CensusStats` alongside the
+/// telemetry `RunReport`. The disabled default is empty and serializes to
+/// a few bytes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Whether tracing was enabled for the run this report summarizes.
+    pub enabled: bool,
+    /// The sampling seed used.
+    pub seed: u64,
+    /// The sampling rate used (per mille).
+    pub sample_per_mille: u16,
+    /// Scoped event sections, in pipeline order. A standalone measurement
+    /// has one section; a census day absorbs one (or more) per stage.
+    pub sections: Vec<TraceSection>,
+}
+
+/// One scoped slice of the recorded event stream: a measurement, a
+/// classification pass, or a GCD campaign.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSection {
+    /// Scope label; the census pipeline prefixes child scopes with the
+    /// stage label (`v4_icmp`, `v4_icmp/classify`, `gcd`, …).
+    pub scope: String,
+    /// Events in canonical (derived `Ord`) order.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted by the per-component cap, keyed by component name.
+    /// Empty when every recorded event was retained.
+    pub dropped: BTreeMap<String, u64>,
+}
+
+/// Alias so the explain API reads as `Trace::explain(prefix)`.
+pub type Trace = TraceReport;
+
+impl TraceReport {
+    /// Fold a child report into this one, prefixing each child section's
+    /// scope with `label` (a child's root section — empty scope — becomes
+    /// `label` itself). Mirrors `RunReport::absorb`.
+    pub fn absorb(&mut self, label: &str, child: TraceReport) {
+        if child.enabled {
+            self.enabled = true;
+            self.seed = child.seed;
+            self.sample_per_mille = child.sample_per_mille;
+        }
+        for mut section in child.sections {
+            section.scope = if section.scope.is_empty() {
+                label.to_string()
+            } else {
+                format!("{label}/{}", section.scope)
+            };
+            self.sections.push(section);
+        }
+    }
+
+    /// Total events across all sections.
+    pub fn n_events(&self) -> usize {
+        self.sections.iter().map(|s| s.events.len()).sum()
+    }
+
+    /// Every event referencing `prefix`, with its section scope.
+    pub fn events_for(&self, prefix: PrefixKey) -> Vec<(&str, &TraceEvent)> {
+        self.sections
+            .iter()
+            .flat_map(|s| {
+                s.events
+                    .iter()
+                    .filter(move |e| e.prefix() == Some(prefix))
+                    .map(move |e| (s.scope.as_str(), e))
+            })
+            .collect()
+    }
+
+    /// Every distinct sampled prefix that appears in the report.
+    pub fn traced_prefixes(&self) -> Vec<PrefixKey> {
+        let mut prefixes: Vec<PrefixKey> = self
+            .sections
+            .iter()
+            .flat_map(|s| s.events.iter().filter_map(TraceEvent::prefix))
+            .collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        prefixes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_packet::Prefix24;
+
+    fn p(net: u32) -> PrefixKey {
+        PrefixKey::V4(Prefix24::from_network(net << 8))
+    }
+
+    fn section(scope: &str, prefix: PrefixKey) -> TraceSection {
+        TraceSection {
+            scope: scope.to_string(),
+            events: vec![TraceEvent::ProbeSent {
+                prefix,
+                worker: 0,
+                tx_time_ms: 1,
+            }],
+            dropped: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn absorb_scopes_child_sections() {
+        let mut day = TraceReport::default();
+        let child = TraceReport {
+            enabled: true,
+            seed: 9,
+            sample_per_mille: 500,
+            sections: vec![section("", p(1)), section("classify", p(1))],
+        };
+        day.absorb("v4_icmp", child);
+        assert!(day.enabled);
+        assert_eq!(day.seed, 9);
+        let scopes: Vec<&str> = day.sections.iter().map(|s| s.scope.as_str()).collect();
+        assert_eq!(scopes, ["v4_icmp", "v4_icmp/classify"]);
+        // Absorbing a disabled child changes nothing about the header.
+        day.absorb("noop", TraceReport::default());
+        assert!(day.enabled);
+        assert_eq!(day.sections.len(), 2);
+    }
+
+    #[test]
+    fn events_for_filters_by_prefix_across_sections() {
+        let mut day = TraceReport::default();
+        day.absorb(
+            "a",
+            TraceReport {
+                enabled: true,
+                seed: 1,
+                sample_per_mille: 1000,
+                sections: vec![section("", p(1)), section("", p(2))],
+            },
+        );
+        assert_eq!(day.events_for(p(1)).len(), 1);
+        assert_eq!(day.events_for(p(3)).len(), 0);
+        assert_eq!(day.traced_prefixes(), vec![p(1), p(2)]);
+        assert_eq!(day.n_events(), 2);
+    }
+
+    #[test]
+    fn report_roundtrips_through_the_value_model() {
+        let report = TraceReport {
+            enabled: true,
+            seed: 3,
+            sample_per_mille: 100,
+            sections: vec![TraceSection {
+                scope: "m".into(),
+                events: vec![TraceEvent::WorkerFault {
+                    worker: 2,
+                    cause: "crash".into(),
+                    after_probes: 5,
+                }],
+                dropped: [("wire".to_string(), 4u64)].into(),
+            }],
+        };
+        let json = serde_json::to_string(&report).expect("serialize");
+        let back: TraceReport = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end: the flight recorder explains a faulted census day.
+//!
+//! Runs one census day with tracing on and a worker-crash + capture-fabric
+//! fault plan active, then asserts `Trace::explain(prefix)` reconstructs a
+//! *complete* causal chain for every sampled target — including
+//! fault-attributed probe loss — and that the day-level trace report is
+//! rerun-deterministic and lands in the store's sidecars.
+
+use std::sync::Arc;
+
+use laces_census::pipeline::{CensusPipeline, PipelineConfig};
+use laces_census::store::CensusStore;
+use laces_core::fault::FaultPlan;
+use laces_netsim::{World, WorldConfig};
+use laces_trace::explain::ProbeFate;
+use laces_trace::TraceConfig;
+
+fn world() -> Arc<World> {
+    Arc::new(World::generate(WorldConfig::tiny()))
+}
+
+fn faulted_config(w: &World) -> PipelineConfig {
+    let mut cfg = PipelineConfig::icmp_only(w);
+    cfg.faults = FaultPlan::with_seed(0xDA7A)
+        .and_crash(3, 5)
+        .and_fabric(0.05, 0.03);
+    cfg.trace = TraceConfig::all(0x7ACE);
+    // Full sampling over every target in the day needs headroom beyond the
+    // default per-component cap (which is sized for sampled production
+    // tracing): completeness claims require the recorder not to overflow.
+    cfg.trace.cap_per_component = 1 << 20;
+    cfg
+}
+
+#[test]
+fn explain_covers_every_sampled_target_on_a_faulted_day() {
+    let w = world();
+    let mut pipeline = CensusPipeline::new(Arc::clone(&w), faulted_config(&w));
+    let out = pipeline.run_day(0).expect("valid pipeline config");
+    assert!(out.degraded(), "the crash plan must degrade the day");
+    let trace = &out.census.stats.trace_report;
+    assert!(trace.enabled);
+    assert!(trace.n_events() > 0);
+
+    let traced = trace.traced_prefixes();
+    assert!(!traced.is_empty(), "a full-sample day must trace targets");
+    let mut fault_attributed = 0usize;
+    let mut verdicts_seen = 0usize;
+    for prefix in &traced {
+        let ex = trace.explain(*prefix);
+        assert!(ex.sampled, "{prefix}: TraceConfig::all samples everything");
+        assert!(
+            ex.complete,
+            "{prefix}: causal chain incomplete on the faulted day\nsteps: {:#?}",
+            ex.steps
+        );
+        verdicts_seen += ex.verdicts.len();
+        for probe in &ex.probes {
+            if matches!(
+                probe.fate,
+                ProbeFate::DroppedByFabric { .. }
+                    | ProbeFate::LostToWorkerFault { .. }
+                    | ProbeFate::CaptureLostToWorkerFault { .. }
+                    | ProbeFate::LostToOrderFault { .. }
+            ) {
+                fault_attributed += 1;
+            }
+        }
+    }
+    assert!(
+        fault_attributed > 0,
+        "the crash/fabric faults must be attributed in some chain"
+    );
+    assert!(verdicts_seen > 0, "explanations must carry verdicts");
+
+    // Every published record's verdict is justified by its chain: the
+    // classify stage's verdict appears among the explanation's verdicts.
+    let mut checked = 0usize;
+    for record in out.census.records.values() {
+        let ex = trace.explain(record.prefix);
+        if record.anycast_based_positive() {
+            assert!(
+                ex.verdicts
+                    .iter()
+                    .any(|(scope, v)| scope.ends_with("/classify") && v == "anycast"),
+                "{}: published anycast without a classify verdict in the chain: {:?}",
+                record.prefix,
+                ex.verdicts
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no anycast records published to justify");
+}
+
+#[test]
+fn faulted_day_trace_is_rerun_deterministic_and_stored() {
+    let w = world();
+    let out_a = CensusPipeline::new(Arc::clone(&w), faulted_config(&w))
+        .run_day(0)
+        .expect("valid pipeline config");
+    let out_b = CensusPipeline::new(Arc::clone(&w), faulted_config(&w))
+        .run_day(0)
+        .expect("valid pipeline config");
+    let jsonl = out_a.census.stats.trace_report.to_jsonl();
+    assert_eq!(
+        jsonl,
+        out_b.census.stats.trace_report.to_jsonl(),
+        "rerun JSONL trace export diverges"
+    );
+    assert_eq!(
+        out_a.census.stats.trace_report.to_chrome_json(),
+        out_b.census.stats.trace_report.to_chrome_json(),
+        "rerun Chrome trace export diverges"
+    );
+
+    // The store writes both sidecars next to the telemetry sidecar.
+    let dir = std::env::temp_dir().join(format!("laces-trace-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = CensusStore::open(&dir).unwrap();
+    store.save(&out_a.census).unwrap();
+    let stored = std::fs::read_to_string(dir.join("census-day-00000.trace.jsonl")).unwrap();
+    assert_eq!(stored, jsonl, "stored sidecar must be the live export");
+    assert!(dir.join("census-day-00000.trace.chrome.json").exists());
+    assert!(dir.join("census-day-00000.telemetry.jsonl").exists());
+    let telemetry = store.load_telemetry(0).unwrap();
+    assert_eq!(telemetry, out_a.census.stats.telemetry);
+}
