@@ -104,6 +104,7 @@ pub fn rate(a: &Artifacts) -> Report {
             faults: laces_core::fault::FaultPlan::default(),
             senders: None,
             batch_size: laces_core::spec::DEFAULT_BATCH_SIZE,
+            shards: laces_core::spec::default_shards(),
             trace: Default::default(),
         };
         let outcome = run_measurement(&a.world, &spec).expect("valid spec");

@@ -19,6 +19,7 @@ pub mod figures;
 pub mod perf;
 pub mod probing;
 pub mod report;
+pub mod sharding;
 pub mod tables;
 pub mod tracing;
 
@@ -26,6 +27,7 @@ pub use artifacts::{Artifacts, Scale};
 pub use perf::{run_perf, PerfReport};
 pub use probing::{run_probing_bench, ProbingBench};
 pub use report::Report;
+pub use sharding::{run_sharding_bench, ShardingBench};
 pub use tracing::{run_tracing_bench, TracingBench};
 
 /// An experiment: id and the function that produces its report.

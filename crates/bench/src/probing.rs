@@ -41,16 +41,18 @@ use crate::artifacts::Artifacts;
 const LEGACY_ORDER_QUEUE: usize = 4_096;
 
 /// What one pipeline run produced: the canonical record multiset plus the
-/// deterministic wire totals, and how long it took.
-struct PipelineRun {
-    records: Vec<ProbeRecord>,
-    probes_sent: u64,
-    replies_delivered: u64,
-    wall_ms: f64,
+/// deterministic wire totals, and how long it took. Shared with the
+/// sharding benchmark (`BENCH_pr6.json`), which compares runs of the same
+/// workload the same way.
+pub(crate) struct PipelineRun {
+    pub(crate) records: Vec<ProbeRecord>,
+    pub(crate) probes_sent: u64,
+    pub(crate) replies_delivered: u64,
+    pub(crate) wall_ms: f64,
 }
 
 impl PipelineRun {
-    fn probes_per_s(&self) -> f64 {
+    pub(crate) fn probes_per_s(&self) -> f64 {
         if self.wall_ms > 0.0 {
             self.probes_sent as f64 * 1000.0 / self.wall_ms
         } else {
@@ -61,7 +63,7 @@ impl PipelineRun {
     /// FNV-1a over the deterministic outputs: wire totals plus every
     /// canonical record. Equal fingerprints mean the two pipelines probed
     /// the same workload and produced byte-identical results.
-    fn fingerprint(&self) -> u64 {
+    pub(crate) fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut eat = |bytes: &[u8]| {
             for &b in bytes {
@@ -340,7 +342,7 @@ impl ProbingBench {
 /// identical outputs (the pipelines are deterministic), and the first run
 /// doubles as warm-up — page faults and allocator growth land there, so
 /// the reported throughput is steady-state, not first-touch.
-fn best_of(mut run: impl FnMut() -> PipelineRun) -> PipelineRun {
+pub(crate) fn best_of(mut run: impl FnMut() -> PipelineRun) -> PipelineRun {
     let first = run();
     let second = run();
     if second.wall_ms < first.wall_ms {

@@ -243,6 +243,7 @@ mod tests {
             failed_workers: vec![],
             worker_health: vec![],
             telemetry: laces_core::RunReport::new(),
+            shard_report: Default::default(),
             trace_report: Default::default(),
         })
     }

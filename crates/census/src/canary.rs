@@ -28,7 +28,7 @@ impl CanarySnapshot {
     /// Summarise a measurement outcome.
     pub fn from_outcome(outcome: &MeasurementOutcome) -> Self {
         let mut captures: BTreeMap<u16, u64> = BTreeMap::new();
-        for w in 0..outcome.n_workers as u16 {
+        for w in 0..u16::try_from(outcome.n_workers).unwrap_or(u16::MAX) {
             captures.insert(w, 0);
         }
         for r in &outcome.records {

@@ -57,6 +57,7 @@ fn classification(data: &[(u16, usize, Option<bool>)]) -> AnycastClassification 
         failed_workers: vec![],
         worker_health: vec![],
         telemetry: laces_core::RunReport::new(),
+        shard_report: Default::default(),
         trace_report: Default::default(),
     })
 }

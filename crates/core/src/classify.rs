@@ -173,6 +173,7 @@ mod tests {
             failed_workers: vec![],
             worker_health: vec![],
             telemetry: laces_obs::RunReport::new(),
+            shard_report: Default::default(),
             trace_report: laces_trace::TraceReport::default(),
         }
     }

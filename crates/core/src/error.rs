@@ -61,6 +61,14 @@ pub enum MeasurementError {
         /// The offending batch size.
         batch_size: usize,
     },
+    /// The spec's probe rate is zero: a zero rate admits no schedule
+    /// window, so no target could ever be dispatched. Historically this
+    /// was silently clamped to 1 probe/s inside the schedule — a 10 000×
+    /// slowdown the caller never asked for — and is now rejected here.
+    InvalidRate,
+    /// The spec's shard count is zero: the hitlist stream is partitioned
+    /// across `shards` contiguous slices, and zero slices cover nothing.
+    InvalidShardCount,
 }
 
 impl std::fmt::Display for MeasurementError {
@@ -106,6 +114,18 @@ impl std::fmt::Display for MeasurementError {
             }
             MeasurementError::InvalidBatchSize { batch_size } => {
                 write!(f, "invalid batch size {batch_size}; must be at least 1")
+            }
+            MeasurementError::InvalidRate => {
+                write!(
+                    f,
+                    "invalid probe rate 0; the schedule needs at least 1 probe/s"
+                )
+            }
+            MeasurementError::InvalidShardCount => {
+                write!(
+                    f,
+                    "invalid shard count 0; the stream needs at least 1 shard"
+                )
             }
         }
     }

@@ -153,6 +153,7 @@ impl FaultPlan {
         let k = k.min(usize::from(n_workers));
         let mut draw = 0u64;
         while plan.crashes.len() < k {
+            // laces-lint: allow(as-truncation) — bounded by the u16-denominated modulus; cannot wrap
             let w = (rng::key(seed, &[0xC2A5, draw]) % u64::from(n_workers)) as u16;
             draw += 1;
             if plan.crashes.iter().any(|c| c.worker == w) {

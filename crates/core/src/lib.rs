@@ -64,7 +64,8 @@ pub use laces_obs::{Degraded, DegradedReason, RunReport};
 #[allow(deprecated)]
 pub use orchestrator::ReservedIdError;
 pub use orchestrator::{
-    run_measurement, run_measurement_abortable, run_with_precheck, AbortHandle, PRECHECK_ID_BIT,
+    run_measurement, run_measurement_abortable, run_measurement_threaded,
+    run_measurement_threaded_abortable, run_with_precheck, AbortHandle, PRECHECK_ID_BIT,
 };
 pub use results::{MeasurementOutcome, ProbeRecord, WorkerHealth, WorkerStatus, WorkerTelemetry};
 pub use spec::{MeasurementSpec, MeasurementSpecBuilder};

@@ -6,11 +6,29 @@
 //! stream, and survives worker failures by completing the measurement with
 //! the remaining workers (R5).
 //!
-//! In the real system the components are separate processes connected by
-//! authenticated gRPC streams; here each Worker is an OS thread and the
-//! streams are `crossbeam` channels, which preserves the concurrency
-//! structure (streaming, backpressure, failure isolation) while staying
-//! inside one deterministic process.
+//! Two pipelines implement the same contract:
+//!
+//! * **Sharded** ([`run_measurement`]) — the default. The hitlist is split
+//!   into `spec.shards` deterministic contiguous slices; each shard runs
+//!   the stream → probe → capture chain *inline* with its own per-worker
+//!   [`ProbeSession`]s, batch accumulators and [`RecordArena`], and the
+//!   arenas are merged exactly once at seal time. No channels, no
+//!   cross-shard locks on the hot path.
+//! * **Threaded** ([`run_measurement_threaded`]) — the process-shaped
+//!   reference: each Worker is an OS thread and the streams are
+//!   `crossbeam` channels, which mirrors the real system's concurrency
+//!   structure (streaming, backpressure, failure isolation).
+//!
+//! Both produce bit-identical outcomes for abort-free fault plans, and the
+//! sharded pipeline additionally produces byte-identical records,
+//! classification inputs, telemetry and trace exports across shard counts:
+//! every per-order decision (rate window, fault cutoffs, RNG draws, trace
+//! sampling) is a pure function of the order's *global hitlist index* and
+//! per-probe coordinates, never of shard layout or thread interleaving,
+//! and records are canonically re-sorted at seal time. The only
+//! shard-dependent outputs are quarantined in
+//! [`MeasurementOutcome::shard_report`] and the opt-in
+//! [`TraceEvent::ShardSpan`] events.
 //!
 //! Every run assembles a [`RunReport`]: aggregate and per-worker counters,
 //! the RTT distribution, a stage timing on the simulated clock, and the
@@ -18,26 +36,33 @@
 //! bit-identical across reruns (see `laces-obs` for the rules that make
 //! that hold).
 
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel;
-use laces_netsim::{platform as plat, World};
-use laces_obs::{metrics, Counter, DegradedReason, Histogram, RunReport, SimClock, StageTimer};
+use laces_netsim::wire::{BatchProbe, FabricVerdict, MeasurementCtx, ProbeSource};
+use laces_netsim::{platform as plat, Delivery, FabricStats, ProbeSession, WireStats, World};
+use laces_obs::{
+    metrics, Counter, DegradedReason, Histogram, RunReport, ShardStages, SimClock, StageTimer,
+};
+use laces_packet::probe::{attribute_prepared, parse_reply, ProbeMeta};
 use laces_packet::{IpVersion, PrefixKey};
-use laces_trace::{Component, OrderFaultCause, TraceEvent, Tracer};
+use laces_trace::{Component, FabricFaultKind, OrderFaultCause, TraceEvent, Tracer};
 
 use crate::auth::{AuthKey, Sealed};
 use crate::error::MeasurementError;
 use crate::rate::window_start_ms;
 use crate::results::{
-    MeasurementOutcome, WorkerEvent, WorkerFailure, WorkerHealth, WorkerStatus, WorkerTelemetry,
+    MeasurementOutcome, ProbeRecord, RecordArena, WorkerEvent, WorkerFailure, WorkerHealth,
+    WorkerStatus, WorkerTelemetry,
 };
 use crate::spec::MeasurementSpec;
 use crate::worker::{run_worker, ProbeBatch, ProbeOrder, StartOrder, WorkerOut};
 
 /// How many orders may queue per worker before the hitlist stream blocks
 /// (the paper's Orchestrator buffers the hitlist and streams it; workers
-/// keep only a small in-flight window).
+/// keep only a small in-flight window). Threaded pipeline only.
 const ORDER_QUEUE: usize = 4_096;
 
 /// Measurement ids with this bit set are reserved for the internal
@@ -47,13 +72,24 @@ const ORDER_QUEUE: usize = 4_096;
 /// accept each other's replies).
 pub const PRECHECK_ID_BIT: u32 = 0x8000_0000;
 
+/// Worker index → wire id. Worker counts are validated to `1..=64` before
+/// any conversion, so this can never truncate; the fallback value only
+/// satisfies the type without an `as`-cast on an identifier (laces-lint
+/// R7 keeps id conversions checked).
+fn worker_wire_id(w: usize) -> u16 {
+    u16::try_from(w).unwrap_or(u16::MAX)
+}
+
 /// Run a measurement to completion and aggregate the result stream.
 ///
 /// # Errors
 ///
 /// [`MeasurementError::NotAnycast`] when the spec's platform is a unicast
 /// VP platform, [`MeasurementError::WorkerCount`] when the platform's
-/// worker count cannot be attributed by the probe encodings (1..=64).
+/// worker count cannot be attributed by the probe encodings (1..=64),
+/// [`MeasurementError::InvalidRate`] / [`MeasurementError::InvalidShardCount`]
+/// when a hand-built spec bypassed the builder with a zero rate or zero
+/// shard count.
 pub fn run_measurement(
     world: &Arc<World>,
     spec: &MeasurementSpec,
@@ -102,16 +138,8 @@ fn merge_worker_telemetry(report: &mut RunReport, worker: u16, t: &WorkerTelemet
     report.inc("fabric.duplicated", t.fabric_duplicated);
 }
 
-/// [`run_measurement`] with a cancellation handle.
-///
-/// # Errors
-///
-/// As [`run_measurement`].
-pub fn run_measurement_abortable(
-    world: &Arc<World>,
-    spec: &MeasurementSpec,
-    abort: &AbortHandle,
-) -> Result<MeasurementOutcome, MeasurementError> {
+/// Validate the spec against the platform and return the worker count.
+fn validated_workers(world: &World, spec: &MeasurementSpec) -> Result<usize, MeasurementError> {
     let platform = world.platform(spec.platform);
     if !platform.is_anycast() {
         return Err(MeasurementError::NotAnycast {
@@ -122,9 +150,20 @@ pub fn run_measurement_abortable(
     if !(1..=64).contains(&n_workers) {
         return Err(MeasurementError::WorkerCount { n_workers });
     }
+    // The builder rejects these up front; hand-built specs that bypassed it
+    // are rejected here rather than silently repaired (the old 0 → 1
+    // rate clamp turned misconfigured censuses into 10 000× slower ones).
+    if spec.rate_per_s == 0 {
+        return Err(MeasurementError::InvalidRate);
+    }
+    if spec.shards == 0 {
+        return Err(MeasurementError::InvalidShardCount);
+    }
+    Ok(n_workers)
+}
 
-    let span_ms = spec.span_ms(n_workers);
-    let tracer = Tracer::new(spec.trace);
+/// The run-level gauges every pipeline records before streaming.
+fn base_telemetry(spec: &MeasurementSpec, n_workers: usize, span_ms: u64) -> RunReport {
     let mut telemetry = RunReport::new();
     telemetry.set_gauge("orchestrator.n_workers", n_workers as u64);
     telemetry.set_gauge("orchestrator.n_targets", spec.targets.len() as u64);
@@ -150,79 +189,991 @@ pub fn run_measurement_abortable(
             (fabric.dup_rate * 1000.0) as u64,
         );
     }
+    telemetry
+}
 
-    // An empty hitlist is a complete (and cheap) measurement: spawning a
-    // platform of workers to stream zero orders would only burn threads.
-    // Prechecks over fully-unresponsive target sets hit this path. The
-    // fault plan still applies where it would with real workers: start
-    // orders are authenticated before any probing, so seal rejections fail
-    // their workers even here, and a crash scheduled after zero orders
-    // fires with zero orders delivered; later crashes and order-channel
-    // faults need deliveries that never happen.
-    if spec.targets.is_empty() {
-        let worker_health: Vec<WorkerHealth> = (0..n_workers)
-            .map(|w| {
-                let w = w as u16;
-                let status = if spec.faults.rejects_seal(w) {
-                    telemetry.inc("orchestrator.seal_rejections", 1);
-                    telemetry.add_degraded(DegradedReason::SealRejected { worker: w });
-                    tracer.record(Component::Control, || TraceEvent::WorkerFault {
-                        worker: w,
-                        cause: "seal rejected".into(),
-                        after_probes: 0,
-                    });
-                    WorkerStatus::Failed
-                } else if spec.faults.crash_after(w) == Some(0) {
-                    telemetry.add_degraded(DegradedReason::WorkerCrashed { worker: w });
-                    tracer.record(Component::Control, || TraceEvent::WorkerFault {
-                        worker: w,
-                        cause: "crash".into(),
-                        after_probes: 0,
-                    });
-                    WorkerStatus::Failed
-                } else {
-                    WorkerStatus::Completed
-                };
-                WorkerHealth {
+/// The complete (and cheap) measurement over an empty hitlist: spawning a
+/// platform of workers — or shards — to stream zero orders would only burn
+/// threads. Prechecks over fully-unresponsive target sets hit this path.
+/// The fault plan still applies where it would with real workers: start
+/// orders are authenticated before any probing, so seal rejections fail
+/// their workers even here, and a crash scheduled after zero orders fires
+/// with zero orders delivered; later crashes and order-channel faults need
+/// deliveries that never happen.
+fn empty_hitlist_outcome(
+    spec: &MeasurementSpec,
+    n_workers: usize,
+    mut telemetry: RunReport,
+    tracer: &Tracer,
+) -> MeasurementOutcome {
+    let worker_health: Vec<WorkerHealth> = (0..n_workers)
+        .map(|w| {
+            let w = worker_wire_id(w);
+            let status = if spec.faults.rejects_seal(w) {
+                telemetry.inc("orchestrator.seal_rejections", 1);
+                telemetry.add_degraded(DegradedReason::SealRejected { worker: w });
+                tracer.record(Component::Control, || TraceEvent::WorkerFault {
                     worker: w,
-                    status,
-                    probes_sent: 0,
-                }
-            })
-            .collect();
-        let failed_workers: Vec<u16> = worker_health
-            .iter()
-            .filter(|h| h.status == WorkerStatus::Failed)
-            .map(|h| h.worker)
-            .collect();
-        return Ok(MeasurementOutcome {
-            measurement_id: spec.id,
-            platform: spec.platform,
-            protocol: spec.protocol,
-            n_workers,
-            probes_sent: 0,
-            n_targets: 0,
-            records: Vec::new(),
-            failed_workers,
-            worker_health,
-            telemetry,
-            trace_report: tracer.snapshot(""),
-        });
+                    cause: "seal rejected".into(),
+                    after_probes: 0,
+                });
+                WorkerStatus::Failed
+            } else if spec.faults.crash_after(w) == Some(0) {
+                telemetry.add_degraded(DegradedReason::WorkerCrashed { worker: w });
+                tracer.record(Component::Control, || TraceEvent::WorkerFault {
+                    worker: w,
+                    cause: "crash".into(),
+                    after_probes: 0,
+                });
+                WorkerStatus::Failed
+            } else {
+                WorkerStatus::Completed
+            };
+            WorkerHealth {
+                worker: w,
+                status,
+                probes_sent: 0,
+            }
+        })
+        .collect();
+    let failed_workers: Vec<u16> = worker_health
+        .iter()
+        .filter(|h| h.status == WorkerStatus::Failed)
+        .map(|h| h.worker)
+        .collect();
+    MeasurementOutcome {
+        measurement_id: spec.id,
+        platform: spec.platform,
+        protocol: spec.protocol,
+        n_workers,
+        probes_sent: 0,
+        n_targets: 0,
+        records: Vec::new(),
+        failed_workers,
+        worker_health,
+        telemetry,
+        shard_report: RunReport::new(),
+        trace_report: tracer.snapshot(""),
     }
+}
 
-    let key = AuthKey::derive(world.cfg.seed ^ u64::from(spec.id));
-
-    // Family of the measurement follows the first target (hitlists are
-    // single-family); the platform announces both an IPv4 and IPv6 prefix.
+/// The anycast source address for the spec's target family. The family of
+/// the measurement follows the first target (hitlists are single-family);
+/// the platform announces both an IPv4 and IPv6 prefix.
+fn platform_src_addr(spec: &MeasurementSpec) -> IpAddr {
     let family = spec
         .targets
         .first()
         .map(|a| IpVersion::of(*a))
         .unwrap_or(IpVersion::V4);
-    let src_addr = match family {
+    match family {
         IpVersion::V4 => plat::anycast_src_v4(spec.platform),
         IpVersion::V6 => plat::anycast_src_v6(spec.platform),
+    }
+}
+
+/// Everything a pipeline hands to the shared epilogue.
+struct RunTotals {
+    records: Vec<ProbeRecord>,
+    probes_sent: u64,
+    failed_workers: Vec<u16>,
+    worker_health: Vec<WorkerHealth>,
+    telemetry: RunReport,
+    shard_report: RunReport,
+    orders_streamed: u64,
+    rate_limiter_stalls: u64,
+}
+
+/// The shared measurement epilogue: canonical sorts, stream counters,
+/// abort accounting, the RTT distribution and the stage span — identical
+/// for both pipelines so their outcomes stay comparable field by field.
+fn finalize_outcome(
+    spec: &MeasurementSpec,
+    n_workers: usize,
+    span_ms: u64,
+    abort: &AbortHandle,
+    tracer: &Tracer,
+    totals: RunTotals,
+) -> MeasurementOutcome {
+    let RunTotals {
+        mut records,
+        probes_sent,
+        mut failed_workers,
+        worker_health: mut health,
+        mut telemetry,
+        shard_report,
+        orders_streamed,
+        rate_limiter_stalls,
+    } = totals;
+    failed_workers.sort_unstable();
+    health.sort_unstable_by_key(|h| h.worker);
+    // Canonical record order: shards (or worker threads) race to the
+    // result stream, so the arrival order is scheduler noise. Sorting
+    // makes equal runs serialise identically (fault plans are replayable
+    // bit-for-bit).
+    sort_canonical(&mut records);
+
+    telemetry.inc("orchestrator.orders_streamed", orders_streamed);
+    telemetry.inc("orchestrator.rate_limiter_stalls", rate_limiter_stalls);
+    telemetry.inc("orchestrator.records_collected", records.len() as u64);
+    if abort.is_aborted() {
+        telemetry.inc("orchestrator.aborts", 1);
+        telemetry.add_degraded(DegradedReason::Aborted);
+    }
+    // The RTT distribution is computed from the canonical record list (a
+    // multiset — order-independent by construction).
+    let mut rtts = Histogram::new(&metrics::RTT_BUCKETS_MS);
+    for r in &records {
+        if let Some(rtt) = r.rtt_ms() {
+            rtts.observe(rtt);
+        }
+    }
+    telemetry.record_histogram("worker.rtt_ms", rtts.snapshot());
+    // Stage timing on the simulated clock: the probing phase spans the
+    // rate-limited hitlist stream plus the last worker's offset window
+    // (R6's quantity, per measurement).
+    let mut clock = SimClock::new();
+    let mut stage = StageTimer::start(format!("measurement:{:?}", spec.protocol), &clock);
+    stage.count("targets", spec.targets.len() as u64);
+    stage.count("probes_sent", probes_sent);
+    let sim_ms = window_start_ms(spec.targets.len().saturating_sub(1), spec.rate_per_s) + span_ms;
+    clock.advance(sim_ms);
+    telemetry.push_stage(stage.finish(&clock));
+    tracer.record(Component::Control, || TraceEvent::StageSpan {
+        name: format!("measurement:{:?}", spec.protocol),
+        start_ms: 0,
+        sim_ms,
+    });
+
+    MeasurementOutcome {
+        measurement_id: spec.id,
+        platform: spec.platform,
+        protocol: spec.protocol,
+        n_workers,
+        probes_sent,
+        n_targets: spec.targets.len(),
+        records,
+        failed_workers,
+        worker_health: health,
+        telemetry,
+        shard_report,
+        trace_report: tracer.snapshot(""),
+    }
+}
+
+/// The canonical record sort shared by both pipelines.
+pub(crate) fn sort_canonical(records: &mut [ProbeRecord]) {
+    records.sort_unstable_by(|a, b| {
+        (
+            a.prefix,
+            a.tx_worker,
+            a.rx_worker,
+            a.tx_time_ms,
+            a.rx_time_ms,
+        )
+            .cmp(&(
+                b.prefix,
+                b.tx_worker,
+                b.rx_worker,
+                b.tx_time_ms,
+                b.rx_time_ms,
+            ))
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Sharded pipeline
+// ---------------------------------------------------------------------------
+
+/// How a shard disposes of a delivery addressed to worker `rx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CaptureMode {
+    /// The worker cannot fail: validate the capture inline.
+    Live,
+    /// The worker is scheduled to crash: whether its captures survive
+    /// depends on whether the crash point is actually reached, which is
+    /// only known once the stream ends. Buffer them; a surviving worker
+    /// drains the buffer in the final phase, a crashed one loses it —
+    /// exactly the threaded pipeline's deferred-drain semantics.
+    Deferred,
+    /// The worker's start order failed authentication: it never runs, and
+    /// deliveries to it vanish like packets to a dead site.
+    Lost,
+}
+
+/// Per-worker fault cutoffs, precomputed on *global hitlist indices* so
+/// every shard applies identical per-order semantics to its slice. The
+/// k-th order a worker receives is always the k-th index of its eligible
+/// range, so "delay N", "close after N" and "crash after N orders" are all
+/// pure index arithmetic — canonical order, not per-shard arrival order.
+#[derive(Debug, Clone)]
+struct WorkerPlan {
+    /// Whether the worker transmits probes (sender restriction).
+    sender: bool,
+    /// The worker's start order failed authentication (R8).
+    seal_rejected: bool,
+    /// Crash-after-N-orders limit, if scheduled.
+    crash_limit: Option<usize>,
+    /// Global indices `i < delay` are delay-faulted (order lost).
+    delay: usize,
+    /// Global indices `i >= close_at` are closed-channel-faulted.
+    close_at: usize,
+    /// Global indices `i >= probe_end` are issued but never probed (the
+    /// worker is past its crash point or never started).
+    probe_end: usize,
+    /// Capture disposition for deliveries addressed to this worker.
+    capture: CaptureMode,
+}
+
+impl WorkerPlan {
+    fn of(spec: &MeasurementSpec, world: &World, wid: u16, src_addr: IpAddr, span_ms: u64) -> Self {
+        let sender = spec.is_sender(wid);
+        // Authentication is exercised for real, exactly as the threaded
+        // pipeline does: seal a start order (under a corrupted key when the
+        // fault plan says so) and try to open it with the worker's key.
+        let key = AuthKey::derive(world.cfg.seed ^ u64::from(spec.id));
+        let seal_key = if spec.faults.rejects_seal(wid) {
+            AuthKey::derive(world.cfg.seed ^ u64::from(spec.id) ^ 0x0BAD_5EA1)
+        } else {
+            key
+        };
+        let start = StartOrder {
+            measurement_id: spec.id,
+            platform: spec.platform,
+            worker_id: wid,
+            protocol: spec.protocol,
+            encoding: spec.encoding,
+            offset_ms: spec.offset_ms,
+            span_ms,
+            day: spec.day,
+            src_addr,
+            fail_after: spec.faults.crash_after(wid),
+            fabric_faults: spec.faults.fabric,
+        };
+        let seal_rejected = Sealed::seal(seal_key, start).open(key).is_none();
+        let crash_limit = if seal_rejected {
+            None
+        } else {
+            spec.faults.crash_after(wid)
+        };
+        let (delay, close_after) = match spec.faults.order_fault(wid) {
+            Some(f) => (f.delay_orders, f.close_after),
+            None => (0, None),
+        };
+        let close_at = close_after.map_or(usize::MAX, |c| delay.saturating_add(c));
+        let probe_end = if seal_rejected || !sender {
+            0
+        } else {
+            crash_limit.map_or(usize::MAX, |l| delay.saturating_add(l))
+        };
+        let capture = if seal_rejected {
+            CaptureMode::Lost
+        } else if spec.faults.crash_after(wid).is_some() {
+            CaptureMode::Deferred
+        } else {
+            CaptureMode::Live
+        };
+        WorkerPlan {
+            sender,
+            seal_rejected,
+            crash_limit,
+            delay,
+            close_at,
+            probe_end,
+            capture,
+        }
+    }
+}
+
+/// Everything a shard borrows from the run, shared read-only across
+/// shards.
+struct ShardCtx<'a> {
+    world: &'a World,
+    spec: &'a MeasurementSpec,
+    plans: &'a [WorkerPlan],
+    src_addr: IpAddr,
+    ctx: MeasurementCtx,
+    tracer: &'a Tracer,
+    abort: &'a AbortHandle,
+    accepted: &'a AtomicUsize,
+}
+
+/// Validated-capture accumulation: shard-local record arena plus the
+/// per-worker rx-side counters, wired to the shared abort trigger.
+struct CaptureSink<'a> {
+    measurement_id: u32,
+    arena: RecordArena,
+    records_streamed: Vec<u64>,
+    captures_rejected: Vec<u64>,
+    abort_after: Option<usize>,
+    accepted: &'a AtomicUsize,
+    abort: &'a AbortHandle,
+    tracer: &'a Tracer,
+}
+
+impl<'a> CaptureSink<'a> {
+    fn new(cx: &ShardCtx<'a>, n_workers: usize) -> Self {
+        CaptureSink {
+            measurement_id: cx.spec.id,
+            arena: RecordArena::new(),
+            records_streamed: vec![0; n_workers],
+            captures_rejected: vec![0; n_workers],
+            abort_after: cx.spec.faults.abort_after_records,
+            accepted: cx.accepted,
+            abort: cx.abort,
+            tracer: cx.tracer,
+        }
+    }
+
+    /// Validate one capture at worker `rx` and accumulate the record —
+    /// the inline analogue of the threaded worker's capture filter.
+    fn capture(&mut self, d: &Delivery, rx: usize) {
+        let rx_worker = worker_wire_id(rx);
+        let prefix = PrefixKey::of(d.packet.src);
+        // Fast-path deliveries carry pre-parsed attribution; resolving it
+        // is bit-identical to parsing the reply bytes (see
+        // `attribute_prepared`), so both arms validate the same way.
+        let parsed = match &d.reply {
+            Some(p) => attribute_prepared(d.packet.protocol, p, self.measurement_id, d.rx_time_ms),
+            None => parse_reply(&d.packet, self.measurement_id, d.rx_time_ms),
+        };
+        if let Ok(info) = parsed {
+            self.tracer
+                .record_for(Component::Capture, prefix, || TraceEvent::Captured {
+                    prefix,
+                    rx_worker,
+                    rx_time_ms: d.rx_time_ms,
+                    accepted: true,
+                    chaos_identity: info.chaos_identity.as_deref().map(str::to_string),
+                });
+            self.arena.push(ProbeRecord {
+                prefix,
+                protocol: info.protocol,
+                rx_worker,
+                tx_worker: info.tx_worker,
+                tx_time_ms: info.tx_time_ms,
+                rx_time_ms: d.rx_time_ms,
+                chaos_identity: info.chaos_identity,
+            });
+            self.records_streamed[rx] += 1;
+            if let Some(limit) = self.abort_after {
+                // Mid-stream abort fault: the CLI disconnects once `limit`
+                // records were accepted run-wide, but everything collected
+                // so far is kept.
+                if self.accepted.fetch_add(1, Ordering::AcqRel) + 1 >= limit {
+                    self.abort.abort();
+                }
+            }
+        } else {
+            self.tracer
+                .record_for(Component::Capture, prefix, || TraceEvent::Captured {
+                    prefix,
+                    rx_worker,
+                    rx_time_ms: d.rx_time_ms,
+                    accepted: false,
+                    chaos_identity: None,
+                });
+            self.captures_rejected[rx] += 1;
+        }
+    }
+}
+
+/// Per-(shard, worker) transmit state: the resolved route session, wire
+/// and fabric stats, and the batch
+/// accumulator. `batch[..probed]` is the prefix that is actually
+/// transmitted (orders past the worker's crash point are issued and
+/// counted but never probed — matching a worker that died with orders
+/// still queued).
+struct ShardWorker {
+    wid: u16,
+    session: Option<ProbeSession>,
+    wire: WireStats,
+    fabric: FabricStats,
+    batch: Vec<ProbeOrder>,
+    probed: usize,
+}
+
+/// What one shard reports back to the merge.
+struct ShardOutput {
+    index: usize,
+    lo: usize,
+    hi: usize,
+    arena: RecordArena,
+    /// Per-worker tx-side telemetry (rx-side fields zero).
+    tx: Vec<WorkerTelemetry>,
+    records_streamed: Vec<u64>,
+    captures_rejected: Vec<u64>,
+    /// Deliveries buffered for crash-scheduled workers, per worker.
+    deferred: Vec<Vec<Delivery>>,
+    /// Eligible orders issued per worker (the crash-limit denominator).
+    issued: Vec<u64>,
+    orders_streamed: u64,
+    rate_limiter_stalls: u64,
+    probes_sent: u64,
+}
+
+/// The contiguous slice of shard `s` out of `shards` over `n` targets:
+/// sizes differ by at most one, earlier shards take the remainder.
+fn shard_bounds(n: usize, shards: usize, s: usize) -> (usize, usize) {
+    let base = n / shards;
+    let rem = n % shards;
+    let lo = s * base + s.min(rem);
+    let hi = lo + base + usize::from(s < rem);
+    (lo, hi)
+}
+
+/// Run one shard of the hitlist stream inline: per-order fault semantics,
+/// batch accumulation, wire transmission, fabric verdicts and capture
+/// validation, all against the shard's own sessions and arenas.
+fn run_shard(cx: &ShardCtx<'_>, index: usize, lo: usize, hi: usize) -> ShardOutput {
+    let spec = cx.spec;
+    let n_workers = cx.plans.len();
+    let mut workers: Vec<ShardWorker> = (0..n_workers)
+        .map(|w| {
+            let plan = &cx.plans[w];
+            let session = if plan.sender && !plan.seal_rejected {
+                let mut s = cx.world.probe_session(ProbeSource::Worker {
+                    platform: spec.platform,
+                    site: w,
+                });
+                s.attach_tracer(cx.tracer.clone());
+                Some(s)
+            } else {
+                None
+            };
+            ShardWorker {
+                wid: worker_wire_id(w),
+                session,
+                wire: WireStats::new(),
+                fabric: FabricStats::new(),
+                batch: Vec::new(),
+                probed: 0,
+            }
+        })
+        .collect();
+    let mut sink = CaptureSink::new(cx, n_workers);
+    let mut deferred: Vec<Vec<Delivery>> = (0..n_workers).map(|_| Vec::new()).collect();
+    let mut issued = vec![0u64; n_workers];
+    let mut orders_streamed = 0u64;
+    let mut deliveries: Vec<Delivery> = Vec::new();
+
+    // One closure-free flush path, shared by the batch-boundary and tail
+    // flushes: count the whole batch as issued (orders past a crash point
+    // were still streamed), transmit the probed prefix, apply fabric
+    // verdicts and dispose of the deliveries per the rx worker's capture
+    // mode.
+    macro_rules! flush {
+        ($w:expr) => {{
+            let w: usize = $w;
+            let ws = &mut workers[w];
+            if !ws.batch.is_empty() {
+                orders_streamed += ws.batch.len() as u64;
+                issued[w] += ws.batch.len() as u64;
+                let take = ws.probed;
+                if take > 0 {
+                    let tx_offset = spec.offset_ms * u64::from(ws.wid);
+                    for order in &ws.batch[..take] {
+                        let prefix = PrefixKey::of(order.target);
+                        let wid = ws.wid;
+                        cx.tracer
+                            .record_for(Component::Worker, prefix, || TraceEvent::ProbeSent {
+                                prefix,
+                                worker: wid,
+                                tx_time_ms: order.window_start_ms + tx_offset,
+                            });
+                    }
+                    // Zero-copy fast path: the probe's metadata rides the
+                    // batch instead of serialized bytes, so neither probe
+                    // nor reply packets are materialized — the wire hands
+                    // back pre-attributed deliveries with the identical
+                    // record outcome.
+                    let probes: Vec<BatchProbe<'_>> = ws.batch[..take]
+                        .iter()
+                        .map(|order| BatchProbe {
+                            dst: order.target,
+                            bytes: &[],
+                            tx_time_ms: order.window_start_ms + tx_offset,
+                            window_start_ms: order.window_start_ms,
+                            meta: Some((
+                                ProbeMeta {
+                                    measurement_id: spec.id,
+                                    worker_id: ws.wid,
+                                    tx_time_ms: order.window_start_ms + tx_offset,
+                                },
+                                spec.encoding,
+                            )),
+                        })
+                        .collect();
+                    if let Some(session) = ws.session.as_mut() {
+                        let _ = cx.world.send_probe_batch(
+                            session,
+                            cx.src_addr,
+                            spec.protocol,
+                            &probes,
+                            &cx.ctx,
+                            &ws.wire,
+                            &mut deliveries,
+                        );
+                    }
+                    for d in deliveries.drain(..) {
+                        let verdict = spec.faults.fabric.map_or(FabricVerdict::Deliver, |f| {
+                            f.verdict_observed(&d, &ws.fabric)
+                        });
+                        if verdict != FabricVerdict::Deliver {
+                            // Only faults are recorded: a reply with no
+                            // FabricFault event passed through untouched.
+                            let prefix = PrefixKey::of(d.packet.src);
+                            let tx_worker = ws.wid;
+                            cx.tracer.record_for(Component::Fabric, prefix, || {
+                                TraceEvent::FabricFault {
+                                    prefix,
+                                    tx_worker,
+                                    rx_worker: worker_wire_id(d.rx_index),
+                                    rx_time_ms: d.rx_time_ms,
+                                    kind: if verdict == FabricVerdict::Drop {
+                                        FabricFaultKind::Dropped
+                                    } else {
+                                        FabricFaultKind::Duplicated
+                                    },
+                                }
+                            });
+                        }
+                        if verdict == FabricVerdict::Drop {
+                            continue;
+                        }
+                        let rx = d.rx_index;
+                        match cx.plans.get(rx).map(|p| p.capture) {
+                            Some(CaptureMode::Live) => {
+                                if verdict == FabricVerdict::Duplicate {
+                                    sink.capture(&d, rx);
+                                }
+                                sink.capture(&d, rx);
+                            }
+                            Some(CaptureMode::Deferred) => {
+                                if verdict == FabricVerdict::Duplicate {
+                                    deferred[rx].push(d.clone());
+                                }
+                                deferred[rx].push(d);
+                            }
+                            Some(CaptureMode::Lost) | None => {}
+                        }
+                    }
+                }
+                workers[w].batch.clear();
+                workers[w].probed = 0;
+            }
+        }};
+    }
+
+    // Stream the shard's slice at the schedule's global rate windows.
+    // `last_window` is seeded from the last index *before* the slice, so
+    // summing per-shard stall counts reproduces the single-streamer count
+    // of window transitions exactly.
+    let mut last_window = if lo == 0 {
+        0
+    } else {
+        window_start_ms(lo - 1, spec.rate_per_s)
     };
+    let mut aborted = false;
+    for i in lo..hi {
+        if cx.abort.is_aborted() {
+            // CLI disconnected: stop streaming; accumulated but unsent
+            // batches are dropped — the abort cuts the stream at a batch
+            // boundary (R3: no unnecessary probes).
+            aborted = true;
+            break;
+        }
+        let target = spec.targets[i];
+        let window = window_start_ms(i, spec.rate_per_s);
+        if window > last_window {
+            orders_streamed += 0; // (stalls counted below; keep shape flat)
+            last_window = window;
+        }
+        let prefix = PrefixKey::of(target);
+        for w in 0..n_workers {
+            let plan = &cx.plans[w];
+            // Non-sender workers (single-VP precheck mode) receive no
+            // orders but still capture replies.
+            if !plan.sender {
+                continue;
+            }
+            let wid = workers[w].wid;
+            if i < plan.delay {
+                // The channel came up late; early orders are lost in the
+                // disconnected stream.
+                cx.tracer
+                    .record_for(Component::Orchestrator, prefix, || TraceEvent::OrderFault {
+                        prefix,
+                        worker: wid,
+                        cause: OrderFaultCause::Delayed,
+                    });
+                continue;
+            }
+            if i >= plan.close_at {
+                // Channel closed by the fault plan; the worker completes
+                // with what it received.
+                cx.tracer
+                    .record_for(Component::Orchestrator, prefix, || TraceEvent::OrderFault {
+                        prefix,
+                        worker: wid,
+                        cause: OrderFaultCause::ChannelClosed,
+                    });
+                continue;
+            }
+            cx.tracer.record_for(Component::Orchestrator, prefix, || {
+                TraceEvent::OrderIssued {
+                    prefix,
+                    worker: wid,
+                    window_start_ms: window,
+                }
+            });
+            let ws = &mut workers[w];
+            ws.batch.push(ProbeOrder {
+                target,
+                window_start_ms: window,
+            });
+            if i < plan.probe_end {
+                ws.probed += 1;
+            }
+            if ws.batch.len() >= spec.batch_size {
+                flush!(w);
+            }
+        }
+    }
+    // End of slice: flush the partial tail batches (unless aborted — the
+    // threaded streamer drops accumulated batches on abort too).
+    if !aborted {
+        for w in 0..n_workers {
+            flush!(w);
+        }
+    }
+
+    // Stall counting is a pure function of the slice bounds: the number of
+    // indices in [lo, hi) whose window opens strictly later than their
+    // predecessor's. Recomputing it here (rather than inside the loop)
+    // keeps the count exact even when an abort cut the loop short — the
+    // threaded pipeline's count under abort is scheduler noise anyway, and
+    // fault-free runs are what the invariance contract pins.
+    let mut rate_limiter_stalls = 0u64;
+    let mut prev = if lo == 0 {
+        0
+    } else {
+        window_start_ms(lo - 1, spec.rate_per_s)
+    };
+    let streamed_hi = if aborted { lo } else { hi };
+    for i in lo..streamed_hi {
+        let w = window_start_ms(i, spec.rate_per_s);
+        if w > prev {
+            rate_limiter_stalls += 1;
+            prev = w;
+        }
+    }
+    let _ = last_window;
+
+    let tx: Vec<WorkerTelemetry> = workers
+        .iter()
+        .map(|ws| WorkerTelemetry {
+            probes_sent: ws.wire.probes.get(),
+            replies_delivered: ws.wire.deliveries.get(),
+            unanswered: ws.wire.unanswered.get(),
+            fabric_dropped: ws.fabric.dropped.get(),
+            fabric_duplicated: ws.fabric.duplicated.get(),
+            records_streamed: 0,
+            captures_rejected: 0,
+        })
+        .collect();
+    let probes_sent = tx.iter().map(|t| t.probes_sent).sum();
+    ShardOutput {
+        index,
+        lo,
+        hi,
+        arena: sink.arena,
+        tx,
+        records_streamed: sink.records_streamed,
+        captures_rejected: sink.captures_rejected,
+        deferred,
+        issued,
+        orders_streamed,
+        rate_limiter_stalls,
+        probes_sent,
+    }
+}
+
+/// [`run_measurement`] with a cancellation handle — the sharded inline
+/// pipeline.
+///
+/// # Errors
+///
+/// As [`run_measurement`].
+pub fn run_measurement_abortable(
+    world: &Arc<World>,
+    spec: &MeasurementSpec,
+    abort: &AbortHandle,
+) -> Result<MeasurementOutcome, MeasurementError> {
+    let n_workers = validated_workers(world, spec)?;
+    let span_ms = spec.span_ms(n_workers);
+    let tracer = Tracer::new(spec.trace);
+    let mut telemetry = base_telemetry(spec, n_workers, span_ms);
+
+    if spec.targets.is_empty() {
+        return Ok(empty_hitlist_outcome(spec, n_workers, telemetry, &tracer));
+    }
+
+    let src_addr = platform_src_addr(spec);
+    let plans: Vec<WorkerPlan> = (0..n_workers)
+        .map(|w| WorkerPlan::of(spec, world, worker_wire_id(w), src_addr, span_ms))
+        .collect();
+    let n = spec.targets.len();
+    let shards = spec.shards.min(n).max(1);
+    let accepted = AtomicUsize::new(0);
+    let cx = ShardCtx {
+        world,
+        spec,
+        plans: &plans,
+        src_addr,
+        ctx: MeasurementCtx {
+            id: spec.id,
+            day: spec.day,
+            span_ms,
+        },
+        tracer: &tracer,
+        abort,
+        accepted: &accepted,
+    };
+
+    let mut outs: Vec<ShardOutput> = Vec::with_capacity(shards);
+    let mut lost_shards = 0u64;
+    if shards == 1 {
+        // The single-shard census runs entirely on the calling thread: no
+        // spawn, no join, no synchronisation at all.
+        outs.push(run_shard(&cx, 0, 0, n));
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let cx = &cx;
+                    let (lo, hi) = shard_bounds(n, shards, s);
+                    scope.spawn(move || run_shard(cx, s, lo, hi))
+                })
+                .collect();
+            for (s, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(o) => outs.push(o),
+                    Err(_) => {
+                        // A panicked shard is a bug, not a modelled fault;
+                        // degrade loudly instead of poisoning the scope.
+                        lost_shards += 1;
+                        telemetry.add_degraded(DegradedReason::Stage {
+                            stage: format!("shard.{s:03}"),
+                            detail: "shard thread panicked; its slice is missing".into(),
+                        });
+                    }
+                }
+            }
+        });
+    }
+    if lost_shards > 0 {
+        telemetry.inc("orchestrator.shard_failures", lost_shards);
+    }
+
+    // Crash determination in canonical order: "crash after N orders"
+    // counts the orders actually issued to the worker across all shards —
+    // global eligible-index arithmetic, not per-shard arrival order.
+    let mut delivered = vec![0u64; n_workers];
+    for o in &outs {
+        for (w, n) in o.issued.iter().enumerate() {
+            delivered[w] += n;
+        }
+    }
+    let crash_fires: Vec<bool> = plans
+        .iter()
+        .enumerate()
+        .map(|(w, p)| {
+            p.crash_limit
+                .is_some_and(|l| delivered[w] >= u64::try_from(l).unwrap_or(u64::MAX))
+        })
+        .collect();
+
+    // Deferred-capture resolution: a crash-scheduled worker that survived
+    // (the stream ended before its crash point) drains its buffered
+    // deliveries now, exactly like the threaded worker's final capture
+    // phase; a crashed worker loses them with its site.
+    let mut late = CaptureSink::new(&cx, n_workers);
+    for o in &mut outs {
+        for (rx, &crashed) in crash_fires.iter().enumerate() {
+            if crashed {
+                o.deferred[rx].clear();
+                continue;
+            }
+            let dels = std::mem::take(&mut o.deferred[rx]);
+            for d in &dels {
+                late.capture(d, rx);
+            }
+        }
+    }
+
+    // Per-worker terminal accounting, in worker order. (The threaded
+    // pipeline merges in arrival order; every merge operation is
+    // order-independent, so the reports agree.)
+    let mut probes_sent = 0u64;
+    let mut failed_workers: Vec<u16> = Vec::new();
+    let mut worker_health: Vec<WorkerHealth> = Vec::with_capacity(n_workers);
+    for (w, plan) in plans.iter().enumerate() {
+        let wid = worker_wire_id(w);
+        let mut t = WorkerTelemetry::default();
+        for o in &outs {
+            t.probes_sent += o.tx[w].probes_sent;
+            t.replies_delivered += o.tx[w].replies_delivered;
+            t.unanswered += o.tx[w].unanswered;
+            t.fabric_dropped += o.tx[w].fabric_dropped;
+            t.fabric_duplicated += o.tx[w].fabric_duplicated;
+            t.records_streamed += o.records_streamed[w];
+            t.captures_rejected += o.captures_rejected[w];
+        }
+        t.records_streamed += late.records_streamed[w];
+        t.captures_rejected += late.captures_rejected[w];
+        probes_sent += t.probes_sent;
+        merge_worker_telemetry(&mut telemetry, wid, &t);
+        if plan.seal_rejected {
+            tracer.record(Component::Control, || TraceEvent::WorkerFault {
+                worker: wid,
+                cause: "seal rejected".into(),
+                after_probes: t.probes_sent,
+            });
+            telemetry.inc("orchestrator.seal_rejections", 1);
+            telemetry.add_degraded(DegradedReason::SealRejected { worker: wid });
+            failed_workers.push(wid);
+            worker_health.push(WorkerHealth {
+                worker: wid,
+                status: WorkerStatus::Failed,
+                probes_sent: t.probes_sent,
+            });
+        } else if crash_fires[w] {
+            tracer.record(Component::Control, || TraceEvent::WorkerFault {
+                worker: wid,
+                cause: "crash".into(),
+                after_probes: t.probes_sent,
+            });
+            telemetry.add_degraded(DegradedReason::WorkerCrashed { worker: wid });
+            failed_workers.push(wid);
+            worker_health.push(WorkerHealth {
+                worker: wid,
+                status: WorkerStatus::Failed,
+                probes_sent: t.probes_sent,
+            });
+        } else {
+            worker_health.push(WorkerHealth {
+                worker: wid,
+                status: WorkerStatus::Completed,
+                probes_sent: t.probes_sent,
+            });
+        }
+    }
+
+    // Shard-layout diagnostics live in their own report: per-shard stage
+    // timers plus the shard count, quarantined from the canonical
+    // telemetry so the invariance contract stays byte-exact.
+    let mut shard_report = RunReport::new();
+    shard_report.set_gauge("orchestrator.shards", shards as u64);
+    let mut stages = ShardStages::new();
+    for o in &outs {
+        if o.hi == o.lo {
+            continue;
+        }
+        let start_ms = window_start_ms(o.lo, spec.rate_per_s);
+        let end_ms = window_start_ms(o.hi - 1, spec.rate_per_s).saturating_add(span_ms);
+        stages.record(
+            o.index,
+            start_ms,
+            end_ms.saturating_sub(start_ms),
+            &[
+                ("targets", (o.hi - o.lo) as u64),
+                ("orders_streamed", o.orders_streamed),
+                ("probes_sent", o.probes_sent),
+            ],
+        );
+        if spec.trace.shard_spans {
+            let shard = worker_wire_id(o.index);
+            let (lo64, n64) = (o.lo as u64, (o.hi - o.lo) as u64);
+            tracer.record(Component::Control, || TraceEvent::ShardSpan {
+                shard,
+                start_index: lo64,
+                n_targets: n64,
+                start_ms,
+                sim_ms: end_ms.saturating_sub(start_ms),
+            });
+        }
+    }
+    shard_report.push_stage(stages.finish("stream:sharded"));
+
+    let orders_streamed: u64 = outs.iter().map(|o| o.orders_streamed).sum();
+    let rate_limiter_stalls: u64 = outs.iter().map(|o| o.rate_limiter_stalls).sum();
+    let mut arenas: Vec<RecordArena> = outs.into_iter().map(|o| o.arena).collect();
+    arenas.push(late.arena);
+    let records = RecordArena::merge(arenas);
+
+    Ok(finalize_outcome(
+        spec,
+        n_workers,
+        span_ms,
+        abort,
+        &tracer,
+        RunTotals {
+            records,
+            probes_sent,
+            failed_workers,
+            worker_health,
+            telemetry,
+            shard_report,
+            orders_streamed,
+            rate_limiter_stalls,
+        },
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Threaded pipeline (reference)
+// ---------------------------------------------------------------------------
+
+/// Run a measurement on the threaded reference pipeline: one OS thread per
+/// worker, `crossbeam` channels for the order stream, capture fabric and
+/// result stream — the process-shaped concurrency structure of the real
+/// system. Produces outcomes bit-identical to [`run_measurement`] for
+/// abort-free fault plans (modulo [`MeasurementOutcome::shard_report`],
+/// which it leaves empty); kept as the semantic reference and the
+/// benchmark baseline the sharded pipeline is measured against.
+///
+/// # Errors
+///
+/// As [`run_measurement`].
+pub fn run_measurement_threaded(
+    world: &Arc<World>,
+    spec: &MeasurementSpec,
+) -> Result<MeasurementOutcome, MeasurementError> {
+    run_measurement_threaded_abortable(world, spec, &AbortHandle::new())
+}
+
+/// [`run_measurement_threaded`] with a cancellation handle.
+///
+/// # Errors
+///
+/// As [`run_measurement`].
+pub fn run_measurement_threaded_abortable(
+    world: &Arc<World>,
+    spec: &MeasurementSpec,
+    abort: &AbortHandle,
+) -> Result<MeasurementOutcome, MeasurementError> {
+    let n_workers = validated_workers(world, spec)?;
+    let span_ms = spec.span_ms(n_workers);
+    let tracer = Tracer::new(spec.trace);
+    let mut telemetry = base_telemetry(spec, n_workers, span_ms);
+
+    if spec.targets.is_empty() {
+        return Ok(empty_hitlist_outcome(spec, n_workers, telemetry, &tracer));
+    }
+
+    let key = AuthKey::derive(world.cfg.seed ^ u64::from(spec.id));
+    let src_addr = platform_src_addr(spec);
 
     // Channels: per-worker bounded order queues; unbounded capture fabric
     // (replies in flight; unbounded rules out cyclic backpressure deadlock);
@@ -260,23 +1211,24 @@ pub fn run_measurement_abortable(
 
     std::thread::scope(|scope| {
         for (w, (orders, captures)) in order_rxs.into_iter().zip(cap_rxs).enumerate() {
+            let wid = worker_wire_id(w);
             let start = StartOrder {
                 measurement_id: spec.id,
                 platform: spec.platform,
-                worker_id: w as u16,
+                worker_id: wid,
                 protocol: spec.protocol,
                 encoding: spec.encoding,
                 offset_ms: spec.offset_ms,
                 span_ms,
                 day: spec.day,
                 src_addr,
-                fail_after: spec.faults.crash_after(w as u16),
+                fail_after: spec.faults.crash_after(wid),
                 fabric_faults: spec.faults.fabric,
             };
             // A seal-rejection fault seals this worker's order under a key
             // derived from a corrupted seed, so the worker's own key (R8)
             // refuses it.
-            let seal_key = if spec.faults.rejects_seal(w as u16) {
+            let seal_key = if spec.faults.rejects_seal(wid) {
                 AuthKey::derive(world.cfg.seed ^ u64::from(spec.id) ^ 0x0BAD_5EA1)
             } else {
                 key
@@ -304,7 +1256,7 @@ pub fn run_measurement_abortable(
                 .is_err()
                 {
                     let _ = out_err.send(WorkerOut::Event(WorkerEvent::Failed {
-                        worker: w as u16,
+                        worker: wid,
                         telemetry: WorkerTelemetry::default(),
                         cause: WorkerFailure::SealRejected,
                     }));
@@ -361,19 +1313,20 @@ pub fn run_measurement_abortable(
                 };
                 let prefix = PrefixKey::of(target);
                 for w in 0..txs.len() {
+                    let wid = worker_wire_id(w);
                     // Non-sender workers (single-VP precheck mode) receive
                     // no orders but still capture replies.
-                    if !spec.is_sender(w as u16) {
+                    if !spec.is_sender(wid) {
                         continue;
                     }
-                    if let Some(f) = spec.faults.order_fault(w as u16) {
+                    if let Some(f) = spec.faults.order_fault(wid) {
                         if i < f.delay_orders {
                             // The channel came up late; early orders are
                             // lost in the disconnected stream.
                             stream_tracer.record_for(Component::Orchestrator, prefix, || {
                                 TraceEvent::OrderFault {
                                     prefix,
-                                    worker: w as u16,
+                                    worker: wid,
                                     cause: OrderFaultCause::Delayed,
                                 }
                             });
@@ -389,7 +1342,7 @@ pub fn run_measurement_abortable(
                             stream_tracer.record_for(Component::Orchestrator, prefix, || {
                                 TraceEvent::OrderFault {
                                     prefix,
-                                    worker: w as u16,
+                                    worker: wid,
                                     cause: OrderFaultCause::ChannelClosed,
                                 }
                             });
@@ -400,7 +1353,7 @@ pub fn run_measurement_abortable(
                         stream_tracer.record_for(Component::Orchestrator, prefix, || {
                             TraceEvent::OrderIssued {
                                 prefix,
-                                worker: w as u16,
+                                worker: wid,
                                 window_start_ms: window,
                             }
                         });
@@ -488,73 +1441,23 @@ pub fn run_measurement_abortable(
         }
     });
 
-    failed_workers.sort_unstable();
-    worker_health.sort_unstable_by_key(|h| h.worker);
-    // Canonical record order: workers race to the result stream, so the
-    // arrival order is scheduler noise. Sorting makes equal runs serialise
-    // identically (fault plans are replayable bit-for-bit).
-    records.sort_unstable_by(|a, b| {
-        (
-            a.prefix,
-            a.tx_worker,
-            a.rx_worker,
-            a.tx_time_ms,
-            a.rx_time_ms,
-        )
-            .cmp(&(
-                b.prefix,
-                b.tx_worker,
-                b.rx_worker,
-                b.tx_time_ms,
-                b.rx_time_ms,
-            ))
-    });
-
-    telemetry.inc("orchestrator.orders_streamed", orders_streamed.get());
-    telemetry.inc("orchestrator.rate_limiter_stalls", order_stalls.get());
-    telemetry.inc("orchestrator.records_collected", records.len() as u64);
-    if abort.is_aborted() {
-        telemetry.inc("orchestrator.aborts", 1);
-        telemetry.add_degraded(DegradedReason::Aborted);
-    }
-    // The RTT distribution is computed from the canonical record list (a
-    // multiset — order-independent by construction).
-    let mut rtts = Histogram::new(&metrics::RTT_BUCKETS_MS);
-    for r in &records {
-        if let Some(rtt) = r.rtt_ms() {
-            rtts.observe(rtt);
-        }
-    }
-    telemetry.record_histogram("worker.rtt_ms", rtts.snapshot());
-    // Stage timing on the simulated clock: the probing phase spans the
-    // rate-limited hitlist stream plus the last worker's offset window
-    // (R6's quantity, per measurement).
-    let mut clock = SimClock::new();
-    let mut stage = StageTimer::start(format!("measurement:{:?}", spec.protocol), &clock);
-    stage.count("targets", spec.targets.len() as u64);
-    stage.count("probes_sent", probes_sent);
-    let sim_ms = window_start_ms(spec.targets.len().saturating_sub(1), spec.rate_per_s) + span_ms;
-    clock.advance(sim_ms);
-    telemetry.push_stage(stage.finish(&clock));
-    tracer.record(Component::Control, || TraceEvent::StageSpan {
-        name: format!("measurement:{:?}", spec.protocol),
-        start_ms: 0,
-        sim_ms,
-    });
-
-    Ok(MeasurementOutcome {
-        measurement_id: spec.id,
-        platform: spec.platform,
-        protocol: spec.protocol,
+    Ok(finalize_outcome(
+        spec,
         n_workers,
-        probes_sent,
-        n_targets: spec.targets.len(),
-        records,
-        failed_workers,
-        worker_health,
-        telemetry,
-        trace_report: tracer.snapshot(""),
-    })
+        span_ms,
+        abort,
+        &tracer,
+        RunTotals {
+            records,
+            probes_sent,
+            failed_workers,
+            worker_health,
+            telemetry,
+            shard_report: RunReport::new(),
+            orders_streamed: orders_streamed.get(),
+            rate_limiter_stalls: order_stalls.get(),
+        },
+    ))
 }
 
 /// Result of a prechecked measurement (§6 future work: "check
@@ -651,4 +1554,40 @@ pub fn run_with_precheck(
         precheck_probes: pre_outcome.probes_sent,
         outcome,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_bounds_partition_contiguously() {
+        for (n, shards) in [(10, 3), (7, 7), (25_419, 16), (5, 1), (3, 16)] {
+            let shards = shards.min(n).max(1);
+            let mut next = 0;
+            for s in 0..shards {
+                let (lo, hi) = shard_bounds(n, shards, s);
+                assert_eq!(lo, next, "n={n} shards={shards} s={s}");
+                assert!(hi >= lo);
+                next = hi;
+            }
+            assert_eq!(next, n, "slices must cover the hitlist exactly");
+            // Balanced: sizes differ by at most one.
+            let sizes: Vec<usize> = (0..shards)
+                .map(|s| {
+                    let (lo, hi) = shard_bounds(n, shards, s);
+                    hi - lo
+                })
+                .collect();
+            let min = sizes.iter().min().copied().unwrap_or(0);
+            let max = sizes.iter().max().copied().unwrap_or(0);
+            assert!(max - min <= 1, "n={n} shards={shards} sizes={sizes:?}");
+        }
+    }
+
+    #[test]
+    fn worker_wire_ids_are_exact_in_range() {
+        assert_eq!(worker_wire_id(0), 0);
+        assert_eq!(worker_wire_id(63), 63);
+    }
 }

@@ -41,6 +41,79 @@ impl ProbeRecord {
     }
 }
 
+/// Shard-local accumulation of in-flight [`ProbeRecord`]s.
+///
+/// Each shard of the sharded stream pushes the records its deliveries
+/// produce into its own arena — no locks, no per-record channel sends, no
+/// cross-shard sharing — and the Orchestrator merges all arenas exactly
+/// once at seal time into the canonical record vector. The merge
+/// pre-reserves the exact total, so a census-day's millions of in-flight
+/// records cost one allocation per arena growth plus one final buffer
+/// instead of per-record channel traffic.
+///
+/// The canonical output is a *sorted multiset*, so neither the shard
+/// order of the merge nor the within-arena order can show in the outcome.
+#[derive(Debug, Default)]
+pub struct RecordArena {
+    records: Vec<ProbeRecord>,
+}
+
+impl RecordArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty arena pre-sized for `n` records.
+    pub fn with_capacity(n: usize) -> Self {
+        RecordArena {
+            records: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append one record.
+    #[inline]
+    pub fn push(&mut self, record: ProbeRecord) {
+        self.records.push(record);
+    }
+
+    /// Records accumulated so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Merge shard arenas into one record vector (a multiset — the caller
+    /// applies the canonical sort). The largest arena donates its buffer,
+    /// so the merge moves only the smaller shards' records.
+    pub fn merge(arenas: Vec<RecordArena>) -> Vec<ProbeRecord> {
+        let total: usize = arenas.iter().map(RecordArena::len).sum();
+        let base_at = arenas
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, a)| a.len())
+            .map(|(i, _)| i);
+        let mut base = Vec::new();
+        let mut rest = Vec::with_capacity(arenas.len());
+        for (i, arena) in arenas.into_iter().enumerate() {
+            if Some(i) == base_at {
+                base = arena.records;
+            } else {
+                rest.push(arena.records);
+            }
+        }
+        base.reserve_exact(total.saturating_sub(base.len()));
+        for records in rest {
+            base.extend(records);
+        }
+        base
+    }
+}
+
 /// What one worker observed about its own run, carried back to the
 /// Orchestrator inside its terminal [`WorkerEvent`]. Every field is a sum
 /// of per-probe / per-capture contributions, so the merged totals are
@@ -145,6 +218,14 @@ pub struct MeasurementOutcome {
     /// Consumers (the census pipeline) publish degraded runs anyway but
     /// must carry the reasons forward.
     pub telemetry: RunReport,
+    /// Shard-layout diagnostics: per-shard stage timings (slice bounds,
+    /// probe counts, sim-clock spans) for the sharded hitlist stream.
+    /// Unlike [`telemetry`](MeasurementOutcome::telemetry), this report
+    /// depends on `spec.shards` — one child stage per shard — so it is
+    /// excluded from the cross-shard-count invariance contract (and from
+    /// it alone; it is still bit-identical across reruns at a fixed shard
+    /// count).
+    pub shard_report: RunReport,
     /// The flight recorder's causal event log for this measurement
     /// (empty and disabled unless the spec enabled tracing). Feed it to
     /// [`laces_trace::TraceReport::explain`] to justify a verdict.
@@ -175,6 +256,34 @@ impl Degraded for MeasurementOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arena_merge_preserves_the_multiset() {
+        let rec = |rx: u16, t: u64| ProbeRecord {
+            prefix: PrefixKey::of("10.0.0.1".parse().unwrap()),
+            protocol: Protocol::Icmp,
+            rx_worker: rx,
+            tx_worker: Some(0),
+            tx_time_ms: Some(0),
+            rx_time_ms: t,
+            chaos_identity: None,
+        };
+        let mut a = RecordArena::new();
+        let mut b = RecordArena::with_capacity(4);
+        let c = RecordArena::new();
+        a.push(rec(0, 1));
+        b.push(rec(1, 2));
+        b.push(rec(1, 2)); // fabric duplicate: multiset keeps both
+        b.push(rec(2, 3));
+        assert_eq!(a.len(), 1);
+        assert!(!b.is_empty());
+        assert!(c.is_empty());
+        let mut merged = RecordArena::merge(vec![a, b, c]);
+        assert_eq!(merged.len(), 4);
+        merged.sort_unstable_by_key(|r| (r.rx_worker, r.rx_time_ms));
+        let keys: Vec<(u16, u64)> = merged.iter().map(|r| (r.rx_worker, r.rx_time_ms)).collect();
+        assert_eq!(keys, vec![(0, 1), (1, 2), (1, 2), (2, 3)]);
+    }
 
     #[test]
     fn rtt_from_echoed_time() {

@@ -26,6 +26,22 @@ use crate::orchestrator::PRECHECK_ID_BIT;
 /// sizes measured flat to slightly worse.
 pub const DEFAULT_BATCH_SIZE: usize = 256;
 
+/// Cap on the default shard count: beyond ~16 shards the per-shard slices
+/// of realistic hitlists drop below the size where per-shard session setup
+/// amortizes, and the merge fan-in starts to show.
+pub const MAX_DEFAULT_SHARDS: usize = 16;
+
+/// The default shard count: the machine's available parallelism, capped at
+/// [`MAX_DEFAULT_SHARDS`] and floored at 1. Outputs are invariant in the
+/// shard count (see `shard_invariance.rs`), so a machine-dependent default
+/// never leaks into records, classification or telemetry.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(1, MAX_DEFAULT_SHARDS)
+}
+
 /// A complete measurement definition.
 #[derive(Debug, Clone)]
 pub struct MeasurementSpec {
@@ -63,6 +79,15 @@ pub struct MeasurementSpec {
     /// (the probe schedule and all RNG draws are keyed on per-probe
     /// coordinates, never on the batching).
     pub batch_size: usize,
+    /// Shard count for the hitlist stream: the Orchestrator splits the
+    /// hitlist into this many contiguous slices, each streamed by its own
+    /// shard with its own per-worker probe sessions and record arena.
+    /// Purely a throughput knob — shard assignment is a pure function of
+    /// the global target index, fault plans count orders in canonical
+    /// (global-index) order, and records are merged into one canonical
+    /// multiset, so outputs are bit-identical across shard counts.
+    /// Defaults to [`default_shards`].
+    pub shards: usize,
     /// Flight-recorder configuration. Disabled by default: the probing hot
     /// path then pays one branch per hook and allocates nothing. When
     /// enabled, targets are sampled by a seeded, prefix-keyed hash, so the
@@ -92,6 +117,7 @@ impl MeasurementSpec {
             faults: FaultPlan::default(),
             senders: None,
             batch_size: DEFAULT_BATCH_SIZE,
+            shards: default_shards(),
             trace: TraceConfig::default(),
         }
     }
@@ -190,6 +216,14 @@ impl MeasurementSpecBuilder {
         self
     }
 
+    /// Set the shard count for the hitlist stream (default:
+    /// [`default_shards`]). Outputs are invariant in this knob; it only
+    /// sets how many slices of the hitlist stream in parallel.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.spec.shards = shards;
+        self
+    }
+
     /// Set the flight-recorder configuration (default: disabled).
     pub fn trace(mut self, trace: TraceConfig) -> Self {
         self.spec.trace = trace;
@@ -209,11 +243,21 @@ impl MeasurementSpecBuilder {
     ///   names a worker the platform does not have;
     /// * [`MeasurementError::InvalidFaultPlan`] — a fabric rate outside
     ///   [0, 1] or a fault scheduled on a nonexistent worker;
-    /// * [`MeasurementError::InvalidBatchSize`] — a batch size of zero.
+    /// * [`MeasurementError::InvalidBatchSize`] — a batch size of zero;
+    /// * [`MeasurementError::InvalidRate`] — a probe rate of zero (no
+    ///   schedule window could ever open);
+    /// * [`MeasurementError::InvalidShardCount`] — a shard count of zero
+    ///   (zero slices cover no hitlist).
     pub fn build(self, world: &World) -> Result<MeasurementSpec, MeasurementError> {
         let spec = self.spec;
         if spec.batch_size == 0 {
             return Err(MeasurementError::InvalidBatchSize { batch_size: 0 });
+        }
+        if spec.rate_per_s == 0 {
+            return Err(MeasurementError::InvalidRate);
+        }
+        if spec.shards == 0 {
+            return Err(MeasurementError::InvalidShardCount);
         }
         let platform = world.platform(spec.platform);
         if !platform.is_anycast() {

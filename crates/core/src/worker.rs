@@ -285,6 +285,10 @@ pub fn run_worker(
                     bytes,
                     tx_time_ms: order.window_start_ms + tx_offset,
                     window_start_ms: order.window_start_ms,
+                    // The threaded pipeline keeps the full byte round-trip:
+                    // it is the process-shaped reference the zero-copy
+                    // sharded path is validated against.
+                    meta: None,
                 })
                 .collect();
             let _ = world.send_probe_batch(
@@ -309,7 +313,7 @@ pub fn run_worker(
                     tracer.record_for(Component::Fabric, prefix, || TraceEvent::FabricFault {
                         prefix,
                         tx_worker: start.worker_id,
-                        rx_worker: delivery.rx_index as u16,
+                        rx_worker: u16::try_from(delivery.rx_index).unwrap_or(u16::MAX),
                         rx_time_ms: delivery.rx_time_ms,
                         kind: if verdict == FabricVerdict::Drop {
                             FabricFaultKind::Dropped

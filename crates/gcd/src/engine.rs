@@ -332,7 +332,7 @@ fn measure_target(
     let trace_probe = |vp: usize, best: Option<f64>| {
         tracer.record_for(Component::Gcd, prefix, || TraceEvent::GcdProbe {
             prefix,
-            vp: vp as u16,
+            vp: u16::try_from(vp).unwrap_or(u16::MAX),
             rtt_micro_ms: best.map(|r| (r * 1000.0).round() as u64),
         });
     };
@@ -366,7 +366,7 @@ fn measure_target(
             let tx = window_start + u64::from(attempt) * 50;
             let meta = ProbeMeta {
                 measurement_id: cfg.measurement_id,
-                worker_id: vp as u16,
+                worker_id: u16::try_from(vp).unwrap_or(u16::MAX),
                 tx_time_ms: tx,
             };
             let pkt = build_probe(src, target, cfg.protocol, &meta, ProbeEncoding::PerWorker);

@@ -41,19 +41,29 @@ pub enum Rule {
     /// invariant and the "published anyway, flagged why" contract stay in
     /// one place; ad-hoc field pokes bypass both.
     DegradedBypass,
+    /// R7: no numeric `as`-truncation (`as u8` / `as u16` / `as u32`) on
+    /// identifier-typed operands — values whose names mark them as ids or
+    /// indices (`*_id`, `worker`, `site`, `probe`, `vp`, `target`, ...).
+    /// `as` silently wraps out-of-range values, and a wrapped worker or
+    /// target id mis-attributes every downstream record; the sharded
+    /// pipeline multiplies the exposure (every shard re-derives worker
+    /// ids). Use `u16::try_from(..)` (with a typed error or a sentinel
+    /// `unwrap_or`) so the narrowing is checked.
+    AsTruncation,
     /// A malformed `laces-lint: allow(..)` marker: unknown rule id or
     /// missing justification. Markers must stay auditable.
     BadAllow,
 }
 
 /// All enforceable rules, in id order (excludes the marker meta-rule).
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 7] = [
     Rule::WallClock,
     Rule::AmbientRng,
     Rule::UnorderedIter,
     Rule::PanicPath,
     Rule::PrintPath,
     Rule::DegradedBypass,
+    Rule::AsTruncation,
 ];
 
 impl Rule {
@@ -66,6 +76,7 @@ impl Rule {
             Rule::PanicPath => "panic-path",
             Rule::PrintPath => "print-path",
             Rule::DegradedBypass => "degraded-bypass",
+            Rule::AsTruncation => "as-truncation",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -79,6 +90,7 @@ impl Rule {
             "panic-path" => Some(Rule::PanicPath),
             "print-path" => Some(Rule::PrintPath),
             "degraded-bypass" => Some(Rule::DegradedBypass),
+            "as-truncation" => Some(Rule::AsTruncation),
             "bad-allow" => Some(Rule::BadAllow),
             _ => None,
         }
@@ -110,6 +122,11 @@ impl Rule {
             Rule::DegradedBypass => {
                 "direct degraded/worker_health field access bypasses the Degraded \
                  trait — read degradation through degraded_reasons()/is_degraded()"
+            }
+            Rule::AsTruncation => {
+                "numeric `as`-truncation of an id-typed value — `as` wraps \
+                 silently and a wrapped worker/target id mis-attributes records; \
+                 use u16::try_from(..) so the narrowing is checked"
             }
             Rule::BadAllow => {
                 "malformed laces-lint allow marker — needs a known rule id and a \
@@ -157,6 +174,11 @@ impl Rule {
                 is_lib_src(path)
                     && !in_crate(path, "obs")
                     && MEASUREMENT_CRATES.iter().any(|c| in_crate(path, c))
+            }
+            // R7: measurement-path library code — the crates where a
+            // wrapped id reaches records, telemetry or the wire.
+            Rule::AsTruncation => {
+                is_lib_src(path) && MEASUREMENT_CRATES.iter().any(|c| in_crate(path, c))
             }
         }
     }
@@ -209,6 +231,73 @@ pub struct Hit {
     pub line: u32,
     /// What matched (for the diagnostic), e.g. `Instant::now`.
     pub matched: String,
+}
+
+/// Narrowing targets R7 flags. Widening (`as u64`) cannot wrap the ids
+/// this codebase mints (u16 workers, u32 targets), and `as usize` is how
+/// wire ids index per-worker tables — both stay legal.
+const TRUNCATING_WIDTHS: [&str; 3] = ["u8", "u16", "u32"];
+
+/// Whether an identifier names an id- or index-typed value (R7's naming
+/// heuristic): `*_id` / `*_idx` suffixes, camel-case `..Id` type names,
+/// or the domain nouns that id every record field.
+fn is_id_like(ident: &str) -> bool {
+    if ident.ends_with("Id") && ident.len() > 2 {
+        return true;
+    }
+    let lower = ident.to_ascii_lowercase();
+    lower == "id"
+        || lower == "idx"
+        || lower.ends_with("_id")
+        || lower.ends_with("_idx")
+        || lower.contains("worker")
+        || lower.contains("site")
+        || lower.contains("probe")
+        || lower.contains("target")
+        || lower == "vp"
+        || lower.starts_with("vp_")
+        || lower.ends_with("_vp")
+}
+
+/// For an `as u8/u16/u32` at `as_idx`, find the id-like identifier that
+/// names the cast operand, if any. Walks backwards through the operand
+/// expression with paren-depth tracking; stepping out of the cast's
+/// enclosing group checks the callee (catching `TargetId(i as u32)`), and
+/// statement/argument boundaries (`;`, `{`, `}`, and `,` / `=` at depth
+/// zero) end the operand.
+fn id_like_operand(tokens: &[Token], as_idx: usize) -> Option<String> {
+    let text = |i: usize| tokens.get(i).map(|t| t.text.as_str());
+    let mut depth = 0i32;
+    let mut j = as_idx;
+    for _ in 0..16 {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        let t = text(j)?;
+        match t {
+            ")" | "]" => depth += 1,
+            "(" => {
+                if depth == 0 {
+                    let callee = j.checked_sub(1).and_then(text)?;
+                    if is_id_like(callee) {
+                        return Some(callee.to_string());
+                    }
+                    return None;
+                }
+                depth -= 1;
+            }
+            "[" => depth = (depth - 1).max(0),
+            ";" | "{" | "}" => return None,
+            "," | "=" if depth == 0 => return None,
+            _ => {
+                if is_id_like(t) {
+                    return Some(t.to_string());
+                }
+            }
+        }
+    }
+    None
 }
 
 const WALL_CLOCK_TYPES: [&str; 2] = ["Instant", "SystemTime"];
@@ -355,6 +444,19 @@ pub fn check_tokens(path: &str, tokens: &[Token], skip: &[bool]) -> Vec<Hit> {
                 matched: format!("{t}!"),
             });
         }
+        // `<id-like> as u8/u16/u32` — a silently wrapping narrowing of an
+        // id-typed value.
+        if Rule::AsTruncation.applies_to(path) && t == "as" && i > 0 {
+            if let Some(width) = text(i + 1).filter(|w| TRUNCATING_WIDTHS.contains(w)) {
+                if let Some(operand) = id_like_operand(tokens, i) {
+                    hits.push(Hit {
+                        rule: Rule::AsTruncation,
+                        line: tok.line,
+                        matched: format!("{operand} as {width}"),
+                    });
+                }
+            }
+        }
         // `.degraded` / `.worker_health` field access (a following `(`
         // would make it a method call — `census.degraded()` is the trait's
         // own surface and stays legal).
@@ -419,6 +521,49 @@ mod tests {
         // Test trees are exempt from everything except ambient-rng.
         assert!(Rule::AmbientRng.applies_to("tests/tests/daily_census.rs"));
         assert!(!Rule::PanicPath.applies_to("crates/core/tests/fault_matrix.rs"));
+    }
+
+    #[test]
+    fn as_truncation_detection() {
+        use crate::scan_source;
+        let path = "crates/core/src/fixture.rs";
+        let src = "\
+pub fn bad(worker_id: usize, vp: usize, targets: &[u8]) {
+    let a = worker_id as u16;
+    let b = TargetId(vp as u32);
+    let c = (rng % u64::from(n_workers)) as u16;
+    consume(a, b, c);
+}
+pub fn legal(worker_id: usize, len: usize, x: u64) {
+    let a = u16::try_from(worker_id).unwrap_or(u16::MAX);
+    let b = worker_id as u64;
+    let c = worker_id as usize;
+    let d = len as u32;
+    consume(a, b, c, d, x as u16);
+}
+";
+        let (violations, _) = scan_source(path, src);
+        let hits: Vec<(u32, &str)> = violations
+            .iter()
+            .filter(|v| v.rule == Rule::AsTruncation)
+            .map(|v| (v.line, v.message.as_str()))
+            .collect();
+        assert_eq!(hits.len(), 3, "{violations:#?}");
+        assert_eq!(hits[0].0, 2, "direct id cast fires");
+        assert_eq!(hits[1].0, 3, "id-typed constructor argument fires");
+        assert_eq!(hits[2].0, 4, "id-derived arithmetic fires");
+        // Widening, usize casts, non-id operands and try_from stay legal.
+        assert!(hits.iter().all(|(line, _)| *line <= 4), "{hits:?}");
+    }
+
+    #[test]
+    fn as_truncation_scope_is_the_measurement_path() {
+        assert!(Rule::AsTruncation.applies_to("crates/core/src/worker.rs"));
+        assert!(Rule::AsTruncation.applies_to("crates/netsim/src/world.rs"));
+        assert!(Rule::AsTruncation.applies_to("crates/gcd/src/engine.rs"));
+        assert!(!Rule::AsTruncation.applies_to("crates/bench/src/probing.rs"));
+        assert!(!Rule::AsTruncation.applies_to("crates/core/tests/fault_matrix.rs"));
+        assert!(!Rule::AsTruncation.applies_to("crates/lint/src/rules.rs"));
     }
 
     #[test]

@@ -37,15 +37,26 @@ impl LatencyModel {
     /// Synthetic AS-path hop estimate when no routed path is available
     /// (unicast targets probed from unicast VPs): grows with distance.
     pub fn estimate_hops(&self, from: &Coord, to: &Coord, pair_key: Key) -> u16 {
-        let d = from.gcd_km(to);
-        let base = 2 + (d / 2500.0) as u16;
+        self.estimate_hops_km(from.gcd_km(to), pair_key)
+    }
+
+    /// [`LatencyModel::estimate_hops`] with the great-circle distance
+    /// already in hand (the batched wire path caches city-pair distances).
+    pub fn estimate_hops_km(&self, d_km: f64, pair_key: Key) -> u16 {
+        let base = 2 + (d_km / 2500.0) as u16;
         base + (rng::below(rng::mix(pair_key, 0xA5), 3)) as u16
     }
 
     /// One-way propagation delay between two points over a path of
     /// `hops` AS hops, in milliseconds. Deterministic per `pair_key`.
     pub fn one_way_ms(&self, from: &Coord, to: &Coord, hops: u16, pair_key: Key) -> f64 {
-        let ideal = min_rtt_ms(from.gcd_km(to)) / 2.0;
+        self.one_way_ms_km(from.gcd_km(to), hops, pair_key)
+    }
+
+    /// [`LatencyModel::one_way_ms`] with the great-circle distance already
+    /// in hand. Bit-identical to the coordinate form for the same distance.
+    pub fn one_way_ms_km(&self, d_km: f64, hops: u16, pair_key: Key) -> f64 {
+        let ideal = min_rtt_ms(d_km) / 2.0;
         // Path stretch: 1.2 base detour plus per-hop inefficiency, plus a
         // stable per-pair component (peering geometry), capped below 2.0.
         let per_pair = rng::unit_f64(rng::mix(rng::mix(pair_key, self.seed), 0x57)) * 0.25;
@@ -85,12 +96,42 @@ impl LatencyModel {
         target_key: Key,
         probe_key: Key,
     ) -> f64 {
-        let fwd = self.one_way_ms(a, b, hops_ab, rng::mix(src_key, target_key));
-        let back = self.one_way_ms(b, c, hops_bc, rng::mix(target_key, rng::mix(src_key, 1)));
-        fwd + back
-            + self.access_ms(src_key) / 2.0
-            + self.access_ms(target_key)
-            + self.jitter_ms(probe_key)
+        self.rtt_ms_km(
+            a.gcd_km(b),
+            b.gcd_km(c),
+            hops_ab,
+            hops_bc,
+            src_key,
+            target_key,
+            probe_key,
+            self.access_ms(src_key),
+            self.access_ms(target_key),
+        )
+    }
+
+    /// [`LatencyModel::rtt_ms`] with the two leg distances and the two
+    /// endpoint access delays already in hand — the batched wire path
+    /// resolves all four from caches (distances per city pair, access
+    /// delays per endpoint), which removes three haversines and two
+    /// inverse-CDF draws from the per-probe cost. The arithmetic is kept in
+    /// the same order as the coordinate form, so the sample is
+    /// bit-identical for identical inputs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rtt_ms_km(
+        &self,
+        d_ab_km: f64,
+        d_bc_km: f64,
+        hops_ab: u16,
+        hops_bc: u16,
+        src_key: Key,
+        target_key: Key,
+        probe_key: Key,
+        access_src: f64,
+        access_target: f64,
+    ) -> f64 {
+        let fwd = self.one_way_ms_km(d_ab_km, hops_ab, rng::mix(src_key, target_key));
+        let back = self.one_way_ms_km(d_bc_km, hops_bc, rng::mix(target_key, rng::mix(src_key, 1)));
+        fwd + back + access_src / 2.0 + access_target + self.jitter_ms(probe_key)
     }
 }
 

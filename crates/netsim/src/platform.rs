@@ -107,7 +107,9 @@ pub fn vp_src_v4(platform: PlatformId, vp: usize) -> IpAddr {
     IpAddr::V4(Ipv4Addr::new(
         198,
         19,
+        // laces-lint: allow(as-truncation) — masked to 7 bits before the cast; cannot wrap
         ((vp >> 8) & 0x7F) as u8 | ((platform.0 as u8 & 1) << 7),
+        // laces-lint: allow(as-truncation) — masked to 8 bits before the cast; cannot wrap
         (vp & 0xFF) as u8,
     ))
 }
@@ -122,7 +124,7 @@ pub fn vp_src_v6(platform: PlatformId, vp: usize) -> IpAddr {
         0,
         0,
         0,
-        vp as u16 + 1,
+        u16::try_from(vp + 1).unwrap_or(u16::MAX),
     ))
 }
 

@@ -12,8 +12,8 @@
 use bytes::Bytes;
 use laces_geo::Coord;
 use laces_obs::Counter;
-use laces_packet::probe::{Packet, PacketView};
-use laces_packet::{PacketError, PrefixKey, Protocol};
+use laces_packet::probe::{Packet, PacketView, PreparedReply, ProbeMeta};
+use laces_packet::{PacketError, PrefixKey, ProbeEncoding, Protocol};
 use laces_trace::{Component, TraceEvent, Tracer, UnansweredCause, WireFate};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -64,7 +64,15 @@ pub struct MeasurementCtx {
 #[derive(Debug, Clone)]
 pub struct Delivery {
     /// The reply packet (parse with `laces_packet::probe::parse_reply`).
+    /// On the zero-copy fast path (`reply` is `Some`) the addresses and
+    /// protocol are populated but `bytes` is empty — attribution comes
+    /// from `reply` instead.
     pub packet: Packet,
+    /// Pre-parsed attribution, present when the wire skipped materializing
+    /// reply bytes (batched probes that carried their [`ProbeMeta`]).
+    /// Resolve with `laces_packet::probe::attribute_prepared`, which is
+    /// bit-identical to parsing the bytes.
+    pub reply: Option<PreparedReply>,
     /// Receiving vantage point: the worker site index for probes sent from
     /// an anycast platform, or the VP index for unicast platforms.
     pub rx_index: usize,
@@ -223,6 +231,13 @@ pub struct ProbeSession {
     /// Position of `src_as` in the VP-AS table, resolved once.
     src_vp_pos: Option<u16>,
     src_coord: Coord,
+    /// City of the sending site (workers sit at city centres; unicast VP
+    /// nodes are jittered off them, so they stay coordinate-based).
+    src_city: Option<laces_geo::CityId>,
+    /// The sender's latency key, resolved once.
+    src_key: rng::Key,
+    /// The sender's access delay, resolved once.
+    src_access: f64,
     /// Reply routing toward the sender's own platform (workers only).
     routes: Option<Arc<Routes>>,
     /// Forward catchment of every deployment, indexed by `DeploymentId`.
@@ -254,12 +269,17 @@ impl ProbeSession {
 pub struct BatchProbe<'a> {
     /// Destination address.
     pub dst: IpAddr,
-    /// Pre-serialized transport bytes.
+    /// Pre-serialized transport bytes. May be empty when `meta` is set.
     pub bytes: &'a [u8],
     /// Virtual transmit time of this probe.
     pub tx_time_ms: u64,
     /// Virtual time the *first* worker probes this target.
     pub window_start_ms: u64,
+    /// Probe metadata, when the sender wants the zero-copy fast path: the
+    /// wire then skips reply-byte synthesis and attaches a
+    /// [`PreparedReply`] to the delivery instead (bit-identical outcome,
+    /// no per-delivery allocation). `None` keeps the byte path.
+    pub meta: Option<(ProbeMeta, ProbeEncoding)>,
 }
 
 impl World {
@@ -271,12 +291,25 @@ impl World {
             ProbeSource::Vp { platform, vp } => (platform, vp),
         };
         let src_as = self.platform(src_platform).vp_as(src_idx);
+        let src_key = rng::key(
+            self.cfg.seed,
+            &[0x52C, src_platform.0 as u64, src_idx as u64],
+        );
         ProbeSession {
             src,
             src_platform,
             src_as,
             src_vp_pos: self.vp_as_position(src_as),
             src_coord: self.vantage_coord(src_platform, src_idx),
+            src_city: match src {
+                ProbeSource::Worker { platform, site } => self
+                    .platform(platform)
+                    .sites()
+                    .map(|sites| sites[site].city),
+                ProbeSource::Vp { .. } => None,
+            },
+            src_key,
+            src_access: self.latency.access_ms(src_key),
             routes: match src {
                 ProbeSource::Worker { platform, .. } => Some(self.platform_routes(platform)),
                 ProbeSource::Vp { .. } => None,
@@ -316,12 +349,28 @@ impl World {
             ProbeSource::Vp { platform, vp } => (platform, vp),
         };
         let src_as = self.platform(src_platform).vp_as(src_idx);
+        let src_key = rng::key(
+            self.cfg.seed,
+            &[0x52C, src_platform.0 as u64, src_idx as u64],
+        );
+        let src_city = match src {
+            ProbeSource::Worker { platform, site } => self
+                .platform(platform)
+                .sites()
+                .map(|sites| sites[site].city),
+            ProbeSource::Vp { .. } => None,
+        };
         let mut chaos_buf = String::new();
         let mut reply_buf = Vec::new();
         self.send_probe_core(
             src,
             src_platform,
             self.vantage_coord(src_platform, src_idx),
+            src_city,
+            src_key,
+            self.latency.access_ms(src_key),
+            flip_probability(ctx.span_ms as f64 / 1000.0),
+            None,
             &packet.view(),
             tx_time_ms,
             window_start_ms,
@@ -366,6 +415,9 @@ impl World {
             src_as,
             src_vp_pos,
             src_coord,
+            src_city,
+            src_key,
+            src_access,
             routes,
             catchments,
             chaos_buf,
@@ -375,10 +427,14 @@ impl World {
         let tracer = &*tracer;
         let (src, src_platform, src_as, src_vp_pos, src_coord) =
             (*src, *src_platform, *src_as, *src_vp_pos, *src_coord);
+        let (src_city, src_key, src_access) = (*src_city, *src_key, *src_access);
         let routes = routes.as_deref();
         let catchments: &[Arc<DepCatchment>] = catchments;
         let seed = self.cfg.seed;
         let day = ctx.day;
+        // The flip probability depends only on the measurement span: hoist
+        // its two exponentials out of the per-probe path.
+        let flip_p = flip_probability(ctx.span_ms as f64 / 1000.0);
         let mut unanswered: u64 = 0;
         let mut first_err: Option<PacketError> = None;
         for p in probes {
@@ -392,6 +448,11 @@ impl World {
                 src,
                 src_platform,
                 src_coord,
+                src_city,
+                src_key,
+                src_access,
+                flip_p,
+                p.meta,
                 &view,
                 p.tx_time_ms,
                 p.window_start_ms,
@@ -438,6 +499,11 @@ impl World {
         src: ProbeSource,
         src_platform: PlatformId,
         src_coord: Coord,
+        src_city: Option<laces_geo::CityId>,
+        src_key: rng::Key,
+        src_access: f64,
+        flip_p: f64,
+        prepared: Option<(ProbeMeta, ProbeEncoding)>,
         packet: &PacketView<'_>,
         tx_time_ms: u64,
         window_start_ms: u64,
@@ -460,7 +526,7 @@ impl World {
         let unanswered = |cause: UnansweredCause| {
             tracer.record_for(Component::Wire, prefix, || TraceEvent::WireOutcome {
                 prefix,
-                worker: src_idx as u16,
+                worker: u16::try_from(src_idx).unwrap_or(u16::MAX),
                 tx_time_ms,
                 fate: WireFate::Unanswered { cause },
             });
@@ -507,77 +573,82 @@ impl World {
                 && matches!(src, ProbeSource::Vp { .. })
                 && self.is_broken_v6_vp(src_platform, src_idx));
 
-        let (responder_as, responder_coord, site_idx, hops_fwd) = if acts_anycast {
-            let dep = match target.kind {
-                TargetKind::Anycast { dep }
-                | TargetKind::PartialAnycast { dep, .. }
-                | TargetKind::BackingAnycast { dep, .. } => dep,
-                _ => unreachable!("acts_anycast implies a deployment"),
-            };
-            let Some((site, dist)) = forward(dep) else {
-                unanswered(UnansweredCause::NoForwardRoute);
-                return Ok(None);
-            };
-            let s = &self.deployment(dep).sites[site];
-            (s.as_idx, self.db.get(s.city).coord, Some((dep, site)), dist)
-        } else {
-            match target.kind {
-                TargetKind::GlobalUnicast { city, egress } => {
-                    // Egress network is stable per (target, probing VP):
-                    // different workers' replies leave via different PoPs.
-                    let e = egress[rng::below(
-                        rng::key(self.cfg.seed, &[0xE62E, tid.0 as u64, src_idx as u64]),
-                        2,
-                    )];
-                    let coord = self.db.get(city).coord;
-                    let hops =
-                        self.latency
-                            .estimate_hops(&src_coord, &coord, rng::mix(probe_key, 7));
-                    (e, coord, None, hops)
-                }
-                TargetKind::Unicast { city }
-                | TargetKind::PartialAnycast { city, .. }
-                | TargetKind::BackingAnycast { city, .. } => {
-                    // A live hijack splits traffic: roughly half the
-                    // Internet's catchments route to the bogus origin.
-                    if let Some(h) = target.hijack.filter(|h| h.day == ctx.day) {
-                        if rng::unit_f64(rng::key(
-                            self.cfg.seed,
-                            &[0x41AF, tid.0 as u64, src_idx as u64],
-                        )) < 0.5
-                        {
-                            let a_city = self.topo.home_city(h.attacker_as);
-                            let coord = self.db.get(a_city).coord;
-                            let hops = self.latency.estimate_hops(
-                                &src_coord,
-                                &coord,
-                                rng::mix(probe_key, 9),
-                            );
-                            (h.attacker_as, coord, None, hops)
-                        } else {
-                            let coord = self.db.get(city).coord;
-                            let hops = self.latency.estimate_hops(
-                                &src_coord,
-                                &coord,
-                                rng::mix(probe_key, 7),
-                            );
-                            (target.as_idx, coord, None, hops)
-                        }
-                    } else {
-                        let coord = self.db.get(city).coord;
-                        let hops =
-                            self.latency
-                                .estimate_hops(&src_coord, &coord, rng::mix(probe_key, 7));
-                        (target.as_idx, coord, None, hops)
-                    }
-                }
-                TargetKind::Anycast { .. } => {
-                    // Inactive temporary anycast.
-                    unanswered(UnansweredCause::InactiveAnycast);
-                    return Ok(None);
-                }
+        // Every responder sits at a city centre, so the forward leg's
+        // great-circle distance resolves through the world's city-pair memo
+        // when the sender does too (workers); jittered unicast VP senders
+        // fall back to the haversine the memo would have cached.
+        let dist_from_src = |city: laces_geo::CityId, coord: &Coord| -> f64 {
+            match src_city {
+                Some(sc) => self.city_gcd_km(sc, city),
+                None => src_coord.gcd_km(coord),
             }
         };
+        let (responder_as, responder_city, responder_coord, site_idx, hops_fwd, d_fwd) =
+            if acts_anycast {
+                let dep = match target.kind {
+                    TargetKind::Anycast { dep }
+                    | TargetKind::PartialAnycast { dep, .. }
+                    | TargetKind::BackingAnycast { dep, .. } => dep,
+                    _ => unreachable!("acts_anycast implies a deployment"),
+                };
+                let Some((site, dist)) = forward(dep) else {
+                    unanswered(UnansweredCause::NoForwardRoute);
+                    return Ok(None);
+                };
+                let s = &self.deployment(dep).sites[site];
+                let coord = self.db.get(s.city).coord;
+                let d = dist_from_src(s.city, &coord);
+                (s.as_idx, s.city, coord, Some((dep, site)), dist, d)
+            } else {
+                match target.kind {
+                    TargetKind::GlobalUnicast { city, egress } => {
+                        // Egress network is stable per (target, probing VP):
+                        // different workers' replies leave via different PoPs.
+                        let e = egress[rng::below(
+                            rng::key(self.cfg.seed, &[0xE62E, tid.0 as u64, src_idx as u64]),
+                            2,
+                        )];
+                        let coord = self.db.get(city).coord;
+                        let d = dist_from_src(city, &coord);
+                        let hops = self.latency.estimate_hops_km(d, rng::mix(probe_key, 7));
+                        (e, city, coord, None, hops, d)
+                    }
+                    TargetKind::Unicast { city }
+                    | TargetKind::PartialAnycast { city, .. }
+                    | TargetKind::BackingAnycast { city, .. } => {
+                        // A live hijack splits traffic: roughly half the
+                        // Internet's catchments route to the bogus origin.
+                        if let Some(h) = target.hijack.filter(|h| h.day == ctx.day) {
+                            if rng::unit_f64(rng::key(
+                                self.cfg.seed,
+                                &[0x41AF, tid.0 as u64, src_idx as u64],
+                            )) < 0.5
+                            {
+                                let a_city = self.topo.home_city(h.attacker_as);
+                                let coord = self.db.get(a_city).coord;
+                                let d = dist_from_src(a_city, &coord);
+                                let hops = self.latency.estimate_hops_km(d, rng::mix(probe_key, 9));
+                                (h.attacker_as, a_city, coord, None, hops, d)
+                            } else {
+                                let coord = self.db.get(city).coord;
+                                let d = dist_from_src(city, &coord);
+                                let hops = self.latency.estimate_hops_km(d, rng::mix(probe_key, 7));
+                                (target.as_idx, city, coord, None, hops, d)
+                            }
+                        } else {
+                            let coord = self.db.get(city).coord;
+                            let d = dist_from_src(city, &coord);
+                            let hops = self.latency.estimate_hops_km(d, rng::mix(probe_key, 7));
+                            (target.as_idx, city, coord, None, hops, d)
+                        }
+                    }
+                    TargetKind::Anycast { .. } => {
+                        // Inactive temporary anycast.
+                        unanswered(UnansweredCause::InactiveAnycast);
+                        return Ok(None);
+                    }
+                }
+            };
 
         // --- Synthesize the reply bytes -------------------------------------
         // The identity is borrowed, not cloned: per-site identities point
@@ -603,11 +674,25 @@ impl World {
         } else {
             None
         };
-        laces_packet::probe::build_reply_into(packet, chaos_identity, reply_buf)?;
+        // Zero-copy fast path: when the sender handed us the probe's own
+        // metadata, the reply's attribution is a pure function of it — no
+        // reply bytes are synthesized, and the delivery carries a
+        // `PreparedReply` instead (allocation only for CHAOS identities).
+        let reply: Option<PreparedReply> = match prepared {
+            Some((meta, encoding)) => Some(PreparedReply {
+                meta,
+                encoding,
+                chaos_identity: chaos_identity.map(Arc::from),
+            }),
+            None => {
+                laces_packet::probe::build_reply_into(packet, chaos_identity, reply_buf)?;
+                None
+            }
+        };
 
         // --- Route the reply back -------------------------------------------
-        let (rx_index, hops_back, rx_coord) = match src {
-            ProbeSource::Vp { .. } => (src_idx, hops_fwd, src_coord),
+        let (rx_index, hops_back, d_back) = match src {
+            ProbeSource::Vp { .. } => (src_idx, hops_fwd, responder_coord.gcd_km(&src_coord)),
             ProbeSource::Worker { platform, .. } => {
                 let Some((primary, dist_back, ties)) = receiving(responder_as) else {
                     unanswered(UnansweredCause::NoReverseRoute);
@@ -632,8 +717,7 @@ impl World {
                 // window, the likelier a flip lands inside it (Fig. 4).
                 if !acts_anycast && !matches!(target.kind, TargetKind::GlobalUnicast { .. }) {
                     let fk = rng::key(self.cfg.seed, &[0xF11B, tid.0 as u64, ctx.id as u64]);
-                    let p = flip_probability(ctx.span_ms as f64 / 1000.0);
-                    if rng::unit_f64(fk) < p {
+                    if rng::unit_f64(fk) < flip_p {
                         let flip_at = window_start_ms
                             + (rng::unit_f64(rng::mix(fk, 1)) * ctx.span_ms as f64) as u64;
                         if tx_time_ms >= flip_at {
@@ -645,22 +729,25 @@ impl World {
                     unanswered(UnansweredCause::NoReverseRoute);
                     return Ok(None);
                 };
-                (site, dist_back, self.db.get(sites[site].city).coord)
+                (
+                    site,
+                    dist_back,
+                    self.city_gcd_km(responder_city, sites[site].city),
+                )
             }
         };
 
-        let mut rtt = self.latency.rtt_ms(
-            &src_coord,
-            &responder_coord,
-            &rx_coord,
+        let target_key = rng::key(self.cfg.seed, &[0x7A26, tid.0 as u64]);
+        let mut rtt = self.latency.rtt_ms_km(
+            d_fwd,
+            d_back,
             hops_fwd,
             hops_back,
-            rng::key(
-                self.cfg.seed,
-                &[0x52C, src_platform.0 as u64, src_idx as u64],
-            ),
-            rng::key(self.cfg.seed, &[0x7A26, tid.0 as u64]),
+            src_key,
+            target_key,
             probe_key,
+            src_access,
+            self.target_access_ms(tid, target_key),
         );
         // DNS answers come from a resolver process, not the kernel: request
         // processing adds milliseconds of heavy-tailed delay. This is why
@@ -673,10 +760,10 @@ impl World {
         let rx_time_ms = tx_time_ms + (rtt.ceil() as u64).max(1);
         tracer.record_for(Component::Wire, prefix, || TraceEvent::WireOutcome {
             prefix,
-            worker: src_idx as u16,
+            worker: u16::try_from(src_idx).unwrap_or(u16::MAX),
             tx_time_ms,
             fate: WireFate::Delivered {
-                rx_worker: rx_index as u16,
+                rx_worker: u16::try_from(rx_index).unwrap_or(u16::MAX),
                 rx_time_ms,
             },
         });
@@ -685,8 +772,15 @@ impl World {
                 src: packet.dst,
                 dst: packet.src,
                 protocol: packet.protocol,
-                bytes: Bytes::copy_from_slice(reply_buf),
+                // `Bytes::new` is allocation-free; the fast path never
+                // materializes reply bytes.
+                bytes: if reply.is_some() {
+                    Bytes::new()
+                } else {
+                    Bytes::copy_from_slice(reply_buf)
+                },
             },
+            reply,
             rx_index,
             rx_time_ms,
             rtt_ms: rtt,

@@ -220,6 +220,37 @@ struct Caches {
     dep_catchments: BTreeMap<u32, Arc<DepCatchment>>,
 }
 
+/// Lazily-filled memo table of pure-function f64 values, stored as bit
+/// patterns in relaxed atomics. The sentinel (`u64::MAX`, a NaN pattern no
+/// finite computation produces) marks unfilled cells; because every cached
+/// value is a pure function of its index, racing fills write the same bits
+/// and reads stay deterministic.
+struct F64Memo {
+    cells: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl F64Memo {
+    const EMPTY: u64 = u64::MAX;
+
+    fn new(n: usize) -> Self {
+        let mut cells = Vec::with_capacity(n);
+        cells.resize_with(n, || std::sync::atomic::AtomicU64::new(Self::EMPTY));
+        F64Memo { cells }
+    }
+
+    #[inline]
+    fn get_or_fill(&self, i: usize, fill: impl FnOnce() -> f64) -> f64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        let bits = self.cells[i].load(Relaxed);
+        if bits != Self::EMPTY {
+            return f64::from_bits(bits);
+        }
+        let v = fill();
+        self.cells[i].store(v.to_bits(), Relaxed);
+        v
+    }
+}
+
 /// A complete synthetic Internet.
 pub struct World {
     /// Generation parameters.
@@ -247,6 +278,13 @@ pub struct World {
     vp_as_list: Vec<u32>,
     caches: RwLock<Caches>,
     trace_cache: parking_lot::Mutex<crate::trace::TraceCache>,
+    /// City-pair great-circle distances (row-major `n_cities × n_cities`),
+    /// filled on first use. Keyed in call order — no symmetry is assumed,
+    /// so a cached leg is bit-identical to the haversine it replaces.
+    city_km: F64Memo,
+    /// Per-target access delay ([`LatencyModel::access_ms`] of the
+    /// target's latency key), filled on first use.
+    target_access: F64Memo,
 }
 
 impl World {
@@ -303,7 +341,7 @@ impl World {
             &PRODUCTION_CITIES,
             "census",
         );
-        let production = PlatformId(platforms.len() as u16);
+        let production = PlatformId(u16::try_from(platforms.len()).unwrap_or(u16::MAX));
         platforms.push(Platform {
             name: "production-32".into(),
             kind: PlatformKind::Anycast {
@@ -312,7 +350,7 @@ impl World {
         });
 
         let cctld_sites = make_sites(&mut topo, &mut rng, &mut shell, &CCTLD_CITIES, "cctld");
-        let cctld = PlatformId(platforms.len() as u16);
+        let cctld = PlatformId(u16::try_from(platforms.len()).unwrap_or(u16::MAX));
         platforms.push(Platform {
             name: "cctld-12".into(),
             kind: PlatformKind::Anycast { sites: cctld_sites },
@@ -323,17 +361,17 @@ impl World {
                 sites: idxs.iter().map(|&i| prod_sites[i].clone()).collect(),
             }
         };
-        let eu_na = PlatformId(platforms.len() as u16);
+        let eu_na = PlatformId(u16::try_from(platforms.len()).unwrap_or(u16::MAX));
         platforms.push(Platform {
             name: "eu-na-2".into(),
             kind: subset_platform(&subsets::EU_NA),
         });
-        let one_per_continent = PlatformId(platforms.len() as u16);
+        let one_per_continent = PlatformId(u16::try_from(platforms.len()).unwrap_or(u16::MAX));
         platforms.push(Platform {
             name: "one-per-continent-6".into(),
             kind: subset_platform(&subsets::ONE_PER_CONTINENT),
         });
-        let two_per_continent = PlatformId(platforms.len() as u16);
+        let two_per_continent = PlatformId(u16::try_from(platforms.len()).unwrap_or(u16::MAX));
         platforms.push(Platform {
             name: "two-per-continent-11".into(),
             kind: subset_platform(&subsets::TWO_PER_CONTINENT),
@@ -358,14 +396,14 @@ impl World {
                 flaky: false,
             });
         }
-        let ark = PlatformId(platforms.len() as u16);
+        let ark = PlatformId(u16::try_from(platforms.len()).unwrap_or(u16::MAX));
         platforms.push(Platform {
             name: format!("ark-{}", cfg.n_ark_core),
             kind: PlatformKind::Unicast {
                 vps: ark_vps[..cfg.n_ark_core].to_vec(),
             },
         });
-        let ark_dev = PlatformId(platforms.len() as u16);
+        let ark_dev = PlatformId(u16::try_from(platforms.len()).unwrap_or(u16::MAX));
         platforms.push(Platform {
             name: format!("ark-dev-{n_ark_total}"),
             kind: PlatformKind::Unicast {
@@ -391,7 +429,7 @@ impl World {
                 flaky: true,
             });
         }
-        let atlas = PlatformId(platforms.len() as u16);
+        let atlas = PlatformId(u16::try_from(platforms.len()).unwrap_or(u16::MAX));
         platforms.push(Platform {
             name: format!("atlas-{}", cfg.n_atlas),
             kind: PlatformKind::Unicast { vps: atlas_vps },
@@ -468,7 +506,7 @@ impl World {
                         ),
                     })
                     .collect();
-                let id = DeploymentId(deployments.len() as u32);
+                let id = DeploymentId(u32::try_from(deployments.len()).unwrap_or(u32::MAX));
                 deployments.push(Deployment {
                     operator: spec.name.clone(),
                     asn: spec.asn,
@@ -568,7 +606,7 @@ impl World {
                 let a = p.vp_as(i);
                 vp_as_pos.entry(a).or_insert_with(|| {
                     vp_as_list.push(a);
-                    (vp_as_list.len() - 1) as u16
+                    u16::try_from(vp_as_list.len() - 1).unwrap_or(u16::MAX)
                 });
             }
         }
@@ -601,7 +639,9 @@ impl World {
         // Operator + tail anycast prefixes (v4).
         for (dep_id, spec) in &dep_specs {
             for k in 0..spec.v4_prefixes + spec.temporary_v4 {
-                let prefix = PrefixKey::V4(addressing::v4(targets.len() as u32));
+                let prefix = PrefixKey::V4(addressing::v4(
+                    u32::try_from(targets.len()).unwrap_or(u32::MAX),
+                ));
                 let is_ns = rng.gen_bool(spec.nameserver_fraction);
                 let temp = if k >= spec.v4_prefixes {
                     Some(TempSchedule {
@@ -646,7 +686,9 @@ impl World {
             let city = topo.home_city(as_idx);
             push_v4(
                 Target {
-                    prefix: PrefixKey::V4(addressing::v4(targets.len() as u32)),
+                    prefix: PrefixKey::V4(addressing::v4(
+                        u32::try_from(targets.len()).unwrap_or(u32::MAX),
+                    )),
                     as_idx,
                     kind: TargetKind::PartialAnycast { city, dep },
                     resp: Resp {
@@ -678,7 +720,9 @@ impl World {
             let e2 = nearest_of(&topo, &db, &transit_list, &home, 1);
             push_v4(
                 Target {
-                    prefix: PrefixKey::V4(addressing::v4(targets.len() as u32)),
+                    prefix: PrefixKey::V4(addressing::v4(
+                        u32::try_from(targets.len()).unwrap_or(u32::MAX),
+                    )),
                     as_idx,
                     kind: TargetKind::GlobalUnicast {
                         city,
@@ -721,7 +765,9 @@ impl World {
             }
             push_v4(
                 Target {
-                    prefix: PrefixKey::V4(addressing::v4(targets.len() as u32)),
+                    prefix: PrefixKey::V4(addressing::v4(
+                        u32::try_from(targets.len()).unwrap_or(u32::MAX),
+                    )),
                     as_idx,
                     kind: TargetKind::Unicast { city },
                     resp,
@@ -740,7 +786,9 @@ impl World {
             let city = topo.home_city(as_idx);
             push_v4(
                 Target {
-                    prefix: PrefixKey::V4(addressing::v4(targets.len() as u32)),
+                    prefix: PrefixKey::V4(addressing::v4(
+                        u32::try_from(targets.len()).unwrap_or(u32::MAX),
+                    )),
                     as_idx,
                     kind: TargetKind::Unicast { city },
                     resp: Resp::default(),
@@ -946,6 +994,8 @@ impl World {
             .collect();
 
         let latency = LatencyModel::new(cfg.seed);
+        let city_km = F64Memo::new(db.len() * db.len());
+        let target_access = F64Memo::new(targets.len());
         let world = World {
             cfg,
             db,
@@ -961,6 +1011,8 @@ impl World {
             vp_as_list,
             caches: RwLock::new(Caches::default()),
             trace_cache: parking_lot::Mutex::new(crate::trace::TraceCache::default()),
+            city_km,
+            target_access,
         };
         // Seed the platform-route cache with the production table we already
         // computed.
@@ -978,6 +1030,24 @@ impl World {
     }
 
     /// Look up a target by census prefix.
+    /// Great-circle distance between two cities, memoised in call order
+    /// (the value for `(a, b)` is computed as `a.gcd_km(b)`, never read
+    /// from `(b, a)`), so it is bit-identical to the haversine it caches.
+    #[inline]
+    pub fn city_gcd_km(&self, a: CityId, b: CityId) -> f64 {
+        self.city_km
+            .get_or_fill(a.0 as usize * self.db.len() + b.0 as usize, || {
+                self.db.get(a).coord.gcd_km(&self.db.get(b).coord)
+            })
+    }
+
+    /// The target's access delay, memoised per target id.
+    #[inline]
+    pub fn target_access_ms(&self, tid: TargetId, target_key: u64) -> f64 {
+        self.target_access
+            .get_or_fill(tid.0 as usize, || self.latency.access_ms(target_key))
+    }
+
     pub fn lookup(&self, key: PrefixKey) -> Option<TargetId> {
         match key {
             PrefixKey::V4(p) => {
@@ -986,7 +1056,7 @@ impl World {
             }
             PrefixKey::V6(p) => {
                 let i = addressing::v6_index(p)? as usize + self.n_v4;
-                (i < self.targets.len()).then_some(TargetId(i as u32))
+                (i < self.targets.len()).then_some(TargetId(u32::try_from(i).unwrap_or(u32::MAX)))
             }
         }
     }

@@ -42,4 +42,4 @@ pub mod stage;
 pub use degraded::{Degraded, DegradedReason};
 pub use metrics::{Counter, Histogram, HistogramSnapshot};
 pub use report::RunReport;
-pub use stage::{SimClock, StageReport, StageTimer};
+pub use stage::{ShardStages, SimClock, StageReport, StageTimer};

@@ -123,9 +123,91 @@ impl StageTimer {
     }
 }
 
+/// Collects per-shard stage timings for a sharded stream and freezes them
+/// as children of one parent stage.
+///
+/// Each shard of a sharded hitlist stream owns a contiguous slice of the
+/// schedule, so its span on the simulated clock is a pure function of the
+/// slice bounds — never of wall-clock or thread scheduling. Shards report
+/// in scheduler order; the children are sorted by shard name at freeze
+/// time so the parent report is deterministic regardless of which shard
+/// finished first.
+#[derive(Debug, Default)]
+pub struct ShardStages {
+    children: Vec<StageReport>,
+}
+
+impl ShardStages {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one shard's slice: its `start_ms`/`sim_ms` on the simulated
+    /// clock plus stage-scoped counters (targets, probes, ...). The child
+    /// stage is named `shard.{shard:03}`.
+    pub fn record(&mut self, shard: usize, start_ms: u64, sim_ms: u64, counters: &[(&str, u64)]) {
+        let mut clock = SimClock::new();
+        clock.advance(start_ms);
+        let mut timer = StageTimer::start(format!("shard.{shard:03}"), &clock);
+        for (name, n) in counters {
+            timer.count(name, *n);
+        }
+        clock.advance(sim_ms);
+        self.children.push(timer.finish(&clock));
+    }
+
+    /// Shards recorded so far.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Whether no shard reported yet.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Freeze into a parent stage spanning every recorded shard.
+    pub fn finish(mut self, name: impl Into<String>) -> StageReport {
+        self.children.sort_by(|a, b| a.name.cmp(&b.name));
+        let start_ms = self.children.iter().map(|c| c.start_ms).min().unwrap_or(0);
+        let end_ms = self
+            .children
+            .iter()
+            .map(StageReport::end_ms)
+            .max()
+            .unwrap_or(0);
+        StageReport {
+            name: name.into(),
+            start_ms,
+            sim_ms: end_ms.saturating_sub(start_ms),
+            counters: BTreeMap::new(),
+            children: self.children,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_stages_sort_and_span_the_slices() {
+        let mut shards = ShardStages::new();
+        assert!(shards.is_empty());
+        // Reported out of order, as concurrent shards would.
+        shards.record(1, 500, 700, &[("targets", 10)]);
+        shards.record(0, 0, 600, &[("targets", 10), ("probes", 320)]);
+        assert_eq!(shards.len(), 2);
+        let stage = shards.finish("stream:sharded");
+        assert_eq!(stage.name, "stream:sharded");
+        assert_eq!(stage.start_ms, 0);
+        assert_eq!(stage.sim_ms, 1_200);
+        assert_eq!(stage.children[0].name, "shard.000");
+        assert_eq!(stage.children[0].counter("probes"), 320);
+        assert_eq!(stage.children[1].name, "shard.001");
+        assert_eq!(stage.children[1].end_ms(), 1_200);
+    }
 
     #[test]
     fn clock_advances_and_saturates() {

@@ -149,6 +149,107 @@ pub struct ReplyInfo {
     pub chaos_identity: Option<Arc<str>>,
 }
 
+/// Attribution carried alongside a simulated delivery when the wire skips
+/// materializing reply bytes (the zero-copy fast path): everything
+/// [`parse_reply`] would recover from the bytes, derived from the probe's
+/// metadata instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedReply {
+    /// Metadata of the eliciting probe, exactly as the probe builder would
+    /// have encoded it into the wire bytes.
+    pub meta: ProbeMeta,
+    /// How the probe encoded attribution.
+    pub encoding: ProbeEncoding,
+    /// CHAOS identity the responding site would disclose (consulted only
+    /// for [`Protocol::Chaos`]).
+    pub chaos_identity: Option<Arc<str>>,
+}
+
+/// What [`parse_reply`] would return for the reply to a probe built from
+/// `prepared` — without building or parsing any bytes.
+///
+/// This must stay bit-identical to
+/// `parse_reply(&build_reply(&build_probe(..), ..), ..)` for every
+/// protocol and encoding, including measurement-id rejection (`NotOurs`),
+/// the ICMP static-encoding attribution loss, the TCP worker-id mask and
+/// 26-bit timestamp reconstruction, and the 255-byte TXT truncation; the
+/// `prepared_matches_wire_roundtrip` test pins the equivalence.
+///
+/// # Errors
+///
+/// [`PacketError::NotOurs`] exactly when `parse_reply` would reject the
+/// materialized reply as belonging to another measurement.
+pub fn attribute_prepared(
+    protocol: Protocol,
+    prepared: &PreparedReply,
+    measurement_id: u32,
+    rx_time_ms: u64,
+) -> Result<ReplyInfo, PacketError> {
+    let meta = &prepared.meta;
+    match protocol {
+        Protocol::Icmp => {
+            if meta.measurement_id != measurement_id {
+                return Err(PacketError::NotOurs);
+            }
+            // The payload decoder signals static probes via the worker-id
+            // sentinel, so a per-worker probe from the (never valid)
+            // sentinel worker also loses attribution.
+            let attributed = prepared.encoding == ProbeEncoding::PerWorker
+                && meta.worker_id != icmp::STATIC_WORKER_SENTINEL;
+            Ok(ReplyInfo {
+                protocol,
+                tx_worker: attributed.then_some(meta.worker_id),
+                tx_time_ms: attributed.then_some(meta.tx_time_ms),
+                chaos_identity: None,
+            })
+        }
+        Protocol::Tcp => {
+            if !tcp::port_matches(tcp::probe_src_port(meta.measurement_id), measurement_id) {
+                return Err(PacketError::NotOurs);
+            }
+            let (worker, truncated) = tcp::decode_ack(tcp::encode_ack(meta));
+            Ok(ReplyInfo {
+                protocol,
+                tx_worker: Some(worker),
+                tx_time_ms: Some(tcp::reconstruct_time(truncated, rx_time_ms)),
+                chaos_identity: None,
+            })
+        }
+        Protocol::Udp => {
+            if !tcp::port_matches(tcp::probe_src_port(meta.measurement_id), measurement_id)
+                || meta.measurement_id != measurement_id
+            {
+                return Err(PacketError::NotOurs);
+            }
+            Ok(ReplyInfo {
+                protocol,
+                tx_worker: Some(meta.worker_id),
+                tx_time_ms: Some(meta.tx_time_ms),
+                chaos_identity: None,
+            })
+        }
+        Protocol::Chaos => {
+            if !tcp::port_matches(tcp::probe_src_port(meta.measurement_id), measurement_id) {
+                return Err(PacketError::NotOurs);
+            }
+            // The TXT writer caps the character-string at 255 bytes.
+            let identity = prepared.chaos_identity.as_ref().map(|s| {
+                if s.len() <= 255 {
+                    Arc::clone(s)
+                } else {
+                    Arc::from(String::from_utf8_lossy(&s.as_bytes()[..255]).into_owned())
+                }
+            });
+            Ok(ReplyInfo {
+                protocol,
+                tx_worker: Some(meta.worker_id),
+                tx_time_ms: None,
+                chaos_identity: identity,
+            })
+        }
+    }
+}
+
 /// Build a probe packet for any protocol.
 ///
 /// For [`Protocol::Udp`] the query type follows the destination's address
@@ -541,6 +642,74 @@ mod tests {
         let dgram = udp::parse(src, dst, &probe.bytes).unwrap();
         let msg = dns::parse(&dgram.payload).unwrap();
         assert_eq!(msg.question().unwrap().qtype, dns::TYPE_AAAA);
+    }
+
+    #[test]
+    fn prepared_matches_wire_roundtrip() {
+        // The zero-copy fast path must agree with the byte round-trip on
+        // every (protocol, encoding, measurement-id, identity) combination,
+        // including rejections.
+        let (src, dst) = v4();
+        let identities: [Option<&str>; 3] = [None, Some("ams1.ns.example"), Some("")];
+        for proto in [
+            Protocol::Icmp,
+            Protocol::Tcp,
+            Protocol::Udp,
+            Protocol::Chaos,
+        ] {
+            for encoding in [ProbeEncoding::PerWorker, ProbeEncoding::Static] {
+                for worker in [0u16, 7, icmp::STATIC_WORKER_SENTINEL] {
+                    for expected in [MID, MID + 1, MID + 65_536] {
+                        for identity in identities {
+                            let m = ProbeMeta {
+                                measurement_id: MID,
+                                worker_id: worker,
+                                tx_time_ms: 123_456,
+                            };
+                            let probe = build_probe(src, dst, proto, &m, encoding);
+                            let reply = build_reply(&probe, identity).unwrap();
+                            let via_bytes = parse_reply(&reply, expected, 123_999);
+                            let prepared = PreparedReply {
+                                meta: m,
+                                encoding,
+                                chaos_identity: identity.map(Arc::from),
+                            };
+                            let via_meta = attribute_prepared(proto, &prepared, expected, 123_999);
+                            match (via_bytes, via_meta) {
+                                (Ok(a), Ok(b)) => assert_eq!(a, b, "{proto} {encoding:?}"),
+                                (Err(_), Err(_)) => {}
+                                (a, b) => {
+                                    panic!("fast path diverged for {proto} {encoding:?}: bytes={a:?} meta={b:?}")
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_reconstructs_tcp_time_across_wrap() {
+        // rx far from tx exercises the 26-bit reconstruction identically.
+        let m = ProbeMeta {
+            measurement_id: MID,
+            worker_id: 3,
+            tx_time_ms: (1u64 << 26) - 10,
+        };
+        let (src, dst) = v4();
+        let probe = build_probe(src, dst, Protocol::Tcp, &m, ProbeEncoding::PerWorker);
+        let reply = build_reply(&probe, None).unwrap();
+        let rx = (1u64 << 26) + 5;
+        let a = parse_reply(&reply, MID, rx).unwrap();
+        let prepared = PreparedReply {
+            meta: m,
+            encoding: ProbeEncoding::PerWorker,
+            chaos_identity: None,
+        };
+        let b = attribute_prepared(Protocol::Tcp, &prepared, MID, rx).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.tx_time_ms, Some(m.tx_time_ms));
     }
 
     #[test]

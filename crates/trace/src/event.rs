@@ -205,6 +205,23 @@ pub enum TraceEvent {
         /// Simulated duration.
         sim_ms: u64,
     },
+    /// One shard of the sharded hitlist stream: the contiguous schedule
+    /// slice it owns, on the SimClock (unsampled). Off by default — the
+    /// shard layout depends on `spec.shards`, so these spans are opt-in
+    /// via `TraceConfig::shard_spans` and excluded from the cross-
+    /// shard-count trace invariance.
+    ShardSpan {
+        /// Shard index.
+        shard: u16,
+        /// First global hitlist index of the shard's slice.
+        start_index: u64,
+        /// Targets in the slice.
+        n_targets: u64,
+        /// SimClock start of the slice's rate window.
+        start_ms: u64,
+        /// Simulated span of the slice (stream windows plus probe tail).
+        sim_ms: u64,
+    },
 }
 
 impl TraceEvent {
@@ -224,7 +241,8 @@ impl TraceEvent {
             | TraceEvent::GcdVerdict { prefix, .. } => Some(*prefix),
             TraceEvent::WorkerFault { .. }
             | TraceEvent::GcdChunk { .. }
-            | TraceEvent::StageSpan { .. } => None,
+            | TraceEvent::StageSpan { .. }
+            | TraceEvent::ShardSpan { .. } => None,
         }
     }
 }
@@ -275,6 +293,30 @@ mod tests {
         assert!(matches!(events[0], TraceEvent::OrderIssued { .. }));
         assert!(matches!(events[1], TraceEvent::ProbeSent { .. }));
         assert!(matches!(events[2], TraceEvent::Captured { .. }));
+    }
+
+    /// `ShardSpan` was appended after `StageSpan`, preserving the derived
+    /// `Ord` of every pre-existing variant: shard spans sort last.
+    #[test]
+    fn shard_spans_sort_after_stage_spans() {
+        let mut events = [
+            TraceEvent::ShardSpan {
+                shard: 0,
+                start_index: 0,
+                n_targets: 100,
+                start_ms: 0,
+                sim_ms: 1_000,
+            },
+            TraceEvent::StageSpan {
+                name: "measurement:Icmp".into(),
+                start_ms: 0,
+                sim_ms: 1_000,
+            },
+        ];
+        events.sort_unstable();
+        assert!(matches!(events[0], TraceEvent::StageSpan { .. }));
+        assert!(matches!(events[1], TraceEvent::ShardSpan { .. }));
+        assert_eq!(events[1].prefix(), None);
     }
 
     #[test]

@@ -139,6 +139,20 @@ fn chrome_event(pid: u64, event: &TraceEvent) -> Value {
             start_ms,
             sim_ms,
         } => span(pid, 0, name.clone(), "stage", *start_ms, *sim_ms, event),
+        TraceEvent::ShardSpan {
+            shard,
+            start_ms,
+            sim_ms,
+            ..
+        } => span(
+            pid,
+            0,
+            format!("shard.{shard:03}"),
+            "stage",
+            *start_ms,
+            *sim_ms,
+            event,
+        ),
         TraceEvent::WireOutcome {
             prefix,
             worker,

@@ -65,6 +65,11 @@ pub struct TraceConfig {
     /// retains the canonically smallest `cap` events and counts the rest
     /// as dropped.
     pub cap_per_component: usize,
+    /// Record [`TraceEvent::ShardSpan`] events for the sharded hitlist
+    /// stream. Off by default: the shard layout depends on `spec.shards`,
+    /// so shard spans are the one event class excluded from the
+    /// cross-shard-count trace invariance and must be asked for.
+    pub shard_spans: bool,
 }
 
 impl Default for TraceConfig {
@@ -74,6 +79,7 @@ impl Default for TraceConfig {
             seed: 0,
             sample_per_mille: 1000,
             cap_per_component: 65_536,
+            shard_spans: false,
         }
     }
 }
@@ -96,6 +102,12 @@ impl TraceConfig {
             sample_per_mille,
             ..TraceConfig::default()
         }
+    }
+
+    /// The same config with shard-span events enabled.
+    pub fn with_shard_spans(mut self) -> Self {
+        self.shard_spans = true;
+        self
     }
 }
 
