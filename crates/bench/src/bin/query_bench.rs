@@ -1,0 +1,38 @@
+//! Regenerate `BENCH_pr7.json` (the indexed query-service benchmark) at a
+//! chosen scale, without running the full `run_all` suite. The corpus is
+//! synthetic and deterministic, so no world is generated.
+//!
+//! ```text
+//! cargo run --release -p laces-bench --bin query_bench [-- tiny|mid|huge|paper] [--out PATH]
+//! ```
+
+use laces_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env_or_args(&args);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
+
+    let query = laces_bench::run_query_bench_at(scale);
+    eprintln!(
+        "query service: {} lookups in {:.0} ms ({:.0} reads/s), mean {:.1} us \
+         (target < {:.0} us), sampled max {:.1} us, bytes-read fraction {:.4}, \
+         equivalence {}, target met: {}",
+        query.point_lookups,
+        query.point_wall_ms,
+        query.reads_per_s,
+        query.mean_point_us,
+        query.target_point_us,
+        query.sampled_max_us,
+        query.bytes_read_fraction,
+        query.equivalence.all_match(),
+        query.target_met
+    );
+    std::fs::write(&out_path, query.to_json()).expect("BENCH_pr7.json writes");
+    eprintln!("wrote {out_path}");
+}

@@ -18,6 +18,7 @@ pub mod extras;
 pub mod figures;
 pub mod perf;
 pub mod probing;
+pub mod query;
 pub mod report;
 pub mod sharding;
 pub mod tables;
@@ -26,6 +27,7 @@ pub mod tracing;
 pub use artifacts::{Artifacts, Scale};
 pub use perf::{run_perf, PerfReport};
 pub use probing::{run_probing_bench, ProbingBench};
+pub use query::{run_query_bench, run_query_bench_at, QueryBench};
 pub use report::Report;
 pub use sharding::{run_sharding_bench, ShardingBench};
 pub use tracing::{run_tracing_bench, TracingBench};

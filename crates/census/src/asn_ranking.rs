@@ -1,21 +1,19 @@
 //! ASN ranking of anycast originators (Table 6).
+//!
+//! The [`AsnRank`] row type, canonical sort and `top_k_share` statistic
+//! live in `laces-query` (shared with the indexed
+//! [`QueryService`](laces_query::QueryService) ranking); this module keeps
+//! the census-side producers: ranking from announcement tables and
+//! ranking a published day in memory.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use laces_netsim::bgp::BgpTable;
 use laces_packet::PrefixKey;
-use serde::{Deserialize, Serialize};
 
-/// One ranked origin AS.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct AsnRank {
-    /// Origin ASN.
-    pub asn: u32,
-    /// Anycast IPv4 `/24`s originated.
-    pub v4: usize,
-    /// Anycast IPv6 `/48`s originated.
-    pub v6: usize,
-}
+pub use laces_query::{rank_from_counts, top_k_share, AsnRank};
+
+use crate::record::DailyCensus;
 
 /// Rank origin ASes by the number of anycast prefixes they originate.
 ///
@@ -40,24 +38,29 @@ pub fn rank_asns(
             counts.entry(*asn).or_default().1 += 1;
         }
     }
-    let mut out: Vec<AsnRank> = counts
-        .into_iter()
-        .map(|(asn, (v4, v6))| AsnRank { asn, v4, v6 })
-        .collect();
-    out.sort_by(|a, b| (b.v4 + b.v6).cmp(&(a.v4 + a.v6)).then(a.asn.cmp(&b.asn)));
-    out
+    rank_from_counts(counts)
 }
 
-/// Share of the census held by the top `k` ASes (the hypergiant-dominance
-/// statistic: the paper reports 59% of IPv4 and 63% of IPv6).
-pub fn top_k_share(ranks: &[AsnRank], k: usize, v4: bool) -> f64 {
-    let total: usize = ranks.iter().map(|r| if v4 { r.v4 } else { r.v6 }).sum();
-    if total == 0 {
-        return 0.0;
+/// Rank origin ASes from one published census day, using the records'
+/// own `origin_asn` field: a record counts toward its origin when either
+/// methodology saw anycast. This is the in-memory reference for
+/// [`QueryService::asn_ranking`](laces_query::QueryService::asn_ranking) —
+/// the indexed answer must equal this one.
+pub fn rank_census_day(census: &DailyCensus) -> Vec<AsnRank> {
+    let mut counts: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+    for r in census.records.values() {
+        let Some(asn) = r.origin_asn else { continue };
+        if !(r.anycast_based_positive() || r.gcd_confirmed()) {
+            continue;
+        }
+        let slot = counts.entry(asn).or_default();
+        if r.prefix.is_v4() {
+            slot.0 += 1;
+        } else {
+            slot.1 += 1;
+        }
     }
-    let mut by: Vec<usize> = ranks.iter().map(|r| if v4 { r.v4 } else { r.v6 }).collect();
-    by.sort_unstable_by(|a, b| b.cmp(a));
-    by.iter().take(k).sum::<usize>() as f64 / total as f64
+    rank_from_counts(counts)
 }
 
 #[cfg(test)]
@@ -105,5 +108,54 @@ mod tests {
     #[test]
     fn top_k_share_of_empty_is_zero() {
         assert_eq!(top_k_share(&[], 5, true), 0.0);
+    }
+
+    #[test]
+    fn rank_census_day_counts_only_resolved_anycast() {
+        use crate::record::{CensusRecord, CensusStats};
+        use laces_core::classify::Class;
+        use laces_packet::{Prefix24, Protocol};
+
+        let mut records = BTreeMap::new();
+        for (i, asn, anycast) in [
+            (1u32, Some(10), true),
+            (2, Some(10), false),
+            (3, None, true),
+        ] {
+            let prefix = PrefixKey::V4(Prefix24::from_network(i << 8));
+            let mut anycast_based = BTreeMap::new();
+            anycast_based.insert(
+                Protocol::Icmp,
+                if anycast {
+                    Class::Anycast { n_vps: 4 }
+                } else {
+                    Class::Unicast
+                },
+            );
+            records.insert(
+                prefix,
+                CensusRecord {
+                    prefix,
+                    anycast_based,
+                    gcd: None,
+                    partial: false,
+                    origin_asn: asn,
+                },
+            );
+        }
+        let census = DailyCensus {
+            day: 0,
+            records,
+            stats: CensusStats::default(),
+        };
+        // Only prefix 1 counts: 2 is not anycast, 3 has no origin.
+        assert_eq!(
+            rank_census_day(&census),
+            vec![AsnRank {
+                asn: 10,
+                v4: 1,
+                v6: 0
+            }]
+        );
     }
 }

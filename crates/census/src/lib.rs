@@ -21,10 +21,12 @@
 //!   (Appendix C, Fig. 10).
 //!
 //! Beyond the paper's evaluation, the §6 future-work directions are
-//! implemented too: [`store`] (the public-repository persistence and query
-//! layer), [`canary`] (platform outage self-monitoring), [`trigger`]
-//! (BGP-feed-triggered verification of temporary anycast and hijacks), and
-//! [`hijack`] (longitudinal one-day-anomaly detection).
+//! implemented too: [`store`] (the public-repository persistence layer,
+//! with per-day query-index sidecars and atomic publishes), [`query`] (the
+//! indexed, handle-based read path — `laces-query` re-exported), [`canary`]
+//! (platform outage self-monitoring), [`trigger`] (BGP-feed-triggered
+//! verification of temporary anycast and hijacks), and [`hijack`]
+//! (longitudinal one-day-anomaly detection).
 
 pub mod analysis;
 pub mod asn_ranking;
@@ -44,13 +46,20 @@ pub mod store;
 pub mod trace_enum;
 pub mod trigger;
 
+/// The indexed census read path (`laces-query`): per-day binary index
+/// sidecars plus the lazily-loading [`query::QueryService`] handle.
+pub use laces_query as query;
+
 pub use atlist::{AtList, AtSource};
 pub use canary::{detect_outages, CanarySnapshot, OutageAlarm};
 pub use diff::{diff, CensusDiff, FootprintChange};
 pub use geoloc::{score_geolocation, score_report, GeolocScore};
 pub use hijack::{detect_hijacks, DayEvidence, HijackSuspect};
 pub use pipeline::{CensusPipeline, DayOutput, PipelineConfig};
+pub use query::{PrefixPoint, QueryError, QueryService};
 pub use record::{CensusRecord, CensusStats, DailyCensus, GcdSummary};
-pub use store::{CensusQuery, CensusStore};
+#[allow(deprecated)]
+pub use store::CensusQuery;
+pub use store::{CensusStore, StoreError};
 pub use trace_enum::{trace_enumerate, trace_enumerate_all, TraceEnumeration};
 pub use trigger::{run_triggered_verification, TriggerReport, TriggerVerdict};

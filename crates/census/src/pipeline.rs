@@ -26,7 +26,8 @@ use laces_core::spec::MeasurementSpec;
 use laces_core::MeasurementError;
 use laces_gcd::engine::{run_campaign, GcdClass, GcdConfig};
 use laces_hitlist::Hitlist;
-use laces_netsim::{PlatformId, World};
+use laces_netsim::bgp::BgpTable;
+use laces_netsim::{bgp_table, PlatformId, TargetKind, World};
 use laces_obs::{RunReport, SimClock, StageTimer};
 use laces_packet::{PrefixKey, Protocol};
 use laces_trace::{Component, TraceConfig, TraceEvent, Tracer};
@@ -55,6 +56,10 @@ pub struct PipelineConfig {
     /// Fault schedule applied to every anycast-based stage (robustness
     /// tests; the default plan is fault-free).
     pub faults: FaultPlan,
+    /// Shard count for the anycast-based stages' streamer (`None` lets the
+    /// spec builder pick its default). The published census — records,
+    /// sidecars, query index — is invariant under this knob.
+    pub shards: Option<usize>,
     /// Flight-recorder configuration, applied to every stage of every day
     /// (default: disabled). Sections land in
     /// [`CensusStats::trace_report`] under per-stage labels.
@@ -73,6 +78,7 @@ impl PipelineConfig {
             offset_ms: 1_000,
             base_measurement_id: 1_000,
             faults: FaultPlan::default(),
+            shards: None,
             trace: TraceConfig::default(),
         }
     }
@@ -95,6 +101,45 @@ pub struct CensusPipeline {
     pub feedback: AtList,
     /// Prefixes flagged partial-anycast by the /32-granularity scan.
     pub partial_flags: BTreeSet<PrefixKey>,
+    /// Origin tables for record publication, built once on first use: the
+    /// v4 pfx2as announcement table plus the v6 deployment registry.
+    origins: Option<OriginTables>,
+}
+
+/// Announcement-derived origin lookup for published records.
+struct OriginTables {
+    v4: BgpTable,
+    v6: BTreeMap<PrefixKey, u32>,
+}
+
+impl OriginTables {
+    fn build(world: &World) -> Self {
+        let v4 = bgp_table(world);
+        let mut v6 = BTreeMap::new();
+        for t in &world.targets {
+            if t.prefix.is_v4() {
+                continue;
+            }
+            // The simulator's v6 "table" is the deployment registry:
+            // deployment-backed prefixes originate from the deployment's
+            // AS; plain unicast v6 space carries no origin here.
+            let dep = match t.kind {
+                TargetKind::Anycast { dep }
+                | TargetKind::PartialAnycast { dep, .. }
+                | TargetKind::BackingAnycast { dep, .. } => dep,
+                TargetKind::Unicast { .. } | TargetKind::GlobalUnicast { .. } => continue,
+            };
+            v6.insert(t.prefix, world.deployment(dep).asn);
+        }
+        OriginTables { v4, v6 }
+    }
+
+    fn origin_of(&self, prefix: PrefixKey) -> Option<u32> {
+        match prefix {
+            PrefixKey::V4(p24) => self.v4.covering(p24).map(|a| a.asn),
+            PrefixKey::V6(_) => self.v6.get(&prefix).copied(),
+        }
+    }
 }
 
 /// Everything one census day produced, including intermediate artifacts
@@ -129,6 +174,7 @@ impl CensusPipeline {
             cfg,
             feedback: AtList::new(),
             partial_flags: BTreeSet::new(),
+            origins: None,
         }
     }
 
@@ -146,6 +192,9 @@ impl CensusPipeline {
     /// fault plan). Runtime failures never error: they degrade the day and
     /// are reported in [`CensusStats::telemetry`].
     pub fn run_day(&mut self, day: u32) -> Result<DayOutput, MeasurementError> {
+        if self.origins.is_none() {
+            self.origins = Some(OriginTables::build(&self.world));
+        }
         let world = &self.world;
         let mut stats = CensusStats::default();
         let mut clock = SimClock::new();
@@ -170,7 +219,7 @@ impl CensusPipeline {
          -> Result<(), MeasurementError> {
             let label = format!("{}{}", protocol.name(), hitlist.family.suffix());
             let targets = Arc::new(hitlist.addresses());
-            let spec = MeasurementSpec::builder(
+            let mut builder = MeasurementSpec::builder(
                 self.cfg.base_measurement_id + day * 32 + stage_idx,
                 self.cfg.anycast_platform,
             )
@@ -180,8 +229,11 @@ impl CensusPipeline {
             .offset_ms(self.cfg.offset_ms)
             .day(day)
             .faults(self.cfg.faults.clone())
-            .trace(self.cfg.trace)
-            .build(world)?;
+            .trace(self.cfg.trace);
+            if let Some(shards) = self.cfg.shards {
+                builder = builder.shards(shards);
+            }
+            let spec = builder.build(world)?;
             stage_idx += 1;
             let mut stage = StageTimer::start(format!("anycast:{label}"), &*clock);
             let stage_start = clock.now_ms();
@@ -336,6 +388,7 @@ impl CensusPipeline {
                     anycast_based,
                     gcd,
                     partial: self.partial_flags.contains(&prefix),
+                    origin_asn: self.origins.as_ref().and_then(|o| o.origin_of(prefix)),
                 },
             );
         }

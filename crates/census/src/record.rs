@@ -37,6 +37,11 @@ pub struct CensusRecord {
     /// Partial-anycast flag (§5.6): the prefix mixes unicast and anycast
     /// addresses, so per-address interpretation is required.
     pub partial: bool,
+    /// Origin AS of the prefix's covering announcement (Table 6 input),
+    /// when the announcement tables resolve one. Absent in records
+    /// published before this field existed — readers must treat `None` as
+    /// "unresolved", not "unannounced".
+    pub origin_asn: Option<u32>,
 }
 
 impl CensusRecord {
@@ -140,13 +145,25 @@ impl DailyCensus {
     /// Serialise as JSON lines (one record per line), the publication
     /// format of the public census repository.
     pub fn to_jsonl(&self) -> String {
+        self.to_jsonl_with_spans().0
+    }
+
+    /// Serialise as JSON lines and report each record's byte span in the
+    /// output — `(prefix, offset, len)`, len excluding the newline — in
+    /// record (prefix) order. The store feeds the spans straight into the
+    /// day's index sidecar so the index always matches the file it points
+    /// into.
+    pub fn to_jsonl_with_spans(&self) -> (String, Vec<(PrefixKey, u64, u32)>) {
         let mut out = String::new();
+        let mut spans = Vec::with_capacity(self.records.len());
         for r in self.records.values() {
             // laces-lint: allow(panic-path) — CensusRecord is a plain in-memory struct (no maps with non-string keys, no custom Serialize); serde_json::to_string on it is infallible
-            out.push_str(&serde_json::to_string(r).expect("record serialises"));
+            let line = serde_json::to_string(r).expect("record serialises");
+            spans.push((r.prefix, out.len() as u64, line.len() as u32));
+            out.push_str(&line);
             out.push('\n');
         }
-        out
+        (out, spans)
     }
 
     /// Parse a JSON-lines census back into records.
@@ -181,6 +198,7 @@ mod tests {
                 cities: vec!["Amsterdam".into(), "Tokyo".into()],
             }),
             partial: false,
+            origin_asn: Some(13_335),
         }
     }
 
@@ -217,5 +235,41 @@ mod tests {
     fn from_jsonl_rejects_garbage() {
         assert!(DailyCensus::from_jsonl(0, "not json\n").is_err());
         assert!(DailyCensus::from_jsonl(0, "").unwrap().records.is_empty());
+    }
+
+    /// Records published before `origin_asn` existed (no such key in the
+    /// JSON) must still parse, as `None`.
+    #[test]
+    fn legacy_records_without_origin_asn_parse() {
+        let r = sample_record();
+        let json = serde_json::to_string(&r).unwrap();
+        let legacy = json.replace(",\"origin_asn\":13335", "");
+        assert_ne!(legacy, json, "origin_asn key not found to strip");
+        let back: CensusRecord = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.origin_asn, None);
+        assert_eq!(back.prefix, r.prefix);
+    }
+
+    #[test]
+    fn spans_locate_every_record() {
+        let mut records = BTreeMap::new();
+        for i in 1..=3u32 {
+            let mut r = sample_record();
+            r.prefix = PrefixKey::V4(laces_packet::Prefix24::from_network(i << 8));
+            records.insert(r.prefix, r);
+        }
+        let census = DailyCensus {
+            day: 1,
+            records,
+            stats: CensusStats::default(),
+        };
+        let (text, spans) = census.to_jsonl_with_spans();
+        assert_eq!(spans.len(), 3);
+        for (prefix, offset, len) in spans {
+            let line = &text[offset as usize..(offset + u64::from(len)) as usize];
+            let parsed: CensusRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(parsed.prefix, prefix);
+            assert_eq!(text.as_bytes()[(offset + u64::from(len)) as usize], b'\n');
+        }
     }
 }

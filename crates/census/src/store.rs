@@ -2,17 +2,82 @@
 //!
 //! The paper publishes each day's census to a public Git repository as
 //! structured records. This store writes one JSON-lines file per day plus
-//! a tiny stats sidecar, and loads runs back for longitudinal analysis —
-//! the consumer-side workflow for anyone using the published census.
+//! sidecars — a stats file, greppable JSONL telemetry, optional
+//! flight-recorder traces, and the binary query index
+//! (`census-day-NNNNN.idx`, see `laces_query::idx`) that the
+//! [`QueryService`](laces_query::QueryService) read path is built on.
+//!
+//! Every artifact is written atomically (tempfile + fsync + rename), so a
+//! crashed publish can never leave a half-written day for the query
+//! service to index. Every failure is a structured [`StoreError`] carrying
+//! the path and day involved, not a context-free `io::Error`.
 
 use std::collections::BTreeMap;
-use std::io;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use laces_obs::{DegradedReason, HistogramSnapshot, RunReport, StageReport};
+use laces_query::{build_index, index_file_name, IndexRecord, QueryError, SummaryInput};
 use serde::{Deserialize, Value};
 
-use crate::record::{CensusStats, DailyCensus};
+use crate::record::{CensusRecord, CensusStats, DailyCensus};
+
+/// A failure on the store's read or write path, with the file and day it
+/// concerns attached.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The OS-level operation failed.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The day involved, when the operation was day-scoped.
+        day: Option<u32>,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// A stored artifact failed to parse.
+    Parse {
+        /// The file involved.
+        path: PathBuf,
+        /// The day involved.
+        day: u32,
+        /// What was wrong.
+        detail: String,
+    },
+    /// Building or validating the day's query index failed.
+    Index(QueryError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, day, source } => match day {
+                Some(day) => write!(f, "day {day}: i/o error on {}: {source}", path.display()),
+                None => write!(f, "i/o error on {}: {source}", path.display()),
+            },
+            StoreError::Parse { path, day, detail } => {
+                write!(f, "day {day}: cannot parse {}: {detail}", path.display())
+            }
+            StoreError::Index(e) => write!(f, "query index: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Index(e) => Some(e),
+            StoreError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<QueryError> for StoreError {
+    fn from(e: QueryError) -> Self {
+        StoreError::Index(e)
+    }
+}
 
 /// A directory of daily censuses.
 #[derive(Debug, Clone)]
@@ -20,16 +85,64 @@ pub struct CensusStore {
     dir: PathBuf,
 }
 
+/// Write `bytes` to `path` atomically: write a `.tmp` sibling, fsync it,
+/// then rename over the destination. Readers (and the query service)
+/// either see the old complete file or the new complete file, never a
+/// torn write.
+fn write_atomic(path: &Path, bytes: &[u8], day: u32) -> Result<(), StoreError> {
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    let io_err = |p: &Path, source: std::io::Error| StoreError::Io {
+        path: p.to_path_buf(),
+        day: Some(day),
+        source,
+    };
+    let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    f.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
+    f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+/// What the day's index needs to know about one record, given its byte
+/// span in the JSONL.
+fn index_record(r: &CensusRecord, offset: u64, len: u32) -> IndexRecord {
+    IndexRecord {
+        prefix: r.prefix,
+        offset,
+        len,
+        anycast_based_positive: r.anycast_based_positive(),
+        gcd_confirmed: r.gcd_confirmed(),
+        has_gcd: r.gcd.is_some(),
+        partial: r.partial,
+        max_vps: r.max_vps(),
+        n_sites: r.gcd.as_ref().map(|g| g.n_sites).unwrap_or(0),
+        origin_asn: r.origin_asn,
+        cities: r.gcd.as_ref().map(|g| g.cities.clone()).unwrap_or_default(),
+    }
+}
+
 impl CensusStore {
     /// Open (creating the directory if needed).
-    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(&dir).map_err(|source| StoreError::Io {
+            path: dir.clone(),
+            day: None,
+            source,
+        })?;
         Ok(CensusStore { dir })
     }
 
     fn day_path(&self, day: u32) -> PathBuf {
         self.dir.join(format!("census-day-{day:05}.jsonl"))
+    }
+
+    fn index_path(&self, day: u32) -> PathBuf {
+        self.dir.join(index_file_name(day))
     }
 
     fn stats_path(&self, day: u32) -> PathBuf {
@@ -50,32 +163,112 @@ impl CensusStore {
             .join(format!("census-day-{day:05}.trace.chrome.json"))
     }
 
-    /// Persist one day's census: the records, the stats sidecar, the day's
-    /// telemetry as JSON lines (one metric, stage or degradation event per
-    /// line — greppable without parsing the whole stats file), and — when
-    /// the day ran with tracing enabled — the flight-recorder sidecars
-    /// (JSONL event log plus a Chrome trace-event file for flamegraph
-    /// viewers).
-    pub fn save(&self, census: &DailyCensus) -> io::Result<()> {
-        std::fs::write(self.day_path(census.day), census.to_jsonl())?;
-        let stats = serde_json::to_string_pretty(&census.stats)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        std::fs::write(self.stats_path(census.day), stats)?;
-        std::fs::write(
-            self.telemetry_path(census.day),
-            census.stats.telemetry.to_jsonl(),
+    /// Persist one day's census: the records, the query-index sidecar
+    /// (built from the exact byte spans just serialised), the stats
+    /// sidecar, the day's telemetry as JSON lines (one metric, stage or
+    /// degradation event per line — greppable without parsing the whole
+    /// stats file), and — when the day ran with tracing enabled — the
+    /// flight-recorder sidecars (JSONL event log plus a Chrome trace-event
+    /// file for flamegraph viewers). Each artifact is written atomically.
+    pub fn save(&self, census: &DailyCensus) -> Result<(), StoreError> {
+        let day = census.day;
+        let (jsonl, spans) = census.to_jsonl_with_spans();
+        let index_records: Vec<IndexRecord> = census
+            .records
+            .values()
+            .zip(&spans)
+            .map(|(r, (_, offset, len))| index_record(r, *offset, *len))
+            .collect();
+        let idx = build_index(
+            day,
+            &index_records,
+            SummaryInput {
+                anycast_probes: census.stats.anycast_probes,
+                gcd_probes: census.stats.gcd_probes,
+                gcd_target_count: census.stats.gcd_target_count as u64,
+                degraded: census.degraded(),
+            },
+        )?;
+        write_atomic(&self.day_path(day), jsonl.as_bytes(), day)?;
+        write_atomic(&self.index_path(day), &idx, day)?;
+        let stats = serde_json::to_string_pretty(&census.stats).map_err(|e| StoreError::Parse {
+            path: self.stats_path(day),
+            day,
+            detail: format!("stats do not serialise: {e}"),
+        })?;
+        write_atomic(&self.stats_path(day), stats.as_bytes(), day)?;
+        write_atomic(
+            &self.telemetry_path(day),
+            census.stats.telemetry.to_jsonl().as_bytes(),
+            day,
         )?;
         if census.stats.trace_report.enabled {
-            std::fs::write(
-                self.trace_path(census.day),
-                census.stats.trace_report.to_jsonl(),
+            write_atomic(
+                &self.trace_path(day),
+                census.stats.trace_report.to_jsonl().as_bytes(),
+                day,
             )?;
-            std::fs::write(
-                self.chrome_trace_path(census.day),
-                census.stats.trace_report.to_chrome_json(),
+            write_atomic(
+                &self.chrome_trace_path(day),
+                census.stats.trace_report.to_chrome_json().as_bytes(),
+                day,
             )?;
         }
         Ok(())
+    }
+
+    /// Rebuild the query-index sidecar for an already-stored day — the
+    /// migration path for stores written before the index existed (or by
+    /// an older index version). Reads the day's JSONL, recovers each
+    /// record's byte span, and writes a fresh sidecar atomically.
+    pub fn reindex(&self, day: u32) -> Result<(), StoreError> {
+        let path = self.day_path(day);
+        let body = std::fs::read_to_string(&path).map_err(|source| StoreError::Io {
+            path: path.clone(),
+            day: Some(day),
+            source,
+        })?;
+        let mut by_prefix: BTreeMap<laces_packet::PrefixKey, IndexRecord> = BTreeMap::new();
+        let mut offset = 0u64;
+        for line in body.split_inclusive('\n') {
+            let record = line.trim_end_matches('\n');
+            if !record.trim().is_empty() {
+                let r: CensusRecord =
+                    serde_json::from_str(record).map_err(|e| StoreError::Parse {
+                        path: path.clone(),
+                        day,
+                        detail: format!("record at byte {offset}: {e}"),
+                    })?;
+                by_prefix.insert(r.prefix, index_record(&r, offset, record.len() as u32));
+            }
+            offset += line.len() as u64;
+        }
+        let records: Vec<IndexRecord> = by_prefix.into_values().collect();
+        // The stats sidecar is optional (same policy as `load`); without
+        // it the summary's probe counters are zero but the per-record
+        // sections are exact.
+        let stats = std::fs::read_to_string(self.stats_path(day))
+            .ok()
+            .and_then(|s| serde_json::from_str::<CensusStats>(&s).ok())
+            .unwrap_or_default();
+        let degraded = !stats.telemetry.degraded_reasons().is_empty();
+        let idx = build_index(
+            day,
+            &records,
+            SummaryInput {
+                anycast_probes: stats.anycast_probes,
+                gcd_probes: stats.gcd_probes,
+                gcd_target_count: stats.gcd_target_count as u64,
+                degraded,
+            },
+        )?;
+        write_atomic(&self.index_path(day), &idx, day)
+    }
+
+    /// Start building a [`QueryService`](laces_query::QueryService) over
+    /// this store: `store.query().days(..).cache_budget(..).build()?`.
+    pub fn query(&self) -> laces_query::QueryServiceBuilder {
+        laces_query::QueryService::open(&self.dir)
     }
 
     /// Read a day's telemetry sidecar back into a [`RunReport`] — the
@@ -84,9 +277,18 @@ impl CensusStore {
     /// a `kind` discriminator of `counter`, `gauge`, `histogram`, `stage`
     /// or `degraded`. Unknown kinds are rejected so schema drift fails
     /// loudly instead of silently dropping metrics.
-    pub fn load_telemetry(&self, day: u32) -> io::Result<RunReport> {
-        let body = std::fs::read_to_string(self.telemetry_path(day))?;
-        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    pub fn load_telemetry(&self, day: u32) -> Result<RunReport, StoreError> {
+        let path = self.telemetry_path(day);
+        let body = std::fs::read_to_string(&path).map_err(|source| StoreError::Io {
+            path: path.clone(),
+            day: Some(day),
+            source,
+        })?;
+        let bad = |msg: String| StoreError::Parse {
+            path: path.clone(),
+            day,
+            detail: msg,
+        };
         let mut report = RunReport::new();
         for (lineno, line) in body.lines().enumerate() {
             if line.trim().is_empty() {
@@ -98,7 +300,7 @@ impl CensusStore {
                 v.get(key)
                     .ok_or_else(|| bad(format!("telemetry line {}: missing `{key}`", lineno + 1)))
             };
-            let name = |key: &str| -> io::Result<String> {
+            let name = |key: &str| -> Result<String, StoreError> {
                 match field(key)? {
                     Value::Str(s) => Ok(s.clone()),
                     other => Err(bad(format!(
@@ -107,7 +309,7 @@ impl CensusStore {
                     ))),
                 }
             };
-            let metric = |key: &str| -> io::Result<u64> {
+            let metric = |key: &str| -> Result<u64, StoreError> {
                 match field(key)? {
                     Value::UInt(n) => Ok(*n as u64),
                     other => Err(bad(format!(
@@ -152,10 +354,18 @@ impl CensusStore {
     }
 
     /// Load one day.
-    pub fn load(&self, day: u32) -> io::Result<DailyCensus> {
-        let body = std::fs::read_to_string(self.day_path(day))?;
-        let mut census = DailyCensus::from_jsonl(day, &body)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    pub fn load(&self, day: u32) -> Result<DailyCensus, StoreError> {
+        let path = self.day_path(day);
+        let body = std::fs::read_to_string(&path).map_err(|source| StoreError::Io {
+            path: path.clone(),
+            day: Some(day),
+            source,
+        })?;
+        let mut census = DailyCensus::from_jsonl(day, &body).map_err(|e| StoreError::Parse {
+            path: path.clone(),
+            day,
+            detail: e.to_string(),
+        })?;
         if let Ok(stats) = std::fs::read_to_string(self.stats_path(day)) {
             if let Ok(stats) = serde_json::from_str::<CensusStats>(&stats) {
                 census.stats = stats;
@@ -164,26 +374,53 @@ impl CensusStore {
         Ok(census)
     }
 
-    /// Days present in the store, sorted.
-    pub fn days(&self) -> io::Result<Vec<u32>> {
+    /// Days present in the store, sorted and deduplicated.
+    ///
+    /// Only regular files named exactly `census-day-NNNNN.jsonl` (at least
+    /// five digits, digits only) count as days; the store's own sidecars
+    /// (`.idx`, `.stats.json`, `.telemetry.jsonl`, traces), in-flight
+    /// `*.tmp` files from [`save`](Self::save), subdirectories and any
+    /// foreign files are skipped, so a polluted directory never invents or
+    /// hides days.
+    pub fn days(&self) -> Result<Vec<u32>, StoreError> {
+        let io_err = |source: std::io::Error| StoreError::Io {
+            path: self.dir.clone(),
+            day: None,
+            source,
+        };
         let mut days = Vec::new();
-        for entry in std::fs::read_dir(&self.dir)? {
-            let name = entry?.file_name();
+        for entry in std::fs::read_dir(&self.dir).map_err(io_err)? {
+            let entry = entry.map_err(io_err)?;
+            let is_file = entry.file_type().map(|t| t.is_file()).unwrap_or(false);
+            if !is_file {
+                continue;
+            }
+            let name = entry.file_name();
             let name = name.to_string_lossy();
-            if let Some(rest) = name.strip_prefix("census-day-") {
-                if let Some(num) = rest.strip_suffix(".jsonl") {
-                    if let Ok(d) = num.parse() {
-                        days.push(d);
-                    }
-                }
+            let Some(rest) = name.strip_prefix("census-day-") else {
+                continue;
+            };
+            let Some(num) = rest.strip_suffix(".jsonl") else {
+                continue;
+            };
+            if num.len() < 5 || !num.bytes().all(|b| b.is_ascii_digit()) {
+                continue;
+            }
+            if let Ok(d) = num.parse() {
+                days.push(d);
             }
         }
         days.sort_unstable();
+        days.dedup();
         Ok(days)
     }
 
     /// Load every stored day, in order.
-    pub fn load_all(&self) -> io::Result<Vec<DailyCensus>> {
+    #[deprecated(
+        note = "deserialises the whole corpus; open a handle with `CensusStore::query()` \
+                (laces_query::QueryService) instead"
+    )]
+    pub fn load_all(&self) -> Result<Vec<DailyCensus>, StoreError> {
         self.days()?.into_iter().map(|d| self.load(d)).collect()
     }
 
@@ -193,13 +430,31 @@ impl CensusStore {
     }
 }
 
-/// Query interface over a loaded census run (the dashboard backend's
-/// essentials: per-prefix history and per-day summaries).
+impl AsRef<Path> for CensusStore {
+    fn as_ref(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Query interface over a loaded census run.
+///
+/// Deprecated: this is the eager pattern — every queried day must first be
+/// deserialised in full (typically via the equally deprecated
+/// [`CensusStore::load_all`]). The indexed
+/// [`QueryService`](laces_query::QueryService) handle answers the same
+/// queries (and more) byte-identically from the on-disk sidecars without
+/// loading days; it remains here as the reference implementation the
+/// equivalence tests compare against.
+#[deprecated(
+    note = "eager whole-corpus queries; open a handle with `CensusStore::query()` \
+            (laces_query::QueryService) instead"
+)]
 #[derive(Debug, Clone)]
 pub struct CensusQuery {
     days: Vec<DailyCensus>,
 }
 
+#[allow(deprecated)]
 impl CensusQuery {
     /// Build from a loaded run.
     pub fn new(days: Vec<DailyCensus>) -> Self {
@@ -270,6 +525,7 @@ mod tests {
                         cities: vec!["Tokyo".into()],
                     }),
                     partial: false,
+                    origin_asn: Some(64_500 + i % 2),
                 },
             );
         }
@@ -303,6 +559,41 @@ mod tests {
         for line in telemetry.lines() {
             serde_json::from_str::<serde::Value>(line).expect("each line is valid JSON");
         }
+    }
+
+    /// `save` writes the query-index sidecar, and the indexed answers
+    /// match the records just saved.
+    #[test]
+    fn save_writes_queryable_index() {
+        let store = CensusStore::open(tmpdir("idx")).unwrap();
+        let census = sample_census(2, 4);
+        store.save(&census).unwrap();
+        assert!(store.path().join("census-day-00002.idx").exists());
+        let mut q = store.query().build().unwrap();
+        assert_eq!(q.days(), &[2]);
+        for r in census.records.values() {
+            let p = q.point(2, r.prefix).unwrap().unwrap();
+            assert_eq!(p.anycast_based_positive, r.anycast_based_positive());
+            assert_eq!(p.gcd_confirmed, r.gcd_confirmed());
+            assert_eq!(p.origin_asn, r.origin_asn);
+            let line = q.record_json(2, r.prefix).unwrap().unwrap();
+            let back: CensusRecord = serde_json::from_str(&line).unwrap();
+            assert_eq!(&back, r);
+        }
+    }
+
+    /// `reindex` rebuilds a deleted sidecar byte-identically to the one
+    /// `save` wrote (minus summary fields the stats sidecar supplies).
+    #[test]
+    fn reindex_rebuilds_identical_sidecar() {
+        let store = CensusStore::open(tmpdir("reindex")).unwrap();
+        let census = sample_census(6, 3);
+        store.save(&census).unwrap();
+        let idx_path = store.path().join("census-day-00006.idx");
+        let original = std::fs::read(&idx_path).unwrap();
+        std::fs::remove_file(&idx_path).unwrap();
+        store.reindex(6).unwrap();
+        assert_eq!(std::fs::read(&idx_path).unwrap(), original);
     }
 
     /// Pins the DESIGN.md §10 telemetry sidecar schema: every line kind the
@@ -350,14 +641,16 @@ mod tests {
         )
         .unwrap();
         let err = store.load_telemetry(7).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(err, StoreError::Parse { day: 7, .. }));
         assert!(err.to_string().contains("unknown kind"));
+        assert!(err.to_string().contains("census-day-00007.telemetry.jsonl"));
     }
 
     #[test]
     fn missing_telemetry_sidecar_errors() {
         let store = CensusStore::open(tmpdir("telemetry-missing")).unwrap();
-        assert!(store.load_telemetry(42).is_err());
+        let err = store.load_telemetry(42).unwrap_err();
+        assert!(matches!(err, StoreError::Io { day: Some(42), .. }));
     }
 
     #[test]
@@ -386,18 +679,81 @@ mod tests {
             store.save(&sample_census(day, 2)).unwrap();
         }
         assert_eq!(store.days().unwrap(), vec![1, 3, 5]);
+        #[allow(deprecated)]
         let all = store.load_all().unwrap();
         assert_eq!(all.iter().map(|c| c.day).collect::<Vec<_>>(), vec![1, 3, 5]);
     }
 
+    /// Regression: the store's own sidecars, in-flight tempfiles,
+    /// subdirectories and foreign files must never parse as days.
     #[test]
-    fn missing_day_errors() {
+    fn days_skips_foreign_and_partial_files() {
+        let store = CensusStore::open(tmpdir("polluted")).unwrap();
+        store.save(&sample_census(1, 2)).unwrap();
+        store.save(&sample_census(12345, 1)).unwrap();
+        for name in [
+            "census-day-00002.jsonl.tmp", // torn write left behind
+            "census-day-abc.jsonl",       // non-numeric
+            "census-day-+0003.jsonl",     // `parse` would accept "+0003"
+            "census-day-4.jsonl",         // too few digits
+            "census-day-00005.jsonl.bak", // wrong suffix
+            "readme.txt",                 // foreign
+        ] {
+            std::fs::write(store.path().join(name), b"junk").unwrap();
+        }
+        // A subdirectory whose *name* matches the day pattern.
+        std::fs::create_dir_all(store.path().join("census-day-00009.jsonl")).unwrap();
+        assert_eq!(store.days().unwrap(), vec![1, 12345]);
+    }
+
+    /// A simulated torn write: the `.tmp` stays, the final file is either
+    /// absent or the previous complete version, and `days()`/`save` are
+    /// unaffected.
+    #[test]
+    fn torn_write_leaves_no_half_day() {
+        let store = CensusStore::open(tmpdir("torn")).unwrap();
+        let census = sample_census(5, 3);
+        // Crash mid-publish: only the tempfile made it to disk.
+        let (jsonl, _) = census.to_jsonl_with_spans();
+        let half = &jsonl.as_bytes()[..jsonl.len() / 2];
+        std::fs::write(store.path().join("census-day-00005.jsonl.tmp"), half).unwrap();
+        assert_eq!(store.days().unwrap(), Vec::<u32>::new());
+        assert!(store.query().build().is_err(), "nothing indexed yet");
+
+        // A later successful publish replaces the tempfile cleanly.
+        store.save(&census).unwrap();
+        assert_eq!(store.days().unwrap(), vec![5]);
+        for entry in std::fs::read_dir(store.path()).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "tempfile {name:?} left behind"
+            );
+        }
+        let back = store.load(5).unwrap();
+        assert_eq!(back.records, census.records);
+    }
+
+    #[test]
+    fn missing_day_errors_with_context() {
         let store = CensusStore::open(tmpdir("missing")).unwrap();
-        assert!(store.load(99).is_err());
+        let err = store.load(99).unwrap_err();
+        assert!(matches!(err, StoreError::Io { day: Some(99), .. }));
+        assert!(err.to_string().contains("census-day-00099.jsonl"));
+    }
+
+    #[test]
+    fn parse_error_names_the_file() {
+        let store = CensusStore::open(tmpdir("parse-err")).unwrap();
+        std::fs::write(store.path().join("census-day-00008.jsonl"), "not json\n").unwrap();
+        let err = store.load(8).unwrap_err();
+        assert!(matches!(err, StoreError::Parse { day: 8, .. }));
+        assert!(err.to_string().contains("census-day-00008.jsonl"));
     }
 
     #[test]
     fn query_prefix_history() {
+        #[allow(deprecated)]
         let q = CensusQuery::new(vec![sample_census(0, 3), sample_census(1, 1)]);
         assert_eq!(q.n_days(), 2);
         let p = PrefixKey::V4(laces_packet::Prefix24::from_network(2 << 8));

@@ -185,10 +185,10 @@ impl Rule {
 }
 
 /// Crates whose library code sits on the measurement path (R4 scope).
-pub const MEASUREMENT_CRATES: [&str; 5] = ["census", "core", "gcd", "netsim", "obs"];
+pub const MEASUREMENT_CRATES: [&str; 6] = ["census", "core", "gcd", "netsim", "obs", "query"];
 
 /// Crates whose `src/` feeds serialized artifacts (R3 scope).
-pub const SERIALIZED_PATH_CRATES: [&str; 4] = ["bench", "census", "netsim", "obs"];
+pub const SERIALIZED_PATH_CRATES: [&str; 5] = ["bench", "census", "netsim", "obs", "query"];
 
 fn in_crate(path: &str, name: &str) -> bool {
     path.strip_prefix("crates/")
@@ -502,9 +502,11 @@ mod tests {
         // R3 covers serialized-path crates only.
         assert!(Rule::UnorderedIter.applies_to("crates/census/src/store.rs"));
         assert!(Rule::UnorderedIter.applies_to("crates/bench/src/artifacts.rs"));
+        assert!(Rule::UnorderedIter.applies_to("crates/query/src/idx.rs"));
         assert!(!Rule::UnorderedIter.applies_to("crates/geo/src/cities.rs"));
         // R4 covers measurement-path library code, not bins or tests.
         assert!(Rule::PanicPath.applies_to("crates/gcd/src/enumerate.rs"));
+        assert!(Rule::PanicPath.applies_to("crates/query/src/service.rs"));
         assert!(!Rule::PanicPath.applies_to("crates/gcd/tests/gcd_e2e.rs"));
         assert!(!Rule::PanicPath.applies_to("crates/baselines/src/bgptools.rs"));
         // R5 spares the bench harness and binaries.

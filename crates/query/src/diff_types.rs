@@ -1,0 +1,51 @@
+//! Day-over-day diff types, shared between the eager census-side
+//! `diff(before, after)` and the indexed [`QueryService`](crate::QueryService)
+//! diff so both produce the identical structure.
+
+use std::collections::BTreeSet;
+
+use laces_packet::PrefixKey;
+use serde::{Deserialize, Serialize};
+
+/// A change in one prefix's enumerated footprint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FootprintChange {
+    /// The prefix.
+    pub prefix: PrefixKey,
+    /// Enumerated sites before.
+    pub sites_before: usize,
+    /// Enumerated sites after.
+    pub sites_after: usize,
+    /// Cities present after but not before.
+    pub cities_gained: Vec<String>,
+    /// Cities present before but not after.
+    pub cities_lost: Vec<String>,
+}
+
+/// The diff between two daily censuses.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CensusDiff {
+    /// GCD-confirmed prefixes that appeared (anycast turn-up, or detection
+    /// recovering).
+    pub appeared: BTreeSet<PrefixKey>,
+    /// GCD-confirmed prefixes that vanished (turn-down, outage, or loss).
+    pub disappeared: BTreeSet<PrefixKey>,
+    /// Prefixes confirmed on both days whose enumerated footprint changed.
+    pub footprint_changes: Vec<FootprintChange>,
+}
+
+impl CensusDiff {
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.appeared.is_empty() && self.disappeared.is_empty() && self.footprint_changes.is_empty()
+    }
+
+    /// Footprint changes that *grew* by at least `k` sites (deployment
+    /// expansions, §5.8).
+    pub fn expansions(&self, k: usize) -> Vec<&FootprintChange> {
+        self.footprint_changes
+            .iter()
+            .filter(|c| c.sites_after >= c.sites_before + k)
+            .collect()
+    }
+}

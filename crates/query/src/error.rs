@@ -1,0 +1,131 @@
+//! Typed errors for the census query path.
+//!
+//! Every failure carries enough context to act on — the day, the path, and
+//! the cause — so a longitudinal consumer paging through weeks of
+//! snapshots never has to guess *which* file a bare `io::Error` came from.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// The supported index format version (see DESIGN.md §15).
+pub const INDEX_VERSION: u32 = 1;
+
+/// Everything that can go wrong answering a query.
+#[derive(Debug)]
+pub enum QueryError {
+    /// An OS-level read failed.
+    Io {
+        /// File being read.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// A selected day has no index sidecar in the store directory.
+    MissingIndex {
+        /// The day.
+        day: u32,
+        /// Where the sidecar was expected.
+        path: PathBuf,
+    },
+    /// The sidecar was written by an incompatible format version.
+    Version {
+        /// The day.
+        day: u32,
+        /// Version found in the header.
+        found: u32,
+        /// Version this reader supports.
+        supported: u32,
+    },
+    /// The sidecar (or a referenced record span) failed validation:
+    /// bad magic, fingerprint mismatch, truncated section, or an
+    /// out-of-range reference.
+    Corrupt {
+        /// The day.
+        day: u32,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A day was requested that the service was not built over.
+    UnknownDay {
+        /// The day.
+        day: u32,
+    },
+    /// The service was built over an empty day set.
+    NoDays,
+    /// An index could not be built from the given records.
+    Build {
+        /// The day.
+        day: u32,
+        /// What was wrong with the input.
+        detail: String,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Io { path, source } => {
+                write!(f, "i/o error reading {}: {source}", path.display())
+            }
+            QueryError::MissingIndex { day, path } => {
+                write!(
+                    f,
+                    "day {day} has no index sidecar at {} (re-save the day or run CensusStore::reindex)",
+                    path.display()
+                )
+            }
+            QueryError::Version {
+                day,
+                found,
+                supported,
+            } => {
+                write!(
+                    f,
+                    "day {day} index is format version {found}, this reader supports {supported}"
+                )
+            }
+            QueryError::Corrupt { day, detail } => {
+                write!(f, "day {day} index is corrupt: {detail}")
+            }
+            QueryError::UnknownDay { day } => {
+                write!(f, "day {day} is not in the query service's day set")
+            }
+            QueryError::NoDays => write!(f, "query service built over an empty day set"),
+            QueryError::Build { day, detail } => {
+                write!(f, "cannot build index for day {day}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = QueryError::MissingIndex {
+            day: 7,
+            path: PathBuf::from("/tmp/census-day-00007.idx"),
+        };
+        let s = e.to_string();
+        assert!(s.contains("day 7"));
+        assert!(s.contains("census-day-00007.idx"));
+
+        let v = QueryError::Version {
+            day: 3,
+            found: 9,
+            supported: INDEX_VERSION,
+        };
+        assert!(v.to_string().contains("version 9"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Origin-AS ranking types (Table 6 shape).
+//!
+//! The `AsnRank` row and the top-k dominance statistic live here so both
+//! the eager census-side ranking (`laces-census::asn_ranking`) and the
+//! indexed [`QueryService`](crate::QueryService) ranking produce the same
+//! type with the same canonical order — byte-identical answers are a
+//! format property, not a per-caller convention.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One ranked origin AS.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsnRank {
+    /// Origin ASN.
+    pub asn: u32,
+    /// Anycast IPv4 `/24`s originated.
+    pub v4: usize,
+    /// Anycast IPv6 `/48`s originated.
+    pub v6: usize,
+}
+
+/// Turn per-AS `(v4, v6)` counts into the canonical Table 6 ranking:
+/// descending by total originated prefixes, ties broken by ascending ASN.
+pub fn rank_from_counts(counts: BTreeMap<u32, (usize, usize)>) -> Vec<AsnRank> {
+    let mut out: Vec<AsnRank> = counts
+        .into_iter()
+        .map(|(asn, (v4, v6))| AsnRank { asn, v4, v6 })
+        .collect();
+    out.sort_by(|a, b| (b.v4 + b.v6).cmp(&(a.v4 + a.v6)).then(a.asn.cmp(&b.asn)));
+    out
+}
+
+/// Share of the census held by the top `k` ASes (the hypergiant-dominance
+/// statistic: the paper reports 59% of IPv4 and 63% of IPv6).
+pub fn top_k_share(ranks: &[AsnRank], k: usize, v4: bool) -> f64 {
+    let total: usize = ranks.iter().map(|r| if v4 { r.v4 } else { r.v6 }).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut by: Vec<usize> = ranks.iter().map(|r| if v4 { r.v4 } else { r.v6 }).collect();
+    by.sort_unstable_by(|a, b| b.cmp(a));
+    by.iter().take(k).sum::<usize>() as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_orders_by_total_then_asn() {
+        let mut counts = BTreeMap::new();
+        counts.insert(20, (1, 1));
+        counts.insert(10, (2, 0));
+        counts.insert(30, (3, 2));
+        let ranks = rank_from_counts(counts);
+        let asns: Vec<u32> = ranks.iter().map(|r| r.asn).collect();
+        // 30 has 5 total; 10 and 20 tie at 2 → ascending ASN.
+        assert_eq!(asns, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn top_k_share_of_empty_is_zero() {
+        assert_eq!(top_k_share(&[], 5, true), 0.0);
+    }
+}

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use laces_census::hijack::{detect_hijacks, DayEvidence};
 use laces_census::pipeline::{CensusPipeline, PipelineConfig};
-use laces_census::store::{CensusQuery, CensusStore};
+use laces_census::store::CensusStore;
 use laces_census::trigger::{run_triggered_verification, TriggerVerdict};
 use laces_netsim::{World, WorldConfig};
 use laces_packet::PrefixKey;
@@ -80,7 +80,12 @@ fn census_store_roundtrips_a_pipeline_run() {
     }
 
     assert_eq!(store.days().unwrap(), vec![0, 1, 2]);
-    let loaded = store.load_all().unwrap();
+    let loaded: Vec<_> = store
+        .days()
+        .unwrap()
+        .into_iter()
+        .map(|d| store.load(d).unwrap())
+        .collect();
     for (orig, back) in originals.iter().zip(&loaded) {
         assert_eq!(
             orig.records, back.records,
@@ -90,8 +95,9 @@ fn census_store_roundtrips_a_pipeline_run() {
         assert_eq!(orig.stats, back.stats);
     }
 
-    // The query layer answers prefix-history questions from disk.
-    let q = CensusQuery::new(loaded);
+    // The indexed query layer answers prefix-history questions from the
+    // sidecars alone — no day deserialisation.
+    let mut q = store.query().build().unwrap();
     let stable: Vec<PrefixKey> = originals[0]
         .gcd_confirmed()
         .into_iter()
@@ -102,7 +108,7 @@ fn census_store_roundtrips_a_pipeline_run() {
         })
         .collect();
     assert!(!stable.is_empty());
-    let history = q.prefix_history(stable[0]);
+    let history = q.history(stable[0]).unwrap();
     assert_eq!(history.len(), 3);
     assert!(history.iter().all(|(_, _, gcd)| *gcd));
 
