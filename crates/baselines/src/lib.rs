@@ -20,6 +20,8 @@
 //! * [`bgp_passive`] — Bian et al.'s passive geographic-upstream-diversity
 //!   detector, with its remote-peering false positives (§2.3).
 
+#![forbid(unsafe_code)]
+
 pub mod bgp_passive;
 pub mod bgptools;
 pub mod chaos_detect;

@@ -13,6 +13,8 @@
 //! cargo run --release -p laces-bench --bin run_all
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod artifacts;
 pub mod extras;
 pub mod figures;

@@ -372,6 +372,7 @@ pub fn run_sharding_bench(a: &Artifacts) -> ShardingBench {
         shard_runs,
         fingerprint_match,
         speedup,
+        // laces-lint: allow(determinism-taint) — recording the measuring host's parallelism into the bench artifact is the point: it contextualizes the speedup ratio (see BENCH_pr6.json notes)
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         pr4_anchor,
         target_speedup: TARGET_SPEEDUP,

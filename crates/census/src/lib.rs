@@ -28,6 +28,8 @@
 //! verification of temporary anycast and hijacks), and [`hijack`]
 //! (longitudinal one-day-anomaly detection).
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod asn_ranking;
 pub mod atlist;

@@ -542,68 +542,75 @@ mod tests {
         d
     }
 
+    /// Shorthand for the error half of the Result-returning tests below:
+    /// store, io and serde errors all propagate via `?`.
+    type AnyError = Box<dyn std::error::Error>;
+
     #[test]
-    fn save_load_roundtrip() {
-        let store = CensusStore::open(tmpdir("roundtrip")).unwrap();
+    fn save_load_roundtrip() -> Result<(), AnyError> {
+        let store = CensusStore::open(tmpdir("roundtrip"))?;
         let mut census = sample_census(3, 5);
         census.stats.telemetry.inc("census.test_counter", 7);
-        store.save(&census).unwrap();
-        let back = store.load(3).unwrap();
+        store.save(&census)?;
+        let back = store.load(3)?;
         assert_eq!(back.records, census.records);
         assert_eq!(back.day, 3);
         assert_eq!(back.stats.telemetry.counter("census.test_counter"), 7);
         // The telemetry sidecar is written alongside the records.
         let telemetry =
-            std::fs::read_to_string(store.path().join("census-day-00003.telemetry.jsonl")).unwrap();
+            std::fs::read_to_string(store.path().join("census-day-00003.telemetry.jsonl"))?;
         assert!(telemetry.contains("census.test_counter"));
         for line in telemetry.lines() {
-            serde_json::from_str::<serde::Value>(line).expect("each line is valid JSON");
+            serde_json::from_str::<serde::Value>(line)?;
         }
+        Ok(())
     }
 
     /// `save` writes the query-index sidecar, and the indexed answers
     /// match the records just saved.
     #[test]
-    fn save_writes_queryable_index() {
-        let store = CensusStore::open(tmpdir("idx")).unwrap();
+    fn save_writes_queryable_index() -> Result<(), AnyError> {
+        let store = CensusStore::open(tmpdir("idx"))?;
         let census = sample_census(2, 4);
-        store.save(&census).unwrap();
+        store.save(&census)?;
         assert!(store.path().join("census-day-00002.idx").exists());
-        let mut q = store.query().build().unwrap();
+        let mut q = store.query().build()?;
         assert_eq!(q.days(), &[2]);
         for r in census.records.values() {
-            let p = q.point(2, r.prefix).unwrap().unwrap();
+            let p = q.point(2, r.prefix)?.expect("saved prefix is indexed");
             assert_eq!(p.anycast_based_positive, r.anycast_based_positive());
             assert_eq!(p.gcd_confirmed, r.gcd_confirmed());
             assert_eq!(p.origin_asn, r.origin_asn);
-            let line = q.record_json(2, r.prefix).unwrap().unwrap();
-            let back: CensusRecord = serde_json::from_str(&line).unwrap();
+            let line = q.record_json(2, r.prefix)?.expect("saved prefix has a record line");
+            let back: CensusRecord = serde_json::from_str(&line)?;
             assert_eq!(&back, r);
         }
+        Ok(())
     }
 
     /// `reindex` rebuilds a deleted sidecar byte-identically to the one
     /// `save` wrote (minus summary fields the stats sidecar supplies).
     #[test]
-    fn reindex_rebuilds_identical_sidecar() {
-        let store = CensusStore::open(tmpdir("reindex")).unwrap();
+    fn reindex_rebuilds_identical_sidecar() -> Result<(), AnyError> {
+        let store = CensusStore::open(tmpdir("reindex"))?;
         let census = sample_census(6, 3);
-        store.save(&census).unwrap();
+        store.save(&census)?;
         let idx_path = store.path().join("census-day-00006.idx");
-        let original = std::fs::read(&idx_path).unwrap();
-        std::fs::remove_file(&idx_path).unwrap();
-        store.reindex(6).unwrap();
-        assert_eq!(std::fs::read(&idx_path).unwrap(), original);
+        let original = std::fs::read(&idx_path)?;
+        std::fs::remove_file(&idx_path)?;
+        store.reindex(6)?;
+        assert_eq!(std::fs::read(&idx_path)?, original);
+        Ok(())
     }
 
     /// Pins the DESIGN.md §10 telemetry sidecar schema: every line kind the
     /// writer emits (`counter`, `gauge`, `histogram`, `stage`, `degraded`)
     /// must survive a save→`load_telemetry` round trip bit-for-bit.
     #[test]
-    fn telemetry_save_load_roundtrip() {
+    fn telemetry_save_load_roundtrip() -> Result<(), AnyError> {
         use laces_obs::{DegradedReason, Histogram, StageReport};
 
-        let store = CensusStore::open(tmpdir("telemetry-roundtrip")).unwrap();
+        let store = CensusStore::open(tmpdir("telemetry-roundtrip"))?;
         let mut census = sample_census(7, 2);
         let t = &mut census.stats.telemetry;
         t.inc("orchestrator.orders_streamed", 128);
@@ -630,67 +637,68 @@ mod tests {
         t.add_degraded(DegradedReason::WorkerCrashed { worker: 3 });
         t.add_degraded(DegradedReason::GcdChunkLost { targets: 17 });
 
-        store.save(&census).unwrap();
-        let back = store.load_telemetry(7).unwrap();
+        store.save(&census)?;
+        let back = store.load_telemetry(7)?;
         assert_eq!(back, census.stats.telemetry);
 
         // Schema drift fails loudly rather than dropping lines.
         std::fs::write(
             store.path().join("census-day-00007.telemetry.jsonl"),
             "{\"kind\":\"surprise\",\"name\":\"x\"}\n",
-        )
-        .unwrap();
+        )?;
         let err = store.load_telemetry(7).unwrap_err();
         assert!(matches!(err, StoreError::Parse { day: 7, .. }));
         assert!(err.to_string().contains("unknown kind"));
         assert!(err.to_string().contains("census-day-00007.telemetry.jsonl"));
+        Ok(())
     }
 
     #[test]
-    fn missing_telemetry_sidecar_errors() {
-        let store = CensusStore::open(tmpdir("telemetry-missing")).unwrap();
+    fn missing_telemetry_sidecar_errors() -> Result<(), StoreError> {
+        let store = CensusStore::open(tmpdir("telemetry-missing"))?;
         let err = store.load_telemetry(42).unwrap_err();
         assert!(matches!(err, StoreError::Io { day: Some(42), .. }));
+        Ok(())
     }
 
     #[test]
-    fn trace_sidecars_written_only_when_enabled() {
-        let store = CensusStore::open(tmpdir("trace-sidecar")).unwrap();
+    fn trace_sidecars_written_only_when_enabled() -> Result<(), AnyError> {
+        let store = CensusStore::open(tmpdir("trace-sidecar"))?;
         let mut census = sample_census(4, 1);
-        store.save(&census).unwrap();
+        store.save(&census)?;
         assert!(!store.path().join("census-day-00004.trace.jsonl").exists());
 
         census.stats.trace_report.enabled = true;
         census.stats.trace_report.seed = 0xC0FFEE;
-        store.save(&census).unwrap();
-        let jsonl =
-            std::fs::read_to_string(store.path().join("census-day-00004.trace.jsonl")).unwrap();
+        store.save(&census)?;
+        let jsonl = std::fs::read_to_string(store.path().join("census-day-00004.trace.jsonl"))?;
         assert!(jsonl.contains("\"kind\":\"trace\""));
         let chrome =
-            std::fs::read_to_string(store.path().join("census-day-00004.trace.chrome.json"))
-                .unwrap();
-        serde_json::from_str::<serde::Value>(&chrome).expect("chrome export is valid JSON");
+            std::fs::read_to_string(store.path().join("census-day-00004.trace.chrome.json"))?;
+        serde_json::from_str::<serde::Value>(&chrome)?;
+        Ok(())
     }
 
     #[test]
-    fn days_and_load_all_are_ordered() {
-        let store = CensusStore::open(tmpdir("ordered")).unwrap();
+    fn days_and_load_all_are_ordered() -> Result<(), StoreError> {
+        let store = CensusStore::open(tmpdir("ordered"))?;
         for day in [5u32, 1, 3] {
-            store.save(&sample_census(day, 2)).unwrap();
+            store.save(&sample_census(day, 2))?;
         }
-        assert_eq!(store.days().unwrap(), vec![1, 3, 5]);
+        assert_eq!(store.days()?, vec![1, 3, 5]);
         #[allow(deprecated)]
-        let all = store.load_all().unwrap();
+        let all = store.load_all()?;
         assert_eq!(all.iter().map(|c| c.day).collect::<Vec<_>>(), vec![1, 3, 5]);
+        Ok(())
     }
 
     /// Regression: the store's own sidecars, in-flight tempfiles,
     /// subdirectories and foreign files must never parse as days.
     #[test]
-    fn days_skips_foreign_and_partial_files() {
-        let store = CensusStore::open(tmpdir("polluted")).unwrap();
-        store.save(&sample_census(1, 2)).unwrap();
-        store.save(&sample_census(12345, 1)).unwrap();
+    fn days_skips_foreign_and_partial_files() -> Result<(), AnyError> {
+        let store = CensusStore::open(tmpdir("polluted"))?;
+        store.save(&sample_census(1, 2))?;
+        store.save(&sample_census(12345, 1))?;
         for name in [
             "census-day-00002.jsonl.tmp", // torn write left behind
             "census-day-abc.jsonl",       // non-numeric
@@ -699,56 +707,60 @@ mod tests {
             "census-day-00005.jsonl.bak", // wrong suffix
             "readme.txt",                 // foreign
         ] {
-            std::fs::write(store.path().join(name), b"junk").unwrap();
+            std::fs::write(store.path().join(name), b"junk")?;
         }
         // A subdirectory whose *name* matches the day pattern.
-        std::fs::create_dir_all(store.path().join("census-day-00009.jsonl")).unwrap();
-        assert_eq!(store.days().unwrap(), vec![1, 12345]);
+        std::fs::create_dir_all(store.path().join("census-day-00009.jsonl"))?;
+        assert_eq!(store.days()?, vec![1, 12345]);
+        Ok(())
     }
 
     /// A simulated torn write: the `.tmp` stays, the final file is either
     /// absent or the previous complete version, and `days()`/`save` are
     /// unaffected.
     #[test]
-    fn torn_write_leaves_no_half_day() {
-        let store = CensusStore::open(tmpdir("torn")).unwrap();
+    fn torn_write_leaves_no_half_day() -> Result<(), AnyError> {
+        let store = CensusStore::open(tmpdir("torn"))?;
         let census = sample_census(5, 3);
         // Crash mid-publish: only the tempfile made it to disk.
         let (jsonl, _) = census.to_jsonl_with_spans();
         let half = &jsonl.as_bytes()[..jsonl.len() / 2];
-        std::fs::write(store.path().join("census-day-00005.jsonl.tmp"), half).unwrap();
-        assert_eq!(store.days().unwrap(), Vec::<u32>::new());
+        std::fs::write(store.path().join("census-day-00005.jsonl.tmp"), half)?;
+        assert_eq!(store.days()?, Vec::<u32>::new());
         assert!(store.query().build().is_err(), "nothing indexed yet");
 
         // A later successful publish replaces the tempfile cleanly.
-        store.save(&census).unwrap();
-        assert_eq!(store.days().unwrap(), vec![5]);
-        for entry in std::fs::read_dir(store.path()).unwrap() {
-            let name = entry.unwrap().file_name();
+        store.save(&census)?;
+        assert_eq!(store.days()?, vec![5]);
+        for entry in std::fs::read_dir(store.path())? {
+            let name = entry?.file_name();
             assert!(
                 !name.to_string_lossy().ends_with(".tmp"),
                 "tempfile {name:?} left behind"
             );
         }
-        let back = store.load(5).unwrap();
+        let back = store.load(5)?;
         assert_eq!(back.records, census.records);
+        Ok(())
     }
 
     #[test]
-    fn missing_day_errors_with_context() {
-        let store = CensusStore::open(tmpdir("missing")).unwrap();
+    fn missing_day_errors_with_context() -> Result<(), StoreError> {
+        let store = CensusStore::open(tmpdir("missing"))?;
         let err = store.load(99).unwrap_err();
         assert!(matches!(err, StoreError::Io { day: Some(99), .. }));
         assert!(err.to_string().contains("census-day-00099.jsonl"));
+        Ok(())
     }
 
     #[test]
-    fn parse_error_names_the_file() {
-        let store = CensusStore::open(tmpdir("parse-err")).unwrap();
-        std::fs::write(store.path().join("census-day-00008.jsonl"), "not json\n").unwrap();
+    fn parse_error_names_the_file() -> Result<(), AnyError> {
+        let store = CensusStore::open(tmpdir("parse-err"))?;
+        std::fs::write(store.path().join("census-day-00008.jsonl"), "not json\n")?;
         let err = store.load(8).unwrap_err();
         assert!(matches!(err, StoreError::Parse { day: 8, .. }));
         assert!(err.to_string().contains("census-day-00008.jsonl"));
+        Ok(())
     }
 
     #[test]

@@ -44,6 +44,8 @@
 //! println!("{} anycast candidates", class.anycast_targets().len());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod auth;
 pub mod catchment;
 pub mod classify;

@@ -705,6 +705,7 @@ fn run_shard(cx: &ShardCtx<'_>, index: usize, lo: usize, hi: usize) -> ShardOutp
                         })
                         .collect();
                     if let Some(session) = ws.session.as_mut() {
+                        // laces-lint: allow(discarded-fallibility) — the zero-copy path sends metadata with empty byte slices; the wire's only error source is parsing probe bytes, which this path never does
                         let _ = cx.world.send_probe_batch(
                             session,
                             cx.src_addr,
@@ -1255,6 +1256,7 @@ pub fn run_measurement_threaded_abortable(
                 )
                 .is_err()
                 {
+                    // laces-lint: allow(discarded-fallibility) — failure event on a channel the aborting CLI may already have closed; the degradation is also recorded by the collector's own accounting
                     let _ = out_err.send(WorkerOut::Event(WorkerEvent::Failed {
                         worker: wid,
                         telemetry: WorkerTelemetry::default(),
@@ -1289,6 +1291,7 @@ pub fn run_measurement_threaded_abortable(
                     }
                     let orders = std::mem::take(&mut pending[w]);
                     orders_streamed.add(orders.len() as u64);
+                    // laces-lint: allow(discarded-fallibility) — a closed order queue means the worker died; skipping it is R5 graceful degradation (the measurement continues with the remaining workers)
                     let _ = tx.send(ProbeBatch { orders });
                 };
             let mut aborted = false;

@@ -36,6 +36,7 @@ pub const MAX_DEFAULT_SHARDS: usize = 16;
 /// shard count (see `shard_invariance.rs`), so a machine-dependent default
 /// never leaks into records, classification or telemetry.
 pub fn default_shards() -> usize {
+    // laces-lint: allow(determinism-taint) — shard count never reaches artifact bytes: records, classification, telemetry and traces are pinned shard-invariant by core/tests/shard_invariance.rs
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)

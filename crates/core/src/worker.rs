@@ -27,7 +27,7 @@ use laces_netsim::wire::{
 use laces_netsim::{Delivery, PlatformId, WireStats, World};
 use laces_obs::Counter;
 use laces_packet::probe::{build_probe_into, parse_reply, ProbeMeta};
-use laces_packet::{PrefixKey, ProbeEncoding, Protocol};
+use laces_packet::{PacketError, PrefixKey, ProbeEncoding, Protocol};
 use laces_trace::{Component, FabricFaultKind, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
 
@@ -107,12 +107,19 @@ pub enum WorkerOut {
 pub enum WorkerError {
     /// The start order's authentication tag did not verify (R8).
     BadAuth,
+    /// The wire rejected a probe batch as malformed. Structurally
+    /// unreachable for probes built by `build_probe_into`, but the error
+    /// is propagated rather than discarded: a worker that somehow hands
+    /// the wire garbage fails loudly and the platform degrades, instead
+    /// of silently losing its probes.
+    Wire(PacketError),
 }
 
 impl std::fmt::Display for WorkerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WorkerError::BadAuth => write!(f, "start order failed authentication"),
+            WorkerError::Wire(e) => write!(f, "wire rejected a probe batch: {e}"),
         }
     }
 }
@@ -166,6 +173,7 @@ fn process_capture(
 /// Flush buffered records as one [`WorkerOut::Records`] batch.
 fn flush_records(records: &mut Vec<ProbeRecord>, out: &Sender<WorkerOut>) {
     if !records.is_empty() {
+        // laces-lint: allow(discarded-fallibility) — send fails only when the CLI aborted and closed the out channel; dropping the batch is the designed wind-down (R3: no work after abort)
         let _ = out.send(WorkerOut::Records(std::mem::take(records)));
     }
 }
@@ -291,15 +299,17 @@ pub fn run_worker(
                     meta: None,
                 })
                 .collect();
-            let _ = world.send_probe_batch(
-                &mut session,
-                start.src_addr,
-                start.protocol,
-                &probes,
-                &ctx,
-                &wire_stats,
-                &mut deliveries,
-            );
+            world
+                .send_probe_batch(
+                    &mut session,
+                    start.src_addr,
+                    start.protocol,
+                    &probes,
+                    &ctx,
+                    &wire_stats,
+                    &mut deliveries,
+                )
+                .map_err(WorkerError::Wire)?;
             processed_orders += take;
 
             for delivery in deliveries.drain(..) {
@@ -412,6 +422,7 @@ pub fn run_worker(
     };
     if failed {
         flush_records(&mut records, &out);
+        // laces-lint: allow(discarded-fallibility) — lifecycle event on a channel the aborting CLI may already have closed; the failure is also visible through the worker's silence
         let _ = out.send(WorkerOut::Event(WorkerEvent::Failed {
             worker: start.worker_id,
             telemetry: telemetry(records_streamed.get(), captures_rejected.get()),
@@ -438,6 +449,7 @@ pub fn run_worker(
         }
     }
     flush_records(&mut records, &out);
+    // laces-lint: allow(discarded-fallibility) — lifecycle event on a channel the aborting CLI may already have closed; a lost Done only matters to a consumer that chose to stop listening
     let _ = out.send(WorkerOut::Event(WorkerEvent::Done {
         worker: start.worker_id,
         telemetry: telemetry(records_streamed.get(), captures_rejected.get()),
@@ -452,6 +464,7 @@ fn forward(s: &Sender<Vec<Delivery>>, d: Vec<Delivery>) {
     match s.try_send(d) {
         Ok(()) | Err(TrySendError::Disconnected(_)) => {}
         Err(TrySendError::Full(d)) => {
+            // laces-lint: allow(discarded-fallibility) — a failed send means the receiving worker crashed between try_send and send; its replies are lost with it, like packets to a dead site
             let _ = s.send(d);
         }
     }

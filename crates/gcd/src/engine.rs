@@ -19,6 +19,14 @@ use serde::{Deserialize, Serialize};
 use crate::enumerate::{enumerate_counted, Enumeration, RttSample};
 use crate::vp_selection::select_by_distance;
 
+/// Chunk fan-out when [`GcdConfig::threads`] is 0 ("auto"). A fixed count
+/// — deliberately not `available_parallelism` — so the campaign's chunk
+/// geometry and its serialized telemetry (`gcd.threads` / `gcd.chunks`
+/// gauges) are identical on every machine. Each chunk gets an OS thread
+/// in the enumeration scope; 16 saturates the simulated wire well before
+/// it saturates real cores, and hosts with fewer cores just time-slice.
+pub const DEFAULT_GCD_CHUNKS: usize = 16;
+
 /// Configuration of a GCD campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GcdConfig {
@@ -40,7 +48,9 @@ pub struct GcdConfig {
     pub measurement_id: u32,
     /// Simulated day.
     pub day: u32,
-    /// Worker threads for the campaign (0 = all available cores).
+    /// Worker threads for the campaign (0 = [`DEFAULT_GCD_CHUNKS`], a
+    /// fixed fan-out so chunk geometry and the `gcd.threads`/`gcd.chunks`
+    /// telemetry gauges never depend on the host).
     pub threads: usize,
     /// Flight-recorder configuration (default: disabled).
     pub trace: TraceConfig,
@@ -59,6 +69,15 @@ impl GcdConfig {
             day,
             threads: 0,
             trace: TraceConfig::default(),
+        }
+    }
+
+    /// The campaign's effective thread/chunk fan-out.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            DEFAULT_GCD_CHUNKS
+        } else {
+            self.threads
         }
     }
 }
@@ -204,9 +223,7 @@ pub fn run_campaign(
     let wire = WireStats::new();
     let overlap_tests = AtomicU64::new(0);
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        DEFAULT_GCD_CHUNKS
     } else {
         cfg.threads
     };
@@ -238,6 +255,7 @@ pub fn run_campaign(
                         );
                         local.push((PrefixKey::of(target), r));
                     }
+                    // laces-lint: allow(atomic-ordering) — per-chunk test counts commute under addition; into_inner() after the scope join reads the order-independent sum
                     overlap_tests.fetch_add(tests, Ordering::Relaxed);
                     local
                 }),

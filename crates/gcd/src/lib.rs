@@ -46,6 +46,8 @@
 //! println!("{} anycast, {} probes", report.count(GcdClass::Anycast), report.probes_sent);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod enumerate;
 pub mod vp_selection;

@@ -18,6 +18,8 @@
 //! [`max_one_way_km`] away; two vantage points whose feasibility disks do not
 //! overlap *cannot* be talking to the same physical host.
 
+#![forbid(unsafe_code)]
+
 pub mod cities;
 pub mod continent;
 pub mod coord;

@@ -17,6 +17,8 @@
 //! misses a few percent of prefixes, matching the paper's observation that
 //! IPv6 results are hitlist-limited (§5.3.2, §5.8).
 
+#![forbid(unsafe_code)]
+
 use std::net::IpAddr;
 
 use laces_netsim::rng;

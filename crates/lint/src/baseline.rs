@@ -35,6 +35,14 @@ pub struct BaselineEntry {
 /// gets fixed.
 pub fn parse(src: &str) -> Result<(Vec<BaselineEntry>, Vec<String>), String> {
     let doc = json::parse(src)?;
+    // Schema v1 (PR 3, token rules only) and v2 (flow rules) share the
+    // entry shape; v1 baselines keep working and are migrated to v2 on the
+    // next `--update-baseline`. Anything newer is from a future linter.
+    if let Some(v) = doc.get("version").and_then(Json::as_num) {
+        if !(1.0..=2.0).contains(&v) {
+            return Err(format!("unsupported baseline version {v} (expected 1 or 2)"));
+        }
+    }
     let mut entries = Vec::new();
     let mut problems = Vec::new();
     let list = doc
@@ -70,7 +78,7 @@ pub fn render(entries: &[BaselineEntry]) -> String {
     let mut sorted: Vec<&BaselineEntry> = entries.iter().collect();
     sorted.sort();
     sorted.dedup();
-    let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+    let mut out = String::from("{\n  \"version\": 2,\n  \"entries\": [");
     for (i, e) in sorted.iter().enumerate() {
         if i > 0 {
             out.push(',');

@@ -1,0 +1,498 @@
+//! Pass 2 of the flow analyzer: the workspace call graph and the graph
+//! rules R8–R11.
+//!
+//! The graph is approximate by design (see DESIGN.md §16): bare names
+//! resolve within the defining crate first (falling back to any workspace
+//! function of that name), `laces_<crate>::..` qualified paths resolve
+//! across crates, and `Type::method` paths resolve through the impl type.
+//! Test functions, `tests/` trees, `benches/` and `examples/` never enter
+//! the graph — a test driver serializing artifacts must not taint library
+//! code.
+//!
+//! Rule semantics:
+//!
+//! * **R8 determinism-taint** — a source site (unordered collection,
+//!   ambient parallelism) fires when its enclosing function is reachable
+//!   from some function that can also reach a serialization sink: the
+//!   value it computes can end up in a serialized artifact. `--explain`
+//!   prints the full source → sink path.
+//! * **R9 discarded-fallibility** — `let _ =` / bare-statement discard of
+//!   a call the symbol table knows returns `Result` (workspace functions
+//!   plus a short list of known-fallible externals such as channel `send`
+//!   and `write!`).
+//! * **R10 lock-hygiene** — a named lock guard held across a call into
+//!   another lock-taking function (deadlock-shaped), or held over a long
+//!   span without an intervening `drop`.
+//! * **R11 atomic-ordering** — `Ordering::Relaxed` in a function whose
+//!   values can reach a serialization sink (same reachability as R8).
+//!
+//! Everything is ordered by `BTreeMap`/sorted vectors: the analysis is
+//! byte-identical across reruns and file-walk orders.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::rules::{Hit, Rule};
+use crate::symbols::{CallSite, Discard, FnSym};
+
+/// Externals (not in the symbol table) known to return `Result`: channel
+/// sends, the `write!` family (which return `fmt::Result`/`io::Result`),
+/// and the fallible `std::fs` operations this workspace uses.
+const EXTERNAL_RESULT_FNS: [&str; 10] = [
+    "create_dir_all",
+    "remove_dir_all",
+    "remove_file",
+    "rename",
+    "send",
+    "set_len",
+    "sync_all",
+    "try_send",
+    "write",
+    "writeln",
+];
+
+/// A lock guard must be dropped (or the function must end) within this
+/// many lines of the binding; longer spans are R10's "guard crossing a
+/// long span" shape.
+const LONG_GUARD_SPAN_LINES: u32 = 30;
+
+/// One step of a source → sink path: a function plus the line of the call
+/// that led to it (0 for the first step).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStep {
+    /// The function's display name (`Type::name` or `name`).
+    pub func: String,
+    /// The function's file.
+    pub file: String,
+    /// The function's definition line.
+    pub line: u32,
+    /// The line of the call edge that reached this function (0 = root).
+    pub via_line: u32,
+}
+
+/// The stored explanation of one graph-rule hit (pre-suppression — even
+/// justified sites can be explained).
+#[derive(Debug, Clone)]
+pub struct FlowPath {
+    /// The rule (R8 or R11).
+    pub rule: Rule,
+    /// Hit location.
+    pub file: String,
+    /// Hit line.
+    pub line: u32,
+    /// What matched at the hit site.
+    pub what: String,
+    /// Chain from the source's function up to the shared driver
+    /// (reverse call order: `steps_up[0]` is the source's function).
+    pub steps_up: Vec<PathStep>,
+    /// Chain from the shared driver down to the sink-containing function
+    /// (`steps_down[0]` is the driver, last is the sink's function).
+    pub steps_down: Vec<PathStep>,
+    /// The sink site inside the last `steps_down` function.
+    pub sink: (String, u32, String),
+}
+
+/// The result of the graph pass over a workspace.
+#[derive(Debug, Default)]
+pub struct FlowAnalysis {
+    /// Raw graph-rule hits per file (pre-marker, pre-baseline).
+    pub hits: BTreeMap<String, Vec<Hit>>,
+    /// Explanations for R8/R11 hits, keyed `(file, line)`.
+    pub paths: BTreeMap<(String, u32), FlowPath>,
+}
+
+/// The symbol table plus its resolved call graph.
+pub struct Graph<'a> {
+    fns: &'a [FnSym],
+    /// Caller → sorted `(callee, call line)` edges.
+    edges: Vec<Vec<(usize, u32)>>,
+    /// Function name → ids (non-test functions only).
+    by_name: BTreeMap<&'a str, Vec<usize>>,
+    /// `(impl type, method name)` → ids.
+    by_type_name: BTreeMap<(&'a str, &'a str), Vec<usize>>,
+}
+
+fn display_name(f: &FnSym) -> String {
+    match &f.impl_type {
+        Some(ty) if !ty.is_empty() => format!("{ty}::{}", f.name),
+        _ => f.name.clone(),
+    }
+}
+
+fn step_of(f: &FnSym, via_line: u32) -> PathStep {
+    PathStep {
+        func: display_name(f),
+        file: f.file.clone(),
+        line: f.line,
+        via_line,
+    }
+}
+
+impl<'a> Graph<'a> {
+    /// Build the call graph over all non-test functions.
+    pub fn build(fns: &'a [FnSym]) -> Graph<'a> {
+        // Index: name → fn ids, and (type, name) → fn ids, both sorted by
+        // construction (fns arrive in sorted-file, source order).
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_type_name: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            by_name.entry(f.name.as_str()).or_default().push(id);
+            if let Some(ty) = &f.impl_type {
+                by_type_name
+                    .entry((ty.as_str(), f.name.as_str()))
+                    .or_default()
+                    .push(id);
+            }
+        }
+        let mut edges: Vec<Vec<(usize, u32)>> = vec![Vec::new(); fns.len()];
+        for (id, f) in fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            for c in &f.calls {
+                if c.is_macro {
+                    continue;
+                }
+                let mut targets: Vec<usize> =
+                    resolve(c, &f.crate_name, &by_name, &by_type_name, fns);
+                targets.retain(|&t| t != id);
+                for t in targets {
+                    edges[id].push((t, c.line));
+                }
+            }
+            edges[id].sort_unstable();
+            edges[id].dedup_by_key(|(t, _)| *t);
+        }
+        Graph {
+            fns,
+            edges,
+            by_name,
+            by_type_name,
+        }
+    }
+
+    /// Functions that can reach a serialization sink through call edges
+    /// (including sink-containing functions themselves). For each, the
+    /// next hop toward the nearest sink, for path reconstruction.
+    fn sink_reachers(&self) -> BTreeMap<usize, Option<(usize, u32)>> {
+        // Reverse edges, then BFS outward from sink-containing functions.
+        let mut rev: Vec<Vec<(usize, u32)>> = vec![Vec::new(); self.fns.len()];
+        for (caller, outs) in self.edges.iter().enumerate() {
+            for &(callee, line) in outs {
+                rev[callee].push((caller, line));
+            }
+        }
+        for r in &mut rev {
+            r.sort_unstable();
+        }
+        let mut next_hop: BTreeMap<usize, Option<(usize, u32)>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for (id, f) in self.fns.iter().enumerate() {
+            if !f.is_test && !f.sinks.is_empty() {
+                next_hop.insert(id, None);
+                queue.push_back(id);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            for &(caller, line) in &rev[id] {
+                next_hop.entry(caller).or_insert_with(|| {
+                    queue.push_back(caller);
+                    Some((id, line))
+                });
+            }
+        }
+        next_hop
+    }
+
+    /// Run the graph rules; `in_scope(rule, file)` gates per-file scope
+    /// and `r3_covers(file)` suppresses unordered sources where R3 already
+    /// bans the types outright.
+    pub fn check(
+        &self,
+        in_scope: impl Fn(Rule, &str) -> bool,
+        r3_covers: impl Fn(&str) -> bool,
+    ) -> FlowAnalysis {
+        let mut out = FlowAnalysis::default();
+        let reachers = self.sink_reachers();
+
+        // Taint frontier: BFS downward from every sink-reaching function.
+        // parent[x] = (caller, call line) on the first (deterministic)
+        // visit; roots carry no parent.
+        let mut parent: BTreeMap<usize, Option<(usize, u32)>> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &id in reachers.keys() {
+            parent.insert(id, None);
+            queue.push_back(id);
+        }
+        while let Some(id) = queue.pop_front() {
+            for &(callee, line) in &self.edges[id] {
+                if self.fns[callee].is_test {
+                    continue;
+                }
+                parent.entry(callee).or_insert_with(|| {
+                    queue.push_back(callee);
+                    Some((id, line))
+                });
+            }
+        }
+
+        for (id, f) in self.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let tainted = parent.contains_key(&id);
+
+            // R8: determinism-taint sources in sink-reaching scope.
+            if tainted && in_scope(Rule::DeterminismTaint, &f.file) {
+                for s in &f.sources {
+                    let unordered = s.what == "HashMap" || s.what == "HashSet";
+                    if unordered && r3_covers(&f.file) {
+                        continue; // R3 already bans the type here outright
+                    }
+                    self.record_flow_hit(&mut out, Rule::DeterminismTaint, f, id, s, &parent,
+                        &reachers);
+                }
+            }
+            // R11: Relaxed orderings in sink-reaching scope.
+            if tainted && in_scope(Rule::AtomicOrdering, &f.file) {
+                for s in &f.relaxed {
+                    self.record_flow_hit(&mut out, Rule::AtomicOrdering, f, id, s, &parent,
+                        &reachers);
+                }
+            }
+            // R9: discarded fallibility.
+            if in_scope(Rule::DiscardedFallibility, &f.file) {
+                for c in &f.calls {
+                    let Some(d) = c.discard else { continue };
+                    if !self.returns_result(c, &f.crate_name) {
+                        continue;
+                    }
+                    let shape = match d {
+                        Discard::LetUnderscore => "let _ =",
+                        Discard::BareStatement => "bare `;`",
+                    };
+                    out.hits.entry(f.file.clone()).or_default().push(Hit {
+                        rule: Rule::DiscardedFallibility,
+                        line: c.line,
+                        matched: format!("{} {}(..) discards Result", shape, c.name),
+                    });
+                }
+            }
+            // R10: lock hygiene.
+            if in_scope(Rule::LockHygiene, &f.file) {
+                for c in &f.calls {
+                    let Some((guard, bind_line)) = &c.guard else {
+                        continue;
+                    };
+                    if c.is_macro || !self.callee_takes_lock(c, &f.crate_name) {
+                        continue;
+                    }
+                    out.hits.entry(f.file.clone()).or_default().push(Hit {
+                        rule: Rule::LockHygiene,
+                        line: c.line,
+                        matched: format!(
+                            "{}(..) takes a lock while guard `{guard}` (line {bind_line}) is held",
+                            c.name
+                        ),
+                    });
+                }
+                for b in &f.guard_binds {
+                    let end = b.drop_line.unwrap_or(f.end_line);
+                    if end.saturating_sub(b.line) > LONG_GUARD_SPAN_LINES {
+                        out.hits.entry(f.file.clone()).or_default().push(Hit {
+                            rule: Rule::LockHygiene,
+                            line: b.line,
+                            matched: format!(
+                                "guard `{}` held for {} lines without drop",
+                                b.name,
+                                end - b.line
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        for hits in out.hits.values_mut() {
+            hits.sort_by(|a, b| (a.line, a.rule.id(), a.matched.as_str()).cmp(&(
+                b.line,
+                b.rule.id(),
+                b.matched.as_str(),
+            )));
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_flow_hit(
+        &self,
+        out: &mut FlowAnalysis,
+        rule: Rule,
+        f: &FnSym,
+        id: usize,
+        site: &crate::symbols::Site,
+        parent: &BTreeMap<usize, Option<(usize, u32)>>,
+        reachers: &BTreeMap<usize, Option<(usize, u32)>>,
+    ) {
+        out.hits.entry(f.file.clone()).or_default().push(Hit {
+            rule,
+            line: site.line,
+            matched: site.what.clone(),
+        });
+        // Reconstruct the path only for the first hit at a location.
+        let key = (f.file.clone(), site.line);
+        if out.paths.contains_key(&key) {
+            return;
+        }
+        // Up: from the source's fn to the taint root (a sink-reacher).
+        let mut steps_up = vec![step_of(f, 0)];
+        let mut cur = id;
+        while let Some(Some((caller, line))) = parent.get(&cur) {
+            steps_up.push(step_of(&self.fns[*caller], *line));
+            cur = *caller;
+        }
+        // Down: from that root to the sink-containing function.
+        let mut steps_down = vec![step_of(&self.fns[cur], 0)];
+        let mut s = cur;
+        while let Some(Some((next, line))) = reachers.get(&s) {
+            steps_down.push(step_of(&self.fns[*next], *line));
+            s = *next;
+        }
+        let sink_fn = &self.fns[s];
+        let sink = sink_fn
+            .sinks
+            .first()
+            .map(|x| (sink_fn.file.clone(), x.line, x.what.clone()))
+            .unwrap_or((sink_fn.file.clone(), sink_fn.line, "sink".to_string()));
+        out.paths.insert(
+            key,
+            FlowPath {
+                rule,
+                file: f.file.clone(),
+                line: site.line,
+                what: site.what.clone(),
+                steps_up,
+                steps_down,
+                sink,
+            },
+        );
+    }
+
+    /// Does this call resolve to anything `Result`-returning?
+    fn returns_result(&self, c: &CallSite, caller_crate: &str) -> bool {
+        if c.is_macro {
+            return matches!(c.name.as_str(), "write" | "writeln");
+        }
+        if EXTERNAL_RESULT_FNS.contains(&c.name.as_str())
+            && (c.method || c.path.iter().any(|s| s == "fs"))
+        {
+            return true;
+        }
+        resolve(c, caller_crate, &self.by_name, &self.by_type_name, self.fns)
+            .iter()
+            .any(|&t| self.fns[t].returns_result)
+    }
+
+    fn callee_takes_lock(&self, c: &CallSite, caller_crate: &str) -> bool {
+        if c.is_macro {
+            return false;
+        }
+        resolve(c, caller_crate, &self.by_name, &self.by_type_name, self.fns)
+            .iter()
+            .any(|&t| self.fns[t].takes_lock)
+    }
+}
+
+/// Resolve a call site to candidate function ids. Bare names and methods
+/// resolve within the caller's crate first, falling back to the whole
+/// workspace; `laces_<crate>::..` paths pin the crate; `Type::name` paths
+/// pin the impl type.
+fn resolve(
+    c: &CallSite,
+    caller_crate: &str,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    by_type_name: &BTreeMap<(&str, &str), Vec<usize>>,
+    fns: &[FnSym],
+) -> Vec<usize> {
+    let name = c.name.as_str();
+    // `Type::name` — penultimate segment naming a workspace impl type.
+    if let Some(pen) = c.path.iter().rev().nth(1) {
+        if pen.chars().next().is_some_and(|ch| ch.is_ascii_uppercase()) {
+            if let Some(ids) = by_type_name.get(&(pen.as_str(), name)) {
+                return ids.clone();
+            }
+        }
+        // `laces_<crate>::..::name` — pin the crate.
+        if let Some(krate) = c
+            .path
+            .first()
+            .and_then(|seg| seg.strip_prefix("laces_"))
+        {
+            if let Some(ids) = by_name.get(name) {
+                let pinned: Vec<usize> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| fns[id].crate_name == krate)
+                    .collect();
+                if !pinned.is_empty() {
+                    return pinned;
+                }
+            }
+            return Vec::new();
+        }
+    }
+    let Some(ids) = by_name.get(name) else {
+        return Vec::new();
+    };
+    let same_crate: Vec<usize> = ids
+        .iter()
+        .copied()
+        .filter(|&id| fns[id].crate_name == caller_crate)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    ids.clone()
+}
+
+/// Render a stored source → sink path as the `--explain` text.
+pub fn render_path(p: &FlowPath) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "[{}] {}:{} `{}`\n",
+        p.rule.id(),
+        p.file,
+        p.line,
+        p.what
+    ));
+    out.push_str(&format!("  {}\n", p.rule.describe()));
+    out.push_str("  source:\n");
+    for (i, s) in p.steps_up.iter().enumerate() {
+        if i == 0 {
+            out.push_str(&format!("    fn {} — {}:{}\n", s.func, s.file, s.line));
+        } else {
+            out.push_str(&format!(
+                "    ^ called from fn {} — {}:{} (call at line {})\n",
+                s.func, s.file, s.line, s.via_line
+            ));
+        }
+    }
+    if p.steps_down.len() > 1 {
+        out.push_str("  ...which also reaches:\n");
+        for (i, s) in p.steps_down.iter().enumerate() {
+            if i == 0 {
+                continue; // same function as the last steps_up entry
+            }
+            out.push_str(&format!(
+                "    v calls fn {} — {}:{} (call at line {})\n",
+                s.func, s.file, s.line, s.via_line
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "  sink: `{}` — {}:{}\n",
+        p.sink.2, p.sink.0, p.sink.1
+    ));
+    out
+}

@@ -50,6 +50,14 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
 }
 
 /// Parse a JSON document. Errors carry a byte offset for diagnostics.
@@ -213,6 +221,7 @@ pub fn escape(s: &str) -> String {
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
             c if (c as u32) < 0x20 => {
+                // laces-lint: allow(discarded-fallibility) — fmt::Write to a String is infallible
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),

@@ -7,14 +7,24 @@
 //! contract. This crate is a self-contained, dependency-free static
 //! analysis pass that locks the invariants in:
 //!
-//! | id              | rule                                                  |
-//! |-----------------|-------------------------------------------------------|
-//! | `wall-clock`    | no `Instant::now`/`SystemTime::now` outside obs/bench |
-//! | `ambient-rng`   | no `thread_rng`/`from_entropy`/`OsRng` anywhere       |
-//! | `unordered-iter`| no `HashMap`/`HashSet` in serialized paths            |
-//! | `panic-path`    | no `unwrap`/`expect`/`panic!`/`todo!` on the          |
-//! |                 | measurement path                                      |
-//! | `print-path`    | no `println!`-family output in library crates         |
+//! | id                      | rule                                                  |
+//! |-------------------------|-------------------------------------------------------|
+//! | `wall-clock`            | no `Instant::now`/`SystemTime::now` outside obs/bench |
+//! | `ambient-rng`           | no `thread_rng`/`from_entropy`/`OsRng` anywhere       |
+//! | `unordered-iter`        | no `HashMap`/`HashSet` in serialized paths            |
+//! | `panic-path`            | no `unwrap`/`expect`/`panic!`/`todo!` on the          |
+//! |                         | measurement path                                      |
+//! | `print-path`            | no `println!`-family output in library crates         |
+//! | `degraded-bypass`       | degradation read through the `Degraded` trait only    |
+//! | `as-truncation`         | no bare narrowing casts of id-typed values            |
+//! | `determinism-taint`     | no unordered/ambient source reaching a serialization  |
+//! |                         | sink through the call graph (flow rule, `--explain`)  |
+//! | `discarded-fallibility` | no discarded `Result` in measurement crates           |
+//! | `lock-hygiene`          | no guard held across another lock / a long span       |
+//! | `atomic-ordering`       | no `Relaxed` atomics feeding a serialization sink     |
+//!
+//! R1–R7 are token rules; R8–R11 run on a workspace symbol table and an
+//! approximate call graph (see [`symbols`] and [`flow`], DESIGN.md §16).
 //!
 //! Violations are suppressed either by an inline marker on the offending
 //! line (or the line directly above it):
@@ -28,12 +38,16 @@
 //! itself a violation (`bad-allow`). String literals, comments, attribute
 //! argument lists and `#[cfg(test)]`/`#[test]` items never fire.
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
+pub mod flow;
 pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -166,7 +180,7 @@ fn excerpt_at(lines: &[&str], line: u32) -> String {
 /// attribute's argument list, or inside an item annotated `#[cfg(test)]`,
 /// `#[test]` or `#[bench]` (an inner `#![cfg(test)]` exempts the whole
 /// file). Token-level brace matching — no parser needed.
-fn exempt_tokens(tokens: &[Token]) -> Vec<bool> {
+pub(crate) fn exempt_tokens(tokens: &[Token]) -> Vec<bool> {
     let n = tokens.len();
     let mut skip = vec![false; n];
     let text = |i: usize| tokens.get(i).map(|t| t.text.as_str());
@@ -267,35 +281,101 @@ fn is_test_attr(body: &[Token]) -> bool {
     }
 }
 
-/// Scan one source file (by its workspace-relative path) and return its
-/// violations after inline-marker suppression, plus the allowed count.
-pub fn scan_source(path: &str, src: &str) -> (Vec<Violation>, usize) {
-    let Lexed { tokens, comments } = lexer::lex(src);
-    let lines: Vec<&str> = src.lines().collect();
-    let skip = exempt_tokens(&tokens);
-    let hits = rules::check_tokens(path, &tokens, &skip);
-    let (markers, mut violations) = parse_markers(&comments, path, &lines);
+/// The full two-pass analysis result: the scan report plus the stored
+/// source→sink paths behind every R8/R11 hit (pre-suppression, so even
+/// justified sites stay explainable via `--explain`).
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// The violation report (inline markers applied, baseline not).
+    pub report: ScanReport,
+    /// Explain paths keyed by `(file, line)`.
+    pub paths: BTreeMap<(String, u32), flow::FlowPath>,
+}
 
-    let mut allowed = 0usize;
-    for hit in hits {
-        let suppressed = markers.iter().any(|m| {
-            m.rule == Some(hit.rule)
-                && m.justified
-                && (m.line == hit.line || (m.alone && m.line + 1 == hit.line))
-        });
-        if suppressed {
-            allowed += 1;
-            continue;
-        }
-        violations.push(Violation {
-            file: path.to_string(),
-            line: hit.line,
-            rule: hit.rule,
-            excerpt: excerpt_at(&lines, hit.line),
-            message: format!("`{}`: {}", hit.matched, hit.rule.describe()),
+/// Analyze a set of `(workspace-relative path, source)` pairs.
+///
+/// This is the core two-pass entry point: pass 1 lexes every file, runs
+/// the token rules (R1–R7) and builds the symbol table; pass 2 builds the
+/// workspace call graph and runs the flow rules (R8–R11); then inline
+/// allow markers are applied per file. The input is sorted and deduped by
+/// path internally, so the output is byte-identical regardless of the
+/// order files were collected in.
+pub fn analyze_sources(files: Vec<(String, String)>) -> Analysis {
+    let mut files = files;
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files.dedup_by(|a, b| a.0 == b.0);
+
+    // Pass 1: lex, token rules, symbol table.
+    struct Unit {
+        path: String,
+        src: String,
+        comments: Vec<Comment>,
+        hits: Vec<rules::Hit>,
+    }
+    let mut units: Vec<Unit> = Vec::new();
+    let mut syms: Vec<symbols::FnSym> = Vec::new();
+    for (path, src) in files {
+        let Lexed { tokens, comments } = lexer::lex(&src);
+        let skip = exempt_tokens(&tokens);
+        let hits = rules::check_tokens(&path, &tokens, &skip);
+        syms.extend(symbols::file_symbols(&path, &tokens, &skip));
+        units.push(Unit {
+            path,
+            src,
+            comments,
+            hits,
         });
     }
-    (violations, allowed)
+
+    // Pass 2: the workspace call graph and the flow rules.
+    let graph = flow::Graph::build(&syms);
+    let mut fa = graph.check(
+        |rule, file| rule.applies_to(file),
+        |file| Rule::UnorderedIter.applies_to(file),
+    );
+
+    // Merge per file and apply inline markers.
+    let mut out = Analysis::default();
+    for mut u in units {
+        if let Some(extra) = fa.hits.remove(&u.path) {
+            u.hits.extend(extra);
+        }
+        let lines: Vec<&str> = u.src.lines().collect();
+        let (markers, mut violations) = parse_markers(&u.comments, &u.path, &lines);
+        for hit in u.hits {
+            let suppressed = markers.iter().any(|m| {
+                m.rule == Some(hit.rule)
+                    && m.justified
+                    && (m.line == hit.line || (m.alone && m.line + 1 == hit.line))
+            });
+            if suppressed {
+                out.report.allowed += 1;
+                continue;
+            }
+            violations.push(Violation {
+                file: u.path.clone(),
+                line: hit.line,
+                rule: hit.rule,
+                excerpt: excerpt_at(&lines, hit.line),
+                message: format!("`{}`: {}", hit.matched, hit.rule.describe()),
+            });
+        }
+        out.report.violations.extend(violations);
+        out.report.files_scanned += 1;
+    }
+    sort_violations(&mut out.report.violations);
+    out.paths = fa.paths;
+    out
+}
+
+/// Scan one source file (by its workspace-relative path) and return its
+/// violations after inline-marker suppression, plus the allowed count.
+/// The flow rules see a single-file symbol table here, so R8–R11 fire on
+/// flows contained within `src` (the full workspace graph needs
+/// [`analyze_sources`] / [`analyze_workspace`]).
+pub fn scan_source(path: &str, src: &str) -> (Vec<Violation>, usize) {
+    let a = analyze_sources(vec![(path.to_string(), src.to_string())]);
+    (a.report.violations, a.report.allowed)
 }
 
 /// Directories never scanned: build output, the offline dependency shims
@@ -335,19 +415,22 @@ pub fn collect_files(root: &Path) -> io::Result<Vec<String>> {
     Ok(out.into_iter().collect())
 }
 
+/// Run the full two-pass analysis on the workspace rooted at `root`,
+/// keeping the explain paths. Output is independent of directory-walk
+/// order ([`analyze_sources`] sorts internally).
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
+    let mut files = Vec::new();
+    for rel in collect_files(root)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        files.push((rel, src));
+    }
+    Ok(analyze_sources(files))
+}
+
 /// Scan the workspace rooted at `root`. Violations come back sorted by
 /// (file, line, rule id) — stable across reruns.
 pub fn scan_workspace(root: &Path) -> io::Result<ScanReport> {
-    let mut report = ScanReport::default();
-    for rel in collect_files(root)? {
-        let src = std::fs::read_to_string(root.join(&rel))?;
-        let (violations, allowed) = scan_source(&rel, &src);
-        report.violations.extend(violations);
-        report.allowed += allowed;
-        report.files_scanned += 1;
-    }
-    sort_violations(&mut report.violations);
-    Ok(report)
+    Ok(analyze_workspace(root)?.report)
 }
 
 /// Canonical violation order for output and baselines.
@@ -393,7 +476,7 @@ pub fn render_json(
     baselined: usize,
     allowed: usize,
 ) -> String {
-    let mut out = String::from("{\n  \"version\": 1,\n  \"violations\": [");
+    let mut out = String::from("{\n  \"version\": 2,\n  \"violations\": [");
     for (i, v) in violations.iter().enumerate() {
         if i > 0 {
             out.push(',');

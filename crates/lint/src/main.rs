@@ -8,14 +8,14 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use laces_lint::{baseline, render_human, render_json, scan_workspace, sort_violations};
+use laces_lint::{analyze_workspace, baseline, flow, render_human, render_json, sort_violations};
 
 const USAGE: &str = "\
 laces-lint — LACeS workspace determinism & robustness linter
 
 USAGE:
     laces-lint [--root DIR] [--format human|json] [--baseline FILE]
-               [--update-baseline] [--help]
+               [--update-baseline] [--explain FILE:LINE] [--help]
 
 OPTIONS:
     --root DIR          Workspace root (default: auto-detected from cwd)
@@ -23,6 +23,9 @@ OPTIONS:
     --baseline FILE     Baseline path (default: <root>/lint-baseline.json)
     --update-baseline   Rewrite the baseline from current violations,
                         preserving existing justifications, and exit
+    --explain FILE:LINE Print the source→sink call path behind the flow
+                        hit (determinism-taint / atomic-ordering) at that
+                        location — works even for allowed/baselined sites
     --help              Show this help
 ";
 
@@ -31,6 +34,7 @@ struct Opts {
     format: Format,
     baseline: Option<PathBuf>,
     update_baseline: bool,
+    explain: Option<(String, u32)>,
 }
 
 #[derive(PartialEq)]
@@ -45,11 +49,22 @@ fn parse_args(args: &[String]) -> Result<Option<Opts>, String> {
         format: Format::Human,
         baseline: None,
         update_baseline: false,
+        explain: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--help" | "-h" => return Ok(None),
+            "--explain" => {
+                let spec = it.next().ok_or("--explain needs FILE:LINE")?;
+                let (file, line) = spec
+                    .rsplit_once(':')
+                    .ok_or("--explain argument must look like crates/x/src/y.rs:42")?;
+                let line: u32 = line
+                    .parse()
+                    .map_err(|_| format!("--explain: `{line}` is not a line number"))?;
+                opts.explain = Some((file.replace('\\', "/"), line));
+            }
             "--root" => {
                 opts.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?))
             }
@@ -110,13 +125,31 @@ fn main() -> ExitCode {
         .baseline
         .unwrap_or_else(|| root.join("lint-baseline.json"));
 
-    let report = match scan_workspace(&root) {
-        Ok(r) => r,
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("laces-lint: scan failed: {e}");
             return ExitCode::from(2);
         }
     };
+
+    if let Some((file, line)) = opts.explain {
+        return match analysis.paths.get(&(file.clone(), line)) {
+            Some(p) => {
+                print!("{}", flow::render_path(p));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "laces-lint: no flow hit recorded at {file}:{line} (only \
+                     determinism-taint / atomic-ordering sites have paths; run \
+                     without --explain to list hits)"
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+    let report = analysis.report;
 
     // Load the baseline (a missing file means an empty baseline).
     let (entries, baseline_problems) = match std::fs::read_to_string(&baseline_path) {

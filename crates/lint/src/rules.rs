@@ -50,13 +50,38 @@ pub enum Rule {
     /// ids). Use `u16::try_from(..)` (with a typed error or a sentinel
     /// `unwrap_or`) so the narrowing is checked.
     AsTruncation,
+    /// R8: determinism-taint — an unordered-iteration or ambient-ordering
+    /// source (`HashMap`/`HashSet`, `available_parallelism`) in a function
+    /// from which a serialization sink (`serde_json`, the store's
+    /// `write_atomic`) is reachable through the workspace call graph.
+    /// Unlike R3's crate allow-list, this is real reachability: a HashMap
+    /// three calls upstream of a serialized sidecar fires wherever it
+    /// lives. `--explain FILE:LINE` prints the full source→sink path.
+    DeterminismTaint,
+    /// R9: discarded fallibility — `let _ =` or a bare-`;` statement
+    /// discarding a call the symbol table knows returns `Result` (or a
+    /// known-fallible external such as channel `send` / `write!`). A
+    /// swallowed error in a measurement crate silently degrades the census
+    /// without flagging it; route through `?` or an explicit policy.
+    DiscardedFallibility,
+    /// R10: lock hygiene — a named lock guard held across a call into
+    /// another lock-taking function (the deadlock shape), or held over a
+    /// long span without an intervening `drop`. The sharded hot path must
+    /// not serialize on incidental guard lifetimes.
+    LockHygiene,
+    /// R11: atomic ordering — `Ordering::Relaxed` in a function from which
+    /// a serialization sink is reachable (same taint frontier as R8). A
+    /// relaxed load feeding a canonical artifact can observe different
+    /// values across reruns; the pr6 wire-geometry caches are the
+    /// motivating case.
+    AtomicOrdering,
     /// A malformed `laces-lint: allow(..)` marker: unknown rule id or
     /// missing justification. Markers must stay auditable.
     BadAllow,
 }
 
 /// All enforceable rules, in id order (excludes the marker meta-rule).
-pub const ALL_RULES: [Rule; 7] = [
+pub const ALL_RULES: [Rule; 11] = [
     Rule::WallClock,
     Rule::AmbientRng,
     Rule::UnorderedIter,
@@ -64,6 +89,10 @@ pub const ALL_RULES: [Rule; 7] = [
     Rule::PrintPath,
     Rule::DegradedBypass,
     Rule::AsTruncation,
+    Rule::DeterminismTaint,
+    Rule::DiscardedFallibility,
+    Rule::LockHygiene,
+    Rule::AtomicOrdering,
 ];
 
 impl Rule {
@@ -77,6 +106,10 @@ impl Rule {
             Rule::PrintPath => "print-path",
             Rule::DegradedBypass => "degraded-bypass",
             Rule::AsTruncation => "as-truncation",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::DiscardedFallibility => "discarded-fallibility",
+            Rule::LockHygiene => "lock-hygiene",
+            Rule::AtomicOrdering => "atomic-ordering",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -91,6 +124,10 @@ impl Rule {
             "print-path" => Some(Rule::PrintPath),
             "degraded-bypass" => Some(Rule::DegradedBypass),
             "as-truncation" => Some(Rule::AsTruncation),
+            "determinism-taint" => Some(Rule::DeterminismTaint),
+            "discarded-fallibility" => Some(Rule::DiscardedFallibility),
+            "lock-hygiene" => Some(Rule::LockHygiene),
+            "atomic-ordering" => Some(Rule::AtomicOrdering),
             "bad-allow" => Some(Rule::BadAllow),
             _ => None,
         }
@@ -127,6 +164,28 @@ impl Rule {
                 "numeric `as`-truncation of an id-typed value — `as` wraps \
                  silently and a wrapped worker/target id mis-attributes records; \
                  use u16::try_from(..) so the narrowing is checked"
+            }
+            Rule::DeterminismTaint => {
+                "unordered/ambient source in a function that reaches a \
+                 serialization sink through the call graph — its value can end \
+                 up in a canonical artifact; sort, seed or restructure \
+                 (--explain FILE:LINE shows the path)"
+            }
+            Rule::DiscardedFallibility => {
+                "discarded Result in a measurement crate — a swallowed error \
+                 silently degrades the census; propagate with `?` or handle \
+                 the failure explicitly"
+            }
+            Rule::LockHygiene => {
+                "lock guard held across another lock acquisition or a long \
+                 span — deadlock-shaped and serializes the sharded hot path; \
+                 drop the guard (or narrow its scope) first"
+            }
+            Rule::AtomicOrdering => {
+                "Ordering::Relaxed in a function that reaches a serialization \
+                 sink — a relaxed value feeding a canonical artifact can \
+                 differ across reruns; use a deterministic source or justify \
+                 why the value is order-independent"
             }
             Rule::BadAllow => {
                 "malformed laces-lint allow marker — needs a known rule id and a \
@@ -180,12 +239,25 @@ impl Rule {
             Rule::AsTruncation => {
                 is_lib_src(path) && MEASUREMENT_CRATES.iter().any(|c| in_crate(path, c))
             }
+            // R8/R11: graph rules — no crate allow-list. Any crate `src/`
+            // (bins included: a main.rs serializing a report is exactly the
+            // sink that matters); the call graph itself excludes test code.
+            Rule::DeterminismTaint | Rule::AtomicOrdering => {
+                under_src(path) && !is_test_tree(path)
+            }
+            // R9/R10: measurement-path library code, like R4.
+            Rule::DiscardedFallibility | Rule::LockHygiene => {
+                is_lib_src(path) && MEASUREMENT_CRATES.iter().any(|c| in_crate(path, c))
+            }
         }
     }
 }
 
-/// Crates whose library code sits on the measurement path (R4 scope).
-pub const MEASUREMENT_CRATES: [&str; 6] = ["census", "core", "gcd", "netsim", "obs", "query"];
+/// Crates whose library code sits on the measurement path (R4/R9/R10
+/// scope). `lint` polices the others' determinism contract and so holds
+/// itself to the same robustness bar (self-clean since flow-lint v2).
+pub const MEASUREMENT_CRATES: [&str; 7] =
+    ["census", "core", "gcd", "lint", "netsim", "obs", "query"];
 
 /// Crates whose `src/` feeds serialized artifacts (R3 scope).
 pub const SERIALIZED_PATH_CRATES: [&str; 5] = ["bench", "census", "netsim", "obs", "query"];
@@ -565,7 +637,28 @@ pub fn legal(worker_id: usize, len: usize, x: u64) {
         assert!(Rule::AsTruncation.applies_to("crates/gcd/src/engine.rs"));
         assert!(!Rule::AsTruncation.applies_to("crates/bench/src/probing.rs"));
         assert!(!Rule::AsTruncation.applies_to("crates/core/tests/fault_matrix.rs"));
-        assert!(!Rule::AsTruncation.applies_to("crates/lint/src/rules.rs"));
+        // Since flow-lint v2 the linter holds itself to the same bar.
+        assert!(Rule::AsTruncation.applies_to("crates/lint/src/rules.rs"));
+    }
+
+    #[test]
+    fn graph_rule_scopes() {
+        // R8/R11 have no crate allow-list: any crate src, bins included.
+        for r in [Rule::DeterminismTaint, Rule::AtomicOrdering] {
+            assert!(r.applies_to("crates/geo/src/cities.rs"), "{r:?}");
+            assert!(r.applies_to("crates/lint/src/main.rs"), "{r:?}");
+            assert!(r.applies_to("crates/bench/src/artifacts.rs"), "{r:?}");
+            assert!(!r.applies_to("crates/core/tests/fault_matrix.rs"), "{r:?}");
+            assert!(!r.applies_to("examples/quickstart.rs"), "{r:?}");
+            assert!(!r.applies_to("crates/netsim/examples/scale.rs"), "{r:?}");
+        }
+        // R9/R10 track the measurement-path scope (now including lint).
+        for r in [Rule::DiscardedFallibility, Rule::LockHygiene] {
+            assert!(r.applies_to("crates/core/src/orchestrator.rs"), "{r:?}");
+            assert!(r.applies_to("crates/lint/src/json.rs"), "{r:?}");
+            assert!(!r.applies_to("crates/bench/src/probing.rs"), "{r:?}");
+            assert!(!r.applies_to("crates/core/tests/fault_matrix.rs"), "{r:?}");
+        }
     }
 
     #[test]

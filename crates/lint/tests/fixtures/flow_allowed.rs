@@ -1,0 +1,102 @@
+//! Fixture: the same graph-rule shapes as `flow_violating.rs`, every one
+//! silenced by a justified inline allow marker.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Report {
+    pub total: u64,
+}
+
+/// Sink: serializes the report into a canonical artifact.
+pub fn persist(report: &Report) -> Result<Vec<u8>, serde_json::Error> {
+    serde_json::to_vec(&report.total)
+}
+
+/// The sum over a HashMap is order-independent, so the taint is benign.
+pub fn gather(pairs: &[(u32, u64)]) -> u64 {
+    // laces-lint: allow(determinism-taint) — summing u64 values commutes; iteration order cannot change the total
+    let counts: HashMap<u32, u64> = pairs.iter().copied().collect();
+    counts.values().sum()
+}
+
+/// A monotonic counter read after all writers joined.
+pub fn snapshot(total: &AtomicU64) -> u64 {
+    // laces-lint: allow(atomic-ordering) — read after the thread scope joins, which orders all prior increments before this load
+    total.load(Ordering::Relaxed)
+}
+
+/// The bridge that puts `gather` and `snapshot` on the sink path.
+pub fn publish(pairs: &[(u32, u64)], total: &AtomicU64) -> Result<Vec<u8>, serde_json::Error> {
+    let report = Report {
+        total: gather(pairs) + snapshot(total),
+    };
+    persist(&report)
+}
+
+/// Best-effort persistence on the shutdown path.
+pub fn fire_and_forget(total: &AtomicU64) {
+    let report = Report {
+        total: total.load(Ordering::SeqCst),
+    };
+    // laces-lint: allow(discarded-fallibility) — shutdown path: the caller is already unwinding and cannot act on the error
+    let _ = persist(&report);
+    persist(&report); // laces-lint: allow(discarded-fallibility) — same shutdown path, second artifact is advisory
+}
+
+/// The two mutexes guard disjoint state and are always taken in this
+/// order, so the nested acquisition cannot deadlock.
+pub fn nested_lock(shared: &Mutex<u64>, stats: &Mutex<u64>) -> u64 {
+    let guard = shared.lock();
+    // laces-lint: allow(lock-hygiene) — lock order shared→stats is global and documented; no path takes them reversed
+    let held = bump(stats);
+    drop(guard);
+    held
+}
+
+/// Takes its own lock; callers must not already hold one.
+pub fn bump(stats: &Mutex<u64>) -> u64 {
+    let g = stats.lock();
+    1
+}
+
+/// Holds the guard across the whole batch on purpose: dropping it
+/// mid-batch would let readers observe a half-applied update.
+pub fn long_hold(shared: &Mutex<u64>) -> u64 {
+    // laces-lint: allow(lock-hygiene) — the batch must be atomic to readers; the guard spans it by design
+    let guard = shared.lock();
+    // The body below stands in for real work done under the lock.
+    // filler line 01
+    // filler line 02
+    // filler line 03
+    // filler line 04
+    // filler line 05
+    // filler line 06
+    // filler line 07
+    // filler line 08
+    // filler line 09
+    // filler line 10
+    // filler line 11
+    // filler line 12
+    // filler line 13
+    // filler line 14
+    // filler line 15
+    // filler line 16
+    // filler line 17
+    // filler line 18
+    // filler line 19
+    // filler line 20
+    // filler line 21
+    // filler line 22
+    // filler line 23
+    // filler line 24
+    // filler line 25
+    // filler line 26
+    // filler line 27
+    // filler line 28
+    // filler line 29
+    // filler line 30
+    // filler line 31
+    0
+}

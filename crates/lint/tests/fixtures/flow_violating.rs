@@ -1,0 +1,103 @@
+//! Fixture: every graph rule (R8–R11) fires at a known line.
+//!
+//! Self-contained on purpose: the whole source→sink chain lives in this
+//! one file, so `scan_source`'s single-file symbol table sees it exactly
+//! as `analyze_workspace` would across crates. Scanned as
+//! `crates/core/src/fixture.rs` (core is a measurement crate outside the
+//! R3 serialized-path list, so HashMap sources are R8's to report).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Report {
+    pub total: u64,
+}
+
+/// Sink: serializes the report into a canonical artifact.
+pub fn persist(report: &Report) -> Result<Vec<u8>, serde_json::Error> {
+    serde_json::to_vec(&report.total)
+}
+
+/// R8: builds and iterates a `HashMap`; the sum reaches `persist` via
+/// `publish`, so iteration order taints the artifact.
+pub fn gather(pairs: &[(u32, u64)]) -> u64 {
+    let counts: HashMap<u32, u64> = pairs.iter().copied().collect();
+    counts.values().sum()
+}
+
+/// R11: a Relaxed load whose value reaches `persist` via `publish`.
+pub fn snapshot(total: &AtomicU64) -> u64 {
+    total.load(Ordering::Relaxed)
+}
+
+/// The bridge that puts `gather` and `snapshot` on the sink path.
+pub fn publish(pairs: &[(u32, u64)], total: &AtomicU64) -> Result<Vec<u8>, serde_json::Error> {
+    let report = Report {
+        total: gather(pairs) + snapshot(total),
+    };
+    persist(&report)
+}
+
+/// R9 (twice): both discard shapes over a Result-returning callee.
+pub fn fire_and_forget(total: &AtomicU64) {
+    let report = Report {
+        total: total.load(Ordering::SeqCst),
+    };
+    let _ = persist(&report);
+    persist(&report);
+}
+
+/// R10: `bump` takes `stats`'s lock while `guard` on `shared` is held —
+/// the nested-acquisition shape that deadlocks when the two ever alias.
+pub fn nested_lock(shared: &Mutex<u64>, stats: &Mutex<u64>) -> u64 {
+    let guard = shared.lock();
+    let held = bump(stats);
+    drop(guard);
+    held
+}
+
+/// Takes its own lock; callers must not already hold one.
+pub fn bump(stats: &Mutex<u64>) -> u64 {
+    let g = stats.lock();
+    1
+}
+
+/// R10 (span shape): the guard is held for the whole long tail of the
+/// function with no `drop`.
+pub fn long_hold(shared: &Mutex<u64>) -> u64 {
+    let guard = shared.lock();
+    // The body below stands in for real work done under the lock.
+    // filler line 01
+    // filler line 02
+    // filler line 03
+    // filler line 04
+    // filler line 05
+    // filler line 06
+    // filler line 07
+    // filler line 08
+    // filler line 09
+    // filler line 10
+    // filler line 11
+    // filler line 12
+    // filler line 13
+    // filler line 14
+    // filler line 15
+    // filler line 16
+    // filler line 17
+    // filler line 18
+    // filler line 19
+    // filler line 20
+    // filler line 21
+    // filler line 22
+    // filler line 23
+    // filler line 24
+    // filler line 25
+    // filler line 26
+    // filler line 27
+    // filler line 28
+    // filler line 29
+    // filler line 30
+    // filler line 31
+    0
+}

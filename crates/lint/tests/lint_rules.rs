@@ -157,6 +157,149 @@ fn degraded_bypass_baseline_regen_round_trip() {
 }
 
 #[test]
+fn flow_fixture_fires_every_graph_rule() {
+    let (violations, _) = scan_source("crates/core/src/fixture.rs", &fixture("flow_violating.rs"));
+    let counts = count_by_rule(&violations);
+    assert_eq!(counts.get("determinism-taint"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("atomic-ordering"), Some(&1), "{counts:?}");
+    assert_eq!(counts.get("discarded-fallibility"), Some(&2), "{counts:?}");
+    assert_eq!(counts.get("lock-hygiene"), Some(&2), "{counts:?}");
+    // No token rule fires: the fixture isolates the graph rules.
+    assert_eq!(counts.len(), 4, "{counts:?}");
+
+    // R9 reports both discard shapes; R10 both the nested acquisition
+    // and the long-held guard.
+    let by_rule = |id: &str| -> Vec<&Violation> {
+        violations.iter().filter(|v| v.rule.id() == id).collect()
+    };
+    let discards = by_rule("discarded-fallibility");
+    assert!(discards[0].message.contains("let _ ="), "{discards:?}");
+    assert!(discards[1].message.contains("bare `;`"), "{discards:?}");
+    let locks = by_rule("lock-hygiene");
+    assert!(
+        locks[0].message.contains("takes a lock while guard `guard`"),
+        "{locks:?}"
+    );
+    assert!(
+        locks[1].message.contains("held for") && locks[1].message.contains("without drop"),
+        "{locks:?}"
+    );
+}
+
+#[test]
+fn flow_rules_respect_scope() {
+    let src = &fixture("flow_violating.rs");
+    // In census, R3 bans HashMap outright, so the R8 source is R3's; the
+    // other graph rules still fire.
+    let (violations, _) = scan_source("crates/census/src/fixture.rs", src);
+    let counts = count_by_rule(&violations);
+    assert_eq!(counts.get("determinism-taint"), None, "{counts:?}");
+    assert!(counts.get("unordered-iter").is_some(), "{counts:?}");
+    assert_eq!(counts.get("atomic-ordering"), Some(&1), "{counts:?}");
+    // In a test tree no graph rule applies.
+    let (violations, _) = scan_source("crates/core/tests/fixture.rs", src);
+    let counts = count_by_rule(&violations);
+    for id in [
+        "determinism-taint",
+        "discarded-fallibility",
+        "lock-hygiene",
+        "atomic-ordering",
+    ] {
+        assert_eq!(counts.get(id), None, "{id}: {counts:?}");
+    }
+}
+
+#[test]
+fn flow_allowed_fixture_is_silent() {
+    let (violations, allowed) =
+        scan_source("crates/core/src/fixture.rs", &fixture("flow_allowed.rs"));
+    assert!(
+        violations.is_empty(),
+        "justified allow markers must silence every graph rule: {violations:#?}"
+    );
+    assert_eq!(allowed, 6);
+}
+
+#[test]
+fn explain_path_walks_source_to_sink() {
+    let analysis = laces_lint::analyze_sources(vec![(
+        "crates/core/src/fixture.rs".to_string(),
+        fixture("flow_violating.rs"),
+    )]);
+    // The R8 hit (the HashMap in `gather`) carries a full path.
+    let (_, path) = analysis
+        .paths
+        .iter()
+        .find(|((_, _), p)| p.rule == laces_lint::rules::Rule::DeterminismTaint)
+        .expect("R8 hit has a stored path");
+    let rendered = laces_lint::flow::render_path(path);
+    assert!(rendered.contains("[determinism-taint]"), "{rendered}");
+    assert!(rendered.contains("fn gather"), "{rendered}");
+    assert!(rendered.contains("fn publish"), "{rendered}");
+    assert!(
+        rendered.contains("sink: `serde_json::to_vec`"),
+        "{rendered}"
+    );
+    // Paths survive marker suppression: the allowed variant still
+    // explains its justified sites.
+    let allowed = laces_lint::analyze_sources(vec![(
+        "crates/core/src/fixture.rs".to_string(),
+        fixture("flow_allowed.rs"),
+    )]);
+    assert!(allowed.report.violations.is_empty());
+    assert!(
+        allowed
+            .paths
+            .values()
+            .any(|p| p.rule == laces_lint::rules::Rule::DeterminismTaint),
+        "justified R8 sites stay explainable"
+    );
+}
+
+#[test]
+fn analysis_is_invariant_under_walk_order_and_rerun() {
+    // The same file set handed over in different collection orders (and
+    // twice in the same order) must render byte-identical JSON and
+    // byte-identical explain paths.
+    let corpus: Vec<(String, String)> = vec![
+        (
+            "crates/core/src/fixture.rs".to_string(),
+            fixture("flow_violating.rs"),
+        ),
+        (
+            "crates/census/src/fixture.rs".to_string(),
+            fixture("violating.rs"),
+        ),
+        (
+            "crates/netsim/src/fixture.rs".to_string(),
+            fixture("flow_allowed.rs"),
+        ),
+        ("crates/query/src/fixture.rs".to_string(), fixture("allowed.rs")),
+    ];
+    let render = |files: Vec<(String, String)>| -> (String, String) {
+        let a = laces_lint::analyze_sources(files);
+        let json = laces_lint::render_json(
+            &a.report.violations,
+            &[],
+            a.report.files_scanned,
+            0,
+            a.report.allowed,
+        );
+        let explains: String = a.paths.values().map(laces_lint::flow::render_path).collect();
+        (json, explains)
+    };
+    let baseline_order = render(corpus.clone());
+    let mut reversed = corpus.clone();
+    reversed.reverse();
+    assert_eq!(render(reversed), baseline_order, "reversed walk order");
+    let mut rotated = corpus.clone();
+    rotated.rotate_left(2);
+    assert_eq!(render(rotated), baseline_order, "rotated walk order");
+    assert_eq!(render(corpus), baseline_order, "rerun, same order");
+    assert!(baseline_order.0.contains("\"version\": 2"));
+}
+
+#[test]
 fn repo_is_lint_clean_modulo_baseline() {
     // The workspace itself must scan clean against its checked-in
     // baseline: the exact gate CI runs, enforced from the tier-1 suite.

@@ -47,6 +47,8 @@
 //! # let _ = delivery;
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bgp;
 pub mod deployments;
 pub mod latency;

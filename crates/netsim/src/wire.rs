@@ -662,6 +662,7 @@ impl World {
                 (Some(ChaosProfile::PerSite), None) => Some("ns-single-site"),
                 (Some(ChaosProfile::Colo(k)), _) => {
                     chaos_buf.clear();
+                    // laces-lint: allow(discarded-fallibility) — fmt::Write into the reusable String scratch buffer is infallible
                     let _ = write!(
                         chaos_buf,
                         "auth{}",

@@ -240,12 +240,15 @@ impl F64Memo {
 
     #[inline]
     fn get_or_fill(&self, i: usize, fill: impl FnOnce() -> f64) -> f64 {
+        // laces-lint: allow(atomic-ordering) — memo of a pure function of the index: racing fills store identical bits, so any interleaving reads the same value
         use std::sync::atomic::Ordering::Relaxed;
+        // laces-lint: allow(atomic-ordering) — same pure-function memo invariant as above
         let bits = self.cells[i].load(Relaxed);
         if bits != Self::EMPTY {
             return f64::from_bits(bits);
         }
         let v = fill();
+        // laces-lint: allow(atomic-ordering) — same pure-function memo invariant as above
         self.cells[i].store(v.to_bits(), Relaxed);
         v
     }

@@ -34,6 +34,8 @@
 //! across reruns of any abort-free plan — and that property is tested in
 //! `crates/core/tests/fault_matrix.rs`.
 
+#![forbid(unsafe_code)]
+
 pub mod degraded;
 pub mod metrics;
 pub mod report;

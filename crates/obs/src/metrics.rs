@@ -24,11 +24,13 @@ impl Counter {
 
     /// Add `n`.
     pub fn add(&self, n: u64) {
+        // laces-lint: allow(atomic-ordering) — counter increments commute; the final sum read after the thread-scope join is independent of interleaving
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // laces-lint: allow(atomic-ordering) — reports snapshot counters after the thread scope joins, which orders all prior increments before this load
         self.0.load(Ordering::Relaxed)
     }
 }

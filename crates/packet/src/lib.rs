@@ -19,6 +19,8 @@
 //! smallest prefix granularities generally propagated by BGP, at which the
 //! census probes and reports.
 
+#![forbid(unsafe_code)]
+
 pub mod addr;
 pub mod checksum;
 pub mod dns;

@@ -21,6 +21,8 @@
 //!
 //! Re-exported by the census crate as `laces_census::query`.
 
+#![forbid(unsafe_code)]
+
 pub mod diff_types;
 pub mod error;
 pub mod idx;

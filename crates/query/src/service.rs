@@ -747,11 +747,15 @@ mod tests {
         PrefixKey::V6(Prefix48::from_network(i << 80))
     }
 
+    /// Shorthand for the error half of the Result-returning tests below:
+    /// query, io and index-build errors all propagate via `?`.
+    type AnyError = Box<dyn std::error::Error>;
+
     /// Write a synthetic day: JSONL lines (one fake record per prefix) and
     /// the matching sidecar with real offsets.
     type FakeRow<'a> = (PrefixKey, bool, bool, &'a [&'a str], Option<u32>);
 
-    fn write_day(dir: &Path, day: u32, prefixes: &[FakeRow]) {
+    fn write_day(dir: &Path, day: u32, prefixes: &[FakeRow]) -> Result<(), AnyError> {
         let mut sorted = prefixes.to_vec();
         sorted.sort_by_key(|p| p.0);
         let mut jsonl = String::new();
@@ -785,21 +789,21 @@ mod tests {
                 gcd_target_count: records.len() as u64,
                 degraded: false,
             },
-        )
-        .unwrap();
-        std::fs::write(dir.join(format!("census-day-{day:05}.jsonl")), jsonl).unwrap();
-        std::fs::write(dir.join(index_file_name(day)), bytes).unwrap();
+        )?;
+        std::fs::write(dir.join(format!("census-day-{day:05}.jsonl")), jsonl)?;
+        std::fs::write(dir.join(index_file_name(day)), bytes)?;
+        Ok(())
     }
 
-    fn tmpdir(tag: &str) -> PathBuf {
+    fn tmpdir(tag: &str) -> Result<PathBuf, std::io::Error> {
         let d = std::env::temp_dir().join(format!("laces-query-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&d);
-        std::fs::create_dir_all(&d).unwrap();
-        d
+        std::fs::create_dir_all(&d)?;
+        Ok(d)
     }
 
-    fn two_day_store(tag: &str) -> PathBuf {
-        let dir = tmpdir(tag);
+    fn two_day_store(tag: &str) -> Result<PathBuf, AnyError> {
+        let dir = tmpdir(tag)?;
         write_day(
             &dir,
             1,
@@ -808,7 +812,7 @@ mod tests {
                 (v4(2), true, false, &[], Some(100)),
                 (v6(1), false, true, &["Lima"], Some(200)),
             ],
-        );
+        )?;
         write_day(
             &dir,
             2,
@@ -816,53 +820,52 @@ mod tests {
                 (v4(1), true, true, &["Tokyo", "Paris", "Sydney"], Some(100)),
                 (v4(3), true, true, &["Lima"], None),
             ],
-        );
-        dir
+        )?;
+        Ok(dir)
     }
 
     #[test]
-    fn point_and_history_and_counts() {
-        let dir = two_day_store("point");
-        let mut q = QueryService::open(&dir).build().unwrap();
+    fn point_and_history_and_counts() -> Result<(), AnyError> {
+        let dir = two_day_store("point")?;
+        let mut q = QueryService::open(&dir).build()?;
         assert_eq!(q.days(), &[1, 2]);
 
-        let p = q.point(1, v4(1)).unwrap().unwrap();
+        let p = q.point(1, v4(1))?.expect("v4(1) is indexed on day 1");
         assert!(p.anycast_based_positive && p.gcd_confirmed);
         assert_eq!(p.cities, vec!["Tokyo".to_string(), "Paris".to_string()]);
         assert_eq!(p.origin_asn, Some(100));
-        assert!(q.point(1, v4(9)).unwrap().is_none());
+        assert!(q.point(1, v4(9))?.is_none());
 
-        assert_eq!(
-            q.history(v4(3)).unwrap(),
-            vec![(1, false, false), (2, true, true)]
-        );
-        assert_eq!(q.history_between(v4(1), 2, 2).unwrap().len(), 1);
+        assert_eq!(q.history(v4(3))?, vec![(1, false, false), (2, true, true)]);
+        assert_eq!(q.history_between(v4(1), 2, 2)?.len(), 1);
 
-        let counts = q.daily_confirmed_counts().unwrap();
+        let counts = q.daily_confirmed_counts()?;
         assert_eq!(counts[&1], 2);
         assert_eq!(counts[&2], 2);
+        Ok(())
     }
 
     #[test]
-    fn record_json_reads_exact_span() {
-        let dir = two_day_store("span");
-        let mut q = QueryService::open(&dir).build().unwrap();
-        let line = q.record_json(2, v4(3)).unwrap().unwrap();
+    fn record_json_reads_exact_span() -> Result<(), AnyError> {
+        let dir = two_day_store("span")?;
+        let mut q = QueryService::open(&dir).build()?;
+        let line = q.record_json(2, v4(3))?.expect("v4(3) is indexed on day 2");
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"day\":2"));
-        assert!(q.record_json(2, v4(9)).unwrap().is_none());
+        assert!(q.record_json(2, v4(9))?.is_none());
         // Only the record's bytes were read from the day file.
         assert_eq!(
             q.telemetry().counter("query.record_bytes_read"),
             line.len() as u64
         );
+        Ok(())
     }
 
     #[test]
-    fn ranking_sites_and_diff() {
-        let dir = two_day_store("rank");
-        let mut q = QueryService::open(&dir).build().unwrap();
-        let ranks = q.asn_ranking(1).unwrap();
+    fn ranking_sites_and_diff() -> Result<(), AnyError> {
+        let dir = two_day_store("rank")?;
+        let mut q = QueryService::open(&dir).build()?;
+        let ranks = q.asn_ranking(1)?;
         // AS 100: v4(1) + v4(2); AS 200: v6(1).
         assert_eq!(
             ranks[0],
@@ -881,7 +884,7 @@ mod tests {
             }
         );
 
-        let sites = q.sites(1).unwrap();
+        let sites = q.sites(1)?;
         assert_eq!(
             sites,
             vec![
@@ -890,10 +893,10 @@ mod tests {
                 ("Tokyo".to_string(), 1)
             ]
         );
-        assert_eq!(q.site_prefixes(1, "Lima").unwrap(), vec![v6(1)]);
-        assert!(q.site_prefixes(1, "Atlantis").unwrap().is_empty());
+        assert_eq!(q.site_prefixes(1, "Lima")?, vec![v6(1)]);
+        assert!(q.site_prefixes(1, "Atlantis")?.is_empty());
 
-        let d = q.diff(1, 2).unwrap();
+        let d = q.diff(1, 2)?;
         assert_eq!(d.appeared, [v4(3)].into_iter().collect());
         assert_eq!(d.disappeared, [v6(1)].into_iter().collect());
         assert_eq!(d.footprint_changes.len(), 1);
@@ -901,89 +904,88 @@ mod tests {
             d.footprint_changes[0].cities_gained,
             vec!["Sydney".to_string()]
         );
+        Ok(())
     }
 
     #[test]
-    fn answers_invariant_under_cache_budget_and_visit_order() {
-        let dir = two_day_store("inv");
+    fn answers_invariant_under_cache_budget_and_visit_order() -> Result<(), AnyError> {
+        let dir = two_day_store("inv")?;
         // Tiny budget: every touch evicts the other day.
-        let mut tight = QueryService::open(&dir).cache_budget(1).build().unwrap();
+        let mut tight = QueryService::open(&dir).cache_budget(1).build()?;
         // Huge budget, and visit day 2 first.
-        let mut roomy = QueryService::open(&dir)
-            .cache_budget(u64::MAX)
-            .build()
-            .unwrap();
-        let _ = roomy.point(2, v4(1)).unwrap();
+        let mut roomy = QueryService::open(&dir).cache_budget(u64::MAX).build()?;
+        let _ = roomy.point(2, v4(1))?;
 
         for q in [&mut tight, &mut roomy] {
-            assert_eq!(
-                q.history(v4(1)).unwrap(),
-                vec![(1, true, true), (2, true, true)]
-            );
-            assert_eq!(q.diff(1, 2).unwrap().footprint_changes.len(), 1);
+            assert_eq!(q.history(v4(1))?, vec![(1, true, true), (2, true, true)]);
+            assert_eq!(q.diff(1, 2)?.footprint_changes.len(), 1);
         }
-        let a = tight.asn_ranking(2).unwrap();
-        let b = roomy.asn_ranking(2).unwrap();
+        let a = tight.asn_ranking(2)?;
+        let b = roomy.asn_ranking(2)?;
         assert_eq!(a, b);
         assert!(tight.telemetry().counter("query.cache_evictions") > 0);
 
         // Clearing the cache never changes answers.
-        let before = roomy.daily_confirmed_counts().unwrap();
+        let before = roomy.daily_confirmed_counts()?;
         roomy.clear_cache();
-        assert_eq!(roomy.daily_confirmed_counts().unwrap(), before);
+        assert_eq!(roomy.daily_confirmed_counts()?, before);
+        Ok(())
     }
 
     #[test]
-    fn builder_validates_day_set() {
-        let dir = two_day_store("dayset");
+    fn builder_validates_day_set() -> Result<(), AnyError> {
+        let dir = two_day_store("dayset")?;
         assert!(matches!(
             QueryService::open(&dir).days([1, 7]).build(),
             Err(QueryError::MissingIndex { day: 7, .. })
         ));
-        let mut q = QueryService::open(&dir).days([2]).build().unwrap();
+        let mut q = QueryService::open(&dir).days([2]).build()?;
         assert_eq!(q.days(), &[2]);
         assert!(matches!(
             q.point(1, v4(1)),
             Err(QueryError::UnknownDay { day: 1 })
         ));
-        let empty = tmpdir("empty");
+        let empty = tmpdir("empty")?;
         assert!(matches!(
             QueryService::open(&empty).build(),
             Err(QueryError::NoDays)
         ));
+        Ok(())
     }
 
     #[test]
-    fn foreign_files_are_not_indexed_days() {
-        let dir = tmpdir("foreign");
-        write_day(&dir, 3, &[(v4(1), true, false, &[], None)]);
+    fn foreign_files_are_not_indexed_days() -> Result<(), AnyError> {
+        let dir = tmpdir("foreign")?;
+        write_day(&dir, 3, &[(v4(1), true, false, &[], None)])?;
         for name in [
             "census-day-00004.idx.tmp",
             "census-day-abc.idx",
             "census-day-+0005.idx",
             "notes.txt",
         ] {
-            std::fs::write(dir.join(name), b"junk").unwrap();
+            std::fs::write(dir.join(name), b"junk")?;
         }
-        std::fs::create_dir_all(dir.join("census-day-00006.idx")).unwrap();
-        let q = QueryService::open(&dir).build().unwrap();
+        std::fs::create_dir_all(dir.join("census-day-00006.idx"))?;
+        let q = QueryService::open(&dir).build()?;
         assert_eq!(q.days(), &[3]);
+        Ok(())
     }
 
     #[test]
-    fn corrupt_sidecar_is_reported_with_day() {
-        let dir = tmpdir("corrupt");
-        write_day(&dir, 9, &[(v4(1), true, true, &["Oslo"], Some(1))]);
+    fn corrupt_sidecar_is_reported_with_day() -> Result<(), AnyError> {
+        let dir = tmpdir("corrupt")?;
+        write_day(&dir, 9, &[(v4(1), true, true, &["Oslo"], Some(1))])?;
         let path = dir.join(index_file_name(9));
-        let mut bytes = std::fs::read(&path).unwrap();
+        let mut bytes = std::fs::read(&path)?;
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF; // flip a summary byte → section fp mismatch
-        std::fs::write(&path, bytes).unwrap();
-        let mut q = QueryService::open(&dir).build().unwrap();
-        assert!(q.point(9, v4(1)).unwrap().is_some(), "prefix table intact");
+        std::fs::write(&path, bytes)?;
+        let mut q = QueryService::open(&dir).build()?;
+        assert!(q.point(9, v4(1))?.is_some(), "prefix table intact");
         assert!(matches!(
             q.summary(9),
             Err(QueryError::Corrupt { day: 9, .. })
         ));
+        Ok(())
     }
 }

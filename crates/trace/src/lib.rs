@@ -32,6 +32,8 @@
 //! Chrome trace-event format ([`TraceReport::to_chrome_json`]) for
 //! flamegraph viewing of the span tree on the `SimClock`.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod event;
