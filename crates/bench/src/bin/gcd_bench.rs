@@ -1,0 +1,41 @@
+//! Regenerate `BENCH_pr9.json` (the GCD campaign before/after benchmark)
+//! at a chosen scale, without running the full `run_all` suite.
+//!
+//! ```text
+//! cargo run --release -p laces-bench --bin gcd_bench [-- tiny|mid|huge|paper] [--out PATH]
+//! ```
+
+use laces_bench::{Artifacts, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env_or_args(&args);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
+
+    let artifacts = Artifacts::new(scale);
+    let gcd = laces_bench::run_gcd_bench(&artifacts);
+    eprintln!(
+        "gcd campaign: before {:.0} probes/s, after {:.0} probes/s, speedup {:.2}x \
+         (target {:.0}x), fingerprints match: {}, chunk invariant: {}, target met: {}",
+        gcd.before_probes_per_s,
+        gcd.after_probes_per_s,
+        gcd.speedup,
+        gcd.target_speedup,
+        gcd.fingerprint_match,
+        gcd.chunk_invariant,
+        gcd.target_met
+    );
+    if let Some(fp) = &gcd.full_platform {
+        eprintln!(
+            "full platform: {} targets, {} probes, speedup {:.2}x, fingerprints match: {}",
+            fp.n_targets, fp.probes_sent, fp.speedup, fp.fingerprint_match
+        );
+    }
+    std::fs::write(&out_path, gcd.to_json()).expect("BENCH_pr9.json writes");
+    eprintln!("wrote {out_path}");
+}

@@ -18,6 +18,7 @@
 pub mod artifacts;
 pub mod extras;
 pub mod figures;
+pub mod gcd;
 pub mod perf;
 pub mod probing;
 pub mod query;
@@ -27,6 +28,7 @@ pub mod tables;
 pub mod tracing;
 
 pub use artifacts::{Artifacts, Scale};
+pub use gcd::{run_gcd_bench, GcdBench};
 pub use perf::{run_perf, PerfReport};
 pub use probing::{run_probing_bench, ProbingBench};
 pub use query::{run_query_bench, run_query_bench_at, QueryBench};

@@ -581,7 +581,9 @@ mod tests {
             assert_eq!(p.anycast_based_positive, r.anycast_based_positive());
             assert_eq!(p.gcd_confirmed, r.gcd_confirmed());
             assert_eq!(p.origin_asn, r.origin_asn);
-            let line = q.record_json(2, r.prefix)?.expect("saved prefix has a record line");
+            let line = q
+                .record_json(2, r.prefix)?
+                .expect("saved prefix has a record line");
             let back: CensusRecord = serde_json::from_str(&line)?;
             assert_eq!(&back, r);
         }

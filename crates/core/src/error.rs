@@ -27,6 +27,16 @@ pub enum MeasurementError {
         /// The offending platform.
         platform: PlatformId,
     },
+    /// The platform handed to a GCD campaign has more vantage points than
+    /// the probe wire format can attribute: the witnessing VP travels as a
+    /// u16 worker id, so indices above `u16::MAX` would silently alias
+    /// distinct VPs in records and traces. Rejected up front instead.
+    PlatformTooLarge {
+        /// The offending platform.
+        platform: PlatformId,
+        /// Its vantage-point count.
+        n_vps: usize,
+    },
     /// The platform's worker count cannot be attributed by the probe
     /// encodings (valid range: 1..=64).
     WorkerCount {
@@ -86,6 +96,14 @@ impl std::fmt::Display for MeasurementError {
                     f,
                     "platform {platform:?} is not a unicast VP platform; GCD campaigns \
                      probe from unicast vantage points"
+                )
+            }
+            MeasurementError::PlatformTooLarge { platform, n_vps } => {
+                write!(
+                    f,
+                    "platform {platform:?} has {n_vps} vantage points, more than the \
+                     probe format's u16 VP-id space ({} max)",
+                    u16::MAX
                 )
             }
             MeasurementError::WorkerCount { n_workers } => {
@@ -151,6 +169,11 @@ mod tests {
         assert!(e.to_string().contains("reserved"));
         let e = MeasurementError::WorkerCount { n_workers: 65 };
         assert!(e.to_string().contains("65"));
+        let e = MeasurementError::PlatformTooLarge {
+            platform: PlatformId(3),
+            n_vps: 70_000,
+        };
+        assert!(e.to_string().contains("70000"));
         let e = MeasurementError::SenderOutOfRange {
             worker: 9,
             n_workers: 4,

@@ -17,6 +17,8 @@
 use laces_geo::{CityDb, CityId, Coord, Disk};
 use serde::{Deserialize, Serialize};
 
+use crate::geometry::VpGeometry;
+
 /// One latency observation from a vantage point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RttSample {
@@ -91,6 +93,72 @@ pub fn enumerate_counted(
     db: &CityDb,
     overlap_tests: &mut u64,
 ) -> Enumeration {
+    enumerate_core(
+        samples,
+        overlap_tests,
+        |_, p, _, d| p.overlaps(d),
+        |_, d| db.most_populous_in(d),
+    )
+}
+
+/// [`enumerate_counted`] with both geometry queries served from a
+/// campaign's [`VpGeometry`] memo: each feasibility disk is centred on its
+/// witnessing VP, so `picked.overlaps(candidate)` reduces to comparing the
+/// memoized VP-pair distance against the radius sum, and geolocation
+/// resolves through the VP's distance-sorted prefix-argmax city row.
+/// Bit-identical to [`enumerate_counted`] (`Coord::gcd_km` is exactly
+/// symmetric, the overlap comparison reproduces [`Disk::overlaps`]
+/// literally, and the city row reproduces the
+/// [`CityDb::most_populous_in`] argmax), without a single haversine in the
+/// per-target loop.
+///
+/// The memo must cover every `RttSample::vp` index in `samples` and must
+/// have been built over the [`CityDb`] the campaign geolocates against.
+pub fn enumerate_counted_memo(
+    samples: &[RttSample],
+    geom: &VpGeometry,
+    overlap_tests: &mut u64,
+) -> Enumeration {
+    enumerate_core(
+        samples,
+        overlap_tests,
+        // Disk::overlaps, with the center distance read from the memo.
+        |pv, p, cv, d| geom.dist_km(pv, cv) <= p.radius_km + d.radius_km + 1e-9,
+        // CityDb::most_populous_in, with the per-city legs read from the
+        // VP's sorted row (the disk's centre IS the witnessing VP).
+        |vp, d| geom.most_populous_within_km(vp, d.radius_km),
+    )
+}
+
+/// [`enumerate_counted`] at the pre-index cost profile: per-pair
+/// haversines for every overlap test and a linear scan of the city table
+/// for every geolocation. Semantically identical to the other variants —
+/// this is the benchmark baseline and the equivalence-test oracle, not a
+/// fallback.
+pub fn enumerate_counted_reference(
+    samples: &[RttSample],
+    db: &CityDb,
+    overlap_tests: &mut u64,
+) -> Enumeration {
+    enumerate_core(
+        samples,
+        overlap_tests,
+        |_, p, _, d| p.overlaps(d),
+        |_, d| db.most_populous_in_linear(d),
+    )
+}
+
+/// The shared greedy pass behind the `enumerate_counted*` variants.
+/// `overlaps(picked_vp, picked_disk, cand_vp, cand_disk)` and
+/// `geolocate(witness_vp, disk)` abstract the geometry source; every
+/// variant MUST be observationally identical to [`Disk::overlaps`] /
+/// [`CityDb::most_populous_in`] so the variants stay interchangeable.
+fn enumerate_core(
+    samples: &[RttSample],
+    overlap_tests: &mut u64,
+    mut overlaps: impl FnMut(usize, &Disk, usize, &Disk) -> bool,
+    mut geolocate: impl FnMut(usize, &Disk) -> Option<CityId>,
+) -> Enumeration {
     let mut disks: Vec<(usize, Disk)> = samples
         .iter()
         .filter(|s| s.rtt_ms.is_finite() && (0.0..10_000.0).contains(&s.rtt_ms))
@@ -107,9 +175,9 @@ pub fn enumerate_counted(
     let mut picked: Vec<(usize, Disk)> = Vec::new();
     for (vp, disk) in disks {
         let mut independent = true;
-        for (_, p) in &picked {
+        for (pv, p) in &picked {
             *overlap_tests += 1;
-            if p.overlaps(&disk) {
+            if overlaps(*pv, p, vp, &disk) {
                 independent = false;
                 break;
             }
@@ -123,7 +191,7 @@ pub fn enumerate_counted(
         .into_iter()
         .map(|(vp, disk)| SiteEstimate {
             vp,
-            city: db.most_populous_in(&disk),
+            city: geolocate(vp, &disk),
             disk,
         })
         .collect();
@@ -336,6 +404,50 @@ mod tests {
                 has_violation(&samples),
                 enumerate(&samples, &db).is_anycast()
             );
+        }
+    }
+
+    #[test]
+    fn memo_and_reference_variants_agree_with_enumerate_counted() {
+        let db = db();
+        let cases = vec![
+            vec![],
+            vec![sample(&db, "Amsterdam", 5.0, 0)],
+            vec![
+                sample(&db, "Tokyo", 4.0, 0),
+                sample(&db, "Amsterdam", 4.0, 1),
+                sample(&db, "Sao Paulo", 4.0, 2),
+            ],
+            vec![
+                sample(&db, "Frankfurt", 250.0, 3),
+                sample(&db, "Tokyo", 2.0, 0),
+                sample(&db, "Sao Paulo", 2.0, 1),
+                sample(&db, "Amsterdam", f64::NAN, 2),
+            ],
+            vec![
+                sample(&db, "Tokyo", 3.0, 0),
+                sample(&db, "Singapore", 3.0, 1),
+                sample(&db, "Sydney", 3.0, 2),
+                sample(&db, "Los Angeles", 90.0, 3),
+                sample(&db, "London", 110.0, 4),
+            ],
+        ];
+        for samples in cases {
+            // The memo is indexed by VP index; cover 0..=max.
+            let n = samples.iter().map(|s| s.vp + 1).max().unwrap_or(0);
+            let mut coords = vec![laces_geo::Coord::new(0.0, 0.0); n];
+            for s in &samples {
+                coords[s.vp] = s.vp_coord;
+            }
+            let geom = VpGeometry::new(&coords, &db);
+            let (mut t0, mut t1, mut t2) = (0u64, 0u64, 0u64);
+            let base = enumerate_counted(&samples, &db, &mut t0);
+            let memo = enumerate_counted_memo(&samples, &geom, &mut t1);
+            let refr = enumerate_counted_reference(&samples, &db, &mut t2);
+            assert_eq!(base, memo);
+            assert_eq!(base, refr);
+            assert_eq!(t0, t1);
+            assert_eq!(t0, t2);
         }
     }
 }

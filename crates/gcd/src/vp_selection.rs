@@ -8,6 +8,8 @@
 
 use laces_geo::Coord;
 
+use crate::geometry::VpGeometry;
+
 /// Greedy minimum-distance filter: walk the VPs in index order and keep
 /// each one that is at least `min_km` from every VP kept so far.
 ///
@@ -17,6 +19,25 @@ pub fn select_by_distance(vps: &[(usize, Coord)], min_km: f64) -> Vec<(usize, Co
     let mut kept: Vec<(usize, Coord)> = Vec::new();
     for &(idx, coord) in vps {
         if kept.iter().all(|(_, k)| k.gcd_km(&coord) >= min_km) {
+            kept.push((idx, coord));
+        }
+    }
+    kept
+}
+
+/// [`select_by_distance`] with pair distances served from a campaign's
+/// [`VpGeometry`] memo instead of recomputed haversines. The memo stores
+/// the exact `gcd_km` values (and the walk order is identical), so the
+/// selection is bit-for-bit the same. `geom` must cover every VP index in
+/// `vps`.
+pub fn select_by_distance_with(
+    geom: &VpGeometry,
+    vps: &[(usize, Coord)],
+    min_km: f64,
+) -> Vec<(usize, Coord)> {
+    let mut kept: Vec<(usize, Coord)> = Vec::new();
+    for &(idx, coord) in vps {
+        if kept.iter().all(|&(k, _)| geom.dist_km(k, idx) >= min_km) {
             kept.push((idx, coord));
         }
     }
@@ -86,5 +107,35 @@ mod tests {
     #[test]
     fn empty_input_is_empty_output() {
         assert!(select_by_distance(&[], 100.0).is_empty());
+    }
+
+    #[test]
+    fn memoized_selection_matches_reference() {
+        let vps: Vec<(usize, Coord)> = (0..60)
+            .map(|i| {
+                (
+                    i,
+                    c(
+                        ((i * 13) % 120) as f64 - 60.0,
+                        ((i * 37) % 300) as f64 - 150.0,
+                    ),
+                )
+            })
+            .collect();
+        let coords: Vec<Coord> = vps.iter().map(|&(_, c)| c).collect();
+        let geom = VpGeometry::new(&coords, &laces_geo::CityDb::embedded());
+        for min_km in [0.0, 100.0, 500.0, 1_000.0, 5_000.0] {
+            assert_eq!(
+                select_by_distance(&vps, min_km),
+                select_by_distance_with(&geom, &vps, min_km),
+                "diverged at {min_km} km"
+            );
+        }
+        // Also on a thinned subset (indices no longer contiguous).
+        let subset: Vec<(usize, Coord)> = vps.iter().copied().step_by(7).collect();
+        assert_eq!(
+            select_by_distance(&subset, 800.0),
+            select_by_distance_with(&geom, &subset, 800.0)
+        );
     }
 }

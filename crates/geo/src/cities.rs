@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::coord::{Coord, Disk};
+use crate::EARTH_RADIUS_KM;
 
 /// Index of a city within the [`CityDb`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -283,12 +284,33 @@ const RAW: &[(&str, &str, f64, f64, u64)] = &[
     ("Guam", "GU", 13.44, 144.79, 170_000),
 ];
 
+/// Grid cell edge in degrees for the lat/lon disk index.
+const GRID_DEG: f64 = 10.0;
+/// Number of latitude bands: 180° / [`GRID_DEG`].
+const GRID_LAT_CELLS: usize = 18;
+/// Number of longitude columns: 360° / [`GRID_DEG`].
+const GRID_LON_CELLS: usize = 36;
+/// Conservative inflation added to every disk radius before computing its
+/// grid cover. [`Disk::contains`] accepts points up to `1e-9` km past the
+/// radius; a whole kilometre of slack dominates that plus every rounding
+/// error in the cover's trigonometry, and costs at most one extra cell.
+const GRID_MARGIN_KM: f64 = 1.0;
+
 /// The embedded world-city database.
 ///
 /// Cheap to construct (borrows the static table); construct once and share.
+/// Carries a deterministic lat/lon grid index so the disk queries
+/// ([`most_populous_in`](Self::most_populous_in) / [`all_in`](Self::all_in))
+/// visit only cells intersecting the disk instead of scanning every city.
 #[derive(Debug, Clone)]
 pub struct CityDb {
     cities: Vec<City>,
+    /// `grid[band * GRID_LON_CELLS + col]` holds the indices of the cities
+    /// whose coordinate falls in that 10°×10° cell, in ascending index
+    /// order (build order). Queries re-check candidates with the exact
+    /// [`Disk::contains`] predicate, so cell assignment only affects which
+    /// cities are *considered*, never which are *returned*.
+    grid: Vec<Vec<u16>>,
 }
 
 impl Default for CityDb {
@@ -300,7 +322,7 @@ impl Default for CityDb {
 impl CityDb {
     /// Load the embedded database.
     pub fn embedded() -> Self {
-        let cities = RAW
+        let cities: Vec<City> = RAW
             .iter()
             .map(|&(name, country, lat, lon, population)| City {
                 name,
@@ -309,7 +331,92 @@ impl CityDb {
                 population,
             })
             .collect();
-        CityDb { cities }
+        let mut grid = vec![Vec::new(); GRID_LAT_CELLS * GRID_LON_CELLS];
+        for (i, c) in cities.iter().enumerate() {
+            let band = Self::lat_band(c.coord.lat);
+            let col = Self::lon_col(c.coord.lon);
+            grid[band * GRID_LON_CELLS + col].push(i as u16);
+        }
+        CityDb { cities, grid }
+    }
+
+    /// Latitude band of `lat` (clamped into `0..GRID_LAT_CELLS`).
+    fn lat_band(lat: f64) -> usize {
+        // f64→usize saturates (negatives → 0), so out-of-range inputs
+        // clamp to the polar bands instead of wrapping.
+        (((lat + 90.0) / GRID_DEG).floor() as usize).min(GRID_LAT_CELLS - 1)
+    }
+
+    /// Longitude column of `lon` (clamped into `0..GRID_LON_CELLS`).
+    fn lon_col(lon: f64) -> usize {
+        (((lon + 180.0) / GRID_DEG).floor() as usize).min(GRID_LON_CELLS - 1)
+    }
+
+    /// Wrap a longitude into `[-180, 180)`.
+    fn wrap_lon(lon: f64) -> f64 {
+        let mut l = (lon + 180.0) % 360.0;
+        if l < 0.0 {
+            l += 360.0;
+        }
+        l - 180.0
+    }
+
+    /// Visit the index of every city in a cell intersecting a conservative
+    /// cover of `disk`. May visit cities outside the disk (callers re-check
+    /// with [`Disk::contains`]); never skips a city inside it, because the
+    /// cover over-approximates the disk:
+    ///
+    /// - latitude: the difference in latitude between two points is at most
+    ///   their angular distance, so the band `center.lat ± θ` is exact;
+    /// - longitude: for a disk that stays clear of both poles, the maximum
+    ///   longitude offset of a point at angular distance `θ` from a center
+    ///   at latitude `φ` is `asin(sin θ / cos φ)` (the bounding meridians
+    ///   are tangent to the disk); if the disk reaches either pole every
+    ///   longitude is in range and all columns are visited;
+    /// - `θ` is inflated by [`GRID_MARGIN_KM`] so float rounding in the
+    ///   trigonometry above can never shave off a boundary cell.
+    fn grid_candidates(&self, disk: &Disk, mut visit: impl FnMut(usize)) {
+        let theta = (disk.radius_km + GRID_MARGIN_KM) / EARTH_RADIUS_KM;
+        let r_deg = theta.to_degrees();
+        let lat_lo = disk.center.lat - r_deg;
+        let lat_hi = disk.center.lat + r_deg;
+        let band_lo = Self::lat_band(lat_lo);
+        let band_hi = Self::lat_band(lat_hi);
+
+        // Longitude half-width of the cover, in degrees; `None` = all.
+        let half_lon = if lat_lo <= -90.0 || lat_hi >= 90.0 || theta >= std::f64::consts::FRAC_PI_2
+        {
+            None
+        } else {
+            let s = theta.sin() / disk.center.lat.to_radians().cos();
+            if s >= 1.0 {
+                None
+            } else {
+                Some(s.asin().to_degrees())
+            }
+        };
+
+        let (start_col, n_cols) = match half_lon {
+            None => (0, GRID_LON_CELLS),
+            Some(hw) if 2.0 * hw >= 360.0 - GRID_DEG => (0, GRID_LON_CELLS),
+            Some(hw) => {
+                let start = Self::lon_col(Self::wrap_lon(disk.center.lon - hw));
+                // A span of width `2*hw` degrees intersects at most
+                // floor(2*hw / GRID_DEG) + 2 columns; the extra column is
+                // harmless (candidates are re-checked), missing one is not.
+                let n = ((2.0 * hw / GRID_DEG).floor() as usize + 2).min(GRID_LON_CELLS);
+                (start, n)
+            }
+        };
+
+        for band in band_lo..=band_hi {
+            for k in 0..n_cols {
+                let col = (start_col + k) % GRID_LON_CELLS;
+                for &i in &self.grid[band * GRID_LON_CELLS + col] {
+                    visit(usize::from(i));
+                }
+            }
+        }
     }
 
     /// Number of cities in the database.
@@ -359,7 +466,46 @@ impl CityDb {
 
     /// iGreedy's geolocation step: the most populous city inside `disk`,
     /// or `None` if the disk contains no database city.
+    ///
+    /// Grid-indexed; returns exactly what
+    /// [`most_populous_in_linear`](Self::most_populous_in_linear) returns
+    /// (pinned by the `grid_equivalence` test suite). The linear scan's
+    /// `max_by_key` resolves population ties to the *highest* index, which
+    /// equals the lexicographic maximum on `(population, index)` — a
+    /// visit-order-independent criterion, so cell iteration order is free.
     pub fn most_populous_in(&self, disk: &Disk) -> Option<CityId> {
+        let mut best: Option<(u64, usize)> = None;
+        self.grid_candidates(disk, |i| {
+            let c = &self.cities[i];
+            if disk.contains(&c.coord) && best.is_none_or(|b| (c.population, i) > b) {
+                best = Some((c.population, i));
+            }
+        });
+        best.map(|(_, i)| CityId(i as u16))
+    }
+
+    /// All cities inside `disk`, ordered by descending population.
+    ///
+    /// Grid-indexed; returns exactly what
+    /// [`all_in_linear`](Self::all_in_linear) returns — the sort key
+    /// `(population desc, index asc)` is a total order (indices are
+    /// unique), so the candidate visit order cannot leak into the result.
+    pub fn all_in(&self, disk: &Disk) -> Vec<CityId> {
+        let mut ids: Vec<(usize, u64)> = Vec::new();
+        self.grid_candidates(disk, |i| {
+            let c = &self.cities[i];
+            if disk.contains(&c.coord) {
+                ids.push((i, c.population));
+            }
+        });
+        ids.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ids.into_iter().map(|(i, _)| CityId(i as u16)).collect()
+    }
+
+    /// Linear-scan reference for [`most_populous_in`](Self::most_populous_in):
+    /// the pre-index implementation, kept public so equivalence tests and
+    /// benchmarks can pin the grid path byte-identical to it.
+    pub fn most_populous_in_linear(&self, disk: &Disk) -> Option<CityId> {
         self.cities
             .iter()
             .enumerate()
@@ -368,8 +514,9 @@ impl CityDb {
             .map(|(i, _)| CityId(i as u16))
     }
 
-    /// All cities inside `disk`, ordered by descending population.
-    pub fn all_in(&self, disk: &Disk) -> Vec<CityId> {
+    /// Linear-scan reference for [`all_in`](Self::all_in); see
+    /// [`most_populous_in_linear`](Self::most_populous_in_linear).
+    pub fn all_in_linear(&self, disk: &Disk) -> Vec<CityId> {
         let mut ids: Vec<(usize, u64)> = self
             .cities
             .iter()

@@ -40,7 +40,9 @@ pub fn parse(src: &str) -> Result<(Vec<BaselineEntry>, Vec<String>), String> {
     // next `--update-baseline`. Anything newer is from a future linter.
     if let Some(v) = doc.get("version").and_then(Json::as_num) {
         if !(1.0..=2.0).contains(&v) {
-            return Err(format!("unsupported baseline version {v} (expected 1 or 2)"));
+            return Err(format!(
+                "unsupported baseline version {v} (expected 1 or 2)"
+            ));
         }
     }
     let mut entries = Vec::new();

@@ -251,15 +251,29 @@ impl<'a> Graph<'a> {
                     if unordered && r3_covers(&f.file) {
                         continue; // R3 already bans the type here outright
                     }
-                    self.record_flow_hit(&mut out, Rule::DeterminismTaint, f, id, s, &parent,
-                        &reachers);
+                    self.record_flow_hit(
+                        &mut out,
+                        Rule::DeterminismTaint,
+                        f,
+                        id,
+                        s,
+                        &parent,
+                        &reachers,
+                    );
                 }
             }
             // R11: Relaxed orderings in sink-reaching scope.
             if tainted && in_scope(Rule::AtomicOrdering, &f.file) {
                 for s in &f.relaxed {
-                    self.record_flow_hit(&mut out, Rule::AtomicOrdering, f, id, s, &parent,
-                        &reachers);
+                    self.record_flow_hit(
+                        &mut out,
+                        Rule::AtomicOrdering,
+                        f,
+                        id,
+                        s,
+                        &parent,
+                        &reachers,
+                    );
                 }
             }
             // R9: discarded fallibility.
@@ -315,11 +329,13 @@ impl<'a> Graph<'a> {
             }
         }
         for hits in out.hits.values_mut() {
-            hits.sort_by(|a, b| (a.line, a.rule.id(), a.matched.as_str()).cmp(&(
-                b.line,
-                b.rule.id(),
-                b.matched.as_str(),
-            )));
+            hits.sort_by(|a, b| {
+                (a.line, a.rule.id(), a.matched.as_str()).cmp(&(
+                    b.line,
+                    b.rule.id(),
+                    b.matched.as_str(),
+                ))
+            });
         }
         out
     }
@@ -424,11 +440,7 @@ fn resolve(
             }
         }
         // `laces_<crate>::..::name` — pin the crate.
-        if let Some(krate) = c
-            .path
-            .first()
-            .and_then(|seg| seg.strip_prefix("laces_"))
-        {
+        if let Some(krate) = c.path.first().and_then(|seg| seg.strip_prefix("laces_")) {
             if let Some(ids) = by_name.get(name) {
                 let pinned: Vec<usize> = ids
                     .iter()

@@ -242,9 +242,7 @@ impl Rule {
             // R8/R11: graph rules — no crate allow-list. Any crate `src/`
             // (bins included: a main.rs serializing a report is exactly the
             // sink that matters); the call graph itself excludes test code.
-            Rule::DeterminismTaint | Rule::AtomicOrdering => {
-                under_src(path) && !is_test_tree(path)
-            }
+            Rule::DeterminismTaint | Rule::AtomicOrdering => under_src(path) && !is_test_tree(path),
             // R9/R10: measurement-path library code, like R4.
             Rule::DiscardedFallibility | Rule::LockHygiene => {
                 is_lib_src(path) && MEASUREMENT_CRATES.iter().any(|c| in_crate(path, c))

@@ -188,11 +188,14 @@ pub fn file_symbols(path: &str, tokens: &[Token], skip: &[bool]) -> Vec<FnSym> {
                             after_for = true;
                             ty = None;
                         }
-                        Some(s) if angle <= 0 && is_ident(s) && s != "dyn" => {
-                            if ty.is_none() || after_for {
-                                ty = Some(s.to_string());
-                                after_for = false;
-                            }
+                        Some(s)
+                            if angle <= 0
+                                && is_ident(s)
+                                && s != "dyn"
+                                && (ty.is_none() || after_for) =>
+                        {
+                            ty = Some(s.to_string());
+                            after_for = false;
                         }
                         _ => {}
                     }
@@ -507,7 +510,9 @@ fn attach_guard_liveness(f: &mut FnSym) {
         let Some((sentinel, _)) = c.guard.take() else {
             continue;
         };
-        let Some(tok) = sentinel.strip_prefix("\u{0}tok").and_then(|s| s.parse::<usize>().ok())
+        let Some(tok) = sentinel
+            .strip_prefix("\u{0}tok")
+            .and_then(|s| s.parse::<usize>().ok())
         else {
             continue;
         };

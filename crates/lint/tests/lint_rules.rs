@@ -169,15 +169,16 @@ fn flow_fixture_fires_every_graph_rule() {
 
     // R9 reports both discard shapes; R10 both the nested acquisition
     // and the long-held guard.
-    let by_rule = |id: &str| -> Vec<&Violation> {
-        violations.iter().filter(|v| v.rule.id() == id).collect()
-    };
+    let by_rule =
+        |id: &str| -> Vec<&Violation> { violations.iter().filter(|v| v.rule.id() == id).collect() };
     let discards = by_rule("discarded-fallibility");
     assert!(discards[0].message.contains("let _ ="), "{discards:?}");
     assert!(discards[1].message.contains("bare `;`"), "{discards:?}");
     let locks = by_rule("lock-hygiene");
     assert!(
-        locks[0].message.contains("takes a lock while guard `guard`"),
+        locks[0]
+            .message
+            .contains("takes a lock while guard `guard`"),
         "{locks:?}"
     );
     assert!(
@@ -194,7 +195,7 @@ fn flow_rules_respect_scope() {
     let (violations, _) = scan_source("crates/census/src/fixture.rs", src);
     let counts = count_by_rule(&violations);
     assert_eq!(counts.get("determinism-taint"), None, "{counts:?}");
-    assert!(counts.get("unordered-iter").is_some(), "{counts:?}");
+    assert!(counts.contains_key("unordered-iter"), "{counts:?}");
     assert_eq!(counts.get("atomic-ordering"), Some(&1), "{counts:?}");
     // In a test tree no graph rule applies.
     let (violations, _) = scan_source("crates/core/tests/fixture.rs", src);
@@ -274,7 +275,10 @@ fn analysis_is_invariant_under_walk_order_and_rerun() {
             "crates/netsim/src/fixture.rs".to_string(),
             fixture("flow_allowed.rs"),
         ),
-        ("crates/query/src/fixture.rs".to_string(), fixture("allowed.rs")),
+        (
+            "crates/query/src/fixture.rs".to_string(),
+            fixture("allowed.rs"),
+        ),
     ];
     let render = |files: Vec<(String, String)>| -> (String, String) {
         let a = laces_lint::analyze_sources(files);
@@ -285,7 +289,11 @@ fn analysis_is_invariant_under_walk_order_and_rerun() {
             0,
             a.report.allowed,
         );
-        let explains: String = a.paths.values().map(laces_lint::flow::render_path).collect();
+        let explains: String = a
+            .paths
+            .values()
+            .map(laces_lint::flow::render_path)
+            .collect();
         (json, explains)
     };
     let baseline_order = render(corpus.clone());

@@ -242,6 +242,13 @@ pub struct ProbeSession {
     routes: Option<Arc<Routes>>,
     /// Forward catchment of every deployment, indexed by `DeploymentId`.
     catchments: Vec<Arc<DepCatchment>>,
+    /// Great-circle distances from this VP's jittered coordinate to each
+    /// city centre, filled on first use (NaN = unset). Two slots per city
+    /// — the forward (VP → city) and return (city → VP) legs are cached
+    /// separately so the memo never assumes haversine symmetry. Workers
+    /// sit at city centres and resolve through the world's city-pair memo
+    /// instead, so this stays empty for them.
+    vp_city_km: Vec<f64>,
     chaos_buf: String,
     reply_buf: Vec<u8>,
     /// Flight recorder for per-probe wire fates; the default is the
@@ -317,6 +324,10 @@ impl World {
             catchments: (0..self.deployments.len() as u32)
                 .map(|d| self.dep_catchment(DeploymentId(d)))
                 .collect(),
+            vp_city_km: match src {
+                ProbeSource::Vp { .. } => vec![f64::NAN; self.db.len() * 2],
+                ProbeSource::Worker { .. } => Vec::new(),
+            },
             chaos_buf: String::new(),
             reply_buf: Vec::new(),
             tracer: Tracer::disabled(),
@@ -371,6 +382,7 @@ impl World {
             self.latency.access_ms(src_key),
             flip_probability(ctx.span_ms as f64 / 1000.0),
             None,
+            None,
             &packet.view(),
             tx_time_ms,
             window_start_ms,
@@ -409,6 +421,57 @@ impl World {
         out: &mut Vec<Delivery>,
     ) -> Result<(), PacketError> {
         out.clear();
+        self.send_probe_batch_inner(session, src_addr, protocol, probes, ctx, stats, |d| {
+            if let Some(d) = d {
+                out.push(d);
+            }
+        })
+    }
+
+    /// [`World::send_probe_batch`] with *positional* results: `out` gets
+    /// exactly one slot per probe (`None` for unanswered or malformed
+    /// probes), so callers can map deliveries back to probes without
+    /// matching addresses — which is ambiguous when a batch legitimately
+    /// repeats a destination (retry trains, duplicate hitlist rows).
+    /// Accounting and per-probe outcomes are identical to
+    /// [`World::send_probe_batch`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`World::send_probe_batch`]: the first malformed probe's
+    /// error, after the whole batch has been processed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_probe_batch_slotted(
+        &self,
+        session: &mut ProbeSession,
+        src_addr: IpAddr,
+        protocol: Protocol,
+        probes: &[BatchProbe<'_>],
+        ctx: &MeasurementCtx,
+        stats: &WireStats,
+        out: &mut Vec<Option<Delivery>>,
+    ) -> Result<(), PacketError> {
+        out.clear();
+        self.send_probe_batch_inner(session, src_addr, protocol, probes, ctx, stats, |d| {
+            out.push(d);
+        })
+    }
+
+    /// Shared body of the two batch entry points: the per-probe decision
+    /// pipeline with session-cached handles, local statistics accumulation,
+    /// and a per-probe `sink` called in probe order (`None` for probes that
+    /// elicit nothing).
+    #[allow(clippy::too_many_arguments)]
+    fn send_probe_batch_inner(
+        &self,
+        session: &mut ProbeSession,
+        src_addr: IpAddr,
+        protocol: Protocol,
+        probes: &[BatchProbe<'_>],
+        ctx: &MeasurementCtx,
+        stats: &WireStats,
+        mut sink: impl FnMut(Option<Delivery>),
+    ) -> Result<(), PacketError> {
         let ProbeSession {
             src,
             src_platform,
@@ -420,6 +483,7 @@ impl World {
             src_access,
             routes,
             catchments,
+            vp_city_km,
             chaos_buf,
             reply_buf,
             tracer,
@@ -435,6 +499,7 @@ impl World {
         // The flip probability depends only on the measurement span: hoist
         // its two exponentials out of the per-probe path.
         let flip_p = flip_probability(ctx.span_ms as f64 / 1000.0);
+        let mut delivered: u64 = 0;
         let mut unanswered: u64 = 0;
         let mut first_err: Option<PacketError> = None;
         for p in probes {
@@ -452,6 +517,7 @@ impl World {
                 src_key,
                 src_access,
                 flip_p,
+                (!vp_city_km.is_empty()).then_some(vp_city_km.as_mut_slice()),
                 p.meta,
                 &view,
                 p.tx_time_ms,
@@ -467,24 +533,115 @@ impl World {
                 tracer,
             );
             match sent {
-                Ok(Some(d)) => out.push(d),
-                Ok(None) => unanswered += 1,
+                Ok(Some(d)) => {
+                    delivered += 1;
+                    sink(Some(d));
+                }
+                Ok(None) => {
+                    unanswered += 1;
+                    sink(None);
+                }
                 // A malformed probe is counted as a probe but elicits
                 // nothing — same accounting as the scalar observed path.
                 Err(e) => {
                     if first_err.is_none() {
                         first_err = Some(e);
                     }
+                    sink(None);
                 }
             }
         }
         stats.probes.add(probes.len() as u64);
-        stats.deliveries.add(out.len() as u64);
+        stats.deliveries.add(delivered);
         stats.unanswered.add(unanswered);
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
         }
+    }
+
+    /// The prepared single-probe fast path: one probe through the exact
+    /// pipeline of [`World::send_probe_batch`], with the same pre-resolved
+    /// session handles and scratch buffers, but per-probe statistics
+    /// accounting identical to [`World::send_probe_observed`] (probe
+    /// counted first; an `Err` probe is counted but elicits nothing).
+    /// This is the shape retry loops want — send, inspect the delivery,
+    /// decide the next attempt — where assembling a batch would force the
+    /// caller to buffer decisions it makes one probe at a time.
+    ///
+    /// # Errors
+    ///
+    /// Malformed probe bytes surface as `Err`, exactly as on the scalar
+    /// path. With `probe.meta` set the bytes are never parsed, so the
+    /// prepared path cannot fail.
+    pub fn send_probe_one(
+        &self,
+        session: &mut ProbeSession,
+        src_addr: IpAddr,
+        protocol: Protocol,
+        probe: &BatchProbe<'_>,
+        ctx: &MeasurementCtx,
+        stats: &WireStats,
+    ) -> Result<Option<Delivery>, PacketError> {
+        stats.probes.inc();
+        let ProbeSession {
+            src,
+            src_platform,
+            src_as,
+            src_vp_pos,
+            src_coord,
+            src_city,
+            src_key,
+            src_access,
+            routes,
+            catchments,
+            vp_city_km,
+            chaos_buf,
+            reply_buf,
+            tracer,
+        } = session;
+        let tracer = &*tracer;
+        let (src, src_platform, src_as, src_vp_pos, src_coord) =
+            (*src, *src_platform, *src_as, *src_vp_pos, *src_coord);
+        let (src_city, src_key, src_access) = (*src_city, *src_key, *src_access);
+        let routes = routes.as_deref();
+        let catchments: &[Arc<DepCatchment>] = catchments;
+        let seed = self.cfg.seed;
+        let day = ctx.day;
+        let view = PacketView {
+            src: src_addr,
+            dst: probe.dst,
+            protocol,
+            bytes: probe.bytes,
+        };
+        let result = self.send_probe_core(
+            src,
+            src_platform,
+            src_coord,
+            src_city,
+            src_key,
+            src_access,
+            flip_probability(ctx.span_ms as f64 / 1000.0),
+            (!vp_city_km.is_empty()).then_some(vp_city_km.as_mut_slice()),
+            probe.meta,
+            &view,
+            probe.tx_time_ms,
+            probe.window_start_ms,
+            ctx,
+            |dep| {
+                let pos = src_vp_pos?;
+                forward_site_in(seed, &catchments[dep.0 as usize], pos, dep, src_as, day)
+            },
+            |responder_as| receiving_site_in(seed, routes?, src_platform, responder_as, day),
+            chaos_buf,
+            reply_buf,
+            tracer,
+        )?;
+        match result {
+            Some(_) => stats.deliveries.inc(),
+            None => stats.unanswered.inc(),
+        }
+        Ok(result)
     }
 
     /// The shared decision pipeline behind [`World::send_probe`] and
@@ -503,6 +660,7 @@ impl World {
         src_key: rng::Key,
         src_access: f64,
         flip_p: f64,
+        vp_city_km: Option<&mut [f64]>,
         prepared: Option<(ProbeMeta, ProbeEncoding)>,
         packet: &PacketView<'_>,
         tx_time_ms: u64,
@@ -576,11 +734,22 @@ impl World {
         // Every responder sits at a city centre, so the forward leg's
         // great-circle distance resolves through the world's city-pair memo
         // when the sender does too (workers); jittered unicast VP senders
-        // fall back to the haversine the memo would have cached.
-        let dist_from_src = |city: laces_geo::CityId, coord: &Coord| -> f64 {
+        // resolve through their session's per-city memo when one is
+        // attached, and fall back to the bare haversine otherwise.
+        let mut vp_city_km = vp_city_km;
+        let mut dist_from_src = |city: laces_geo::CityId, coord: &Coord| -> f64 {
             match src_city {
                 Some(sc) => self.city_gcd_km(sc, city),
-                None => src_coord.gcd_km(coord),
+                None => match vp_city_km.as_deref_mut() {
+                    Some(memo) => {
+                        let slot = &mut memo[usize::from(city.0) * 2];
+                        if slot.is_nan() {
+                            *slot = src_coord.gcd_km(coord);
+                        }
+                        *slot
+                    }
+                    None => src_coord.gcd_km(coord),
+                },
             }
         };
         let (responder_as, responder_city, responder_coord, site_idx, hops_fwd, d_fwd) =
@@ -693,7 +862,19 @@ impl World {
 
         // --- Route the reply back -------------------------------------------
         let (rx_index, hops_back, d_back) = match src {
-            ProbeSource::Vp { .. } => (src_idx, hops_fwd, responder_coord.gcd_km(&src_coord)),
+            ProbeSource::Vp { .. } => {
+                let d = match vp_city_km {
+                    Some(memo) => {
+                        let slot = &mut memo[usize::from(responder_city.0) * 2 + 1];
+                        if slot.is_nan() {
+                            *slot = responder_coord.gcd_km(&src_coord);
+                        }
+                        *slot
+                    }
+                    None => responder_coord.gcd_km(&src_coord),
+                };
+                (src_idx, hops_fwd, d)
+            }
             ProbeSource::Worker { platform, .. } => {
                 let Some((primary, dist_back, ties)) = receiving(responder_as) else {
                     unanswered(UnansweredCause::NoReverseRoute);

@@ -431,6 +431,44 @@ mod tests {
         ));
     }
 
+    /// A v4 echo request's bytes must not depend on the destination: the
+    /// v4 ICMP checksum has no pseudo-header. The GCD engine's batch path
+    /// relies on this to serve one probe template to a whole target slice;
+    /// the v6 counterpart (pseudo-header covers the addresses) must keep
+    /// differing, so the engine never templates v6 batches.
+    #[test]
+    fn v4_echo_request_bytes_ignore_destination() {
+        let src: IpAddr = SRC4.parse().unwrap();
+        let a = build_echo_request(
+            src,
+            DST4.parse().unwrap(),
+            &meta(),
+            ProbeEncoding::PerWorker,
+        );
+        let b = build_echo_request(
+            src,
+            "203.0.113.250".parse().unwrap(),
+            &meta(),
+            ProbeEncoding::PerWorker,
+        );
+        assert_eq!(a, b);
+
+        let src6: IpAddr = SRC6.parse().unwrap();
+        let c = build_echo_request(
+            src6,
+            DST6.parse().unwrap(),
+            &meta(),
+            ProbeEncoding::PerWorker,
+        );
+        let d = build_echo_request(
+            src6,
+            "2001:db8:eeee::9".parse().unwrap(),
+            &meta(),
+            ProbeEncoding::PerWorker,
+        );
+        assert_ne!(c, d, "v6 checksum must cover the destination");
+    }
+
     #[test]
     fn foreign_payload_is_not_ours() {
         let payload = b"PINGPINGPINGPINGPING";

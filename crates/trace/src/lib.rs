@@ -33,7 +33,6 @@
 //! flamegraph viewing of the span tree on the `SimClock`.
 
 #![forbid(unsafe_code)]
-
 #![warn(missing_docs)]
 
 pub mod event;
