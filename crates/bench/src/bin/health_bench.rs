@@ -1,0 +1,40 @@
+//! Regenerate `BENCH_pr10.json` (the health-monitoring benchmark) at a
+//! chosen scale, without running the full `run_all` suite.
+//!
+//! ```text
+//! cargo run --release -p laces-bench --bin health_bench [-- tiny|mid|huge|paper] [--out PATH]
+//! ```
+
+use laces_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::from_env_or_args(&args);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr10.json".to_string());
+
+    let health = laces_bench::run_health_bench_at(scale);
+    eprintln!(
+        "health: {} sidecar reads in {:.0} ms ({:.0} reads/s); {} findings, \
+         fingerprint match: {}; monitor baseline {:.0} probes/s, disabled {:.0} \
+         ({:+.2}%), enabled {:.0} ({:+.2}%, {} ticks); target met: {}",
+        health.scan_reads,
+        health.scan_wall_ms,
+        health.reads_per_s,
+        health.findings,
+        health.fingerprint_match,
+        health.baseline_probes_per_s,
+        health.disabled_probes_per_s,
+        health.disabled_overhead_pct,
+        health.enabled_probes_per_s,
+        health.enabled_overhead_pct,
+        health.enabled_ticks,
+        health.target_met
+    );
+    std::fs::write(&out_path, health.to_json()).expect("BENCH_pr10.json writes");
+    eprintln!("wrote {out_path}");
+}

@@ -19,6 +19,7 @@ pub mod artifacts;
 pub mod extras;
 pub mod figures;
 pub mod gcd;
+pub mod health;
 pub mod perf;
 pub mod probing;
 pub mod query;
@@ -29,6 +30,7 @@ pub mod tracing;
 
 pub use artifacts::{Artifacts, Scale};
 pub use gcd::{run_gcd_bench, GcdBench};
+pub use health::{run_health_bench, run_health_bench_at, HealthBench};
 pub use perf::{run_perf, PerfReport};
 pub use probing::{run_probing_bench, ProbingBench};
 pub use query::{run_query_bench, run_query_bench_at, QueryBench};

@@ -48,6 +48,11 @@ pub mod store;
 pub mod trace_enum;
 pub mod trigger;
 
+/// Longitudinal health monitoring (`laces-health`): the per-day
+/// `health.series` sidecar written by [`store::CensusStore::save`], the
+/// lazily-loading [`health::HealthService`] handle, the seeded anomaly
+/// detectors, and the deterministic live-run [`health::Monitor`].
+pub use laces_health as health;
 /// The indexed census read path (`laces-query`): per-day binary index
 /// sidecars plus the lazily-loading [`query::QueryService`] handle.
 pub use laces_query as query;

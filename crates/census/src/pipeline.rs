@@ -28,7 +28,7 @@ use laces_gcd::engine::{run_campaign, GcdClass, GcdConfig};
 use laces_hitlist::Hitlist;
 use laces_netsim::bgp::BgpTable;
 use laces_netsim::{bgp_table, PlatformId, TargetKind, World};
-use laces_obs::{RunReport, SimClock, StageTimer};
+use laces_obs::{names, RunReport, SimClock, StageTimer};
 use laces_packet::{PrefixKey, Protocol};
 use laces_trace::{Component, TraceConfig, TraceEvent, Tracer};
 use serde::{Deserialize, Serialize};
@@ -402,22 +402,24 @@ impl CensusPipeline {
             .collect();
         self.feedback.merge(confirmed, AtSource::DailyGcdFeedback);
 
-        stats.telemetry.set_gauge("census.day", u64::from(day));
         stats
             .telemetry
-            .set_gauge("census.candidates", candidates.len() as u64);
+            .set_gauge(names::census::DAY, u64::from(day));
         stats
             .telemetry
-            .set_gauge("census.gcd_targets", stats.gcd_target_count as u64);
+            .set_gauge(names::census::CANDIDATES, candidates.len() as u64);
         stats
             .telemetry
-            .set_gauge("census.published", records.len() as u64);
+            .set_gauge(names::census::GCD_TARGETS, stats.gcd_target_count as u64);
         stats
             .telemetry
-            .set_gauge("census.feedback_size", self.feedback.len() as u64);
+            .set_gauge(names::census::PUBLISHED, records.len() as u64);
         stats
             .telemetry
-            .set_gauge("census.day_sim_ms", clock.now_ms());
+            .set_gauge(names::census::FEEDBACK_SIZE, self.feedback.len() as u64);
+        stats
+            .telemetry
+            .set_gauge(names::census::DAY_SIM_MS, clock.now_ms());
 
         // Day-level stage spans for the flight recorder: the census's
         // top-level stage tree, mirrored as unsampled `StageSpan` events so

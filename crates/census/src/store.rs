@@ -163,6 +163,10 @@ impl CensusStore {
             .join(format!("census-day-{day:05}.trace.chrome.json"))
     }
 
+    fn health_path(&self, day: u32) -> PathBuf {
+        self.dir.join(laces_health::service::series_file_name(day))
+    }
+
     /// Persist one day's census: the records, the query-index sidecar
     /// (built from the exact byte spans just serialised), the stats
     /// sidecar, the day's telemetry as JSON lines (one metric, stage or
@@ -214,6 +218,24 @@ impl CensusStore {
                 day,
             )?;
         }
+        let series = laces_health::DaySeries::derive(
+            day,
+            &census.stats.telemetry,
+            &census.stats.trace_report,
+            &laces_health::SeriesInput {
+                anycast_probes: census.stats.anycast_probes,
+                gcd_probes: census.stats.gcd_probes,
+                ats_per_protocol: census
+                    .stats
+                    .ats_per_protocol
+                    .iter()
+                    .map(|(k, v)| (k.clone(), *v as u64))
+                    .collect(),
+                gcd_target_count: census.stats.gcd_target_count as u64,
+                published: census.records.len() as u64,
+            },
+        );
+        write_atomic(&self.health_path(day), series.encode().as_bytes(), day)?;
         Ok(())
     }
 
@@ -269,6 +291,30 @@ impl CensusStore {
     /// this store: `store.query().days(..).cache_budget(..).build()?`.
     pub fn query(&self) -> laces_query::QueryServiceBuilder {
         laces_query::QueryService::open(&self.dir)
+    }
+
+    /// Start building a [`HealthService`](laces_health::HealthService)
+    /// over this store's `health.series` sidecars:
+    /// `store.health().days(..).cache_budget(..).build()?`.
+    pub fn health(&self) -> laces_health::HealthServiceBuilder {
+        laces_health::HealthService::open(&self.dir)
+    }
+
+    /// Read one day's `health.series` sidecar directly — the light-weight
+    /// path when a [`HealthService`](laces_health::HealthService) handle
+    /// is not needed.
+    pub fn load_health(&self, day: u32) -> Result<laces_health::DaySeries, StoreError> {
+        let path = self.health_path(day);
+        let text = std::fs::read_to_string(&path).map_err(|source| StoreError::Io {
+            path: path.clone(),
+            day: Some(day),
+            source,
+        })?;
+        laces_health::DaySeries::decode(&text).map_err(|detail| StoreError::Parse {
+            path,
+            day,
+            detail,
+        })
     }
 
     /// Read a day's telemetry sidecar back into a [`RunReport`] — the

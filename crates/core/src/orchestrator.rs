@@ -44,7 +44,8 @@ use crossbeam::channel;
 use laces_netsim::wire::{BatchProbe, FabricVerdict, MeasurementCtx, ProbeSource};
 use laces_netsim::{platform as plat, Delivery, FabricStats, ProbeSession, WireStats, World};
 use laces_obs::{
-    metrics, Counter, DegradedReason, Histogram, RunReport, ShardStages, SimClock, StageTimer,
+    metrics, names, Counter, DegradedReason, Histogram, RunReport, ShardStages, SimClock,
+    StageTimer,
 };
 use laces_packet::probe::{attribute_prepared, parse_reply, ProbeMeta};
 use laces_packet::{IpVersion, PrefixKey};
@@ -125,17 +126,26 @@ impl AbortHandle {
 /// Merge one worker's telemetry into the run report under the per-worker
 /// namespace and the aggregate counters.
 fn merge_worker_telemetry(report: &mut RunReport, worker: u16, t: &WorkerTelemetry) {
-    let w = format!("worker.{worker:03}");
-    report.inc(&format!("{w}.probes_sent"), t.probes_sent);
-    report.inc(&format!("{w}.records_streamed"), t.records_streamed);
-    report.inc(&format!("{w}.captures_rejected"), t.captures_rejected);
-    report.inc("worker.probes_sent", t.probes_sent);
-    report.inc("worker.records_streamed", t.records_streamed);
-    report.inc("worker.captures_rejected", t.captures_rejected);
-    report.inc("fabric.replies_delivered", t.replies_delivered);
-    report.inc("fabric.unanswered", t.unanswered);
-    report.inc("fabric.dropped", t.fabric_dropped);
-    report.inc("fabric.duplicated", t.fabric_duplicated);
+    let w = usize::from(worker);
+    report.inc(
+        &names::per_worker(names::worker::PROBES_SENT, w),
+        t.probes_sent,
+    );
+    report.inc(
+        &names::per_worker(names::worker::RECORDS_STREAMED, w),
+        t.records_streamed,
+    );
+    report.inc(
+        &names::per_worker(names::worker::CAPTURES_REJECTED, w),
+        t.captures_rejected,
+    );
+    report.inc(names::worker::PROBES_SENT, t.probes_sent);
+    report.inc(names::worker::RECORDS_STREAMED, t.records_streamed);
+    report.inc(names::worker::CAPTURES_REJECTED, t.captures_rejected);
+    report.inc(names::fabric::REPLIES_DELIVERED, t.replies_delivered);
+    report.inc(names::fabric::UNANSWERED, t.unanswered);
+    report.inc(names::fabric::DROPPED, t.fabric_dropped);
+    report.inc(names::fabric::DUPLICATED, t.fabric_duplicated);
 }
 
 /// Validate the spec against the platform and return the worker count.
@@ -165,12 +175,12 @@ fn validated_workers(world: &World, spec: &MeasurementSpec) -> Result<usize, Mea
 /// The run-level gauges every pipeline records before streaming.
 fn base_telemetry(spec: &MeasurementSpec, n_workers: usize, span_ms: u64) -> RunReport {
     let mut telemetry = RunReport::new();
-    telemetry.set_gauge("orchestrator.n_workers", n_workers as u64);
-    telemetry.set_gauge("orchestrator.n_targets", spec.targets.len() as u64);
-    telemetry.set_gauge("orchestrator.span_ms", span_ms);
-    telemetry.set_gauge("orchestrator.rate_per_s", u64::from(spec.rate_per_s));
+    telemetry.set_gauge(names::orchestrator::N_WORKERS, n_workers as u64);
+    telemetry.set_gauge(names::orchestrator::N_TARGETS, spec.targets.len() as u64);
+    telemetry.set_gauge(names::orchestrator::SPAN_MS, span_ms);
+    telemetry.set_gauge(names::orchestrator::RATE_PER_S, u64::from(spec.rate_per_s));
     telemetry.set_gauge(
-        "orchestrator.probe_budget",
+        names::orchestrator::PROBE_BUDGET,
         spec.probe_budget(if spec.senders.is_some() {
             spec.senders.as_ref().map_or(0, |s| s.len())
         } else {
@@ -181,11 +191,11 @@ fn base_telemetry(spec: &MeasurementSpec, n_workers: usize, span_ms: u64) -> Run
         // Planned fabric fault rates, in permille, next to the observed
         // fabric.dropped / fabric.duplicated counters.
         telemetry.set_gauge(
-            "fabric.planned_drop_permille",
+            names::fabric::PLANNED_DROP_PERMILLE,
             (fabric.drop_rate * 1000.0) as u64,
         );
         telemetry.set_gauge(
-            "fabric.planned_dup_permille",
+            names::fabric::PLANNED_DUP_PERMILLE,
             (fabric.dup_rate * 1000.0) as u64,
         );
     }
@@ -210,7 +220,7 @@ fn empty_hitlist_outcome(
         .map(|w| {
             let w = worker_wire_id(w);
             let status = if spec.faults.rejects_seal(w) {
-                telemetry.inc("orchestrator.seal_rejections", 1);
+                telemetry.inc(names::orchestrator::SEAL_REJECTIONS, 1);
                 telemetry.add_degraded(DegradedReason::SealRejected { worker: w });
                 tracer.record(Component::Control, || TraceEvent::WorkerFault {
                     worker: w,
@@ -313,11 +323,14 @@ fn finalize_outcome(
     // bit-for-bit).
     sort_canonical(&mut records);
 
-    telemetry.inc("orchestrator.orders_streamed", orders_streamed);
-    telemetry.inc("orchestrator.rate_limiter_stalls", rate_limiter_stalls);
-    telemetry.inc("orchestrator.records_collected", records.len() as u64);
+    telemetry.inc(names::orchestrator::ORDERS_STREAMED, orders_streamed);
+    telemetry.inc(
+        names::orchestrator::RATE_LIMITER_STALLS,
+        rate_limiter_stalls,
+    );
+    telemetry.inc(names::orchestrator::RECORDS_COLLECTED, records.len() as u64);
     if abort.is_aborted() {
-        telemetry.inc("orchestrator.aborts", 1);
+        telemetry.inc(names::orchestrator::ABORTS, 1);
         telemetry.add_degraded(DegradedReason::Aborted);
     }
     // The RTT distribution is computed from the canonical record list (a
@@ -328,7 +341,7 @@ fn finalize_outcome(
             rtts.observe(rtt);
         }
     }
-    telemetry.record_histogram("worker.rtt_ms", rtts.snapshot());
+    telemetry.record_histogram(names::worker::RTT_MS, rtts.snapshot());
     // Stage timing on the simulated clock: the probing phase spans the
     // rate-limited hitlist stream plus the last worker's offset window
     // (R6's quantity, per measurement).
@@ -974,7 +987,7 @@ pub fn run_measurement_abortable(
         });
     }
     if lost_shards > 0 {
-        telemetry.inc("orchestrator.shard_failures", lost_shards);
+        telemetry.inc(names::orchestrator::SHARD_FAILURES, lost_shards);
     }
 
     // Crash determination in canonical order: "crash after N orders"
@@ -1041,7 +1054,7 @@ pub fn run_measurement_abortable(
                 cause: "seal rejected".into(),
                 after_probes: t.probes_sent,
             });
-            telemetry.inc("orchestrator.seal_rejections", 1);
+            telemetry.inc(names::orchestrator::SEAL_REJECTIONS, 1);
             telemetry.add_degraded(DegradedReason::SealRejected { worker: wid });
             failed_workers.push(wid);
             worker_health.push(WorkerHealth {
@@ -1075,7 +1088,7 @@ pub fn run_measurement_abortable(
     // timers plus the shard count, quarantined from the canonical
     // telemetry so the invariance contract stays byte-exact.
     let mut shard_report = RunReport::new();
-    shard_report.set_gauge("orchestrator.shards", shards as u64);
+    shard_report.set_gauge(names::orchestrator::SHARDS, shards as u64);
     let mut stages = ShardStages::new();
     for o in &outs {
         if o.hi == o.lo {
@@ -1429,7 +1442,7 @@ pub fn run_measurement_threaded_abortable(
                             telemetry.add_degraded(DegradedReason::WorkerCrashed { worker });
                         }
                         WorkerFailure::SealRejected => {
-                            telemetry.inc("orchestrator.seal_rejections", 1);
+                            telemetry.inc(names::orchestrator::SEAL_REJECTIONS, 1);
                             telemetry.add_degraded(DegradedReason::SealRejected { worker });
                         }
                     }

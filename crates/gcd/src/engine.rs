@@ -21,7 +21,7 @@ use laces_netsim::wire::{
     BatchProbe, Delivery, MeasurementCtx, ProbeSession, ProbeSource, WireStats,
 };
 use laces_netsim::{platform as plat, PlatformId, World};
-use laces_obs::{Degraded, DegradedReason, RunReport, SimClock, StageTimer};
+use laces_obs::{names, Degraded, DegradedReason, RunReport, SimClock, StageTimer};
 use laces_packet::probe::{build_probe, build_probe_into, ProbeEncoding, ProbeMeta};
 use laces_packet::{PrefixKey, Protocol};
 use laces_trace::{Component, TraceConfig, TraceEvent, TraceReport, Tracer};
@@ -428,21 +428,24 @@ fn run_campaign_inner(
                 // mirroring the Orchestrator's R5 behaviour).
                 Err(_) => {
                     report.add_degraded(DegradedReason::GcdChunkLost { targets: n_targets });
-                    report.inc("gcd.targets_lost", n_targets as u64);
+                    report.inc(names::gcd::TARGETS_LOST, n_targets as u64);
                 }
             }
         }
     });
 
     let probes_sent = wire.probes.get();
-    report.set_gauge("gcd.n_vps", vps.len() as u64);
-    report.set_gauge("gcd.n_targets", targets.len() as u64);
-    report.set_gauge("gcd.attempts", u64::from(cfg.attempts.max(1)));
-    report.set_gauge("gcd.precheck", u64::from(cfg.precheck));
-    report.inc("gcd.probes_sent", probes_sent);
-    report.inc("gcd.replies", wire.deliveries.get());
-    report.inc("gcd.unanswered", wire.unanswered.get());
-    report.inc("gcd.enumeration.overlap_tests", overlap_tests.into_inner());
+    report.set_gauge(names::gcd::N_VPS, vps.len() as u64);
+    report.set_gauge(names::gcd::N_TARGETS, targets.len() as u64);
+    report.set_gauge(names::gcd::ATTEMPTS, u64::from(cfg.attempts.max(1)));
+    report.set_gauge(names::gcd::PRECHECK, u64::from(cfg.precheck));
+    report.inc(names::gcd::PROBES_SENT, probes_sent);
+    report.inc(names::gcd::REPLIES, wire.deliveries.get());
+    report.inc(names::gcd::UNANSWERED, wire.unanswered.get());
+    report.inc(
+        names::gcd::ENUMERATION_OVERLAP_TESTS,
+        overlap_tests.into_inner(),
+    );
     // Single pass over the results for the class/site tallies; `inc`
     // creates a key even at 0, so the telemetry schema is load-independent.
     let (mut anycast, mut unicast, mut unresponsive, mut sites) = (0u64, 0u64, 0u64, 0u64);
@@ -454,16 +457,16 @@ fn run_campaign_inner(
         }
         sites += r.n_sites() as u64;
     }
-    report.inc("gcd.class.anycast", anycast);
-    report.inc("gcd.class.unicast", unicast);
-    report.inc("gcd.class.unresponsive", unresponsive);
-    report.inc("gcd.sites_enumerated", sites);
+    report.inc(names::gcd::CLASS_ANYCAST, anycast);
+    report.inc(names::gcd::CLASS_UNICAST, unicast);
+    report.inc(names::gcd::CLASS_UNRESPONSIVE, unresponsive);
+    report.inc(names::gcd::SITES_ENUMERATED, sites);
 
     // Chunk layout is a throughput knob, not an observation: quarantine
     // its gauges so `telemetry` is byte-identical across chunk counts.
     let mut chunk_report = RunReport::new();
-    chunk_report.set_gauge("gcd.threads", threads as u64);
-    chunk_report.set_gauge("gcd.chunks", chunks_spawned);
+    chunk_report.set_gauge(names::gcd::THREADS, threads as u64);
+    chunk_report.set_gauge(names::gcd::CHUNKS, chunks_spawned);
 
     // One stage spanning the campaign's probing schedule: every attempt is
     // offset 50 ms from the previous one inside the target's window, and

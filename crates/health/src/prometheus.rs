@@ -1,0 +1,425 @@
+//! Prometheus text-format export (and parse-back, for round-trips).
+//!
+//! Two surfaces render: a day's [`DaySeries`] summary and a run's
+//! [`MonitorLog`] live snapshots. Both go through the same
+//! [`PromSample`] intermediate, so the parser ([`parse`]) can recover
+//! exactly what the renderer emitted — the round-trip tests assert
+//! `parse(render(samples)) == samples` byte-for-value.
+//!
+//! Every value is an integer (permille instead of ratios), every map is
+//! ordered, and the `# TYPE` header is emitted once per metric family
+//! on first use — the rendered text is bit-identical across reruns and
+//! shard counts. [`MonitorLog::worker_skew`] is deliberately never
+//! rendered (it is outside the shard-count invariance contract).
+
+use crate::monitor::MonitorLog;
+use crate::series::DaySeries;
+use laces_obs::Degraded;
+
+/// One exposition line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromSample {
+    /// Metric family name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// Label pairs, in render order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value (this exporter only emits integers).
+    pub value: u64,
+}
+
+impl PromSample {
+    fn new(name: &str, labels: &[(&str, &str)], value: u64) -> Self {
+        PromSample {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+            value,
+        }
+    }
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn unescape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The metric type (`counter` / `gauge`) for a family name, for the
+/// `# TYPE` header.
+fn family_type(name: &str) -> &'static str {
+    // Progress, ETA, permille ratios and point-in-time set sizes are
+    // gauges; event and volume totals are counters.
+    const GAUGES: &[&str] = &[
+        "laces_census_ats",
+        "laces_census_candidates",
+        "laces_census_day_sim_ms",
+        "laces_census_degraded_events",
+        "laces_census_gcd_targets",
+        "laces_census_published",
+        "laces_census_sites",
+        "laces_census_stage_sim_ms",
+        "laces_monitor_eta_ms",
+        "laces_monitor_probes_per_s",
+        "laces_monitor_progress_permille",
+        "laces_monitor_span_ms",
+        "laces_monitor_workers_crashed",
+    ];
+    if GAUGES.contains(&name) {
+        "gauge"
+    } else {
+        "counter"
+    }
+}
+
+/// The day summary as samples (the renderer's and the tests' shared
+/// source of truth).
+pub fn day_samples(series: &DaySeries) -> Vec<PromSample> {
+    let day = series.day.to_string();
+    let d: &[(&str, &str)] = &[("day", day.as_str())];
+    let mut out = vec![
+        PromSample::new("laces_census_probes_sent", d, series.probes_sent),
+        PromSample::new("laces_census_replies", d, series.replies),
+        PromSample::new("laces_census_unanswered", d, series.unanswered),
+    ];
+    for (cause, n) in &series.loss_by_cause {
+        out.push(PromSample::new(
+            "laces_census_attributed_loss",
+            &[("day", day.as_str()), ("cause", cause.as_str())],
+            *n,
+        ));
+    }
+    for (stage, ms) in &series.stage_sim_ms {
+        out.push(PromSample::new(
+            "laces_census_stage_sim_ms",
+            &[("day", day.as_str()), ("stage", stage.as_str())],
+            *ms,
+        ));
+    }
+    out.push(PromSample::new(
+        "laces_census_day_sim_ms",
+        d,
+        series.day_sim_ms,
+    ));
+    for (protocol, n) in &series.ats_per_protocol {
+        out.push(PromSample::new(
+            "laces_census_ats",
+            &[("day", day.as_str()), ("protocol", protocol.as_str())],
+            *n,
+        ));
+    }
+    out.push(PromSample::new(
+        "laces_census_gcd_targets",
+        d,
+        series.gcd_target_count,
+    ));
+    out.push(PromSample::new(
+        "laces_census_sites",
+        d,
+        series.sites_enumerated,
+    ));
+    out.push(PromSample::new(
+        "laces_census_published",
+        d,
+        series.published,
+    ));
+    out.push(PromSample::new(
+        "laces_census_candidates",
+        d,
+        series.candidates,
+    ));
+    out.push(PromSample::new(
+        "laces_census_degraded_events",
+        d,
+        series.degraded_reasons().len() as u64,
+    ));
+    for (scope, n) in &series.trace_dropped {
+        out.push(PromSample::new(
+            "laces_census_trace_dropped",
+            &[("day", day.as_str()), ("scope", scope.as_str())],
+            *n,
+        ));
+    }
+    out
+}
+
+/// A monitor log's shard-count-invariant samples: the live ticks
+/// (labelled by simulated time) and the run summary. `worker_skew` is
+/// intentionally absent.
+pub fn monitor_samples(log: &MonitorLog) -> Vec<PromSample> {
+    let id = log.spec_id.to_string();
+    let s: &[(&str, &str)] = &[("spec", id.as_str())];
+    let mut out = vec![
+        PromSample::new("laces_monitor_span_ms", s, log.span_ms),
+        PromSample::new("laces_monitor_total_probes", s, log.total_probes),
+    ];
+    for tick in &log.ticks {
+        let t = tick.t_ms.to_string();
+        let labels: &[(&str, &str)] = &[("spec", id.as_str()), ("t_ms", t.as_str())];
+        out.push(PromSample::new(
+            "laces_monitor_progress_permille",
+            labels,
+            tick.progress_permille,
+        ));
+        out.push(PromSample::new(
+            "laces_monitor_probes_scheduled",
+            labels,
+            tick.probes_scheduled,
+        ));
+        out.push(PromSample::new(
+            "laces_monitor_probes_per_s",
+            labels,
+            tick.probes_per_s,
+        ));
+        out.push(PromSample::new("laces_monitor_eta_ms", labels, tick.eta_ms));
+        out.push(PromSample::new(
+            "laces_monitor_workers_crashed",
+            labels,
+            tick.workers_crashed,
+        ));
+    }
+    out.push(PromSample::new(
+        "laces_monitor_probes_sent",
+        s,
+        log.summary.probes_sent,
+    ));
+    out.push(PromSample::new(
+        "laces_monitor_records",
+        s,
+        log.summary.records,
+    ));
+    out.push(PromSample::new(
+        "laces_monitor_failed_workers",
+        s,
+        log.summary.failed_workers,
+    ));
+    out.push(PromSample::new(
+        "laces_monitor_degraded_events",
+        s,
+        log.summary.degraded_events,
+    ));
+    out
+}
+
+/// Render samples in Prometheus text exposition format, with a `# TYPE`
+/// header the first time each family appears.
+pub fn render(samples: &[PromSample]) -> String {
+    let mut out = String::new();
+    let mut seen: Vec<&str> = Vec::new();
+    for sample in samples {
+        if !seen.contains(&sample.name.as_str()) {
+            seen.push(&sample.name);
+            out.push_str(&format!(
+                "# TYPE {} {}\n",
+                sample.name,
+                family_type(&sample.name)
+            ));
+        }
+        out.push_str(&sample.name);
+        if !sample.labels.is_empty() {
+            out.push('{');
+            for (i, (k, v)) in sample.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{k}=\"{}\"", escape_label(v)));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(" {}\n", sample.value));
+    }
+    out
+}
+
+/// Render a day's health summary.
+pub fn render_day(series: &DaySeries) -> String {
+    render(&day_samples(series))
+}
+
+/// Render a run's monitor snapshots and summary.
+pub fn render_monitor(log: &MonitorLog) -> String {
+    render(&monitor_samples(log))
+}
+
+/// Parse text-exposition output back into samples (comment and `# TYPE`
+/// lines are skipped). Supports exactly the subset [`render`] emits:
+/// integer values, quoted label values with `\\`, `\"` and `\n`
+/// escapes.
+pub fn parse(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |detail: &str| format!("line {}: {detail}: {line}", lineno + 1);
+        let (head, value) = line.rsplit_once(' ').ok_or_else(|| err("missing value"))?;
+        let value: u64 = value.parse().map_err(|_| err("non-integer value"))?;
+        let (name, labels) = match head.split_once('{') {
+            None => (head.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated label set"))?;
+                let mut labels = Vec::new();
+                let mut remaining = body;
+                while !remaining.is_empty() {
+                    let (key, rest) = remaining
+                        .split_once("=\"")
+                        .ok_or_else(|| err("malformed label"))?;
+                    // Find the closing quote, skipping escaped ones.
+                    let mut end = None;
+                    let mut prev_backslashes = 0usize;
+                    for (i, c) in rest.char_indices() {
+                        if c == '"' && prev_backslashes.is_multiple_of(2) {
+                            end = Some(i);
+                            break;
+                        }
+                        prev_backslashes = if c == '\\' { prev_backslashes + 1 } else { 0 };
+                    }
+                    let end = end.ok_or_else(|| err("unterminated label value"))?;
+                    labels.push((key.to_string(), unescape_label(&rest[..end])));
+                    remaining = rest[end + 1..].trim_start_matches(',');
+                }
+                (name.to_string(), labels)
+            }
+        };
+        out.push(PromSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{Monitor, MonitorConfig};
+    use crate::series::{DaySeries, SeriesInput};
+    use laces_obs::RunReport;
+    use laces_trace::TraceReport;
+
+    fn sample_series() -> DaySeries {
+        let mut t = RunReport::new();
+        t.inc("ICMPv4.fabric.replies_delivered", 900);
+        t.inc("ICMPv4.fabric.dropped", 60);
+        t.inc("ICMPv4.fabric.unanswered", 40);
+        t.set_gauge(laces_obs::names::census::DAY_SIM_MS, 90_000);
+        t.add_degraded(laces_obs::DegradedReason::WorkerCrashed { worker: 2 });
+        let input = SeriesInput {
+            anycast_probes: 1_000,
+            gcd_probes: 0,
+            ats_per_protocol: [("ICMPv4".to_string(), 42u64)].into(),
+            gcd_target_count: 50,
+            published: 48,
+        };
+        DaySeries::derive(3, &t, &TraceReport::default(), &input)
+    }
+
+    #[test]
+    fn day_render_parse_round_trip() {
+        let series = sample_series();
+        let samples = day_samples(&series);
+        let text = render(&samples);
+        let back = parse(&text).expect("rendered text parses");
+        assert_eq!(back, samples, "parse-back equals snapshot");
+        // Rendering is deterministic and header-per-family.
+        assert_eq!(render(&samples), text);
+        assert_eq!(
+            text.matches("# TYPE laces_census_probes_sent counter")
+                .count(),
+            1
+        );
+        assert!(
+            text.contains("laces_census_attributed_loss{day=\"3\",cause=\"fabric.dropped\"} 60")
+        );
+    }
+
+    #[test]
+    fn label_escapes_survive_round_trip() {
+        let samples = vec![PromSample {
+            name: "laces_census_stage_sim_ms".to_string(),
+            labels: vec![
+                ("day".to_string(), "3".to_string()),
+                ("stage".to_string(), "any\"cast\\x:ICMPv4".to_string()),
+            ],
+            value: 12,
+        }];
+        let text = render(&samples);
+        let back = parse(&text).expect("escaped labels parse");
+        assert_eq!(back, samples);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("metric_without_value\n").is_err());
+        assert!(parse("m{unterminated=\"x} 3\n").is_err());
+        assert!(parse("m 3.5\n").is_err(), "floats are outside the subset");
+    }
+
+    #[test]
+    fn monitor_export_omits_worker_skew() {
+        let mut series = sample_series();
+        series.day = 1;
+        let log = crate::monitor::MonitorLog {
+            enabled: true,
+            spec_id: 9,
+            tick_interval_ms: 100,
+            span_ms: 200,
+            total_probes: 100,
+            ticks: vec![crate::monitor::TickSnapshot {
+                t_ms: 100,
+                progress_permille: 500,
+                probes_scheduled: 50,
+                probes_per_s: 500,
+                eta_ms: 100,
+                workers_crashed: 1,
+            }],
+            summary: crate::monitor::MonitorSummary {
+                probes_sent: 90,
+                records: 80,
+                failed_workers: 1,
+                degraded_events: 1,
+                progress_permille: 900,
+            },
+            worker_skew: vec![crate::monitor::WorkerSkew {
+                worker: 0,
+                probes_sent: 90,
+                skew_permille: 0,
+            }],
+        };
+        let text = render_monitor(&log);
+        assert!(!text.contains("skew"), "worker skew must never export");
+        let back = parse(&text).expect("monitor text parses");
+        assert_eq!(back, monitor_samples(&log));
+        assert!(text.contains("laces_monitor_progress_permille{spec=\"9\",t_ms=\"100\"} 500"));
+        let _ = Monitor::new(MonitorConfig::disabled());
+    }
+}

@@ -1,0 +1,361 @@
+//! The per-day health point and its versioned sidecar encoding.
+//!
+//! [`DaySeries`] is derived once, at publish time, from the day's
+//! [`RunReport`], the trace report's `dropped` maps, and the census
+//! stats — never recomputed from records, so a health query touches one
+//! small sidecar instead of the day's full artifact set. The encoding is
+//! a single JSON document with an explicit `version` field; decoding
+//! rejects unknown versions instead of guessing.
+
+use std::collections::BTreeMap;
+
+use laces_obs::{Degraded, DegradedReason, RunReport};
+use laces_trace::TraceReport;
+use serde::{Deserialize, Serialize};
+
+/// Current sidecar format version. Bump on any field change; decoders
+/// reject versions they do not understand.
+pub const SERIES_VERSION: u32 = 1;
+
+/// The attributed-loss causes the series accounts for, in the order
+/// they are scanned. Each is matched against day-telemetry counter keys
+/// by exact name or `.<cause>` suffix (day telemetry is stage-prefixed:
+/// `"ICMPv4.fabric.dropped"`). Ambient non-replies (`fabric.unanswered`)
+/// are *not* attributed loss — an unresponsive target is the internet's
+/// doing, not the system's — and are tracked separately in
+/// [`DaySeries::unanswered`].
+pub const LOSS_CAUSES: &[&str] = &[
+    "fabric.dropped",
+    "worker.captures_rejected",
+    "orchestrator.seal_rejections",
+    "orchestrator.shard_failures",
+    "orchestrator.aborts",
+    "gcd.targets_lost",
+];
+
+/// Census-stats fields the store hands to [`DaySeries::derive`] — raw
+/// ingredients rather than `CensusStats` itself, so this crate stays
+/// below `laces-census` in the dependency graph.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesInput {
+    /// Probes transmitted by the anycast-based stage.
+    pub anycast_probes: u64,
+    /// Probes transmitted by the GCD stage.
+    pub gcd_probes: u64,
+    /// Anycast targets (candidates) per protocol label.
+    pub ats_per_protocol: BTreeMap<String, u64>,
+    /// Size of the GCD target set after AT feedback.
+    pub gcd_target_count: u64,
+    /// Records published for the day.
+    pub published: u64,
+}
+
+/// One day's health point: everything the longitudinal detectors and
+/// the metric-history queries need, in one compact record.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DaySeries {
+    /// Sidecar format version ([`SERIES_VERSION`]).
+    pub version: u32,
+    /// Census day.
+    pub day: u32,
+    /// Probes transmitted across both stages.
+    pub probes_sent: u64,
+    /// Replies observed across both stages.
+    pub replies: u64,
+    /// Probes that drew no reply (ambient, not attributed loss).
+    pub unanswered: u64,
+    /// Attributed loss per cause (see [`LOSS_CAUSES`]); zero-valued
+    /// causes are omitted, so a clean day has an empty map.
+    pub loss_by_cause: BTreeMap<String, u64>,
+    /// Attributed loss per original (stage-prefixed) counter key —
+    /// the drill-down from a cause to the stage that produced it.
+    pub loss_detail: BTreeMap<String, u64>,
+    /// Simulated duration per top-level stage.
+    pub stage_sim_ms: BTreeMap<String, u64>,
+    /// Simulated duration of the whole day.
+    pub day_sim_ms: u64,
+    /// The day's typed degradation events, sorted and deduplicated.
+    pub degraded: Vec<DegradedReason>,
+    /// Anycast targets per protocol label.
+    pub ats_per_protocol: BTreeMap<String, u64>,
+    /// GCD target-set size after AT feedback.
+    pub gcd_target_count: u64,
+    /// Anycast sites enumerated by the GCD stage.
+    pub sites_enumerated: u64,
+    /// Targets the GCD stage confirmed anycast.
+    pub anycast_confirmed: u64,
+    /// Records published.
+    pub published: u64,
+    /// Candidate targets after hitlist assembly.
+    pub candidates: u64,
+    /// Trace events evicted by per-component caps, keyed
+    /// `"<scope>/<component>"` — the flight recorder's own loss map.
+    pub trace_dropped: BTreeMap<String, u64>,
+    /// Full copy of the day telemetry's counters, for
+    /// [`RunReport::diff`]-based day-over-day queries.
+    pub counters: BTreeMap<String, u64>,
+    /// Full copy of the day telemetry's gauges.
+    pub gauges: BTreeMap<String, u64>,
+}
+
+impl Degraded for DaySeries {
+    fn degraded_reasons(&self) -> &[DegradedReason] {
+        &self.degraded
+    }
+}
+
+/// Whether counter key `key` names `cause`, directly or under a stage
+/// prefix (`"ICMPv4.fabric.dropped"` matches `"fabric.dropped"`).
+pub(crate) fn names_cause(key: &str, cause: &str) -> bool {
+    key == cause
+        || (key.len() > cause.len() && key.ends_with(cause) && {
+            let boundary = key.len() - cause.len() - 1;
+            key.as_bytes()[boundary] == b'.'
+        })
+}
+
+fn sum_by_cause(counters: &BTreeMap<String, u64>, cause: &str) -> u64 {
+    counters
+        .iter()
+        .filter(|(k, _)| names_cause(k, cause))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+impl DaySeries {
+    /// Derive the day's health point from the day telemetry, the trace
+    /// report's eviction maps, and the stats fields in `input`. Pure:
+    /// the result (and hence the sidecar bytes) is a function of its
+    /// arguments only.
+    pub fn derive(
+        day: u32,
+        telemetry: &RunReport,
+        trace: &TraceReport,
+        input: &SeriesInput,
+    ) -> Self {
+        let mut loss_by_cause = BTreeMap::new();
+        let mut loss_detail = BTreeMap::new();
+        for cause in LOSS_CAUSES {
+            let total = sum_by_cause(&telemetry.counters, cause);
+            if total > 0 {
+                loss_by_cause.insert((*cause).to_string(), total);
+                for (key, value) in &telemetry.counters {
+                    if *value > 0 && names_cause(key, cause) {
+                        loss_detail.insert(key.clone(), *value);
+                    }
+                }
+            }
+        }
+        let mut stage_sim_ms = BTreeMap::new();
+        for stage in &telemetry.stages {
+            // Duplicate top-level stage names keep the longest run.
+            let entry = stage_sim_ms.entry(stage.name.clone()).or_insert(0);
+            *entry = (*entry).max(stage.sim_ms);
+        }
+        let mut trace_dropped = BTreeMap::new();
+        for section in &trace.sections {
+            for (component, n) in &section.dropped {
+                *trace_dropped
+                    .entry(format!("{}/{}", section.scope, component))
+                    .or_insert(0) += n;
+            }
+        }
+        DaySeries {
+            version: SERIES_VERSION,
+            day,
+            probes_sent: input.anycast_probes + input.gcd_probes,
+            replies: sum_by_cause(&telemetry.counters, "fabric.replies_delivered")
+                + sum_by_cause(&telemetry.counters, "gcd.replies"),
+            unanswered: sum_by_cause(&telemetry.counters, "fabric.unanswered")
+                + sum_by_cause(&telemetry.counters, "gcd.unanswered"),
+            loss_by_cause,
+            loss_detail,
+            stage_sim_ms,
+            day_sim_ms: telemetry.gauge(laces_obs::names::census::DAY_SIM_MS),
+            degraded: telemetry.degraded_reasons().to_vec(),
+            ats_per_protocol: input.ats_per_protocol.clone(),
+            gcd_target_count: input.gcd_target_count,
+            sites_enumerated: sum_by_cause(&telemetry.counters, "gcd.sites_enumerated"),
+            anycast_confirmed: sum_by_cause(&telemetry.counters, "gcd.class.anycast"),
+            published: input.published,
+            candidates: telemetry.gauge(laces_obs::names::census::CANDIDATES),
+            trace_dropped,
+            counters: telemetry.counters.clone(),
+            gauges: telemetry.gauges.clone(),
+        }
+    }
+
+    /// Total attributed loss (the sum over [`DaySeries::loss_by_cause`]).
+    pub fn attributed_loss(&self) -> u64 {
+        self.loss_by_cause.values().sum()
+    }
+
+    /// Attributed loss as permille of probes sent.
+    pub fn loss_permille(&self) -> u64 {
+        self.attributed_loss()
+            .saturating_mul(1000)
+            .checked_div(self.probes_sent)
+            .unwrap_or(0)
+    }
+
+    /// Probing throughput on the simulated clock, probes per simulated
+    /// second.
+    pub fn throughput_per_sim_s(&self) -> u64 {
+        self.probes_sent
+            .saturating_mul(1000)
+            .checked_div(self.day_sim_ms.max(1))
+            .unwrap_or(0)
+    }
+
+    /// Rebuild the metric surface of the day's telemetry for
+    /// [`RunReport::diff`] queries. Stages and histograms are not
+    /// carried by the series; the reconstructed report holds counters,
+    /// gauges and degradation events.
+    pub fn as_report(&self) -> RunReport {
+        let mut r = RunReport::new();
+        r.counters = self.counters.clone();
+        r.gauges = self.gauges.clone();
+        for reason in self.degraded_reasons() {
+            r.add_degraded(reason.clone());
+        }
+        r
+    }
+
+    /// Encode as the sidecar's on-disk bytes: one JSON document plus a
+    /// trailing newline, bit-identical across reruns (all maps are
+    /// `BTreeMap`s and `degraded` is sorted).
+    pub fn encode(&self) -> String {
+        // laces-lint: allow(panic-path) — DaySeries is plain maps and integers; serialising it cannot fail
+        let mut text = serde_json::to_string(self).expect("day series serialises");
+        text.push('\n');
+        text
+    }
+
+    /// Decode sidecar bytes, rejecting unknown versions.
+    pub fn decode(text: &str) -> Result<Self, String> {
+        let series: DaySeries =
+            serde_json::from_str(text.trim_end()).map_err(|e| format!("malformed series: {e}"))?;
+        if series.version != SERIES_VERSION {
+            return Err(format!(
+                "unsupported series version {} (expected {SERIES_VERSION})",
+                series.version
+            ));
+        }
+        Ok(series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laces_trace::TraceSection;
+
+    fn faulted_telemetry() -> RunReport {
+        let mut t = RunReport::new();
+        t.inc("ICMPv4.fabric.replies_delivered", 900);
+        t.inc("ICMPv4.fabric.unanswered", 40);
+        t.inc("ICMPv4.fabric.dropped", 60);
+        t.inc("TCPv4.fabric.dropped", 12);
+        t.inc("gcd.replies", 100);
+        t.inc("gcd.targets_lost", 3);
+        t.inc("gcd.sites_enumerated", 17);
+        t.inc("gcd.class.anycast", 5);
+        t.set_gauge(laces_obs::names::census::DAY_SIM_MS, 90_000);
+        t.set_gauge(laces_obs::names::census::CANDIDATES, 1_000);
+        t.add_degraded(DegradedReason::WorkerCrashed { worker: 2 });
+        t
+    }
+
+    fn trace_with_drops() -> TraceReport {
+        TraceReport {
+            enabled: true,
+            seed: 7,
+            sample_per_mille: 1000,
+            sections: vec![TraceSection {
+                scope: "ICMPv4".into(),
+                events: Vec::new(),
+                dropped: [("wire".to_string(), 4u64)].into(),
+            }],
+        }
+    }
+
+    fn input() -> SeriesInput {
+        SeriesInput {
+            anycast_probes: 1_000,
+            gcd_probes: 120,
+            ats_per_protocol: [("ICMPv4".to_string(), 42u64)].into(),
+            gcd_target_count: 50,
+            published: 48,
+        }
+    }
+
+    #[test]
+    fn derive_attributes_loss_by_cause_and_stage() {
+        let s = DaySeries::derive(3, &faulted_telemetry(), &trace_with_drops(), &input());
+        assert_eq!(s.version, SERIES_VERSION);
+        assert_eq!(s.probes_sent, 1_120);
+        assert_eq!(s.replies, 1_000);
+        assert_eq!(s.unanswered, 40);
+        assert_eq!(s.loss_by_cause.get("fabric.dropped"), Some(&72));
+        assert_eq!(s.loss_by_cause.get("gcd.targets_lost"), Some(&3));
+        assert_eq!(s.loss_by_cause.len(), 2, "{:?}", s.loss_by_cause);
+        assert_eq!(s.loss_detail.get("ICMPv4.fabric.dropped"), Some(&60));
+        assert_eq!(s.loss_detail.get("TCPv4.fabric.dropped"), Some(&12));
+        assert_eq!(s.attributed_loss(), 75);
+        assert_eq!(s.sites_enumerated, 17);
+        assert_eq!(s.anycast_confirmed, 5);
+        assert_eq!(s.trace_dropped.get("ICMPv4/wire"), Some(&4));
+        assert!(s.is_degraded());
+        assert_eq!(s.day_sim_ms, 90_000);
+    }
+
+    #[test]
+    fn clean_day_has_empty_loss_map() {
+        let mut t = RunReport::new();
+        t.inc("ICMPv4.fabric.replies_delivered", 1_000);
+        t.inc("ICMPv4.fabric.unanswered", 7);
+        // A zero-valued loss counter must not create an entry.
+        t.inc("ICMPv4.fabric.dropped", 0);
+        let s = DaySeries::derive(1, &t, &TraceReport::default(), &input());
+        assert!(s.loss_by_cause.is_empty(), "{:?}", s.loss_by_cause);
+        assert!(s.loss_detail.is_empty());
+        assert_eq!(s.attributed_loss(), 0);
+        assert!(!s.is_degraded());
+    }
+
+    #[test]
+    fn cause_matching_requires_a_dot_boundary() {
+        assert!(names_cause("fabric.dropped", "fabric.dropped"));
+        assert!(names_cause("ICMPv4.fabric.dropped", "fabric.dropped"));
+        assert!(!names_cause("notfabric.dropped", "fabric.dropped"));
+        assert!(!names_cause("xfabric.dropped", "fabric.dropped"));
+    }
+
+    #[test]
+    fn encode_decode_round_trip_and_version_gate() {
+        let s = DaySeries::derive(3, &faulted_telemetry(), &trace_with_drops(), &input());
+        let text = s.encode();
+        assert!(text.ends_with('\n'));
+        let back = DaySeries::decode(&text).expect("decodes");
+        assert_eq!(back, s);
+        // Same inputs re-derive to identical bytes.
+        let again = DaySeries::derive(3, &faulted_telemetry(), &trace_with_drops(), &input());
+        assert_eq!(again.encode(), text);
+        // Future versions are rejected, not mis-read.
+        let mut bumped = s.clone();
+        bumped.version = SERIES_VERSION + 1;
+        let err = DaySeries::decode(&bumped.encode()).unwrap_err();
+        assert!(err.contains("unsupported series version"), "{err}");
+    }
+
+    #[test]
+    fn as_report_round_trips_metrics_for_diff() {
+        let t = faulted_telemetry();
+        let s = DaySeries::derive(3, &t, &TraceReport::default(), &input());
+        let rebuilt = s.as_report();
+        assert_eq!(rebuilt.counters, t.counters);
+        assert_eq!(rebuilt.gauges, t.gauges);
+        assert_eq!(rebuilt.degraded_reasons(), t.degraded_reasons());
+        assert!(t.diff(&rebuilt).is_empty());
+    }
+}

@@ -75,13 +75,20 @@ pub enum Rule {
     /// values across reruns; the pr6 wire-geometry caches are the
     /// motivating case.
     AtomicOrdering,
+    /// R12: ad-hoc metric-name string literal at a telemetry write site
+    /// (`inc` / `set_gauge` / `record_histogram`). Two spellings of the
+    /// same concept silently split a longitudinal series; production call
+    /// sites reference the `laces_obs::names` registry consts (per-worker
+    /// names go through `names::per_worker`, which keeps the stem
+    /// registered).
+    UnregisteredMetric,
     /// A malformed `laces-lint: allow(..)` marker: unknown rule id or
     /// missing justification. Markers must stay auditable.
     BadAllow,
 }
 
 /// All enforceable rules, in id order (excludes the marker meta-rule).
-pub const ALL_RULES: [Rule; 11] = [
+pub const ALL_RULES: [Rule; 12] = [
     Rule::WallClock,
     Rule::AmbientRng,
     Rule::UnorderedIter,
@@ -93,6 +100,7 @@ pub const ALL_RULES: [Rule; 11] = [
     Rule::DiscardedFallibility,
     Rule::LockHygiene,
     Rule::AtomicOrdering,
+    Rule::UnregisteredMetric,
 ];
 
 impl Rule {
@@ -110,6 +118,7 @@ impl Rule {
             Rule::DiscardedFallibility => "discarded-fallibility",
             Rule::LockHygiene => "lock-hygiene",
             Rule::AtomicOrdering => "atomic-ordering",
+            Rule::UnregisteredMetric => "unregistered-metric",
             Rule::BadAllow => "bad-allow",
         }
     }
@@ -128,6 +137,7 @@ impl Rule {
             "discarded-fallibility" => Some(Rule::DiscardedFallibility),
             "lock-hygiene" => Some(Rule::LockHygiene),
             "atomic-ordering" => Some(Rule::AtomicOrdering),
+            "unregistered-metric" => Some(Rule::UnregisteredMetric),
             "bad-allow" => Some(Rule::BadAllow),
             _ => None,
         }
@@ -187,6 +197,11 @@ impl Rule {
                  differ across reruns; use a deterministic source or justify \
                  why the value is order-independent"
             }
+            Rule::UnregisteredMetric => {
+                "ad-hoc metric-name literal at a telemetry write site — use a \
+                 laces_obs::names registry const (or names::per_worker over a \
+                 registered stem) so the longitudinal series cannot fork"
+            }
             Rule::BadAllow => {
                 "malformed laces-lint allow marker — needs a known rule id and a \
                  non-empty justification"
@@ -243,8 +258,8 @@ impl Rule {
             // (bins included: a main.rs serializing a report is exactly the
             // sink that matters); the call graph itself excludes test code.
             Rule::DeterminismTaint | Rule::AtomicOrdering => under_src(path) && !is_test_tree(path),
-            // R9/R10: measurement-path library code, like R4.
-            Rule::DiscardedFallibility | Rule::LockHygiene => {
+            // R9/R10/R12: measurement-path library code, like R4.
+            Rule::DiscardedFallibility | Rule::LockHygiene | Rule::UnregisteredMetric => {
                 is_lib_src(path) && MEASUREMENT_CRATES.iter().any(|c| in_crate(path, c))
             }
         }
@@ -254,11 +269,13 @@ impl Rule {
 /// Crates whose library code sits on the measurement path (R4/R9/R10
 /// scope). `lint` polices the others' determinism contract and so holds
 /// itself to the same robustness bar (self-clean since flow-lint v2).
-pub const MEASUREMENT_CRATES: [&str; 7] =
-    ["census", "core", "gcd", "lint", "netsim", "obs", "query"];
+pub const MEASUREMENT_CRATES: [&str; 8] = [
+    "census", "core", "gcd", "health", "lint", "netsim", "obs", "query",
+];
 
 /// Crates whose `src/` feeds serialized artifacts (R3 scope).
-pub const SERIALIZED_PATH_CRATES: [&str; 5] = ["bench", "census", "netsim", "obs", "query"];
+pub const SERIALIZED_PATH_CRATES: [&str; 6] =
+    ["bench", "census", "health", "netsim", "obs", "query"];
 
 fn in_crate(path: &str, name: &str) -> bool {
     path.strip_prefix("crates/")
@@ -377,6 +394,7 @@ const UNORDERED_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 const PANIC_METHODS: [&str; 2] = ["expect", "unwrap"];
 const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
 const PRINT_MACROS: [&str; 5] = ["dbg", "eprint", "eprintln", "print", "println"];
+const METRIC_METHODS: [&str; 3] = ["inc", "record_histogram", "set_gauge"];
 
 /// Mark every token inside an `impl Degraded for ..` block (including
 /// `impl laces_obs::Degraded for ..` path forms): the one place direct
@@ -526,6 +544,25 @@ pub fn check_tokens(path: &str, tokens: &[Token], skip: &[bool]) -> Vec<Hit> {
                     });
                 }
             }
+        }
+        // `.inc("…", ..)` / `.set_gauge("…", ..)` / `.record_histogram("…", ..)`
+        // with a bare string-literal first argument. The lexer drops
+        // string literals from the token stream, so a literal-first call
+        // is exactly `.method(` followed immediately by `,`; a registry
+        // const (`names::…`) or a `&format!` over one leaves an
+        // identifier there instead.
+        if Rule::UnregisteredMetric.applies_to(path)
+            && METRIC_METHODS.contains(&t)
+            && i > 0
+            && text(i - 1) == Some(".")
+            && text(i + 1) == Some("(")
+            && text(i + 2) == Some(",")
+        {
+            hits.push(Hit {
+                rule: Rule::UnregisteredMetric,
+                line: tok.line,
+                matched: format!(".{t}(\"…\")"),
+            });
         }
         // `.degraded` / `.worker_health` field access (a following `(`
         // would make it a method call — `census.degraded()` is the trait's

@@ -45,3 +45,11 @@ pub fn degraded_bypass_violations(outcome: &MeasurementOutcome) -> usize {
     let reasons = &outcome.telemetry.degraded; // R6
     crashed + reasons.len()
 }
+
+pub fn unregistered_metric_violations(report: &mut RunReport) {
+    report.inc("census.adhoc_counter", 1); // R12
+    report.set_gauge("census.adhoc_gauge", 7); // R12
+    report.record_histogram("census.adhoc_hist", snapshot()); // R12
+    report.inc(names::census::DAY, 1); // legal: registry const
+    report.inc(&names::per_worker(names::worker::PROBES_SENT, 3), 1); // legal: registered stem
+}

@@ -40,6 +40,7 @@ fn violating_fixture_fires_every_rule() {
     assert_eq!(counts.get("panic-path"), Some(&4), "{counts:?}");
     assert_eq!(counts.get("print-path"), Some(&2), "{counts:?}");
     assert_eq!(counts.get("degraded-bypass"), Some(&2), "{counts:?}");
+    assert_eq!(counts.get("unregistered-metric"), Some(&3), "{counts:?}");
     assert_eq!(counts.get("bad-allow"), None, "{counts:?}");
 }
 
@@ -121,6 +122,57 @@ fn baseline_suppresses_and_reports_stale() {
     assert!(remaining[0].excerpt.contains("y.unwrap()"), "{remaining:?}");
     assert_eq!(stale.len(), 1);
     assert!(stale[0].excerpt.contains("this_site_was_fixed"));
+}
+
+#[test]
+fn unregistered_metric_detection_and_scope() {
+    // Bare string-literal first arguments fire; registry consts,
+    // `per_worker` splices, and argument-less `.inc()` on unrelated
+    // receivers stay legal.
+    let src = "\
+pub fn record(report: &mut RunReport, w: usize, counter: &Counter) {
+    report.inc(\"census.adhoc\", 1);
+    report.set_gauge(\"census.adhoc_gauge\", 2);
+    report.record_histogram(\"census.adhoc_hist\", snap());
+    report.inc(names::census::DAY, 1);
+    report.inc(&names::per_worker(names::worker::PROBES_SENT, w), 1);
+    counter.inc();
+}
+";
+    let (violations, _) = scan_source("crates/core/src/fixture.rs", src);
+    let hits: Vec<u32> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::UnregisteredMetric)
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(hits, vec![2, 3, 4], "{violations:#?}");
+    // The new health crate is measurement-path scope; geo and test trees
+    // are not.
+    let (violations, _) = scan_source("crates/health/src/series.rs", src);
+    assert_eq!(
+        count_by_rule(&violations).get("unregistered-metric"),
+        Some(&3)
+    );
+    let (violations, _) = scan_source("crates/geo/src/fixture.rs", src);
+    assert_eq!(count_by_rule(&violations).get("unregistered-metric"), None);
+    let (violations, _) = scan_source("crates/core/tests/fixture.rs", src);
+    assert_eq!(count_by_rule(&violations).get("unregistered-metric"), None);
+}
+
+#[test]
+fn unregistered_metric_baseline_regen_round_trip() {
+    let (violations, _) = scan_source("crates/census/src/fixture.rs", &fixture("violating.rs"));
+    let metric: Vec<Violation> = violations
+        .into_iter()
+        .filter(|v| v.rule == Rule::UnregisteredMetric)
+        .collect();
+    assert_eq!(metric.len(), 3, "{metric:?}");
+    let generated = baseline::regenerate(&metric, &[]);
+    assert!(generated.iter().all(|e| e.rule == "unregistered-metric"));
+    let text = baseline::render(&generated);
+    let (back, _) = baseline::parse(&text).unwrap();
+    assert_eq!(back, generated);
+    assert_eq!(baseline::render(&back), text);
 }
 
 #[test]

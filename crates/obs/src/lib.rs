@@ -38,10 +38,11 @@
 
 pub mod degraded;
 pub mod metrics;
+pub mod names;
 pub mod report;
 pub mod stage;
 
 pub use degraded::{Degraded, DegradedReason};
 pub use metrics::{Counter, Histogram, HistogramSnapshot};
-pub use report::RunReport;
+pub use report::{GaugeMerge, ReportDiff, RunReport};
 pub use stage::{ShardStages, SimClock, StageReport, StageTimer};

@@ -1,0 +1,292 @@
+//! The metric-name registry: every dotted metric name used on a
+//! production telemetry path, as a `const`.
+//!
+//! Ad-hoc string literals at `inc` / `set_gauge` / `record_histogram`
+//! call sites drift: two spellings of the same concept silently split a
+//! series, and the longitudinal health layer (`laces-health`) can no
+//! longer line a metric up day over day. Production call sites therefore
+//! reference these consts; laces-lint rule R12 (`unregistered-metric`)
+//! rejects bare string literals at those call sites in measurement
+//! crates. Per-instance names (`"worker.003.probes_sent"`) are built with
+//! [`per_worker`]-style helpers from a registered stem and are naturally
+//! exempt (the literal is not the full first argument).
+//!
+//! Names are grouped by owning subsystem. The registry itself is data:
+//! [`ALL`] lists every const so tests can assert the registry stays
+//! sorted, unique, and lowercase-dotted.
+
+/// Orchestrator-level counters and gauges (`laces-core`).
+pub mod orchestrator {
+    /// Gauge: workers the spec resolved to.
+    pub const N_WORKERS: &str = "orchestrator.n_workers";
+    /// Gauge: targets in the spec's hitlist.
+    pub const N_TARGETS: &str = "orchestrator.n_targets";
+    /// Gauge: scheduled span of the run in simulated ms.
+    pub const SPAN_MS: &str = "orchestrator.span_ms";
+    /// Gauge: configured probing rate.
+    pub const RATE_PER_S: &str = "orchestrator.rate_per_s";
+    /// Counter: seals rejected by the capture validator.
+    pub const SEAL_REJECTIONS: &str = "orchestrator.seal_rejections";
+    /// Counter: probe orders streamed to workers.
+    pub const ORDERS_STREAMED: &str = "orchestrator.orders_streamed";
+    /// Counter: rate-limiter stalls while streaming orders.
+    pub const RATE_LIMITER_STALLS: &str = "orchestrator.rate_limiter_stalls";
+    /// Counter: records collected from workers.
+    pub const RECORDS_COLLECTED: &str = "orchestrator.records_collected";
+    /// Counter: aborted runs (0 or 1 per run).
+    pub const ABORTS: &str = "orchestrator.aborts";
+    /// Counter: shards that failed outright.
+    pub const SHARD_FAILURES: &str = "orchestrator.shard_failures";
+    /// Gauge: shard count the run used (shard-report only).
+    pub const SHARDS: &str = "orchestrator.shards";
+    /// Gauge: probe budget the spec resolves to (targets × senders).
+    pub const PROBE_BUDGET: &str = "orchestrator.probe_budget";
+}
+
+/// Per-worker aggregate counters (`laces-core`).
+pub mod worker {
+    /// Counter: probes sent across all workers.
+    pub const PROBES_SENT: &str = "worker.probes_sent";
+    /// Counter: records streamed back across all workers.
+    pub const RECORDS_STREAMED: &str = "worker.records_streamed";
+    /// Counter: captures rejected across all workers.
+    pub const CAPTURES_REJECTED: &str = "worker.captures_rejected";
+    /// Histogram: observed RTTs in ms.
+    pub const RTT_MS: &str = "worker.rtt_ms";
+}
+
+/// Capture-fabric counters (`laces-core`).
+pub mod fabric {
+    /// Counter: replies delivered to workers.
+    pub const REPLIES_DELIVERED: &str = "fabric.replies_delivered";
+    /// Counter: probes that drew no reply.
+    pub const UNANSWERED: &str = "fabric.unanswered";
+    /// Counter: replies dropped by injected fabric faults.
+    pub const DROPPED: &str = "fabric.dropped";
+    /// Counter: replies duplicated by injected fabric faults.
+    pub const DUPLICATED: &str = "fabric.duplicated";
+    /// Gauge: planned fabric drop rate, permille (fault plans only).
+    pub const PLANNED_DROP_PERMILLE: &str = "fabric.planned_drop_permille";
+    /// Gauge: planned fabric duplication rate, permille (fault plans only).
+    pub const PLANNED_DUP_PERMILLE: &str = "fabric.planned_dup_permille";
+}
+
+/// GCD campaign counters and gauges (`laces-gcd`).
+pub mod gcd {
+    /// Counter: targets lost to a failed chunk.
+    pub const TARGETS_LOST: &str = "gcd.targets_lost";
+    /// Gauge: vantage points in the campaign.
+    pub const N_VPS: &str = "gcd.n_vps";
+    /// Gauge: targets in the campaign.
+    pub const N_TARGETS: &str = "gcd.n_targets";
+    /// Gauge: configured probe attempts per (vp, target).
+    pub const ATTEMPTS: &str = "gcd.attempts";
+    /// Gauge: whether the responsiveness precheck ran (0/1).
+    pub const PRECHECK: &str = "gcd.precheck";
+    /// Counter: probes the campaign sent.
+    pub const PROBES_SENT: &str = "gcd.probes_sent";
+    /// Counter: replies the campaign observed.
+    pub const REPLIES: &str = "gcd.replies";
+    /// Counter: probes that drew no reply.
+    pub const UNANSWERED: &str = "gcd.unanswered";
+    /// Counter: pairwise disc-overlap tests during enumeration.
+    pub const ENUMERATION_OVERLAP_TESTS: &str = "gcd.enumeration.overlap_tests";
+    /// Counter: targets classified anycast.
+    pub const CLASS_ANYCAST: &str = "gcd.class.anycast";
+    /// Counter: targets classified unicast.
+    pub const CLASS_UNICAST: &str = "gcd.class.unicast";
+    /// Counter: targets that never answered.
+    pub const CLASS_UNRESPONSIVE: &str = "gcd.class.unresponsive";
+    /// Counter: anycast sites enumerated across all targets.
+    pub const SITES_ENUMERATED: &str = "gcd.sites_enumerated";
+    /// Gauge: worker threads the campaign used (chunk-report only).
+    pub const THREADS: &str = "gcd.threads";
+    /// Gauge: chunks the campaign spawned (chunk-report only).
+    pub const CHUNKS: &str = "gcd.chunks";
+}
+
+/// Census pipeline day gauges (`laces-census`).
+pub mod census {
+    /// Gauge: the census day index.
+    pub const DAY: &str = "census.day";
+    /// Gauge: candidate targets after hitlist assembly.
+    pub const CANDIDATES: &str = "census.candidates";
+    /// Gauge: targets forwarded to the GCD stage.
+    pub const GCD_TARGETS: &str = "census.gcd_targets";
+    /// Gauge: records published for the day.
+    pub const PUBLISHED: &str = "census.published";
+    /// Gauge: size of the responsiveness feedback set.
+    pub const FEEDBACK_SIZE: &str = "census.feedback_size";
+    /// Gauge: simulated duration of the whole day.
+    pub const DAY_SIM_MS: &str = "census.day_sim_ms";
+}
+
+/// Query-service cache counters and gauges (`laces-query`).
+pub mod query {
+    /// Counter: cache hits across all section kinds.
+    pub const CACHE_HITS: &str = "query.cache_hits";
+    /// Counter: cache misses across all section kinds.
+    pub const CACHE_MISSES: &str = "query.cache_misses";
+    /// Counter: sections evicted to stay under budget.
+    pub const CACHE_EVICTIONS: &str = "query.cache_evictions";
+    /// Counter: day handles opened lazily.
+    pub const DAYS_OPENED: &str = "query.days_opened";
+    /// Counter: index sections loaded from disk.
+    pub const SECTIONS_LOADED: &str = "query.sections_loaded";
+    /// Counter: bytes read from index files.
+    pub const INDEX_BYTES_READ: &str = "query.index_bytes_read";
+    /// Counter: point lookups served.
+    pub const POINT_LOOKUPS: &str = "query.point_lookups";
+    /// Counter: bytes read from record files.
+    pub const RECORD_BYTES_READ: &str = "query.record_bytes_read";
+    /// Gauge: bytes resident in the section cache.
+    pub const RESIDENT_BYTES: &str = "query.resident_bytes";
+    /// Gauge: days with any resident section.
+    pub const RESIDENT_DAYS: &str = "query.resident_days";
+}
+
+/// Health-service cache counters and gauges (`laces-health`).
+pub mod health {
+    /// Counter: health sidecar files opened lazily.
+    pub const DAYS_OPENED: &str = "health.days_opened";
+    /// Counter: cache hits on resident day series.
+    pub const CACHE_HITS: &str = "health.cache_hits";
+    /// Counter: cache misses on day series.
+    pub const CACHE_MISSES: &str = "health.cache_misses";
+    /// Counter: day series evicted to stay under budget.
+    pub const CACHE_EVICTIONS: &str = "health.cache_evictions";
+    /// Counter: bytes read from health sidecars.
+    pub const SERIES_BYTES_READ: &str = "health.series_bytes_read";
+    /// Counter: metric-history / baseline / diff queries served.
+    pub const QUERIES_SERVED: &str = "health.queries_served";
+    /// Gauge: bytes resident in the series cache.
+    pub const RESIDENT_BYTES: &str = "health.resident_bytes";
+    /// Gauge: days with a resident series.
+    pub const RESIDENT_DAYS: &str = "health.resident_days";
+}
+
+/// Live run-monitor counters and gauges (`laces-health`).
+pub mod monitor {
+    /// Counter: snapshot ticks taken during the run.
+    pub const TICKS: &str = "monitor.ticks";
+    /// Gauge: configured tick interval in simulated ms.
+    pub const TICK_INTERVAL_MS: &str = "monitor.tick_interval_ms";
+    /// Gauge: final progress in permille (1000 = complete).
+    pub const PROGRESS_PERMILLE: &str = "monitor.progress_permille";
+}
+
+/// Every registered name, sorted. Tests assert uniqueness and shape.
+pub const ALL: &[&str] = &[
+    census::CANDIDATES,
+    census::DAY,
+    census::DAY_SIM_MS,
+    census::FEEDBACK_SIZE,
+    census::GCD_TARGETS,
+    census::PUBLISHED,
+    fabric::DROPPED,
+    fabric::DUPLICATED,
+    fabric::PLANNED_DROP_PERMILLE,
+    fabric::PLANNED_DUP_PERMILLE,
+    fabric::REPLIES_DELIVERED,
+    fabric::UNANSWERED,
+    gcd::ATTEMPTS,
+    gcd::CHUNKS,
+    gcd::CLASS_ANYCAST,
+    gcd::CLASS_UNICAST,
+    gcd::CLASS_UNRESPONSIVE,
+    gcd::ENUMERATION_OVERLAP_TESTS,
+    gcd::N_TARGETS,
+    gcd::N_VPS,
+    gcd::PRECHECK,
+    gcd::PROBES_SENT,
+    gcd::REPLIES,
+    gcd::SITES_ENUMERATED,
+    gcd::TARGETS_LOST,
+    gcd::THREADS,
+    gcd::UNANSWERED,
+    health::CACHE_EVICTIONS,
+    health::CACHE_HITS,
+    health::CACHE_MISSES,
+    health::DAYS_OPENED,
+    health::QUERIES_SERVED,
+    health::RESIDENT_BYTES,
+    health::RESIDENT_DAYS,
+    health::SERIES_BYTES_READ,
+    monitor::PROGRESS_PERMILLE,
+    monitor::TICK_INTERVAL_MS,
+    monitor::TICKS,
+    orchestrator::ABORTS,
+    orchestrator::N_TARGETS,
+    orchestrator::N_WORKERS,
+    orchestrator::ORDERS_STREAMED,
+    orchestrator::PROBE_BUDGET,
+    orchestrator::RATE_LIMITER_STALLS,
+    orchestrator::RATE_PER_S,
+    orchestrator::RECORDS_COLLECTED,
+    orchestrator::SEAL_REJECTIONS,
+    orchestrator::SHARD_FAILURES,
+    orchestrator::SHARDS,
+    orchestrator::SPAN_MS,
+    query::CACHE_EVICTIONS,
+    query::CACHE_HITS,
+    query::CACHE_MISSES,
+    query::DAYS_OPENED,
+    query::INDEX_BYTES_READ,
+    query::POINT_LOOKUPS,
+    query::RECORD_BYTES_READ,
+    query::RESIDENT_BYTES,
+    query::RESIDENT_DAYS,
+    query::SECTIONS_LOADED,
+    worker::CAPTURES_REJECTED,
+    worker::PROBES_SENT,
+    worker::RECORDS_STREAMED,
+    worker::RTT_MS,
+];
+
+/// Build a per-worker metric name from a registered stem: `"worker.003"`
+/// style zero-padded index spliced between the subsystem and the leaf,
+/// e.g. `per_worker(worker::PROBES_SENT, 3)` →
+/// `"worker.003.probes_sent"`. Padding keeps `BTreeMap` key order equal
+/// to worker order.
+pub fn per_worker(stem: &str, index: usize) -> String {
+    match stem.split_once('.') {
+        Some((subsystem, leaf)) => format!("{subsystem}.{index:03}.{leaf}"),
+        None => format!("{stem}.{index:03}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_unique_and_lowercase_dotted() {
+        for pair in ALL.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "out of order: {} >= {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        for name in ALL {
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "bad metric name shape: {name}"
+            );
+            assert!(name.contains('.'), "unscoped metric name: {name}");
+            assert!(!name.starts_with('.') && !name.ends_with('.'), "{name}");
+        }
+    }
+
+    #[test]
+    fn per_worker_splices_padded_index() {
+        assert_eq!(per_worker(worker::PROBES_SENT, 3), "worker.003.probes_sent");
+        assert_eq!(
+            per_worker(worker::PROBES_SENT, 42),
+            "worker.042.probes_sent"
+        );
+        assert_eq!(per_worker("bare", 7), "bare.007");
+    }
+}

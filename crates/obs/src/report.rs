@@ -8,6 +8,54 @@ use crate::degraded::DegradedReason;
 use crate::metrics::HistogramSnapshot;
 use crate::stage::StageReport;
 
+/// How [`RunReport::absorb_with`] merges a child gauge into a parent
+/// gauge under the same re-keyed name.
+///
+/// Gauges are point-in-time samples, so there is no universally correct
+/// merge: a *level* gauge (`census.feedback_size`) wants the most recent
+/// sample, while a *high-water* gauge wants the max. The policy is
+/// explicit at the absorb site; [`RunReport::absorb`] pins
+/// [`GaugeMerge::LastWriterWins`], the historical behaviour every
+/// serialized artifact was built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaugeMerge {
+    /// The child's value replaces any existing parent value.
+    LastWriterWins,
+    /// The parent keeps `max(existing, child)`.
+    Max,
+}
+
+/// The day-over-day delta between two [`RunReport`]s, as computed by
+/// [`RunReport::diff`]. Maps hold only names whose value changed (or
+/// that appear on one side only — an absent name reads as 0); vectors
+/// are sorted, so serialization of a diff is deterministic like the
+/// reports it came from.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReportDiff {
+    /// `newer - older` per counter, omitting zero deltas.
+    pub counters: BTreeMap<String, i64>,
+    /// `newer - older` per gauge, omitting zero deltas.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram names whose snapshots differ (added, removed, changed).
+    pub histograms_changed: Vec<String>,
+    /// Degradation events present only in the newer report.
+    pub degraded_added: Vec<DegradedReason>,
+    /// Degradation events present only in the older report.
+    pub degraded_removed: Vec<DegradedReason>,
+}
+
+impl ReportDiff {
+    /// True when the two reports were metric-for-metric identical
+    /// (stages are not compared — they carry timings, not health).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms_changed.is_empty()
+            && self.degraded_added.is_empty()
+            && self.degraded_removed.is_empty()
+    }
+}
+
 /// Everything a run observed about itself: counters, gauges, histogram
 /// snapshots, the stage tree, and the degradation events. Attached to
 /// `MeasurementOutcome`, `GcdReport` and `CensusStats`; serialized to
@@ -93,12 +141,29 @@ impl RunReport {
     /// [`StageReport::rebased`](crate::StageReport::rebased)). This is how
     /// the census pipeline rolls per-stage measurement telemetry into day
     /// telemetry.
+    ///
+    /// Overlapping-key semantics are explicit: counters *add*, histograms
+    /// and gauges *overwrite* — a colliding gauge takes the child's value
+    /// ([`GaugeMerge::LastWriterWins`]). Callers that want a high-water
+    /// merge instead use [`RunReport::absorb_with`] with
+    /// [`GaugeMerge::Max`].
     pub fn absorb(&mut self, prefix: &str, other: &RunReport) {
+        self.absorb_with(prefix, other, GaugeMerge::LastWriterWins);
+    }
+
+    /// [`RunReport::absorb`] with the gauge-collision policy spelled out
+    /// at the call site. `absorb` is `absorb_with(.., LastWriterWins)`.
+    pub fn absorb_with(&mut self, prefix: &str, other: &RunReport, gauges: GaugeMerge) {
         for (name, value) in &other.counters {
             self.inc(&format!("{prefix}.{name}"), *value);
         }
         for (name, value) in &other.gauges {
-            self.set_gauge(&format!("{prefix}.{name}"), *value);
+            let key = format!("{prefix}.{name}");
+            let merged = match gauges {
+                GaugeMerge::LastWriterWins => *value,
+                GaugeMerge::Max => self.gauge(&key).max(*value),
+            };
+            self.set_gauge(&key, merged);
         }
         for (name, snapshot) in &other.histograms {
             self.record_histogram(&format!("{prefix}.{name}"), snapshot.clone());
@@ -109,6 +174,56 @@ impl RunReport {
                 detail: reason.to_string(),
             });
         }
+    }
+
+    /// The day-over-day delta from `self` (the older report) to `newer`.
+    ///
+    /// Counters and gauges diff numerically (absent = 0, zero deltas
+    /// omitted); histograms are compared snapshot-for-snapshot and listed
+    /// by name when they differ; degradation events are set-diffed. The
+    /// result is a pure function of the two reports — the health layer
+    /// serves it for "what changed since yesterday" queries.
+    pub fn diff(&self, newer: &RunReport) -> ReportDiff {
+        let mut out = ReportDiff::default();
+        let num_diff = |older: &BTreeMap<String, u64>, newer: &BTreeMap<String, u64>| {
+            let mut deltas = BTreeMap::new();
+            for name in older.keys().chain(newer.keys()) {
+                if deltas.contains_key(name) {
+                    continue;
+                }
+                let before = older.get(name).copied().unwrap_or(0) as i64;
+                let after = newer.get(name).copied().unwrap_or(0) as i64;
+                if before != after {
+                    deltas.insert(name.clone(), after - before);
+                }
+            }
+            deltas
+        };
+        out.counters = num_diff(&self.counters, &newer.counters);
+        out.gauges = num_diff(&self.gauges, &newer.gauges);
+        let mut hist_names: Vec<&String> = self
+            .histograms
+            .keys()
+            .chain(newer.histograms.keys())
+            .collect();
+        hist_names.sort();
+        hist_names.dedup();
+        for name in hist_names {
+            if self.histograms.get(name) != newer.histograms.get(name) {
+                out.histograms_changed.push(name.clone());
+            }
+        }
+        for reason in &newer.degraded {
+            if self.degraded.binary_search(reason).is_err() {
+                out.degraded_added.push(reason.clone());
+            }
+        }
+        for reason in &self.degraded {
+            if newer.degraded.binary_search(reason).is_err() {
+                out.degraded_removed.push(reason.clone());
+            }
+        }
+        out
     }
 
     /// Encode as JSON Lines: one object per counter, gauge, histogram,
@@ -327,6 +442,92 @@ mod tests {
         // Only the two (merged) keys exist — no duplicate entries.
         assert_eq!(outer.counters.len(), 1);
         assert_eq!(outer.gauges.len(), 1);
+    }
+
+    #[test]
+    fn absorb_overlapping_gauge_policy_is_explicit() {
+        // The PR 5 edge-case suite covered same-value overlaps only; this
+        // pins the *differing*-value semantics. Two children absorbed
+        // under one prefix with conflicting gauge samples: the default
+        // absorb is last-writer-wins in call order (not max, not first),
+        // and absorb_with(Max) keeps the high-water mark regardless of
+        // call order.
+        let mut low = RunReport::new();
+        low.set_gauge("level", 3);
+        let mut high = RunReport::new();
+        high.set_gauge("level", 9);
+
+        let mut lww = RunReport::new();
+        lww.absorb("stage", &high);
+        lww.absorb("stage", &low);
+        assert_eq!(lww.gauge("stage.level"), 3, "last writer wins");
+
+        let mut max_ab = RunReport::new();
+        max_ab.absorb_with("stage", &high, GaugeMerge::Max);
+        max_ab.absorb_with("stage", &low, GaugeMerge::Max);
+        assert_eq!(max_ab.gauge("stage.level"), 9, "max survives order");
+
+        let mut max_ba = RunReport::new();
+        max_ba.absorb_with("stage", &low, GaugeMerge::Max);
+        max_ba.absorb_with("stage", &high, GaugeMerge::Max);
+        assert_eq!(max_ba.gauge("stage.level"), 9);
+
+        // absorb is exactly absorb_with(LastWriterWins).
+        let mut via_with = RunReport::new();
+        via_with.absorb_with("stage", &high, GaugeMerge::LastWriterWins);
+        via_with.absorb_with("stage", &low, GaugeMerge::LastWriterWins);
+        assert_eq!(via_with, lww);
+    }
+
+    #[test]
+    fn diff_reports_deltas_and_degradation_changes() {
+        let older = sample();
+        let mut newer = sample();
+        newer.inc("orchestrator.orders_streamed", 72); // 128 -> 200
+        newer.inc("fabric.dropped", 5); // absent -> 5
+        newer.set_gauge("gcd.n_vps", 7); // 9 -> 7
+        newer.add_degraded(DegradedReason::Aborted);
+
+        let d = older.diff(&newer);
+        assert_eq!(d.counters.get("orchestrator.orders_streamed"), Some(&72));
+        assert_eq!(d.counters.get("fabric.dropped"), Some(&5));
+        assert_eq!(d.counters.get("worker.000.probes_sent"), None, "{d:?}");
+        assert_eq!(d.gauges.get("gcd.n_vps"), Some(&-2));
+        assert_eq!(d.degraded_added, vec![DegradedReason::Aborted]);
+        assert!(d.degraded_removed.is_empty());
+        assert!(d.histograms_changed.is_empty());
+        assert!(!d.is_empty());
+
+        // Reverse direction negates numeric deltas and swaps the sets.
+        let back = newer.diff(&older);
+        assert_eq!(
+            back.counters.get("orchestrator.orders_streamed"),
+            Some(&-72)
+        );
+        assert_eq!(back.degraded_removed, vec![DegradedReason::Aborted]);
+
+        // Self-diff is empty, and a diff round-trips serde.
+        assert!(older.diff(&older).is_empty());
+        let text = serde_json::to_string(&d).expect("diff serialises");
+        let parsed: ReportDiff = serde_json::from_str(&text).expect("diff parses");
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn diff_lists_changed_histograms_sorted_once() {
+        let mut older = RunReport::new();
+        let mut h = Histogram::new(&[10]);
+        h.observe(1);
+        older.record_histogram("b.rtt", h.snapshot());
+        older.record_histogram("a.same", h.snapshot());
+        let mut newer = older.clone();
+        let mut h2 = Histogram::new(&[10]);
+        h2.observe(1);
+        h2.observe(2);
+        newer.record_histogram("b.rtt", h2.snapshot()); // changed
+        newer.record_histogram("c.added", h2.snapshot()); // added
+        let d = older.diff(&newer);
+        assert_eq!(d.histograms_changed, vec!["b.rtt", "c.added"]);
     }
 
     #[test]

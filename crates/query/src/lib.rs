@@ -33,4 +33,6 @@ pub use diff_types::{CensusDiff, FootprintChange};
 pub use error::{QueryError, INDEX_VERSION};
 pub use idx::{build_index, index_file_name, DaySummary, IndexRecord, SummaryInput};
 pub use ranking::{rank_from_counts, top_k_share, AsnRank};
-pub use service::{PrefixPoint, QueryService, QueryServiceBuilder, DEFAULT_CACHE_BUDGET};
+pub use service::{
+    DayArtifacts, PrefixPoint, QueryService, QueryServiceBuilder, DEFAULT_CACHE_BUDGET,
+};

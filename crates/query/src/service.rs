@@ -16,7 +16,7 @@ use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use laces_obs::RunReport;
+use laces_obs::{names, RunReport};
 use laces_packet::PrefixKey;
 
 use crate::diff_types::{CensusDiff, FootprintChange};
@@ -166,6 +166,33 @@ fn parse_index_name(name: &str) -> Option<u32> {
 /// record-position postings they index into.
 type AsPostingsSection = (Vec<AsPosting>, Vec<u32>);
 
+/// One day's on-disk artifact map plus its degraded flag — the
+/// operational "what does this day carry" answer, from
+/// [`QueryService::day_artifacts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DayArtifacts {
+    /// The day.
+    pub day: u32,
+    /// The day ran degraded (from the index summary; equals
+    /// `!store.load_telemetry(day).degraded_reasons().is_empty()`).
+    pub degraded: bool,
+    /// The published records (`census-day-NNNNN.jsonl`).
+    pub records: PathBuf,
+    /// The binary query index sidecar.
+    pub index: PathBuf,
+    /// The stats sidecar, when present.
+    pub stats: Option<PathBuf>,
+    /// The greppable telemetry JSONL sidecar, when present.
+    pub telemetry: Option<PathBuf>,
+    /// The flight-recorder event log, when the day ran with tracing.
+    pub trace: Option<PathBuf>,
+    /// The Chrome trace-event file, when the day ran with tracing.
+    pub chrome_trace: Option<PathBuf>,
+    /// The longitudinal health point (`laces-health` sidecar), when
+    /// present.
+    pub health_series: Option<PathBuf>,
+}
+
 /// Per-day lazy state: paths always, header and sections on first touch.
 #[derive(Debug)]
 struct DayHandle {
@@ -310,10 +337,10 @@ impl QueryService {
 
     fn update_gauges(&mut self) {
         self.telemetry
-            .set_gauge("query.resident_bytes", self.resident_bytes);
+            .set_gauge(names::query::RESIDENT_BYTES, self.resident_bytes);
         let resident_days = self.handles.iter().filter(|h| h.resident > 0).count();
         self.telemetry
-            .set_gauge("query.resident_days", resident_days as u64);
+            .set_gauge(names::query::RESIDENT_DAYS, resident_days as u64);
     }
 
     fn account(&mut self, pos: usize, bytes: u64) {
@@ -337,25 +364,25 @@ impl QueryService {
             let Some(v) = victim else { break };
             let freed = self.handles[v].drop_resident();
             self.resident_bytes -= freed;
-            self.telemetry.inc("query.cache_evictions", 1);
+            self.telemetry.inc(names::query::CACHE_EVICTIONS, 1);
         }
     }
 
     fn header(&mut self, pos: usize) -> Result<Header, QueryError> {
         self.touch(pos);
         if let Some(h) = self.handles[pos].header {
-            self.telemetry.inc("query.cache_hits", 1);
+            self.telemetry.inc(names::query::CACHE_HITS, 1);
             return Ok(h);
         }
-        self.telemetry.inc("query.cache_misses", 1);
+        self.telemetry.inc(names::query::CACHE_MISSES, 1);
         let day = self.handles[pos].day;
         let path = self.handles[pos].idx_path.clone();
         let bytes = read_at(&path, 0, HEADER_LEN, day)?;
         let h = decode_header(&bytes, day)?;
         self.handles[pos].header = Some(h);
-        self.telemetry.inc("query.days_opened", 1);
+        self.telemetry.inc(names::query::DAYS_OPENED, 1);
         self.telemetry
-            .inc("query.index_bytes_read", HEADER_LEN as u64);
+            .inc(names::query::INDEX_BYTES_READ, HEADER_LEN as u64);
         self.account(pos, HEADER_LEN as u64);
         Ok(h)
     }
@@ -372,18 +399,18 @@ impl QueryService {
                 detail: format!("section {sec} fingerprint mismatch"),
             });
         }
-        self.telemetry.inc("query.sections_loaded", 1);
-        self.telemetry.inc("query.index_bytes_read", len);
+        self.telemetry.inc(names::query::SECTIONS_LOADED, 1);
+        self.telemetry.inc(names::query::INDEX_BYTES_READ, len);
         Ok(bytes)
     }
 
     fn prefixes(&mut self, pos: usize) -> Result<Arc<Vec<Entry>>, QueryError> {
         self.touch(pos);
         if let Some(p) = &self.handles[pos].prefixes {
-            self.telemetry.inc("query.cache_hits", 1);
+            self.telemetry.inc(names::query::CACHE_HITS, 1);
             return Ok(Arc::clone(p));
         }
-        self.telemetry.inc("query.cache_misses", 1);
+        self.telemetry.inc(names::query::CACHE_MISSES, 1);
         let bytes = self.read_section(pos, SEC_PREFIXES)?;
         let h = self.header(pos)?;
         let arc = Arc::new(decode_prefixes(&bytes, &h)?);
@@ -395,10 +422,10 @@ impl QueryService {
     fn cities(&mut self, pos: usize) -> Result<Arc<Vec<String>>, QueryError> {
         self.touch(pos);
         if let Some(c) = &self.handles[pos].cities {
-            self.telemetry.inc("query.cache_hits", 1);
+            self.telemetry.inc(names::query::CACHE_HITS, 1);
             return Ok(Arc::clone(c));
         }
-        self.telemetry.inc("query.cache_misses", 1);
+        self.telemetry.inc(names::query::CACHE_MISSES, 1);
         let bytes = self.read_section(pos, SEC_CITY_STRS)?;
         let h = self.header(pos)?;
         let arc = Arc::new(decode_city_strs(&bytes, &h)?);
@@ -410,10 +437,10 @@ impl QueryService {
     fn city_ids(&mut self, pos: usize) -> Result<Arc<Vec<u32>>, QueryError> {
         self.touch(pos);
         if let Some(c) = &self.handles[pos].city_ids {
-            self.telemetry.inc("query.cache_hits", 1);
+            self.telemetry.inc(names::query::CACHE_HITS, 1);
             return Ok(Arc::clone(c));
         }
-        self.telemetry.inc("query.cache_misses", 1);
+        self.telemetry.inc(names::query::CACHE_MISSES, 1);
         let bytes = self.read_section(pos, SEC_CITY_IDS)?;
         let h = self.header(pos)?;
         let arc = Arc::new(decode_city_ids(&bytes, &h)?);
@@ -425,10 +452,10 @@ impl QueryService {
     fn city_postings(&mut self, pos: usize) -> Result<Arc<Postings>, QueryError> {
         self.touch(pos);
         if let Some(p) = &self.handles[pos].city_postings {
-            self.telemetry.inc("query.cache_hits", 1);
+            self.telemetry.inc(names::query::CACHE_HITS, 1);
             return Ok(Arc::clone(p));
         }
-        self.telemetry.inc("query.cache_misses", 1);
+        self.telemetry.inc(names::query::CACHE_MISSES, 1);
         let bytes = self.read_section(pos, SEC_CITY_POSTINGS)?;
         let h = self.header(pos)?;
         let arc = Arc::new(decode_city_postings(&bytes, &h)?);
@@ -440,10 +467,10 @@ impl QueryService {
     fn as_postings(&mut self, pos: usize) -> Result<Arc<AsPostingsSection>, QueryError> {
         self.touch(pos);
         if let Some(p) = &self.handles[pos].as_postings {
-            self.telemetry.inc("query.cache_hits", 1);
+            self.telemetry.inc(names::query::CACHE_HITS, 1);
             return Ok(Arc::clone(p));
         }
-        self.telemetry.inc("query.cache_misses", 1);
+        self.telemetry.inc(names::query::CACHE_MISSES, 1);
         let bytes = self.read_section(pos, SEC_AS_POSTINGS)?;
         let h = self.header(pos)?;
         let arc = Arc::new(decode_as_postings(&bytes, &h)?);
@@ -455,10 +482,10 @@ impl QueryService {
     fn summary_arc(&mut self, pos: usize) -> Result<Arc<DaySummary>, QueryError> {
         self.touch(pos);
         if let Some(s) = &self.handles[pos].summary {
-            self.telemetry.inc("query.cache_hits", 1);
+            self.telemetry.inc(names::query::CACHE_HITS, 1);
             return Ok(Arc::clone(s));
         }
-        self.telemetry.inc("query.cache_misses", 1);
+        self.telemetry.inc(names::query::CACHE_MISSES, 1);
         let bytes = self.read_section(pos, SEC_SUMMARY)?;
         let h = self.header(pos)?;
         let arc = Arc::new(decode_summary(&bytes, &h)?);
@@ -529,7 +556,7 @@ impl QueryService {
         prefix: PrefixKey,
     ) -> Result<Option<PrefixPoint>, QueryError> {
         let pos = self.pos_of(day)?;
-        self.telemetry.inc("query.point_lookups", 1);
+        self.telemetry.inc(names::query::POINT_LOOKUPS, 1);
         match self.entry_of(pos, prefix)? {
             Some((_, e)) => Ok(Some(self.point_of_entry(pos, e)?)),
             None => Ok(None),
@@ -551,7 +578,7 @@ impl QueryService {
         let path = self.handles[pos].jsonl_path.clone();
         let bytes = read_at(&path, e.offset, e.len as usize, day)?;
         self.telemetry
-            .inc("query.record_bytes_read", u64::from(e.len));
+            .inc(names::query::RECORD_BYTES_READ, u64::from(e.len));
         let s = String::from_utf8(bytes).map_err(|err| QueryError::Corrupt {
             day,
             detail: format!("record span not utf-8: {err}"),
@@ -598,7 +625,7 @@ impl QueryService {
         prefix: PrefixKey,
     ) -> Result<(u32, bool, bool), QueryError> {
         let pos = self.pos_of(day)?;
-        self.telemetry.inc("query.point_lookups", 1);
+        self.telemetry.inc(names::query::POINT_LOOKUPS, 1);
         Ok(match self.entry_of(pos, prefix)? {
             Some((_, e)) => (
                 day,
@@ -626,6 +653,34 @@ impl QueryService {
     pub fn summary(&mut self, day: u32) -> Result<DaySummary, QueryError> {
         let pos = self.pos_of(day)?;
         Ok((*self.summary_arc(pos)?).clone())
+    }
+
+    /// One day's artifact map: the degraded flag from the summary
+    /// section plus the paths of every sidecar the store publishes for
+    /// the day. The records and index paths always exist for a served
+    /// day; the optional sidecars (telemetry, stats, trace,
+    /// health series) are reported only when present on disk, so a
+    /// monitoring consumer can see at a glance which observability
+    /// surfaces the day carries.
+    pub fn day_artifacts(&mut self, day: u32) -> Result<DayArtifacts, QueryError> {
+        // laces-lint: allow(degraded-bypass) — carrying the already-derived summary flag; it was read through the Degraded trait at save time
+        let degraded = self.summary(day)?.degraded;
+        let stem = format!("census-day-{day:05}");
+        let optional = |ext: &str| {
+            let path = self.dir.join(format!("{stem}.{ext}"));
+            path.exists().then_some(path)
+        };
+        Ok(DayArtifacts {
+            day,
+            degraded,
+            records: self.dir.join(format!("{stem}.jsonl")),
+            index: self.dir.join(index_file_name(day)),
+            stats: optional("stats.json"),
+            telemetry: optional("telemetry.jsonl"),
+            trace: optional("trace.jsonl"),
+            chrome_trace: optional("trace.chrome.json"),
+            health_series: optional("health.series"),
+        })
     }
 
     /// Table 6: origin ASes ranked by anycast prefixes originated on one
